@@ -1,0 +1,120 @@
+//! Undirected graphs and the Erdős–Rényi generator (the networkx
+//! substitute for the QAOA MaxCut experiment, paper Sec. 4.4).
+
+use rand::Rng;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (edges normalized to `a < b`,
+    /// duplicates and self-loops rejected).
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut es: Vec<(usize, usize)> = Vec::new();
+        for (a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} vertices");
+            assert_ne!(a, b, "self-loop ({a},{a})");
+            let e = (a.min(b), a.max(b));
+            assert!(!es.contains(&e), "duplicate edge {e:?}");
+            es.push(e);
+        }
+        es.sort_unstable();
+        Graph { n, edges: es }
+    }
+
+    /// G(n, p): each possible edge included independently with
+    /// probability `p`.
+    pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(p) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list, each as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_normalizes_edges() {
+        let g = Graph::new(4, [(2, 0), (1, 3)]);
+        assert_eq!(g.edges(), &[(0, 2), (1, 3)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let _ = Graph::new(3, [(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicates_rejected() {
+        let _ = Graph::new(3, [(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty = Graph::erdos_renyi(6, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = Graph::erdos_renyi(6, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 15);
+        assert_eq!(full.max_degree(), 5);
+    }
+
+    #[test]
+    fn erdos_renyi_density_roughly_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0usize;
+        for _ in 0..50 {
+            total += Graph::erdos_renyi(10, 0.3, &mut rng).num_edges();
+        }
+        let mean = total as f64 / 50.0;
+        // expectation = 45 * 0.3 = 13.5
+        assert!((mean - 13.5).abs() < 2.0, "mean edges {mean}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # bgls-apps
+//!
+//! Applications and experiment workloads on top of the BGLS stack:
+//!
+//! * [`Graph`] / [`cut_value`] / [`brute_force_maxcut`] — MaxCut substrate;
+//! * [`qaoa_maxcut_circuit`] / [`solve_maxcut_qaoa_mps`] — the QAOA
+//!   pipeline of paper Sec. 4.4 (sweep, sample, extract the best cut);
+//! * [`ghz_random_cnot_circuit`] and the random-circuit generators backing
+//!   Figs. 6–7;
+//! * [`overlap`] and friends — the distribution metrics of Figs. 4–5.
+//!
+//! ```
+//! use bgls_apps::{brute_force_maxcut, cut_value, Graph};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let g = Graph::erdos_renyi(8, 0.4, &mut StdRng::seed_from_u64(1));
+//! let (partition, cut) = brute_force_maxcut(&g);
+//! assert_eq!(cut_value(&g, partition), cut);
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod maxcut;
+mod metrics;
+mod observables;
+mod qaoa;
+mod workloads;
+
+pub use graph::Graph;
+pub use maxcut::{brute_force_maxcut, cut_value, mean_cut};
+pub use metrics::{
+    classical_fidelity, empirical_distribution, linear_xeb, overlap,
+    total_variation_distance,
+};
+pub use observables::{
+    maxcut_energy_expectation, z_string_expectation, z_string_standard_error,
+};
+pub use qaoa::{
+    qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa_mps, QaoaSolution,
+    QaoaSweepResult,
+};
+pub use workloads::{
+    brickwork_circuit, ghz_circuit, ghz_random_cnot_circuit, random_fixed_cnot_circuit, random_fixed_depth_circuit,
+};

@@ -1,0 +1,96 @@
+//! The MaxCut objective: cut values of partitions and a brute-force
+//! reference solver for verification.
+
+use crate::graph::Graph;
+use bgls_core::BitString;
+
+/// Number of edges cut by the partition encoded in `bits` (vertex `v` on
+/// side `bits[v]`).
+pub fn cut_value(graph: &Graph, bits: BitString) -> usize {
+    assert_eq!(bits.len(), graph.num_vertices());
+    graph
+        .edges()
+        .iter()
+        .filter(|&&(a, b)| bits.get(a) != bits.get(b))
+        .count()
+}
+
+/// Exhaustive MaxCut solver (up to ~24 vertices). Returns
+/// `(best_partition, best_cut)`.
+pub fn brute_force_maxcut(graph: &Graph) -> (BitString, usize) {
+    let n = graph.num_vertices();
+    assert!(n <= 24, "brute force limited to 24 vertices");
+    let mut best = (BitString::zeros(n), 0usize);
+    for x in 0..1u64 << n {
+        let bits = BitString::from_u64(n, x);
+        let c = cut_value(graph, bits);
+        if c > best.1 {
+            best = (bits, c);
+        }
+    }
+    best
+}
+
+/// The MaxCut cost expectation over a set of sampled partitions:
+/// `mean cut value`.
+pub fn mean_cut(graph: &Graph, samples: &[BitString]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let total: usize = samples.iter().map(|&b| cut_value(graph, b)).sum();
+    total as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::new(3, [(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn cut_counts_crossing_edges() {
+        let g = path3();
+        // partition {1} vs {0, 2} cuts both edges
+        assert_eq!(cut_value(&g, BitString::from_u64(3, 0b010)), 2);
+        // all-same partition cuts nothing
+        assert_eq!(cut_value(&g, BitString::zeros(3)), 0);
+        assert_eq!(cut_value(&g, BitString::from_u64(3, 0b111)), 0);
+    }
+
+    #[test]
+    fn brute_force_on_path() {
+        let (best, cut) = brute_force_maxcut(&path3());
+        assert_eq!(cut, 2);
+        // the middle vertex alone (or its complement)
+        assert!(best.as_u64() == 0b010 || best.as_u64() == 0b101);
+    }
+
+    #[test]
+    fn brute_force_on_triangle() {
+        let g = Graph::new(3, [(0, 1), (1, 2), (0, 2)]);
+        let (_, cut) = brute_force_maxcut(&g);
+        assert_eq!(cut, 2); // triangles are not bipartite
+    }
+
+    #[test]
+    fn complete_bipartite_is_fully_cuttable() {
+        // K_{2,2}
+        let g = Graph::new(4, [(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let (best, cut) = brute_force_maxcut(&g);
+        assert_eq!(cut, 4);
+        assert_eq!(cut_value(&g, best), 4);
+    }
+
+    #[test]
+    fn mean_cut_averages() {
+        let g = path3();
+        let samples = vec![
+            BitString::from_u64(3, 0b010), // 2
+            BitString::from_u64(3, 0b000), // 0
+        ];
+        assert!((mean_cut(&g, &samples) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_cut(&g, &[]), 0.0);
+    }
+}

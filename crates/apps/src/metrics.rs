@@ -1,0 +1,129 @@
+//! Distribution-comparison metrics for the overlap experiments
+//! (paper Figs. 4–5): how well an empirical sample set matches the ideal
+//! Born distribution.
+
+use bgls_core::BitString;
+
+/// Turns a list of sampled bitstrings into an empirical distribution over
+/// `2^n` outcomes.
+pub fn empirical_distribution(samples: &[BitString], n: usize) -> Vec<f64> {
+    assert!(n <= 24, "distribution too wide to densify");
+    let mut p = vec![0.0f64; 1usize << n];
+    if samples.is_empty() {
+        return p;
+    }
+    let w = 1.0 / samples.len() as f64;
+    for s in samples {
+        debug_assert_eq!(s.len(), n);
+        p[s.as_u64() as usize] += w;
+    }
+    p
+}
+
+/// Histogram intersection `sum_i min(p_i, q_i)` — the "fractional
+/// overlap" plotted in Figs. 4–5: 1 for identical distributions, 0 for
+/// disjoint support.
+pub fn overlap(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    p.iter().zip(q).map(|(&a, &b)| a.min(b)).sum()
+}
+
+/// Total variation distance `(1/2) sum |p_i - q_i|` (= 1 - overlap for
+/// normalized distributions).
+pub fn total_variation_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Linear cross-entropy benchmarking (XEB) fidelity estimate:
+/// `2^n * E_samples[ p_ideal(sample) ] - 1`. Equals ~1 when samples come
+/// from the ideal distribution of a scrambling (Porter-Thomas) circuit
+/// and ~0 for uniform noise — the random-circuit-sampling supremacy
+/// metric the paper's introduction cites.
+pub fn linear_xeb(samples: &[BitString], ideal: &[f64]) -> f64 {
+    assert!(ideal.len().is_power_of_two());
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let dim = ideal.len() as f64;
+    let mean: f64 = samples
+        .iter()
+        .map(|s| ideal[s.as_u64() as usize])
+        .sum::<f64>()
+        / samples.len() as f64;
+    dim * mean - 1.0
+}
+
+/// Classical (Bhattacharyya) fidelity `(sum_i sqrt(p_i q_i))^2`.
+pub fn classical_fidelity(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    let bc: f64 = p.iter().zip(q).map(|(&a, &b)| (a * b).sqrt()).sum();
+    bc * bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_distribution_normalizes() {
+        let samples = vec![
+            BitString::from_u64(2, 0),
+            BitString::from_u64(2, 0),
+            BitString::from_u64(2, 3),
+            BitString::from_u64(2, 1),
+        ];
+        let p = empirical_distribution(&samples, 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[2] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_have_full_overlap() {
+        let p = vec![0.25, 0.25, 0.5, 0.0];
+        assert!((overlap(&p, &p) - 1.0).abs() < 1e-12);
+        assert!(total_variation_distance(&p, &p) < 1e-12);
+        assert!((classical_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_zero_overlap() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert_eq!(overlap(&p, &q), 0.0);
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+        assert_eq!(classical_fidelity(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_one_minus_tvd() {
+        let p = vec![0.7, 0.1, 0.2, 0.0];
+        let q = vec![0.4, 0.3, 0.2, 0.1];
+        let ov = overlap(&p, &q);
+        let tvd = total_variation_distance(&p, &q);
+        assert!((ov + tvd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xeb_of_ideal_sampler_is_positive_and_uniform_is_zero() {
+        // ideal: concentrated distribution; sampling from it gives XEB > 0
+        let ideal = vec![0.7, 0.1, 0.1, 0.1];
+        let faithful: Vec<BitString> = std::iter::repeat(BitString::from_u64(2, 0))
+            .take(7)
+            .chain((1..4).map(|v| BitString::from_u64(2, v)))
+            .collect();
+        let xeb = linear_xeb(&faithful, &ideal);
+        assert!(xeb > 0.9, "xeb = {xeb}");
+        // uniform sampler: XEB ~ 0
+        let uniform: Vec<BitString> = (0..4).map(|v| BitString::from_u64(2, v)).collect();
+        assert!(linear_xeb(&uniform, &ideal).abs() < 1e-12);
+        assert_eq!(linear_xeb(&[], &ideal), 0.0);
+    }
+
+    #[test]
+    fn empty_samples_give_zero_distribution() {
+        let p = empirical_distribution(&[], 2);
+        assert_eq!(p, vec![0.0; 4]);
+    }
+}

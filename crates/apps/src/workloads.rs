@@ -1,0 +1,227 @@
+//! Circuit workload generators for the paper's experiments: GHZ chains
+//! with random CNOT sequencing (Fig. 6), fixed-depth random circuits
+//! (Fig. 7a), fixed-CNOT-count random circuits (Fig. 7b).
+
+use bgls_circuit::{Circuit, Gate, Operation, Qubit};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The canonical GHZ ladder: `H(0)` then `CNOT(i-1 -> i)`.
+pub fn ghz_circuit(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).expect("1q"));
+    for i in 1..n {
+        c.push(
+            Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).expect("2q"),
+        );
+    }
+    c
+}
+
+/// GHZ with *randomly sequenced* CNOTs (the Fig. 6 workload): starting
+/// from `H(0)`, repeatedly pick a random already-entangled control and a
+/// random fresh target. The final state is exactly GHZ, but the random
+/// connectivity makes blind tensor-network simulation hard.
+pub fn ghz_random_cnot_circuit(n: usize, rng: &mut impl Rng) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).expect("1q"));
+    let mut entangled: Vec<usize> = vec![0];
+    let mut fresh: Vec<usize> = (1..n).collect();
+    fresh.shuffle(rng);
+    while let Some(target) = fresh.pop() {
+        let control = *entangled.choose(rng).expect("nonempty");
+        c.push(
+            Operation::gate(
+                Gate::Cnot,
+                vec![Qubit(control as u32), Qubit(target as u32)],
+            )
+            .expect("2q"),
+        );
+        entangled.push(target);
+    }
+    c
+}
+
+/// Random fixed-depth circuits of single-qubit gates plus nearest-available
+/// CNOTs (the Fig. 7a workload): each moment applies a random 1q gate to
+/// every qubit, then `cnot_pairs_per_moment` random disjoint CNOTs.
+pub fn random_fixed_depth_circuit(
+    n: usize,
+    depth: usize,
+    cnot_pairs_per_moment: usize,
+    rng: &mut impl Rng,
+) -> Circuit {
+    let one_q = [Gate::H, Gate::T, Gate::S, Gate::SqrtX, Gate::X];
+    let mut c = Circuit::new();
+    for _ in 0..depth {
+        for q in 0..n {
+            let g = one_q.choose(rng).expect("nonempty").clone();
+            c.push(Operation::gate(g, vec![Qubit(q as u32)]).expect("1q"));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        for pair in order.chunks(2).take(cnot_pairs_per_moment) {
+            if let [a, b] = pair {
+                c.push(
+                    Operation::gate(Gate::Cnot, vec![Qubit(*a as u32), Qubit(*b as u32)])
+                        .expect("2q"),
+                );
+            }
+        }
+    }
+    c
+}
+
+/// Random circuits with a *fixed total number* of CNOTs regardless of
+/// width (the Fig. 7b workload): a layer of random 1q gates per qubit
+/// plus exactly `num_cnots` random CNOTs spread through the circuit.
+pub fn random_fixed_cnot_circuit(
+    n: usize,
+    one_q_layers: usize,
+    num_cnots: usize,
+    rng: &mut impl Rng,
+) -> Circuit {
+    assert!(n >= 2, "need two qubits for CNOTs");
+    let one_q = [Gate::H, Gate::T, Gate::S, Gate::SqrtX];
+    let mut c = Circuit::new();
+    for _ in 0..one_q_layers {
+        for q in 0..n {
+            let g = one_q.choose(rng).expect("nonempty").clone();
+            c.push(Operation::gate(g, vec![Qubit(q as u32)]).expect("1q"));
+        }
+    }
+    for _ in 0..num_cnots {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(a as u32), Qubit(b as u32)]).expect("2q"));
+    }
+    c
+}
+
+/// Brickwork "supremacy-style" random circuit: alternating layers of
+/// random single-qubit gates and staggered nearest-neighbour CZ bricks.
+/// The canonical hard-sampling workload the paper's introduction motivates
+/// (random circuit sampling as the supremacy benchmark).
+pub fn brickwork_circuit(n: usize, layers: usize, rng: &mut impl Rng) -> Circuit {
+    let one_q = [Gate::SqrtX, Gate::T, Gate::H, Gate::S];
+    let mut c = Circuit::new();
+    for layer in 0..layers {
+        for q in 0..n {
+            let g = one_q.choose(rng).expect("nonempty").clone();
+            c.push(Operation::gate(g, vec![Qubit(q as u32)]).expect("1q"));
+        }
+        let start = layer % 2;
+        let mut q = start;
+        while q + 1 < n {
+            c.push(
+                Operation::gate(Gate::Cz, vec![Qubit(q as u32), Qubit(q as u32 + 1)])
+                    .expect("2q"),
+            );
+            q += 2;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_core::{BglsState, BitString};
+    use bgls_statevector::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_ghz(circuit: &Circuit, n: usize) {
+        let mut sv = StateVector::zero(n);
+        for op in circuit.all_operations() {
+            let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+            sv.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
+        }
+        let p0 = sv.probability(BitString::zeros(n));
+        let p1 = sv.probability(BitString::from_u64(n, (1u64 << n) - 1));
+        assert!((p0 - 0.5).abs() < 1e-10 && (p1 - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ghz_ladder_produces_ghz() {
+        is_ghz(&ghz_circuit(6), 6);
+    }
+
+    #[test]
+    fn random_cnot_ghz_still_produces_ghz() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let c = ghz_random_cnot_circuit(7, &mut rng);
+            assert_eq!(
+                c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot)),
+                6
+            );
+            is_ghz(&c, 7);
+        }
+    }
+
+    #[test]
+    fn fixed_depth_circuit_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = random_fixed_depth_circuit(6, 4, 2, &mut rng);
+        let cnots = c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot));
+        assert_eq!(cnots, 8);
+        let oneq = c.count_ops_where(|op| op.support().len() == 1);
+        assert_eq!(oneq, 24);
+    }
+
+    #[test]
+    fn fixed_cnot_circuit_caps_cnots() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [4usize, 8, 16] {
+            let c = random_fixed_cnot_circuit(n, 2, 5, &mut rng);
+            assert_eq!(
+                c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot)),
+                5
+            );
+            assert_eq!(c.num_qubits() <= n, true);
+        }
+    }
+
+    #[test]
+    fn brickwork_alternates_cz_bricks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = brickwork_circuit(6, 4, &mut rng);
+        let czs = c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cz));
+        // even layers: 3 bricks (0-1, 2-3, 4-5); odd layers: 2 (1-2, 3-4)
+        assert_eq!(czs, 2 * 3 + 2 * 2);
+        let oneq = c.count_ops_where(|op| op.support().len() == 1);
+        assert_eq!(oneq, 24);
+    }
+
+    #[test]
+    fn brickwork_spreads_amplitude() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = brickwork_circuit(4, 6, &mut rng);
+        let mut sv = StateVector::zero(4);
+        for op in c.all_operations() {
+            let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+            sv.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
+        }
+        // Porter-Thomas-ish: no single outcome should dominate
+        let max_p = sv
+            .born_distribution()
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(max_p < 0.7, "max outcome probability {max_p}");
+    }
+
+    #[test]
+    fn ghz_single_qubit_edge_case() {
+        let c = ghz_circuit(1);
+        assert_eq!(c.num_operations(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cr = ghz_random_cnot_circuit(1, &mut rng);
+        assert_eq!(cr.num_operations(), 1);
+    }
+}

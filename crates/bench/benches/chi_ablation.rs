@@ -1,0 +1,33 @@
+//! Ablation: chain-MPS bond cap chi vs sampling runtime (QAOA-style
+//! workload). Complements the Sec. 4.4 experiment by showing what the
+//! custom MPSOptions cap buys.
+
+use bgls_apps::{qaoa_maxcut_circuit, resolve_qaoa, Graph};
+use bgls_core::Simulator;
+use bgls_mps::{ChainMps, MpsOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_chi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let graph = Graph::erdos_renyi(10, 0.3, &mut rng);
+    let circuit = resolve_qaoa(&qaoa_maxcut_circuit(&graph, 1), &[0.6], &[0.3]);
+    let mut group = c.benchmark_group("qaoa_chi_ablation");
+    group.sample_size(10);
+    for &chi in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(chi), &chi, |b, _| {
+            let sim =
+                Simulator::new(ChainMps::zero(10, MpsOptions::with_max_bond(chi))).with_seed(1);
+            b.iter(|| sim.sample_final_bitstrings(&circuit, 50).unwrap());
+        });
+    }
+    group.bench_function("exact", |b| {
+        let sim = Simulator::new(ChainMps::zero(10, MpsOptions::exact())).with_seed(1);
+        b.iter(|| sim.sample_final_bitstrings(&circuit, 50).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chi);
+criterion_main!(benches);

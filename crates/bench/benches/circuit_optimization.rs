@@ -1,0 +1,29 @@
+//! Bench: optimize_for_bgls (paper Sec. 3.2.2 / docs tips table): sampling
+//! a merged circuit vs the raw one — expected 1.5-2x.
+
+use bgls_bench::universal_workload;
+use bgls_circuit::optimize_for_bgls;
+use bgls_core::Simulator;
+use bgls_statevector::StateVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_for_bgls");
+    group.sample_size(10);
+    for &layers in &[10usize, 30, 50] {
+        let raw = universal_workload(8, layers, 77);
+        let merged = optimize_for_bgls(&raw);
+        group.bench_with_input(BenchmarkId::new("raw", layers), &layers, |b, _| {
+            let sim = Simulator::new(StateVector::zero(8)).with_seed(5);
+            b.iter(|| sim.sample_final_bitstrings(&raw, 200).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("merged", layers), &layers, |b, _| {
+            let sim = Simulator::new(StateVector::zero(8)).with_seed(5);
+            b.iter(|| sim.sample_final_bitstrings(&merged, 200).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimization);
+criterion_main!(benches);

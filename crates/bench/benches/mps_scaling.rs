@@ -1,0 +1,45 @@
+//! Bench: tensor-network vs dense sampling (paper Figs. 6-7): the GHZ
+//! random-CNOT hard case and the shallow-circuit easy case.
+
+use bgls_apps::{ghz_random_cnot_circuit, random_fixed_cnot_circuit};
+use bgls_core::Simulator;
+use bgls_mps::LazyNetworkState;
+use bgls_statevector::StateVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ghz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghz_random_cnot");
+    group.sample_size(10);
+    for &n in &[6usize, 10, 14] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let circuit = ghz_random_cnot_circuit(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("lazy_mps", n), &n, |b, _| {
+            let sim = Simulator::new(LazyNetworkState::zero(n)).with_seed(1);
+            b.iter(|| sim.sample_final_bitstrings(&circuit, 20).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("statevector", n), &n, |b, _| {
+            let sim = Simulator::new(StateVector::zero(n)).with_seed(1);
+            b.iter(|| sim.sample_final_bitstrings(&circuit, 20).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_cnots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_cnot_width");
+    group.sample_size(10);
+    for &n in &[8usize, 24, 48] {
+        let mut rng = StdRng::seed_from_u64(n as u64 + 99);
+        let circuit = random_fixed_cnot_circuit(n, 2, 8, &mut rng);
+        group.bench_with_input(BenchmarkId::new("lazy_mps", n), &n, |b, _| {
+            let sim = Simulator::new(LazyNetworkState::zero(n)).with_seed(1);
+            b.iter(|| sim.sample_final_bitstrings(&circuit, 20).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghz, bench_fixed_cnots);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: the multiplicity-map sample parallelization (paper Fig. 2):
+//! runtime saturates with repetitions when enabled.
+
+use bgls_bench::universal_workload;
+use bgls_circuit::{Operation, Qubit};
+use bgls_core::{Simulator, SimulatorOptions};
+use bgls_statevector::StateVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallelization(c: &mut Criterion) {
+    let mut circuit = universal_workload(8, 20, 42);
+    circuit.push(Operation::measure(Qubit::range(8), "m").unwrap());
+    let mut group = c.benchmark_group("sample_parallelization");
+    group.sample_size(10);
+    for &reps in &[16u64, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("multiplicity_map", reps), &reps, |b, _| {
+            let sim = Simulator::new(StateVector::zero(8)).with_seed(7);
+            b.iter(|| sim.run(&circuit, reps).unwrap());
+        });
+        if reps <= 256 {
+            group.bench_with_input(BenchmarkId::new("per_sample", reps), &reps, |b, _| {
+                let sim = Simulator::new(StateVector::zero(8)).with_options(SimulatorOptions {
+                    seed: Some(7),
+                    parallelize_samples: false,
+                    parallel_trajectories: false,
+                    ..Default::default()
+                });
+                b.iter(|| sim.run(&circuit, reps).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelization);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench: gate-by-gate (BGLS) vs conventional qubit-by-qubit sampling on
+//! the dense state-vector backend (paper Sec. 2 cost comparison).
+
+use bgls_bench::universal_workload;
+use bgls_core::{QubitByQubitSimulator, Simulator};
+use bgls_statevector::StateVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let circuit = universal_workload(n, 2 * n, 31);
+        let reps = 200u64;
+        group.bench_with_input(BenchmarkId::new("gate_by_gate", n), &n, |b, _| {
+            let sim = Simulator::new(StateVector::zero(n)).with_seed(1);
+            b.iter(|| sim.sample_final_bitstrings(&circuit, reps).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("qubit_by_qubit", n), &n, |b, _| {
+            let sim = QubitByQubitSimulator::new(StateVector::zero(n)).with_seed(1);
+            b.iter(|| sim.sample_final_bitstrings(&circuit, reps).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

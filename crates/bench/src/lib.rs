@@ -1,0 +1,121 @@
+//! Shared workload builders and timing helpers for the benchmark harness
+//! (criterion benches and the `figures` binary).
+
+#![warn(missing_docs)]
+
+use bgls_circuit::{
+    generate_random_circuit, replace_single_qubit_gates, Circuit, Gate, RandomCircuitParams,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Wall-clock seconds of one invocation of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Median wall-clock seconds over `trials` invocations (first run
+/// discarded as warmup when `trials > 1`).
+pub fn time_median(trials: usize, mut f: impl FnMut()) -> f64 {
+    assert!(trials >= 1);
+    if trials > 1 {
+        f(); // warmup
+    }
+    let mut times: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// A seeded random H/S/CNOT Clifford circuit (the Fig. 3 workload).
+pub fn clifford_workload(qubits: usize, moments: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_random_circuit(&RandomCircuitParams::clifford(qubits, moments), &mut rng)
+}
+
+/// A seeded random Clifford circuit with exactly `n_t` single-qubit gates
+/// replaced by T (the Figs. 4–5 workload). Returns the circuit and the
+/// number of substitutions actually made.
+pub fn clifford_t_workload(
+    qubits: usize,
+    moments: usize,
+    n_t: usize,
+    seed: u64,
+) -> (Circuit, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = generate_random_circuit(&RandomCircuitParams::clifford(qubits, moments), &mut rng);
+    replace_single_qubit_gates(&base, &Gate::T, n_t, &mut rng)
+}
+
+/// A seeded random circuit over a universal gate set for the
+/// sample-parallelization and optimizer benches.
+pub fn universal_workload(qubits: usize, moments: usize, seed: u64) -> Circuit {
+    let params = RandomCircuitParams {
+        qubits,
+        moments,
+        op_density: 1.0,
+        gate_set: vec![
+            Gate::H,
+            Gate::T,
+            Gate::S,
+            Gate::SqrtX,
+            Gate::X,
+            Gate::Cnot,
+            Gate::Cz,
+        ],
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_random_circuit(&params, &mut rng)
+}
+
+/// Formats seconds in engineering style for the figure tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:8.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2}ms", s * 1e3)
+    } else {
+        format!("{:8.3}s ", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clifford_workload_is_clifford() {
+        let c = clifford_workload(6, 20, 1);
+        assert!(c.is_clifford());
+    }
+
+    #[test]
+    fn clifford_t_workload_injects_t() {
+        let (c, n) = clifford_t_workload(6, 20, 5, 1);
+        assert_eq!(n, 5);
+        assert_eq!(c.count_ops_where(|op| op.as_gate() == Some(&Gate::T)), 5);
+    }
+
+    #[test]
+    fn time_median_is_positive() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.5e-4).contains("us"));
+        assert!(fmt_secs(0.5e-1).contains("ms"));
+        assert!(fmt_secs(2.0).contains("s"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Non-unitary operations: Kraus channels for noisy simulation.
+//!
+//! BGLS supports noise through quantum trajectories (paper Sec. 3.2.1); a
+//! channel is a set of Kraus operators `{K_i}` with
+//! `sum_i K_i^dagger K_i = I`.
+
+use crate::error::CircuitError;
+use bgls_linalg::{C64, Matrix};
+
+/// A completely-positive trace-preserving map given by Kraus operators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Channel {
+    name: String,
+    arity: usize,
+    kraus: Vec<Matrix>,
+}
+
+impl Channel {
+    /// Builds a channel from explicit Kraus operators, validating
+    /// completeness (`sum K^dagger K = I` within `1e-9`).
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        kraus: Vec<Matrix>,
+    ) -> Result<Self, CircuitError> {
+        let name = name.into();
+        let dim = 1usize << arity;
+        if kraus.is_empty() {
+            return Err(CircuitError::InvalidChannel(name));
+        }
+        let mut sum = Matrix::zeros(dim, dim);
+        for k in &kraus {
+            if k.rows() != dim || k.cols() != dim {
+                return Err(CircuitError::Invalid(format!(
+                    "Kraus operator for {name} is {}x{}, expected {dim}x{dim}",
+                    k.rows(),
+                    k.cols()
+                )));
+            }
+            sum = &sum + &k.dagger().matmul(k);
+        }
+        if !sum.approx_eq(&Matrix::identity(dim), 1e-9) {
+            return Err(CircuitError::InvalidChannel(name));
+        }
+        Ok(Channel { name, arity, kraus })
+    }
+
+    /// Channel name for display.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The Kraus operators.
+    pub fn kraus(&self) -> &[Matrix] {
+        &self.kraus
+    }
+
+    /// Single-qubit depolarizing channel: with probability `p` replace the
+    /// state by a uniformly random Pauli error.
+    pub fn depolarizing(p: f64) -> Result<Self, CircuitError> {
+        check_prob(p, "depolarizing")?;
+        let k0 = Matrix::identity(2).scale(C64::real((1.0 - p).sqrt()));
+        let kx = pauli('X').scale(C64::real((p / 3.0).sqrt()));
+        let ky = pauli('Y').scale(C64::real((p / 3.0).sqrt()));
+        let kz = pauli('Z').scale(C64::real((p / 3.0).sqrt()));
+        Channel::new(format!("depolarizing({p})"), 1, vec![k0, kx, ky, kz])
+    }
+
+    /// Bit-flip channel: X error with probability `p`.
+    pub fn bit_flip(p: f64) -> Result<Self, CircuitError> {
+        check_prob(p, "bit_flip")?;
+        let k0 = Matrix::identity(2).scale(C64::real((1.0 - p).sqrt()));
+        let k1 = pauli('X').scale(C64::real(p.sqrt()));
+        Channel::new(format!("bit_flip({p})"), 1, vec![k0, k1])
+    }
+
+    /// Phase-flip channel: Z error with probability `p`.
+    pub fn phase_flip(p: f64) -> Result<Self, CircuitError> {
+        check_prob(p, "phase_flip")?;
+        let k0 = Matrix::identity(2).scale(C64::real((1.0 - p).sqrt()));
+        let k1 = pauli('Z').scale(C64::real(p.sqrt()));
+        Channel::new(format!("phase_flip({p})"), 1, vec![k0, k1])
+    }
+
+    /// Amplitude-damping channel with decay probability `gamma`.
+    pub fn amplitude_damping(gamma: f64) -> Result<Self, CircuitError> {
+        check_prob(gamma, "amplitude_damping")?;
+        let mut k0 = Matrix::identity(2);
+        k0[(1, 1)] = C64::real((1.0 - gamma).sqrt());
+        let mut k1 = Matrix::zeros(2, 2);
+        k1[(0, 1)] = C64::real(gamma.sqrt());
+        Channel::new(format!("amplitude_damping({gamma})"), 1, vec![k0, k1])
+    }
+
+    /// Two-qubit depolarizing channel (uniform over the 15 non-identity
+    /// two-qubit Paulis with total probability `p`).
+    pub fn depolarizing2(p: f64) -> Result<Self, CircuitError> {
+        check_prob(p, "depolarizing2")?;
+        let paulis = ['I', 'X', 'Y', 'Z'];
+        let mut kraus = Vec::with_capacity(16);
+        for (i, &a) in paulis.iter().enumerate() {
+            for (j, &b) in paulis.iter().enumerate() {
+                let weight = if i == 0 && j == 0 {
+                    (1.0 - p).sqrt()
+                } else {
+                    (p / 15.0).sqrt()
+                };
+                kraus.push(pauli(a).kron(&pauli(b)).scale(C64::real(weight)));
+            }
+        }
+        Channel::new(format!("depolarizing2({p})"), 2, kraus)
+    }
+}
+
+fn check_prob(p: f64, name: &str) -> Result<(), CircuitError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CircuitError::Invalid(format!(
+            "{name}: probability {p} outside [0, 1]"
+        )));
+    }
+    Ok(())
+}
+
+fn pauli(which: char) -> Matrix {
+    match which {
+        'I' => Matrix::identity(2),
+        'X' => Matrix::from_vec(2, 2, vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]),
+        'Y' => Matrix::from_vec(2, 2, vec![C64::ZERO, -C64::I, C64::I, C64::ZERO]),
+        'Z' => Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE]),
+        _ => unreachable!("unknown Pauli {which}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_channels_are_complete() {
+        for ch in [
+            Channel::depolarizing(0.1).unwrap(),
+            Channel::bit_flip(0.25).unwrap(),
+            Channel::phase_flip(0.5).unwrap(),
+            Channel::amplitude_damping(0.3).unwrap(),
+        ] {
+            assert_eq!(ch.arity(), 1);
+            let sum = ch
+                .kraus()
+                .iter()
+                .fold(Matrix::zeros(2, 2), |acc, k| &acc + &k.dagger().matmul(k));
+            assert!(sum.approx_eq(&Matrix::identity(2), 1e-12), "{}", ch.name());
+        }
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_is_complete() {
+        let ch = Channel::depolarizing2(0.2).unwrap();
+        assert_eq!(ch.arity(), 2);
+        assert_eq!(ch.kraus().len(), 16);
+        let sum = ch
+            .kraus()
+            .iter()
+            .fold(Matrix::zeros(4, 4), |acc, k| &acc + &k.dagger().matmul(k));
+        assert!(sum.approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Channel::depolarizing(-0.1).is_err());
+        assert!(Channel::bit_flip(1.5).is_err());
+    }
+
+    #[test]
+    fn incomplete_kraus_set_rejected() {
+        let half = Matrix::identity(2).scale(C64::real(0.5));
+        assert!(matches!(
+            Channel::new("bogus", 1, vec![half]),
+            Err(CircuitError::InvalidChannel(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let id4 = Matrix::identity(4);
+        assert!(Channel::new("bogus", 1, vec![id4]).is_err());
+    }
+
+    #[test]
+    fn zero_probability_channels_are_identity_like() {
+        let ch = Channel::bit_flip(0.0).unwrap();
+        // second Kraus operator is exactly zero
+        assert!(ch.kraus()[1].approx_eq(&Matrix::zeros(2, 2), 1e-15));
+    }
+}

@@ -1,0 +1,479 @@
+//! Circuits: ordered moments of operations, with append strategies,
+//! parameter resolution, and whole-circuit unitaries for verification.
+
+use crate::error::CircuitError;
+use crate::moment::Moment;
+use crate::op::{OpKind, Operation};
+use crate::param::ParamResolver;
+use crate::qubit::Qubit;
+use bgls_linalg::{C64, Matrix};
+
+/// Where a newly appended operation lands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InsertStrategy {
+    /// Slide the operation as early as possible: into the latest suffix of
+    /// moments whose qubits are all free (Cirq's `EARLIEST`). The default.
+    #[default]
+    Earliest,
+    /// Always start a new moment (Cirq's `NEW_THEN_INLINE` without the
+    /// inline part).
+    NewMoment,
+    /// Append into the final moment if free, else start a new one.
+    Inline,
+}
+
+/// A quantum circuit: an ordered list of [`Moment`]s.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    moments: Vec<Moment>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a circuit by appending operations with the
+    /// [`InsertStrategy::Earliest`] strategy.
+    pub fn from_ops(ops: impl IntoIterator<Item = Operation>) -> Self {
+        let mut c = Circuit::new();
+        for op in ops {
+            c.append(op, InsertStrategy::Earliest);
+        }
+        c
+    }
+
+    /// The circuit's moments.
+    #[inline]
+    pub fn moments(&self) -> &[Moment] {
+        &self.moments
+    }
+
+    /// Number of moments (circuit depth).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.moments.len()
+    }
+
+    /// Total number of operations.
+    pub fn num_operations(&self) -> usize {
+        self.moments.iter().map(Moment::len).sum()
+    }
+
+    /// Appends an operation with the given strategy.
+    pub fn append(&mut self, op: Operation, strategy: InsertStrategy) {
+        match strategy {
+            InsertStrategy::NewMoment => {
+                let mut m = Moment::new();
+                m.push(op).expect("new moment cannot conflict");
+                self.moments.push(m);
+            }
+            InsertStrategy::Inline => {
+                let fits_last = self
+                    .moments
+                    .last()
+                    .map(|m| m.is_free(op.support()))
+                    .unwrap_or(false);
+                if fits_last {
+                    self.moments
+                        .last_mut()
+                        .unwrap()
+                        .push(op)
+                        .expect("checked free");
+                } else {
+                    let mut m = Moment::new();
+                    m.push(op).expect("new moment cannot conflict");
+                    self.moments.push(m);
+                }
+            }
+            InsertStrategy::Earliest => {
+                // Find the earliest moment index such that every later moment
+                // (including it) is free of the op's qubits.
+                let mut idx = self.moments.len();
+                while idx > 0 && self.moments[idx - 1].is_free(op.support()) {
+                    idx -= 1;
+                }
+                if idx == self.moments.len() {
+                    let mut m = Moment::new();
+                    m.push(op).expect("new moment cannot conflict");
+                    self.moments.push(m);
+                } else {
+                    self.moments[idx].push(op).expect("checked free");
+                }
+            }
+        }
+    }
+
+    /// Appends with the default (earliest) strategy.
+    pub fn push(&mut self, op: Operation) {
+        self.append(op, InsertStrategy::Earliest);
+    }
+
+    /// Appends a whole moment verbatim.
+    pub fn push_moment(&mut self, moment: Moment) {
+        self.moments.push(moment);
+    }
+
+    /// Appends all operations of `other`, moment-aligned (each of `other`'s
+    /// moments becomes a new moment here).
+    pub fn extend_circuit(&mut self, other: &Circuit) {
+        for m in &other.moments {
+            self.moments.push(m.clone());
+        }
+    }
+
+    /// Iterates over all operations in time order.
+    pub fn all_operations(&self) -> impl Iterator<Item = &Operation> {
+        self.moments.iter().flat_map(|m| m.operations().iter())
+    }
+
+    /// Sorted list of all qubits used.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        let mut qs: Vec<Qubit> = self
+            .all_operations()
+            .flat_map(|op| op.support().iter().copied())
+            .collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    }
+
+    /// Number of qubits, assuming line qubits `q0..q{n-1}`:
+    /// `max index + 1` (0 for an empty circuit).
+    pub fn num_qubits(&self) -> usize {
+        self.all_operations()
+            .flat_map(|op| op.support())
+            .map(|q| q.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when any operation is a measurement.
+    pub fn has_measurements(&self) -> bool {
+        self.all_operations().any(Operation::is_measurement)
+    }
+
+    /// True when any operation is a Kraus channel.
+    pub fn has_channels(&self) -> bool {
+        self.all_operations().any(Operation::is_channel)
+    }
+
+    /// True when every non-measurement operation is unitary
+    /// (i.e. the circuit is noiseless).
+    pub fn is_unitary_circuit(&self) -> bool {
+        !self.has_channels()
+    }
+
+    /// True when every gate is Clifford (per
+    /// [`crate::Gate::has_stabilizer_effect`]); measurements are allowed.
+    pub fn is_clifford(&self) -> bool {
+        self.all_operations().all(|op| match &op.kind {
+            OpKind::Gate(g) => g.has_stabilizer_effect(),
+            OpKind::Measure { .. } => true,
+            OpKind::Channel(_) => false,
+        })
+    }
+
+    /// True when measurements appear only in the final moment(s), i.e. no
+    /// gate follows a measurement on any qubit.
+    pub fn measurements_are_terminal(&self) -> bool {
+        let mut measured: Vec<Qubit> = Vec::new();
+        for op in self.all_operations() {
+            if op.is_measurement() {
+                measured.extend(op.support());
+            } else if op.support().iter().any(|q| measured.contains(q)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when the circuit carries unresolved symbolic parameters.
+    pub fn is_parameterized(&self) -> bool {
+        self.all_operations().any(Operation::is_parameterized)
+    }
+
+    /// Resolves symbolic parameters, preserving moment structure.
+    pub fn resolve(&self, resolver: &ParamResolver) -> Circuit {
+        Circuit {
+            moments: self
+                .moments
+                .iter()
+                .map(|m| {
+                    Moment::from_ops(m.operations().iter().map(|op| op.resolve(resolver)))
+                        .expect("resolution preserves disjointness")
+                })
+                .collect(),
+        }
+    }
+
+    /// The inverse circuit (reversed moments, inverted gates). Fails on
+    /// measurements or channels.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut moments = Vec::with_capacity(self.moments.len());
+        for m in self.moments.iter().rev() {
+            let ops: Result<Vec<Operation>, CircuitError> =
+                m.operations().iter().map(Operation::inverse).collect();
+            moments.push(Moment::from_ops(ops?)?);
+        }
+        Ok(Circuit { moments })
+    }
+
+    /// Strips all measurement operations (keeps moment structure, dropping
+    /// emptied moments).
+    pub fn without_measurements(&self) -> Circuit {
+        let mut moments = Vec::new();
+        for m in &self.moments {
+            let ops: Vec<Operation> = m
+                .operations()
+                .iter()
+                .filter(|op| !op.is_measurement())
+                .cloned()
+                .collect();
+            if !ops.is_empty() {
+                moments.push(Moment::from_ops(ops).expect("subset stays disjoint"));
+            }
+        }
+        Circuit { moments }
+    }
+
+    /// The full `2^n x 2^n` unitary of the circuit over `num_qubits` qubits
+    /// (must cover every used qubit). Exponential — verification only.
+    pub fn unitary(&self, num_qubits: usize) -> Result<Matrix, CircuitError> {
+        if num_qubits < self.num_qubits() {
+            return Err(CircuitError::Invalid(format!(
+                "circuit uses {} qubits, asked for unitary on {num_qubits}",
+                self.num_qubits()
+            )));
+        }
+        let dim = 1usize << num_qubits;
+        let mut u = Matrix::identity(dim);
+        for op in self.all_operations() {
+            let g = op.as_gate().ok_or_else(|| {
+                CircuitError::NonUnitaryOperation(format!("{op}"))
+            })?;
+            let full = embed_unitary(&g.unitary()?, op.support(), num_qubits);
+            u = full.matmul(&u);
+        }
+        Ok(u)
+    }
+
+    /// Counts operations satisfying a predicate.
+    pub fn count_ops_where(&self, pred: impl Fn(&Operation) -> bool) -> usize {
+        self.all_operations().filter(|op| pred(op)).count()
+    }
+}
+
+/// Embeds a `2^k x 2^k` gate matrix acting on `qubits` (first listed = most
+/// significant gate-index bit) into the full `2^n x 2^n` space.
+///
+/// Global bit convention: qubit `i` is bit `i` of the basis-state index
+/// (little-endian; `q0` is the least significant bit of the state index).
+pub fn embed_unitary(gate: &Matrix, qubits: &[Qubit], num_qubits: usize) -> Matrix {
+    let k = qubits.len();
+    debug_assert_eq!(gate.rows(), 1 << k);
+    let dim = 1usize << num_qubits;
+    let mut out = Matrix::zeros(dim, dim);
+    // Iterate over full-space columns; for each, decompose into the gate-space
+    // column and the untouched rest, then scatter the gate column.
+    for col in 0..dim {
+        // gate-space index of this column: bit j of the gate index comes from
+        // qubit qubits[j], with qubits[0] the MOST significant gate bit.
+        let mut gcol = 0usize;
+        for (j, q) in qubits.iter().enumerate() {
+            let bit = (col >> q.index()) & 1;
+            gcol |= bit << (k - 1 - j);
+        }
+        for grow in 0..(1 << k) {
+            let amp = gate[(grow, gcol)];
+            if amp == C64::ZERO {
+                continue;
+            }
+            // replace the qubit bits of `col` with those of `grow`
+            let mut row = col;
+            for (j, q) in qubits.iter().enumerate() {
+                let bit = (grow >> (k - 1 - j)) & 1;
+                row = (row & !(1 << q.index())) | (bit << q.index());
+            }
+            out[(row, col)] = amp;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::gate::Gate;
+    use crate::param::Param;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    fn op(g: Gate, qs: &[u32]) -> Operation {
+        Operation::gate(g, qs.iter().map(|&q| Qubit(q)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn earliest_strategy_packs_parallel_ops() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::H, &[1]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::H, &[2])); // slides back to moment 0
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.moments()[0].len(), 3);
+        assert_eq!(c.num_operations(), 4);
+    }
+
+    #[test]
+    fn new_moment_strategy_never_packs() {
+        let mut c = Circuit::new();
+        c.append(op(Gate::H, &[0]), InsertStrategy::NewMoment);
+        c.append(op(Gate::H, &[1]), InsertStrategy::NewMoment);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn inline_strategy_packs_only_into_last() {
+        let mut c = Circuit::new();
+        c.append(op(Gate::H, &[0]), InsertStrategy::Inline);
+        c.append(op(Gate::Cnot, &[0, 1]), InsertStrategy::Inline);
+        c.append(op(Gate::H, &[2]), InsertStrategy::Inline); // fits last
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.moments()[1].len(), 2);
+    }
+
+    #[test]
+    fn qubit_bookkeeping() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cnot, &[0, 3]));
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.qubits(), vec![Qubit(0), Qubit(3)]);
+    }
+
+    #[test]
+    fn ghz_circuit_unitary_creates_superposition() {
+        // H(0), CNOT(0->1): |00> -> (|00> + |11>)/sqrt(2)
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        let u = c.unitary(2).unwrap();
+        // column 0 = image of |00>; state index bit0 = q0
+        assert!(u[(0, 0)].approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(u[(3, 0)].approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(u[(1, 0)].approx_eq(C64::ZERO, 1e-12));
+        assert!(u[(2, 0)].approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn embed_respects_qubit_order() {
+        // CNOT with control q1, target q0.
+        let cx = Gate::Cnot.unitary().unwrap();
+        let full = embed_unitary(&cx, &[Qubit(1), Qubit(0)], 2);
+        // |q1=1, q0=0> = index 2 -> flips q0 -> index 3
+        assert_eq!(full[(3, 2)], C64::ONE);
+        // |q1=0, q0=1> = index 1 unchanged
+        assert_eq!(full[(1, 1)], C64::ONE);
+    }
+
+    #[test]
+    fn embed_single_qubit_on_three_qubit_space() {
+        let x = Gate::X.unitary().unwrap();
+        let full = embed_unitary(&x, &[Qubit(1)], 3);
+        // flips bit 1: |010> (2) -> |000> (0)
+        assert_eq!(full[(0, 2)], C64::ONE);
+        assert_eq!(full[(5, 7)], C64::ONE);
+        assert!(full.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn circuit_unitary_is_unitary_matrix() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::T, &[1]));
+        c.push(op(Gate::Cnot, &[1, 0]));
+        c.push(op(Gate::Swap, &[0, 2]));
+        let u = c.unitary(3).unwrap();
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn inverse_circuit_cancels() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::S, &[1]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::Rz(0.37.into()), &[0]));
+        let inv = c.inverse().unwrap();
+        let u = c.unitary(2).unwrap();
+        let v = inv.unitary(2).unwrap();
+        assert!(u.matmul(&v).approx_eq(&Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn unitary_of_measurement_circuit_fails() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(Operation::measure(vec![Qubit(0)], "z").unwrap());
+        assert!(matches!(
+            c.unitary(1),
+            Err(CircuitError::NonUnitaryOperation(_))
+        ));
+    }
+
+    #[test]
+    fn measurement_terminality() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        assert!(c.measurements_are_terminal());
+        c.push(op(Gate::X, &[0]));
+        assert!(!c.measurements_are_terminal());
+    }
+
+    #[test]
+    fn clifford_detection_on_circuits() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        assert!(c.is_clifford());
+        c.push(op(Gate::T, &[1]));
+        assert!(!c.is_clifford());
+    }
+
+    #[test]
+    fn resolve_whole_circuit() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Rz(Param::symbol("g")), &[0]));
+        c.push(op(Gate::Rx(Param::symbol("b")), &[1]));
+        assert!(c.is_parameterized());
+        let r = ParamResolver::from_pairs([("g", 0.1), ("b", 0.2)]);
+        let rc = c.resolve(&r);
+        assert!(!rc.is_parameterized());
+        assert_eq!(rc.depth(), c.depth());
+    }
+
+    #[test]
+    fn without_measurements_drops_empty_moments() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.append(
+            Operation::measure(vec![Qubit(0)], "m").unwrap(),
+            InsertStrategy::NewMoment,
+        );
+        let stripped = c.without_measurements();
+        assert_eq!(stripped.depth(), 1);
+        assert!(!stripped.has_measurements());
+    }
+
+    #[test]
+    fn channel_detection() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        assert!(c.is_unitary_circuit());
+        c.push(Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap());
+        assert!(c.has_channels());
+        assert!(!c.is_unitary_circuit());
+    }
+}

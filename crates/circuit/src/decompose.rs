@@ -1,0 +1,170 @@
+//! Decomposition of three-qubit gates into Clifford+T primitives.
+//!
+//! The tensor-network backends accept at most two-qubit gates, and the
+//! sum-over-Cliffords channel accepts Clifford + Rz-family gates; the
+//! textbook 7-T Toffoli decomposition bridges both. Decompositions are
+//! exact including global phase.
+
+use crate::circuit::{Circuit, InsertStrategy};
+use crate::gate::Gate;
+use crate::op::{OpKind, Operation};
+use crate::qubit::Qubit;
+
+/// The standard 7-T decomposition of the Toffoli gate
+/// (controls `a`, `b`, target `c`).
+pub fn decompose_ccx(a: Qubit, b: Qubit, c: Qubit) -> Vec<Operation> {
+    use Gate::*;
+    let g1 = |g: Gate, q: Qubit| Operation::gate(g, vec![q]).expect("1q");
+    let cx = |x: Qubit, y: Qubit| Operation::gate(Cnot, vec![x, y]).expect("2q");
+    vec![
+        g1(H, c),
+        cx(b, c),
+        g1(Tdg, c),
+        cx(a, c),
+        g1(T, c),
+        cx(b, c),
+        g1(Tdg, c),
+        cx(a, c),
+        g1(T, b),
+        g1(T, c),
+        g1(H, c),
+        cx(a, b),
+        g1(T, a),
+        g1(Tdg, b),
+        cx(a, b),
+    ]
+}
+
+/// CCZ as the Toffoli decomposition conjugated by H on the target.
+pub fn decompose_ccz(a: Qubit, b: Qubit, c: Qubit) -> Vec<Operation> {
+    let h = Operation::gate(Gate::H, vec![c]).expect("1q");
+    let mut ops = vec![h.clone()];
+    ops.extend(decompose_ccx(a, b, c));
+    ops.push(h);
+    ops
+}
+
+/// Fredkin (controlled-SWAP) via CCX conjugated by CNOT on the targets.
+pub fn decompose_cswap(a: Qubit, b: Qubit, c: Qubit) -> Vec<Operation> {
+    let cx = Operation::gate(Gate::Cnot, vec![c, b]).expect("2q");
+    let mut ops = vec![cx.clone()];
+    ops.extend(decompose_ccx(a, b, c));
+    ops.push(cx);
+    ops
+}
+
+/// Expands an operation into one- and two-qubit operations when it is a
+/// known three-qubit gate; returns the operation unchanged otherwise.
+pub fn decompose_op(op: &Operation) -> Vec<Operation> {
+    if let OpKind::Gate(g) = &op.kind {
+        let q = op.support();
+        match g {
+            Gate::Ccx => return decompose_ccx(q[0], q[1], q[2]),
+            Gate::Ccz => return decompose_ccz(q[0], q[1], q[2]),
+            Gate::Cswap => return decompose_cswap(q[0], q[1], q[2]),
+            _ => {}
+        }
+    }
+    vec![op.clone()]
+}
+
+/// Rewrites a circuit so every operation acts on at most two qubits
+/// (required by the MPS backends). Gate order is preserved; moments are
+/// repacked with the earliest strategy.
+pub fn decompose_three_qubit_gates(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new();
+    for op in circuit.all_operations() {
+        for piece in decompose_op(op) {
+            out.append(piece, InsertStrategy::Earliest);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unitary_of(ops: Vec<Operation>, n: usize) -> bgls_linalg::Matrix {
+        let mut c = Circuit::new();
+        for op in ops {
+            c.push(op);
+        }
+        c.unitary(n).unwrap()
+    }
+
+    #[test]
+    fn ccx_decomposition_is_exact() {
+        let want = {
+            let mut c = Circuit::new();
+            c.push(Operation::gate(Gate::Ccx, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap());
+            c.unitary(3).unwrap()
+        };
+        let got = unitary_of(decompose_ccx(Qubit(0), Qubit(1), Qubit(2)), 3);
+        assert!(got.approx_eq(&want, 1e-10), "CCX decomposition drifted");
+    }
+
+    #[test]
+    fn ccz_decomposition_is_exact() {
+        let want = {
+            let mut c = Circuit::new();
+            c.push(Operation::gate(Gate::Ccz, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap());
+            c.unitary(3).unwrap()
+        };
+        let got = unitary_of(decompose_ccz(Qubit(0), Qubit(1), Qubit(2)), 3);
+        assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn cswap_decomposition_is_exact() {
+        let want = {
+            let mut c = Circuit::new();
+            c.push(Operation::gate(Gate::Cswap, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap());
+            c.unitary(3).unwrap()
+        };
+        let got = unitary_of(decompose_cswap(Qubit(0), Qubit(1), Qubit(2)), 3);
+        assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn ccx_uses_seven_t_gates() {
+        let ops = decompose_ccx(Qubit(0), Qubit(1), Qubit(2));
+        let t_count = ops
+            .iter()
+            .filter(|o| matches!(o.as_gate(), Some(Gate::T) | Some(Gate::Tdg)))
+            .count();
+        assert_eq!(t_count, 7);
+        assert!(ops.iter().all(|o| o.support().len() <= 2));
+    }
+
+    #[test]
+    fn circuit_transformer_preserves_unitary() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Ccx, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap());
+        c.push(Operation::gate(Gate::Cswap, vec![Qubit(2), Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::gate(Gate::X, vec![Qubit(1)]).unwrap());
+        let d = decompose_three_qubit_gates(&c);
+        assert!(d.all_operations().all(|op| op.support().len() <= 2));
+        let u = c.unitary(3).unwrap();
+        let v = d.unitary(3).unwrap();
+        assert!(u.approx_eq(&v, 1e-9));
+    }
+
+    #[test]
+    fn non_three_qubit_ops_pass_through() {
+        let op = Operation::measure(vec![Qubit(0)], "m").unwrap();
+        assert_eq!(decompose_op(&op), vec![op]);
+    }
+
+    #[test]
+    fn decomposition_works_on_scrambled_qubit_order() {
+        let want = {
+            let mut c = Circuit::new();
+            c.push(Operation::gate(Gate::Ccx, vec![Qubit(2), Qubit(0), Qubit(1)]).unwrap());
+            c.unitary(3).unwrap()
+        };
+        let got = unitary_of(decompose_ccx(Qubit(2), Qubit(0), Qubit(1)), 3);
+        assert!(got.approx_eq(&want, 1e-10));
+    }
+}

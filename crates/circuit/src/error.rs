@@ -1,0 +1,73 @@
+//! Error type shared across the circuit IR.
+
+use std::fmt;
+
+/// Errors raised while building, transforming, or exporting circuits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitError {
+    /// A gate was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// Gate name.
+        gate: String,
+        /// Number of qubits the gate acts on.
+        expected: usize,
+        /// Number of qubits supplied.
+        got: usize,
+    },
+    /// An operation references the same qubit twice.
+    DuplicateQubit(String),
+    /// A symbolic parameter was used where a concrete value is required.
+    UnresolvedParameter(String),
+    /// A matrix supplied as a gate is not unitary.
+    NotUnitary(String),
+    /// A set of Kraus operators is not trace preserving.
+    InvalidChannel(String),
+    /// QASM parsing failed.
+    QasmParse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A construct has no QASM representation.
+    QasmUnsupported(String),
+    /// The requested operation needs a gate to expose a unitary (e.g.
+    /// inverting a measurement).
+    NonUnitaryOperation(String),
+    /// Generic invalid-argument error.
+    Invalid(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => write!(f, "gate {gate} acts on {expected} qubits, got {got}"),
+            CircuitError::DuplicateQubit(op) => {
+                write!(f, "operation {op} addresses a qubit more than once")
+            }
+            CircuitError::UnresolvedParameter(s) => {
+                write!(f, "parameter '{s}' is unresolved; bind it with a ParamResolver")
+            }
+            CircuitError::NotUnitary(what) => write!(f, "matrix for {what} is not unitary"),
+            CircuitError::InvalidChannel(what) => {
+                write!(f, "Kraus operators for {what} do not sum to identity")
+            }
+            CircuitError::QasmParse { line, message } => {
+                write!(f, "QASM parse error at line {line}: {message}")
+            }
+            CircuitError::QasmUnsupported(what) => {
+                write!(f, "no QASM representation for {what}")
+            }
+            CircuitError::NonUnitaryOperation(what) => {
+                write!(f, "operation {what} is not unitary")
+            }
+            CircuitError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

@@ -1,0 +1,566 @@
+//! The gate set: named gates, rotations, and arbitrary unitaries.
+//!
+//! Matrix convention (identical to Cirq): for a gate applied to qubits
+//! `(a, b, ...)` in the listed order, the first listed qubit is the most
+//! significant bit of the matrix index. `CNOT` applied to `(control,
+//! target)` is therefore `[[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]]`.
+
+use crate::error::CircuitError;
+use crate::param::{Param, ParamResolver};
+use bgls_linalg::{C64, Matrix};
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+use std::sync::Arc;
+
+/// A quantum gate. Fixed-arity named gates, parameterized rotations, and
+/// arbitrary unitary matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    // --- single qubit, Clifford ---
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// Square root of X.
+    SqrtX,
+    /// Inverse square root of X.
+    SqrtXDag,
+    // --- single qubit, non-Clifford ---
+    /// T = diag(1, e^{i pi/4}).
+    T,
+    /// Inverse T.
+    Tdg,
+    /// Rotation about X: `exp(-i X theta / 2)`.
+    Rx(Param),
+    /// Rotation about Y: `exp(-i Y theta / 2)`.
+    Ry(Param),
+    /// Rotation about Z: `exp(-i Z theta / 2)` = the paper's `R(theta)`.
+    Rz(Param),
+    /// Cirq-style `ZPowGate`: diag(1, e^{i pi t}) for exponent `t`.
+    ZPow(Param),
+    /// Arbitrary single-qubit unitary.
+    U1(Arc<Matrix>),
+    // --- two qubit ---
+    /// Controlled-X (first qubit controls).
+    Cnot,
+    /// Controlled-Z.
+    Cz,
+    /// Swap.
+    Swap,
+    /// iSWAP.
+    ISwap,
+    /// Controlled phase: diag(1, 1, 1, e^{i theta}).
+    CPhase(Param),
+    /// Two-qubit ZZ rotation `exp(-i theta/2 Z(x)Z)` (the QAOA interaction).
+    Rzz(Param),
+    /// Arbitrary two-qubit unitary.
+    U2(Arc<Matrix>),
+    // --- three qubit ---
+    /// Toffoli (first two qubits control).
+    Ccx,
+    /// Doubly-controlled Z.
+    Ccz,
+    /// Controlled swap (Fredkin; first qubit controls).
+    Cswap,
+    /// Arbitrary k-qubit unitary with explicit arity.
+    U(Arc<Matrix>, usize),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | SqrtX | SqrtXDag | T | Tdg | Rx(_) | Ry(_) | Rz(_)
+            | ZPow(_) | U1(_) => 1,
+            Cnot | Cz | Swap | ISwap | CPhase(_) | Rzz(_) | U2(_) => 2,
+            Ccx | Ccz | Cswap => 3,
+            U(_, k) => *k,
+        }
+    }
+
+    /// Short display name (lowercase, QASM-flavoured).
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            I => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            SqrtX => "sx",
+            SqrtXDag => "sxdg",
+            T => "t",
+            Tdg => "tdg",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            ZPow(_) => "zpow",
+            U1(_) => "u1q",
+            Cnot => "cx",
+            Cz => "cz",
+            Swap => "swap",
+            ISwap => "iswap",
+            CPhase(_) => "cp",
+            Rzz(_) => "rzz",
+            U2(_) => "u2q",
+            Ccx => "ccx",
+            Ccz => "ccz",
+            Cswap => "cswap",
+            U(..) => "ukq",
+        }
+    }
+
+    /// True when the gate still carries an unresolved symbolic parameter.
+    pub fn is_parameterized(&self) -> bool {
+        use Gate::*;
+        match self {
+            Rx(p) | Ry(p) | Rz(p) | ZPow(p) | CPhase(p) | Rzz(p) => p.is_symbolic(),
+            _ => false,
+        }
+    }
+
+    /// Resolves symbolic parameters against `resolver`.
+    pub fn resolve(&self, resolver: &ParamResolver) -> Gate {
+        use Gate::*;
+        match self {
+            Rx(p) => Rx(p.resolve(resolver)),
+            Ry(p) => Ry(p.resolve(resolver)),
+            Rz(p) => Rz(p.resolve(resolver)),
+            ZPow(p) => ZPow(p.resolve(resolver)),
+            CPhase(p) => CPhase(p.resolve(resolver)),
+            Rzz(p) => Rzz(p.resolve(resolver)),
+            g => g.clone(),
+        }
+    }
+
+    /// The gate's unitary matrix (dimension `2^arity`).
+    ///
+    /// Fails with [`CircuitError::UnresolvedParameter`] when a symbolic
+    /// parameter has not been bound.
+    pub fn unitary(&self) -> Result<Matrix, CircuitError> {
+        use Gate::*;
+        let c = C64::real;
+        Ok(match self {
+            I => Matrix::identity(2),
+            X => Matrix::from_vec(2, 2, vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]),
+            Y => Matrix::from_vec(2, 2, vec![C64::ZERO, -C64::I, C64::I, C64::ZERO]),
+            Z => Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE]),
+            H => Matrix::from_vec(
+                2,
+                2,
+                vec![
+                    c(FRAC_1_SQRT_2),
+                    c(FRAC_1_SQRT_2),
+                    c(FRAC_1_SQRT_2),
+                    c(-FRAC_1_SQRT_2),
+                ],
+            ),
+            S => Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, C64::I]),
+            Sdg => Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, -C64::I]),
+            SqrtX => {
+                // 1/2 [[1+i, 1-i], [1-i, 1+i]]
+                let p = C64::new(0.5, 0.5);
+                let m = C64::new(0.5, -0.5);
+                Matrix::from_vec(2, 2, vec![p, m, m, p])
+            }
+            SqrtXDag => {
+                let p = C64::new(0.5, -0.5);
+                let m = C64::new(0.5, 0.5);
+                Matrix::from_vec(2, 2, vec![p, m, m, p])
+            }
+            T => Matrix::from_vec(
+                2,
+                2,
+                vec![C64::ONE, C64::ZERO, C64::ZERO, C64::cis(PI / 4.0)],
+            ),
+            Tdg => Matrix::from_vec(
+                2,
+                2,
+                vec![C64::ONE, C64::ZERO, C64::ZERO, C64::cis(-PI / 4.0)],
+            ),
+            Rx(p) => {
+                let t = p.value()? / 2.0;
+                Matrix::from_vec(
+                    2,
+                    2,
+                    vec![
+                        c(t.cos()),
+                        C64::new(0.0, -t.sin()),
+                        C64::new(0.0, -t.sin()),
+                        c(t.cos()),
+                    ],
+                )
+            }
+            Ry(p) => {
+                let t = p.value()? / 2.0;
+                Matrix::from_vec(2, 2, vec![c(t.cos()), c(-t.sin()), c(t.sin()), c(t.cos())])
+            }
+            Rz(p) => {
+                let t = p.value()? / 2.0;
+                Matrix::from_vec(
+                    2,
+                    2,
+                    vec![C64::cis(-t), C64::ZERO, C64::ZERO, C64::cis(t)],
+                )
+            }
+            ZPow(p) => {
+                let t = p.value()?;
+                Matrix::from_vec(
+                    2,
+                    2,
+                    vec![C64::ONE, C64::ZERO, C64::ZERO, C64::cis(PI * t)],
+                )
+            }
+            U1(m) => (**m).clone(),
+            Cnot => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = C64::ONE;
+                m[(1, 1)] = C64::ONE;
+                m[(2, 3)] = C64::ONE;
+                m[(3, 2)] = C64::ONE;
+                m
+            }
+            Cz => {
+                let mut m = Matrix::identity(4);
+                m[(3, 3)] = -C64::ONE;
+                m
+            }
+            Swap => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = C64::ONE;
+                m[(1, 2)] = C64::ONE;
+                m[(2, 1)] = C64::ONE;
+                m[(3, 3)] = C64::ONE;
+                m
+            }
+            ISwap => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = C64::ONE;
+                m[(1, 2)] = C64::I;
+                m[(2, 1)] = C64::I;
+                m[(3, 3)] = C64::ONE;
+                m
+            }
+            CPhase(p) => {
+                let t = p.value()?;
+                let mut m = Matrix::identity(4);
+                m[(3, 3)] = C64::cis(t);
+                m
+            }
+            Rzz(p) => {
+                let t = p.value()? / 2.0;
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = C64::cis(-t);
+                m[(1, 1)] = C64::cis(t);
+                m[(2, 2)] = C64::cis(t);
+                m[(3, 3)] = C64::cis(-t);
+                m
+            }
+            U2(m) => (**m).clone(),
+            Ccx => {
+                let mut m = Matrix::identity(8);
+                m[(6, 6)] = C64::ZERO;
+                m[(7, 7)] = C64::ZERO;
+                m[(6, 7)] = C64::ONE;
+                m[(7, 6)] = C64::ONE;
+                m
+            }
+            Ccz => {
+                let mut m = Matrix::identity(8);
+                m[(7, 7)] = -C64::ONE;
+                m
+            }
+            Cswap => {
+                let mut m = Matrix::identity(8);
+                m[(5, 5)] = C64::ZERO;
+                m[(6, 6)] = C64::ZERO;
+                m[(5, 6)] = C64::ONE;
+                m[(6, 5)] = C64::ONE;
+                m
+            }
+            U(m, _) => (**m).clone(),
+        })
+    }
+
+    /// The inverse gate, when expressible.
+    ///
+    /// Fails only for unresolved parameters (never for structural reasons —
+    /// every gate here is unitary).
+    pub fn inverse(&self) -> Result<Gate, CircuitError> {
+        use Gate::*;
+        Ok(match self {
+            I | X | Y | Z | H | Cnot | Cz | Swap | Ccx | Ccz | Cswap => self.clone(),
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            SqrtX => SqrtXDag,
+            SqrtXDag => SqrtX,
+            Rx(p) => Rx(p.scaled(-1.0)),
+            Ry(p) => Ry(p.scaled(-1.0)),
+            Rz(p) => Rz(p.scaled(-1.0)),
+            ZPow(p) => ZPow(p.scaled(-1.0)),
+            CPhase(p) => CPhase(p.scaled(-1.0)),
+            Rzz(p) => Rzz(p.scaled(-1.0)),
+            ISwap => U2(Arc::new(ISwap.unitary()?.dagger())),
+            U1(m) => U1(Arc::new(m.dagger())),
+            U2(m) => U2(Arc::new(m.dagger())),
+            U(m, k) => U(Arc::new(m.dagger()), *k),
+        })
+    }
+
+    /// True when the gate is exactly a Clifford operation — the
+    /// `cirq.has_stabilizer_effect` substitute used by the near-Clifford
+    /// channel (paper Sec. 4.2.2).
+    ///
+    /// Rotation gates qualify when their (resolved) angle lands on a
+    /// Clifford multiple within `1e-12`: `Rz`/`Rx`/`Ry` at multiples of
+    /// pi/2, `ZPow` at multiples of 0.5, `CPhase` at multiples of pi.
+    /// Symbolic parameters never qualify.
+    pub fn has_stabilizer_effect(&self) -> bool {
+        use Gate::*;
+        const TOL: f64 = 1e-12;
+        let on_grid = |v: f64, step: f64| -> bool {
+            let r = (v / step).round();
+            (v - r * step).abs() <= TOL
+        };
+        match self {
+            I | X | Y | Z | H | S | Sdg | SqrtX | SqrtXDag | Cnot | Cz | Swap | ISwap => true,
+            T | Tdg => false,
+            Rx(p) | Ry(p) | Rz(p) => p.value().map(|v| on_grid(v, PI / 2.0)).unwrap_or(false),
+            ZPow(p) => p.value().map(|v| on_grid(v, 0.5)).unwrap_or(false),
+            CPhase(p) => p.value().map(|v| on_grid(v, PI)).unwrap_or(false),
+            Rzz(p) => p.value().map(|v| on_grid(v, PI / 2.0)).unwrap_or(false),
+            Ccx | Ccz | Cswap => false,
+            U1(_) | U2(_) | U(..) => false,
+        }
+    }
+
+    /// True for gates whose matrix is diagonal in the computational basis.
+    /// The lazy tensor-network state uses this to insert cheap bonds.
+    pub fn is_diagonal(&self) -> bool {
+        use Gate::*;
+        matches!(self, I | Z | S | Sdg | T | Tdg | Rz(_) | ZPow(_) | Cz | CPhase(_) | Rzz(_) | Ccz)
+    }
+
+    /// Validates and wraps a custom matrix as a gate of the right arity.
+    pub fn from_matrix(m: Matrix, arity: usize) -> Result<Gate, CircuitError> {
+        let dim = 1usize << arity;
+        if m.rows() != dim || m.cols() != dim {
+            return Err(CircuitError::Invalid(format!(
+                "matrix is {}x{}, expected {}x{} for {} qubits",
+                m.rows(),
+                m.cols(),
+                dim,
+                dim,
+                arity
+            )));
+        }
+        if !m.is_unitary(1e-9) {
+            return Err(CircuitError::NotUnitary("custom gate".into()));
+        }
+        let m = Arc::new(m);
+        Ok(match arity {
+            1 => Gate::U1(m),
+            2 => Gate::U2(m),
+            k => Gate::U(m, k),
+        })
+    }
+}
+
+/// The standard Clifford generators used by the paper's random Clifford
+/// circuits (H, S, CNOT).
+pub const CLIFFORD_GENERATORS: [Gate; 3] = [Gate::H, Gate::S, Gate::Cnot];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_unitary(g: &Gate) {
+        let u = g.unitary().unwrap();
+        assert!(u.is_unitary(1e-10), "{} not unitary", g.name());
+        assert_eq!(u.rows(), 1 << g.arity());
+    }
+
+    #[test]
+    fn all_fixed_gates_are_unitary() {
+        use Gate::*;
+        for g in [
+            I, X, Y, Z, H, S, Sdg, SqrtX, SqrtXDag, T, Tdg, Cnot, Cz, Swap, ISwap, Ccx, Ccz,
+            Cswap,
+        ] {
+            assert_unitary(&g);
+        }
+    }
+
+    #[test]
+    fn rotations_are_unitary() {
+        for theta in [0.0, 0.3, PI / 2.0, PI, 4.2] {
+            for g in [
+                Gate::Rx(theta.into()),
+                Gate::Ry(theta.into()),
+                Gate::Rz(theta.into()),
+                Gate::ZPow((theta / PI).into()),
+                Gate::CPhase(theta.into()),
+                Gate::Rzz(theta.into()),
+            ] {
+                assert_unitary(&g);
+            }
+        }
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        let t = Gate::T.unitary().unwrap();
+        let s = Gate::S.unitary().unwrap();
+        assert!(t.matmul(&t).approx_eq(&s, 1e-12));
+    }
+
+    #[test]
+    fn sqrtx_squared_is_x() {
+        let sx = Gate::SqrtX.unitary().unwrap();
+        let x = Gate::X.unitary().unwrap();
+        assert!(sx.matmul(&sx).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let h = Gate::H.unitary().unwrap();
+        let x = Gate::X.unitary().unwrap();
+        let z = Gate::Z.unitary().unwrap();
+        assert!(h.matmul(&x).matmul(&h).approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn zpow_quarter_is_t_and_rz_matches_up_to_phase() {
+        let zp = Gate::ZPow(0.25.into()).unitary().unwrap();
+        let t = Gate::T.unitary().unwrap();
+        assert!(zp.approx_eq(&t, 1e-12));
+        // Rz(pi/4) = e^{-i pi/8} T
+        let rz = Gate::Rz((PI / 4.0).into()).unitary().unwrap();
+        let phased = t.scale(C64::cis(-PI / 8.0));
+        assert!(rz.approx_eq(&phased, 1e-12));
+    }
+
+    #[test]
+    fn inverses_cancel() {
+        use Gate::*;
+        let gates = [
+            X,
+            H,
+            S,
+            T,
+            SqrtX,
+            Rx(0.7.into()),
+            Rz(1.3.into()),
+            ZPow(0.4.into()),
+            ISwap,
+            CPhase(0.9.into()),
+            Rzz(0.35.into()),
+            Ccx,
+        ];
+        for g in gates {
+            let u = g.unitary().unwrap();
+            let v = g.inverse().unwrap().unitary().unwrap();
+            let id = Matrix::identity(u.rows());
+            assert!(u.matmul(&v).approx_eq(&id, 1e-10), "{} inverse", g.name());
+        }
+    }
+
+    #[test]
+    fn stabilizer_effect_detection() {
+        assert!(Gate::H.has_stabilizer_effect());
+        assert!(Gate::S.has_stabilizer_effect());
+        assert!(Gate::Cnot.has_stabilizer_effect());
+        assert!(!Gate::T.has_stabilizer_effect());
+        assert!(!Gate::Ccx.has_stabilizer_effect());
+        // Rz at Clifford angles
+        assert!(Gate::Rz((PI / 2.0).into()).has_stabilizer_effect());
+        assert!(Gate::Rz(PI.into()).has_stabilizer_effect());
+        assert!(Gate::Rz(0.0.into()).has_stabilizer_effect());
+        assert!(!Gate::Rz((PI / 4.0).into()).has_stabilizer_effect());
+        // ZPow at half-integer exponents
+        assert!(Gate::ZPow(0.5.into()).has_stabilizer_effect());
+        assert!(Gate::ZPow(1.0.into()).has_stabilizer_effect());
+        assert!(!Gate::ZPow(0.25.into()).has_stabilizer_effect());
+        // symbolic parameters never qualify
+        assert!(!Gate::Rz(Param::symbol("t")).has_stabilizer_effect());
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        assert!(Gate::Cz.is_diagonal());
+        assert!(Gate::Rz(0.3.into()).is_diagonal());
+        assert!(!Gate::Cnot.is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        // verify against the matrix for a sample
+        let u = Gate::Rzz(0.7.into()).unitary().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(u[(i, j)], C64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_resolution_flows_through() {
+        let g = Gate::Rz(Param::symbol("theta"));
+        assert!(g.is_parameterized());
+        assert!(matches!(
+            g.unitary(),
+            Err(CircuitError::UnresolvedParameter(_))
+        ));
+        let r = ParamResolver::from_pairs([("theta", PI)]);
+        let resolved = g.resolve(&r);
+        assert!(!resolved.is_parameterized());
+        assert_unitary(&resolved);
+    }
+
+    #[test]
+    fn from_matrix_validates() {
+        // non-unitary rejected
+        let bad = Matrix::zeros(2, 2);
+        assert!(matches!(
+            Gate::from_matrix(bad, 1),
+            Err(CircuitError::NotUnitary(_))
+        ));
+        // wrong size rejected
+        let id4 = Matrix::identity(4);
+        assert!(Gate::from_matrix(id4.clone(), 1).is_err());
+        // good matrix accepted with right variant
+        assert!(matches!(Gate::from_matrix(id4, 2), Ok(Gate::U2(_))));
+    }
+
+    #[test]
+    fn cnot_matrix_convention_first_qubit_controls() {
+        let u = Gate::Cnot.unitary().unwrap();
+        // |10> -> |11>: input index 2, output index 3
+        assert_eq!(u[(3, 2)], C64::ONE);
+        assert_eq!(u[(2, 2)], C64::ZERO);
+        // |01> fixed
+        assert_eq!(u[(1, 1)], C64::ONE);
+    }
+
+    #[test]
+    fn rzz_is_symmetric_and_clifford_only_at_half_pi_grid() {
+        let u = Gate::Rzz(0.4.into()).unitary().unwrap();
+        assert!(u[(0, 0)].approx_eq(u[(3, 3)], 1e-15));
+        assert!(u[(1, 1)].approx_eq(u[(2, 2)], 1e-15));
+        assert!(Gate::Rzz((PI / 2.0).into()).has_stabilizer_effect());
+        assert!(!Gate::Rzz(0.4.into()).has_stabilizer_effect());
+    }
+}

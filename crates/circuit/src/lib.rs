@@ -1,0 +1,46 @@
+//! # bgls-circuit
+//!
+//! Quantum circuit intermediate representation — the Cirq substitute for the
+//! BGLS reproduction. Provides:
+//!
+//! * [`Qubit`], [`Gate`], [`Operation`], [`Moment`], [`Circuit`] — the core
+//!   moment-based IR with Cirq's matrix conventions;
+//! * [`Param`] / [`ParamResolver`] — symbolic parameters for sweeps
+//!   (paper Sec. 4.4);
+//! * [`Channel`] — Kraus channels for noisy simulation via trajectories
+//!   (Sec. 3.2.1);
+//! * [`optimize_for_bgls`] — single-qubit-run merging (Sec. 3.2.2);
+//! * [`generate_random_circuit`] — random-circuit workloads (Sec. 4.1.3);
+//! * [`to_qasm`] / [`from_qasm`] — OpenQASM 2.0 interop (Sec. 3.2.4).
+
+#![warn(missing_docs)]
+
+mod channel;
+mod circuit;
+mod decompose;
+mod error;
+mod gate;
+mod moment;
+mod op;
+mod param;
+mod qasm;
+mod qubit;
+mod random;
+mod transform;
+
+pub use channel::Channel;
+pub use decompose::{
+    decompose_ccx, decompose_ccz, decompose_cswap, decompose_op, decompose_three_qubit_gates,
+};
+pub use circuit::{embed_unitary, Circuit, InsertStrategy};
+pub use error::CircuitError;
+pub use gate::{Gate, CLIFFORD_GENERATORS};
+pub use moment::Moment;
+pub use op::{OpKind, Operation};
+pub use param::{Param, ParamResolver};
+pub use qasm::{from_qasm, to_qasm};
+pub use qubit::Qubit;
+pub use random::{
+    generate_random_circuit, replace_single_qubit_gates, substitute_gate, RandomCircuitParams,
+};
+pub use transform::{drop_identities, merge_single_qubit_gates, optimize_for_bgls};

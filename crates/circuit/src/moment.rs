@@ -1,0 +1,105 @@
+//! Moments: sets of operations that act in the same time slice.
+
+use crate::error::CircuitError;
+use crate::op::Operation;
+use crate::qubit::Qubit;
+use bgls_linalg::FxHashSet;
+
+/// A time slice of qubit-disjoint operations (the Cirq `Moment` substitute).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Moment {
+    ops: Vec<Operation>,
+}
+
+impl Moment {
+    /// An empty moment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a moment from operations, validating qubit-disjointness.
+    pub fn from_ops(ops: impl IntoIterator<Item = Operation>) -> Result<Self, CircuitError> {
+        let mut m = Moment::new();
+        for op in ops {
+            m.push(op)?;
+        }
+        Ok(m)
+    }
+
+    /// The operations in this moment.
+    #[inline]
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the moment holds no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True when no operation in the moment touches any of `qubits`.
+    pub fn is_free(&self, qubits: &[Qubit]) -> bool {
+        self.ops
+            .iter()
+            .all(|op| op.support().iter().all(|q| !qubits.contains(q)))
+    }
+
+    /// Adds an operation, failing if it overlaps an existing one.
+    pub fn push(&mut self, op: Operation) -> Result<(), CircuitError> {
+        if !self.is_free(op.support()) {
+            return Err(CircuitError::Invalid(format!(
+                "operation {op} overlaps an operation already in the moment"
+            )));
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// All qubits touched by this moment.
+    pub fn qubits(&self) -> FxHashSet<Qubit> {
+        self.ops
+            .iter()
+            .flat_map(|op| op.support().iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn h(q: u32) -> Operation {
+        Operation::gate(Gate::H, vec![Qubit(q)]).unwrap()
+    }
+
+    #[test]
+    fn disjoint_ops_coexist() {
+        let m = Moment::from_ops([h(0), h(1), h(2)]).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.qubits().len(), 3);
+    }
+
+    #[test]
+    fn overlapping_ops_rejected() {
+        let mut m = Moment::new();
+        m.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap())
+            .unwrap();
+        assert!(m.push(h(1)).is_err());
+        assert!(m.push(h(2)).is_ok());
+    }
+
+    #[test]
+    fn is_free_checks_all_listed_qubits() {
+        let m = Moment::from_ops([h(0)]).unwrap();
+        assert!(m.is_free(&[Qubit(1), Qubit(2)]));
+        assert!(!m.is_free(&[Qubit(1), Qubit(0)]));
+    }
+}

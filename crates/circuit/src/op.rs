@@ -1,0 +1,235 @@
+//! Operations: a gate, measurement, or channel applied to specific qubits.
+
+use crate::channel::Channel;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::param::ParamResolver;
+use crate::qubit::Qubit;
+use std::fmt;
+use std::sync::Arc;
+
+/// What an [`Operation`] does to its qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// A unitary gate.
+    Gate(Gate),
+    /// A computational-basis measurement recorded under `key`.
+    Measure {
+        /// Result key (the Cirq measurement-key substitute).
+        key: Arc<str>,
+    },
+    /// A Kraus channel (simulated by trajectories).
+    Channel(Arc<Channel>),
+}
+
+/// An operation applied to an ordered list of distinct qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// What is applied.
+    pub kind: OpKind,
+    /// The qubits acted on, in gate-matrix order (first = most significant).
+    pub qubits: Vec<Qubit>,
+}
+
+impl Operation {
+    /// Applies `gate` to `qubits`, validating arity and distinctness.
+    pub fn gate(gate: Gate, qubits: impl Into<Vec<Qubit>>) -> Result<Self, CircuitError> {
+        let qubits = qubits.into();
+        if gate.arity() != qubits.len() {
+            return Err(CircuitError::ArityMismatch {
+                gate: gate.name().to_string(),
+                expected: gate.arity(),
+                got: qubits.len(),
+            });
+        }
+        check_distinct(&qubits, gate.name())?;
+        Ok(Operation {
+            kind: OpKind::Gate(gate),
+            qubits,
+        })
+    }
+
+    /// Measures `qubits` in the computational basis under `key`.
+    pub fn measure(qubits: impl Into<Vec<Qubit>>, key: &str) -> Result<Self, CircuitError> {
+        let qubits = qubits.into();
+        if qubits.is_empty() {
+            return Err(CircuitError::Invalid("measurement of zero qubits".into()));
+        }
+        check_distinct(&qubits, "measure")?;
+        Ok(Operation {
+            kind: OpKind::Measure {
+                key: Arc::from(key),
+            },
+            qubits,
+        })
+    }
+
+    /// Applies `channel` to `qubits`.
+    pub fn channel(channel: Channel, qubits: impl Into<Vec<Qubit>>) -> Result<Self, CircuitError> {
+        let qubits = qubits.into();
+        if channel.arity() != qubits.len() {
+            return Err(CircuitError::ArityMismatch {
+                gate: channel.name().to_string(),
+                expected: channel.arity(),
+                got: qubits.len(),
+            });
+        }
+        check_distinct(&qubits, channel.name())?;
+        Ok(Operation {
+            kind: OpKind::Channel(Arc::new(channel)),
+            qubits,
+        })
+    }
+
+    /// The qubits the operation acts on — the gate-by-gate algorithm's
+    /// *support* (paper Sec. 2).
+    #[inline]
+    pub fn support(&self) -> &[Qubit] {
+        &self.qubits
+    }
+
+    /// True for unitary gates (not measurements or channels).
+    pub fn is_unitary(&self) -> bool {
+        matches!(self.kind, OpKind::Gate(_))
+    }
+
+    /// True for measurements.
+    pub fn is_measurement(&self) -> bool {
+        matches!(self.kind, OpKind::Measure { .. })
+    }
+
+    /// True for Kraus channels.
+    pub fn is_channel(&self) -> bool {
+        matches!(self.kind, OpKind::Channel(_))
+    }
+
+    /// The gate, when the operation is one.
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match &self.kind {
+            OpKind::Gate(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// True when the operation carries an unresolved symbolic parameter.
+    pub fn is_parameterized(&self) -> bool {
+        match &self.kind {
+            OpKind::Gate(g) => g.is_parameterized(),
+            _ => false,
+        }
+    }
+
+    /// Resolves symbolic parameters.
+    pub fn resolve(&self, resolver: &ParamResolver) -> Operation {
+        match &self.kind {
+            OpKind::Gate(g) => Operation {
+                kind: OpKind::Gate(g.resolve(resolver)),
+                qubits: self.qubits.clone(),
+            },
+            _ => self.clone(),
+        }
+    }
+
+    /// The inverse operation (gates only).
+    pub fn inverse(&self) -> Result<Operation, CircuitError> {
+        match &self.kind {
+            OpKind::Gate(g) => Ok(Operation {
+                kind: OpKind::Gate(g.inverse()?),
+                qubits: self.qubits.clone(),
+            }),
+            OpKind::Measure { key } => {
+                Err(CircuitError::NonUnitaryOperation(format!("measure('{key}')")))
+            }
+            OpKind::Channel(c) => {
+                Err(CircuitError::NonUnitaryOperation(c.name().to_string()))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match &self.kind {
+            OpKind::Gate(g) => g.name().to_string(),
+            OpKind::Measure { key } => format!("measure['{key}']"),
+            OpKind::Channel(c) => c.name().to_string(),
+        };
+        write!(f, "{name}(")?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+fn check_distinct(qubits: &[Qubit], what: &str) -> Result<(), CircuitError> {
+    for (i, q) in qubits.iter().enumerate() {
+        if qubits[..i].contains(q) {
+            return Err(CircuitError::DuplicateQubit(what.to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    #[test]
+    fn gate_op_validates_arity() {
+        let err = Operation::gate(Gate::Cnot, vec![Qubit(0)]);
+        assert!(matches!(err, Err(CircuitError::ArityMismatch { .. })));
+        let ok = Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap();
+        assert_eq!(ok.support(), &[Qubit(0), Qubit(1)]);
+    }
+
+    #[test]
+    fn duplicate_qubits_rejected() {
+        let err = Operation::gate(Gate::Cnot, vec![Qubit(2), Qubit(2)]);
+        assert!(matches!(err, Err(CircuitError::DuplicateQubit(_))));
+        let err = Operation::measure(vec![Qubit(1), Qubit(1)], "m");
+        assert!(matches!(err, Err(CircuitError::DuplicateQubit(_))));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let g = Operation::gate(Gate::H, vec![Qubit(0)]).unwrap();
+        assert!(g.is_unitary() && !g.is_measurement() && !g.is_channel());
+        let m = Operation::measure(vec![Qubit(0)], "z").unwrap();
+        assert!(m.is_measurement() && !m.is_unitary());
+        let c = Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap();
+        assert!(c.is_channel() && !c.is_unitary());
+    }
+
+    #[test]
+    fn inverse_of_measurement_fails() {
+        let m = Operation::measure(vec![Qubit(0)], "z").unwrap();
+        assert!(matches!(
+            m.inverse(),
+            Err(CircuitError::NonUnitaryOperation(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_touches_only_gates() {
+        let op = Operation::gate(Gate::Rz(Param::symbol("a")), vec![Qubit(0)]).unwrap();
+        assert!(op.is_parameterized());
+        let r = ParamResolver::from_pairs([("a", 1.0)]);
+        assert!(!op.resolve(&r).is_parameterized());
+    }
+
+    #[test]
+    fn display_formats_readably() {
+        let op = Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(3)]).unwrap();
+        assert_eq!(format!("{op}"), "cx(q0, q3)");
+    }
+
+    #[test]
+    fn empty_measurement_rejected() {
+        assert!(Operation::measure(Vec::<Qubit>::new(), "k").is_err());
+    }
+}

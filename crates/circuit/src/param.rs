@@ -1,0 +1,192 @@
+//! Symbolic gate parameters and parameter resolution.
+//!
+//! Mirrors Cirq's `sympy.Symbol` + `ParamResolver` workflow at the level the
+//! paper exercises it (Sec. 4.4: sweeping the QAOA angles gamma and beta):
+//! a parameter is either a concrete value or `scale * symbol + offset`.
+
+use crate::error::CircuitError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A real-valued gate parameter: a constant or an affine function of a
+/// named symbol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Param {
+    /// A concrete value.
+    Const(f64),
+    /// `scale * symbol + offset`.
+    Symbolic {
+        /// Symbol name, e.g. `"gamma"`.
+        symbol: Arc<str>,
+        /// Multiplicative coefficient.
+        scale: f64,
+        /// Additive offset.
+        offset: f64,
+    },
+}
+
+impl Param {
+    /// A named symbol with unit scale and zero offset.
+    pub fn symbol(name: &str) -> Param {
+        Param::Symbolic {
+            symbol: Arc::from(name),
+            scale: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// True when the parameter still references a symbol.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, Param::Symbolic { .. })
+    }
+
+    /// The concrete value, or an error naming the unresolved symbol.
+    pub fn value(&self) -> Result<f64, CircuitError> {
+        match self {
+            Param::Const(v) => Ok(*v),
+            Param::Symbolic { symbol, .. } => {
+                Err(CircuitError::UnresolvedParameter(symbol.to_string()))
+            }
+        }
+    }
+
+    /// Resolves against `resolver`, producing a `Const` when the symbol is
+    /// bound and leaving the parameter untouched otherwise.
+    pub fn resolve(&self, resolver: &ParamResolver) -> Param {
+        match self {
+            Param::Const(_) => self.clone(),
+            Param::Symbolic {
+                symbol,
+                scale,
+                offset,
+            } => match resolver.get(symbol) {
+                Some(v) => Param::Const(scale * v + offset),
+                None => self.clone(),
+            },
+        }
+    }
+
+    /// Multiplies the parameter by a constant.
+    pub fn scaled(&self, k: f64) -> Param {
+        match self {
+            Param::Const(v) => Param::Const(v * k),
+            Param::Symbolic {
+                symbol,
+                scale,
+                offset,
+            } => Param::Symbolic {
+                symbol: symbol.clone(),
+                scale: scale * k,
+                offset: offset * k,
+            },
+        }
+    }
+}
+
+impl From<f64> for Param {
+    fn from(v: f64) -> Self {
+        Param::Const(v)
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Param::Const(v) => write!(f, "{v}"),
+            Param::Symbolic {
+                symbol,
+                scale,
+                offset,
+            } => {
+                if *scale != 1.0 {
+                    write!(f, "{scale}*")?;
+                }
+                write!(f, "{symbol}")?;
+                if *offset != 0.0 {
+                    write!(f, "+{offset}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Binds symbol names to values.
+#[derive(Clone, Debug, Default)]
+pub struct ParamResolver {
+    bindings: HashMap<String, f64>,
+}
+
+impl ParamResolver {
+    /// An empty resolver (resolves nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a resolver from `(name, value)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, f64)>) -> Self {
+        let mut r = Self::new();
+        for (k, v) in pairs {
+            r.bind(k, v);
+        }
+        r
+    }
+
+    /// Binds `name` to `value`, replacing any existing binding.
+    pub fn bind(&mut self, name: &str, value: f64) -> &mut Self {
+        self.bindings.insert(name.to_string(), value);
+        self
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.bindings.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_resolves_to_itself() {
+        let p = Param::Const(1.5);
+        assert!(!p.is_symbolic());
+        assert_eq!(p.value().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn symbol_value_errors_until_resolved() {
+        let p = Param::symbol("gamma");
+        assert!(p.is_symbolic());
+        assert!(matches!(
+            p.value(),
+            Err(CircuitError::UnresolvedParameter(s)) if s == "gamma"
+        ));
+        let r = ParamResolver::from_pairs([("gamma", 0.25)]);
+        assert_eq!(p.resolve(&r).value().unwrap(), 0.25);
+    }
+
+    #[test]
+    fn affine_resolution() {
+        let p = Param::symbol("beta").scaled(2.0);
+        let r = ParamResolver::from_pairs([("beta", 0.5)]);
+        assert_eq!(p.resolve(&r).value().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unbound_symbol_left_symbolic() {
+        let p = Param::symbol("theta");
+        let r = ParamResolver::new();
+        assert!(p.resolve(&r).is_symbolic());
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let mut r = ParamResolver::new();
+        r.bind("x", 1.0);
+        r.bind("x", 2.0);
+        assert_eq!(r.get("x"), Some(2.0));
+    }
+}

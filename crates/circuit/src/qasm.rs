@@ -1,0 +1,577 @@
+//! OpenQASM 2.0 interop (paper Sec. 3.2.4: "usage with non-Cirq circuits").
+//!
+//! Supports the `qelib1.inc` gate vocabulary that maps onto our gate set,
+//! a single quantum register, and classical registers fed by measurements.
+//! Angle expressions accept the usual `pi`-arithmetic (`pi/2`, `3*pi/4`,
+//! `-pi`, plain floats).
+
+use crate::circuit::{Circuit, InsertStrategy};
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::op::{OpKind, Operation};
+use crate::param::Param;
+use crate::qubit::Qubit;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::fmt::Write as _;
+
+/// Serializes a circuit to OpenQASM 2.0.
+///
+/// Fails with [`CircuitError::QasmUnsupported`] for constructs without a
+/// QASM spelling (channels, matrix gates, iSWAP, symbolic parameters).
+pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{n}];");
+
+    // One classical register per measurement key, sized by qubit count.
+    let mut cregs: Vec<(String, usize)> = Vec::new();
+    for op in circuit.all_operations() {
+        if let OpKind::Measure { key } = &op.kind {
+            if !cregs.iter().any(|(k, _)| k == key.as_ref()) {
+                cregs.push((key.to_string(), op.support().len()));
+            }
+        }
+    }
+    for (key, width) in &cregs {
+        let _ = writeln!(out, "creg {key}[{width}];");
+    }
+
+    for op in circuit.all_operations() {
+        match &op.kind {
+            OpKind::Gate(g) => {
+                let args: Vec<String> =
+                    op.support().iter().map(|q| format!("q[{}]", q.0)).collect();
+                let args = args.join(", ");
+                let line = match g {
+                    Gate::I => format!("id {args};"),
+                    Gate::X => format!("x {args};"),
+                    Gate::Y => format!("y {args};"),
+                    Gate::Z => format!("z {args};"),
+                    Gate::H => format!("h {args};"),
+                    Gate::S => format!("s {args};"),
+                    Gate::Sdg => format!("sdg {args};"),
+                    Gate::T => format!("t {args};"),
+                    Gate::Tdg => format!("tdg {args};"),
+                    Gate::SqrtX => format!("sx {args};"),
+                    Gate::SqrtXDag => format!("sxdg {args};"),
+                    Gate::Rx(p) => format!("rx({}) {args};", fmt_angle(p)?),
+                    Gate::Ry(p) => format!("ry({}) {args};", fmt_angle(p)?),
+                    Gate::Rz(p) => format!("rz({}) {args};", fmt_angle(p)?),
+                    Gate::ZPow(p) => {
+                        // ZPow(t) = u1(pi t)
+                        let v = p
+                            .value()
+                            .map_err(|_| symbolic_err(g))?;
+                        format!("u1({}) {args};", fmt_f64(v * PI))
+                    }
+                    Gate::Cnot => format!("cx {args};"),
+                    Gate::Cz => format!("cz {args};"),
+                    Gate::Swap => format!("swap {args};"),
+                    Gate::CPhase(p) => format!("cu1({}) {args};", fmt_angle(p)?),
+                    Gate::Rzz(p) => format!("rzz({}) {args};", fmt_angle(p)?),
+                    Gate::Ccx => format!("ccx {args};"),
+                    Gate::Ccz => {
+                        return Err(CircuitError::QasmUnsupported("ccz".into()))
+                    }
+                    Gate::Cswap => format!("cswap {args};"),
+                    Gate::ISwap => {
+                        return Err(CircuitError::QasmUnsupported("iswap".into()))
+                    }
+                    Gate::U1(_) | Gate::U2(_) | Gate::U(..) => {
+                        return Err(CircuitError::QasmUnsupported(
+                            "arbitrary matrix gate".into(),
+                        ))
+                    }
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+            OpKind::Measure { key } => {
+                for (i, q) in op.support().iter().enumerate() {
+                    let _ = writeln!(out, "measure q[{}] -> {key}[{i}];", q.0);
+                }
+            }
+            OpKind::Channel(c) => {
+                return Err(CircuitError::QasmUnsupported(c.name().to_string()))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn symbolic_err(g: &Gate) -> CircuitError {
+    CircuitError::QasmUnsupported(format!("symbolic parameter on {}", g.name()))
+}
+
+fn fmt_angle(p: &Param) -> Result<String, CircuitError> {
+    match p.value() {
+        Ok(v) => Ok(fmt_f64(v)),
+        Err(_) => Err(CircuitError::QasmUnsupported(
+            "symbolic parameter".into(),
+        )),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Enough digits for exact f64 round-trip.
+    format!("{v:.17}")
+}
+
+/// Parses an OpenQASM 2.0 program (the subset produced by [`to_qasm`] plus
+/// common hand-written variants) into a circuit.
+///
+/// Measurements are grouped by classical register: all `measure` lines
+/// targeting the same creg become one multi-qubit measurement keyed by the
+/// register name, ordered by classical index.
+pub fn from_qasm(source: &str) -> Result<Circuit, CircuitError> {
+    let mut circuit = Circuit::new();
+    let mut qreg: Option<(String, usize)> = None;
+    let mut cregs: HashMap<String, usize> = HashMap::new();
+    // creg name -> (classical index -> qubit)
+    let mut pending_measures: Vec<(String, Vec<(usize, Qubit)>)> = Vec::new();
+
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        // strip comments
+        let code = match raw_line.find("//") {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+        for stmt in code.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg ") {
+                let (name, size) = parse_reg_decl(rest, line)?;
+                if qreg.is_some() {
+                    return Err(parse_err(line, "multiple qreg declarations"));
+                }
+                qreg = Some((name, size));
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("creg ") {
+                let (name, size) = parse_reg_decl(rest, line)?;
+                cregs.insert(name, size);
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("measure ") {
+                let (q, key, cidx) = parse_measure(rest, line, &qreg)?;
+                if !cregs.contains_key(&key) {
+                    return Err(parse_err(line, &format!("unknown creg '{key}'")));
+                }
+                match pending_measures.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, entries)) => entries.push((cidx, q)),
+                    None => pending_measures.push((key, vec![(cidx, q)])),
+                }
+                continue;
+            }
+            if stmt.starts_with("barrier") {
+                continue; // no-op for simulation purposes
+            }
+            // gate application: name[(args)] q[i](, q[j])*
+            let op = parse_gate_stmt(stmt, line, &qreg)?;
+            circuit.append(op, InsertStrategy::Earliest);
+        }
+    }
+
+    for (key, mut entries) in pending_measures {
+        entries.sort_by_key(|(cidx, _)| *cidx);
+        let qubits: Vec<Qubit> = entries.into_iter().map(|(_, q)| q).collect();
+        circuit.append(
+            Operation::measure(qubits, &key)?,
+            InsertStrategy::Earliest,
+        );
+    }
+    Ok(circuit)
+}
+
+fn parse_err(line: usize, message: &str) -> CircuitError {
+    CircuitError::QasmParse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Parses `name[size]`.
+fn parse_reg_decl(rest: &str, line: usize) -> Result<(String, usize), CircuitError> {
+    let rest = rest.trim();
+    let open = rest
+        .find('[')
+        .ok_or_else(|| parse_err(line, "expected '[' in register declaration"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| parse_err(line, "expected ']' in register declaration"))?;
+    let name = rest[..open].trim().to_string();
+    let size: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| parse_err(line, "invalid register size"))?;
+    Ok((name, size))
+}
+
+/// Parses `q[i] -> key[j]`.
+fn parse_measure(
+    rest: &str,
+    line: usize,
+    qreg: &Option<(String, usize)>,
+) -> Result<(Qubit, String, usize), CircuitError> {
+    let parts: Vec<&str> = rest.split("->").collect();
+    if parts.len() != 2 {
+        return Err(parse_err(line, "expected 'measure q[i] -> c[j]'"));
+    }
+    let q = parse_qubit_ref(parts[0].trim(), line, qreg)?;
+    let target = parts[1].trim();
+    let open = target
+        .find('[')
+        .ok_or_else(|| parse_err(line, "expected '[' in measure target"))?;
+    let close = target
+        .find(']')
+        .ok_or_else(|| parse_err(line, "expected ']' in measure target"))?;
+    let key = target[..open].trim().to_string();
+    let cidx: usize = target[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| parse_err(line, "invalid classical index"))?;
+    Ok((q, key, cidx))
+}
+
+fn parse_qubit_ref(
+    s: &str,
+    line: usize,
+    qreg: &Option<(String, usize)>,
+) -> Result<Qubit, CircuitError> {
+    let (qname, qsize) = qreg
+        .as_ref()
+        .ok_or_else(|| parse_err(line, "qubit used before qreg declaration"))?;
+    let open = s
+        .find('[')
+        .ok_or_else(|| parse_err(line, "expected '[' in qubit reference"))?;
+    let close = s
+        .find(']')
+        .ok_or_else(|| parse_err(line, "expected ']' in qubit reference"))?;
+    let name = s[..open].trim();
+    if name != qname {
+        return Err(parse_err(line, &format!("unknown register '{name}'")));
+    }
+    let idx: usize = s[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| parse_err(line, "invalid qubit index"))?;
+    if idx >= *qsize {
+        return Err(parse_err(line, &format!("qubit index {idx} out of range")));
+    }
+    Ok(Qubit(idx as u32))
+}
+
+/// Parses a gate application statement.
+fn parse_gate_stmt(
+    stmt: &str,
+    line: usize,
+    qreg: &Option<(String, usize)>,
+) -> Result<Operation, CircuitError> {
+    // split name(+params) from operand list at the first whitespace outside parens
+    let mut depth = 0usize;
+    let mut split_at = None;
+    for (i, ch) in stmt.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c.is_whitespace() && depth == 0 => {
+                split_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let split_at = split_at.ok_or_else(|| parse_err(line, "expected gate operands"))?;
+    let (head, operands) = stmt.split_at(split_at);
+
+    let (name, params) = match head.find('(') {
+        Some(open) => {
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| parse_err(line, "unterminated parameter list"))?;
+            let plist = &head[open + 1..close];
+            let params: Result<Vec<f64>, CircuitError> = plist
+                .split(',')
+                .map(|e| parse_angle(e.trim(), line))
+                .collect();
+            (head[..open].trim(), params?)
+        }
+        None => (head.trim(), Vec::new()),
+    };
+
+    let qubits: Result<Vec<Qubit>, CircuitError> = operands
+        .split(',')
+        .map(|s| parse_qubit_ref(s.trim(), line, qreg))
+        .collect();
+    let qubits = qubits?;
+
+    let need = |k: usize| -> Result<(), CircuitError> {
+        if params.len() != k {
+            Err(parse_err(
+                line,
+                &format!("gate {name} expects {k} parameter(s), got {}", params.len()),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+
+    let gate = match name {
+        "id" => Gate::I,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::SqrtX,
+        "sxdg" => Gate::SqrtXDag,
+        "rx" => {
+            need(1)?;
+            Gate::Rx(params[0].into())
+        }
+        "ry" => {
+            need(1)?;
+            Gate::Ry(params[0].into())
+        }
+        "rz" => {
+            need(1)?;
+            Gate::Rz(params[0].into())
+        }
+        "u1" | "p" => {
+            need(1)?;
+            Gate::ZPow((params[0] / PI).into())
+        }
+        "cx" | "CX" => Gate::Cnot,
+        "cz" => Gate::Cz,
+        "swap" => Gate::Swap,
+        "cu1" | "cp" => {
+            need(1)?;
+            Gate::CPhase(params[0].into())
+        }
+        "rzz" => {
+            need(1)?;
+            Gate::Rzz(params[0].into())
+        }
+        "ccx" => Gate::Ccx,
+        "cswap" => Gate::Cswap,
+        other => {
+            return Err(parse_err(line, &format!("unsupported gate '{other}'")));
+        }
+    };
+    Operation::gate(gate, qubits)
+}
+
+/// Evaluates a QASM angle expression: product/quotient chains over numbers
+/// and `pi`, with an optional leading sign (e.g. `-3*pi/4`, `0.5`, `pi`).
+fn parse_angle(expr: &str, line: usize) -> Result<f64, CircuitError> {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return Err(parse_err(line, "empty angle expression"));
+    }
+    let (sign, rest) = match expr.strip_prefix('-') {
+        Some(r) => (-1.0, r.trim()),
+        None => (1.0, expr.strip_prefix('+').unwrap_or(expr).trim()),
+    };
+    let mut value = 1.0f64;
+    let mut op = '*';
+    for token in tokenize_angle(rest) {
+        match token.as_str() {
+            "*" | "/" => op = token.chars().next().unwrap(),
+            t => {
+                let v = if t == "pi" {
+                    PI
+                } else {
+                    t.parse::<f64>()
+                        .map_err(|_| parse_err(line, &format!("bad angle token '{t}'")))?
+                };
+                if op == '*' {
+                    value *= v;
+                } else {
+                    value /= v;
+                }
+            }
+        }
+    }
+    Ok(sign * value)
+}
+
+fn tokenize_angle(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '*' | '/' => {
+                if !cur.trim().is_empty() {
+                    tokens.push(cur.trim().to_string());
+                }
+                cur.clear();
+                tokens.push(ch.to_string());
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        tokens.push(cur.trim().to_string());
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(g: Gate, qs: &[u32]) -> Operation {
+        Operation::gate(g, qs.iter().map(|&q| Qubit(q)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn ghz_with_measure() -> Circuit {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(Operation::measure(vec![Qubit(0), Qubit(1)], "z").unwrap());
+        c
+    }
+
+    #[test]
+    fn export_contains_expected_lines() {
+        let q = to_qasm(&ghz_with_measure()).unwrap();
+        assert!(q.contains("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[2];"));
+        assert!(q.contains("creg z[2];"));
+        assert!(q.contains("h q[0];"));
+        assert!(q.contains("cx q[0], q[1];"));
+        assert!(q.contains("measure q[0] -> z[0];"));
+        assert!(q.contains("measure q[1] -> z[1];"));
+    }
+
+    #[test]
+    fn round_trip_preserves_operations() {
+        let c = ghz_with_measure();
+        let q = to_qasm(&c).unwrap();
+        let back = from_qasm(&q).unwrap();
+        assert_eq!(back.num_operations(), c.num_operations());
+        assert!(back.has_measurements());
+        let u1 = c.without_measurements().unitary(2).unwrap();
+        let u2 = back.without_measurements().unitary(2).unwrap();
+        assert!(u1.approx_eq(&u2, 1e-12));
+    }
+
+    #[test]
+    fn round_trip_rotations_exactly() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Rx(0.12345.into()), &[0]));
+        c.push(op(Gate::Rz((PI / 3.0).into()), &[1]));
+        c.push(op(Gate::Rzz(0.77.into()), &[0, 1]));
+        c.push(op(Gate::CPhase(1.5.into()), &[1, 2]));
+        let back = from_qasm(&to_qasm(&c).unwrap()).unwrap();
+        let u1 = c.unitary(3).unwrap();
+        let u2 = back.unitary(3).unwrap();
+        assert!(u1.approx_eq(&u2, 1e-10));
+    }
+
+    #[test]
+    fn zpow_round_trips_via_u1() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::ZPow(0.25.into()), &[0]));
+        let q = to_qasm(&c).unwrap();
+        assert!(q.contains("u1("));
+        let back = from_qasm(&q).unwrap();
+        let u1 = c.unitary(1).unwrap();
+        let u2 = back.unitary(1).unwrap();
+        assert!(u1.approx_eq(&u2, 1e-12));
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[1];
+            rz(pi/2) q[0];
+            rx(-pi/4) q[0];
+            ry(3*pi/4) q[0];
+            rz(0.5) q[0];
+        "#;
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.num_operations(), 4);
+        let gates: Vec<f64> = c
+            .all_operations()
+            .map(|o| match o.as_gate().unwrap() {
+                Gate::Rz(p) | Gate::Rx(p) | Gate::Ry(p) => p.value().unwrap(),
+                _ => panic!(),
+            })
+            .collect();
+        assert!((gates[0] - PI / 2.0).abs() < 1e-12);
+        assert!((gates[1] + PI / 4.0).abs() < 1e-12);
+        assert!((gates[2] - 3.0 * PI / 4.0).abs() < 1e-12);
+        assert!((gates[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_barriers_ignored() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\n// a comment\nh q[0]; // trailing\nbarrier q[0], q[1];\ncx q[0], q[1];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.num_operations(), 2);
+    }
+
+    #[test]
+    fn unknown_gate_is_an_error_with_line() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nfancy q[0];\n";
+        match from_qasm(src) {
+            Err(CircuitError::QasmParse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("fancy"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[5];\n";
+        assert!(from_qasm(src).is_err());
+    }
+
+    #[test]
+    fn channels_not_exportable() {
+        use crate::channel::Channel;
+        let mut c = Circuit::new();
+        c.push(Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap());
+        assert!(matches!(
+            to_qasm(&c),
+            Err(CircuitError::QasmUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn symbolic_params_not_exportable() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Rz(Param::symbol("x")), &[0]));
+        assert!(matches!(
+            to_qasm(&c),
+            Err(CircuitError::QasmUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn measure_grouping_by_creg_ordered_by_classical_index() {
+        let src = "OPENQASM 2.0;\nqreg q[3];\ncreg m[3];\nh q[0];\nmeasure q[2] -> m[0];\nmeasure q[0] -> m[1];\nmeasure q[1] -> m[2];\n";
+        let c = from_qasm(src).unwrap();
+        let m = c
+            .all_operations()
+            .find(|o| o.is_measurement())
+            .expect("has measurement");
+        assert_eq!(m.support(), &[Qubit(2), Qubit(0), Qubit(1)]);
+    }
+}

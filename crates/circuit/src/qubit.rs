@@ -1,0 +1,60 @@
+//! Qubit identifiers.
+
+use std::fmt;
+
+/// A qubit on an integer line (the Cirq `LineQubit` substitute).
+///
+/// The wrapped index is the qubit's position; circuits address state-vector
+/// amplitudes with bit `i` of a bitstring belonging to `Qubit(i)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The first `n` line qubits, `q0 .. q{n-1}`.
+    pub fn range(n: usize) -> Vec<Qubit> {
+        (0..n as u32).map(Qubit).collect()
+    }
+
+    /// The line index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(i: u32) -> Self {
+        Qubit(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_produces_sequential_qubits() {
+        let qs = Qubit::range(4);
+        assert_eq!(qs.len(), 4);
+        assert_eq!(qs[0], Qubit(0));
+        assert_eq!(qs[3].index(), 3);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit(1) < Qubit(2));
+        assert_eq!(format!("{}", Qubit(7)), "q7");
+    }
+}

@@ -1,0 +1,261 @@
+//! Random circuit generation — the `bgls.generate_random_circuit`
+//! substitute (paper Sec. 4.1.3), with a simple gate-set specification.
+
+use crate::circuit::{Circuit, InsertStrategy};
+use crate::gate::Gate;
+use crate::moment::Moment;
+use crate::op::Operation;
+use crate::qubit::Qubit;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters for [`generate_random_circuit`].
+#[derive(Clone, Debug)]
+pub struct RandomCircuitParams {
+    /// Number of line qubits.
+    pub qubits: usize,
+    /// Number of moments (layers).
+    pub moments: usize,
+    /// Probability that a free qubit slot receives an operation in each
+    /// moment (Cirq's `op_density`).
+    pub op_density: f64,
+    /// Gates to draw from, uniformly among those whose arity still fits.
+    pub gate_set: Vec<Gate>,
+}
+
+impl RandomCircuitParams {
+    /// Random circuits over the paper's Clifford generator set
+    /// (H, S, CNOT) with full op density.
+    pub fn clifford(qubits: usize, moments: usize) -> Self {
+        RandomCircuitParams {
+            qubits,
+            moments,
+            op_density: 1.0,
+            gate_set: vec![Gate::H, Gate::S, Gate::Cnot],
+        }
+    }
+
+    /// Random Clifford+T circuits (the near-Clifford workload of Sec. 4.2).
+    pub fn clifford_t(qubits: usize, moments: usize) -> Self {
+        RandomCircuitParams {
+            qubits,
+            moments,
+            op_density: 1.0,
+            gate_set: vec![Gate::H, Gate::S, Gate::Cnot, Gate::T],
+        }
+    }
+}
+
+/// Generates a random circuit: per moment, qubits are shuffled and greedily
+/// packed with gates drawn from the gate set.
+pub fn generate_random_circuit(params: &RandomCircuitParams, rng: &mut impl Rng) -> Circuit {
+    assert!(params.qubits > 0, "need at least one qubit");
+    assert!(
+        (0.0..=1.0).contains(&params.op_density),
+        "op_density must be in [0, 1]"
+    );
+    assert!(
+        !params.gate_set.is_empty(),
+        "gate set must not be empty"
+    );
+    let min_arity = params
+        .gate_set
+        .iter()
+        .map(Gate::arity)
+        .min()
+        .expect("non-empty gate set");
+    assert!(
+        min_arity <= params.qubits,
+        "no gate in the set fits on {} qubits",
+        params.qubits
+    );
+
+    let mut circuit = Circuit::new();
+    let mut pool: Vec<u32> = (0..params.qubits as u32).collect();
+    for _ in 0..params.moments {
+        pool.shuffle(rng);
+        let mut moment = Moment::new();
+        let mut cursor = 0usize;
+        while cursor < pool.len() {
+            let remaining = pool.len() - cursor;
+            if remaining < min_arity {
+                break;
+            }
+            if !rng.gen_bool(params.op_density) {
+                cursor += 1;
+                continue;
+            }
+            let fitting: Vec<&Gate> = params
+                .gate_set
+                .iter()
+                .filter(|g| g.arity() <= remaining)
+                .collect();
+            let gate = (*fitting
+                .choose(rng)
+                .expect("at least one gate fits"))
+            .clone();
+            let arity = gate.arity();
+            let qubits: Vec<Qubit> = pool[cursor..cursor + arity]
+                .iter()
+                .map(|&q| Qubit(q))
+                .collect();
+            cursor += arity;
+            moment
+                .push(Operation::gate(gate, qubits).expect("pool qubits are distinct"))
+                .expect("pool slices are disjoint");
+        }
+        if !moment.is_empty() {
+            circuit.push_moment(moment);
+        }
+    }
+    circuit
+}
+
+/// Replaces `count` randomly chosen single-qubit gate operations with
+/// `replacement` (applied to the same qubit). Used to inject T gates into
+/// Clifford circuits (Fig. 5) and to swap T for S or R(theta) (Fig. 4).
+///
+/// Returns the modified circuit and the number of substitutions actually
+/// performed (less than `count` when the circuit has too few 1q gates).
+pub fn replace_single_qubit_gates(
+    circuit: &Circuit,
+    replacement: &Gate,
+    count: usize,
+    rng: &mut impl Rng,
+) -> (Circuit, usize) {
+    assert_eq!(replacement.arity(), 1, "replacement must be single-qubit");
+    // Collect flat indices of single-qubit gate operations.
+    let mut positions: Vec<usize> = Vec::new();
+    for (i, op) in circuit.all_operations().enumerate() {
+        if op.is_unitary() && op.support().len() == 1 {
+            positions.push(i);
+        }
+    }
+    positions.shuffle(rng);
+    let n = count.min(positions.len());
+    let chosen: std::collections::HashSet<usize> = positions[..n].iter().copied().collect();
+
+    let mut out = Circuit::new();
+    for (i, op) in circuit.all_operations().enumerate() {
+        if chosen.contains(&i) {
+            out.append(
+                Operation::gate(replacement.clone(), op.support().to_vec())
+                    .expect("same qubit, arity 1"),
+                InsertStrategy::Earliest,
+            );
+        } else {
+            out.append(op.clone(), InsertStrategy::Earliest);
+        }
+    }
+    (out, n)
+}
+
+/// Replaces every occurrence of gate `from` with `to` (matching on the gate
+/// value, e.g. every `T` becomes `S`). Arities must match.
+pub fn substitute_gate(circuit: &Circuit, from: &Gate, to: &Gate) -> Circuit {
+    assert_eq!(from.arity(), to.arity(), "substitute_gate arity mismatch");
+    let mut out = Circuit::new();
+    for m in circuit.moments() {
+        let ops = m.operations().iter().map(|op| {
+            if op.as_gate() == Some(from) {
+                Operation::gate(to.clone(), op.support().to_vec()).expect("same arity")
+            } else {
+                op.clone()
+            }
+        });
+        out.push_moment(Moment::from_ops(ops).expect("structure preserved"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clifford_circuit_uses_only_generators() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = generate_random_circuit(&RandomCircuitParams::clifford(8, 20), &mut rng);
+        assert!(c.depth() > 0 && c.depth() <= 20);
+        assert!(c.is_clifford());
+        assert!(c.num_qubits() <= 8);
+        for op in c.all_operations() {
+            let g = op.as_gate().unwrap();
+            assert!(matches!(g, Gate::H | Gate::S | Gate::Cnot));
+        }
+    }
+
+    #[test]
+    fn full_density_packs_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = generate_random_circuit(&RandomCircuitParams::clifford(10, 5), &mut rng);
+        // with density 1 and 1q gates available, every moment covers >= 9 qubits
+        for m in c.moments() {
+            let used: usize = m.operations().iter().map(|o| o.support().len()).sum();
+            assert!(used >= 9, "moment only uses {used} qubits");
+        }
+    }
+
+    #[test]
+    fn zero_density_gives_empty_circuit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = RandomCircuitParams {
+            qubits: 4,
+            moments: 10,
+            op_density: 0.0,
+            gate_set: vec![Gate::H],
+        };
+        let c = generate_random_circuit(&params, &mut rng);
+        assert_eq!(c.num_operations(), 0);
+    }
+
+    #[test]
+    fn determinism_with_seed() {
+        let params = RandomCircuitParams::clifford_t(6, 15);
+        let c1 = generate_random_circuit(&params, &mut StdRng::seed_from_u64(42));
+        let c2 = generate_random_circuit(&params, &mut StdRng::seed_from_u64(42));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn replace_injects_exactly_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = generate_random_circuit(&RandomCircuitParams::clifford(8, 30), &mut rng);
+        let before_t = c.count_ops_where(|op| op.as_gate() == Some(&Gate::T));
+        assert_eq!(before_t, 0);
+        let (c2, n) = replace_single_qubit_gates(&c, &Gate::T, 5, &mut rng);
+        assert_eq!(n, 5);
+        let after_t = c2.count_ops_where(|op| op.as_gate() == Some(&Gate::T));
+        assert_eq!(after_t, 5);
+        assert_eq!(c.num_operations(), c2.num_operations());
+    }
+
+    #[test]
+    fn replace_caps_at_available() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        let (c2, n) = replace_single_qubit_gates(&c, &Gate::T, 10, &mut rng);
+        assert_eq!(n, 1); // only one 1q gate existed
+        assert_eq!(
+            c2.count_ops_where(|op| op.as_gate() == Some(&Gate::T)),
+            1
+        );
+    }
+
+    #[test]
+    fn substitute_t_with_s() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = generate_random_circuit(&RandomCircuitParams::clifford_t(6, 20), &mut rng);
+        let subbed = substitute_gate(&c, &Gate::T, &Gate::S);
+        assert_eq!(
+            subbed.count_ops_where(|op| op.as_gate() == Some(&Gate::T)),
+            0
+        );
+        assert!(subbed.is_clifford());
+        assert_eq!(subbed.depth(), c.depth());
+    }
+}

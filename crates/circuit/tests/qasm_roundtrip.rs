@@ -1,0 +1,77 @@
+//! Property test: QASM export -> import preserves circuit semantics for
+//! every exportable random circuit.
+
+use bgls_circuit::{
+    from_qasm, generate_random_circuit, to_qasm, Gate, RandomCircuitParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn exportable_gate_pool() -> Vec<Gate> {
+    vec![
+        Gate::I,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::SqrtX,
+        Gate::SqrtXDag,
+        Gate::Rx(0.123.into()),
+        Gate::Ry((-1.7).into()),
+        Gate::Rz(2.9.into()),
+        Gate::ZPow(0.31.into()),
+        Gate::Cnot,
+        Gate::Cz,
+        Gate::Swap,
+        Gate::CPhase(0.77.into()),
+        Gate::Rzz(1.21.into()),
+        Gate::Ccx,
+        Gate::Cswap,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn qasm_round_trip_preserves_unitary(
+        seed in 0u64..100_000,
+        n in 3usize..6,
+        moments in 1usize..10,
+    ) {
+        let params = RandomCircuitParams {
+            qubits: n,
+            moments,
+            op_density: 0.8,
+            gate_set: exportable_gate_pool(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generate_random_circuit(&params, &mut rng);
+        let qasm = to_qasm(&circuit).expect("exportable pool");
+        let back = from_qasm(&qasm).expect("own output must parse");
+        prop_assert_eq!(back.num_operations(), circuit.num_operations());
+        let u1 = circuit.unitary(n).unwrap();
+        let u2 = back.unitary(n).unwrap();
+        prop_assert!(u1.approx_eq(&u2, 1e-9), "unitary drifted through QASM");
+    }
+
+    #[test]
+    fn qasm_double_round_trip_is_stable(seed in 0u64..100_000) {
+        let params = RandomCircuitParams {
+            qubits: 4,
+            moments: 6,
+            op_density: 1.0,
+            gate_set: exportable_gate_pool(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generate_random_circuit(&params, &mut rng);
+        let q1 = to_qasm(&circuit).unwrap();
+        let q2 = to_qasm(&from_qasm(&q1).unwrap()).unwrap();
+        prop_assert_eq!(q1, q2, "export must be a fixed point after one trip");
+    }
+}

@@ -1,0 +1,206 @@
+//! The conventional qubit-by-qubit sampler (paper Sec. 2) — the baseline
+//! the gate-by-gate algorithm is compared against.
+//!
+//! It first evolves the full circuit, then samples each qubit sequentially
+//! from its marginal distribution conditioned on earlier outcomes. Each
+//! sample costs `n` marginal evaluations of the *final* state; marginals
+//! cost roughly a `f(n, 2d)` bitstring-probability equivalent, which is the
+//! source of the gate-by-gate advantage quoted in Sec. 2.
+
+use crate::bitstring::BitString;
+use crate::error::SimError;
+use crate::results::RunResult;
+use crate::state::MarginalState;
+use bgls_circuit::{Circuit, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Qubit-by-qubit sampler over any [`MarginalState`] backend.
+pub struct QubitByQubitSimulator<S: MarginalState> {
+    initial_state: S,
+    seed: Option<u64>,
+}
+
+impl<S: MarginalState> QubitByQubitSimulator<S> {
+    /// Builds the sampler with the given initial state.
+    pub fn new(initial_state: S) -> Self {
+        QubitByQubitSimulator {
+            initial_state,
+            seed: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    fn make_rng(&self) -> StdRng {
+        match self.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_entropy(),
+        }
+    }
+
+    /// Evolves the full circuit (gates only — channels are not supported by
+    /// the conventional path here, and measurements are skipped).
+    fn evolve(&self, circuit: &Circuit) -> Result<S, SimError> {
+        let mut state = self.initial_state.clone();
+        for op in circuit.all_operations() {
+            match &op.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    state.apply_gate(g, &qs)?;
+                }
+                OpKind::Measure { .. } => {}
+                OpKind::Channel(c) => {
+                    return Err(SimError::Unsupported(format!(
+                        "channel {} in the qubit-by-qubit baseline",
+                        c.name()
+                    )));
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Samples one bitstring from an evolved state by sequential
+    /// conditional marginals.
+    fn sample_one(&self, state: &S, rng: &mut StdRng) -> Result<BitString, SimError> {
+        let n = state.num_qubits();
+        let mut assignment: Vec<(usize, bool)> = Vec::with_capacity(n);
+        let mut prefix_prob = 1.0f64;
+        for q in 0..n {
+            assignment.push((q, true));
+            let p1_joint = state.marginal_probability(&assignment);
+            assignment.pop();
+            if prefix_prob.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(SimError::ZeroProbabilityEvent);
+            }
+            let p1 = (p1_joint / prefix_prob).clamp(0.0, 1.0);
+            let bit = rng.gen::<f64>() < p1;
+            assignment.push((q, bit));
+            prefix_prob = if bit { p1_joint } else { prefix_prob - p1_joint };
+        }
+        Ok(BitString::from_bits(
+            assignment.into_iter().map(|(_, b)| b),
+        ))
+    }
+
+    /// Samples `repetitions` final-state bitstrings (measurements ignored),
+    /// mirroring [`crate::Simulator::sample_final_bitstrings`].
+    pub fn sample_final_bitstrings(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+    ) -> Result<Vec<BitString>, SimError> {
+        let state = self.evolve(circuit)?;
+        let mut rng = self.make_rng();
+        (0..repetitions)
+            .map(|_| self.sample_one(&state, &mut rng))
+            .collect()
+    }
+
+    /// Runs the circuit, recording terminal measurements — the conventional
+    /// counterpart of [`crate::Simulator::run`].
+    pub fn run(&self, circuit: &Circuit, repetitions: u64) -> Result<RunResult, SimError> {
+        if !circuit.has_measurements() {
+            return Err(SimError::NoMeasurements);
+        }
+        if !circuit.measurements_are_terminal() {
+            return Err(SimError::Unsupported(
+                "mid-circuit measurement in the qubit-by-qubit baseline".into(),
+            ));
+        }
+        let state = self.evolve(circuit)?;
+        let mut rng = self.make_rng();
+        let mut result = RunResult::new(repetitions);
+        let measures: Vec<(&str, Vec<usize>)> = circuit
+            .all_operations()
+            .filter_map(|op| match &op.kind {
+                OpKind::Measure { key } => Some((
+                    key.as_ref(),
+                    op.support().iter().map(|q| q.index()).collect(),
+                )),
+                _ => None,
+            })
+            .collect();
+        for _ in 0..repetitions {
+            let b = self.sample_one(&state, &mut rng)?;
+            for (key, qs) in &measures {
+                result.record(key, b.restrict(qs), 1);
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::testing::RefState;
+    use bgls_circuit::{Gate, Operation, Qubit};
+
+    fn ghz_measured(n: usize) -> Circuit {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        for i in 1..n {
+            c.push(
+                Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap(),
+            );
+        }
+        c.push(Operation::measure(Qubit::range(n), "z").unwrap());
+        c
+    }
+
+    #[test]
+    fn ghz_correlations_reproduced() {
+        let sim = QubitByQubitSimulator::new(RefState::zero(3)).with_seed(5);
+        let r = sim.run(&ghz_measured(3), 1000).unwrap();
+        let h = r.histogram("z").unwrap();
+        assert_eq!(h.count_value(0) + h.count_value(0b111), 1000);
+        assert!(h.count_value(0) > 380 && h.count_value(0) < 620);
+    }
+
+    #[test]
+    fn agrees_with_gate_by_gate_on_biased_state(){
+        // Ry rotation giving P(1) = sin^2(0.6/2)
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::Ry(0.6.into()), vec![Qubit(0)]).unwrap());
+        let qbq = QubitByQubitSimulator::new(RefState::zero(1)).with_seed(9);
+        let samples = qbq.sample_final_bitstrings(&c, 20000).unwrap();
+        let f1 = samples.iter().filter(|b| b.get(0)).count() as f64 / 20000.0;
+        let expect = (0.3f64).sin().powi(2);
+        assert!((f1 - expect).abs() < 0.01, "f1={f1} expect={expect}");
+    }
+
+    #[test]
+    fn channels_unsupported() {
+        use bgls_circuit::Channel;
+        let mut c = Circuit::new();
+        c.push(
+            Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap(),
+        );
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let sim = QubitByQubitSimulator::new(RefState::zero(1));
+        assert!(matches!(sim.run(&c, 1), Err(SimError::Unsupported(_))));
+    }
+
+    #[test]
+    fn mid_circuit_measurement_unsupported() {
+        let mut c = Circuit::new();
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        c.push(Operation::gate(Gate::X, vec![Qubit(0)]).unwrap());
+        let sim = QubitByQubitSimulator::new(RefState::zero(1));
+        assert!(matches!(sim.run(&c, 1), Err(SimError::Unsupported(_))));
+    }
+
+    #[test]
+    fn requires_measurement_for_run() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        let sim = QubitByQubitSimulator::new(RefState::zero(1));
+        assert!(matches!(sim.run(&c, 1), Err(SimError::NoMeasurements)));
+    }
+}

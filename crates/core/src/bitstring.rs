@@ -1,0 +1,238 @@
+//! Measurement bitstrings.
+//!
+//! The gate-by-gate algorithm walks the circuit holding a concrete
+//! bitstring `b = b_0 b_1 ... b_{n-1}` that is resampled over each gate's
+//! support (paper Sec. 2). Bitstrings are the hot key of the
+//! sample-parallelization multiplicity map, so they are a `Copy` `u64`
+//! (limiting circuits to 64 qubits, ample for every experiment in the
+//! paper: dense states cap out near 20 qubits and the widest stabilizer
+//! sweep uses 64).
+
+use std::fmt;
+
+/// A fixed-width bitstring over at most 64 qubits. Bit `i` is qubit `i`'s
+/// measured value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitString {
+    bits: u64,
+    len: u8,
+}
+
+impl BitString {
+    /// Maximum supported width.
+    pub const MAX_QUBITS: usize = 64;
+
+    /// The all-zeros string on `len` qubits.
+    pub fn zeros(len: usize) -> Self {
+        assert!(
+            len <= Self::MAX_QUBITS,
+            "BitString supports at most 64 qubits, got {len}"
+        );
+        BitString { bits: 0, len: len as u8 }
+    }
+
+    /// Builds from the low `len` bits of `value` (bit `i` = qubit `i`).
+    pub fn from_u64(len: usize, value: u64) -> Self {
+        let mut b = Self::zeros(len);
+        b.bits = if len >= 64 {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        };
+        b
+    }
+
+    /// Builds from per-qubit boolean values.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut b = Self::zeros(bits.len());
+        for (i, &bit) in bits.iter().enumerate() {
+            b.set(i, bit);
+        }
+        b
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the width-0 string.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw bits (bit `i` = qubit `i`).
+    #[inline]
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// Qubit `i`'s value.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len());
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Sets qubit `i`'s value.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len());
+        if value {
+            self.bits |= 1 << i;
+        } else {
+            self.bits &= !(1 << i);
+        }
+    }
+
+    /// Copy with qubit `i` set to `value`.
+    #[inline]
+    pub fn with_bit(mut self, i: usize, value: bool) -> Self {
+        self.set(i, value);
+        self
+    }
+
+    /// Number of 1 bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Replaces the bits at `support` positions with the bits of `value`:
+    /// bit `j` of `value` lands on qubit `support[j]`. This generates the
+    /// candidate bitstrings of the gate-by-gate step.
+    #[inline]
+    pub fn with_support_value(&self, support: &[usize], value: u64) -> Self {
+        let mut out = *self;
+        for (j, &q) in support.iter().enumerate() {
+            out.set(q, (value >> j) & 1 == 1);
+        }
+        out
+    }
+
+    /// Reads the bits at `support` positions into a compact value
+    /// (inverse of [`BitString::with_support_value`]).
+    #[inline]
+    pub fn support_value(&self, support: &[usize]) -> u64 {
+        let mut v = 0u64;
+        for (j, &q) in support.iter().enumerate() {
+            v |= (self.get(q) as u64) << j;
+        }
+        v
+    }
+
+    /// All `2^k` candidate bitstrings obtained by varying this string over
+    /// `support` (k = support length, which must be < 64).
+    pub fn candidates(&self, support: &[usize]) -> Vec<BitString> {
+        let k = support.len();
+        assert!(k < 64, "candidate enumeration over {k} qubits");
+        (0..(1u64 << k))
+            .map(|v| self.with_support_value(support, v))
+            .collect()
+    }
+
+    /// Restricts to the listed qubits, producing a compact bitstring of
+    /// width `qubits.len()` (bit `j` = value of `qubits[j]`). Used to
+    /// record measurement outcomes in key order.
+    pub fn restrict(&self, qubits: &[usize]) -> BitString {
+        BitString::from_u64(qubits.len(), self.support_value(qubits))
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for BitString {
+    /// Displays as `b_0 b_1 ... b_{n-1}` (qubit 0 first, matching the
+    /// paper's `b0 b1 ... bn` notation).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len() {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_basic_bits() {
+        let mut b = BitString::zeros(5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_u64(), 0);
+        b.set(3, true);
+        assert!(b.get(3));
+        assert!(!b.get(2));
+        assert_eq!(b.as_u64(), 0b01000);
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn from_u64_masks_to_width() {
+        let b = BitString::from_u64(3, 0b11111);
+        assert_eq!(b.as_u64(), 0b111);
+        let full = BitString::from_u64(64, u64::MAX);
+        assert_eq!(full.count_ones(), 64);
+    }
+
+    #[test]
+    fn support_substitution() {
+        let b = BitString::from_u64(4, 0b1010);
+        // vary qubits 1 and 3 (value bit0 -> qubit1, bit1 -> qubit3)
+        let c = b.with_support_value(&[1, 3], 0b01);
+        assert_eq!(c.as_u64(), 0b0010);
+        let c = b.with_support_value(&[1, 3], 0b10);
+        assert_eq!(c.as_u64(), 0b1000);
+        assert_eq!(b.support_value(&[1, 3]), 0b11);
+    }
+
+    #[test]
+    fn candidates_enumerate_support() {
+        let b = BitString::from_u64(3, 0b101);
+        let cands = b.candidates(&[0, 2]);
+        assert_eq!(cands.len(), 4);
+        // all have qubit 1 = 0
+        assert!(cands.iter().all(|c| !c.get(1)));
+        // and cover all four (q0, q2) combinations
+        let values: std::collections::HashSet<u64> =
+            cands.iter().map(|c| c.as_u64()).collect();
+        assert_eq!(values, [0b000, 0b001, 0b100, 0b101].into_iter().collect());
+    }
+
+    #[test]
+    fn restrict_orders_by_listed_qubits() {
+        let b = BitString::from_u64(4, 0b0110); // q1=1, q2=1
+        let r = b.restrict(&[2, 0]);
+        assert_eq!(r.len(), 2);
+        // bit0 of r = q2 = 1, bit1 of r = q0 = 0
+        assert_eq!(r.as_u64(), 0b01);
+    }
+
+    #[test]
+    fn display_is_qubit_zero_first() {
+        let b = BitString::from_u64(4, 0b0011);
+        assert_eq!(format!("{b}"), "1100");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 qubits")]
+    fn too_wide_rejected() {
+        let _ = BitString::zeros(65);
+    }
+
+    #[test]
+    fn with_bit_is_pure() {
+        let b = BitString::zeros(2);
+        let c = b.with_bit(1, true);
+        assert_eq!(b.as_u64(), 0);
+        assert_eq!(c.as_u64(), 0b10);
+    }
+}

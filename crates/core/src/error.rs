@@ -1,0 +1,62 @@
+//! Simulation errors.
+
+use bgls_circuit::CircuitError;
+use std::fmt;
+
+/// Errors raised by the BGLS simulator and state backends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The state representation cannot perform the requested operation
+    /// (e.g. Kraus channels on a stabilizer state).
+    Unsupported(String),
+    /// A circuit-level error (arity, parameters, ...).
+    Circuit(CircuitError),
+    /// The circuit contains no measurement, but `run` was called.
+    NoMeasurements,
+    /// A gate was applied that is not Clifford while simulating with a
+    /// stabilizer state (and no near-Clifford channel is in use).
+    NotClifford(String),
+    /// Every candidate bitstring had zero probability — the state and
+    /// bitstring have diverged (indicates a backend bug or a non-unitary
+    /// operation applied without renormalization).
+    ZeroProbabilityEvent,
+    /// Qubit index out of range for the state.
+    QubitOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// State size.
+        num_qubits: usize,
+    },
+    /// Invalid argument.
+    Invalid(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unsupported(what) => write!(f, "unsupported by this state type: {what}"),
+            SimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SimError::NoMeasurements => {
+                write!(f, "circuit has no measurements; add a terminal measurement or use sample_final_bitstrings")
+            }
+            SimError::NotClifford(g) => {
+                write!(f, "gate {g} is not Clifford; use the near-Clifford apply hook")
+            }
+            SimError::ZeroProbabilityEvent => {
+                write!(f, "all candidate bitstrings have zero probability")
+            }
+            SimError::QubitOutOfRange { index, num_qubits } => {
+                write!(f, "qubit index {index} out of range for {num_qubits}-qubit state")
+            }
+            SimError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CircuitError> for SimError {
+    fn from(e: CircuitError) -> Self {
+        SimError::Circuit(e)
+    }
+}

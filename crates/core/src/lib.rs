@@ -1,0 +1,38 @@
+//! # bgls-core
+//!
+//! The gate-by-gate sampling simulator of Bravyi, Gosset & Liu (PRL 128,
+//! 220503), as packaged by the BGLS paper (SC-W 2023). State-representation
+//! agnostic: plug in any [`BglsState`] backend, or supply the paper's raw
+//! `(initial_state, apply_op, compute_probability)` triple via
+//! [`Simulator::with_hooks`].
+//!
+//! ```
+//! use bgls_core::{Simulator, BglsState};
+//! // (see bgls-statevector / bgls-stabilizer / bgls-mps for backends)
+//! ```
+//!
+//! Key pieces:
+//! * [`Simulator`] — gate-by-gate sampling with automatic sample
+//!   parallelization (paper Sec. 3.2.3) and quantum trajectories for
+//!   non-unitary operations (Sec. 3.2.1);
+//! * [`QubitByQubitSimulator`] — the conventional marginal-based baseline
+//!   (Sec. 2);
+//! * [`BitString`], [`RunResult`], [`Histogram`] — sampling I/O.
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod bitstring;
+mod error;
+mod results;
+mod simulator;
+mod state;
+
+pub use baseline::QubitByQubitSimulator;
+pub use bitstring::BitString;
+pub use error::SimError;
+pub use results::{Histogram, RunResult};
+pub use simulator::{
+    categorical, multinomial_split, ApplyFn, ProbFn, Simulator, SimulatorOptions,
+};
+pub use state::{AmplitudeState, BglsState, MarginalState};

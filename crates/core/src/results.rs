@@ -1,0 +1,223 @@
+//! Run results: measurement histograms per key.
+
+use crate::bitstring::BitString;
+use bgls_linalg::FxHashMap;
+use std::fmt;
+
+/// Histogram of measured bitstrings for one measurement key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    width: usize,
+    counts: FxHashMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `width`-bit outcomes.
+    pub fn new(width: usize) -> Self {
+        Histogram {
+            width,
+            counts: FxHashMap::default(),
+            total: 0,
+        }
+    }
+
+    /// Outcome width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Adds `count` observations of `outcome`.
+    pub fn record(&mut self, outcome: BitString, count: u64) {
+        debug_assert_eq!(outcome.len(), self.width);
+        *self.counts.entry(outcome.as_u64()).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for a specific outcome.
+    pub fn count(&self, outcome: BitString) -> u64 {
+        self.counts.get(&outcome.as_u64()).copied().unwrap_or(0)
+    }
+
+    /// Count for an outcome given as a raw value.
+    pub fn count_value(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(outcome, count)` pairs in ascending outcome order.
+    pub fn iter_sorted(&self) -> Vec<(BitString, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable();
+        v.into_iter()
+            .map(|(k, c)| (BitString::from_u64(self.width, k), c))
+            .collect()
+    }
+
+    /// The most frequent outcome, if any observations exist.
+    pub fn most_common(&self) -> Option<(BitString, u64)> {
+        self.counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&k, &c)| (BitString::from_u64(self.width, k), c))
+    }
+
+    /// Empirical probability of an outcome.
+    pub fn frequency(&self, outcome: BitString) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.total as f64
+        }
+    }
+
+    /// The empirical distribution as a dense vector of length `2^width`
+    /// (width must be small enough to allocate).
+    pub fn to_distribution(&self) -> Vec<f64> {
+        assert!(self.width <= 24, "distribution too wide to densify");
+        let mut p = vec![0.0; 1usize << self.width];
+        if self.total > 0 {
+            for (&k, &c) in &self.counts {
+                p[k as usize] = c as f64 / self.total as f64;
+            }
+        }
+        p
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (b, c) in self.iter_sorted() {
+            writeln!(f, "{b}: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`crate::Simulator::run`]: one histogram per measurement key.
+#[derive(Clone, Debug, Default)]
+pub struct RunResult {
+    repetitions: u64,
+    records: FxHashMap<String, Histogram>,
+}
+
+impl RunResult {
+    /// An empty result for `repetitions` runs.
+    pub fn new(repetitions: u64) -> Self {
+        RunResult {
+            repetitions,
+            records: FxHashMap::default(),
+        }
+    }
+
+    /// Number of repetitions requested.
+    pub fn repetitions(&self) -> u64 {
+        self.repetitions
+    }
+
+    /// Records an outcome under `key`.
+    pub fn record(&mut self, key: &str, outcome: BitString, count: u64) {
+        self.records
+            .entry(key.to_string())
+            .or_insert_with(|| Histogram::new(outcome.len()))
+            .record(outcome, count);
+    }
+
+    /// Histogram for a measurement key.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.records.get(key)
+    }
+
+    /// All measurement keys, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        let mut ks: Vec<&str> = self.records.keys().map(String::as_str).collect();
+        ks.sort_unstable();
+        ks
+    }
+
+    /// Merges another result into this one (summing histograms).
+    pub fn merge(&mut self, other: RunResult) {
+        self.repetitions += other.repetitions;
+        for (key, hist) in other.records {
+            match self.records.get_mut(&key) {
+                Some(mine) => {
+                    for (b, c) in hist.iter_sorted() {
+                        mine.record(b, c);
+                    }
+                }
+                None => {
+                    self.records.insert(key, hist);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_counts() {
+        let mut h = Histogram::new(2);
+        h.record(BitString::from_u64(2, 0b00), 7);
+        h.record(BitString::from_u64(2, 0b11), 3);
+        h.record(BitString::from_u64(2, 0b00), 1);
+        assert_eq!(h.total(), 11);
+        assert_eq!(h.count(BitString::from_u64(2, 0b00)), 8);
+        assert_eq!(h.count(BitString::from_u64(2, 0b01)), 0);
+        assert_eq!(h.support_size(), 2);
+        assert_eq!(h.most_common().unwrap().1, 8);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let mut h = Histogram::new(2);
+        h.record(BitString::from_u64(2, 0), 1);
+        h.record(BitString::from_u64(2, 3), 3);
+        let p = h.to_distribution();
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[3] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_sorted_is_ascending() {
+        let mut h = Histogram::new(3);
+        for v in [5u64, 1, 3] {
+            h.record(BitString::from_u64(3, v), 1);
+        }
+        let keys: Vec<u64> = h.iter_sorted().iter().map(|(b, _)| b.as_u64()).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn run_result_merge_sums() {
+        let mut a = RunResult::new(5);
+        a.record("z", BitString::from_u64(1, 0), 5);
+        let mut b = RunResult::new(5);
+        b.record("z", BitString::from_u64(1, 0), 2);
+        b.record("z", BitString::from_u64(1, 1), 3);
+        b.record("y", BitString::from_u64(1, 1), 5);
+        a.merge(b);
+        assert_eq!(a.repetitions(), 10);
+        assert_eq!(a.histogram("z").unwrap().total(), 10);
+        assert_eq!(a.histogram("z").unwrap().count_value(0), 7);
+        assert_eq!(a.keys(), vec!["y", "z"]);
+    }
+
+    #[test]
+    fn empty_histogram_frequency_is_zero() {
+        let h = Histogram::new(1);
+        assert_eq!(h.frequency(BitString::zeros(1)), 0.0);
+    }
+}

@@ -1,0 +1,904 @@
+//! The BGLS gate-by-gate sampling simulator (paper Secs. 2–3).
+//!
+//! The simulator walks the circuit one operation at a time keeping concrete
+//! bitstrings that are resampled over each gate's support from bitstring
+//! probabilities — never marginals. Three ingredients configure it, exactly
+//! mirroring the Python package's constructor: an initial state, an
+//! `apply_op` hook, and a `compute_probability` hook.
+//!
+//! Two execution paths:
+//! * **sample-parallelized** (Sec. 3.2.3): for unitary circuits with
+//!   terminal measurements the state evolves once and all repetitions ride
+//!   along in a `bitstring -> multiplicity` map, split multinomially at
+//!   each gate. Runtime saturates at large repetition counts (Fig. 2).
+//! * **trajectories** (Sec. 3.2.1): circuits with channels, mid-circuit
+//!   measurements, or stochastic apply hooks (sum-over-Cliffords) re-run
+//!   per repetition, optionally across Rayon threads.
+
+use crate::bitstring::BitString;
+use crate::error::SimError;
+use crate::results::RunResult;
+use crate::state::BglsState;
+use bgls_circuit::{Circuit, Gate, OpKind, Operation};
+use bgls_linalg::FxHashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{Binomial, Distribution};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Hook applying an operation to a state (the paper's `apply_op`).
+/// Receives an RNG so stochastic hooks (trajectories, sum-over-Cliffords)
+/// can branch.
+pub type ApplyFn<S> =
+    Arc<dyn Fn(&mut S, &Operation, &mut dyn RngCore) -> Result<(), SimError> + Send + Sync>;
+
+/// Hook computing a bitstring probability (the paper's
+/// `compute_probability`).
+pub type ProbFn<S> = Arc<dyn Fn(&S, BitString) -> f64 + Send + Sync>;
+
+/// Tuning knobs for [`Simulator`].
+#[derive(Clone, Debug)]
+pub struct SimulatorOptions {
+    /// RNG seed; `None` draws from entropy.
+    pub seed: Option<u64>,
+    /// Enable the multiplicity-map sample parallelization when the circuit
+    /// allows it (default `true`).
+    pub parallelize_samples: bool,
+    /// Skip the bitstring-update step for diagonal gates, whose candidate
+    /// distribution is provably unchanged. Off by default to mirror the
+    /// paper; exposed for the ablation bench.
+    pub skip_diagonal_updates: bool,
+    /// Use Rayon to spread trajectory repetitions across threads
+    /// (default `true`).
+    pub parallel_trajectories: bool,
+}
+
+impl Default for SimulatorOptions {
+    fn default() -> Self {
+        SimulatorOptions {
+            seed: None,
+            parallelize_samples: true,
+            skip_diagonal_updates: false,
+            parallel_trajectories: true,
+        }
+    }
+}
+
+/// The gate-by-gate sampling simulator.
+pub struct Simulator<S: BglsState> {
+    initial_state: S,
+    apply_op: ApplyFn<S>,
+    compute_probability: ProbFn<S>,
+    /// Custom apply hooks may be stochastic (e.g. sum-over-Cliffords), in
+    /// which case each sample must re-run the circuit.
+    stochastic_apply: bool,
+    options: SimulatorOptions,
+}
+
+impl<S: BglsState> Clone for Simulator<S> {
+    fn clone(&self) -> Self {
+        Simulator {
+            initial_state: self.initial_state.clone(),
+            apply_op: self.apply_op.clone(),
+            compute_probability: self.compute_probability.clone(),
+            stochastic_apply: self.stochastic_apply,
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<S: BglsState + Send + Sync> Simulator<S> {
+    /// Builds a simulator with the default hooks: `apply_op` dispatches to
+    /// [`BglsState::apply_gate`] / [`BglsState::apply_kraus`], and
+    /// `compute_probability` to [`BglsState::probability`].
+    pub fn new(initial_state: S) -> Self {
+        let apply: ApplyFn<S> = Arc::new(|state, op, rng| match &op.kind {
+            OpKind::Gate(g) => {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                state.apply_gate(g, &qs)
+            }
+            OpKind::Channel(c) => {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                state.apply_kraus(c, &qs, rng).map(|_| ())
+            }
+            OpKind::Measure { .. } => Ok(()), // handled by the sampler
+        });
+        let prob: ProbFn<S> = Arc::new(|state, bits| state.probability(bits));
+        Simulator {
+            initial_state,
+            apply_op: apply,
+            compute_probability: prob,
+            stochastic_apply: false,
+            options: SimulatorOptions::default(),
+        }
+    }
+
+    /// Builds a simulator from explicit hooks — the paper's three-argument
+    /// constructor. `stochastic_apply` must be `true` when the hook draws
+    /// randomness (disables sample parallelization so each repetition
+    /// explores its own branch).
+    pub fn with_hooks(
+        initial_state: S,
+        apply_op: ApplyFn<S>,
+        compute_probability: ProbFn<S>,
+        stochastic_apply: bool,
+    ) -> Self {
+        Simulator {
+            initial_state,
+            apply_op,
+            compute_probability,
+            stochastic_apply,
+            options: SimulatorOptions::default(),
+        }
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: SimulatorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.options.seed = Some(seed);
+        self
+    }
+
+    /// The configured initial state.
+    pub fn initial_state(&self) -> &S {
+        &self.initial_state
+    }
+
+    fn make_rng(&self) -> StdRng {
+        match self.options.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_entropy(),
+        }
+    }
+
+    fn check_runnable(&self, circuit: &Circuit) -> Result<(), SimError> {
+        if let Some(op) = circuit.all_operations().find(|op| op.is_parameterized()) {
+            // Surface the symbol name for a actionable error.
+            if let Some(g) = op.as_gate() {
+                g.unitary()?;
+            }
+        }
+        if circuit.num_qubits() > self.initial_state.num_qubits() {
+            return Err(SimError::QubitOutOfRange {
+                index: circuit.num_qubits() - 1,
+                num_qubits: self.initial_state.num_qubits(),
+            });
+        }
+        Ok(())
+    }
+
+    /// True when this circuit can use the single-evolution multiplicity-map
+    /// path.
+    fn can_parallelize(&self, circuit: &Circuit) -> bool {
+        self.options.parallelize_samples
+            && !self.stochastic_apply
+            && (!circuit.has_channels() || self.initial_state.channels_are_deterministic())
+            && circuit.measurements_are_terminal()
+    }
+
+    /// Runs the circuit for `repetitions` and returns measurement
+    /// histograms, Cirq-style. The circuit must contain at least one
+    /// measurement.
+    pub fn run(&self, circuit: &Circuit, repetitions: u64) -> Result<RunResult, SimError> {
+        if !circuit.has_measurements() {
+            return Err(SimError::NoMeasurements);
+        }
+        self.check_runnable(circuit)?;
+        if repetitions == 0 {
+            return Ok(RunResult::new(0));
+        }
+        if self.can_parallelize(circuit) {
+            self.run_parallel_samples(circuit, repetitions)
+        } else {
+            self.run_trajectories(circuit, repetitions)
+        }
+    }
+
+    /// Evolves the initial state through the circuit once (measurements
+    /// skipped) and returns the final state — handy for computing ideal
+    /// distributions or inspecting backends. Fails for circuits whose
+    /// non-unitary operations the backend cannot apply.
+    pub fn final_state(&self, circuit: &Circuit) -> Result<S, SimError> {
+        self.check_runnable(circuit)?;
+        let mut rng = self.make_rng();
+        let mut state = self.initial_state.clone();
+        for op in circuit.all_operations() {
+            if op.is_measurement() {
+                continue;
+            }
+            (self.apply_op)(&mut state, op, &mut rng)?;
+        }
+        Ok(state)
+    }
+
+    /// Runs a parameterized circuit once per resolver (the Cirq
+    /// `run_sweep` equivalent, used by the QAOA grid search of Sec. 4.4).
+    /// Returns one [`RunResult`] per resolver, in order.
+    pub fn run_sweep(
+        &self,
+        circuit: &Circuit,
+        resolvers: &[bgls_circuit::ParamResolver],
+        repetitions: u64,
+    ) -> Result<Vec<RunResult>, SimError> {
+        resolvers
+            .iter()
+            .map(|r| self.run(&circuit.resolve(r), repetitions))
+            .collect()
+    }
+
+    /// Samples `repetitions` bitstrings from the circuit's *final* state
+    /// (measurement operations are ignored). This is the raw gate-by-gate
+    /// sampler used by the overlap experiments of Figs. 4–5.
+    pub fn sample_final_bitstrings(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+    ) -> Result<Vec<BitString>, SimError> {
+        self.check_runnable(circuit)?;
+        let stripped = circuit.without_measurements();
+        let n = self.initial_state.num_qubits();
+        if self.can_parallelize(&stripped) {
+            let mut rng = self.make_rng();
+            let map = self.evolve_multiplicity_map(&stripped, repetitions, &mut rng)?;
+            let mut out = Vec::with_capacity(repetitions as usize);
+            let mut entries: Vec<(BitString, u64)> = map.into_iter().collect();
+            entries.sort_unstable();
+            for (b, m) in entries {
+                out.extend(std::iter::repeat_n(b, m as usize));
+            }
+            Ok(out)
+        } else {
+            let seed = self.sample_base_seed();
+            let run_one = |rep: u64| -> Result<BitString, SimError> {
+                let mut rng = rep_rng(seed, rep);
+                let (b, _state) = self.trajectory_once(&stripped, n, &mut rng, None)?;
+                Ok(b)
+            };
+            if self.options.parallel_trajectories && repetitions > 1 {
+                (0..repetitions)
+                    .into_par_iter()
+                    .map(run_one)
+                    .collect::<Result<Vec<_>, _>>()
+            } else {
+                (0..repetitions).map(run_one).collect()
+            }
+        }
+    }
+
+    fn sample_base_seed(&self) -> u64 {
+        self.options
+            .seed
+            .unwrap_or_else(|| StdRng::from_entropy().gen())
+    }
+
+    // ---- sample-parallelized path -------------------------------------
+
+    fn run_parallel_samples(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+    ) -> Result<RunResult, SimError> {
+        let mut rng = self.make_rng();
+        let mut result = RunResult::new(repetitions);
+        let mut state = self.initial_state.clone();
+        let n = self.initial_state.num_qubits();
+        let mut map: FxHashMap<BitString, u64> = FxHashMap::default();
+        map.insert(BitString::zeros(n), repetitions);
+
+        for op in circuit.all_operations() {
+            match &op.kind {
+                OpKind::Measure { key } => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    for (b, m) in &map {
+                        result.record(key, b.restrict(&qs), *m);
+                    }
+                }
+                _ => {
+                    self.step_multiplicity_map(&mut state, op, &mut map, &mut rng)?;
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Evolves the multiplicity map over all non-measurement operations and
+    /// returns the final map.
+    fn evolve_multiplicity_map(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+        rng: &mut StdRng,
+    ) -> Result<FxHashMap<BitString, u64>, SimError> {
+        let n = self.initial_state.num_qubits();
+        let mut state = self.initial_state.clone();
+        let mut map: FxHashMap<BitString, u64> = FxHashMap::default();
+        map.insert(BitString::zeros(n), repetitions);
+        for op in circuit.all_operations() {
+            if op.is_measurement() {
+                continue;
+            }
+            self.step_multiplicity_map(&mut state, op, &mut map, rng)?;
+        }
+        Ok(map)
+    }
+
+    /// One gate-by-gate step on the whole multiplicity map: apply the
+    /// operation once, then redistribute every unique bitstring's
+    /// multiplicity across its candidates.
+    fn step_multiplicity_map(
+        &self,
+        state: &mut S,
+        op: &Operation,
+        map: &mut FxHashMap<BitString, u64>,
+        rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        (self.apply_op)(state, op, rng)?;
+        if self.skip_update(op) {
+            return Ok(());
+        }
+        let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+        let mut next: FxHashMap<BitString, u64> = FxHashMap::default();
+        next.reserve(map.len());
+        let mut probs = Vec::with_capacity(1 << support.len());
+        for (b, &m) in map.iter() {
+            let candidates = b.candidates(&support);
+            probs.clear();
+            probs.extend(
+                candidates
+                    .iter()
+                    .map(|c| (self.compute_probability)(state, *c)),
+            );
+            let counts = multinomial_split(m, &probs, rng)?;
+            for (c, cnt) in candidates.iter().zip(&counts) {
+                if *cnt > 0 {
+                    *next.entry(*c).or_insert(0) += *cnt;
+                }
+            }
+        }
+        *map = next;
+        Ok(())
+    }
+
+    fn skip_update(&self, op: &Operation) -> bool {
+        self.options.skip_diagonal_updates
+            && op
+                .as_gate()
+                .map(Gate::is_diagonal)
+                .unwrap_or(false)
+    }
+
+    // ---- trajectory path ----------------------------------------------
+
+    fn run_trajectories(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+    ) -> Result<RunResult, SimError> {
+        let n = self.initial_state.num_qubits();
+        let terminal = circuit.measurements_are_terminal();
+        let seed = self.sample_base_seed();
+
+        let run_one = |rep: u64| -> Result<RunResult, SimError> {
+            let mut rng = rep_rng(seed, rep);
+            let mut result = RunResult::new(1);
+            let mut recorder = |key: &str, outcome: BitString| {
+                result.record(key, outcome, 1);
+            };
+            self.trajectory_once_with_measure(circuit, n, &mut rng, terminal, &mut recorder)?;
+            Ok(result)
+        };
+
+        if self.options.parallel_trajectories && repetitions > 1 {
+            (0..repetitions)
+                .into_par_iter()
+                .map(run_one)
+                .try_reduce(
+                    || RunResult::new(0),
+                    |mut a, b| {
+                        a.merge(b);
+                        Ok(a)
+                    },
+                )
+                .map(|mut r| {
+                    // try_reduce counts merged reps; normalize the field
+                    let total = repetitions;
+                    r = normalize_reps(r, total);
+                    r
+                })
+        } else {
+            let mut result = RunResult::new(0);
+            for rep in 0..repetitions {
+                result.merge(run_one(rep)?);
+            }
+            Ok(normalize_reps(result, repetitions))
+        }
+    }
+
+    /// Walks the circuit once (no measurement handling), returning the final
+    /// bitstring and state.
+    fn trajectory_once(
+        &self,
+        circuit: &Circuit,
+        n: usize,
+        rng: &mut StdRng,
+        mut bits: Option<BitString>,
+    ) -> Result<(BitString, S), SimError> {
+        let mut state = self.initial_state.clone();
+        let b = bits.get_or_insert(BitString::zeros(n));
+        for op in circuit.all_operations() {
+            if op.is_measurement() {
+                continue;
+            }
+            (self.apply_op)(&mut state, op, rng)?;
+            if !self.skip_update(op) {
+                *b = self.resample(&state, *b, op, rng)?;
+            }
+        }
+        Ok((*b, state))
+    }
+
+    /// Full trajectory including measurement recording and (when needed)
+    /// collapse.
+    fn trajectory_once_with_measure(
+        &self,
+        circuit: &Circuit,
+        n: usize,
+        rng: &mut StdRng,
+        terminal: bool,
+        record: &mut dyn FnMut(&str, BitString),
+    ) -> Result<(), SimError> {
+        let mut state = self.initial_state.clone();
+        let mut b = BitString::zeros(n);
+        for op in circuit.all_operations() {
+            match &op.kind {
+                OpKind::Measure { key } => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    record(key, b.restrict(&qs));
+                    if !terminal {
+                        // Collapse so later gates see the post-measurement
+                        // state of this trajectory.
+                        for &q in &qs {
+                            state.project(q, b.get(q))?;
+                        }
+                    }
+                }
+                _ => {
+                    (self.apply_op)(&mut state, op, rng)?;
+                    if !self.skip_update(op) {
+                        b = self.resample(&state, b, op, rng)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The core gate-by-gate update: resample the bitstring over the
+    /// operation's support from the current state's candidate
+    /// probabilities.
+    fn resample(
+        &self,
+        state: &S,
+        b: BitString,
+        op: &Operation,
+        rng: &mut StdRng,
+    ) -> Result<BitString, SimError> {
+        let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+        let candidates = b.candidates(&support);
+        let probs: Vec<f64> = candidates
+            .iter()
+            .map(|c| (self.compute_probability)(state, *c))
+            .collect();
+        let idx = categorical(&probs, rng)?;
+        Ok(candidates[idx])
+    }
+}
+
+fn normalize_reps(mut r: RunResult, total: u64) -> RunResult {
+    // merge() accumulates per-rep counts; rebuild with the true repetition
+    // count for reporting.
+    let mut out = RunResult::new(total);
+    for key in r.keys().into_iter().map(str::to_string).collect::<Vec<_>>() {
+        if let Some(h) = r.histogram(&key) {
+            for (bits, count) in h.iter_sorted() {
+                out.record(&key, bits, count);
+            }
+        }
+    }
+    let _ = &mut r;
+    out
+}
+
+/// Per-repetition RNG derived from a base seed (SplitMix-style stream
+/// separation so parallel trajectories are independent yet reproducible).
+fn rep_rng(seed: u64, rep: u64) -> StdRng {
+    let mut z = seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Draws an index from unnormalized non-negative weights.
+pub fn categorical(weights: &[f64], rng: &mut impl Rng) -> Result<usize, SimError> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || total.is_nan() || !total.is_finite() {
+        return Err(SimError::ZeroProbabilityEvent);
+    }
+    let mut r = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if r < w {
+            return Ok(i);
+        }
+        r -= w;
+    }
+    // floating point slack: return the last positive-weight index
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .ok_or(SimError::ZeroProbabilityEvent)
+}
+
+/// Splits `m` trials across categories with the given unnormalized weights,
+/// exactly equivalent in distribution to `m` independent categorical draws
+/// (chained binomials). This is the multiplicity-map redistribution step.
+pub fn multinomial_split(
+    m: u64,
+    weights: &[f64],
+    rng: &mut impl Rng,
+) -> Result<Vec<u64>, SimError> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || total.is_nan() || !total.is_finite() {
+        return Err(SimError::ZeroProbabilityEvent);
+    }
+    let mut counts = vec![0u64; weights.len()];
+    let mut remaining = m;
+    let mut mass_left = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if i == weights.len() - 1 {
+            counts[i] = remaining;
+            break;
+        }
+        let p = (w / mass_left).clamp(0.0, 1.0);
+        let draw = if p >= 1.0 {
+            remaining
+        } else if p <= 0.0 {
+            0
+        } else {
+            Binomial::new(remaining, p)
+                .map_err(|_| SimError::ZeroProbabilityEvent)?
+                .sample(rng)
+        };
+        counts[i] = draw;
+        remaining -= draw;
+        mass_left -= w;
+        if mass_left <= 0.0 {
+            // numerical underflow: dump the rest in this bin
+            counts[i] += remaining;
+            remaining = 0;
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::testing::RefState;
+    use bgls_circuit::{Channel, Gate, Operation, Qubit};
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        for i in 1..n {
+            c.push(Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap());
+        }
+        c.push(
+            Operation::measure(Qubit::range(n), "z").unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn run_requires_measurement() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        let sim = Simulator::new(RefState::zero(1));
+        assert!(matches!(sim.run(&c, 10), Err(SimError::NoMeasurements)));
+    }
+
+    #[test]
+    fn ghz_samples_only_all_zero_or_all_one() {
+        let sim = Simulator::new(RefState::zero(3)).with_seed(7);
+        let result = sim.run(&ghz(3), 1000).unwrap();
+        let h = result.histogram("z").unwrap();
+        assert_eq!(h.total(), 1000);
+        let zeros = h.count_value(0b000);
+        let ones = h.count_value(0b111);
+        assert_eq!(zeros + ones, 1000, "only GHZ outcomes allowed");
+        // both branches occur with ~50%: loose 5-sigma bound
+        assert!(zeros > 380 && zeros < 620, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn trajectory_path_matches_parallel_path_distribution() {
+        let c = ghz(2);
+        let par = Simulator::new(RefState::zero(2)).with_seed(1);
+        let mut opts = SimulatorOptions {
+            parallelize_samples: false,
+            seed: Some(2),
+            ..Default::default()
+        };
+        opts.parallel_trajectories = false;
+        let traj = Simulator::new(RefState::zero(2)).with_options(opts);
+        let hp = par.run(&c, 2000).unwrap();
+        let ht = traj.run(&c, 2000).unwrap();
+        let fp = hp.histogram("z").unwrap().frequency(BitString::from_u64(2, 0));
+        let ft = ht.histogram("z").unwrap().frequency(BitString::from_u64(2, 0));
+        assert!((fp - 0.5).abs() < 0.05, "parallel freq {fp}");
+        assert!((ft - 0.5).abs() < 0.05, "trajectory freq {ft}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let c = ghz(3);
+        let r1 = Simulator::new(RefState::zero(3)).with_seed(99).run(&c, 100).unwrap();
+        let r2 = Simulator::new(RefState::zero(3)).with_seed(99).run(&c, 100).unwrap();
+        assert_eq!(
+            r1.histogram("z").unwrap().count_value(0),
+            r2.histogram("z").unwrap().count_value(0)
+        );
+    }
+
+    #[test]
+    fn x_gates_give_deterministic_bitstring() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::X, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::X, vec![Qubit(2)]).unwrap());
+        c.push(Operation::measure(Qubit::range(3), "m").unwrap());
+        let sim = Simulator::new(RefState::zero(3)).with_seed(3);
+        let h = sim.run(&c, 50).unwrap();
+        assert_eq!(h.histogram("m").unwrap().count_value(0b101), 50);
+    }
+
+    #[test]
+    fn sample_final_bitstrings_without_measurement() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        let sim = Simulator::new(RefState::zero(1)).with_seed(5);
+        let samples = sim.sample_final_bitstrings(&c, 500).unwrap();
+        assert_eq!(samples.len(), 500);
+        let ones = samples.iter().filter(|b| b.get(0)).count();
+        assert!(ones > 180 && ones < 320, "ones = {ones}");
+    }
+
+    #[test]
+    fn measurement_key_restricts_to_listed_qubits() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::X, vec![Qubit(1)]).unwrap());
+        // measure only qubit 1, key "one"
+        c.push(Operation::measure(vec![Qubit(1)], "one").unwrap());
+        let sim = Simulator::new(RefState::zero(2)).with_seed(1);
+        let r = sim.run(&c, 10).unwrap();
+        let h = r.histogram("one").unwrap();
+        assert_eq!(h.width(), 1);
+        assert_eq!(h.count_value(1), 10);
+    }
+
+    #[test]
+    fn noisy_circuit_uses_trajectories_and_flips_sometimes() {
+        let mut c = Circuit::new();
+        c.push(
+            Operation::channel(Channel::bit_flip(0.3).unwrap(), vec![Qubit(0)]).unwrap(),
+        );
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let opts = SimulatorOptions {
+            seed: Some(11),
+            parallel_trajectories: false,
+            ..Default::default()
+        };
+        let sim = Simulator::new(RefState::zero(1)).with_options(opts);
+        let r = sim.run(&c, 2000).unwrap();
+        let flips = r.histogram("m").unwrap().count_value(1);
+        // expect ~600
+        assert!(flips > 450 && flips < 750, "flips = {flips}");
+    }
+
+    #[test]
+    fn parallel_trajectories_match_sequential_statistics() {
+        let mut c = Circuit::new();
+        c.push(
+            Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap(),
+        );
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let opts = SimulatorOptions {
+            seed: Some(21),
+            parallel_trajectories: true,
+            ..Default::default()
+        };
+        let sim = Simulator::new(RefState::zero(1)).with_options(opts);
+        let r = sim.run(&c, 4000).unwrap();
+        assert_eq!(r.repetitions(), 4000);
+        let h = r.histogram("m").unwrap();
+        assert_eq!(h.total(), 4000);
+        let ones = h.count_value(1);
+        assert!(ones > 1800 && ones < 2200, "ones = {ones}");
+    }
+
+    #[test]
+    fn mid_circuit_measurement_collapses_state() {
+        // H(0); measure(0); CNOT(0 -> 1); measure(1): outcomes must agree.
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "a").unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(1)], "b").unwrap());
+        let opts = SimulatorOptions {
+            seed: Some(8),
+            parallel_trajectories: false,
+            ..Default::default()
+        };
+        let sim = Simulator::new(RefState::zero(2)).with_options(opts);
+        let r = sim.run(&c, 400).unwrap();
+        let a1 = r.histogram("a").unwrap().count_value(1);
+        let b1 = r.histogram("b").unwrap().count_value(1);
+        assert_eq!(a1, b1, "mid-circuit collapse must correlate a and b");
+        assert!(a1 > 140 && a1 < 260);
+    }
+
+    #[test]
+    fn skip_diagonal_updates_preserves_distribution() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::T, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let opts = SimulatorOptions {
+            seed: Some(17),
+            skip_diagonal_updates: true,
+            ..Default::default()
+        };
+        let sim = Simulator::new(RefState::zero(1)).with_options(opts);
+        let r = sim.run(&c, 4000).unwrap();
+        // P(0) = cos^2(pi/8) ~= 0.8536
+        let f0 = r.histogram("m").unwrap().frequency(BitString::zeros(1));
+        assert!((f0 - 0.8536).abs() < 0.03, "f0 = {f0}");
+    }
+
+    #[test]
+    fn final_state_evolves_without_sampling() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::X, vec![Qubit(1)]).unwrap());
+        c.push(Operation::measure(Qubit::range(2), "z").unwrap());
+        let sim = Simulator::new(RefState::zero(2)).with_seed(1);
+        let st = sim.final_state(&c).unwrap();
+        assert!((st.probability(BitString::from_u64(2, 0b10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_sweep_resolves_each_point() {
+        use bgls_circuit::{Param, ParamResolver};
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::Rx(Param::symbol("t")), vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let resolvers = [
+            ParamResolver::from_pairs([("t", 0.0)]),
+            ParamResolver::from_pairs([("t", std::f64::consts::PI)]),
+        ];
+        let sim = Simulator::new(RefState::zero(1)).with_seed(2);
+        let results = sim.run_sweep(&c, &resolvers, 100).unwrap();
+        assert_eq!(results.len(), 2);
+        // t = 0: always 0; t = pi: always 1
+        assert_eq!(results[0].histogram("m").unwrap().count_value(0), 100);
+        assert_eq!(results[1].histogram("m").unwrap().count_value(1), 100);
+    }
+
+    #[test]
+    fn run_sweep_fails_on_unbound_symbol() {
+        use bgls_circuit::{Param, ParamResolver};
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::Rz(Param::symbol("x")), vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let sim = Simulator::new(RefState::zero(1));
+        let err = sim.run_sweep(&c, &[ParamResolver::new()], 5);
+        assert!(matches!(err, Err(SimError::Circuit(_))));
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0u32; 3];
+        for _ in 0..30000 {
+            counts[categorical(&[1.0, 2.0, 1.0], &mut rng).unwrap()] += 1;
+        }
+        assert!((counts[1] as f64 / 30000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_zero_total_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            categorical(&[0.0, 0.0], &mut rng),
+            Err(SimError::ZeroProbabilityEvent)
+        ));
+    }
+
+    #[test]
+    fn multinomial_split_conserves_total() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for m in [0u64, 1, 17, 1000, 123456] {
+            let counts = multinomial_split(m, &[0.1, 0.4, 0.3, 0.2], &mut rng).unwrap();
+            assert_eq!(counts.iter().sum::<u64>(), m);
+        }
+    }
+
+    #[test]
+    fn multinomial_split_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = multinomial_split(1_000_000, &[1.0, 3.0], &mut rng).unwrap();
+        let f = counts[0] as f64 / 1e6;
+        assert!((f - 0.25).abs() < 0.005, "f = {f}");
+    }
+
+    #[test]
+    fn multinomial_with_zero_weight_bins() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = multinomial_split(1000, &[0.0, 1.0, 0.0], &mut rng).unwrap();
+        assert_eq!(counts, vec![0, 1000, 0]);
+    }
+
+    #[test]
+    fn run_zero_repetitions_is_empty() {
+        let sim = Simulator::new(RefState::zero(2));
+        let r = sim.run(&ghz(2), 0).unwrap();
+        assert_eq!(r.repetitions(), 0);
+    }
+
+    #[test]
+    fn circuit_wider_than_state_rejected() {
+        let sim = Simulator::new(RefState::zero(1));
+        assert!(matches!(
+            sim.run(&ghz(3), 5),
+            Err(SimError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_probability_hook_is_used() {
+        // A hook that inverts probabilities would break GHZ correlations;
+        // here we just count invocations to prove the hook wiring.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let state = RefState::zero(2);
+        let apply: ApplyFn<RefState> = Arc::new(|s, op, rng| {
+            let default = Simulator::new(s.clone());
+            let _ = default; // the default hook body, inlined:
+            match &op.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    s.apply_gate(g, &qs)
+                }
+                OpKind::Channel(c) => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    s.apply_kraus(c, &qs, rng).map(|_| ())
+                }
+                OpKind::Measure { .. } => Ok(()),
+            }
+        });
+        let prob: ProbFn<RefState> = Arc::new(|s, b| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            s.probability(b)
+        });
+        let sim = Simulator::with_hooks(state, apply, prob, false).with_seed(1);
+        let _ = sim.run(&ghz(2), 10).unwrap();
+        assert!(CALLS.load(Ordering::Relaxed) > 0);
+    }
+}

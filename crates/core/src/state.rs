@@ -1,0 +1,213 @@
+//! State-backend traits.
+//!
+//! The BGLS simulator is representation-agnostic (paper Sec. 3.1): any type
+//! that can (1) apply an operation and (2) compute a bitstring probability
+//! can be sampled. [`BglsState`] captures exactly those two capabilities;
+//! the optional traits add what specific features need (projection for
+//! mid-circuit measurement, marginals for the qubit-by-qubit baseline).
+
+use crate::bitstring::BitString;
+use crate::error::SimError;
+use bgls_circuit::{Channel, Gate};
+use bgls_linalg::C64;
+use rand::RngCore;
+
+/// A quantum state usable with the gate-by-gate sampler.
+///
+/// Implementations: dense state vector, density matrix
+/// (`bgls-statevector`), CH-form stabilizer state (`bgls-stabilizer`),
+/// chain MPS and lazy tensor network (`bgls-mps`).
+pub trait BglsState: Clone {
+    /// Number of qubits.
+    fn num_qubits(&self) -> usize;
+
+    /// Applies a unitary gate to the listed qubits (gate-matrix order:
+    /// first listed qubit = most significant gate-index bit).
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError>;
+
+    /// Probability of measuring `bits` in the computational basis:
+    /// `P(b) = |<b|psi>|^2` (paper's `compute_probability`).
+    fn probability(&self, bits: BitString) -> f64;
+
+    /// Applies one stochastic Kraus branch of `channel` (quantum
+    /// trajectories, paper Sec. 3.2.1): branch `i` is chosen with
+    /// probability `|K_i |psi>|^2` and the state renormalized.
+    /// Returns the chosen branch index.
+    ///
+    /// Backends without channel support return
+    /// [`SimError::Unsupported`] (the default).
+    fn apply_kraus(
+        &mut self,
+        channel: &Channel,
+        qubits: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, SimError> {
+        let _ = (channel, qubits, rng);
+        Err(SimError::Unsupported("Kraus channels".into()))
+    }
+
+    /// Projects `qubit` onto `value` and renormalizes (mid-circuit
+    /// measurement collapse). Backends without projection support return
+    /// [`SimError::Unsupported`] (the default).
+    fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+        let _ = (qubit, value);
+        Err(SimError::Unsupported("projective collapse".into()))
+    }
+
+    /// True when [`BglsState::apply_kraus`] applies the *whole* channel
+    /// deterministically rather than sampling one branch (density
+    /// matrices). Such states keep the sample-parallelized path even for
+    /// noisy circuits.
+    fn channels_are_deterministic(&self) -> bool {
+        false
+    }
+
+    /// Validates qubit indices against the state size.
+    fn check_qubits(&self, qubits: &[usize]) -> Result<(), SimError> {
+        let n = self.num_qubits();
+        for &q in qubits {
+            if q >= n {
+                return Err(SimError::QubitOutOfRange {
+                    index: q,
+                    num_qubits: n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// States that expose complex amplitudes `<b|psi>` (every pure-state
+/// backend; density matrices only expose probabilities).
+pub trait AmplitudeState: BglsState {
+    /// The amplitude `<bits|psi>`.
+    fn amplitude(&self, bits: BitString) -> C64;
+}
+
+/// States that can compute marginal probabilities of partial assignments —
+/// what the conventional qubit-by-qubit sampler needs (paper Sec. 2).
+pub trait MarginalState: BglsState {
+    /// `P(q_{i_1} = v_1, ..., q_{i_k} = v_k)` summed over all unassigned
+    /// qubits.
+    fn marginal_probability(&self, assignment: &[(usize, bool)]) -> f64;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! A tiny reference state-vector backend used by the core crate's own
+    //! tests, so `bgls-core` stays independent of `bgls-statevector`.
+
+    use super::*;
+    use bgls_circuit::embed_unitary;
+    use bgls_circuit::Qubit;
+
+    /// Naive dense state for <= 10 qubits; applies gates by building the
+    /// full embedded unitary. Slow but obviously correct.
+    #[derive(Clone, Debug)]
+    pub struct RefState {
+        pub amps: Vec<C64>,
+        pub n: usize,
+    }
+
+    impl RefState {
+        pub fn zero(n: usize) -> Self {
+            let mut amps = vec![C64::ZERO; 1 << n];
+            amps[0] = C64::ONE;
+            RefState { amps, n }
+        }
+    }
+
+    impl BglsState for RefState {
+        fn num_qubits(&self) -> usize {
+            self.n
+        }
+
+        fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+            self.check_qubits(qubits)?;
+            let u = gate.unitary()?;
+            let qs: Vec<Qubit> = qubits.iter().map(|&q| Qubit(q as u32)).collect();
+            let full = embed_unitary(&u, &qs, self.n);
+            self.amps = full.matvec(&self.amps);
+            Ok(())
+        }
+
+        fn probability(&self, bits: BitString) -> f64 {
+            self.amps[bits.as_u64() as usize].norm_sqr()
+        }
+
+        fn apply_kraus(
+            &mut self,
+            channel: &Channel,
+            qubits: &[usize],
+            rng: &mut dyn RngCore,
+        ) -> Result<usize, SimError> {
+            use rand::Rng;
+            self.check_qubits(qubits)?;
+            let qs: Vec<Qubit> = qubits.iter().map(|&q| Qubit(q as u32)).collect();
+            let mut r: f64 = rng.gen::<f64>();
+            let last = channel.kraus().len() - 1;
+            for (i, k) in channel.kraus().iter().enumerate() {
+                let full = embed_unitary_nonunitary(k, &qs, self.n);
+                let cand = full.matvec(&self.amps);
+                let norm: f64 = cand.iter().map(|z| z.norm_sqr()).sum();
+                if r < norm || i == last {
+                    let scale = 1.0 / norm.sqrt();
+                    self.amps = cand.into_iter().map(|z| z * scale).collect();
+                    return Ok(i);
+                }
+                r -= norm;
+            }
+            unreachable!("loop always returns at the last branch")
+        }
+
+        fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+            let mut norm = 0.0;
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                if ((i >> qubit) & 1 == 1) != value {
+                    *a = C64::ZERO;
+                } else {
+                    norm += a.norm_sqr();
+                }
+            }
+            if norm == 0.0 {
+                return Err(SimError::ZeroProbabilityEvent);
+            }
+            let s = 1.0 / norm.sqrt();
+            for a in &mut self.amps {
+                *a *= s;
+            }
+            Ok(())
+        }
+    }
+
+    impl AmplitudeState for RefState {
+        fn amplitude(&self, bits: BitString) -> C64 {
+            self.amps[bits.as_u64() as usize]
+        }
+    }
+
+    impl MarginalState for RefState {
+        fn marginal_probability(&self, assignment: &[(usize, bool)]) -> f64 {
+            self.amps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    assignment
+                        .iter()
+                        .all(|&(q, v)| ((i >> q) & 1 == 1) == v)
+                })
+                .map(|(_, a)| a.norm_sqr())
+                .sum()
+        }
+    }
+
+    /// `embed_unitary` works for any matrix; alias for clarity when
+    /// embedding non-unitary Kraus operators.
+    fn embed_unitary_nonunitary(
+        m: &bgls_linalg::Matrix,
+        qubits: &[Qubit],
+        n: usize,
+    ) -> bgls_linalg::Matrix {
+        embed_unitary(m, qubits, n)
+    }
+}

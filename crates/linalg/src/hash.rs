@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher (FxHash-style) and map/set aliases.
+//!
+//! The BGLS sample-parallelization path (paper Sec. 3.2.3) keeps a hot
+//! `bitstring -> multiplicity` map that is rebuilt at every gate; SipHash is
+//! measurably too slow for small integer-like keys there. This is the same
+//! multiply-xor scheme rustc uses, implemented locally to avoid an extra
+//! dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx-style hasher: `state = (state rotl 5 ^ word) * K`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            self.add_word(word);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&31], 961);
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn deterministic_within_process() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write(b"bitstring");
+        h2.write(b"bitstring");
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(0b1010);
+        h2.write_u64(0b1011);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn partial_chunks_hash_consistently() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"abc"); // 3 bytes, below word size
+        let mut h2 = FxHasher::default();
+        h2.write(b"abd");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

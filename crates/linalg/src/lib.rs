@@ -1,0 +1,32 @@
+//! # bgls-linalg
+//!
+//! Self-contained linear-algebra substrate for the BGLS reproduction:
+//!
+//! * [`C64`] — complex scalars;
+//! * [`Matrix`] — dense complex matrices (gate unitaries, MPS factors);
+//! * [`Tensor`] / [`contract_network`] — labelled tensors and greedy network
+//!   contraction (the quimb substitute used by the lazy MPS state);
+//! * [`svd`] — one-sided Jacobi SVD for MPS splitting/truncation;
+//! * [`BitVec`] / [`BitMatrix`] — F2 linear algebra backing the CH-form
+//!   stabilizer state;
+//! * [`FxHashMap`] — fast hashing for the sample-parallelization
+//!   multiplicity map.
+//!
+//! Everything here is implemented from scratch — no BLAS, LAPACK, or
+//! external numeric crates — per the reproduction charter in `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+mod complex;
+mod f2;
+mod hash;
+mod matrix;
+mod svd;
+mod tensor;
+
+pub use complex::C64;
+pub use f2::{BitMatrix, BitVec};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use matrix::Matrix;
+pub use svd::{svd, Svd};
+pub use tensor::{contract_network, BondId, Tensor};

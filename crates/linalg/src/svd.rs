@@ -1,0 +1,347 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The MPS substrate needs a robust complex SVD for splitting two-site
+//! tensors and for operator-Schmidt decompositions of two-qubit gates.
+//! Matrices involved are small (at most `2 chi x 2 chi`), so the one-sided
+//! Jacobi method — simple, numerically stable, and embarrassingly easy to
+//! verify — is the right tool. No external BLAS/LAPACK is used anywhere in
+//! this workspace.
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Result of a (thin) singular value decomposition `A = U * diag(s) * V^dagger`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// `m x k` matrix with orthonormal columns, `k = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values, non-negative, sorted in descending order.
+    pub s: Vec<f64>,
+    /// `k x n` matrix: the conjugate transpose of V (orthonormal rows).
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `U * diag(s) * V^dagger` (for testing / error measurement).
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.s.len();
+        let mut us = Matrix::zeros(self.u.rows(), k);
+        for i in 0..self.u.rows() {
+            for j in 0..k {
+                us[(i, j)] = self.u[(i, j)] * self.s[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+
+    /// Truncates to at most `max_rank` singular values, additionally dropping
+    /// values below `cutoff`. Returns the discarded squared weight
+    /// (the truncation error `sum of s_i^2` over dropped `i`).
+    pub fn truncate(&mut self, max_rank: usize, cutoff: f64) -> f64 {
+        let mut keep = self.s.len().min(max_rank.max(1));
+        while keep > 1 && self.s[keep - 1] <= cutoff {
+            keep -= 1;
+        }
+        let discarded: f64 = self.s[keep..].iter().map(|x| x * x).sum();
+        self.s.truncate(keep);
+        let mut u = Matrix::zeros(self.u.rows(), keep);
+        for i in 0..self.u.rows() {
+            for j in 0..keep {
+                u[(i, j)] = self.u[(i, j)];
+            }
+        }
+        let mut vt = Matrix::zeros(keep, self.vt.cols());
+        for i in 0..keep {
+            for j in 0..self.vt.cols() {
+                vt[(i, j)] = self.vt[(i, j)];
+            }
+        }
+        self.u = u;
+        self.vt = vt;
+        discarded
+    }
+
+    /// Number of singular values above `tol` (numerical rank).
+    pub fn rank(&self, tol: f64) -> usize {
+        self.s.iter().take_while(|&&x| x > tol).count()
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring convergence failure.
+const MAX_SWEEPS: usize = 64;
+/// Relative off-diagonal tolerance for convergence.
+const JACOBI_TOL: f64 = 1e-14;
+
+/// Computes the thin SVD of an arbitrary complex matrix.
+///
+/// For `m >= n` the one-sided Jacobi method orthogonalizes the columns of a
+/// working copy of `A` by right-multiplying plane rotations; the accumulated
+/// rotations form `V`, the column norms the singular values, and the
+/// normalized columns `U`. For `m < n` the decomposition of the conjugate
+/// transpose is computed and the factors swapped.
+pub fn svd(a: &Matrix) -> Svd {
+    if a.rows() < a.cols() {
+        let t = svd(&a.dagger());
+        // A^dagger = U' S V'^dagger  =>  A = V' S U'^dagger
+        return Svd {
+            u: t.vt.dagger(),
+            s: t.s,
+            vt: t.u.dagger(),
+        };
+    }
+    let m = a.rows();
+    let n = a.cols();
+    let mut w = a.clone(); // working copy whose columns get orthogonalized
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // 2x2 Gram block of columns p and q.
+                let mut app = 0.0f64;
+                let mut aqq = 0.0f64;
+                let mut apq = C64::ZERO;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp.norm_sqr();
+                    aqq += wq.norm_sqr();
+                    apq += wp.conj() * wq;
+                }
+                let off = apq.abs();
+                if off <= JACOBI_TOL * (app * aqq).sqrt() || off == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Phase of the cross term; the rotation below zeroes
+                // new_p^dagger new_q = e^{i phi}[ (aqq-app)/2 sin2t + |apq| cos2t ].
+                let phi = apq.arg();
+                // Zeroing condition: (1 - t^2)|apq| + t(aqq - app) = 0, i.e.
+                // t^2 - 2 tau t - 1 = 0; take the small-magnitude root.
+                let tau = (aqq - app) / (2.0 * off);
+                let t = if tau >= 0.0 {
+                    -1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let e_pos = C64::cis(phi); // e^{i phi}
+                let e_neg = e_pos.conj();
+                // Right-multiply by the plane rotation
+                //   J[p,p]=c, J[q,p]=e^{-i phi} s, J[p,q]=-e^{i phi} s, J[q,q]=c
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = wp * c + wq * (e_neg * s);
+                    w[(i, q)] = wq * c - wp * (e_pos * s);
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = vp * c + vq * (e_neg * s);
+                    v[(i, q)] = vq * c - vp * (e_pos * s);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vt = Matrix::zeros(n, n);
+    for (newj, &j) in order.iter().enumerate() {
+        let norm = norms[j];
+        s.push(norm);
+        if norm > 0.0 {
+            for i in 0..m {
+                u[(i, newj)] = w[(i, j)] / norm;
+            }
+        }
+        for i in 0..n {
+            // row newj of V^dagger = conjugate of column j of V
+            vt[(newj, i)] = v[(i, j)].conj();
+        }
+    }
+
+    // Columns of U belonging to zero singular values: fill with an
+    // orthonormal completion so U keeps orthonormal columns.
+    complete_orthonormal(&mut u, s.iter().take_while(|&&x| x > 0.0).count());
+
+    Svd { u, s, vt }
+}
+
+/// Fills columns `from..` of `u` with vectors orthonormal to the preceding
+/// columns via modified Gram-Schmidt over the standard basis.
+fn complete_orthonormal(u: &mut Matrix, from: usize) {
+    let m = u.rows();
+    let n = u.cols();
+    let mut next_basis = 0usize;
+    for j in from..n {
+        'search: while next_basis < m {
+            // candidate e_{next_basis}
+            let mut cand = vec![C64::ZERO; m];
+            cand[next_basis] = C64::ONE;
+            next_basis += 1;
+            for k in 0..j {
+                let dot: C64 = (0..m).map(|i| u[(i, k)].conj() * cand[i]).sum();
+                for i in 0..m {
+                    cand[i] -= u[(i, k)] * dot;
+                }
+            }
+            let norm: f64 = cand.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if norm > 1e-8 {
+                for i in 0..m {
+                    u[(i, j)] = cand[i] / norm;
+                }
+                break 'search;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    fn check_svd(a: &Matrix, tol: f64) {
+        let d = svd(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(d.s.len(), k);
+        // singular values sorted descending and non-negative
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not sorted: {:?}", d.s);
+        }
+        assert!(d.s.iter().all(|&x| x >= 0.0));
+        // reconstruction
+        let r = d.reconstruct();
+        assert!(
+            r.approx_eq(a, tol),
+            "reconstruction failed:\n{:?}\nvs\n{:?}",
+            r,
+            a
+        );
+        // U has orthonormal columns, V^dagger orthonormal rows
+        let utu = d.u.dagger().matmul(&d.u);
+        assert!(utu.approx_eq(&Matrix::identity(k), tol), "U not orthonormal");
+        let vvt = d.vt.matmul(&d.vt.dagger());
+        assert!(vvt.approx_eq(&Matrix::identity(k), tol), "V not orthonormal");
+    }
+
+    #[test]
+    fn identity_svd() {
+        let d = svd(&Matrix::identity(3));
+        for &x in &d.s {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = C64::real(0.5);
+        a[(1, 1)] = C64::real(3.0);
+        a[(2, 2)] = C64::real(-2.0); // negative entry: |.| becomes singular value
+        let d = svd(&a);
+        assert!((d.s[0] - 3.0).abs() < 1e-12);
+        assert!((d.s[1] - 2.0).abs() < 1e-12);
+        assert!((d.s[2] - 0.5).abs() < 1e-12);
+        check_svd(&a, 1e-10);
+    }
+
+    #[test]
+    fn random_square_matrices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let a = random_matrix(&mut rng, n, n);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_tall_matrices() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (m, n) in [(4, 2), (7, 3), (10, 1), (6, 5)] {
+            let a = random_matrix(&mut rng, m, n);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_wide_matrices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (m, n) in [(2, 4), (3, 7), (1, 10), (5, 6)] {
+            let a = random_matrix(&mut rng, m, n);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // rank-1 outer product
+        let mut rng = StdRng::seed_from_u64(10);
+        let u = random_matrix(&mut rng, 4, 1);
+        let v = random_matrix(&mut rng, 1, 4);
+        let a = u.matmul(&v);
+        let d = svd(&a);
+        assert_eq!(d.rank(1e-9), 1);
+        check_svd(&a, 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let d = svd(&a);
+        assert!(d.s.iter().all(|&x| x == 0.0));
+        // completion still yields orthonormal U
+        let utu = d.u.dagger().matmul(&d.u);
+        assert!(utu.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn truncation_error_matches_dropped_weight() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(&mut rng, 6, 6);
+        let mut d = svd(&a);
+        let full: Vec<f64> = d.s.clone();
+        let err = d.truncate(3, 0.0);
+        let expected: f64 = full[3..].iter().map(|x| x * x).sum();
+        assert!((err - expected).abs() < 1e-10);
+        assert_eq!(d.s.len(), 3);
+        assert_eq!(d.u.cols(), 3);
+        assert_eq!(d.vt.rows(), 3);
+        // truncated reconstruction error (Frobenius) equals sqrt(dropped weight)
+        let r = d.reconstruct();
+        let diff = (&a - &r).frobenius_norm();
+        assert!((diff - err.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn unitary_input_gives_unit_singular_values() {
+        // H (x) H is unitary
+        let h = Matrix::from_real(&[&[1.0, 1.0], &[1.0, -1.0]]).scale(C64::real(1.0 / 2f64.sqrt()));
+        let hh = h.kron(&h);
+        let d = svd(&hh);
+        for &x in &d.s {
+            assert!((x - 1.0).abs() < 1e-10);
+        }
+    }
+}

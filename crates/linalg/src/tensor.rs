@@ -1,0 +1,517 @@
+//! Labelled dense tensors and pairwise network contraction.
+//!
+//! This is the quimb substitute used by the lazy tensor-network state in
+//! `bgls-mps`. Each tensor axis carries a `BondId` label; contracting two
+//! tensors sums over every label they share (Einstein convention). A small
+//! greedy planner contracts whole networks to a scalar, which is exactly the
+//! `mps_bitstring_probability` workload from the paper (Sec. 4.3.2).
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Identifier for a tensor bond (shared index). Unique per logical bond.
+pub type BondId = u32;
+
+/// Dense tensor with one [`BondId`] label per axis.
+///
+/// Data is stored row-major with respect to the axis order: the last axis
+/// varies fastest. Labels must be unique within a tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    labels: Vec<BondId>,
+    shape: Vec<usize>,
+    data: Vec<C64>,
+}
+
+impl Tensor {
+    /// Builds a tensor from labels, shape, and row-major data.
+    ///
+    /// # Panics
+    /// Panics if lengths are inconsistent or labels repeat.
+    pub fn new(labels: Vec<BondId>, shape: Vec<usize>, data: Vec<C64>) -> Self {
+        assert_eq!(labels.len(), shape.len(), "labels/shape rank mismatch");
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length does not match shape");
+        for (i, l) in labels.iter().enumerate() {
+            assert!(
+                !labels[..i].contains(l),
+                "duplicate bond label {l} in tensor"
+            );
+        }
+        Tensor { labels, shape, data }
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: C64) -> Self {
+        Tensor {
+            labels: vec![],
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// Converts a matrix into a rank-2 tensor with labels `(row, col)`.
+    pub fn from_matrix(m: &Matrix, row: BondId, col: BondId) -> Self {
+        Tensor::new(vec![row, col], vec![m.rows(), m.cols()], m.data().to_vec())
+    }
+
+    /// Axis labels.
+    #[inline]
+    pub fn labels(&self) -> &[BondId] {
+        &self.labels
+    }
+
+    /// Axis sizes.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size of the axis carrying `label`, if present.
+    pub fn dim_of(&self, label: BondId) -> Option<usize> {
+        self.axis_of(label).map(|a| self.shape[a])
+    }
+
+    /// Position of the axis carrying `label`.
+    pub fn axis_of(&self, label: BondId) -> Option<usize> {
+        self.labels.iter().position(|&l| l == label)
+    }
+
+    /// Extracts the scalar value of a rank-0 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has rank > 0.
+    pub fn into_scalar(self) -> C64 {
+        assert!(
+            self.rank() == 0,
+            "into_scalar on rank-{} tensor",
+            self.rank()
+        );
+        self.data[0]
+    }
+
+    fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.shape[i + 1];
+        }
+        s
+    }
+
+    /// Fixes the axis labelled `label` at `index`, dropping that axis.
+    /// This is the quimb `isel` operation used to slice physical legs to a
+    /// bitstring value.
+    ///
+    /// # Panics
+    /// Panics if the label is absent or the index is out of bounds.
+    pub fn isel(&self, label: BondId, index: usize) -> Tensor {
+        let axis = self
+            .axis_of(label)
+            .unwrap_or_else(|| panic!("isel: label {label} not found"));
+        assert!(
+            index < self.shape[axis],
+            "isel: index {index} out of bounds for axis of size {}",
+            self.shape[axis]
+        );
+        let strides = self.strides();
+        let mut new_labels = self.labels.clone();
+        new_labels.remove(axis);
+        let mut new_shape = self.shape.clone();
+        new_shape.remove(axis);
+        let out_len: usize = new_shape.iter().product();
+        let mut out = Vec::with_capacity(out_len);
+
+        // Iterate the remaining axes in row-major order.
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let axis_stride = strides[axis];
+        for o in 0..outer {
+            let base = o * axis_stride * self.shape[axis] + index * axis_stride;
+            out.extend_from_slice(&self.data[base..base + inner]);
+        }
+        Tensor::new(new_labels, new_shape, out)
+    }
+
+    /// Reorders axes so their labels appear in `order` (which must be a
+    /// permutation of the current labels).
+    pub fn permute(&self, order: &[BondId]) -> Tensor {
+        assert_eq!(order.len(), self.rank(), "permute rank mismatch");
+        let axes: Vec<usize> = order
+            .iter()
+            .map(|l| {
+                self.axis_of(*l)
+                    .unwrap_or_else(|| panic!("permute: label {l} not found"))
+            })
+            .collect();
+        let old_strides = self.strides();
+        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let mut out = vec![C64::ZERO; self.data.len()];
+        let mut idx = vec![0usize; self.rank()];
+        for slot in out.iter_mut() {
+            // map multi-index in new order to flat offset in old order
+            let mut off = 0usize;
+            for (k, &a) in axes.iter().enumerate() {
+                off += idx[k] * old_strides[a];
+            }
+            *slot = self.data[off];
+            // increment multi-index (row-major, last varies fastest)
+            for k in (0..idx.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < new_shape[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+        Tensor::new(order.to_vec(), new_shape, out)
+    }
+
+    /// Renames a bond label. No data movement.
+    pub fn relabel(&mut self, from: BondId, to: BondId) {
+        if from == to {
+            return;
+        }
+        assert!(
+            !self.labels.contains(&to),
+            "relabel: target label {to} already present"
+        );
+        let axis = self
+            .axis_of(from)
+            .unwrap_or_else(|| panic!("relabel: label {from} not found"));
+        self.labels[axis] = to;
+    }
+
+    /// Contracts two tensors over every shared label.
+    ///
+    /// With no shared labels this is the outer product. The result carries
+    /// `self`'s free labels followed by `other`'s free labels.
+    pub fn contract(&self, other: &Tensor) -> Tensor {
+        let shared: Vec<BondId> = self
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| other.labels.contains(l))
+            .collect();
+        let a_free: Vec<BondId> = self
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
+        let b_free: Vec<BondId> = other
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
+
+        for &l in &shared {
+            assert_eq!(
+                self.dim_of(l),
+                other.dim_of(l),
+                "contract: bond {l} has mismatched dimensions"
+            );
+        }
+
+        // Permute so shared axes are trailing in `a` and leading in `b`.
+        let a_order: Vec<BondId> = a_free.iter().chain(&shared).copied().collect();
+        let b_order: Vec<BondId> = shared.iter().chain(&b_free).copied().collect();
+        let a = self.permute(&a_order);
+        let b = other.permute(&b_order);
+
+        let k: usize = shared
+            .iter()
+            .map(|&l| self.dim_of(l).unwrap())
+            .product();
+        let m = a.size() / k.max(1);
+        let n = b.size() / k.max(1);
+
+        let am = Matrix::from_vec(m, k, a.data);
+        let bm = Matrix::from_vec(k, n, b.data);
+        let c = am.matmul(&bm);
+
+        let mut labels = a_free;
+        labels.extend(&b_free);
+        let shape: Vec<usize> = labels
+            .iter()
+            .map(|&l| {
+                self.dim_of(l)
+                    .or_else(|| other.dim_of(l))
+                    .expect("free label must come from one operand")
+            })
+            .collect();
+        let data = c.data().to_vec();
+        Tensor::new(labels, shape, data)
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn scale(&self, k: C64) -> Tensor {
+        Tensor {
+            labels: self.labels.clone(),
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Entry-wise approximate equality (labels and shape must match exactly).
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        self.labels == other.labels
+            && self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+/// Fully contracts a network of tensors to a scalar using a greedy pairwise
+/// plan: at each step, contract the pair of tensors (sharing at least one
+/// bond, if any exist) that yields the smallest intermediate tensor.
+///
+/// Every bond label must appear on exactly one or two tensors; all labels
+/// must be contracted away by the end (i.e. the network must be closed).
+///
+/// # Panics
+/// Panics if the final result is not rank-0 (the network was not closed).
+pub fn contract_network(tensors: Vec<Tensor>) -> C64 {
+    if tensors.is_empty() {
+        return C64::ONE;
+    }
+    // Fast path: factor out rank-0 tensors first. After physical-index
+    // slicing most tensors of a lowly-entangled state are scalars, and
+    // multiplying them out keeps the O(T^2)-per-step pair search below
+    // confined to the (small) entangled core.
+    let mut scalar = C64::ONE;
+    let mut tensors: Vec<Tensor> = tensors
+        .into_iter()
+        .filter_map(|t| {
+            if t.rank() == 0 {
+                scalar *= t.into_scalar();
+                None
+            } else {
+                Some(t)
+            }
+        })
+        .collect();
+    if tensors.is_empty() {
+        return scalar;
+    }
+    while tensors.len() > 1 {
+        let mut best: Option<(usize, usize, usize)> = None; // (i, j, result_size)
+        let mut found_shared = false;
+        for i in 0..tensors.len() {
+            for j in (i + 1)..tensors.len() {
+                let shares = tensors[i]
+                    .labels()
+                    .iter()
+                    .any(|l| tensors[j].labels().contains(l));
+                if !shares && found_shared {
+                    continue;
+                }
+                let shared_size: usize = tensors[i]
+                    .labels()
+                    .iter()
+                    .filter(|l| tensors[j].labels().contains(l))
+                    .map(|&l| tensors[i].dim_of(l).unwrap())
+                    .product();
+                let result_size =
+                    tensors[i].size() / shared_size * (tensors[j].size() / shared_size);
+                let candidate = (i, j, result_size);
+                let better = match best {
+                    None => true,
+                    Some((_, _, sz)) => {
+                        if shares && !found_shared {
+                            true // always prefer a real contraction over an outer product
+                        } else {
+                            result_size < sz
+                        }
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                    found_shared |= shares;
+                }
+            }
+        }
+        let (i, j, _) = best.expect("at least two tensors remain");
+        let b = tensors.swap_remove(j);
+        let a = tensors.swap_remove(i);
+        let c = a.contract(&b);
+        if c.rank() == 0 {
+            scalar *= c.into_scalar();
+            if tensors.is_empty() {
+                return scalar;
+            }
+        } else {
+            tensors.push(c);
+        }
+    }
+    scalar * tensors.pop().unwrap().into_scalar()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> C64 {
+        C64::real(re)
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let t = Tensor::scalar(C64::new(2.0, -1.0));
+        assert_eq!(t.rank(), 0);
+        assert_eq!(t.into_scalar(), C64::new(2.0, -1.0));
+    }
+
+    #[test]
+    fn isel_selects_correct_slice() {
+        // shape (2,3), labels (0,1): data[i,j] = 3i + j
+        let t = Tensor::new(
+            vec![0, 1],
+            vec![2, 3],
+            (0..6).map(|x| c(x as f64)).collect(),
+        );
+        let row1 = t.isel(0, 1);
+        assert_eq!(row1.shape(), &[3]);
+        assert_eq!(row1.data(), &[c(3.0), c(4.0), c(5.0)]);
+        let col2 = t.isel(1, 2);
+        assert_eq!(col2.shape(), &[2]);
+        assert_eq!(col2.data(), &[c(2.0), c(5.0)]);
+    }
+
+    #[test]
+    fn isel_middle_axis() {
+        // shape (2,2,2), labels (0,1,2): data = index value 0..8
+        let t = Tensor::new(
+            vec![0, 1, 2],
+            vec![2, 2, 2],
+            (0..8).map(|x| c(x as f64)).collect(),
+        );
+        let s = t.isel(1, 1);
+        assert_eq!(s.labels(), &[0, 2]);
+        // entries with middle index = 1: flat indices 2,3,6,7
+        assert_eq!(s.data(), &[c(2.0), c(3.0), c(6.0), c(7.0)]);
+    }
+
+    #[test]
+    fn permute_transposes() {
+        let t = Tensor::new(
+            vec![10, 20],
+            vec![2, 3],
+            (0..6).map(|x| c(x as f64)).collect(),
+        );
+        let p = t.permute(&[20, 10]);
+        assert_eq!(p.shape(), &[3, 2]);
+        // p[j,i] = t[i,j]
+        assert_eq!(p.data(), &[c(0.0), c(3.0), c(1.0), c(4.0), c(2.0), c(5.0)]);
+    }
+
+    #[test]
+    fn contract_matches_matrix_multiply() {
+        let a = Matrix::from_real(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_real(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let ta = Tensor::from_matrix(&a, 0, 1);
+        let tb = Tensor::from_matrix(&b, 1, 2);
+        let tc = ta.contract(&tb);
+        let expect = a.matmul(&b);
+        assert_eq!(tc.labels(), &[0, 2]);
+        assert_eq!(tc.data(), expect.data());
+    }
+
+    #[test]
+    fn contract_over_two_shared_bonds_is_full_trace_product() {
+        // <A, B> = sum_ij A_ij B_ij with B carrying the same labels
+        let a = Matrix::from_real(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_real(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let ta = Tensor::from_matrix(&a, 0, 1);
+        let tb = Tensor::from_matrix(&b, 0, 1);
+        let s = ta.contract(&tb).into_scalar();
+        assert_eq!(s, c(1.0 * 5.0 + 2.0 * 6.0 + 3.0 * 7.0 + 4.0 * 8.0));
+    }
+
+    #[test]
+    fn outer_product_when_no_shared_labels() {
+        let ta = Tensor::new(vec![0], vec![2], vec![c(1.0), c(2.0)]);
+        let tb = Tensor::new(vec![1], vec![2], vec![c(3.0), c(4.0)]);
+        let t = ta.contract(&tb);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.data(), &[c(3.0), c(4.0), c(6.0), c(8.0)]);
+    }
+
+    #[test]
+    fn relabel_changes_only_labels() {
+        let mut t = Tensor::new(vec![0, 1], vec![2, 2], vec![c(1.0); 4]);
+        t.relabel(1, 9);
+        assert_eq!(t.labels(), &[0, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bond label")]
+    fn duplicate_labels_rejected() {
+        let _ = Tensor::new(vec![3, 3], vec![2, 2], vec![c(0.0); 4]);
+    }
+
+    #[test]
+    fn network_contraction_matches_manual_chain() {
+        // v^T M w  as a 3-tensor network
+        let v = Tensor::new(vec![0], vec![2], vec![c(1.0), c(2.0)]);
+        let m = Tensor::from_matrix(&Matrix::from_real(&[&[1.0, -1.0], &[0.5, 2.0]]), 0, 1);
+        let w = Tensor::new(vec![1], vec![2], vec![c(3.0), c(-1.0)]);
+        let got = contract_network(vec![v, m, w]);
+        // manual: v^T M = [1*1+2*0.5, 1*-1+2*2] = [2, 3]; dot w = 6 - 3 = 3
+        assert!(got.approx_eq(c(3.0), 1e-12));
+    }
+
+    #[test]
+    fn network_contraction_of_ghz_amplitude() {
+        // GHZ on 3 qubits as a bond-2 chain; amplitude of |000> is 1/sqrt(2).
+        let inv = 1.0 / 2f64.sqrt();
+        // site tensors for bitstring 000 with two bonds (labels 100, 101):
+        // t0[b0] = diag-selector, middle t1[b0,b1], t2[b1]
+        let t0 = Tensor::new(vec![100], vec![2], vec![c(inv), c(0.0)]);
+        let t1 = Tensor::new(
+            vec![100, 101],
+            vec![2, 2],
+            vec![c(1.0), c(0.0), c(0.0), c(0.0)],
+        );
+        let t2 = Tensor::new(vec![101], vec![2], vec![c(1.0), c(0.0)]);
+        let amp = contract_network(vec![t0, t1, t2]);
+        assert!(amp.approx_eq(c(inv), 1e-12));
+    }
+
+    #[test]
+    fn empty_network_is_one() {
+        assert_eq!(contract_network(vec![]), C64::ONE);
+    }
+
+    #[test]
+    fn disconnected_network_multiplies_components() {
+        let s1 = Tensor::new(vec![0], vec![2], vec![c(1.0), c(1.0)]);
+        let s2 = Tensor::new(vec![0], vec![2], vec![c(2.0), c(0.0)]);
+        let t1 = Tensor::new(vec![1], vec![2], vec![c(0.0), c(3.0)]);
+        let t2 = Tensor::new(vec![1], vec![2], vec![c(5.0), c(1.0)]);
+        // (s1 . s2) * (t1 . t2) = 2 * 3 = 6
+        let got = contract_network(vec![s1, t1, s2, t2]);
+        assert!(got.approx_eq(c(6.0), 1e-12));
+    }
+}

@@ -1,0 +1,513 @@
+//! Canonical chain matrix-product state with bond truncation — the
+//! chi-capped `MPSOptions` workflow used for the QAOA experiment
+//! (paper Sec. 4.4).
+//!
+//! Site tensors `A_i[l, p, r]` hold one physical leg (`p`, dim 2) between
+//! bond legs. Two-qubit gates on non-adjacent qubits are routed with
+//! adjacent SWAPs under a tracked qubit-to-site permutation. After every
+//! two-site gate the merged tensor is split by SVD, truncating to
+//! `max_bond` and accumulating the discarded weight. Bitstring amplitudes
+//! cost `O(n chi^2)` — the `f(n, d)` that makes wide, lowly-entangled
+//! circuits cheap (Fig. 7).
+
+use bgls_circuit::{Channel, Gate};
+use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
+use bgls_linalg::{svd, C64, Matrix};
+use rand::{Rng, RngCore};
+
+/// Truncation options — the `cirq.contrib.quimb.MPSOptions` substitute.
+#[derive(Clone, Copy, Debug)]
+pub struct MpsOptions {
+    /// Maximum bond dimension chi (`None` = unbounded, exact simulation).
+    pub max_bond: Option<usize>,
+    /// Singular values at or below this threshold are dropped.
+    pub cutoff: f64,
+}
+
+impl Default for MpsOptions {
+    fn default() -> Self {
+        MpsOptions {
+            max_bond: None,
+            cutoff: 1e-12,
+        }
+    }
+}
+
+impl MpsOptions {
+    /// Unbounded-chi exact options.
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Caps the bond dimension at `chi`.
+    pub fn with_max_bond(chi: usize) -> Self {
+        MpsOptions {
+            max_bond: Some(chi),
+            cutoff: 1e-12,
+        }
+    }
+}
+
+/// One site tensor `A[l, p, r]`, row-major over `(l, p, r)`.
+#[derive(Clone, Debug)]
+struct Site {
+    l: usize,
+    r: usize,
+    data: Vec<C64>,
+}
+
+impl Site {
+    #[inline]
+    fn at(&self, l: usize, p: usize, r: usize) -> C64 {
+        self.data[(l * 2 + p) * self.r + r]
+    }
+}
+
+/// Chain MPS over `n` qubits with a tracked qubit-to-site permutation.
+#[derive(Clone, Debug)]
+pub struct ChainMps {
+    sites: Vec<Site>,
+    site_of_qubit: Vec<usize>,
+    qubit_of_site: Vec<usize>,
+    options: MpsOptions,
+    truncation_weight: f64,
+    n: usize,
+}
+
+impl ChainMps {
+    /// The all-zeros product state with the given truncation options.
+    pub fn zero(n: usize, options: MpsOptions) -> Self {
+        assert!(n > 0, "need at least one qubit");
+        if let Some(chi) = options.max_bond {
+            assert!(chi >= 1, "max_bond must be at least 1");
+        }
+        let sites = (0..n)
+            .map(|_| Site {
+                l: 1,
+                r: 1,
+                data: vec![C64::ONE, C64::ZERO],
+            })
+            .collect();
+        ChainMps {
+            sites,
+            site_of_qubit: (0..n).collect(),
+            qubit_of_site: (0..n).collect(),
+            options,
+            truncation_weight: 0.0,
+            n,
+        }
+    }
+
+    /// Accumulated discarded squared Schmidt weight across all
+    /// truncations (0 for exact evolution).
+    pub fn truncation_weight(&self) -> f64 {
+        self.truncation_weight
+    }
+
+    /// Largest bond dimension currently in the chain.
+    pub fn max_bond_dimension(&self) -> usize {
+        self.sites.iter().map(|s| s.r).max().unwrap_or(1)
+    }
+
+    /// The truncation options in force.
+    pub fn options(&self) -> MpsOptions {
+        self.options
+    }
+
+    fn apply_1q_matrix(&mut self, u: &Matrix, q: usize) {
+        let i = self.site_of_qubit[q];
+        let site = &mut self.sites[i];
+        let (l, r) = (site.l, site.r);
+        let mut out = vec![C64::ZERO; site.data.len()];
+        for li in 0..l {
+            for ri in 0..r {
+                let a0 = site.data[(li * 2) * r + ri];
+                let a1 = site.data[(li * 2 + 1) * r + ri];
+                out[(li * 2) * r + ri] = u[(0, 0)] * a0 + u[(0, 1)] * a1;
+                out[(li * 2 + 1) * r + ri] = u[(1, 0)] * a0 + u[(1, 1)] * a1;
+            }
+        }
+        site.data = out;
+    }
+
+    /// Applies a 4x4 matrix to adjacent sites `(i, i+1)`; gate index bit 1
+    /// (most significant) belongs to site `i`.
+    fn apply_two_site(&mut self, i: usize, u: &Matrix) {
+        let a = &self.sites[i];
+        let b = &self.sites[i + 1];
+        let (l, m, r) = (a.l, a.r, b.r);
+        debug_assert_eq!(b.l, m);
+        // theta[l, p1, p2, r] = sum_m A[l, p1, m] B[m, p2, r]
+        let mut theta = vec![C64::ZERO; l * 4 * r];
+        for li in 0..l {
+            for p1 in 0..2 {
+                for mi in 0..m {
+                    let av = a.at(li, p1, mi);
+                    if av == C64::ZERO {
+                        continue;
+                    }
+                    for p2 in 0..2 {
+                        for ri in 0..r {
+                            theta[((li * 2 + p1) * 2 + p2) * r + ri] =
+                                av.mul_add(b.at(mi, p2, ri), theta[((li * 2 + p1) * 2 + p2) * r + ri]);
+                        }
+                    }
+                }
+            }
+        }
+        // gate application over the two physical legs
+        let mut gated = vec![C64::ZERO; l * 4 * r];
+        for li in 0..l {
+            for ri in 0..r {
+                for pout in 0..4 {
+                    let mut acc = C64::ZERO;
+                    for pin in 0..4 {
+                        let t = theta[(li * 4 + pin) * r + ri];
+                        acc = u[(pout, pin)].mul_add(t, acc);
+                    }
+                    gated[(li * 4 + pout) * r + ri] = acc;
+                }
+            }
+        }
+        // reshape to (l*2) x (2*r) and split by SVD
+        let mut mat = Matrix::zeros(l * 2, 2 * r);
+        for li in 0..l {
+            for p1 in 0..2 {
+                for p2 in 0..2 {
+                    for ri in 0..r {
+                        mat[(li * 2 + p1, p2 * r + ri)] =
+                            gated[((li * 2 + p1) * 2 + p2) * r + ri];
+                    }
+                }
+            }
+        }
+        let mut d = svd(&mat);
+        let chi_cap = self.options.max_bond.unwrap_or(usize::MAX);
+        let err = d.truncate(chi_cap, self.options.cutoff);
+        self.truncation_weight += err;
+        let chi = d.s.len();
+        let mut na = Site {
+            l,
+            r: chi,
+            data: vec![C64::ZERO; l * 2 * chi],
+        };
+        for li in 0..l {
+            for p1 in 0..2 {
+                for k in 0..chi {
+                    na.data[(li * 2 + p1) * chi + k] = d.u[(li * 2 + p1, k)];
+                }
+            }
+        }
+        let mut nb = Site {
+            l: chi,
+            r,
+            data: vec![C64::ZERO; chi * 2 * r],
+        };
+        for k in 0..chi {
+            for p2 in 0..2 {
+                for ri in 0..r {
+                    nb.data[(k * 2 + p2) * r + ri] = d.vt[(k, p2 * r + ri)] * d.s[k];
+                }
+            }
+        }
+        self.sites[i] = na;
+        self.sites[i + 1] = nb;
+        // Truncation shrinks the state; renormalize exactly. (The chain is
+        // not kept in canonical form, so the discarded singular weight
+        // alone does not determine the norm change.)
+        if err > 0.0 {
+            let norm = self.norm_sqr();
+            if norm > 0.0 {
+                self.scale_first_site(1.0 / norm.sqrt());
+            }
+        }
+    }
+
+    /// Swaps the qubits at sites `i` and `i+1` (full SWAP gate + mapping
+    /// update).
+    fn swap_adjacent(&mut self, i: usize) {
+        let swap = Gate::Swap.unitary().expect("SWAP");
+        self.apply_two_site(i, &swap);
+        let (qa, qb) = (self.qubit_of_site[i], self.qubit_of_site[i + 1]);
+        self.qubit_of_site.swap(i, i + 1);
+        self.site_of_qubit[qa] = i + 1;
+        self.site_of_qubit[qb] = i;
+    }
+
+    fn apply_2q_matrix(&mut self, u: &Matrix, qa: usize, qb: usize) {
+        // route qa's site next to qb's
+        let mut sa = self.site_of_qubit[qa];
+        let sb = self.site_of_qubit[qb];
+        debug_assert_ne!(sa, sb);
+        while sa + 1 < sb {
+            self.swap_adjacent(sa);
+            sa += 1;
+        }
+        while sa > sb + 1 {
+            self.swap_adjacent(sa - 1);
+            sa -= 1;
+        }
+        // now adjacent; left site index:
+        if sa < sb {
+            // site sa holds qa (gate's most significant bit): use u as-is
+            self.apply_two_site(sa, u);
+        } else {
+            // left site holds qb: permute gate qubit roles
+            let mut flipped = Matrix::zeros(4, 4);
+            for i1 in 0..2 {
+                for i2 in 0..2 {
+                    for j1 in 0..2 {
+                        for j2 in 0..2 {
+                            flipped[(i2 * 2 + i1, j2 * 2 + j1)] = u[(i1 * 2 + i2, j1 * 2 + j2)];
+                        }
+                    }
+                }
+            }
+            self.apply_two_site(sb, &flipped);
+        }
+    }
+
+    /// Amplitude `<bits|psi>` in `O(n chi^2)` by sweeping the chain.
+    pub fn amplitude_of(&self, bits: BitString) -> C64 {
+        assert_eq!(bits.len(), self.n);
+        let mut v = vec![C64::ONE];
+        for (i, site) in self.sites.iter().enumerate() {
+            let bit = bits.get(self.qubit_of_site[i]) as usize;
+            let mut next = vec![C64::ZERO; site.r];
+            for (li, &vl) in v.iter().enumerate() {
+                if vl == C64::ZERO {
+                    continue;
+                }
+                for (ri, slot) in next.iter_mut().enumerate() {
+                    *slot = vl.mul_add(site.at(li, bit, ri), *slot);
+                }
+            }
+            v = next;
+        }
+        debug_assert_eq!(v.len(), 1);
+        v[0]
+    }
+
+    /// Squared norm via transfer-matrix contraction (`O(n chi^4)`).
+    pub fn norm_sqr(&self) -> f64 {
+        // rho[l, l'] environment, starting 1x1
+        let mut rho = vec![C64::ONE];
+        let mut dim = 1usize;
+        for site in &self.sites {
+            let (l, r) = (site.l, site.r);
+            debug_assert_eq!(l, dim);
+            let mut next = vec![C64::ZERO; r * r];
+            for li in 0..l {
+                for lj in 0..l {
+                    let e = rho[li * l + lj];
+                    if e == C64::ZERO {
+                        continue;
+                    }
+                    for p in 0..2 {
+                        for ri in 0..r {
+                            let x = e * site.at(li, p, ri);
+                            if x == C64::ZERO {
+                                continue;
+                            }
+                            for rj in 0..r {
+                                next[ri * r + rj] += x * site.at(lj, p, rj).conj();
+                            }
+                        }
+                    }
+                }
+            }
+            rho = next;
+            dim = r;
+        }
+        rho[0].re
+    }
+
+    /// Rescales the whole state by `k` (used after non-unitary Kraus
+    /// application).
+    fn scale_first_site(&mut self, k: f64) {
+        for z in &mut self.sites[0].data {
+            *z *= k;
+        }
+    }
+
+    /// Dense ket for verification (exponential).
+    pub fn ket(&self) -> Vec<C64> {
+        assert!(self.n <= 16, "ket() limited to 16 qubits");
+        (0..1u64 << self.n)
+            .map(|x| self.amplitude_of(BitString::from_u64(self.n, x)))
+            .collect()
+    }
+}
+
+impl BglsState for ChainMps {
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        let u = gate.unitary()?;
+        match qubits.len() {
+            1 => {
+                self.apply_1q_matrix(&u, qubits[0]);
+                Ok(())
+            }
+            2 => {
+                if qubits[0] == qubits[1] {
+                    return Err(SimError::Invalid("duplicate qubit".into()));
+                }
+                self.apply_2q_matrix(&u, qubits[0], qubits[1]);
+                Ok(())
+            }
+            k => Err(SimError::Unsupported(format!(
+                "{k}-qubit gates on chain MPS (decompose first)"
+            ))),
+        }
+    }
+
+    fn probability(&self, bits: BitString) -> f64 {
+        self.amplitude_of(bits).norm_sqr()
+    }
+
+    fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+        self.check_qubits(&[qubit])?;
+        // apply |v><v| on the physical leg, then renormalize globally
+        let mut p = Matrix::zeros(2, 2);
+        let idx = value as usize;
+        p[(idx, idx)] = C64::ONE;
+        self.apply_1q_matrix(&p, qubit);
+        let norm = self.norm_sqr();
+        if norm <= 1e-300 {
+            return Err(SimError::ZeroProbabilityEvent);
+        }
+        self.scale_first_site(1.0 / norm.sqrt());
+        Ok(())
+    }
+
+    fn apply_kraus(
+        &mut self,
+        channel: &Channel,
+        qubits: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, SimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != 1 {
+            return Err(SimError::Unsupported(
+                "multi-qubit channels on chain MPS".into(),
+            ));
+        }
+        let mut r: f64 = rng.gen::<f64>();
+        let last = channel.kraus().len() - 1;
+        for (i, k) in channel.kraus().iter().enumerate() {
+            let mut cand = self.clone();
+            cand.apply_1q_matrix(k, qubits[0]);
+            let norm = cand.norm_sqr();
+            if r < norm || i == last {
+                if norm <= 0.0 {
+                    return Err(SimError::ZeroProbabilityEvent);
+                }
+                cand.scale_first_site(1.0 / norm.sqrt());
+                *self = cand;
+                return Ok(i);
+            }
+            r -= norm;
+        }
+        unreachable!("last branch always taken")
+    }
+}
+
+impl AmplitudeState for ChainMps {
+    fn amplitude(&self, bits: BitString) -> C64 {
+        self.amplitude_of(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: usize, x: u64) -> BitString {
+        BitString::from_u64(n, x)
+    }
+
+    #[test]
+    fn zero_state() {
+        let st = ChainMps::zero(3, MpsOptions::exact());
+        assert!((st.probability(b(3, 0)) - 1.0).abs() < 1e-12);
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_adjacent() {
+        let mut st = ChainMps::zero(3, MpsOptions::exact());
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 1]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[1, 2]).unwrap();
+        assert!((st.probability(b(3, 0b000)) - 0.5).abs() < 1e-12);
+        assert!((st.probability(b(3, 0b111)) - 0.5).abs() < 1e-12);
+        assert!(st.probability(b(3, 0b010)) < 1e-15);
+        assert_eq!(st.max_bond_dimension(), 2);
+        assert_eq!(st.truncation_weight(), 0.0);
+    }
+
+    #[test]
+    fn non_adjacent_gate_routes_with_swaps() {
+        let mut st = ChainMps::zero(4, MpsOptions::exact());
+        st.apply_gate(&Gate::X, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 3]).unwrap();
+        assert!((st.probability(b(4, 0b1001)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_qubit_order_gate() {
+        // control on the higher site
+        let mut st = ChainMps::zero(2, MpsOptions::exact());
+        st.apply_gate(&Gate::X, &[1]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[1, 0]).unwrap();
+        assert!((st.probability(b(2, 0b11)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_cap_truncates_and_records_weight() {
+        let mut st = ChainMps::zero(6, MpsOptions::with_max_bond(1));
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 1]).unwrap(); // needs chi 2
+        assert_eq!(st.max_bond_dimension(), 1);
+        assert!(st.truncation_weight() > 0.1);
+        // norm stays ~1 thanks to rescaling
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_chain_matches_known_ghz_after_many_swaps() {
+        let mut st = ChainMps::zero(5, MpsOptions::exact());
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        // entangle in scrambled order
+        for (a, c) in [(0usize, 4usize), (4, 2), (2, 1), (1, 3)] {
+            st.apply_gate(&Gate::Cnot, &[a, c]).unwrap();
+        }
+        assert!((st.probability(b(5, 0)) - 0.5).abs() < 1e-10);
+        assert!((st.probability(b(5, 0b11111)) - 0.5).abs() < 1e-10);
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kraus_trajectory_on_mps() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ch = Channel::bit_flip(1.0).unwrap();
+        let mut st = ChainMps::zero(2, MpsOptions::exact());
+        let mut rng = StdRng::seed_from_u64(0);
+        st.apply_kraus(&ch, &[1], &mut rng).unwrap();
+        assert!((st.probability(b(2, 0b10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_qubit_gate_unsupported() {
+        let mut st = ChainMps::zero(3, MpsOptions::exact());
+        assert!(matches!(
+            st.apply_gate(&Gate::Ccx, &[0, 1, 2]),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+}

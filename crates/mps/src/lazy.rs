@@ -1,0 +1,249 @@
+//! The lazy tensor-network state — the `cirq.contrib.quimb.MPSState`
+//! substitute (paper Sec. 4.3.2).
+//!
+//! One tensor per qubit. Single-qubit gates contract into the physical
+//! leg; each two-qubit gate inserts a new bond between the two tensors
+//! whose dimension is the gate's operator-Schmidt rank (2 for CNOT/CZ,
+//! up to 4 generally). Nothing is ever truncated or canonicalized —
+//! entanglement accumulates as bonds, and the cost of computing a
+//! bitstring amplitude is the cost of contracting the sliced network
+//! (`mps_bitstring_probability` in the paper):
+//!
+//! ```text
+//! for each qubit i:  T_i <- isel(T_i, physical_i = b_i)
+//! amplitude = contract(all sliced tensors)
+//! ```
+
+use crate::schmidt::operator_schmidt;
+use bgls_circuit::Gate;
+use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
+use bgls_linalg::{contract_network, BondId, C64, Matrix, Tensor};
+
+/// Per-qubit lazy tensor network state.
+#[derive(Clone, Debug)]
+pub struct LazyNetworkState {
+    /// One tensor per qubit; the physical leg of qubit `q` carries label
+    /// `q as BondId`.
+    tensors: Vec<Tensor>,
+    next_bond: BondId,
+    n: usize,
+}
+
+impl LazyNetworkState {
+    /// The all-zeros product state on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        let tensors = (0..n)
+            .map(|q| Tensor::new(vec![q as BondId], vec![2], vec![C64::ONE, C64::ZERO]))
+            .collect();
+        LazyNetworkState {
+            tensors,
+            next_bond: n as BondId,
+            n,
+        }
+    }
+
+    fn fresh_bond(&mut self) -> BondId {
+        let b = self.next_bond;
+        self.next_bond += 1;
+        b
+    }
+
+    /// Number of bonds currently attached to qubit `q`'s tensor.
+    pub fn bond_count(&self, q: usize) -> usize {
+        self.tensors[q].rank() - 1
+    }
+
+    /// Total entries across all tensors — the memory footprint that grows
+    /// with accumulated entanglement.
+    pub fn total_tensor_size(&self) -> usize {
+        self.tensors.iter().map(Tensor::size).sum()
+    }
+
+    /// Applies a `2x2` matrix to qubit `q`'s physical leg.
+    fn apply_1q_matrix(&mut self, m: &Matrix, q: usize) {
+        let tmp = self.fresh_bond();
+        let g = Tensor::new(
+            vec![tmp, q as BondId],
+            vec![2, 2],
+            m.data().to_vec(),
+        );
+        let mut t = self.tensors[q].contract(&g);
+        // contract consumed the physical label; the fresh label replaces it
+        t.relabel(tmp, q as BondId);
+        self.tensors[q] = t;
+    }
+
+    /// Applies a two-qubit gate by inserting a Schmidt bond between the
+    /// tensors of `qa` (most significant gate bit) and `qb`.
+    fn apply_2q_matrix(&mut self, u: &Matrix, qa: usize, qb: usize) {
+        let terms = operator_schmidt(u, 1e-12);
+        let rank = terms.len();
+        let bond = self.fresh_bond();
+        let tmp_a = self.fresh_bond();
+        let tmp_b = self.fresh_bond();
+        // Stack A_k into tensor [tmp_a(new phys), qa(old phys), bond(k)].
+        let mut a_data = Vec::with_capacity(rank * 4);
+        for new in 0..2 {
+            for old in 0..2 {
+                for t in &terms {
+                    a_data.push(t.a[(new, old)]);
+                }
+            }
+        }
+        let ga = Tensor::new(
+            vec![tmp_a, qa as BondId, bond],
+            vec![2, 2, rank],
+            a_data,
+        );
+        let mut b_data = Vec::with_capacity(rank * 4);
+        for new in 0..2 {
+            for old in 0..2 {
+                for t in &terms {
+                    b_data.push(t.b[(new, old)]);
+                }
+            }
+        }
+        let gb = Tensor::new(
+            vec![tmp_b, qb as BondId, bond],
+            vec![2, 2, rank],
+            b_data,
+        );
+        let mut ta = self.tensors[qa].contract(&ga);
+        ta.relabel(tmp_a, qa as BondId);
+        self.tensors[qa] = ta;
+        let mut tb = self.tensors[qb].contract(&gb);
+        tb.relabel(tmp_b, qb as BondId);
+        self.tensors[qb] = tb;
+    }
+
+    /// The paper's `mps_bitstring_probability`: slice every physical leg
+    /// to the bit value, then fully contract the remaining network.
+    pub fn amplitude_of(&self, bits: BitString) -> C64 {
+        assert_eq!(bits.len(), self.n);
+        let sliced: Vec<Tensor> = self
+            .tensors
+            .iter()
+            .enumerate()
+            .map(|(q, t)| t.isel(q as BondId, bits.get(q) as usize))
+            .collect();
+        contract_network(sliced)
+    }
+
+    /// Dense ket for verification (exponential).
+    pub fn ket(&self) -> Vec<C64> {
+        assert!(self.n <= 16, "ket() limited to 16 qubits");
+        (0..1u64 << self.n)
+            .map(|x| self.amplitude_of(BitString::from_u64(self.n, x)))
+            .collect()
+    }
+}
+
+impl BglsState for LazyNetworkState {
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        let u = gate.unitary()?;
+        match qubits.len() {
+            1 => {
+                self.apply_1q_matrix(&u, qubits[0]);
+                Ok(())
+            }
+            2 => {
+                if qubits[0] == qubits[1] {
+                    return Err(SimError::Invalid("duplicate qubit".into()));
+                }
+                self.apply_2q_matrix(&u, qubits[0], qubits[1]);
+                Ok(())
+            }
+            k => Err(SimError::Unsupported(format!(
+                "{k}-qubit gates on the lazy tensor network (decompose first)"
+            ))),
+        }
+    }
+
+    fn probability(&self, bits: BitString) -> f64 {
+        self.amplitude_of(bits).norm_sqr()
+    }
+}
+
+impl AmplitudeState for LazyNetworkState {
+    fn amplitude(&self, bits: BitString) -> C64 {
+        self.amplitude_of(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_amplitudes() {
+        let st = LazyNetworkState::zero(3);
+        assert!((st.probability(BitString::zeros(3)) - 1.0).abs() < 1e-12);
+        assert!(st.probability(BitString::from_u64(3, 0b001)) < 1e-15);
+    }
+
+    #[test]
+    fn single_qubit_gates_work() {
+        let mut st = LazyNetworkState::zero(2);
+        st.apply_gate(&Gate::X, &[1]).unwrap();
+        assert!((st.probability(BitString::from_u64(2, 0b10)) - 1.0).abs() < 1e-12);
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        assert!((st.probability(BitString::from_u64(2, 0b10)) - 0.5).abs() < 1e-12);
+        assert!((st.probability(BitString::from_u64(2, 0b11)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_via_bond_insertion() {
+        let mut st = LazyNetworkState::zero(3);
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 1]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[1, 2]).unwrap();
+        assert!((st.probability(BitString::from_u64(3, 0b000)) - 0.5).abs() < 1e-12);
+        assert!((st.probability(BitString::from_u64(3, 0b111)) - 0.5).abs() < 1e-12);
+        assert!(st.probability(BitString::from_u64(3, 0b101)) < 1e-15);
+        // each CNOT added one rank-2 bond
+        assert_eq!(st.bond_count(0), 1);
+        assert_eq!(st.bond_count(1), 2);
+        assert_eq!(st.bond_count(2), 1);
+    }
+
+    #[test]
+    fn bond_accumulation_grows_tensor_size() {
+        let mut st = LazyNetworkState::zero(2);
+        let initial = st.total_tensor_size();
+        for _ in 0..4 {
+            st.apply_gate(&Gate::Cnot, &[0, 1]).unwrap();
+        }
+        assert!(st.total_tensor_size() > initial * 4);
+    }
+
+    #[test]
+    fn three_qubit_gate_unsupported() {
+        let mut st = LazyNetworkState::zero(3);
+        assert!(matches!(
+            st.apply_gate(&Gate::Ccx, &[0, 1, 2]),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn norm_preserved_through_random_gates() {
+        let mut st = LazyNetworkState::zero(3);
+        for (g, qs) in [
+            (Gate::H, vec![0usize]),
+            (Gate::T, vec![1]),
+            (Gate::Cnot, vec![0, 2]),
+            (Gate::ISwap, vec![1, 2]),
+            (Gate::Rzz(0.4.into()), vec![0, 1]),
+            (Gate::SqrtX, vec![2]),
+        ] {
+            st.apply_gate(&g, &qs).unwrap();
+        }
+        let total: f64 = st.ket().iter().map(|a| a.norm_sqr()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "norm {total}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # bgls-mps
+//!
+//! Tensor-network simulation states for BGLS (paper Sec. 4.3):
+//!
+//! * [`LazyNetworkState`] — the `cirq.contrib.quimb.MPSState` substitute:
+//!   one tensor per qubit, each two-qubit gate inserts an
+//!   operator-Schmidt bond, amplitudes by slicing + greedy contraction
+//!   (the paper's `mps_bitstring_probability`);
+//! * [`ChainMps`] — a canonical chain MPS with chi-capped SVD truncation
+//!   ([`MpsOptions`]), swap-routing for long-range gates, and
+//!   `O(n chi^2)` amplitudes — the representation behind the QAOA
+//!   MaxCut experiment (Sec. 4.4).
+//!
+//! ```
+//! use bgls_circuit::Gate;
+//! use bgls_core::{BglsState, BitString};
+//! use bgls_mps::{ChainMps, MpsOptions};
+//!
+//! let mut mps = ChainMps::zero(3, MpsOptions::with_max_bond(4));
+//! mps.apply_gate(&Gate::H, &[0]).unwrap();
+//! mps.apply_gate(&Gate::Cnot, &[0, 2]).unwrap(); // long-range: swap-routed
+//! let p = mps.probability(BitString::from_u64(3, 0b101));
+//! assert!((p - 0.5).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod chain;
+mod lazy;
+mod schmidt;
+
+pub use chain::{ChainMps, MpsOptions};
+pub use lazy::LazyNetworkState;
+pub use schmidt::{operator_schmidt, reconstruct, SchmidtTerm};

@@ -1,0 +1,177 @@
+//! Cross-validation of both tensor-network backends against the dense
+//! state-vector simulator on random circuits.
+
+use bgls_circuit::{generate_random_circuit, Gate, RandomCircuitParams};
+use bgls_core::{BglsState, BitString};
+use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
+use bgls_statevector::StateVector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_gate_pool() -> Vec<Gate> {
+    vec![
+        Gate::H,
+        Gate::S,
+        Gate::T,
+        Gate::X,
+        Gate::SqrtX,
+        Gate::Rz(0.37.into()),
+        Gate::Ry(1.1.into()),
+        Gate::Cnot,
+        Gate::Cz,
+        Gate::ISwap,
+        Gate::Swap,
+        Gate::Rzz(0.61.into()),
+        Gate::CPhase(0.8.into()),
+    ]
+}
+
+fn run_on<S: BglsState>(state: &mut S, circuit: &bgls_circuit::Circuit) {
+    for op in circuit.all_operations() {
+        let g = op.as_gate().expect("gates only");
+        let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+        state
+            .apply_gate(g, &qs)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", g.name()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact (untruncated) chain MPS reproduces every dense probability,
+    /// including through swap routing of long-range gates.
+    #[test]
+    fn chain_mps_matches_dense(seed in 0u64..10_000, n in 2usize..6, moments in 1usize..14) {
+        let params = RandomCircuitParams {
+            qubits: n,
+            moments,
+            op_density: 0.8,
+            gate_set: mixed_gate_pool(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generate_random_circuit(&params, &mut rng);
+
+        let mut mps = ChainMps::zero(n, MpsOptions::exact());
+        let mut sv = StateVector::zero(n);
+        run_on(&mut mps, &circuit);
+        run_on(&mut sv, &circuit);
+
+        for x in 0..1u64 << n {
+            let bits = BitString::from_u64(n, x);
+            let pm = mps.probability(bits);
+            let ps = sv.probability(bits);
+            prop_assert!((pm - ps).abs() < 1e-8, "x={x}: mps {pm} vs dense {ps}");
+        }
+        prop_assert!(mps.truncation_weight() < 1e-16);
+    }
+
+    /// The lazy tensor network reproduces every dense probability.
+    #[test]
+    fn lazy_network_matches_dense(seed in 0u64..10_000, n in 2usize..6, moments in 1usize..10) {
+        let params = RandomCircuitParams {
+            qubits: n,
+            moments,
+            op_density: 0.7,
+            gate_set: mixed_gate_pool(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generate_random_circuit(&params, &mut rng);
+
+        let mut lazy = LazyNetworkState::zero(n);
+        let mut sv = StateVector::zero(n);
+        run_on(&mut lazy, &circuit);
+        run_on(&mut sv, &circuit);
+
+        for x in 0..1u64 << n {
+            let bits = BitString::from_u64(n, x);
+            let pl = lazy.probability(bits);
+            let ps = sv.probability(bits);
+            prop_assert!((pl - ps).abs() < 1e-8, "x={x}: lazy {pl} vs dense {ps}");
+        }
+    }
+
+    /// Truncated chain MPS keeps unit norm (rescaled) and bounded bonds.
+    #[test]
+    fn truncated_chain_respects_chi(seed in 0u64..10_000, n in 3usize..7) {
+        let params = RandomCircuitParams {
+            qubits: n,
+            moments: 12,
+            op_density: 1.0,
+            gate_set: vec![Gate::H, Gate::T, Gate::Cnot],
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generate_random_circuit(&params, &mut rng);
+        let chi = 2;
+        let mut mps = ChainMps::zero(n, MpsOptions::with_max_bond(chi));
+        run_on(&mut mps, &circuit);
+        prop_assert!(mps.max_bond_dimension() <= chi);
+        prop_assert!((mps.norm_sqr() - 1.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn bgls_sampling_on_both_backends_matches_ideal() {
+    use bgls_core::Simulator;
+    let mut c = bgls_circuit::Circuit::new();
+    use bgls_circuit::{Operation, Qubit};
+    for op in [
+        Operation::gate(Gate::H, vec![Qubit(0)]).unwrap(),
+        Operation::gate(Gate::T, vec![Qubit(0)]).unwrap(),
+        Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(2)]).unwrap(),
+        Operation::gate(Gate::Ry(0.9.into()), vec![Qubit(1)]).unwrap(),
+        Operation::gate(Gate::Cz, vec![Qubit(1), Qubit(2)]).unwrap(),
+        Operation::gate(Gate::H, vec![Qubit(1)]).unwrap(),
+    ] {
+        c.push(op);
+    }
+    let ideal = StateVector::from_circuit(&c, 3).unwrap().born_distribution();
+    let reps = 30_000u64;
+
+    for (name, samples) in [
+        (
+            "chain",
+            Simulator::new(ChainMps::zero(3, MpsOptions::exact()))
+                .with_seed(1)
+                .sample_final_bitstrings(&c, reps)
+                .unwrap(),
+        ),
+        (
+            "lazy",
+            Simulator::new(LazyNetworkState::zero(3))
+                .with_seed(2)
+                .sample_final_bitstrings(&c, reps)
+                .unwrap(),
+        ),
+    ] {
+        let mut counts = [0u64; 8];
+        for s in samples {
+            counts[s.as_u64() as usize] += 1;
+        }
+        for (x, &cnt) in counts.iter().enumerate() {
+            let f = cnt as f64 / reps as f64;
+            assert!(
+                (f - ideal[x]).abs() < 0.02,
+                "{name} outcome {x}: {f} vs {}",
+                ideal[x]
+            );
+        }
+    }
+}
+
+#[test]
+fn ghz_random_cnot_sequence_grows_lazy_network() {
+    // the Fig. 6 workload shape: GHZ with randomly sequenced CNOTs
+    let mut lazy = LazyNetworkState::zero(8);
+    lazy.apply_gate(&Gate::H, &[0]).unwrap();
+    let order = [(0usize, 3usize), (3, 6), (0, 1), (6, 7), (1, 2), (3, 4), (4, 5)];
+    for (a, b) in order {
+        lazy.apply_gate(&Gate::Cnot, &[a, b]).unwrap();
+    }
+    let p0 = lazy.probability(BitString::zeros(8));
+    let p1 = lazy.probability(BitString::from_u64(8, 0xFF));
+    assert!((p0 - 0.5).abs() < 1e-9);
+    assert!((p1 - 0.5).abs() < 1e-9);
+    assert!(lazy.total_tensor_size() > 8 * 2);
+}

@@ -1,0 +1,228 @@
+//! The sum-over-Cliffords technique for near-Clifford circuits
+//! (paper Sec. 4.2): `bgls.act_on_near_clifford`.
+//!
+//! Any diagonal rotation `R(theta) = exp(-i Z theta / 2)` decomposes over
+//! Clifford gates as
+//!
+//! ```text
+//! R(theta) = (cos(theta/2) - sin(theta/2)) I
+//!          + sqrt(2) e^{-i pi/4} sin(theta/2) S
+//! ```
+//!
+//! (Bravyi et al. 2019, the optimal two-term decomposition). The channel
+//! checks `has_stabilizer_effect` per gate; Clifford gates apply exactly,
+//! and each `Rz`-family gate stochastically substitutes `I` or `S` with
+//! probability proportional to its coefficient magnitude. A circuit with
+//! `N` such gates spans `2^N` stabilizer terms; one sample explores a
+//! single branch, which is why overlap decays with the T count (Fig. 5).
+
+use crate::chform::ChForm;
+use crate::state::{apply_clifford_gate, compute_probability_stabilizer_state};
+use bgls_circuit::{Gate, OpKind, Operation};
+use bgls_core::{ApplyFn, ProbFn, SimError, Simulator};
+use bgls_linalg::C64;
+use rand::{Rng, RngCore};
+use std::f64::consts::{FRAC_PI_4, PI};
+use std::sync::Arc;
+
+/// Coefficients `(c_I, c_S)` of the sum-over-Cliffords decomposition of
+/// `R(theta) = exp(-i Z theta/2)`.
+pub fn rz_decomposition_coefficients(theta: f64) -> (C64, C64) {
+    let half = theta / 2.0;
+    let c_i = C64::real(half.cos() - half.sin());
+    let c_s = C64::from_polar(2f64.sqrt() * half.sin(), -FRAC_PI_4);
+    (c_i, c_s)
+}
+
+/// The stabilizer extent of `R(theta)`: the squared 1-norm of the optimal
+/// decomposition, `zeta = (|c_I| + |c_S|)^2`. A heuristic for "how
+/// non-Clifford" the gate is; 1 exactly at Clifford angles.
+pub fn stabilizer_extent_rz(theta: f64) -> f64 {
+    let (c_i, c_s) = rz_decomposition_coefficients(theta);
+    let l1 = c_i.abs() + c_s.abs();
+    l1 * l1
+}
+
+/// Extracts the `R(theta)` angle from an Rz-family gate, if it is one.
+/// T and Tdg are `R(+-pi/4)` up to global phase; `ZPow(t)` is `R(pi t)`.
+fn rz_angle(gate: &Gate) -> Option<f64> {
+    match gate {
+        Gate::T => Some(PI / 4.0),
+        Gate::Tdg => Some(-PI / 4.0),
+        Gate::Rz(p) => p.value().ok(),
+        Gate::ZPow(p) => p.value().ok().map(|t| PI * t),
+        _ => None,
+    }
+}
+
+/// Applies one operation to a CH-form state, extending the Clifford
+/// dispatcher with the stochastic sum-over-Cliffords substitution for
+/// `Rz(theta)`-family gates: with probability `|c_I| / (|c_I| + |c_S|)`
+/// the gate is replaced by `I`, otherwise by `S` (paper Sec. 4.2.2).
+pub fn act_on_near_clifford(
+    state: &mut ChForm,
+    op: &Operation,
+    rng: &mut dyn RngCore,
+) -> Result<(), SimError> {
+    let gate = match &op.kind {
+        OpKind::Gate(g) => g,
+        OpKind::Measure { .. } => return Ok(()),
+        OpKind::Channel(c) => {
+            return Err(SimError::Unsupported(format!(
+                "channel {} on stabilizer states",
+                c.name()
+            )))
+        }
+    };
+    let qubits: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+    if gate.has_stabilizer_effect() {
+        return apply_clifford_gate(state, gate, &qubits);
+    }
+    let theta = rz_angle(gate).ok_or_else(|| {
+        SimError::NotClifford(format!(
+            "{} (only Clifford + Rz-family gates supported by sum-over-Cliffords)",
+            gate.name()
+        ))
+    })?;
+    let (c_i, c_s) = rz_decomposition_coefficients(theta);
+    let (w_i, w_s) = (c_i.abs(), c_s.abs());
+    let total = w_i + w_s;
+    if rng.gen::<f64>() * total < w_i {
+        // substitute I: no state change
+        Ok(())
+    } else {
+        state.apply_s(qubits[0])
+    }
+}
+
+/// Builds a ready-to-use near-Clifford BGLS simulator on `n` qubits: a
+/// CH-form initial state, the [`act_on_near_clifford`] apply hook (marked
+/// stochastic, so every repetition re-runs the circuit and explores its
+/// own branch of the `2^N`-term expansion), and the stabilizer
+/// probability hook.
+pub fn near_clifford_simulator(n: usize) -> Simulator<ChForm> {
+    let apply: ApplyFn<ChForm> = Arc::new(act_on_near_clifford);
+    let prob: ProbFn<ChForm> = Arc::new(compute_probability_stabilizer_state);
+    Simulator::with_hooks(ChForm::zero(n), apply, prob, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_circuit::Qubit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decomposition_reconstructs_rz() {
+        use bgls_linalg::Matrix;
+        for theta in [0.1f64, 0.9, PI / 4.0, 2.5, -1.2] {
+            let (c_i, c_s) = rz_decomposition_coefficients(theta);
+            let i2 = Matrix::identity(2);
+            let s = Gate::S.unitary().unwrap();
+            let sum = &i2.scale(c_i) + &s.scale(c_s);
+            let rz = Gate::Rz(theta.into()).unitary().unwrap();
+            assert!(sum.approx_eq(&rz, 1e-12), "theta = {theta}");
+        }
+    }
+
+    #[test]
+    fn extent_is_one_at_clifford_angles() {
+        for theta in [0.0, PI / 2.0] {
+            assert!((stabilizer_extent_rz(theta) - 1.0).abs() < 1e-12);
+        }
+        // maximal around theta = pi/4 family (T gate): extent > 1
+        assert!(stabilizer_extent_rz(PI / 4.0) > 1.0);
+    }
+
+    #[test]
+    fn t_gate_extent_matches_literature() {
+        // zeta(T) = (cos(pi/8)... ) known value ~ 1.17157 = 4 - 2 sqrt(2)...
+        // compute directly: |c_I| + |c_S| at theta = pi/4
+        let z = stabilizer_extent_rz(PI / 4.0);
+        // |c_I| = cos(pi/8) - sin(pi/8), |c_S| = sqrt(2) sin(pi/8)
+        let expect = {
+            let l1 = (PI / 8.0).cos() - (PI / 8.0).sin() + 2f64.sqrt() * (PI / 8.0).sin();
+            l1 * l1
+        };
+        assert!((z - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clifford_gates_apply_exactly() {
+        let mut st = ChForm::zero(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ops = [
+            Operation::gate(Gate::H, vec![Qubit(0)]).unwrap(),
+            Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap(),
+        ];
+        for op in &ops {
+            act_on_near_clifford(&mut st, op, &mut rng).unwrap();
+        }
+        let ket = st.ket();
+        assert!((ket[0].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((ket[3].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_gate_substitutes_i_or_s() {
+        let op = Operation::gate(Gate::T, vec![Qubit(0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s_count = 0;
+        let trials = 5000;
+        for _ in 0..trials {
+            let mut st = ChForm::zero(1);
+            st.apply_h(0).unwrap();
+            act_on_near_clifford(&mut st, &op, &mut rng).unwrap();
+            // if S was chosen, |1> amplitude is imaginary
+            let ket = st.ket();
+            if ket[1].im.abs() > 1e-9 {
+                s_count += 1;
+            }
+        }
+        let (c_i, c_s) = rz_decomposition_coefficients(PI / 4.0);
+        let p_s = c_s.abs() / (c_i.abs() + c_s.abs());
+        let freq = s_count as f64 / trials as f64;
+        assert!((freq - p_s).abs() < 0.03, "freq {freq} vs p_s {p_s}");
+    }
+
+    #[test]
+    fn unsupported_gate_errors() {
+        let op = Operation::gate(Gate::Ccx, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap();
+        let mut st = ChForm::zero(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            act_on_near_clifford(&mut st, &op, &mut rng),
+            Err(SimError::NotClifford(_))
+        ));
+    }
+
+    #[test]
+    fn channels_unsupported_on_stabilizer_states() {
+        use bgls_circuit::Channel;
+        let op =
+            Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap();
+        let mut st = ChForm::zero(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            act_on_near_clifford(&mut st, &op, &mut rng),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn near_clifford_simulator_runs_clifford_t_circuit() {
+        use bgls_circuit::Circuit;
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::T, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let sim = near_clifford_simulator(1).with_seed(3);
+        let r = sim.run(&c, 500).unwrap();
+        let h = r.histogram("m").unwrap();
+        assert_eq!(h.total(), 500);
+        // both outcomes occur (the branches differ), dominated by 0
+        assert!(h.count_value(0) > h.count_value(1));
+    }
+}

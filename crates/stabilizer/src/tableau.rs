@@ -1,0 +1,561 @@
+//! The Aaronson–Gottesman stabilizer tableau (Phys. Rev. A 70, 052328,
+//! 2004) — the "stabilizer tableaux" the paper cites as the precursor of
+//! the CH form (Sec. 4.1.2).
+//!
+//! The tableau cannot answer bitstring-probability queries (it has no
+//! amplitude access), so it is *not* a BGLS backend; it implements the
+//! **conventional** way to sample Clifford circuits — evolve, then measure
+//! qubit by qubit with collapse — and serves as the baseline the CH-form
+//! gate-by-gate sampler is compared against.
+
+use bgls_circuit::{Circuit, Gate, OpKind};
+use bgls_core::{BitString, Histogram, SimError};
+use bgls_linalg::{BitMatrix, BitVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// CHP-style stabilizer tableau: rows `0..n` are destabilizers, rows
+/// `n..2n` stabilizers; each row is a Pauli `(-1)^r X^x Z^z`.
+#[derive(Clone, Debug)]
+pub struct CliffordTableau {
+    n: usize,
+    x: BitMatrix, // (2n+1) x n would be ragged; store 2n rows + scratch separately
+    z: BitMatrix,
+    r: BitVec,
+    scratch_x: BitVec,
+    scratch_z: BitVec,
+    scratch_r: u8, // phase exponent mod 4 during row accumulation
+}
+
+impl CliffordTableau {
+    /// Tableau of the all-zeros state.
+    pub fn zero(n: usize) -> Self {
+        // Rows are indexed 0..2n inside (2n)x(2n) bit matrices; column j is
+        // qubit j (only the first n columns are used).
+        let rows = 2 * n;
+        let mut x = BitMatrix::zeros(rows.max(1));
+        let mut z = BitMatrix::zeros(rows.max(1));
+        for i in 0..n {
+            x.set(i, i, true); // destabilizer i = X_i
+            z.set(n + i, i, true); // stabilizer i = Z_i
+        }
+        CliffordTableau {
+            n,
+            x,
+            z,
+            r: BitVec::zeros(rows.max(1)),
+            scratch_x: BitVec::zeros(rows.max(1)),
+            scratch_z: BitVec::zeros(rows.max(1)),
+            scratch_r: 0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn check(&self, q: usize) -> Result<(), SimError> {
+        if q >= self.n {
+            return Err(SimError::QubitOutOfRange {
+                index: q,
+                num_qubits: self.n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Hadamard on qubit `a`.
+    pub fn h(&mut self, a: usize) -> Result<(), SimError> {
+        self.check(a)?;
+        for i in 0..2 * self.n {
+            let xi = self.x.get(i, a);
+            let zi = self.z.get(i, a);
+            if xi && zi {
+                self.r.flip(i);
+            }
+            self.x.set(i, a, zi);
+            self.z.set(i, a, xi);
+        }
+        Ok(())
+    }
+
+    /// Phase gate on qubit `a`.
+    pub fn s(&mut self, a: usize) -> Result<(), SimError> {
+        self.check(a)?;
+        for i in 0..2 * self.n {
+            let xi = self.x.get(i, a);
+            let zi = self.z.get(i, a);
+            if xi && zi {
+                self.r.flip(i);
+            }
+            self.z.set(i, a, zi ^ xi);
+        }
+        Ok(())
+    }
+
+    /// CNOT with control `a`, target `b`.
+    pub fn cnot(&mut self, a: usize, b: usize) -> Result<(), SimError> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(SimError::Invalid("CNOT with identical qubits".into()));
+        }
+        for i in 0..2 * self.n {
+            let xa = self.x.get(i, a);
+            let xb = self.x.get(i, b);
+            let za = self.z.get(i, a);
+            let zb = self.z.get(i, b);
+            if xa && zb && (xb == za) {
+                self.r.flip(i);
+            }
+            self.x.set(i, b, xb ^ xa);
+            self.z.set(i, a, za ^ zb);
+        }
+        Ok(())
+    }
+
+    /// Phase-function exponent g((x1,z1),(x2,z2)) from the CHP paper: the
+    /// power of i acquired when multiplying the two single-qubit Paulis.
+    #[inline]
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i8 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i8) - (x2 as i8),
+            (true, false) => (z2 as i8) * (2 * (x2 as i8) - 1),
+            (false, true) => (x2 as i8) * (1 - 2 * (z2 as i8)),
+        }
+    }
+
+    /// Multiplies row `i` into row `h` (`row_h <- row_i * row_h`).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = 2 * (self.r.get(h) as i32) + 2 * (self.r.get(i) as i32);
+        for j in 0..self.n {
+            phase += Self::g(
+                self.x.get(i, j),
+                self.z.get(i, j),
+                self.x.get(h, j),
+                self.z.get(h, j),
+            ) as i32;
+        }
+        // For stabilizer rows the total phase is always real (0 or 2 mod 4).
+        // Destabilizer rows may accumulate odd phases — CHP never reads
+        // their sign, so collapsing to the high bit is safe.
+        self.r.set(h, phase.rem_euclid(4) >= 2);
+        let xi = self.x.row(i).clone();
+        self.x.xor_into_row(h, &xi);
+        let zi = self.z.row(i).clone();
+        self.z.xor_into_row(h, &zi);
+    }
+
+    /// Multiplies row `i` into the scratch row.
+    fn rowsum_scratch(&mut self, i: usize) {
+        let mut phase: i32 = (self.scratch_r as i32) + 2 * (self.r.get(i) as i32);
+        for j in 0..self.n {
+            phase += Self::g(
+                self.x.get(i, j),
+                self.z.get(i, j),
+                self.scratch_x.get(j),
+                self.scratch_z.get(j),
+            ) as i32;
+        }
+        self.scratch_r = phase.rem_euclid(4) as u8;
+        for j in 0..self.n {
+            if self.x.get(i, j) {
+                self.scratch_x.flip(j);
+            }
+            if self.z.get(i, j) {
+                self.scratch_z.flip(j);
+            }
+        }
+    }
+
+    /// Measures qubit `a` in the computational basis, collapsing the state.
+    pub fn measure(&mut self, a: usize, rng: &mut impl Rng) -> Result<bool, SimError> {
+        self.check(a)?;
+        let n = self.n;
+        // random outcome iff some stabilizer anticommutes with Z_a
+        let p = (n..2 * n).find(|&p| self.x.get(p, a));
+        if let Some(p) = p {
+            let outcome = rng.gen::<bool>();
+            for i in 0..2 * n {
+                if i != p && self.x.get(i, a) {
+                    self.rowsum(i, p);
+                }
+            }
+            // destabilizer p-n <- old stabilizer p; stabilizer p <- +-Z_a
+            let xp = self.x.row(p).clone();
+            self.x.set_row(p - n, xp);
+            let zp = self.z.row(p).clone();
+            self.z.set_row(p - n, zp);
+            self.r.set(p - n, self.r.get(p));
+            self.x.set_row(p, BitVec::zeros(self.x.n()));
+            let mut znew = BitVec::zeros(self.z.n());
+            znew.set(a, true);
+            self.z.set_row(p, znew);
+            self.r.set(p, outcome);
+            Ok(outcome)
+        } else {
+            // deterministic: accumulate destabilizer-indicated stabilizers
+            self.scratch_x = BitVec::zeros(self.x.n());
+            self.scratch_z = BitVec::zeros(self.z.n());
+            self.scratch_r = 0;
+            for i in 0..n {
+                if self.x.get(i, a) {
+                    self.rowsum_scratch(i + n);
+                }
+            }
+            debug_assert_eq!(self.scratch_r % 2, 0);
+            Ok(self.scratch_r.rem_euclid(4) == 2)
+        }
+    }
+
+    /// Applies a Clifford gate (same acceptance set as the CH form).
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+        use Gate::*;
+        let near = |v: f64, step: f64| -> Option<i64> {
+            let k = (v / step).round();
+            ((v - k * step).abs() <= 1e-9).then_some(k as i64)
+        };
+        let s_pow = |st: &mut Self, q: usize, k: i64| -> Result<(), SimError> {
+            for _ in 0..k.rem_euclid(4) {
+                st.s(q)?;
+            }
+            Ok(())
+        };
+        match gate {
+            I => Ok(()),
+            H => self.h(qubits[0]),
+            S => self.s(qubits[0]),
+            Sdg => s_pow(self, qubits[0], 3),
+            Z => s_pow(self, qubits[0], 2),
+            X => {
+                // X = H Z H
+                self.h(qubits[0])?;
+                s_pow(self, qubits[0], 2)?;
+                self.h(qubits[0])
+            }
+            Y => {
+                // Y = Z X up to phase (global phase invisible to the tableau)
+                s_pow(self, qubits[0], 2)?;
+                self.h(qubits[0])?;
+                s_pow(self, qubits[0], 2)?;
+                self.h(qubits[0])
+            }
+            SqrtX => {
+                self.h(qubits[0])?;
+                self.s(qubits[0])?;
+                self.h(qubits[0])
+            }
+            SqrtXDag => {
+                self.h(qubits[0])?;
+                s_pow(self, qubits[0], 3)?;
+                self.h(qubits[0])
+            }
+            Cnot => self.cnot(qubits[0], qubits[1]),
+            Cz => {
+                self.h(qubits[1])?;
+                self.cnot(qubits[0], qubits[1])?;
+                self.h(qubits[1])
+            }
+            Swap => {
+                self.cnot(qubits[0], qubits[1])?;
+                self.cnot(qubits[1], qubits[0])?;
+                self.cnot(qubits[0], qubits[1])
+            }
+            ISwap => {
+                self.s(qubits[0])?;
+                self.s(qubits[1])?;
+                self.h(qubits[1])?;
+                self.cnot(qubits[0], qubits[1])?;
+                self.h(qubits[1])?;
+                self.cnot(qubits[0], qubits[1])?;
+                self.cnot(qubits[1], qubits[0])?;
+                self.cnot(qubits[0], qubits[1])
+            }
+            Rz(p) => match near(p.value()?, PI / 2.0) {
+                Some(k) => s_pow(self, qubits[0], k),
+                None => Err(SimError::NotClifford(format!("rz({})", p.value()?))),
+            },
+            ZPow(p) => match near(p.value()?, 0.5) {
+                Some(k) => s_pow(self, qubits[0], k),
+                None => Err(SimError::NotClifford(format!("zpow({})", p.value()?))),
+            },
+            Rx(p) => match near(p.value()?, PI / 2.0) {
+                Some(k) => {
+                    self.h(qubits[0])?;
+                    s_pow(self, qubits[0], k)?;
+                    self.h(qubits[0])
+                }
+                None => Err(SimError::NotClifford(format!("rx({})", p.value()?))),
+            },
+            Ry(p) => match near(p.value()?, PI / 2.0) {
+                Some(k) => {
+                    s_pow(self, qubits[0], 3)?;
+                    self.h(qubits[0])?;
+                    s_pow(self, qubits[0], k)?;
+                    self.h(qubits[0])?;
+                    self.s(qubits[0])
+                }
+                None => Err(SimError::NotClifford(format!("ry({})", p.value()?))),
+            },
+            CPhase(p) => match near(p.value()?, PI) {
+                Some(k) if k.rem_euclid(2) == 1 => {
+                    self.h(qubits[1])?;
+                    self.cnot(qubits[0], qubits[1])?;
+                    self.h(qubits[1])
+                }
+                Some(_) => Ok(()),
+                None => Err(SimError::NotClifford(format!("cp({})", p.value()?))),
+            },
+            Rzz(p) => match near(p.value()?, PI / 2.0) {
+                Some(k) => {
+                    self.cnot(qubits[0], qubits[1])?;
+                    s_pow(self, qubits[1], k)?;
+                    self.cnot(qubits[0], qubits[1])
+                }
+                None => Err(SimError::NotClifford(format!("rzz({})", p.value()?))),
+            },
+            other => Err(SimError::NotClifford(other.name().into())),
+        }
+    }
+}
+
+/// Conventional Clifford-circuit sampler over the tableau: evolve once per
+/// repetition and measure every qubit with collapse (the qubit-by-qubit
+/// strategy the gate-by-gate algorithm replaces).
+pub struct TableauSimulator {
+    n: usize,
+    seed: Option<u64>,
+}
+
+impl TableauSimulator {
+    /// Sampler over `n` qubits.
+    pub fn new(n: usize) -> Self {
+        TableauSimulator { n, seed: None }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Samples `repetitions` full-register bitstrings from the circuit's
+    /// final state (measurement ops in the circuit are ignored; all
+    /// qubits are measured at the end).
+    pub fn sample(&self, circuit: &Circuit, repetitions: u64) -> Result<Vec<BitString>, SimError> {
+        if circuit.num_qubits() > self.n {
+            return Err(SimError::QubitOutOfRange {
+                index: circuit.num_qubits() - 1,
+                num_qubits: self.n,
+            });
+        }
+        let mut rng = match self.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_entropy(),
+        };
+        // evolve once; clone the evolved tableau per repetition and collapse
+        let mut base = CliffordTableau::zero(self.n);
+        for op in circuit.all_operations() {
+            match &op.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    base.apply_gate(g, &qs)?;
+                }
+                OpKind::Measure { .. } => {}
+                OpKind::Channel(c) => {
+                    return Err(SimError::Unsupported(format!(
+                        "channel {} on tableau",
+                        c.name()
+                    )))
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(repetitions as usize);
+        for _ in 0..repetitions {
+            let mut t = base.clone();
+            let mut bits = BitString::zeros(self.n);
+            for q in 0..self.n {
+                bits.set(q, t.measure(q, &mut rng)?);
+            }
+            out.push(bits);
+        }
+        Ok(out)
+    }
+
+    /// Histogram convenience over [`TableauSimulator::sample`].
+    pub fn sample_histogram(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+    ) -> Result<Histogram, SimError> {
+        let mut h = Histogram::new(self.n);
+        for b in self.sample(circuit, repetitions)? {
+            h.record(b, 1);
+        }
+        Ok(h)
+    }
+}
+
+/// Applies a whole Clifford circuit to a fresh tableau (helper for tests
+/// and benchmarks).
+pub fn tableau_from_circuit(circuit: &Circuit, n: usize) -> Result<CliffordTableau, SimError> {
+    let mut t = CliffordTableau::zero(n);
+    for op in circuit.all_operations() {
+        if let Some(g) = op.as_gate() {
+            let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+            t.apply_gate(g, &qs)?;
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_circuit::{Operation, Qubit};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_state_measures_deterministically_zero() {
+        let mut t = CliffordTableau::zero(3);
+        let mut r = rng();
+        for q in 0..3 {
+            assert!(!t.measure(q, &mut r).unwrap());
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = CliffordTableau::zero(2);
+        t.apply_gate(&Gate::X, &[1]).unwrap();
+        let mut r = rng();
+        assert!(!t.measure(0, &mut r).unwrap());
+        assert!(t.measure(1, &mut r).unwrap());
+    }
+
+    #[test]
+    fn hadamard_gives_random_then_consistent_outcomes() {
+        let mut ones = 0;
+        for seed in 0..200 {
+            let mut t = CliffordTableau::zero(1);
+            t.h(0).unwrap();
+            let mut r = StdRng::seed_from_u64(seed);
+            let first = t.measure(0, &mut r).unwrap();
+            // post-collapse remeasurement is deterministic
+            assert_eq!(t.measure(0, &mut r).unwrap(), first);
+            ones += first as u32;
+        }
+        assert!(ones > 70 && ones < 130, "ones = {ones}");
+    }
+
+    #[test]
+    fn ghz_measurements_are_correlated() {
+        for seed in 0..50 {
+            let mut t = CliffordTableau::zero(3);
+            t.h(0).unwrap();
+            t.cnot(0, 1).unwrap();
+            t.cnot(1, 2).unwrap();
+            let mut r = StdRng::seed_from_u64(seed);
+            let a = t.measure(0, &mut r).unwrap();
+            assert_eq!(t.measure(1, &mut r).unwrap(), a);
+            assert_eq!(t.measure(2, &mut r).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let mut t = CliffordTableau::zero(1);
+        t.h(0).unwrap();
+        t.apply_gate(&Gate::Z, &[0]).unwrap();
+        t.h(0).unwrap();
+        let mut r = rng();
+        assert!(t.measure(0, &mut r).unwrap());
+    }
+
+    #[test]
+    fn s_squared_is_z_on_plus_state() {
+        // |+> --S S--> Z|+> = |->; H maps it to |1>
+        let mut t = CliffordTableau::zero(1);
+        t.h(0).unwrap();
+        t.s(0).unwrap();
+        t.s(0).unwrap();
+        t.h(0).unwrap();
+        let mut r = rng();
+        assert!(t.measure(0, &mut r).unwrap());
+    }
+
+    #[test]
+    fn tableau_distribution_matches_chform_gate_by_gate() {
+        use crate::ChForm;
+        use bgls_core::Simulator;
+        use bgls_circuit::{generate_random_circuit, RandomCircuitParams};
+
+        let n = 4;
+        let mut crng = StdRng::seed_from_u64(19);
+        let circuit =
+            generate_random_circuit(&RandomCircuitParams::clifford(n, 15), &mut crng);
+        let reps = 20_000u64;
+
+        let tab = TableauSimulator::new(n).with_seed(1);
+        let ht = tab.sample_histogram(&circuit, reps).unwrap();
+
+        let ch_samples = Simulator::new(ChForm::zero(n))
+            .with_seed(2)
+            .sample_final_bitstrings(&circuit, reps)
+            .unwrap();
+        let mut hc = Histogram::new(n);
+        for b in ch_samples {
+            hc.record(b, 1);
+        }
+
+        for v in 0..1u64 << n {
+            let b = BitString::from_u64(n, v);
+            let ft = ht.frequency(b);
+            let fc = hc.frequency(b);
+            assert!(
+                (ft - fc).abs() < 0.02,
+                "outcome {b}: tableau {ft} vs chform {fc}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_clifford_gate_rejected() {
+        let mut t = CliffordTableau::zero(1);
+        assert!(matches!(
+            t.apply_gate(&Gate::T, &[0]),
+            Err(SimError::NotClifford(_))
+        ));
+    }
+
+    #[test]
+    fn channels_rejected_by_sampler() {
+        use bgls_circuit::Channel;
+        let mut c = Circuit::new();
+        c.push(
+            Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap(),
+        );
+        let sim = TableauSimulator::new(1);
+        assert!(matches!(
+            sim.sample(&c, 1),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn clifford_rotations_accepted() {
+        let mut t = CliffordTableau::zero(2);
+        t.apply_gate(&Gate::Rz((PI / 2.0).into()), &[0]).unwrap();
+        t.apply_gate(&Gate::Rx(PI.into()), &[1]).unwrap();
+        t.apply_gate(&Gate::Rzz((PI / 2.0).into()), &[0, 1]).unwrap();
+        let mut r = rng();
+        // Rx(pi) = X up to phase: qubit 1 measures 1
+        assert!(t.measure(1, &mut r).unwrap());
+    }
+}

@@ -1,0 +1,317 @@
+//! Dense state-vector simulation state — the
+//! `cirq.StateVectorSimulationState` substitute.
+
+use crate::kernel;
+use bgls_circuit::{Channel, Circuit, Gate, OpKind};
+use bgls_core::{AmplitudeState, BglsState, BitString, MarginalState, SimError};
+use bgls_linalg::C64;
+use rand::{Rng, RngCore};
+
+/// A pure state as a dense vector of `2^n` amplitudes. State-index bit `i`
+/// is qubit `i`.
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    amps: Vec<C64>,
+    n: usize,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        Self::computational_basis(n, 0)
+    }
+
+    /// The computational basis state `|basis>` on `n` qubits.
+    pub fn computational_basis(n: usize, basis: u64) -> Self {
+        assert!(n <= 30, "dense state vector limited to 30 qubits");
+        assert!(n == 64 || basis >> n == 0, "basis index wider than n");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[basis as usize] = C64::ONE;
+        StateVector { amps, n }
+    }
+
+    /// Builds a state from explicit amplitudes (length must be a power of
+    /// two); normalizes.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Result<Self, SimError> {
+        if !amps.len().is_power_of_two() || amps.is_empty() {
+            return Err(SimError::Invalid(
+                "amplitude count must be a nonzero power of two".into(),
+            ));
+        }
+        let n = amps.len().trailing_zeros() as usize;
+        let norm = kernel::norm_sqr(&amps);
+        if norm <= 0.0 || !norm.is_finite() {
+            return Err(SimError::Invalid("state has zero or invalid norm".into()));
+        }
+        let mut amps = amps;
+        kernel::scale(&mut amps, 1.0 / norm.sqrt());
+        Ok(StateVector { amps, n })
+    }
+
+    /// Evolves |0...0> through a unitary circuit (gates only).
+    pub fn from_circuit(circuit: &Circuit, n: usize) -> Result<Self, SimError> {
+        let mut sv = StateVector::zero(n);
+        for op in circuit.all_operations() {
+            match &op.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    sv.apply_gate(g, &qs)?;
+                }
+                OpKind::Measure { .. } => {}
+                OpKind::Channel(c) => {
+                    return Err(SimError::Unsupported(format!(
+                        "channel {} in StateVector::from_circuit",
+                        c.name()
+                    )))
+                }
+            }
+        }
+        Ok(sv)
+    }
+
+    /// Raw amplitudes.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// The full Born distribution `P(b) = |<b|psi>|^2` as a dense vector.
+    pub fn born_distribution(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Inner product `<self|other>`.
+    pub fn inner_product(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n, other.n);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|<self|other>|^2`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Squared norm (should stay 1 within rounding for unitary circuits).
+    pub fn norm_sqr(&self) -> f64 {
+        kernel::norm_sqr(&self.amps)
+    }
+
+    /// Renormalizes to unit norm.
+    pub fn renormalize(&mut self) -> Result<(), SimError> {
+        let norm = self.norm_sqr();
+        if norm <= 0.0 || !norm.is_finite() {
+            return Err(SimError::ZeroProbabilityEvent);
+        }
+        kernel::scale(&mut self.amps, 1.0 / norm.sqrt());
+        Ok(())
+    }
+}
+
+impl BglsState for StateVector {
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        let u = gate.unitary()?;
+        kernel::apply_matrix(&mut self.amps, &u, qubits);
+        Ok(())
+    }
+
+    fn probability(&self, bits: BitString) -> f64 {
+        debug_assert_eq!(bits.len(), self.n);
+        self.amps[bits.as_u64() as usize].norm_sqr()
+    }
+
+    fn apply_kraus(
+        &mut self,
+        channel: &Channel,
+        qubits: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, SimError> {
+        self.check_qubits(qubits)?;
+        // Quantum-trajectory branch selection: P(i) = |K_i |psi>|^2.
+        let mut r: f64 = rng.gen::<f64>();
+        let last = channel.kraus().len() - 1;
+        for (i, k) in channel.kraus().iter().enumerate() {
+            let mut cand = self.amps.clone();
+            kernel::apply_matrix(&mut cand, k, qubits);
+            let norm = kernel::norm_sqr(&cand);
+            if r < norm || i == last {
+                if norm <= 0.0 {
+                    return Err(SimError::ZeroProbabilityEvent);
+                }
+                kernel::scale(&mut cand, 1.0 / norm.sqrt());
+                self.amps = cand;
+                return Ok(i);
+            }
+            r -= norm;
+        }
+        unreachable!("last branch always taken")
+    }
+
+    fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+        self.check_qubits(&[qubit])?;
+        let mask = 1usize << qubit;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if (i & mask != 0) != value {
+                *a = C64::ZERO;
+            }
+        }
+        self.renormalize()
+    }
+}
+
+impl AmplitudeState for StateVector {
+    fn amplitude(&self, bits: BitString) -> C64 {
+        self.amps[bits.as_u64() as usize]
+    }
+}
+
+impl MarginalState for StateVector {
+    fn marginal_probability(&self, assignment: &[(usize, bool)]) -> f64 {
+        let mut mask = 0usize;
+        let mut want = 0usize;
+        for &(q, v) in assignment {
+            mask |= 1 << q;
+            if v {
+                want |= 1 << q;
+            }
+        }
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask == want)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_circuit::{Operation, Qubit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn zero_state_has_unit_amplitude_at_origin() {
+        let sv = StateVector::zero(3);
+        assert_eq!(sv.num_qubits(), 3);
+        assert!((sv.probability(BitString::zeros(3)) - 1.0).abs() < 1e-15);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hadamard_splits_amplitude() {
+        let mut sv = StateVector::zero(1);
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        assert!(
+            sv.amplitude(BitString::zeros(1))
+                .approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12)
+        );
+        assert!((sv.probability(BitString::from_u64(1, 1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_amplitudes() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(1), Qubit(2)]).unwrap());
+        let sv = StateVector::from_circuit(&c, 3).unwrap();
+        assert!((sv.probability(BitString::from_u64(3, 0b000)) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(BitString::from_u64(3, 0b111)) - 0.5).abs() < 1e-12);
+        assert!(sv.probability(BitString::from_u64(3, 0b001)) < 1e-15);
+    }
+
+    #[test]
+    fn marginal_probability_sums_correctly() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        // P(q0 = 0) = 0.5, P(q1 = 0) = 1.0
+        assert!((sv.marginal_probability(&[(0, false)]) - 0.5).abs() < 1e-12);
+        assert!((sv.marginal_probability(&[(1, false)]) - 1.0).abs() < 1e-12);
+        assert!((sv.marginal_probability(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_collapses_and_renormalizes() {
+        let mut sv = StateVector::zero(1);
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        sv.project(0, true).unwrap();
+        assert!((sv.probability(BitString::from_u64(1, 1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projecting_impossible_outcome_errors() {
+        let mut sv = StateVector::zero(1);
+        assert!(matches!(
+            sv.project(0, true),
+            Err(SimError::ZeroProbabilityEvent)
+        ));
+    }
+
+    #[test]
+    fn kraus_bit_flip_statistics() {
+        let ch = Channel::bit_flip(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut flips = 0;
+        for _ in 0..4000 {
+            let mut sv = StateVector::zero(1);
+            let branch = sv.apply_kraus(&ch, &[0], &mut rng).unwrap();
+            if branch == 1 {
+                flips += 1;
+                assert!((sv.probability(BitString::from_u64(1, 1)) - 1.0).abs() < 1e-12);
+            }
+        }
+        let f = flips as f64 / 4000.0;
+        assert!((f - 0.25).abs() < 0.03, "flip rate {f}");
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let sv =
+            StateVector::from_amplitudes(vec![C64::real(3.0), C64::real(4.0)]).unwrap();
+        assert!((sv.probability(BitString::zeros(1)) - 9.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad_input() {
+        assert!(StateVector::from_amplitudes(vec![C64::ZERO; 3]).is_err());
+        assert!(StateVector::from_amplitudes(vec![C64::ZERO; 4]).is_err());
+        assert!(StateVector::from_amplitudes(vec![]).is_err());
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = StateVector::computational_basis(2, 0);
+        let b = StateVector::computational_basis(2, 3);
+        assert!(a.fidelity(&b) < 1e-15);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected() {
+        let mut sv = StateVector::zero(2);
+        assert!(matches!(
+            sv.apply_gate(&Gate::X, &[2]),
+            Err(SimError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn born_distribution_sums_to_one() {
+        let mut sv = StateVector::zero(4);
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        sv.apply_gate(&Gate::H, &[2]).unwrap();
+        sv.apply_gate(&Gate::Cnot, &[0, 3]).unwrap();
+        let p = sv.born_distribution();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! # bgls-suite
+//!
+//! Umbrella crate for the BGLS reproduction workspace: re-exports every
+//! sub-crate so the examples and integration tests can use a single
+//! dependency. See `README.md` for the tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use bgls_apps as apps;
+pub use bgls_circuit as circuit;
+pub use bgls_core as core;
+pub use bgls_linalg as linalg;
+pub use bgls_mps as mps;
+pub use bgls_stabilizer as stabilizer;
+pub use bgls_statevector as statevector;

@@ -1,0 +1,129 @@
+//! Cross-backend integration: every state representation plugged into the
+//! BGLS simulator must produce the same sampling distribution on circuits
+//! it supports — the paper's core "state-agnostic" claim (Sec. 3.1).
+
+use bgls_suite::apps::{empirical_distribution, total_variation_distance};
+use bgls_suite::circuit::{
+    generate_random_circuit, Circuit, Gate, Operation, Qubit, RandomCircuitParams,
+};
+use bgls_suite::core::{BglsState, Simulator};
+use bgls_suite::mps::{ChainMps, LazyNetworkState, MpsOptions};
+use bgls_suite::stabilizer::ChForm;
+use bgls_suite::statevector::{DensityMatrix, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 4;
+const REPS: u64 = 20_000;
+const TVD_TOL: f64 = 0.03;
+
+fn sample_distribution<S: BglsState + Send + Sync>(state: S, circuit: &Circuit) -> Vec<f64> {
+    let samples = Simulator::new(state)
+        .with_seed(99)
+        .sample_final_bitstrings(circuit, REPS)
+        .expect("sampling");
+    empirical_distribution(&samples, N)
+}
+
+fn clifford_circuit() -> Circuit {
+    let mut rng = StdRng::seed_from_u64(12);
+    generate_random_circuit(&RandomCircuitParams::clifford(N, 12), &mut rng)
+}
+
+fn universal_circuit() -> Circuit {
+    let params = RandomCircuitParams {
+        qubits: N,
+        moments: 10,
+        op_density: 0.9,
+        gate_set: vec![
+            Gate::H,
+            Gate::T,
+            Gate::Ry(0.7.into()),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::Rzz(0.5.into()),
+        ],
+    };
+    let mut rng = StdRng::seed_from_u64(13);
+    generate_random_circuit(&params, &mut rng)
+}
+
+#[test]
+fn all_five_backends_agree_on_clifford_circuits() {
+    let circuit = clifford_circuit();
+    let reference = StateVector::from_circuit(&circuit, N)
+        .unwrap()
+        .born_distribution();
+
+    let dists = [
+        ("statevector", sample_distribution(StateVector::zero(N), &circuit)),
+        ("density", sample_distribution(DensityMatrix::zero(N), &circuit)),
+        ("chform", sample_distribution(ChForm::zero(N), &circuit)),
+        (
+            "chain_mps",
+            sample_distribution(ChainMps::zero(N, MpsOptions::exact()), &circuit),
+        ),
+        ("lazy", sample_distribution(LazyNetworkState::zero(N), &circuit)),
+    ];
+    for (name, d) in &dists {
+        let tvd = total_variation_distance(d, &reference);
+        assert!(tvd < TVD_TOL, "{name}: TVD {tvd} vs ideal");
+    }
+}
+
+#[test]
+fn dense_and_tensor_backends_agree_on_universal_circuits() {
+    let circuit = universal_circuit();
+    let reference = StateVector::from_circuit(&circuit, N)
+        .unwrap()
+        .born_distribution();
+    for (name, d) in [
+        ("statevector", sample_distribution(StateVector::zero(N), &circuit)),
+        ("density", sample_distribution(DensityMatrix::zero(N), &circuit)),
+        (
+            "chain_mps",
+            sample_distribution(ChainMps::zero(N, MpsOptions::exact()), &circuit),
+        ),
+        ("lazy", sample_distribution(LazyNetworkState::zero(N), &circuit)),
+    ] {
+        let tvd = total_variation_distance(&d, &reference);
+        assert!(tvd < TVD_TOL, "{name}: TVD {tvd} vs ideal");
+    }
+}
+
+#[test]
+fn run_interface_parity_across_backends() {
+    // the Cirq-style run() must give the same histogram semantics everywhere
+    let mut circuit = clifford_circuit();
+    circuit.push(Operation::measure(Qubit::range(N), "z").unwrap());
+    let hv = Simulator::new(StateVector::zero(N))
+        .with_seed(5)
+        .run(&circuit, 5000)
+        .unwrap();
+    let hc = Simulator::new(ChForm::zero(N))
+        .with_seed(5)
+        .run(&circuit, 5000)
+        .unwrap();
+    let dv = hv.histogram("z").unwrap().to_distribution();
+    let dc = hc.histogram("z").unwrap().to_distribution();
+    assert!(total_variation_distance(&dv, &dc) < TVD_TOL);
+    assert_eq!(hv.repetitions(), 5000);
+    assert_eq!(hc.histogram("z").unwrap().total(), 5000);
+}
+
+#[test]
+fn skip_diagonal_ablation_leaves_distribution_unchanged() {
+    use bgls_suite::core::SimulatorOptions;
+    let circuit = universal_circuit();
+    let reference = StateVector::from_circuit(&circuit, N)
+        .unwrap()
+        .born_distribution();
+    let sim = Simulator::new(StateVector::zero(N)).with_options(SimulatorOptions {
+        seed: Some(3),
+        skip_diagonal_updates: true,
+        ..Default::default()
+    });
+    let samples = sim.sample_final_bitstrings(&circuit, REPS).unwrap();
+    let d = empirical_distribution(&samples, N);
+    assert!(total_variation_distance(&d, &reference) < TVD_TOL);
+}

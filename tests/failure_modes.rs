@@ -1,0 +1,132 @@
+//! Failure-injection integration tests: invalid inputs must surface typed
+//! errors through the whole stack, never panics.
+
+use bgls_suite::circuit::{
+    from_qasm, Channel, Circuit, CircuitError, Gate, Operation, Param, Qubit,
+};
+use bgls_suite::core::{BglsState, SimError, Simulator};
+use bgls_suite::mps::{ChainMps, LazyNetworkState, MpsOptions};
+use bgls_suite::stabilizer::ChForm;
+use bgls_suite::statevector::StateVector;
+
+fn measured_bell() -> Circuit {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+    c.push(Operation::measure(Qubit::range(2), "z").unwrap());
+    c
+}
+
+#[test]
+fn unresolved_parameter_is_a_typed_error() {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::Rz(Param::symbol("theta")), vec![Qubit(0)]).unwrap());
+    c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+    let err = Simulator::new(StateVector::zero(1)).run(&c, 5).unwrap_err();
+    match err {
+        SimError::Circuit(CircuitError::UnresolvedParameter(s)) => assert_eq!(s, "theta"),
+        other => panic!("expected unresolved-parameter error, got {other}"),
+    }
+}
+
+#[test]
+fn missing_measurement_is_reported() {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    assert!(matches!(
+        Simulator::new(StateVector::zero(1)).run(&c, 5),
+        Err(SimError::NoMeasurements)
+    ));
+}
+
+#[test]
+fn circuit_wider_than_state_is_reported() {
+    let err = Simulator::new(StateVector::zero(1))
+        .run(&measured_bell(), 5)
+        .unwrap_err();
+    assert!(matches!(err, SimError::QubitOutOfRange { index: 1, num_qubits: 1 }));
+}
+
+#[test]
+fn non_clifford_gate_on_stabilizer_state_is_reported() {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::T, vec![Qubit(0)]).unwrap());
+    c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+    let err = Simulator::new(ChForm::zero(1)).run(&c, 5).unwrap_err();
+    assert!(matches!(err, SimError::NotClifford(_)), "got {err}");
+}
+
+#[test]
+fn channels_on_stabilizer_state_unsupported() {
+    let mut st = ChForm::zero(1);
+    let mut rng = rand::rngs::OsRng;
+    let err = st
+        .apply_kraus(&Channel::bit_flip(0.5).unwrap(), &[0], &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, SimError::Unsupported(_)));
+}
+
+#[test]
+fn three_qubit_gates_on_tensor_networks_unsupported() {
+    for err in [
+        LazyNetworkState::zero(3).apply_gate(&Gate::Ccx, &[0, 1, 2]),
+        ChainMps::zero(3, MpsOptions::exact()).apply_gate(&Gate::Ccx, &[0, 1, 2]),
+    ] {
+        assert!(matches!(err, Err(SimError::Unsupported(_))));
+    }
+}
+
+#[test]
+fn invalid_channel_probability_rejected_at_construction() {
+    assert!(matches!(
+        Channel::depolarizing(1.1),
+        Err(CircuitError::Invalid(_))
+    ));
+}
+
+#[test]
+fn qasm_errors_carry_line_numbers() {
+    let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nmystery q[1];\n";
+    match from_qasm(src) {
+        Err(CircuitError::QasmParse { line, .. }) => assert_eq!(line, 4),
+        other => panic!("expected QASM parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn arity_mismatch_rejected_at_operation_construction() {
+    assert!(matches!(
+        Operation::gate(Gate::Ccx, vec![Qubit(0), Qubit(1)]),
+        Err(CircuitError::ArityMismatch { expected: 3, got: 2, .. })
+    ));
+}
+
+#[test]
+fn mid_circuit_measurement_requires_projection_support() {
+    // CH form has no projection; mid-circuit measurement must error, not
+    // silently give wrong statistics.
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    c.push(Operation::measure(vec![Qubit(0)], "a").unwrap());
+    c.push(Operation::gate(Gate::X, vec![Qubit(0)]).unwrap());
+    c.push(Operation::measure(vec![Qubit(0)], "b").unwrap());
+    let opts = bgls_suite::core::SimulatorOptions {
+        seed: Some(1),
+        parallel_trajectories: false,
+        ..Default::default()
+    };
+    let err = Simulator::new(ChForm::zero(1))
+        .with_options(opts)
+        .run(&c, 5)
+        .unwrap_err();
+    assert!(matches!(err, SimError::Unsupported(_)), "got {err}");
+}
+
+#[test]
+fn zero_repetitions_is_a_clean_empty_result() {
+    let r = Simulator::new(StateVector::zero(2))
+        .run(&measured_bell(), 0)
+        .unwrap();
+    assert_eq!(r.repetitions(), 0);
+    assert!(r.histogram("z").is_none());
+}

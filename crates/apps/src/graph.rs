@@ -16,7 +16,10 @@ impl Graph {
     pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
         let mut es: Vec<(usize, usize)> = Vec::new();
         for (a, b) in edges {
-            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} vertices");
+            assert!(
+                a < n && b < n,
+                "edge ({a},{b}) out of range for {n} vertices"
+            );
             assert_ne!(a, b, "self-loop ({a},{a})");
             let e = (a.min(b), a.max(b));
             assert!(!es.contains(&e), "duplicate edge {e:?}");

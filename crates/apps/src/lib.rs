@@ -30,16 +30,18 @@ mod workloads;
 pub use graph::Graph;
 pub use maxcut::{brute_force_maxcut, cut_value, mean_cut};
 pub use metrics::{
-    classical_fidelity, empirical_distribution, linear_xeb, overlap,
-    total_variation_distance,
+    classical_fidelity, empirical_distribution, linear_xeb, overlap, total_variation_distance,
 };
-pub use observables::{
-    maxcut_energy_expectation, z_string_expectation, z_string_standard_error,
-};
+pub use observables::{maxcut_energy_expectation, z_string_expectation, z_string_standard_error};
 pub use qaoa::{
-    qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa_mps, QaoaSolution,
-    QaoaSweepResult,
+    qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa, solve_maxcut_qaoa_mps,
+    QaoaSolution, QaoaSweepResult,
 };
+
+// Re-exported so app callers can name backends without a direct
+// `bgls-backend` dependency.
+pub use bgls_backend::{AnyState, BackendKind, SimulatorExt};
 pub use workloads::{
-    brickwork_circuit, ghz_circuit, ghz_random_cnot_circuit, random_fixed_cnot_circuit, random_fixed_depth_circuit,
+    brickwork_circuit, ghz_circuit, ghz_random_cnot_circuit, random_fixed_cnot_circuit,
+    random_fixed_depth_circuit,
 };

@@ -109,8 +109,7 @@ mod tests {
     fn xeb_of_ideal_sampler_is_positive_and_uniform_is_zero() {
         // ideal: concentrated distribution; sampling from it gives XEB > 0
         let ideal = vec![0.7, 0.1, 0.1, 0.1];
-        let faithful: Vec<BitString> = std::iter::repeat(BitString::from_u64(2, 0))
-            .take(7)
+        let faithful: Vec<BitString> = std::iter::repeat_n(BitString::from_u64(2, 0), 7)
             .chain((1..4).map(|v| BitString::from_u64(2, v)))
             .collect();
         let xeb = linear_xeb(&faithful, &ideal);

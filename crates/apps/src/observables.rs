@@ -99,9 +99,7 @@ mod tests {
     fn standard_error_shrinks_with_samples() {
         let few = vec![b(1, 0), b(1, 1), b(1, 0), b(1, 1)];
         let many: Vec<BitString> = (0..400).map(|i| b(1, i % 2)).collect();
-        assert!(
-            z_string_standard_error(&many, &[0]) < z_string_standard_error(&few, &[0])
-        );
+        assert!(z_string_standard_error(&many, &[0]) < z_string_standard_error(&few, &[0]));
         assert_eq!(z_string_standard_error(&few[..1], &[0]), 1.0);
     }
 }

@@ -1,12 +1,13 @@
 //! QAOA for MaxCut (paper Sec. 4.4): circuit construction, the
-//! (gamma, beta) grid sweep with BGLS sampling on a chi-capped MPS, and
-//! solution extraction.
+//! (gamma, beta) grid sweep with BGLS sampling on a runtime-selected
+//! backend (the paper's configuration is a chi-capped MPS), and solution
+//! extraction.
 
 use crate::graph::Graph;
 use crate::maxcut::{cut_value, mean_cut};
+use bgls_backend::{AnyState, BackendKind};
 use bgls_circuit::{Circuit, Gate, Operation, Param, ParamResolver, Qubit};
 use bgls_core::{BglsState, BitString, SimError, Simulator};
-use bgls_mps::{ChainMps, MpsOptions};
 
 /// Builds a `p`-layer QAOA MaxCut circuit with symbolic parameters
 /// `gamma0..` and `beta0..`. The cost layer applies `Rzz(-gamma)` per
@@ -110,12 +111,16 @@ where
     })
 }
 
-/// The full paper workflow (Sec. 4.4) on a chi-capped chain MPS:
+/// The full paper workflow (Sec. 4.4) on a runtime-selected backend:
 /// sweep -> rerun best parameters with `final_samples` -> return the
 /// best-cut bitstring as the MaxCut solution.
-pub fn solve_maxcut_qaoa_mps(
+///
+/// Any [`BackendKind`] works as long as it supports the QAOA gate set
+/// (`H`, `Rzz`, `Rx`); the paper's configuration is
+/// `BackendKind::ChainMps { chi: Some(max_bond) }`.
+pub fn solve_maxcut_qaoa(
     graph: &Graph,
-    max_bond: usize,
+    backend: BackendKind,
     grid: usize,
     samples_per_point: u64,
     final_samples: u64,
@@ -123,9 +128,7 @@ pub fn solve_maxcut_qaoa_mps(
 ) -> Result<QaoaSolution, SimError> {
     let n = graph.num_vertices();
     let circuit = qaoa_maxcut_circuit(graph, 1);
-    let make = || {
-        Simulator::new(ChainMps::zero(n, MpsOptions::with_max_bond(max_bond))).with_seed(seed)
-    };
+    let make = || Simulator::new(AnyState::zero(backend, n)).with_seed(seed);
     let sweep = qaoa_sweep(graph, &circuit, make, grid, samples_per_point)?;
     let bound = resolve_qaoa(&circuit, &[sweep.best_params.0], &[sweep.best_params.1]);
     let samples = make().sample_final_bitstrings(&bound, final_samples)?;
@@ -139,6 +142,28 @@ pub fn solve_maxcut_qaoa_mps(
         partition,
         cut,
     })
+}
+
+/// The paper's concrete configuration: [`solve_maxcut_qaoa`] on a chain
+/// MPS with bond cap `max_bond`.
+pub fn solve_maxcut_qaoa_mps(
+    graph: &Graph,
+    max_bond: usize,
+    grid: usize,
+    samples_per_point: u64,
+    final_samples: u64,
+    seed: u64,
+) -> Result<QaoaSolution, SimError> {
+    solve_maxcut_qaoa(
+        graph,
+        BackendKind::ChainMps {
+            chi: Some(max_bond),
+        },
+        grid,
+        samples_per_point,
+        final_samples,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -177,7 +202,11 @@ mod tests {
         // gamma = pi/2, beta = pi/8 gives cut expectation 1.
         let g = Graph::new(2, [(0, 1)]);
         let c = qaoa_maxcut_circuit(&g, 1);
-        let bound = resolve_qaoa(&c, &[std::f64::consts::FRAC_PI_2], &[std::f64::consts::PI / 8.0]);
+        let bound = resolve_qaoa(
+            &c,
+            &[std::f64::consts::FRAC_PI_2],
+            &[std::f64::consts::PI / 8.0],
+        );
         let sv = StateVector::from_circuit(&bound, 2).unwrap();
         let p = sv.born_distribution();
         // cut-1 outcomes are 01 and 10
@@ -213,5 +242,25 @@ mod tests {
             "QAOA cut {} vs optimal {optimal}",
             sol.cut
         );
+    }
+
+    #[test]
+    fn generic_pipeline_accepts_runtime_backends() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = Graph::erdos_renyi(5, 0.5, &mut rng);
+        let (_, optimal) = brute_force_maxcut(&g);
+        for backend in [
+            BackendKind::StateVector,
+            BackendKind::ChainMps { chi: Some(8) },
+            BackendKind::LazyNetwork,
+        ] {
+            let sol = solve_maxcut_qaoa(&g, backend, 4, 50, 200, 9).unwrap();
+            assert_eq!(cut_value(&g, sol.partition), sol.cut, "{backend}");
+            assert!(
+                sol.cut + 1 >= optimal,
+                "{backend}: QAOA cut {} vs optimal {optimal}",
+                sol.cut
+            );
+        }
     }
 }

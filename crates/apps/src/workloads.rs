@@ -119,8 +119,7 @@ pub fn brickwork_circuit(n: usize, layers: usize, rng: &mut impl Rng) -> Circuit
         let mut q = start;
         while q + 1 < n {
             c.push(
-                Operation::gate(Gate::Cz, vec![Qubit(q as u32), Qubit(q as u32 + 1)])
-                    .expect("2q"),
+                Operation::gate(Gate::Cz, vec![Qubit(q as u32), Qubit(q as u32 + 1)]).expect("2q"),
             );
             q += 2;
         }
@@ -131,20 +130,28 @@ pub fn brickwork_circuit(n: usize, layers: usize, rng: &mut impl Rng) -> Circuit
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgls_backend::{AnyState, BackendKind};
     use bgls_core::{BglsState, BitString};
     use bgls_statevector::StateVector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// GHZ circuits are Clifford, so every runtime-selectable backend
+    /// must reproduce the two-outcome distribution exactly.
     fn is_ghz(circuit: &Circuit, n: usize) {
-        let mut sv = StateVector::zero(n);
-        for op in circuit.all_operations() {
-            let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
-            sv.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
+        for kind in BackendKind::all() {
+            let mut state = AnyState::zero(kind, n);
+            for op in circuit.all_operations() {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                state.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
+            }
+            let p0 = state.probability(BitString::zeros(n));
+            let p1 = state.probability(BitString::from_u64(n, (1u64 << n) - 1));
+            assert!(
+                (p0 - 0.5).abs() < 1e-10 && (p1 - 0.5).abs() < 1e-10,
+                "{kind}: p0 = {p0}, p1 = {p1}"
+            );
         }
-        let p0 = sv.probability(BitString::zeros(n));
-        let p1 = sv.probability(BitString::from_u64(n, (1u64 << n) - 1));
-        assert!((p0 - 0.5).abs() < 1e-10 && (p1 - 0.5).abs() < 1e-10);
     }
 
     #[test]
@@ -157,10 +164,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..5 {
             let c = ghz_random_cnot_circuit(7, &mut rng);
-            assert_eq!(
-                c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot)),
-                6
-            );
+            assert_eq!(c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot)), 6);
             is_ghz(&c, 7);
         }
     }
@@ -180,11 +184,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for n in [4usize, 8, 16] {
             let c = random_fixed_cnot_circuit(n, 2, 5, &mut rng);
-            assert_eq!(
-                c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot)),
-                5
-            );
-            assert_eq!(c.num_qubits() <= n, true);
+            assert_eq!(c.count_ops_where(|op| op.as_gate() == Some(&Gate::Cnot)), 5);
+            assert!(c.num_qubits() <= n);
         }
     }
 
@@ -209,10 +210,7 @@ mod tests {
             sv.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
         }
         // Porter-Thomas-ish: no single outcome should dominate
-        let max_p = sv
-            .born_distribution()
-            .into_iter()
-            .fold(0.0f64, f64::max);
+        let max_p = sv.born_distribution().into_iter().fold(0.0f64, f64::max);
         assert!(max_p < 0.7, "max outcome probability {max_p}");
     }
 

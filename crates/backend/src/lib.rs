@@ -1,0 +1,340 @@
+//! # bgls-backend
+//!
+//! Runtime backend selection for the BGLS stack.
+//!
+//! The simulator crates are deliberately generic: `Simulator<S>` is
+//! monomorphized per state type, and until this crate existed every
+//! caller — apps, examples, benches, services — had to hard-wire one
+//! concrete backend at compile time. This crate erases that choice to
+//! runtime:
+//!
+//! * [`BackendKind`] — a plain enum naming each state representation
+//!   (dense state vector, density matrix, CH-form stabilizer, chi-capped
+//!   chain MPS, lazy tensor network);
+//! * [`AnyState`] — an enum over all five concrete states that itself
+//!   implements [`BglsState`], delegating every operation to the wrapped
+//!   variant;
+//! * [`SimulatorExt::for_backend`] — `Simulator::for_backend(kind, n,
+//!   opts)`, the one-call constructor used by everything that accepts a
+//!   backend name from a config file, CLI flag, or request payload.
+//!
+//! ```
+//! use bgls_backend::{BackendKind, SimulatorExt};
+//! use bgls_circuit::{Circuit, Gate, Operation, Qubit};
+//! use bgls_core::{Simulator, SimulatorOptions};
+//!
+//! let mut ghz = Circuit::new();
+//! ghz.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+//! ghz.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+//!
+//! // the backend is a runtime value — e.g. parsed from a request
+//! let kind: BackendKind = "chform".parse().unwrap();
+//! let sim = Simulator::for_backend(kind, 2, SimulatorOptions::default()).with_seed(1);
+//! let samples = sim.sample_final_bitstrings(&ghz, 100).unwrap();
+//! assert!(samples.iter().all(|b| b.as_u64() == 0 || b.as_u64() == 0b11));
+//! ```
+
+#![warn(missing_docs)]
+
+use bgls_circuit::{Channel, Gate};
+use bgls_core::{BglsState, BitString, SimError, Simulator, SimulatorOptions};
+use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
+use bgls_stabilizer::ChForm;
+use bgls_statevector::{DensityMatrix, StateVector};
+use rand::RngCore;
+
+/// Names one of the available state representations.
+///
+/// This is the value that crosses configuration boundaries: it is
+/// `Copy`, comparable, printable, and parseable (`"mps:16"` selects a
+/// chain MPS with bond cap 16; `"mps"` the exact chain MPS).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Dense pure state vector (`bgls-statevector`): exact for every
+    /// unitary circuit, memory `O(2^n)`.
+    StateVector,
+    /// Dense density matrix (`bgls-statevector`): exact for noisy
+    /// circuits — channels apply deterministically, so the multiplicity-map
+    /// sample parallelization survives noise. Memory `O(4^n)`.
+    DensityMatrix,
+    /// CH-form stabilizer state (`bgls-stabilizer`): Clifford circuits at
+    /// any width, `O(n^2)` per amplitude.
+    ChForm,
+    /// Canonical chain MPS (`bgls-mps`) with an optional bond-dimension
+    /// cap; `chi: None` keeps the representation exact.
+    ChainMps {
+        /// Maximum bond dimension (`None` = unbounded/exact).
+        chi: Option<usize>,
+    },
+    /// Lazy tensor network (`bgls-mps`): one tensor per qubit plus
+    /// operator-Schmidt bonds, contracted per probability query.
+    LazyNetwork,
+}
+
+impl BackendKind {
+    /// Every backend kind in its default configuration — what agreement
+    /// tests and capability probes iterate over. The chain-MPS entry is
+    /// the *exact* (uncapped) variant; tests that want the truncation
+    /// code path covered push a `ChainMps { chi: Some(..) }` explicitly.
+    pub fn all() -> Vec<BackendKind> {
+        vec![
+            BackendKind::StateVector,
+            BackendKind::DensityMatrix,
+            BackendKind::ChForm,
+            BackendKind::ChainMps { chi: None },
+            BackendKind::LazyNetwork,
+        ]
+    }
+
+    /// Stable lowercase name (inverse of [`std::str::FromStr`]).
+    pub fn name(&self) -> String {
+        match self {
+            BackendKind::StateVector => "statevector".into(),
+            BackendKind::DensityMatrix => "density".into(),
+            BackendKind::ChForm => "chform".into(),
+            BackendKind::ChainMps { chi: None } => "mps".into(),
+            BackendKind::ChainMps { chi: Some(chi) } => format!("mps:{chi}"),
+            BackendKind::LazyNetwork => "lazy".into(),
+        }
+    }
+
+    /// True when the backend applies Kraus channels exactly rather than
+    /// sampling trajectory branches (today: the density matrix).
+    pub fn channels_are_deterministic(&self) -> bool {
+        matches!(self, BackendKind::DensityMatrix)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Error from parsing a [`BackendKind`] name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown backend '{}' (expected statevector | density | chform | mps[:chi] | lazy)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for BackendKind {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseBackendError { input: s.into() };
+        Ok(match s {
+            "statevector" | "sv" => BackendKind::StateVector,
+            "density" | "dm" => BackendKind::DensityMatrix,
+            "chform" | "stabilizer" => BackendKind::ChForm,
+            "mps" => BackendKind::ChainMps { chi: None },
+            "lazy" => BackendKind::LazyNetwork,
+            other => {
+                let chi = other
+                    .strip_prefix("mps:")
+                    .and_then(|c| c.parse::<usize>().ok())
+                    .filter(|&c| c >= 1)
+                    .ok_or_else(err)?;
+                BackendKind::ChainMps { chi: Some(chi) }
+            }
+        })
+    }
+}
+
+/// A BGLS state chosen at runtime: one enum over every concrete backend,
+/// itself a [`BglsState`].
+///
+/// `Simulator<AnyState>` is the type behind every runtime-selected
+/// pipeline; the enum dispatch adds one match per operation, which is
+/// noise next to the `O(2^n)`/`O(n^2)`/`O(n chi^3)` work each operation
+/// performs.
+#[derive(Clone, Debug)]
+pub enum AnyState {
+    /// Dense pure state.
+    StateVector(StateVector),
+    /// Dense mixed state.
+    DensityMatrix(DensityMatrix),
+    /// CH-form stabilizer state.
+    ChForm(ChForm),
+    /// Canonical chain MPS.
+    ChainMps(ChainMps),
+    /// Lazy tensor network.
+    LazyNetwork(LazyNetworkState),
+}
+
+/// Delegates a method call to whichever variant is live.
+macro_rules! dispatch {
+    ($self:expr, $state:ident => $call:expr) => {
+        match $self {
+            AnyState::StateVector($state) => $call,
+            AnyState::DensityMatrix($state) => $call,
+            AnyState::ChForm($state) => $call,
+            AnyState::ChainMps($state) => $call,
+            AnyState::LazyNetwork($state) => $call,
+        }
+    };
+}
+
+impl AnyState {
+    /// The all-zeros initial state of `kind` on `n` qubits.
+    pub fn zero(kind: BackendKind, n: usize) -> Self {
+        match kind {
+            BackendKind::StateVector => AnyState::StateVector(StateVector::zero(n)),
+            BackendKind::DensityMatrix => AnyState::DensityMatrix(DensityMatrix::zero(n)),
+            BackendKind::ChForm => AnyState::ChForm(ChForm::zero(n)),
+            BackendKind::ChainMps { chi } => {
+                let options = match chi {
+                    Some(chi) => MpsOptions::with_max_bond(chi),
+                    None => MpsOptions::exact(),
+                };
+                AnyState::ChainMps(ChainMps::zero(n, options))
+            }
+            BackendKind::LazyNetwork => AnyState::LazyNetwork(LazyNetworkState::zero(n)),
+        }
+    }
+
+    /// Which [`BackendKind`] this state is (chi is reported as configured).
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            AnyState::StateVector(_) => BackendKind::StateVector,
+            AnyState::DensityMatrix(_) => BackendKind::DensityMatrix,
+            AnyState::ChForm(_) => BackendKind::ChForm,
+            AnyState::ChainMps(m) => BackendKind::ChainMps {
+                chi: m.options().max_bond,
+            },
+            AnyState::LazyNetwork(_) => BackendKind::LazyNetwork,
+        }
+    }
+}
+
+impl BglsState for AnyState {
+    fn num_qubits(&self) -> usize {
+        dispatch!(self, s => s.num_qubits())
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+        dispatch!(self, s => s.apply_gate(gate, qubits))
+    }
+
+    fn probability(&self, bits: BitString) -> f64 {
+        dispatch!(self, s => s.probability(bits))
+    }
+
+    fn apply_kraus(
+        &mut self,
+        channel: &Channel,
+        qubits: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, SimError> {
+        dispatch!(self, s => s.apply_kraus(channel, qubits, rng))
+    }
+
+    fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+        dispatch!(self, s => s.project(qubit, value))
+    }
+
+    fn channels_are_deterministic(&self) -> bool {
+        dispatch!(self, s => s.channels_are_deterministic())
+    }
+}
+
+/// Extension constructor putting runtime backend selection onto
+/// [`Simulator`].
+pub trait SimulatorExt {
+    /// A gate-by-gate simulator over the backend selected by `kind`,
+    /// starting from `|0...0>` on `n_qubits` qubits.
+    fn for_backend(kind: BackendKind, n_qubits: usize, options: SimulatorOptions) -> Self;
+}
+
+impl SimulatorExt for Simulator<AnyState> {
+    fn for_backend(kind: BackendKind, n_qubits: usize, options: SimulatorOptions) -> Self {
+        Simulator::new(AnyState::zero(kind, n_qubits)).with_options(options)
+    }
+}
+
+/// Free-function form of [`SimulatorExt::for_backend`].
+pub fn simulator_for(kind: BackendKind, n_qubits: usize) -> Simulator<AnyState> {
+    Simulator::for_backend(kind, n_qubits, SimulatorOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_circuit::{Circuit, Operation, Qubit};
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        for i in 1..n as u32 {
+            c.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+        }
+        c
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_parse() {
+        let mut kinds = BackendKind::all();
+        kinds.push(BackendKind::ChainMps { chi: Some(16) });
+        for kind in kinds {
+            let back: BackendKind = kind.name().parse().unwrap();
+            assert_eq!(back, kind, "{kind}");
+        }
+        assert!("nope".parse::<BackendKind>().is_err());
+        assert!("mps:0".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn every_backend_samples_ghz_correlations() {
+        let n = 3;
+        for kind in BackendKind::all() {
+            let sim = simulator_for(kind, n).with_seed(7);
+            let samples = sim.sample_final_bitstrings(&ghz(n), 200).unwrap();
+            let all = (1u64 << n) - 1;
+            assert!(
+                samples.iter().all(|b| b.as_u64() == 0 || b.as_u64() == all),
+                "{kind}: non-GHZ outcome"
+            );
+            let ones = samples.iter().filter(|b| b.as_u64() == all).count();
+            assert!((40..160).contains(&ones), "{kind}: ones = {ones}");
+        }
+    }
+
+    #[test]
+    fn any_state_reports_wrapped_kind() {
+        for kind in BackendKind::all() {
+            assert_eq!(AnyState::zero(kind, 2).kind(), kind);
+        }
+        let capped = AnyState::zero(BackendKind::ChainMps { chi: Some(8) }, 2);
+        assert_eq!(capped.kind(), BackendKind::ChainMps { chi: Some(8) });
+    }
+
+    #[test]
+    fn only_density_matrix_reports_deterministic_channels() {
+        for kind in BackendKind::all() {
+            let state = AnyState::zero(kind, 2);
+            assert_eq!(
+                state.channels_are_deterministic(),
+                kind.channels_are_deterministic(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn num_qubits_delegates() {
+        for kind in BackendKind::all() {
+            assert_eq!(AnyState::zero(kind, 5).num_qubits(), 5, "{kind}");
+        }
+    }
+}

@@ -12,10 +12,10 @@ use bgls_apps::{
     brute_force_maxcut, cut_value, empirical_distribution, ghz_random_cnot_circuit, overlap,
     random_fixed_cnot_circuit, random_fixed_depth_circuit, solve_maxcut_qaoa_mps, Graph,
 };
-use bgls_bench::{clifford_t_workload, clifford_workload, fmt_secs, time_median, universal_workload};
-use bgls_circuit::{
-    optimize_for_bgls, substitute_gate, Circuit, Gate, Operation, Qubit,
+use bgls_bench::{
+    clifford_t_workload, clifford_workload, fmt_secs, time_median, universal_workload,
 };
+use bgls_circuit::{optimize_for_bgls, substitute_gate, Circuit, Gate, Operation, Qubit};
 use bgls_core::{QubitByQubitSimulator, Simulator, SimulatorOptions};
 use bgls_mps::LazyNetworkState;
 use bgls_stabilizer::{near_clifford_simulator, stabilizer_extent_rz, ChForm, TableauSimulator};
@@ -117,13 +117,12 @@ fn fig2(quick: bool) {
             par.run(&circuit, reps).unwrap();
         });
         // per-sample path: disable the multiplicity map
-        let seq = Simulator::new(StateVector::zero(8))
-            .with_options(SimulatorOptions {
-                seed: Some(7),
-                parallelize_samples: false,
-                parallel_trajectories: false,
-                ..Default::default()
-            });
+        let seq = Simulator::new(StateVector::zero(8)).with_options(SimulatorOptions {
+            seed: Some(7),
+            parallelize_samples: false,
+            parallel_trajectories: false,
+            ..Default::default()
+        });
         let t_seq = if reps <= 1 << 10 {
             time_median(1, || {
                 seq.run(&circuit, reps).unwrap();
@@ -198,9 +197,17 @@ fn fig4a(quick: bool) {
     let (ct, n_t) = clifford_t_workload(n, 20, 8, 5);
     let pure = substitute_gate(&ct, &Gate::T, &Gate::S);
     println!("(circuit: n = {n}, 20 moments, {n_t} T gates)");
-    let ideal_t = StateVector::from_circuit(&ct, n).unwrap().born_distribution();
-    let ideal_s = StateVector::from_circuit(&pure, n).unwrap().born_distribution();
-    let powers: &[u32] = if quick { &[4, 7, 10] } else { &[4, 6, 8, 10, 12, 13] };
+    let ideal_t = StateVector::from_circuit(&ct, n)
+        .unwrap()
+        .born_distribution();
+    let ideal_s = StateVector::from_circuit(&pure, n)
+        .unwrap()
+        .born_distribution();
+    let powers: &[u32] = if quick {
+        &[4, 7, 10]
+    } else {
+        &[4, 6, 8, 10, 12, 13]
+    };
     println!(
         "{:>8}  {:>14}  {:>14}",
         "samples", "pure-Clifford", "near-Clifford"
@@ -235,7 +242,9 @@ fn fig4b(quick: bool) {
     for k in 0..=steps {
         let theta = 2.0 * PI * k as f64 / steps as f64;
         let circ = substitute_gate(&ct, &Gate::T, &Gate::Rz(theta.into()));
-        let ideal = StateVector::from_circuit(&circ, n).unwrap().born_distribution();
+        let ideal = StateVector::from_circuit(&circ, n)
+            .unwrap()
+            .born_distribution();
         let nc = near_clifford_simulator(n)
             .with_seed(k as u64)
             .sample_final_bitstrings(&circ, reps)
@@ -261,12 +270,18 @@ fn fig5(quick: bool) {
     header("Fig 5: sum-over-Cliffords overlap vs number of T gates (100-moment circuit)");
     let n = 8;
     let reps = if quick { 512 } else { 2048 };
-    let counts: &[usize] = if quick { &[0, 4, 12] } else { &[0, 2, 4, 6, 8, 12, 16, 24] };
+    let counts: &[usize] = if quick {
+        &[0, 4, 12]
+    } else {
+        &[0, 2, 4, 6, 8, 12, 16, 24]
+    };
     println!("{:>8}  {:>10}", "#T", "overlap");
     for &k in counts {
         let (circ, made) = clifford_t_workload(n, 100, k, 21);
         assert_eq!(made, k);
-        let ideal = StateVector::from_circuit(&circ, n).unwrap().born_distribution();
+        let ideal = StateVector::from_circuit(&circ, n)
+            .unwrap()
+            .born_distribution();
         let samples = near_clifford_simulator(n)
             .with_seed(k as u64)
             .sample_final_bitstrings(&circ, reps)
@@ -375,8 +390,7 @@ fn fig8(quick: bool) {
         graph.edges()
     );
     let (opt_bits, opt_cut) = brute_force_maxcut(&graph);
-    let (grid, sweep_samples, final_samples) =
-        if quick { (4, 50, 200) } else { (10, 100, 1000) };
+    let (grid, sweep_samples, final_samples) = if quick { (4, 50, 200) } else { (10, 100, 1000) };
     let sol = solve_maxcut_qaoa_mps(&graph, 16, grid, sweep_samples, final_samples, 17).unwrap();
     println!(
         "sweep: {} configurations x {} samples, best (gamma, beta) = ({:.3}, {:.3}), mean cut {:.3}",
@@ -396,7 +410,11 @@ fn fig8(quick: bool) {
 /// Docs "tips" table: optimize_for_bgls speedup on random 8-qubit circuits.
 fn opt_table(quick: bool) {
     header("Optimization table: optimize_for_bgls speedup (random 8-qubit circuits)");
-    let layers: &[usize] = if quick { &[10, 50] } else { &[10, 20, 30, 40, 50] };
+    let layers: &[usize] = if quick {
+        &[10, 50]
+    } else {
+        &[10, 20, 30, 40, 50]
+    };
     let reps = 200u64;
     println!(
         "{:>8}  {:>6} {:>6}  {:>10}  {:>10}  {:>8}",

@@ -5,7 +5,7 @@
 //! `sum_i K_i^dagger K_i = I`.
 
 use crate::error::CircuitError;
-use bgls_linalg::{C64, Matrix};
+use bgls_linalg::{Matrix, C64};
 
 /// A completely-positive trace-preserving map given by Kraus operators.
 #[derive(Clone, Debug, PartialEq)]

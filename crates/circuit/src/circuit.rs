@@ -6,7 +6,7 @@ use crate::moment::Moment;
 use crate::op::{OpKind, Operation};
 use crate::param::ParamResolver;
 use crate::qubit::Qubit;
-use bgls_linalg::{C64, Matrix};
+use bgls_linalg::{Matrix, C64};
 
 /// Where a newly appended operation lands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -250,9 +250,9 @@ impl Circuit {
         let dim = 1usize << num_qubits;
         let mut u = Matrix::identity(dim);
         for op in self.all_operations() {
-            let g = op.as_gate().ok_or_else(|| {
-                CircuitError::NonUnitaryOperation(format!("{op}"))
-            })?;
+            let g = op
+                .as_gate()
+                .ok_or_else(|| CircuitError::NonUnitaryOperation(format!("{op}")))?;
             let full = embed_unitary(&g.unitary()?, op.support(), num_qubits);
             u = full.matmul(&u);
         }

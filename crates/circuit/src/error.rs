@@ -50,7 +50,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "operation {op} addresses a qubit more than once")
             }
             CircuitError::UnresolvedParameter(s) => {
-                write!(f, "parameter '{s}' is unresolved; bind it with a ParamResolver")
+                write!(
+                    f,
+                    "parameter '{s}' is unresolved; bind it with a ParamResolver"
+                )
             }
             CircuitError::NotUnitary(what) => write!(f, "matrix for {what} is not unitary"),
             CircuitError::InvalidChannel(what) => {

@@ -7,7 +7,7 @@
 
 use crate::error::CircuitError;
 use crate::param::{Param, ParamResolver};
-use bgls_linalg::{C64, Matrix};
+use bgls_linalg::{Matrix, C64};
 use std::f64::consts::{FRAC_1_SQRT_2, PI};
 use std::sync::Arc;
 
@@ -209,19 +209,11 @@ impl Gate {
             }
             Rz(p) => {
                 let t = p.value()? / 2.0;
-                Matrix::from_vec(
-                    2,
-                    2,
-                    vec![C64::cis(-t), C64::ZERO, C64::ZERO, C64::cis(t)],
-                )
+                Matrix::from_vec(2, 2, vec![C64::cis(-t), C64::ZERO, C64::ZERO, C64::cis(t)])
             }
             ZPow(p) => {
                 let t = p.value()?;
-                Matrix::from_vec(
-                    2,
-                    2,
-                    vec![C64::ONE, C64::ZERO, C64::ZERO, C64::cis(PI * t)],
-                )
+                Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, C64::cis(PI * t)])
             }
             U1(m) => (**m).clone(),
             Cnot => {
@@ -352,7 +344,10 @@ impl Gate {
     /// The lazy tensor-network state uses this to insert cheap bonds.
     pub fn is_diagonal(&self) -> bool {
         use Gate::*;
-        matches!(self, I | Z | S | Sdg | T | Tdg | Rz(_) | ZPow(_) | Cz | CPhase(_) | Rzz(_) | Ccz)
+        matches!(
+            self,
+            I | Z | S | Sdg | T | Tdg | Rz(_) | ZPow(_) | Cz | CPhase(_) | Rzz(_) | Ccz
+        )
     }
 
     /// Validates and wraps a custom matrix as a gate of the right arity.
@@ -398,8 +393,7 @@ mod tests {
     fn all_fixed_gates_are_unitary() {
         use Gate::*;
         for g in [
-            I, X, Y, Z, H, S, Sdg, SqrtX, SqrtXDag, T, Tdg, Cnot, Cz, Swap, ISwap, Ccx, Ccz,
-            Cswap,
+            I, X, Y, Z, H, S, Sdg, SqrtX, SqrtXDag, T, Tdg, Cnot, Cz, Swap, ISwap, Ccx, Ccz, Cswap,
         ] {
             assert_unitary(&g);
         }

@@ -29,10 +29,10 @@ mod random;
 mod transform;
 
 pub use channel::Channel;
+pub use circuit::{embed_unitary, Circuit, InsertStrategy};
 pub use decompose::{
     decompose_ccx, decompose_ccz, decompose_cswap, decompose_op, decompose_three_qubit_gates,
 };
-pub use circuit::{embed_unitary, Circuit, InsertStrategy};
 pub use error::CircuitError;
 pub use gate::{Gate, CLIFFORD_GENERATORS};
 pub use moment::Moment;

@@ -137,12 +137,10 @@ impl Operation {
                 kind: OpKind::Gate(g.inverse()?),
                 qubits: self.qubits.clone(),
             }),
-            OpKind::Measure { key } => {
-                Err(CircuitError::NonUnitaryOperation(format!("measure('{key}')")))
-            }
-            OpKind::Channel(c) => {
-                Err(CircuitError::NonUnitaryOperation(c.name().to_string()))
-            }
+            OpKind::Measure { key } => Err(CircuitError::NonUnitaryOperation(format!(
+                "measure('{key}')"
+            ))),
+            OpKind::Channel(c) => Err(CircuitError::NonUnitaryOperation(c.name().to_string())),
         }
     }
 }

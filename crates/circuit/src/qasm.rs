@@ -61,9 +61,7 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
                     Gate::Rz(p) => format!("rz({}) {args};", fmt_angle(p)?),
                     Gate::ZPow(p) => {
                         // ZPow(t) = u1(pi t)
-                        let v = p
-                            .value()
-                            .map_err(|_| symbolic_err(g))?;
+                        let v = p.value().map_err(|_| symbolic_err(g))?;
                         format!("u1({}) {args};", fmt_f64(v * PI))
                     }
                     Gate::Cnot => format!("cx {args};"),
@@ -72,13 +70,9 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
                     Gate::CPhase(p) => format!("cu1({}) {args};", fmt_angle(p)?),
                     Gate::Rzz(p) => format!("rzz({}) {args};", fmt_angle(p)?),
                     Gate::Ccx => format!("ccx {args};"),
-                    Gate::Ccz => {
-                        return Err(CircuitError::QasmUnsupported("ccz".into()))
-                    }
+                    Gate::Ccz => return Err(CircuitError::QasmUnsupported("ccz".into())),
                     Gate::Cswap => format!("cswap {args};"),
-                    Gate::ISwap => {
-                        return Err(CircuitError::QasmUnsupported("iswap".into()))
-                    }
+                    Gate::ISwap => return Err(CircuitError::QasmUnsupported("iswap".into())),
                     Gate::U1(_) | Gate::U2(_) | Gate::U(..) => {
                         return Err(CircuitError::QasmUnsupported(
                             "arbitrary matrix gate".into(),
@@ -93,9 +87,7 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
                     let _ = writeln!(out, "measure q[{}] -> {key}[{i}];", q.0);
                 }
             }
-            OpKind::Channel(c) => {
-                return Err(CircuitError::QasmUnsupported(c.name().to_string()))
-            }
+            OpKind::Channel(c) => return Err(CircuitError::QasmUnsupported(c.name().to_string())),
         }
     }
     Ok(out)
@@ -108,9 +100,7 @@ fn symbolic_err(g: &Gate) -> CircuitError {
 fn fmt_angle(p: &Param) -> Result<String, CircuitError> {
     match p.value() {
         Ok(v) => Ok(fmt_f64(v)),
-        Err(_) => Err(CircuitError::QasmUnsupported(
-            "symbolic parameter".into(),
-        )),
+        Err(_) => Err(CircuitError::QasmUnsupported("symbolic parameter".into())),
     }
 }
 
@@ -183,10 +173,7 @@ pub fn from_qasm(source: &str) -> Result<Circuit, CircuitError> {
     for (key, mut entries) in pending_measures {
         entries.sort_by_key(|(cidx, _)| *cidx);
         let qubits: Vec<Qubit> = entries.into_iter().map(|(_, q)| q).collect();
-        circuit.append(
-            Operation::measure(qubits, &key)?,
-            InsertStrategy::Earliest,
-        );
+        circuit.append(Operation::measure(qubits, &key)?, InsertStrategy::Earliest);
     }
     Ok(circuit)
 }
@@ -548,20 +535,14 @@ mod tests {
         use crate::channel::Channel;
         let mut c = Circuit::new();
         c.push(Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap());
-        assert!(matches!(
-            to_qasm(&c),
-            Err(CircuitError::QasmUnsupported(_))
-        ));
+        assert!(matches!(to_qasm(&c), Err(CircuitError::QasmUnsupported(_))));
     }
 
     #[test]
     fn symbolic_params_not_exportable() {
         let mut c = Circuit::new();
         c.push(op(Gate::Rz(Param::symbol("x")), &[0]));
-        assert!(matches!(
-            to_qasm(&c),
-            Err(CircuitError::QasmUnsupported(_))
-        ));
+        assert!(matches!(to_qasm(&c), Err(CircuitError::QasmUnsupported(_))));
     }
 
     #[test]

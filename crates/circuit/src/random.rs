@@ -54,10 +54,7 @@ pub fn generate_random_circuit(params: &RandomCircuitParams, rng: &mut impl Rng)
         (0.0..=1.0).contains(&params.op_density),
         "op_density must be in [0, 1]"
     );
-    assert!(
-        !params.gate_set.is_empty(),
-        "gate set must not be empty"
-    );
+    assert!(!params.gate_set.is_empty(), "gate set must not be empty");
     let min_arity = params
         .gate_set
         .iter()
@@ -90,10 +87,7 @@ pub fn generate_random_circuit(params: &RandomCircuitParams, rng: &mut impl Rng)
                 .iter()
                 .filter(|g| g.arity() <= remaining)
                 .collect();
-            let gate = (*fitting
-                .choose(rng)
-                .expect("at least one gate fits"))
-            .clone();
+            let gate = (*fitting.choose(rng).expect("at least one gate fits")).clone();
             let arity = gate.arity();
             let qubits: Vec<Qubit> = pool[cursor..cursor + arity]
                 .iter()
@@ -240,10 +234,7 @@ mod tests {
         c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
         let (c2, n) = replace_single_qubit_gates(&c, &Gate::T, 10, &mut rng);
         assert_eq!(n, 1); // only one 1q gate existed
-        assert_eq!(
-            c2.count_ops_where(|op| op.as_gate() == Some(&Gate::T)),
-            1
-        );
+        assert_eq!(c2.count_ops_where(|op| op.as_gate() == Some(&Gate::T)), 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::circuit::{Circuit, InsertStrategy};
 use crate::gate::Gate;
 use crate::op::Operation;
 use crate::qubit::Qubit;
-use bgls_linalg::{C64, FxHashMap, Matrix};
+use bgls_linalg::{FxHashMap, Matrix, C64};
 use std::sync::Arc;
 
 /// Merges maximal runs of consecutive single-qubit gates on each qubit into

@@ -1,9 +1,7 @@
 //! Property test: QASM export -> import preserves circuit semantics for
 //! every exportable random circuit.
 
-use bgls_circuit::{
-    from_qasm, generate_random_circuit, to_qasm, Gate, RandomCircuitParams,
-};
+use bgls_circuit::{from_qasm, generate_random_circuit, to_qasm, Gate, RandomCircuitParams};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -81,11 +81,13 @@ impl<S: MarginalState> QubitByQubitSimulator<S> {
             let p1 = (p1_joint / prefix_prob).clamp(0.0, 1.0);
             let bit = rng.gen::<f64>() < p1;
             assignment.push((q, bit));
-            prefix_prob = if bit { p1_joint } else { prefix_prob - p1_joint };
+            prefix_prob = if bit {
+                p1_joint
+            } else {
+                prefix_prob - p1_joint
+            };
         }
-        Ok(BitString::from_bits(
-            assignment.into_iter().map(|(_, b)| b),
-        ))
+        Ok(BitString::from_bits(assignment.into_iter().map(|(_, b)| b)))
     }
 
     /// Samples `repetitions` final-state bitstrings (measurements ignored),
@@ -164,7 +166,7 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_gate_by_gate_on_biased_state(){
+    fn agrees_with_gate_by_gate_on_biased_state() {
         // Ry rotation giving P(1) = sin^2(0.6/2)
         let mut c = Circuit::new();
         c.push(Operation::gate(Gate::Ry(0.6.into()), vec![Qubit(0)]).unwrap());
@@ -179,9 +181,7 @@ mod tests {
     fn channels_unsupported() {
         use bgls_circuit::Channel;
         let mut c = Circuit::new();
-        c.push(
-            Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap(),
-        );
+        c.push(Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap());
         c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
         let sim = QubitByQubitSimulator::new(RefState::zero(1));
         assert!(matches!(sim.run(&c, 1), Err(SimError::Unsupported(_))));

@@ -28,7 +28,10 @@ impl BitString {
             len <= Self::MAX_QUBITS,
             "BitString supports at most 64 qubits, got {len}"
         );
-        BitString { bits: 0, len: len as u8 }
+        BitString {
+            bits: 0,
+            len: len as u8,
+        }
     }
 
     /// Builds from the low `len` bits of `value` (bit `i` = qubit `i`).
@@ -202,8 +205,7 @@ mod tests {
         // all have qubit 1 = 0
         assert!(cands.iter().all(|c| !c.get(1)));
         // and cover all four (q0, q2) combinations
-        let values: std::collections::HashSet<u64> =
-            cands.iter().map(|c| c.as_u64()).collect();
+        let values: std::collections::HashSet<u64> = cands.iter().map(|c| c.as_u64()).collect();
         assert_eq!(values, [0b000, 0b001, 0b100, 0b101].into_iter().collect());
     }
 

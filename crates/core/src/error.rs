@@ -40,13 +40,19 @@ impl fmt::Display for SimError {
                 write!(f, "circuit has no measurements; add a terminal measurement or use sample_final_bitstrings")
             }
             SimError::NotClifford(g) => {
-                write!(f, "gate {g} is not Clifford; use the near-Clifford apply hook")
+                write!(
+                    f,
+                    "gate {g} is not Clifford; use the near-Clifford apply hook"
+                )
             }
             SimError::ZeroProbabilityEvent => {
                 write!(f, "all candidate bitstrings have zero probability")
             }
             SimError::QubitOutOfRange { index, num_qubits } => {
-                write!(f, "qubit index {index} out of range for {num_qubits}-qubit state")
+                write!(
+                    f,
+                    "qubit index {index} out of range for {num_qubits}-qubit state"
+                )
             }
             SimError::Invalid(msg) => write!(f, "{msg}"),
         }

@@ -366,20 +366,12 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     }
 
     fn skip_update(&self, op: &Operation) -> bool {
-        self.options.skip_diagonal_updates
-            && op
-                .as_gate()
-                .map(Gate::is_diagonal)
-                .unwrap_or(false)
+        self.options.skip_diagonal_updates && op.as_gate().map(Gate::is_diagonal).unwrap_or(false)
     }
 
     // ---- trajectory path ----------------------------------------------
 
-    fn run_trajectories(
-        &self,
-        circuit: &Circuit,
-        repetitions: u64,
-    ) -> Result<RunResult, SimError> {
+    fn run_trajectories(&self, circuit: &Circuit, repetitions: u64) -> Result<RunResult, SimError> {
         let n = self.initial_state.num_qubits();
         let terminal = circuit.measurements_are_terminal();
         let seed = self.sample_base_seed();
@@ -599,11 +591,11 @@ mod tests {
         let mut c = Circuit::new();
         c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
         for i in 1..n {
-            c.push(Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap());
+            c.push(
+                Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap(),
+            );
         }
-        c.push(
-            Operation::measure(Qubit::range(n), "z").unwrap(),
-        );
+        c.push(Operation::measure(Qubit::range(n), "z").unwrap());
         c
     }
 
@@ -641,8 +633,14 @@ mod tests {
         let traj = Simulator::new(RefState::zero(2)).with_options(opts);
         let hp = par.run(&c, 2000).unwrap();
         let ht = traj.run(&c, 2000).unwrap();
-        let fp = hp.histogram("z").unwrap().frequency(BitString::from_u64(2, 0));
-        let ft = ht.histogram("z").unwrap().frequency(BitString::from_u64(2, 0));
+        let fp = hp
+            .histogram("z")
+            .unwrap()
+            .frequency(BitString::from_u64(2, 0));
+        let ft = ht
+            .histogram("z")
+            .unwrap()
+            .frequency(BitString::from_u64(2, 0));
         assert!((fp - 0.5).abs() < 0.05, "parallel freq {fp}");
         assert!((ft - 0.5).abs() < 0.05, "trajectory freq {ft}");
     }
@@ -650,8 +648,14 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let c = ghz(3);
-        let r1 = Simulator::new(RefState::zero(3)).with_seed(99).run(&c, 100).unwrap();
-        let r2 = Simulator::new(RefState::zero(3)).with_seed(99).run(&c, 100).unwrap();
+        let r1 = Simulator::new(RefState::zero(3))
+            .with_seed(99)
+            .run(&c, 100)
+            .unwrap();
+        let r2 = Simulator::new(RefState::zero(3))
+            .with_seed(99)
+            .run(&c, 100)
+            .unwrap();
         assert_eq!(
             r1.histogram("z").unwrap().count_value(0),
             r2.histogram("z").unwrap().count_value(0)
@@ -696,9 +700,7 @@ mod tests {
     #[test]
     fn noisy_circuit_uses_trajectories_and_flips_sometimes() {
         let mut c = Circuit::new();
-        c.push(
-            Operation::channel(Channel::bit_flip(0.3).unwrap(), vec![Qubit(0)]).unwrap(),
-        );
+        c.push(Operation::channel(Channel::bit_flip(0.3).unwrap(), vec![Qubit(0)]).unwrap());
         c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
         let opts = SimulatorOptions {
             seed: Some(11),
@@ -715,9 +717,7 @@ mod tests {
     #[test]
     fn parallel_trajectories_match_sequential_statistics() {
         let mut c = Circuit::new();
-        c.push(
-            Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap(),
-        );
+        c.push(Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap());
         c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
         let opts = SimulatorOptions {
             seed: Some(21),

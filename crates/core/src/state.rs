@@ -191,11 +191,7 @@ pub(crate) mod testing {
             self.amps
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| {
-                    assignment
-                        .iter()
-                        .all(|&(q, v)| ((i >> q) & 1 == 1) == v)
-                })
+                .filter(|(i, _)| assignment.iter().all(|&(q, v)| ((i >> q) & 1 == 1) == v))
                 .map(|(_, a)| a.norm_sqr())
                 .sum()
         }

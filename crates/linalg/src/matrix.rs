@@ -274,7 +274,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
@@ -286,7 +291,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
         }
     }
 }
@@ -321,11 +331,7 @@ mod tests {
     }
 
     fn pauli_y() -> Matrix {
-        Matrix::from_vec(
-            2,
-            2,
-            vec![C64::ZERO, -C64::I, C64::I, C64::ZERO],
-        )
+        Matrix::from_vec(2, 2, vec![C64::ZERO, -C64::I, C64::I, C64::ZERO])
     }
 
     fn pauli_z() -> Matrix {

@@ -241,9 +241,15 @@ mod tests {
         );
         // U has orthonormal columns, V^dagger orthonormal rows
         let utu = d.u.dagger().matmul(&d.u);
-        assert!(utu.approx_eq(&Matrix::identity(k), tol), "U not orthonormal");
+        assert!(
+            utu.approx_eq(&Matrix::identity(k), tol),
+            "U not orthonormal"
+        );
         let vvt = d.vt.matmul(&d.vt.dagger());
-        assert!(vvt.approx_eq(&Matrix::identity(k), tol), "V not orthonormal");
+        assert!(
+            vvt.approx_eq(&Matrix::identity(k), tol),
+            "V not orthonormal"
+        );
     }
 
     #[test]

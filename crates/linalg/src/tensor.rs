@@ -38,7 +38,11 @@ impl Tensor {
                 "duplicate bond label {l} in tensor"
             );
         }
-        Tensor { labels, shape, data }
+        Tensor {
+            labels,
+            shape,
+            data,
+        }
     }
 
     /// A rank-0 (scalar) tensor.
@@ -237,10 +241,7 @@ impl Tensor {
         let a = self.permute(&a_order);
         let b = other.permute(&b_order);
 
-        let k: usize = shared
-            .iter()
-            .map(|&l| self.dim_of(l).unwrap())
-            .product();
+        let k: usize = shared.iter().map(|&l| self.dim_of(l).unwrap()).product();
         let m = a.size() / k.max(1);
         let n = b.size() / k.max(1);
 

@@ -12,7 +12,7 @@
 
 use bgls_circuit::{Channel, Gate};
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
-use bgls_linalg::{svd, C64, Matrix};
+use bgls_linalg::{svd, Matrix, C64};
 use rand::{Rng, RngCore};
 
 /// Truncation options — the `cirq.contrib.quimb.MPSOptions` substitute.
@@ -148,8 +148,10 @@ impl ChainMps {
                     }
                     for p2 in 0..2 {
                         for ri in 0..r {
-                            theta[((li * 2 + p1) * 2 + p2) * r + ri] =
-                                av.mul_add(b.at(mi, p2, ri), theta[((li * 2 + p1) * 2 + p2) * r + ri]);
+                            theta[((li * 2 + p1) * 2 + p2) * r + ri] = av.mul_add(
+                                b.at(mi, p2, ri),
+                                theta[((li * 2 + p1) * 2 + p2) * r + ri],
+                            );
                         }
                     }
                 }
@@ -175,8 +177,7 @@ impl ChainMps {
             for p1 in 0..2 {
                 for p2 in 0..2 {
                     for ri in 0..r {
-                        mat[(li * 2 + p1, p2 * r + ri)] =
-                            gated[((li * 2 + p1) * 2 + p2) * r + ri];
+                        mat[(li * 2 + p1, p2 * r + ri)] = gated[((li * 2 + p1) * 2 + p2) * r + ri];
                     }
                 }
             }

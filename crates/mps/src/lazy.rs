@@ -17,7 +17,7 @@
 use crate::schmidt::operator_schmidt;
 use bgls_circuit::Gate;
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
-use bgls_linalg::{contract_network, BondId, C64, Matrix, Tensor};
+use bgls_linalg::{contract_network, BondId, Matrix, Tensor, C64};
 
 /// Per-qubit lazy tensor network state.
 #[derive(Clone, Debug)]
@@ -62,11 +62,7 @@ impl LazyNetworkState {
     /// Applies a `2x2` matrix to qubit `q`'s physical leg.
     fn apply_1q_matrix(&mut self, m: &Matrix, q: usize) {
         let tmp = self.fresh_bond();
-        let g = Tensor::new(
-            vec![tmp, q as BondId],
-            vec![2, 2],
-            m.data().to_vec(),
-        );
+        let g = Tensor::new(vec![tmp, q as BondId], vec![2, 2], m.data().to_vec());
         let mut t = self.tensors[q].contract(&g);
         // contract consumed the physical label; the fresh label replaces it
         t.relabel(tmp, q as BondId);
@@ -90,11 +86,7 @@ impl LazyNetworkState {
                 }
             }
         }
-        let ga = Tensor::new(
-            vec![tmp_a, qa as BondId, bond],
-            vec![2, 2, rank],
-            a_data,
-        );
+        let ga = Tensor::new(vec![tmp_a, qa as BondId, bond], vec![2, 2, rank], a_data);
         let mut b_data = Vec::with_capacity(rank * 4);
         for new in 0..2 {
             for old in 0..2 {
@@ -103,11 +95,7 @@ impl LazyNetworkState {
                 }
             }
         }
-        let gb = Tensor::new(
-            vec![tmp_b, qb as BondId, bond],
-            vec![2, 2, rank],
-            b_data,
-        );
+        let gb = Tensor::new(vec![tmp_b, qb as BondId, bond], vec![2, 2, rank], b_data);
         let mut ta = self.tensors[qa].contract(&ga);
         ta.relabel(tmp_a, qa as BondId);
         self.tensors[qa] = ta;

@@ -126,7 +126,9 @@ fn bgls_sampling_on_both_backends_matches_ideal() {
     ] {
         c.push(op);
     }
-    let ideal = StateVector::from_circuit(&c, 3).unwrap().born_distribution();
+    let ideal = StateVector::from_circuit(&c, 3)
+        .unwrap()
+        .born_distribution();
     let reps = 30_000u64;
 
     for (name, samples) in [
@@ -165,7 +167,15 @@ fn ghz_random_cnot_sequence_grows_lazy_network() {
     // the Fig. 6 workload shape: GHZ with randomly sequenced CNOTs
     let mut lazy = LazyNetworkState::zero(8);
     lazy.apply_gate(&Gate::H, &[0]).unwrap();
-    let order = [(0usize, 3usize), (3, 6), (0, 1), (6, 7), (1, 2), (3, 4), (4, 5)];
+    let order = [
+        (0usize, 3usize),
+        (3, 6),
+        (0, 1),
+        (6, 7),
+        (1, 2),
+        (3, 4),
+        (4, 5),
+    ];
     for (a, b) in order {
         lazy.apply_gate(&Gate::Cnot, &[a, b]).unwrap();
     }

@@ -514,11 +514,7 @@ mod tests {
         st.apply_h(0).unwrap();
         st.apply_cnot(0, 1).unwrap();
         st.apply_cnot(1, 2).unwrap();
-        assert_state(
-            &st,
-            &[(0b000, C64::real(R)), (0b111, C64::real(R))],
-            1e-12,
-        );
+        assert_state(&st, &[(0b000, C64::real(R)), (0b111, C64::real(R))], 1e-12);
     }
 
     #[test]

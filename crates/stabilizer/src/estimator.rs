@@ -136,7 +136,9 @@ mod tests {
 
     fn exact_amplitude(circuit: &Circuit, n: usize, bits: BitString) -> C64 {
         use bgls_core::AmplitudeState;
-        StateVector::from_circuit(circuit, n).unwrap().amplitude(bits)
+        StateVector::from_circuit(circuit, n)
+            .unwrap()
+            .amplitude(bits)
     }
 
     #[test]

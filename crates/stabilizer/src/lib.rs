@@ -42,8 +42,7 @@ pub use near_clifford::{
     act_on_near_clifford, near_clifford_simulator, rz_decomposition_coefficients,
     stabilizer_extent_rz,
 };
-pub use tableau::{tableau_from_circuit, CliffordTableau, TableauSimulator};
 pub use state::{
-    apply_clifford_gate, compute_probability_stabilizer_state, decompose_clifford_1q,
-    CliffordStep,
+    apply_clifford_gate, compute_probability_stabilizer_state, decompose_clifford_1q, CliffordStep,
 };
+pub use tableau::{tableau_from_circuit, CliffordTableau, TableauSimulator};

@@ -200,8 +200,7 @@ mod tests {
     #[test]
     fn channels_unsupported_on_stabilizer_states() {
         use bgls_circuit::Channel;
-        let op =
-            Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap();
+        let op = Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap();
         let mut st = ChForm::zero(1);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(

@@ -10,7 +10,7 @@
 use crate::chform::ChForm;
 use bgls_circuit::Gate;
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
-use bgls_linalg::{BitVec, C64, Matrix};
+use bgls_linalg::{BitVec, Matrix, C64};
 use std::f64::consts::PI;
 use std::sync::OnceLock;
 
@@ -64,7 +64,11 @@ fn clifford_1q_table() -> &'static Vec<Clifford1q> {
                 frontier.push_back(table.len() - 1);
             }
         }
-        assert_eq!(table.len(), 24, "single-qubit Clifford group has 24 classes");
+        assert_eq!(
+            table.len(),
+            24,
+            "single-qubit Clifford group has 24 classes"
+        );
         table
     })
 }
@@ -137,9 +141,8 @@ fn apply_s_power(st: &mut ChForm, q: usize, half_steps: i64) -> Result<(), SimEr
 /// Applies `Rz(theta)` at a Clifford angle (theta = k pi/2), tracking the
 /// global phase `e^{-i theta / 2}` in omega.
 fn apply_rz_clifford(st: &mut ChForm, q: usize, theta: f64) -> Result<(), SimError> {
-    let k = near_integer(theta / (PI / 2.0)).ok_or_else(|| {
-        SimError::NotClifford(format!("rz({theta})"))
-    })?;
+    let k = near_integer(theta / (PI / 2.0))
+        .ok_or_else(|| SimError::NotClifford(format!("rz({theta})")))?;
     apply_s_power(st, q, k)?;
     st.scale_omega(C64::cis(-theta / 2.0));
     Ok(())
@@ -151,11 +154,7 @@ fn apply_rz_clifford(st: &mut ChForm, q: usize, theta: f64) -> Result<(), SimErr
 /// generic rotations, non-Clifford matrices). This is the strict
 /// dispatcher; the near-Clifford channel wraps it with the stochastic
 /// sum-over-Cliffords substitution.
-pub fn apply_clifford_gate(
-    st: &mut ChForm,
-    gate: &Gate,
-    qubits: &[usize],
-) -> Result<(), SimError> {
+pub fn apply_clifford_gate(st: &mut ChForm, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
     use Gate::*;
     match gate {
         I => Ok(()),
@@ -182,8 +181,8 @@ pub fn apply_clifford_gate(
         Rz(p) => apply_rz_clifford(st, qubits[0], p.value()?),
         ZPow(p) => {
             let t = p.value()?;
-            let k = near_integer(t / 0.5)
-                .ok_or_else(|| SimError::NotClifford(format!("zpow({t})")))?;
+            let k =
+                near_integer(t / 0.5).ok_or_else(|| SimError::NotClifford(format!("zpow({t})")))?;
             apply_s_power(st, qubits[0], k)
         }
         Rx(p) => {
@@ -261,9 +260,7 @@ pub fn apply_clifford_gate(
             apply_rz_clifford(st, b, theta)?;
             st.apply_cnot(a, b)
         }
-        U2(_) | U(..) | Ccx | Ccz | Cswap => {
-            Err(SimError::NotClifford(gate.name().into()))
-        }
+        U2(_) | U(..) | Ccx | Ccz | Cswap => Err(SimError::NotClifford(gate.name().into())),
     }
 }
 
@@ -312,10 +309,18 @@ mod tests {
 
     #[test]
     fn decompose_recognizes_standard_gates() {
-        for g in [Gate::I, Gate::H, Gate::S, Gate::Z, Gate::X, Gate::Y, Gate::SqrtX] {
+        for g in [
+            Gate::I,
+            Gate::H,
+            Gate::S,
+            Gate::Z,
+            Gate::X,
+            Gate::Y,
+            Gate::SqrtX,
+        ] {
             let u = g.unitary().unwrap();
-            let (word, phase) = decompose_clifford_1q(&u)
-                .unwrap_or_else(|| panic!("{} not recognized", g.name()));
+            let (word, phase) =
+                decompose_clifford_1q(&u).unwrap_or_else(|| panic!("{} not recognized", g.name()));
             // rebuild and compare
             let mut m = Matrix::identity(2);
             for step in &word {

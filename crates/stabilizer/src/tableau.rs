@@ -493,13 +493,12 @@ mod tests {
     #[test]
     fn tableau_distribution_matches_chform_gate_by_gate() {
         use crate::ChForm;
-        use bgls_core::Simulator;
         use bgls_circuit::{generate_random_circuit, RandomCircuitParams};
+        use bgls_core::Simulator;
 
         let n = 4;
         let mut crng = StdRng::seed_from_u64(19);
-        let circuit =
-            generate_random_circuit(&RandomCircuitParams::clifford(n, 15), &mut crng);
+        let circuit = generate_random_circuit(&RandomCircuitParams::clifford(n, 15), &mut crng);
         let reps = 20_000u64;
 
         let tab = TableauSimulator::new(n).with_seed(1);
@@ -538,14 +537,9 @@ mod tests {
     fn channels_rejected_by_sampler() {
         use bgls_circuit::Channel;
         let mut c = Circuit::new();
-        c.push(
-            Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap(),
-        );
+        c.push(Operation::channel(Channel::bit_flip(0.5).unwrap(), vec![Qubit(0)]).unwrap());
         let sim = TableauSimulator::new(1);
-        assert!(matches!(
-            sim.sample(&c, 1),
-            Err(SimError::Unsupported(_))
-        ));
+        assert!(matches!(sim.sample(&c, 1), Err(SimError::Unsupported(_))));
     }
 
     #[test]
@@ -553,7 +547,8 @@ mod tests {
         let mut t = CliffordTableau::zero(2);
         t.apply_gate(&Gate::Rz((PI / 2.0).into()), &[0]).unwrap();
         t.apply_gate(&Gate::Rx(PI.into()), &[1]).unwrap();
-        t.apply_gate(&Gate::Rzz((PI / 2.0).into()), &[0, 1]).unwrap();
+        t.apply_gate(&Gate::Rzz((PI / 2.0).into()), &[0, 1])
+            .unwrap();
         let mut r = rng();
         // Rx(pi) = X up to phase: qubit 1 measures 1
         assert!(t.measure(1, &mut r).unwrap());

@@ -148,7 +148,9 @@ fn bgls_sampling_on_chform_matches_ideal_distribution() {
     for op in ops {
         c.push(op);
     }
-    let ideal = StateVector::from_circuit(&c, 3).unwrap().born_distribution();
+    let ideal = StateVector::from_circuit(&c, 3)
+        .unwrap()
+        .born_distribution();
 
     let sim = Simulator::new(ChForm::zero(3)).with_seed(11);
     let samples = sim.sample_final_bitstrings(&c, 40_000).unwrap();

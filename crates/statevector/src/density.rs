@@ -12,7 +12,7 @@
 use crate::kernel;
 use bgls_circuit::{Channel, Gate};
 use bgls_core::{BglsState, BitString, MarginalState, SimError};
-use bgls_linalg::{C64, Matrix};
+use bgls_linalg::{Matrix, C64};
 use rand::RngCore;
 
 /// Mixed state of `n` qubits as a vectorized `2^n x 2^n` density matrix.

@@ -5,7 +5,7 @@
 //! arbitrary k-qubit unitaries use a gather/scatter path. Large arrays are
 //! processed in parallel with Rayon over cache-aligned chunks.
 
-use bgls_linalg::{C64, Matrix};
+use bgls_linalg::{Matrix, C64};
 use rayon::prelude::*;
 
 /// Arrays at or above this length use the Rayon-parallel kernels.
@@ -84,10 +84,8 @@ fn apply_2q(amps: &mut [C64], u: &Matrix, qa: usize, qb: usize) {
             let a10 = slice[i10];
             let a11 = slice[i11];
             for (row, slot) in [i00, i01, i10, i11].into_iter().enumerate() {
-                slice[slot] = u[(row, 0)] * a00
-                    + u[(row, 1)] * a01
-                    + u[(row, 2)] * a10
-                    + u[(row, 3)] * a11;
+                slice[slot] =
+                    u[(row, 0)] * a00 + u[(row, 1)] * a01 + u[(row, 2)] * a10 + u[(row, 3)] * a11;
             }
         }
     };

@@ -211,10 +211,9 @@ mod tests {
     fn hadamard_splits_amplitude() {
         let mut sv = StateVector::zero(1);
         sv.apply_gate(&Gate::H, &[0]).unwrap();
-        assert!(
-            sv.amplitude(BitString::zeros(1))
-                .approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12)
-        );
+        assert!(sv
+            .amplitude(BitString::zeros(1))
+            .approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12));
         assert!((sv.probability(BitString::from_u64(1, 1)) - 0.5).abs() < 1e-12);
     }
 
@@ -276,8 +275,7 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let sv =
-            StateVector::from_amplitudes(vec![C64::real(3.0), C64::real(4.0)]).unwrap();
+        let sv = StateVector::from_amplitudes(vec![C64::real(3.0), C64::real(4.0)]).unwrap();
         assert!((sv.probability(BitString::zeros(1)) - 9.0 / 25.0).abs() < 1e-12);
     }
 

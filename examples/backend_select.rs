@@ -1,0 +1,74 @@
+//! Runtime backend selection: one sampling pipeline, six state
+//! representations, chosen by name the way a service front-end or config
+//! file would.
+//!
+//! ```text
+//! cargo run --example backend_select                # tour of every backend
+//! cargo run --example backend_select chform 40      # one backend, 40 qubits
+//! cargo run --example backend_select mps:8 30
+//! ```
+//!
+//! No function in this file names a concrete state type — everything
+//! routes through [`BackendKind`] and [`AnyState`], the dispatch layer
+//! every future scaling feature (sharding, batching, request routing)
+//! builds on.
+
+use bgls_apps::ghz_circuit;
+use bgls_backend::{BackendKind, SimulatorExt};
+use bgls_circuit::{Operation, Qubit};
+use bgls_core::{Simulator, SimulatorOptions};
+
+fn sample(kind: BackendKind, n: usize, reps: u64) {
+    let mut circuit = ghz_circuit(n);
+    circuit.push(Operation::measure(Qubit::range(n), "z").unwrap());
+    let start = std::time::Instant::now();
+    let result = Simulator::for_backend(kind, n, SimulatorOptions::default())
+        .with_seed(11)
+        .run(&circuit, reps)
+        .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    let elapsed = start.elapsed().as_secs_f64();
+    let h = result.histogram("z").expect("key z");
+    let zeros = h.count_value(0);
+    // saturating shift keeps n = 64 well-defined
+    let all_mask = u64::MAX >> (64 - n.min(64) as u32);
+    let ones = h.count_value(all_mask);
+    let other = reps - zeros - ones;
+    println!(
+        "{:>12}  n = {n:>2}  |0..0>: {zeros:>5}  |1..1>: {ones:>5}  other: {other:>5}  ({elapsed:.3} s)",
+        kind.name()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps = 2000;
+    match args.as_slice() {
+        [] => {
+            // the GHZ ladder is Clifford, so every backend handles it;
+            // widths are chosen per backend cost model
+            println!("GHZ sampling across every runtime-selected backend ({reps} reps):");
+            sample(BackendKind::StateVector, 16, reps);
+            sample(BackendKind::DensityMatrix, 8, reps);
+            sample(BackendKind::ChForm, 48, reps);
+            sample(BackendKind::ChainMps { chi: None }, 24, reps);
+            sample(BackendKind::ChainMps { chi: Some(8) }, 24, reps);
+            sample(BackendKind::LazyNetwork, 24, reps);
+        }
+        [kind, rest @ ..] => {
+            let kind: BackendKind = kind.parse().unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let n: usize = rest
+                .first()
+                .map(|s| {
+                    s.parse().unwrap_or_else(|_| {
+                        eprintln!("error: qubit count must be a positive integer, got '{s}'");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(16);
+            sample(kind, n, reps);
+        }
+    }
+}

@@ -1,8 +1,11 @@
 //! QAOA for MaxCut on a sparse random graph, sampled with BGLS over a
-//! chi-capped chain MPS (paper Sec. 4.4 / Figs. 8-9).
+//! runtime-selected backend — by default the paper's chi-capped chain
+//! MPS (Sec. 4.4 / Figs. 8-9).
 //!
 //! ```text
-//! cargo run --release --example mps_qaoa
+//! cargo run --release --example mps_qaoa            # mps:16, the paper setup
+//! cargo run --release --example mps_qaoa statevector
+//! cargo run --release --example mps_qaoa mps:4      # tighter bond cap
 //! ```
 //!
 //! Pipeline: Erdos-Renyi G(10, 0.3) -> 1-layer QAOA circuit -> sweep a
@@ -10,11 +13,23 @@
 //! parameters with more samples -> report the best-cut partition, checked
 //! against brute force.
 
-use bgls_apps::{brute_force_maxcut, cut_value, solve_maxcut_qaoa_mps, Graph};
+use bgls_apps::{brute_force_maxcut, cut_value, solve_maxcut_qaoa, BackendKind, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    // the backend is a runtime value: CLI arg, default = the paper's
+    // chi-capped chain MPS
+    let backend: BackendKind = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mps:16".to_string())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+    println!("backend: {backend}");
+
     let mut rng = StdRng::seed_from_u64(2023);
     let graph = Graph::erdos_renyi(10, 0.3, &mut rng);
     println!(
@@ -23,10 +38,12 @@ fn main() {
         graph.edges()
     );
 
-    let max_bond = 16; // the custom MPSOptions chi cap from the paper
-    let sol = solve_maxcut_qaoa_mps(&graph, max_bond, 8, 100, 1000, 5).expect("qaoa");
+    let sol = solve_maxcut_qaoa(&graph, backend, 8, 100, 1000, 5).expect("qaoa");
 
-    println!("\nsweep over {} (gamma, beta) points:", sol.sweep.sweep.len());
+    println!(
+        "\nsweep over {} (gamma, beta) points:",
+        sol.sweep.sweep.len()
+    );
     let mut best_rows: Vec<&(f64, f64, f64)> = sol.sweep.sweep.iter().collect();
     best_rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     println!("  {:>8} {:>8} {:>10}", "gamma", "beta", "mean cut");

@@ -8,7 +8,9 @@
 //! ```
 
 use bgls_apps::{empirical_distribution, overlap};
-use bgls_circuit::{generate_random_circuit, replace_single_qubit_gates, Gate, RandomCircuitParams};
+use bgls_circuit::{
+    generate_random_circuit, replace_single_qubit_gates, Gate, RandomCircuitParams,
+};
 use bgls_stabilizer::{near_clifford_simulator, stabilizer_extent_rz};
 use bgls_statevector::StateVector;
 use rand::rngs::StdRng;

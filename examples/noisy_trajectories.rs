@@ -7,21 +7,17 @@
 //! cargo run --release --example noisy_trajectories
 //! ```
 
+use bgls_backend::{BackendKind, SimulatorExt};
 use bgls_circuit::{Channel, Circuit, Gate, Operation, Qubit};
-use bgls_core::{BitString, Simulator};
-use bgls_statevector::{DensityMatrix, StateVector};
+use bgls_core::{BitString, Simulator, SimulatorOptions};
 
 fn noisy_ghz(n: usize, p: f64) -> Circuit {
     let mut c = Circuit::new();
     c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
     c.push(Operation::channel(Channel::bit_flip(p).unwrap(), vec![Qubit(0)]).unwrap());
     for i in 1..n {
-        c.push(
-            Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap(),
-        );
-        c.push(
-            Operation::channel(Channel::bit_flip(p).unwrap(), vec![Qubit(i as u32)]).unwrap(),
-        );
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap());
+        c.push(Operation::channel(Channel::bit_flip(p).unwrap(), vec![Qubit(i as u32)]).unwrap());
     }
     c.push(Operation::measure(Qubit::range(n), "z").unwrap());
     c
@@ -36,17 +32,24 @@ fn main() {
 
     // Path 1: quantum trajectories on the pure state (each repetition
     // samples one Kraus branch per channel; BGLS reruns per sample).
-    let traj = Simulator::new(StateVector::zero(n)).with_seed(1);
-    let r_traj = traj.run(&circuit, reps).expect("trajectories");
-
     // Path 2: exact density-matrix evolution (channels are deterministic,
-    // so the sample-parallelized path still applies).
-    let exact = Simulator::new(DensityMatrix::zero(n)).with_seed(2);
-    let r_exact = exact.run(&circuit, reps).expect("density matrix");
+    // so the sample-parallelized path still applies). Both are the same
+    // code — only the runtime BackendKind differs.
+    let run_on = |kind: BackendKind, seed: u64| {
+        Simulator::for_backend(kind, n, SimulatorOptions::default())
+            .with_seed(seed)
+            .run(&circuit, reps)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"))
+    };
+    let r_traj = run_on(BackendKind::StateVector, 1);
+    let r_exact = run_on(BackendKind::DensityMatrix, 2);
 
     let ht = r_traj.histogram("z").unwrap();
     let he = r_exact.histogram("z").unwrap();
-    println!("{:>8} {:>14} {:>14}", "outcome", "trajectories", "density-mat");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "outcome", "trajectories", "density-mat"
+    );
     for x in 0..1u64 << n {
         let b = BitString::from_u64(n, x);
         let ft = ht.frequency(b);
@@ -55,8 +58,10 @@ fn main() {
             println!("{:>8} {:>14.4} {:>14.4}", format!("{b}"), ft, fe);
         }
     }
-    let f_traj = ht.frequency(BitString::zeros(n)) + ht.frequency(BitString::from_u64(n, (1 << n) - 1));
-    let f_exact = he.frequency(BitString::zeros(n)) + he.frequency(BitString::from_u64(n, (1 << n) - 1));
+    let f_traj =
+        ht.frequency(BitString::zeros(n)) + ht.frequency(BitString::from_u64(n, (1 << n) - 1));
+    let f_exact =
+        he.frequency(BitString::zeros(n)) + he.frequency(BitString::from_u64(n, (1 << n) - 1));
     println!("\nGHZ-outcome mass: trajectories {f_traj:.4} vs exact {f_exact:.4}");
     assert!(
         (f_traj - f_exact).abs() < 0.02,

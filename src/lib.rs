@@ -2,13 +2,38 @@
 //!
 //! Umbrella crate for the BGLS reproduction workspace: re-exports every
 //! sub-crate so the examples and integration tests can use a single
-//! dependency. See `README.md` for the tour and `DESIGN.md` for the
-//! paper-to-module map.
+//! dependency. See `README.md` for the tour and crate-to-paper map.
+//!
+//! The [`backend`] module (and its re-exported [`BackendKind`] /
+//! [`AnyState`] / [`SimulatorExt`]) is the runtime dispatch layer: pick a
+//! state representation from a string or config value instead of a
+//! compile-time type.
+//!
+//! ```
+//! use bgls_suite::{BackendKind, SimulatorExt};
+//! use bgls_suite::circuit::{Circuit, Gate, Operation, Qubit};
+//! use bgls_suite::core::{Simulator, SimulatorOptions};
+//!
+//! let mut bell = Circuit::new();
+//! bell.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+//! bell.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+//! bell.push(Operation::measure(Qubit::range(2), "z").unwrap());
+//!
+//! for kind in BackendKind::all() {
+//!     let sim = Simulator::for_backend(kind, 2, SimulatorOptions::default()).with_seed(3);
+//!     let result = sim.run(&bell, 50).unwrap();
+//!     let h = result.histogram("z").unwrap();
+//!     assert_eq!(h.count_value(0b00) + h.count_value(0b11), 50);
+//! }
+//! ```
 
 pub use bgls_apps as apps;
+pub use bgls_backend as backend;
 pub use bgls_circuit as circuit;
 pub use bgls_core as core;
 pub use bgls_linalg as linalg;
 pub use bgls_mps as mps;
 pub use bgls_stabilizer as stabilizer;
 pub use bgls_statevector as statevector;
+
+pub use bgls_backend::{simulator_for, AnyState, BackendKind, SimulatorExt};

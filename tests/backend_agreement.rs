@@ -1,15 +1,17 @@
 //! Cross-backend integration: every state representation plugged into the
 //! BGLS simulator must produce the same sampling distribution on circuits
 //! it supports — the paper's core "state-agnostic" claim (Sec. 3.1).
+//!
+//! All backends here are selected at *runtime* through [`BackendKind`] /
+//! [`AnyState`]: no function signature names a concrete state type, which
+//! is exactly the property a multi-backend service front-end relies on.
 
 use bgls_suite::apps::{empirical_distribution, total_variation_distance};
 use bgls_suite::circuit::{
-    generate_random_circuit, Circuit, Gate, Operation, Qubit, RandomCircuitParams,
+    generate_random_circuit, Channel, Circuit, Gate, Operation, Qubit, RandomCircuitParams,
 };
-use bgls_suite::core::{BglsState, Simulator};
-use bgls_suite::mps::{ChainMps, LazyNetworkState, MpsOptions};
-use bgls_suite::stabilizer::ChForm;
-use bgls_suite::statevector::{DensityMatrix, StateVector};
+use bgls_suite::core::{BglsState, BitString, Simulator, SimulatorOptions};
+use bgls_suite::{AnyState, BackendKind, SimulatorExt};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,12 +19,26 @@ const N: usize = 4;
 const REPS: u64 = 20_000;
 const TVD_TOL: f64 = 0.03;
 
-fn sample_distribution<S: BglsState + Send + Sync>(state: S, circuit: &Circuit) -> Vec<f64> {
-    let samples = Simulator::new(state)
-        .with_seed(99)
+fn runtime_simulator(kind: BackendKind) -> Simulator<AnyState> {
+    Simulator::for_backend(kind, N, SimulatorOptions::default()).with_seed(99)
+}
+
+fn sample_distribution(kind: BackendKind, circuit: &Circuit) -> Vec<f64> {
+    let samples = runtime_simulator(kind)
         .sample_final_bitstrings(circuit, REPS)
-        .expect("sampling");
+        .unwrap_or_else(|e| panic!("sampling on {kind}: {e}"));
     empirical_distribution(&samples, N)
+}
+
+/// Exact Born distribution of `circuit`, computed through the same
+/// runtime dispatch layer (state-vector backend, no concrete type named).
+fn born_distribution(circuit: &Circuit) -> Vec<f64> {
+    let state = runtime_simulator(BackendKind::StateVector)
+        .final_state(circuit)
+        .expect("unitary circuit");
+    (0..1u64 << N)
+        .map(|x| state.probability(BitString::from_u64(N, x)))
+        .collect()
 }
 
 fn clifford_circuit() -> Circuit {
@@ -51,43 +67,27 @@ fn universal_circuit() -> Circuit {
 #[test]
 fn all_five_backends_agree_on_clifford_circuits() {
     let circuit = clifford_circuit();
-    let reference = StateVector::from_circuit(&circuit, N)
-        .unwrap()
-        .born_distribution();
-
-    let dists = [
-        ("statevector", sample_distribution(StateVector::zero(N), &circuit)),
-        ("density", sample_distribution(DensityMatrix::zero(N), &circuit)),
-        ("chform", sample_distribution(ChForm::zero(N), &circuit)),
-        (
-            "chain_mps",
-            sample_distribution(ChainMps::zero(N, MpsOptions::exact()), &circuit),
-        ),
-        ("lazy", sample_distribution(LazyNetworkState::zero(N), &circuit)),
-    ];
-    for (name, d) in &dists {
-        let tvd = total_variation_distance(d, &reference);
-        assert!(tvd < TVD_TOL, "{name}: TVD {tvd} vs ideal");
+    let reference = born_distribution(&circuit);
+    for kind in BackendKind::all() {
+        let d = sample_distribution(kind, &circuit);
+        let tvd = total_variation_distance(&d, &reference);
+        assert!(tvd < TVD_TOL, "{kind}: TVD {tvd} vs ideal");
     }
 }
 
 #[test]
 fn dense_and_tensor_backends_agree_on_universal_circuits() {
     let circuit = universal_circuit();
-    let reference = StateVector::from_circuit(&circuit, N)
-        .unwrap()
-        .born_distribution();
-    for (name, d) in [
-        ("statevector", sample_distribution(StateVector::zero(N), &circuit)),
-        ("density", sample_distribution(DensityMatrix::zero(N), &circuit)),
-        (
-            "chain_mps",
-            sample_distribution(ChainMps::zero(N, MpsOptions::exact()), &circuit),
-        ),
-        ("lazy", sample_distribution(LazyNetworkState::zero(N), &circuit)),
-    ] {
+    let reference = born_distribution(&circuit);
+    // the CH form is Clifford-only by design; every other backend must
+    // handle the universal gate set
+    for kind in BackendKind::all()
+        .into_iter()
+        .filter(|&k| k != BackendKind::ChForm)
+    {
+        let d = sample_distribution(kind, &circuit);
         let tvd = total_variation_distance(&d, &reference);
-        assert!(tvd < TVD_TOL, "{name}: TVD {tvd} vs ideal");
+        assert!(tvd < TVD_TOL, "{kind}: TVD {tvd} vs ideal");
     }
 }
 
@@ -96,11 +96,11 @@ fn run_interface_parity_across_backends() {
     // the Cirq-style run() must give the same histogram semantics everywhere
     let mut circuit = clifford_circuit();
     circuit.push(Operation::measure(Qubit::range(N), "z").unwrap());
-    let hv = Simulator::new(StateVector::zero(N))
+    let hv = Simulator::for_backend(BackendKind::StateVector, N, SimulatorOptions::default())
         .with_seed(5)
         .run(&circuit, 5000)
         .unwrap();
-    let hc = Simulator::new(ChForm::zero(N))
+    let hc = Simulator::for_backend(BackendKind::ChForm, N, SimulatorOptions::default())
         .with_seed(5)
         .run(&circuit, 5000)
         .unwrap();
@@ -113,17 +113,85 @@ fn run_interface_parity_across_backends() {
 
 #[test]
 fn skip_diagonal_ablation_leaves_distribution_unchanged() {
-    use bgls_suite::core::SimulatorOptions;
     let circuit = universal_circuit();
-    let reference = StateVector::from_circuit(&circuit, N)
-        .unwrap()
-        .born_distribution();
-    let sim = Simulator::new(StateVector::zero(N)).with_options(SimulatorOptions {
-        seed: Some(3),
-        skip_diagonal_updates: true,
-        ..Default::default()
-    });
+    let reference = born_distribution(&circuit);
+    let sim = Simulator::for_backend(
+        BackendKind::StateVector,
+        N,
+        SimulatorOptions {
+            seed: Some(3),
+            skip_diagonal_updates: true,
+            ..Default::default()
+        },
+    );
     let samples = sim.sample_final_bitstrings(&circuit, REPS).unwrap();
     let d = empirical_distribution(&samples, N);
     assert!(total_variation_distance(&d, &reference) < TVD_TOL);
+}
+
+/// GHZ preparation followed by a random Clifford tail: every
+/// runtime-selected backend (including a chi-capped chain MPS, which is
+/// exact here because Clifford circuits on 4 qubits stay under the cap)
+/// must agree within sampling tolerance.
+#[test]
+fn runtime_selected_backends_agree_on_ghz_plus_random_clifford() {
+    let mut circuit = Circuit::new();
+    circuit.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    for i in 1..N as u32 {
+        circuit.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+    }
+    let mut rng = StdRng::seed_from_u64(21);
+    for op in
+        generate_random_circuit(&RandomCircuitParams::clifford(N, 8), &mut rng).all_operations()
+    {
+        circuit.push(op.clone());
+    }
+
+    let reference = born_distribution(&circuit);
+    let mut kinds = BackendKind::all();
+    kinds.push(BackendKind::ChainMps { chi: Some(8) });
+    for kind in kinds {
+        let d = sample_distribution(kind, &circuit);
+        let tvd = total_variation_distance(&d, &reference);
+        assert!(tvd < TVD_TOL, "{kind}: TVD {tvd} vs ideal");
+    }
+}
+
+/// A Kraus-channel circuit through the runtime dispatch layer: the
+/// density-matrix backend keeps the deterministic-channel (multiplicity
+/// map) path while the state vector falls back to per-sample
+/// trajectories — and both must agree with each other.
+#[test]
+fn kraus_channels_agree_between_trajectories_and_density_matrix() {
+    let mut circuit = Circuit::new();
+    circuit.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    circuit.push(Operation::channel(Channel::depolarizing(0.15).unwrap(), vec![Qubit(0)]).unwrap());
+    for i in 1..N as u32 {
+        circuit.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+        circuit.push(Operation::channel(Channel::bit_flip(0.05).unwrap(), vec![Qubit(i)]).unwrap());
+    }
+    circuit.push(Operation::measure(Qubit::range(N), "z").unwrap());
+
+    // capability is queryable before running: only the density matrix
+    // applies channels deterministically
+    for kind in BackendKind::all() {
+        assert_eq!(
+            AnyState::zero(kind, N).channels_are_deterministic(),
+            kind == BackendKind::DensityMatrix,
+            "{kind}"
+        );
+    }
+
+    let exact = Simulator::for_backend(BackendKind::DensityMatrix, N, SimulatorOptions::default())
+        .with_seed(7)
+        .run(&circuit, REPS)
+        .unwrap();
+    let traj = Simulator::for_backend(BackendKind::StateVector, N, SimulatorOptions::default())
+        .with_seed(8)
+        .run(&circuit, REPS)
+        .unwrap();
+    let de = exact.histogram("z").unwrap().to_distribution();
+    let dt = traj.histogram("z").unwrap().to_distribution();
+    let tvd = total_variation_distance(&de, &dt);
+    assert!(tvd < TVD_TOL, "trajectories vs exact channels: TVD {tvd}");
 }

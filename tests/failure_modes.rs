@@ -44,7 +44,13 @@ fn circuit_wider_than_state_is_reported() {
     let err = Simulator::new(StateVector::zero(1))
         .run(&measured_bell(), 5)
         .unwrap_err();
-    assert!(matches!(err, SimError::QubitOutOfRange { index: 1, num_qubits: 1 }));
+    assert!(matches!(
+        err,
+        SimError::QubitOutOfRange {
+            index: 1,
+            num_qubits: 1
+        }
+    ));
 }
 
 #[test]
@@ -97,7 +103,11 @@ fn qasm_errors_carry_line_numbers() {
 fn arity_mismatch_rejected_at_operation_construction() {
     assert!(matches!(
         Operation::gate(Gate::Ccx, vec![Qubit(0), Qubit(1)]),
-        Err(CircuitError::ArityMismatch { expected: 3, got: 2, .. })
+        Err(CircuitError::ArityMismatch {
+            expected: 3,
+            got: 2,
+            ..
+        })
     ));
 }
 

@@ -23,7 +23,10 @@ fn sec41_clifford_sampling_pipeline() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut circuit = generate_random_circuit(&RandomCircuitParams::clifford(8, 40), &mut rng);
     circuit.push(Operation::measure(Qubit::range(8), "z").unwrap());
-    let r = Simulator::new(ChForm::zero(8)).with_seed(1).run(&circuit, 500).unwrap();
+    let r = Simulator::new(ChForm::zero(8))
+        .with_seed(1)
+        .run(&circuit, 500)
+        .unwrap();
     assert_eq!(r.histogram("z").unwrap().total(), 500);
 }
 
@@ -35,7 +38,9 @@ fn sec42_near_clifford_overlap_beats_chance_and_lags_exact() {
     let circuit = generate_random_circuit(&RandomCircuitParams::clifford_t(n, 15), &mut rng);
     let n_t = circuit.count_ops_where(|op| op.as_gate() == Some(&Gate::T));
     assert!(n_t > 0, "workload should contain T gates");
-    let ideal = StateVector::from_circuit(&circuit, n).unwrap().born_distribution();
+    let ideal = StateVector::from_circuit(&circuit, n)
+        .unwrap()
+        .born_distribution();
 
     let reps = 4000;
     let nc = near_clifford_simulator(n)
@@ -64,7 +69,9 @@ fn sec42_t_to_s_substitution_restores_exactness() {
     let ct = generate_random_circuit(&RandomCircuitParams::clifford_t(n, 15), &mut rng);
     let pure = substitute_gate(&ct, &Gate::T, &Gate::S);
     assert!(pure.is_clifford());
-    let ideal = StateVector::from_circuit(&pure, n).unwrap().born_distribution();
+    let ideal = StateVector::from_circuit(&pure, n)
+        .unwrap()
+        .born_distribution();
     let samples = near_clifford_simulator(n)
         .with_seed(4)
         .sample_final_bitstrings(&pure, 4000)
@@ -118,7 +125,10 @@ fn sec324_qasm_import_sample_export_round_trip() {
         measure q[1] -> m[1];
     "#;
     let circuit = from_qasm(src).unwrap();
-    let r = Simulator::new(StateVector::zero(2)).with_seed(7).run(&circuit, 1000).unwrap();
+    let r = Simulator::new(StateVector::zero(2))
+        .with_seed(7)
+        .run(&circuit, 1000)
+        .unwrap();
     let h = r.histogram("m").unwrap();
     assert_eq!(h.count_value(0b00) + h.count_value(0b11), 1000);
     // export, re-import, unitaries agree
@@ -143,12 +153,17 @@ fn sec322_optimizer_preserves_sampling_distribution() {
     let merged = optimize_for_bgls(&raw);
     assert!(merged.num_operations() < raw.num_operations());
 
-    let d_raw = StateVector::from_circuit(&raw, 4).unwrap().born_distribution();
+    let d_raw = StateVector::from_circuit(&raw, 4)
+        .unwrap()
+        .born_distribution();
     let samples = Simulator::new(StateVector::zero(4))
         .with_seed(8)
         .sample_final_bitstrings(&merged, 20_000)
         .unwrap();
     let d_merged = empirical_distribution(&samples, 4);
     let ov = overlap(&d_merged, &d_raw);
-    assert!(ov > 0.97, "merged circuit distribution drifted: overlap {ov}");
+    assert!(
+        ov > 0.97,
+        "merged circuit distribution drifted: overlap {ov}"
+    );
 }

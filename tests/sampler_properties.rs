@@ -124,7 +124,10 @@ fn noisy_mps_trajectories_match_density_matrix() {
     let d1 = r_mps.histogram("z").unwrap().to_distribution();
     let d2 = r_dm.histogram("z").unwrap().to_distribution();
     let tvd = total_variation_distance(&d1, &d2);
-    assert!(tvd < 0.03, "TVD between MPS trajectories and exact DM: {tvd}");
+    assert!(
+        tvd < 0.03,
+        "TVD between MPS trajectories and exact DM: {tvd}"
+    );
 }
 
 #[test]
@@ -132,7 +135,9 @@ fn brickwork_sampling_matches_born_distribution() {
     use bgls_suite::apps::brickwork_circuit;
     let mut rng = StdRng::seed_from_u64(11);
     let circuit = brickwork_circuit(5, 8, &mut rng);
-    let ideal = StateVector::from_circuit(&circuit, 5).unwrap().born_distribution();
+    let ideal = StateVector::from_circuit(&circuit, 5)
+        .unwrap()
+        .born_distribution();
     let samples = Simulator::new(StateVector::zero(5))
         .with_seed(3)
         .sample_final_bitstrings(&circuit, 40_000)

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's tests use: the `proptest!` macro
+//! with `name(arg in range, ...)` signatures, `#![proptest_config(...)]`
+//! with [`ProptestConfig::with_cases`], and `prop_assert!` /
+//! `prop_assert_eq!`. Inputs are drawn from the range strategies with a
+//! deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce exactly across runs and machines. No shrinking: the failing
+//! case's inputs are printed instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property within a test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Value-generation strategies. Only half-open integer ranges are needed
+/// by this workspace.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Runs `cases` deterministic cases of a property, panicking with the
+/// case inputs on the first failure. Used by the `proptest!` expansion.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+{
+    // Deterministic seed from the test name (FNV-1a) so each test gets
+    // its own reproducible stream.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case_idx in 0..config.cases {
+        let (inputs, outcome) = case(&mut rng);
+        if let Err(e) = outcome {
+            panic!(
+                "proptest case {case_idx}/{} failed for {test_name}({inputs}): {}",
+                config.cases, e.message
+            );
+        }
+    }
+}
+
+/// The property-test macro, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::pick(&($strategy), __proptest_rng);)+
+                    let __proptest_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __proptest_outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    (__proptest_inputs, __proptest_outcome)
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{}: {:?} != {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{}: {:?} == {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(25))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in 3usize..7) {
+            prop_assert!(a < 100, "a = {a}");
+            prop_assert!((3..7).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(b, b + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in -5i64..5) {
+            prop_assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        let config = ProptestConfig::with_cases(10);
+        crate::run_cases(&config, "demo", |rng| {
+            let v: u64 = crate::Strategy::pick(&(0u64..10), rng);
+            (
+                format!("v = {v}"),
+                Err(crate::TestCaseError::fail("always fails")),
+            )
+        });
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Binomial`] distribution (the only one this workspace
+//! uses — it drives the chained-binomial multinomial split in
+//! `bgls_core::multinomial_split`). Sampling strategy:
+//!
+//! * small expected count (`n·min(p,1-p) <= 30`): exact CDF inversion via
+//!   the pmf recurrence;
+//! * tiny `n` (`<= 64`): exact Bernoulli counting;
+//! * otherwise: normal approximation with continuity correction, clamped
+//!   to `[0, n]` — indistinguishable from exact at the `n·p·q >~ 15`
+//!   scales where it is used.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore};
+
+/// A distribution over values of type `T`, sampled with any RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinomialError {
+    /// `p` was outside `[0, 1]` or not finite.
+    ProbabilityOutOfRange,
+}
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "binomial probability must lie in [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+/// The binomial distribution `Bin(n, p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Constructs `Bin(n, p)`; fails when `p` is not a probability.
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(BinomialError::ProbabilityOutOfRange);
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        // Work with q = min(p, 1-p) and flip the result back if needed.
+        let flipped = p > 0.5;
+        let q = if flipped { 1.0 - p } else { p };
+        let mean = n as f64 * q;
+
+        let k = if n <= 64 {
+            (0..n).filter(|_| rng.gen_bool(q)).count() as u64
+        } else if mean <= 30.0 {
+            sample_inversion(n, q, rng)
+        } else {
+            sample_normal_approx(n, q, rng)
+        };
+        if flipped {
+            n - k
+        } else {
+            k
+        }
+    }
+}
+
+/// Exact CDF inversion: walk `P(X = k)` upward from `k = 0` using the
+/// recurrence `p_{k+1} = p_k · (n-k)/(k+1) · q/(1-q)`. Safe because the
+/// caller guarantees `n·q <= 30`, so `(1-q)^n >= e^{-31}` never
+/// underflows.
+fn sample_inversion<R: RngCore + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
+    let ratio = q / (1.0 - q);
+    let mut pmf = ((1.0 - q).ln() * n as f64).exp();
+    if pmf == 0.0 {
+        // extreme underflow fallback (not reachable under the <= 30 mean
+        // contract, kept for safety)
+        return sample_normal_approx(n, q, rng);
+    }
+    let mut u: f64 = rng.gen::<f64>();
+    let mut k = 0u64;
+    loop {
+        if u < pmf || k == n {
+            return k;
+        }
+        u -= pmf;
+        pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        k += 1;
+    }
+}
+
+/// Normal approximation with continuity correction, clamped to `[0, n]`.
+fn sample_normal_approx<R: RngCore + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
+    let mean = n as f64 * q;
+    let sd = (n as f64 * q * (1.0 - q)).sqrt();
+    // Box–Muller
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let k = (mean + sd * z + 0.5).floor();
+    k.clamp(0.0, n as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(9, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(9, 1.0).unwrap().sample(&mut rng), 9);
+    }
+
+    fn check_moments(n: u64, p: f64, draws: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Binomial::new(n, p).unwrap();
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..draws {
+            let k = d.sample(&mut rng);
+            assert!(k <= n);
+            sum += k as f64;
+            sum2 += (k as f64) * (k as f64);
+        }
+        let mean = sum / draws as f64;
+        let var = sum2 / draws as f64 - mean * mean;
+        let true_mean = n as f64 * p;
+        let true_var = n as f64 * p * (1.0 - p);
+        let mean_tol = 5.0 * (true_var / draws as f64).sqrt().max(1e-9) + 0.6;
+        assert!(
+            (mean - true_mean).abs() < mean_tol,
+            "n={n} p={p}: mean {mean} vs {true_mean}"
+        );
+        assert!(
+            (var - true_var).abs() < 0.15 * true_var + 1.0,
+            "n={n} p={p}: var {var} vs {true_var}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_counting_regime() {
+        check_moments(40, 0.3, 20_000, 1);
+    }
+
+    #[test]
+    fn inversion_regime() {
+        // n large, mean small -> CDF inversion
+        check_moments(10_000, 0.001, 20_000, 2);
+    }
+
+    #[test]
+    fn normal_approx_regime() {
+        check_moments(100_000, 0.25, 20_000, 3);
+        check_moments(1_000, 0.5, 20_000, 4);
+    }
+
+    #[test]
+    fn flipped_high_p_regime() {
+        check_moments(10_000, 0.999, 20_000, 5);
+    }
+}

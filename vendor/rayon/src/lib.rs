@@ -1,0 +1,323 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses
+//! (`into_par_iter`, `par_iter`, `par_iter_mut`, `par_chunks_mut`, `map`,
+//! `for_each`, `sum`, `collect`, `try_reduce`) on top of `std::thread`
+//! scoped threads with static work partitioning. Items are materialized
+//! up front and split into one contiguous block per worker, which
+//! preserves ordering guarantees for `collect`.
+//!
+//! Not a work-stealing scheduler — long-tail imbalance is possible — but
+//! the call sites here (per-trajectory simulation, state-vector kernels)
+//! have near-uniform item cost. Set `RAYON_NUM_THREADS=1` to force
+//! sequential execution.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Glob-importable entry points, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` when set, else the
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Evaluates `f` over `items` across threads, preserving input order in
+/// the output.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(rest.len() - chunk_len);
+        blocks.push(tail);
+    }
+    blocks.push(rest);
+    blocks.reverse(); // split_off peeled from the back; restore order
+
+    let f = &f;
+    let results: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| s.spawn(move || block.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A materialized "parallel" iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (evaluated in parallel at the terminal
+    /// operation).
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, U, F> {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    /// Sums the items in parallel.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S
+    where
+        T: Send,
+    {
+        self.items.into_iter().sum()
+    }
+}
+
+/// A mapped parallel iterator: the deferred `map` stage.
+pub struct ParMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<T, U, F> ParMap<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Evaluates the map in parallel and collects in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Evaluates the map in parallel and sums the results.
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        parallel_map(self.items, self.f).into_iter().sum()
+    }
+
+    /// Runs the mapped function for its side effects.
+    pub fn for_each(self, g: impl Fn(U) + Sync) {
+        let f = self.f;
+        parallel_map(self.items, move |t| g(f(t)));
+    }
+}
+
+impl<T, A, E, F> ParMap<T, Result<A, E>, F>
+where
+    T: Send,
+    A: Send,
+    E: Send,
+    F: Fn(T) -> Result<A, E> + Sync,
+{
+    /// Fallible reduction mirroring rayon's `try_reduce`: computes all
+    /// items, then folds the `Ok` values with `op`, short-circuiting on
+    /// the first `Err`.
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Result<A, E>
+    where
+        ID: Fn() -> A + Sync,
+        OP: Fn(A, A) -> Result<A, E> + Sync,
+    {
+        let results = parallel_map(self.items, self.f);
+        let mut acc = identity();
+        for r in results {
+            acc = op(acc, r?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize, i32, i64);
+
+macro_rules! impl_range_inclusive_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_inclusive_par!(u32, u64, usize, i32, i64);
+
+/// Parallel views over shared slices (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size >= 1);
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// Parallel views over mutable slices (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel iterator over mutable chunks of at most `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size >= 1);
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_result_short_circuits() {
+        let ok: Result<Vec<u64>, String> = (0u64..100).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = (0u64..100)
+            .into_par_iter()
+            .map(|x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_everything() {
+        let mut v = vec![1i64; 10_000];
+        v.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_iter_map_sum() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s: f64 = v.par_iter().map(|x| x * 2.0).sum();
+        assert_eq!(s, 999.0 * 1000.0);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each() {
+        let mut v = vec![3u32; 500];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert!(v.iter().all(|&x| x == 6));
+    }
+
+    #[test]
+    fn try_reduce_merges_and_propagates_errors() {
+        let sum = (1u64..=100)
+            .into_par_iter()
+            .map(Ok::<u64, String>)
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(sum.unwrap(), 5050);
+        let err = (1u64..=100)
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(err.unwrap_err(), "seven");
+    }
+}

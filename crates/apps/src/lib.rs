@@ -30,7 +30,8 @@ mod workloads;
 pub use graph::Graph;
 pub use maxcut::{brute_force_maxcut, cut_value, mean_cut};
 pub use metrics::{
-    classical_fidelity, empirical_distribution, linear_xeb, overlap, total_variation_distance,
+    chi_squared_fits, chi_squared_statistic, chi_squared_threshold, classical_fidelity,
+    empirical_distribution, linear_xeb, overlap, total_variation_distance,
 };
 pub use observables::{maxcut_energy_expectation, z_string_expectation, z_string_standard_error};
 pub use qaoa::{

@@ -61,6 +61,60 @@ pub fn classical_fidelity(p: &[f64], q: &[f64]) -> f64 {
     bc * bc
 }
 
+/// Pearson chi-squared statistic of observed counts against expected
+/// (unnormalized) weights: `sum_i (o_i - e_i)^2 / e_i` with
+/// `e_i = total * w_i / sum(w)`. Zero-weight bins contribute nothing when
+/// empty and `+inf` when any count landed in them.
+pub fn chi_squared_statistic(observed: &[u64], expected_weights: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected_weights.len());
+    let total: u64 = observed.iter().sum();
+    let mass: f64 = expected_weights.iter().sum();
+    assert!(mass > 0.0, "expected weights must have positive mass");
+    let n = total as f64;
+    let mut stat = 0.0;
+    for (&o, &w) in observed.iter().zip(expected_weights) {
+        let e = n * w / mass;
+        if e <= 0.0 {
+            if o > 0 {
+                return f64::INFINITY;
+            }
+            continue;
+        }
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
+/// Upper chi-squared quantile via the Wilson–Hilferty cube-root
+/// approximation: the value a chi-squared variable with `df` degrees of
+/// freedom exceeds with the tail probability of a `sigmas`-sigma normal
+/// deviate. Slightly conservative (larger than exact) at small `df`,
+/// accurate to a few percent otherwise — exactly what a statistical test
+/// bound wants.
+pub fn chi_squared_threshold(df: usize, sigmas: f64) -> f64 {
+    assert!(df >= 1, "need at least one degree of freedom");
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + sigmas * (2.0 / (9.0 * k)).sqrt();
+    k * t.max(0.0).powi(3)
+}
+
+/// True when observed counts are statistically consistent with the
+/// expected weights: chi-squared statistic below the `sigmas`-sigma
+/// threshold at `df = (positive-weight bins) - 1`. This is the shared
+/// replacement for ad-hoc "loose 5-sigma" count windows in statistical
+/// tests; `sigmas = 5.0` keeps the false-failure probability per test
+/// well below `1e-6`.
+pub fn chi_squared_fits(observed: &[u64], expected_weights: &[f64], sigmas: f64) -> bool {
+    let df = expected_weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .count()
+        .saturating_sub(1)
+        .max(1);
+    chi_squared_statistic(observed, expected_weights) <= chi_squared_threshold(df, sigmas)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +178,50 @@ mod tests {
     fn empty_samples_give_zero_distribution() {
         let p = empirical_distribution(&[], 2);
         assert_eq!(p, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn chi_squared_statistic_matches_hand_computation() {
+        // 60/40 observed against a fair coin: (60-50)^2/50 * 2 = 4
+        let stat = chi_squared_statistic(&[60, 40], &[1.0, 1.0]);
+        assert!((stat - 4.0).abs() < 1e-12, "stat = {stat}");
+        // perfect agreement scores zero
+        assert_eq!(chi_squared_statistic(&[25, 75], &[0.25, 0.75]), 0.0);
+        // counts in a zero-weight bin are an unconditional failure
+        assert_eq!(chi_squared_statistic(&[1, 99], &[0.0, 1.0]), f64::INFINITY);
+        assert_eq!(chi_squared_statistic(&[0, 100], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn chi_squared_threshold_is_sane() {
+        // df = 1 at 5 sigma: exact quantile is ~26.3; Wilson–Hilferty is
+        // conservative but the right order
+        let t1 = chi_squared_threshold(1, 5.0);
+        assert!(t1 > 20.0 && t1 < 40.0, "t1 = {t1}");
+        // large df: threshold approaches df + sigmas * sqrt(2 df)
+        let t100 = chi_squared_threshold(100, 5.0);
+        let gauss = 100.0 + 5.0 * (200.0f64).sqrt();
+        assert!((t100 - gauss).abs() / gauss < 0.10, "t100 = {t100}");
+        // monotone in both arguments
+        assert!(chi_squared_threshold(10, 5.0) > chi_squared_threshold(10, 3.0));
+        assert!(chi_squared_threshold(20, 5.0) > chi_squared_threshold(10, 5.0));
+    }
+
+    #[test]
+    fn chi_squared_fits_accepts_fair_samples_and_rejects_biased_ones() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        assert!(chi_squared_fits(&counts, &[1.0; 4], 5.0));
+        // grossly biased observations fail even a generous bound
+        assert!(!chi_squared_fits(
+            &[30_000, 4000, 3000, 3000],
+            &[1.0; 4],
+            5.0
+        ));
     }
 }

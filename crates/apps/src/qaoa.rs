@@ -7,7 +7,7 @@ use crate::graph::Graph;
 use crate::maxcut::{cut_value, mean_cut};
 use bgls_backend::{AnyState, BackendKind};
 use bgls_circuit::{Circuit, Gate, Operation, Param, ParamResolver, Qubit};
-use bgls_core::{BglsState, BitString, SimError, Simulator};
+use bgls_core::{BglsState, BitString, SimError, Simulator, SimulatorOptions};
 
 /// Builds a `p`-layer QAOA MaxCut circuit with symbolic parameters
 /// `gamma0..` and `beta0..`. The cost layer applies `Rzz(-gamma)` per
@@ -118,6 +118,12 @@ where
 /// Any [`BackendKind`] works as long as it supports the QAOA gate set
 /// (`H`, `Rzz`, `Rx`); the paper's configuration is
 /// `BackendKind::ChainMps { chi: Some(max_bond) }`.
+///
+/// Runs on the batched hot path: candidate probabilities go through the
+/// backend's `probabilities_batch` (environment sharing on the MPS), and
+/// `fuse_gates` merges each vertex's `H`/`Rx` runs before sampling. Every
+/// backend this pipeline accepts consumes arbitrary `U1` matrices, so
+/// fusion is always safe here.
 pub fn solve_maxcut_qaoa(
     graph: &Graph,
     backend: BackendKind,
@@ -128,7 +134,12 @@ pub fn solve_maxcut_qaoa(
 ) -> Result<QaoaSolution, SimError> {
     let n = graph.num_vertices();
     let circuit = qaoa_maxcut_circuit(graph, 1);
-    let make = || Simulator::new(AnyState::zero(backend, n)).with_seed(seed);
+    let options = SimulatorOptions {
+        seed: Some(seed),
+        fuse_gates: true,
+        ..Default::default()
+    };
+    let make = || Simulator::new(AnyState::zero(backend, n)).with_options(options.clone());
     let sweep = qaoa_sweep(graph, &circuit, make, grid, samples_per_point)?;
     let bound = resolve_qaoa(&circuit, &[sweep.best_params.0], &[sweep.best_params.1]);
     let samples = make().sample_final_bitstrings(&bound, final_samples)?;

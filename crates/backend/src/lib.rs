@@ -231,6 +231,12 @@ impl BglsState for AnyState {
         dispatch!(self, s => s.probability(bits))
     }
 
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        // one dispatch for the whole batch, then the wrapped backend's
+        // specialized batch evaluation
+        dispatch!(self, s => s.probabilities_batch(candidates))
+    }
+
     fn apply_kraus(
         &mut self,
         channel: &Channel,
@@ -328,6 +334,26 @@ mod tests {
                 kind.channels_are_deterministic(),
                 "{kind}"
             );
+        }
+    }
+
+    #[test]
+    fn probabilities_batch_matches_scalar_on_every_backend() {
+        use bgls_core::BitString;
+        let n = 3;
+        for kind in BackendKind::all() {
+            let sim = simulator_for(kind, n).with_seed(1);
+            let state = sim.final_state(&ghz(n)).unwrap();
+            let base = BitString::zeros(n);
+            let cands = base.candidates(&[0, 1, 2]);
+            let batched = state.probabilities_batch(&cands);
+            for (c, p) in cands.iter().zip(&batched) {
+                assert_eq!(
+                    p.to_bits(),
+                    state.probability(*c).to_bits(),
+                    "{kind}: candidate {c}"
+                );
+            }
         }
     }
 

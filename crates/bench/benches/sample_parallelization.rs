@@ -1,15 +1,21 @@
 //! Bench: the multiplicity-map sample parallelization (paper Fig. 2):
-//! runtime saturates with repetitions when enabled.
+//! runtime saturates with repetitions when enabled — plus the batched vs
+//! scalar candidate-probability paths on the saturated map.
 
 use bgls_bench::universal_workload;
-use bgls_circuit::{Operation, Qubit};
+use bgls_circuit::{Circuit, Operation, Qubit};
 use bgls_core::{Simulator, SimulatorOptions};
 use bgls_statevector::StateVector;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+fn workload(qubits: usize, moments: usize) -> Circuit {
+    let mut circuit = universal_workload(qubits, moments, 42);
+    circuit.push(Operation::measure(Qubit::range(qubits), "m").unwrap());
+    circuit
+}
+
 fn bench_parallelization(c: &mut Criterion) {
-    let mut circuit = universal_workload(8, 20, 42);
-    circuit.push(Operation::measure(Qubit::range(8), "m").unwrap());
+    let circuit = workload(8, 20);
     let mut group = c.benchmark_group("sample_parallelization");
     group.sample_size(10);
     for &reps in &[16u64, 256, 4096] {
@@ -32,5 +38,27 @@ fn bench_parallelization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallelization);
+/// Scalar vs batched candidate evaluation at a repetition count that
+/// saturates the 8-qubit multiplicity map (every basis state populated),
+/// where candidate-probability evaluation dominates the step cost.
+fn bench_batched_redistribution(c: &mut Criterion) {
+    let circuit = workload(8, 20);
+    let mut group = c.benchmark_group("sample_parallelization_batched");
+    group.sample_size(10);
+    let reps = 100_000u64;
+    for (label, batch) in [("scalar", false), ("batched", true)] {
+        group.bench_function(label, |b| {
+            let sim = Simulator::new(StateVector::zero(8)).with_options(SimulatorOptions {
+                seed: Some(7),
+                batch_probabilities: batch,
+                parallel_redistribution: batch,
+                ..Default::default()
+            });
+            b.iter(|| sim.run(&circuit, reps).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelization, bench_batched_redistribution);
 criterion_main!(benches);

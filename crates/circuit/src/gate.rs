@@ -341,13 +341,20 @@ impl Gate {
     }
 
     /// True for gates whose matrix is diagonal in the computational basis.
-    /// The lazy tensor-network state uses this to insert cheap bonds.
+    /// The lazy tensor-network state uses this to insert cheap bonds, and
+    /// the sampler's `skip_diagonal_updates` option elides the bitstring
+    /// update. Named diagonal gates are recognized syntactically;
+    /// explicit-matrix gates (`U1`/`U2`/`U`, including the output of
+    /// [`crate::fuse`] on a run of diagonal gates) are checked entry-wise,
+    /// so fused diagonal runs keep their diagonal flag.
     pub fn is_diagonal(&self) -> bool {
         use Gate::*;
-        matches!(
-            self,
-            I | Z | S | Sdg | T | Tdg | Rz(_) | ZPow(_) | Cz | CPhase(_) | Rzz(_) | Ccz
-        )
+        match self {
+            I | Z | S | Sdg | T | Tdg | Rz(_) | ZPow(_) | Cz | CPhase(_) | Rzz(_) | Ccz => true,
+            U1(m) | U2(m) => m.is_diagonal(1e-12),
+            U(m, _) => m.is_diagonal(1e-12),
+            _ => false,
+        }
     }
 
     /// Validates and wraps a custom matrix as a gate of the right arity.
@@ -499,6 +506,15 @@ mod tests {
         assert!(Gate::Rz(0.3.into()).is_diagonal());
         assert!(!Gate::Cnot.is_diagonal());
         assert!(!Gate::H.is_diagonal());
+        // explicit matrices are checked entry-wise
+        let tt = Gate::T
+            .unitary()
+            .unwrap()
+            .matmul(&Gate::S.unitary().unwrap());
+        assert!(Gate::U1(Arc::new(tt)).is_diagonal());
+        assert!(!Gate::U1(Arc::new(Gate::H.unitary().unwrap())).is_diagonal());
+        assert!(Gate::U2(Arc::new(Gate::Cz.unitary().unwrap())).is_diagonal());
+        assert!(Gate::U(Arc::new(Gate::Ccz.unitary().unwrap()), 3).is_diagonal());
         // verify against the matrix for a sample
         let u = Gate::Rzz(0.7.into()).unitary().unwrap();
         for i in 0..4 {

@@ -9,7 +9,8 @@
 //!   (paper Sec. 4.4);
 //! * [`Channel`] — Kraus channels for noisy simulation via trajectories
 //!   (Sec. 3.2.1);
-//! * [`optimize_for_bgls`] — single-qubit-run merging (Sec. 3.2.2);
+//! * [`fuse`] / [`optimize_for_bgls`] — single-qubit-run merging
+//!   (Sec. 3.2.2), the pass behind the simulator's `fuse_gates` knob;
 //! * [`generate_random_circuit`] — random-circuit workloads (Sec. 4.1.3);
 //! * [`to_qasm`] / [`from_qasm`] — OpenQASM 2.0 interop (Sec. 3.2.4).
 
@@ -43,4 +44,4 @@ pub use qubit::Qubit;
 pub use random::{
     generate_random_circuit, replace_single_qubit_gates, substitute_gate, RandomCircuitParams,
 };
-pub use transform::{drop_identities, merge_single_qubit_gates, optimize_for_bgls};
+pub use transform::{drop_identities, fuse, merge_single_qubit_gates, optimize_for_bgls};

@@ -75,10 +75,25 @@ pub fn drop_identities(circuit: &Circuit) -> Circuit {
     out
 }
 
-/// The full BGLS-oriented optimization pipeline: merge single-qubit runs,
-/// then drop identity operations.
-pub fn optimize_for_bgls(circuit: &Circuit) -> Circuit {
+/// The sampler-facing fusion pass behind `SimulatorOptions::fuse_gates`:
+/// merges maximal runs of adjacent single-qubit gates on each qubit into
+/// one [`Gate::U1`] (exact matrix products, nothing approximated), then
+/// drops operations that fused to the identity.
+///
+/// A fused run of diagonal gates produces a diagonal matrix —
+/// off-diagonal entries stay exactly zero under diagonal products — which
+/// [`Gate::is_diagonal`] recognizes entry-wise, so the sampler's
+/// `skip_diagonal_updates` optimization keeps firing on fused circuits.
+/// Measurements, channels, multi-qubit gates, and parameterized gates act
+/// as barriers and are kept verbatim.
+pub fn fuse(circuit: &Circuit) -> Circuit {
     drop_identities(&merge_single_qubit_gates(circuit))
+}
+
+/// The full BGLS-oriented optimization pipeline (paper Sec. 3.2.2) —
+/// today identical to [`fuse`], kept under the paper's name.
+pub fn optimize_for_bgls(circuit: &Circuit) -> Circuit {
+    fuse(circuit)
 }
 
 /// True when `m ~= e^{i phi} I` for some phase.
@@ -183,6 +198,45 @@ mod tests {
         c.push(op(Gate::Tdg, &[0]));
         let opt = optimize_for_bgls(&c);
         assert_eq!(opt.num_operations(), 0);
+    }
+
+    #[test]
+    fn fused_diagonal_runs_stay_flagged_diagonal() {
+        // T S Z on one qubit: every factor diagonal, so the fused U1 must
+        // still report is_diagonal (skip_diagonal_updates relies on it).
+        let mut c = Circuit::new();
+        for g in [Gate::T, Gate::S, Gate::Z] {
+            c.push(op(g, &[0]));
+        }
+        let fused = fuse(&c);
+        assert_eq!(fused.num_operations(), 1);
+        let gate = fused.all_operations().next().unwrap().as_gate().unwrap();
+        assert!(matches!(gate, Gate::U1(_)));
+        assert!(gate.is_diagonal());
+
+        // a non-diagonal factor clears the flag
+        let mut c = Circuit::new();
+        for g in [Gate::T, Gate::H, Gate::Z] {
+            c.push(op(g, &[0]));
+        }
+        let fused = fuse(&c);
+        let gate = fused.all_operations().next().unwrap().as_gate().unwrap();
+        assert!(!gate.is_diagonal());
+    }
+
+    #[test]
+    fn fuse_preserves_unitary_and_drops_identities() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::H, &[0])); // cancels
+        c.push(op(Gate::S, &[1]));
+        c.push(op(Gate::T, &[1]));
+        let fused = fuse(&c);
+        // qubit 0 fused away entirely, qubit 1 fused to one U1
+        assert_eq!(fused.num_operations(), 1);
+        let u = c.unitary(2).unwrap();
+        let v = fused.unitary(2).unwrap();
+        assert!(u.approx_eq(&v, 1e-12));
     }
 
     #[test]

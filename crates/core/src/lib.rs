@@ -32,5 +32,7 @@ pub use baseline::QubitByQubitSimulator;
 pub use bitstring::BitString;
 pub use error::SimError;
 pub use results::{Histogram, RunResult};
-pub use simulator::{categorical, multinomial_split, ApplyFn, ProbFn, Simulator, SimulatorOptions};
+pub use simulator::{
+    categorical, multinomial_split, ApplyFn, BatchProbFn, ProbFn, Simulator, SimulatorOptions,
+};
 pub use state::{AmplitudeState, BglsState, MarginalState};

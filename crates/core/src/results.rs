@@ -124,6 +124,16 @@ impl RunResult {
         self.repetitions
     }
 
+    /// Returns the result with the reported repetition count replaced.
+    ///
+    /// [`RunResult::merge`] sums the per-chunk counts, so parallel
+    /// reducers that fold many single-repetition results set the true
+    /// total once at the end instead of rebuilding every histogram.
+    pub fn with_repetitions(mut self, repetitions: u64) -> Self {
+        self.repetitions = repetitions;
+        self
+    }
+
     /// Records an outcome under `key`.
     pub fn record(&mut self, key: &str, outcome: BitString, count: u64) {
         self.records
@@ -213,6 +223,15 @@ mod tests {
         assert_eq!(a.histogram("z").unwrap().total(), 10);
         assert_eq!(a.histogram("z").unwrap().count_value(0), 7);
         assert_eq!(a.keys(), vec!["y", "z"]);
+    }
+
+    #[test]
+    fn with_repetitions_overrides_count_only() {
+        let mut r = RunResult::new(3);
+        r.record("z", BitString::from_u64(1, 1), 3);
+        let r = r.with_repetitions(10);
+        assert_eq!(r.repetitions(), 10);
+        assert_eq!(r.histogram("z").unwrap().total(), 3);
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub type ApplyFn<S> =
 /// `compute_probability`).
 pub type ProbFn<S> = Arc<dyn Fn(&S, BitString) -> f64 + Send + Sync>;
 
+/// Hook computing a whole candidate set's probabilities at once — the
+/// batched companion of [`ProbFn`], wired to
+/// [`crate::BglsState::probabilities_batch`] by [`Simulator::new`].
+/// Custom hooks must honor the same determinism contract: each returned
+/// value bit-identical to the scalar hook's answer for that candidate.
+pub type BatchProbFn<S> = Arc<dyn Fn(&S, &[BitString]) -> Vec<f64> + Send + Sync>;
+
 /// Tuning knobs for [`Simulator`].
 #[derive(Clone, Debug)]
 pub struct SimulatorOptions {
@@ -52,6 +59,25 @@ pub struct SimulatorOptions {
     /// Use Rayon to spread trajectory repetitions across threads
     /// (default `true`).
     pub parallel_trajectories: bool,
+    /// Evaluate candidate probabilities through the batched hook when one
+    /// is installed (default `true`). `false` forces the scalar
+    /// per-candidate hook — same samples, useful for benchmarking the
+    /// batched path against its baseline.
+    pub batch_probabilities: bool,
+    /// Spread the multiplicity-map redistribution across Rayon threads
+    /// when the map is large (default `true`). Every map entry draws from
+    /// its own RNG stream derived from the step seed, so results are
+    /// bit-identical whether this is on or off.
+    pub parallel_redistribution: bool,
+    /// Run [`bgls_circuit::fuse`] on circuits before sampling them
+    /// (default `false`): merges runs of adjacent single-qubit gates so
+    /// the sampler updates its bitstring once per run. Preserves the
+    /// sampling distribution exactly but changes the gate sequence, so
+    /// seeded samples differ from unfused runs (except when fusion leaves
+    /// the operation count unchanged). Requires a backend that accepts
+    /// [`bgls_circuit::Gate::U1`] matrices (stabilizer states accept only
+    /// Clifford ones).
+    pub fuse_gates: bool,
 }
 
 impl Default for SimulatorOptions {
@@ -61,6 +87,9 @@ impl Default for SimulatorOptions {
             parallelize_samples: true,
             skip_diagonal_updates: false,
             parallel_trajectories: true,
+            batch_probabilities: true,
+            parallel_redistribution: true,
+            fuse_gates: false,
         }
     }
 }
@@ -70,6 +99,10 @@ pub struct Simulator<S: BglsState> {
     initial_state: S,
     apply_op: ApplyFn<S>,
     compute_probability: ProbFn<S>,
+    /// Batched candidate-probability hook; `None` falls back to looping
+    /// `compute_probability` (the case for [`Simulator::with_hooks`],
+    /// whose custom scalar hook must stay authoritative).
+    compute_probabilities_batch: Option<BatchProbFn<S>>,
     /// Custom apply hooks may be stochastic (e.g. sum-over-Cliffords), in
     /// which case each sample must re-run the circuit.
     stochastic_apply: bool,
@@ -82,6 +115,7 @@ impl<S: BglsState> Clone for Simulator<S> {
             initial_state: self.initial_state.clone(),
             apply_op: self.apply_op.clone(),
             compute_probability: self.compute_probability.clone(),
+            compute_probabilities_batch: self.compute_probabilities_batch.clone(),
             stochastic_apply: self.stochastic_apply,
             options: self.options.clone(),
         }
@@ -105,10 +139,13 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             OpKind::Measure { .. } => Ok(()), // handled by the sampler
         });
         let prob: ProbFn<S> = Arc::new(|state, bits| state.probability(bits));
+        let batch: BatchProbFn<S> =
+            Arc::new(|state, candidates| state.probabilities_batch(candidates));
         Simulator {
             initial_state,
             apply_op: apply,
             compute_probability: prob,
+            compute_probabilities_batch: Some(batch),
             stochastic_apply: false,
             options: SimulatorOptions::default(),
         }
@@ -118,6 +155,10 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     /// constructor. `stochastic_apply` must be `true` when the hook draws
     /// randomness (disables sample parallelization so each repetition
     /// explores its own branch).
+    ///
+    /// No batched probability hook is installed (the custom scalar hook
+    /// stays authoritative for every candidate); add one with
+    /// [`Simulator::with_batch_hook`] when a batched evaluation exists.
     pub fn with_hooks(
         initial_state: S,
         apply_op: ApplyFn<S>,
@@ -128,9 +169,18 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             initial_state,
             apply_op,
             compute_probability,
+            compute_probabilities_batch: None,
             stochastic_apply,
             options: SimulatorOptions::default(),
         }
+    }
+
+    /// Installs a batched candidate-probability hook. The hook must
+    /// return, per candidate, exactly what the scalar hook would — see
+    /// [`BatchProbFn`].
+    pub fn with_batch_hook(mut self, hook: BatchProbFn<S>) -> Self {
+        self.compute_probabilities_batch = Some(hook);
+        self
     }
 
     /// Replaces the options.
@@ -185,6 +235,13 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     /// Runs the circuit for `repetitions` and returns measurement
     /// histograms, Cirq-style. The circuit must contain at least one
     /// measurement.
+    ///
+    /// Determinism: with a fixed seed the returned histograms are
+    /// bit-identical regardless of `batch_probabilities` and
+    /// `parallel_redistribution` (and, on the trajectory path, regardless
+    /// of `parallel_trajectories`). `fuse_gates` changes the executed
+    /// gate sequence, so it preserves the distribution but not the
+    /// individual seeded samples.
     pub fn run(&self, circuit: &Circuit, repetitions: u64) -> Result<RunResult, SimError> {
         if !circuit.has_measurements() {
             return Err(SimError::NoMeasurements);
@@ -193,10 +250,21 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         if repetitions == 0 {
             return Ok(RunResult::new(0));
         }
-        if self.can_parallelize(circuit) {
-            self.run_parallel_samples(circuit, repetitions)
+        let circuit = self.prepared(circuit);
+        if self.can_parallelize(&circuit) {
+            self.run_parallel_samples(&circuit, repetitions)
         } else {
-            self.run_trajectories(circuit, repetitions)
+            self.run_trajectories(&circuit, repetitions)
+        }
+    }
+
+    /// Applies the opportunistic circuit transformations selected by the
+    /// options (today: single-qubit gate fusion).
+    fn prepared<'a>(&self, circuit: &'a Circuit) -> std::borrow::Cow<'a, Circuit> {
+        if self.options.fuse_gates {
+            std::borrow::Cow::Owned(bgls_circuit::fuse(circuit))
+        } else {
+            std::borrow::Cow::Borrowed(circuit)
         }
     }
 
@@ -241,7 +309,10 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         repetitions: u64,
     ) -> Result<Vec<BitString>, SimError> {
         self.check_runnable(circuit)?;
-        let stripped = circuit.without_measurements();
+        let mut stripped = circuit.without_measurements();
+        if self.options.fuse_gates {
+            stripped = bgls_circuit::fuse(&stripped);
+        }
         let n = self.initial_state.num_qubits();
         if self.can_parallelize(&stripped) {
             let mut rng = self.make_rng();
@@ -328,9 +399,30 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         Ok(map)
     }
 
+    /// Evaluates the candidate probabilities through the batched hook
+    /// when installed and enabled, else through the scalar hook. Both
+    /// paths return bit-identical values (the [`BatchProbFn`] contract),
+    /// so the choice never changes seeded samples.
+    fn candidate_probs(&self, state: &S, candidates: &[BitString]) -> Vec<f64> {
+        match &self.compute_probabilities_batch {
+            Some(batch) if self.options.batch_probabilities => batch(state, candidates),
+            _ => candidates
+                .iter()
+                .map(|&c| (self.compute_probability)(state, c))
+                .collect(),
+        }
+    }
+
     /// One gate-by-gate step on the whole multiplicity map: apply the
     /// operation once, then redistribute every unique bitstring's
     /// multiplicity across its candidates.
+    ///
+    /// One `u64` is drawn from the step RNG per operation; each map entry
+    /// then splits its multiplicity with its own SplitMix stream keyed by
+    /// `(step seed, entry bitstring)`, so the redistribution is
+    /// independent of entry order and thread count — the batched,
+    /// scalar, Rayon, and sequential variants all produce bit-identical
+    /// maps.
     fn step_multiplicity_map(
         &self,
         state: &mut S,
@@ -343,26 +435,172 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             return Ok(());
         }
         let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
-        let mut next: FxHashMap<BitString, u64> = FxHashMap::default();
-        next.reserve(map.len());
-        let mut probs = Vec::with_capacity(1 << support.len());
-        for (b, &m) in map.iter() {
-            let candidates = b.candidates(&support);
-            probs.clear();
-            probs.extend(
-                candidates
-                    .iter()
-                    .map(|c| (self.compute_probability)(state, *c)),
-            );
-            let counts = multinomial_split(m, &probs, rng)?;
-            for (c, cnt) in candidates.iter().zip(&counts) {
-                if *cnt > 0 {
-                    *next.entry(*c).or_insert(0) += *cnt;
-                }
-            }
-        }
+        let step_seed: u64 = rng.gen();
+        let batch_hook = match &self.compute_probabilities_batch {
+            Some(hook) if self.options.batch_probabilities => Some(hook),
+            _ => None,
+        };
+        let next = match batch_hook {
+            Some(hook) => self.step_map_batched(state, &support, step_seed, map, hook)?,
+            None => self.step_map_scalar(state, &support, step_seed, map)?,
+        };
         *map = next;
         Ok(())
+    }
+
+    /// True when this redistribution should fan out across Rayon threads.
+    fn redistribute_in_parallel(&self, n_entries: usize) -> bool {
+        const PARALLEL_ENTRY_THRESHOLD: usize = 64;
+        self.options.parallel_redistribution
+            && rayon::current_num_threads() > 1
+            && n_entries >= PARALLEL_ENTRY_THRESHOLD
+    }
+
+    /// Scalar redistribution: the paper's per-candidate
+    /// `compute_probability` loop, one hook call per candidate per entry.
+    fn step_map_scalar(
+        &self,
+        state: &S,
+        support: &[usize],
+        step_seed: u64,
+        map: &FxHashMap<BitString, u64>,
+    ) -> Result<FxHashMap<BitString, u64>, SimError> {
+        let csize = 1usize << support.len();
+        let split_chunk = |entries: &[(BitString, u64)],
+                           sink: &mut dyn FnMut(BitString, u64)|
+         -> Result<(), SimError> {
+            let mut probs = Vec::with_capacity(csize);
+            let mut counts = vec![0u64; csize];
+            for &(b, m) in entries {
+                let mut entry_rng = rep_rng(step_seed, b.as_u64());
+                let candidates = b.candidates(support);
+                probs.clear();
+                probs.extend(
+                    candidates
+                        .iter()
+                        .map(|c| (self.compute_probability)(state, *c)),
+                );
+                multinomial_split_into(m, &probs, &mut entry_rng, &mut counts)?;
+                for (c, &cnt) in candidates.iter().zip(&counts) {
+                    if cnt > 0 {
+                        sink(*c, cnt);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        let entries: Vec<(BitString, u64)> = map.iter().map(|(&b, &m)| (b, m)).collect();
+        let parallel = self.redistribute_in_parallel(entries.len());
+        let mut next: FxHashMap<BitString, u64> = FxHashMap::default();
+        next.reserve(entries.len());
+        run_split(&entries, &split_chunk, parallel, &mut |c, cnt| {
+            *next.entry(c).or_insert(0) += cnt;
+        })?;
+        Ok(next)
+    }
+
+    /// Batched redistribution: gathers the candidate sets of a whole run
+    /// of map entries into one buffer, evaluates them with a single
+    /// batched-hook call, then splits each entry against its probability
+    /// slice. Amortizes candidate-index arithmetic (one offset table per
+    /// operation instead of per entry) and eliminates every per-entry
+    /// allocation of the scalar loop. Candidate order per entry matches
+    /// [`BitString::candidates`], so the chained-binomial splits consume
+    /// their per-entry RNG streams exactly as the scalar path does.
+    fn step_map_batched(
+        &self,
+        state: &S,
+        support: &[usize],
+        step_seed: u64,
+        map: &FxHashMap<BitString, u64>,
+        hook: &BatchProbFn<S>,
+    ) -> Result<FxHashMap<BitString, u64>, SimError> {
+        let width = self.initial_state.num_qubits();
+        let csize = 1usize << support.len();
+        // offsets[v] scatters candidate index v onto the support qubits;
+        // candidate v of entry b is (b & !mask) | offsets[v], in
+        // BitString::candidates order.
+        let mask: u64 = support.iter().fold(0u64, |acc, &q| acc | (1u64 << q));
+        let offsets: Vec<u64> = (0..csize as u64)
+            .map(|v| {
+                support
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (j, &q)| acc | (((v >> j) & 1) << q))
+            })
+            .collect();
+
+        // Gather + evaluate + split one run of entries; nonzero candidate
+        // counts are emitted through `sink`.
+        let split_chunk = |entries: &[(BitString, u64)],
+                           sink: &mut dyn FnMut(BitString, u64)|
+         -> Result<(), SimError> {
+            let mut candidates = Vec::with_capacity(entries.len() * csize);
+            for (b, _) in entries {
+                let base = b.as_u64() & !mask;
+                candidates.extend(
+                    offsets
+                        .iter()
+                        .map(|&o| BitString::from_u64(width, base | o)),
+                );
+            }
+            let probs = hook(state, &candidates);
+            debug_assert_eq!(probs.len(), candidates.len());
+            let mut counts = vec![0u64; csize];
+            for (i, (b, m)) in entries.iter().enumerate() {
+                let mut entry_rng = rep_rng(step_seed, b.as_u64());
+                multinomial_split_into(
+                    *m,
+                    &probs[i * csize..(i + 1) * csize],
+                    &mut entry_rng,
+                    &mut counts,
+                )?;
+                for (j, &cnt) in counts.iter().enumerate() {
+                    if cnt > 0 {
+                        sink(candidates[i * csize + j], cnt);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        let entries: Vec<(BitString, u64)> = map.iter().map(|(&b, &m)| (b, m)).collect();
+        let go_parallel = self.redistribute_in_parallel(entries.len());
+
+        // Candidates of different entries frequently coincide; when the
+        // candidate volume is a sizable fraction of the value space,
+        // accumulate into a dense per-value array (one add per candidate)
+        // and hash each surviving value once, instead of one hashmap
+        // probe per candidate. Sparse maps (e.g. a GHZ-like evolution on
+        // a wide state) stay on the hashmap path — zeroing and scanning
+        // 2^width slots per operation would dwarf their handful of
+        // entries.
+        const DENSE_WIDTH_LIMIT: usize = 20;
+        let use_dense = width <= DENSE_WIDTH_LIMIT
+            && (1usize << width) <= entries.len().saturating_mul(csize).saturating_mul(4);
+        if use_dense {
+            let mut dense = vec![0u64; 1usize << width];
+            run_split(&entries, &split_chunk, go_parallel, &mut |c, cnt| {
+                dense[c.as_u64() as usize] += cnt;
+            })?;
+            let populated = dense.iter().filter(|&&cnt| cnt > 0).count();
+            let mut next: FxHashMap<BitString, u64> = FxHashMap::default();
+            next.reserve(populated);
+            for (v, &cnt) in dense.iter().enumerate() {
+                if cnt > 0 {
+                    next.insert(BitString::from_u64(width, v as u64), cnt);
+                }
+            }
+            return Ok(next);
+        }
+
+        let mut next: FxHashMap<BitString, u64> = FxHashMap::default();
+        next.reserve(entries.len());
+        run_split(&entries, &split_chunk, go_parallel, &mut |c, cnt| {
+            *next.entry(c).or_insert(0) += cnt;
+        })?;
+        Ok(next)
     }
 
     fn skip_update(&self, op: &Operation) -> bool {
@@ -397,18 +635,14 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
                         Ok(a)
                     },
                 )
-                .map(|mut r| {
-                    // try_reduce counts merged reps; normalize the field
-                    let total = repetitions;
-                    r = normalize_reps(r, total);
-                    r
-                })
+                // merge() sums the per-rep counts; report the true total
+                .map(|r| r.with_repetitions(repetitions))
         } else {
             let mut result = RunResult::new(0);
             for rep in 0..repetitions {
                 result.merge(run_one(rep)?);
             }
-            Ok(normalize_reps(result, repetitions))
+            Ok(result.with_repetitions(repetitions))
         }
     }
 
@@ -483,32 +717,51 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     ) -> Result<BitString, SimError> {
         let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
         let candidates = b.candidates(&support);
-        let probs: Vec<f64> = candidates
-            .iter()
-            .map(|c| (self.compute_probability)(state, *c))
-            .collect();
+        let probs = self.candidate_probs(state, &candidates);
         let idx = categorical(&probs, rng)?;
         Ok(candidates[idx])
     }
 }
 
-fn normalize_reps(mut r: RunResult, total: u64) -> RunResult {
-    // merge() accumulates per-rep counts; rebuild with the true repetition
-    // count for reporting.
-    let mut out = RunResult::new(total);
-    for key in r.keys().into_iter().map(str::to_string).collect::<Vec<_>>() {
-        if let Some(h) = r.histogram(&key) {
-            for (bits, count) in h.iter_sorted() {
-                out.record(&key, bits, count);
-            }
+/// Runs a redistribution splitter over `entries` and feeds every nonzero
+/// `(candidate, count)` emission into `sink` — in parallel Rayon chunks
+/// when `parallel`, in one sequential pass otherwise. The per-entry RNG
+/// streams make the chunking invisible in the results, so the merge
+/// order never matters and both modes accumulate identical totals.
+fn run_split<F>(
+    entries: &[(BitString, u64)],
+    split_chunk: &F,
+    parallel: bool,
+    sink: &mut dyn FnMut(BitString, u64),
+) -> Result<(), SimError>
+where
+    F: Fn(&[(BitString, u64)], &mut dyn FnMut(BitString, u64)) -> Result<(), SimError> + Sync,
+{
+    if !parallel {
+        return split_chunk(entries, sink);
+    }
+    let chunk_len = entries.len().div_ceil(rayon::current_num_threads()).max(1);
+    let pieces: Result<Vec<Vec<(BitString, u64)>>, SimError> = entries
+        .par_chunks(chunk_len)
+        .map(|chunk| {
+            let mut out = Vec::with_capacity(chunk.len());
+            split_chunk(chunk, &mut |c, cnt| out.push((c, cnt)))?;
+            Ok(out)
+        })
+        .collect();
+    for piece in pieces? {
+        for (c, cnt) in piece {
+            sink(c, cnt);
         }
     }
-    let _ = &mut r;
-    out
+    Ok(())
 }
 
-/// Per-repetition RNG derived from a base seed (SplitMix-style stream
-/// separation so parallel trajectories are independent yet reproducible).
+/// RNG stream derived from a base seed and a stream index (SplitMix-style
+/// separation). Used per repetition on the trajectory path and per map
+/// entry on the redistribution path, so parallel execution is independent
+/// of scheduling yet reproducible. Distinct indices always yield distinct
+/// streams (the multiplier is odd, hence invertible mod 2^64).
 fn rep_rng(seed: u64, rep: u64) -> StdRng {
     let mut z = seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -544,11 +797,36 @@ pub fn multinomial_split(
     weights: &[f64],
     rng: &mut impl Rng,
 ) -> Result<Vec<u64>, SimError> {
+    let mut counts = Vec::new();
+    multinomial_split_into(m, weights, rng, &mut counts)?;
+    Ok(counts)
+}
+
+/// Allocation-free form of [`multinomial_split`]: writes the counts into
+/// `counts` (cleared and resized to `weights.len()`). Identical RNG
+/// consumption and results.
+fn multinomial_split_into(
+    m: u64,
+    weights: &[f64],
+    rng: &mut impl Rng,
+    counts: &mut Vec<u64>,
+) -> Result<(), SimError> {
     let total: f64 = weights.iter().sum();
     if total <= 0.0 || total.is_nan() || !total.is_finite() {
         return Err(SimError::ZeroProbabilityEvent);
     }
-    let mut counts = vec![0u64; weights.len()];
+    counts.clear();
+    counts.resize(weights.len(), 0);
+    if m <= 4 {
+        // Small multiplicities — the bulk of a saturated map — split
+        // faster as literal independent categorical draws (the exact
+        // definition of the multinomial) than through the chained
+        // binomial machinery.
+        for _ in 0..m {
+            counts[categorical(weights, rng)?] += 1;
+        }
+        return Ok(());
+    }
     let mut remaining = m;
     let mut mass_left = total;
     for (i, &w) in weights.iter().enumerate() {
@@ -578,7 +856,7 @@ pub fn multinomial_split(
             remaining = 0;
         }
     }
-    Ok(counts)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -869,6 +1147,145 @@ mod tests {
             sim.run(&ghz(3), 5),
             Err(SimError::QubitOutOfRange { .. })
         ));
+    }
+
+    fn entangling_circuit(n: usize) -> Circuit {
+        // H everywhere, a CNOT ladder, T's, then measure: spreads the
+        // multiplicity map over many entries.
+        let mut c = Circuit::new();
+        for i in 0..n {
+            c.push(Operation::gate(Gate::H, vec![Qubit(i as u32)]).unwrap());
+        }
+        for i in 1..n {
+            c.push(
+                Operation::gate(Gate::Cnot, vec![Qubit(i as u32 - 1), Qubit(i as u32)]).unwrap(),
+            );
+        }
+        for i in 0..n {
+            c.push(Operation::gate(Gate::T, vec![Qubit(i as u32)]).unwrap());
+            c.push(Operation::gate(Gate::H, vec![Qubit(i as u32)]).unwrap());
+        }
+        c.push(Operation::measure(Qubit::range(n), "z").unwrap());
+        c
+    }
+
+    #[test]
+    fn parallel_and_serial_redistribution_are_bit_identical() {
+        let c = entangling_circuit(5);
+        let run = |parallel: bool| {
+            let opts = SimulatorOptions {
+                seed: Some(13),
+                parallel_redistribution: parallel,
+                ..Default::default()
+            };
+            Simulator::new(RefState::zero(5))
+                .with_options(opts)
+                .run(&c, 4000)
+                .unwrap()
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a.histogram("z"), b.histogram("z"));
+    }
+
+    #[test]
+    fn batch_and_scalar_probability_paths_are_bit_identical() {
+        let c = entangling_circuit(4);
+        let run = |batch: bool| {
+            let opts = SimulatorOptions {
+                seed: Some(29),
+                batch_probabilities: batch,
+                ..Default::default()
+            };
+            Simulator::new(RefState::zero(4))
+                .with_options(opts)
+                .run(&c, 3000)
+                .unwrap()
+        };
+        assert_eq!(run(true).histogram("z"), run(false).histogram("z"));
+    }
+
+    #[test]
+    fn custom_batch_hook_is_used() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BATCH_CALLS: AtomicUsize = AtomicUsize::new(0);
+        let hook: BatchProbFn<RefState> = Arc::new(|s, cands| {
+            BATCH_CALLS.fetch_add(1, Ordering::Relaxed);
+            s.probabilities_batch(cands)
+        });
+        let sim = Simulator::new(RefState::zero(2))
+            .with_batch_hook(hook)
+            .with_seed(3);
+        let _ = sim.run(&ghz(2), 20).unwrap();
+        assert!(BATCH_CALLS.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn fuse_gates_is_bit_identical_when_op_count_is_unchanged() {
+        // GHZ has no multi-gate single-qubit runs: fusion just rewraps H
+        // as the identical U1 matrix, so RNG consumption and probabilities
+        // match the unfused run exactly.
+        let c = ghz(3);
+        let run = |fuse: bool| {
+            let opts = SimulatorOptions {
+                seed: Some(41),
+                fuse_gates: fuse,
+                ..Default::default()
+            };
+            Simulator::new(RefState::zero(3))
+                .with_options(opts)
+                .run(&c, 2000)
+                .unwrap()
+        };
+        assert_eq!(run(true).histogram("z"), run(false).histogram("z"));
+    }
+
+    #[test]
+    fn fuse_gates_preserves_distribution_on_single_qubit_runs() {
+        // H T H on one qubit fuses to a single U1; P(0) = cos^2(pi/8).
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::T, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let opts = SimulatorOptions {
+            seed: Some(5),
+            fuse_gates: true,
+            ..Default::default()
+        };
+        let sim = Simulator::new(RefState::zero(1)).with_options(opts);
+        let r = sim.run(&c, 4000).unwrap();
+        let f0 = r.histogram("m").unwrap().frequency(BitString::zeros(1));
+        assert!((f0 - 0.8536).abs() < 0.03, "f0 = {f0}");
+        // determinism: the fused run reproduces under the same seed
+        let again = Simulator::new(RefState::zero(1))
+            .with_options(SimulatorOptions {
+                seed: Some(5),
+                fuse_gates: true,
+                ..Default::default()
+            })
+            .run(&c, 4000)
+            .unwrap();
+        assert_eq!(r.histogram("m"), again.histogram("m"));
+    }
+
+    #[test]
+    fn fuse_gates_applies_on_the_trajectory_path_too() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap()); // cancels
+        c.push(Operation::channel(Channel::bit_flip(0.3).unwrap(), vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let opts = SimulatorOptions {
+            seed: Some(11),
+            fuse_gates: true,
+            parallel_trajectories: false,
+            ..Default::default()
+        };
+        let sim = Simulator::new(RefState::zero(1)).with_options(opts);
+        let r = sim.run(&c, 2000).unwrap();
+        let flips = r.histogram("m").unwrap().count_value(1);
+        assert!(flips > 450 && flips < 750, "flips = {flips}");
     }
 
     #[test]

@@ -29,6 +29,24 @@ pub trait BglsState: Clone {
     /// `P(b) = |<b|psi>|^2` (paper's `compute_probability`).
     fn probability(&self, bits: BitString) -> f64;
 
+    /// Probabilities of a whole candidate set at once — the batched form
+    /// of [`BglsState::probability`] driving the sampler's hot loop.
+    ///
+    /// The default implementation loops over [`BglsState::probability`];
+    /// backends override it to amortize work shared between candidates
+    /// (index arithmetic on dense states, environment contraction on
+    /// tensor networks).
+    ///
+    /// **Determinism contract:** implementations must return, for every
+    /// candidate, a value bit-identical to what a standalone
+    /// `probability` call would return. Shared work is allowed only when
+    /// it performs the same floating-point operations in the same order
+    /// as the scalar path, so that seeded sampling results do not depend
+    /// on whether the batched or scalar path computed them.
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        candidates.iter().map(|&c| self.probability(c)).collect()
+    }
+
     /// Applies one stochastic Kraus branch of `channel` (quantum
     /// trajectories, paper Sec. 3.2.1): branch `i` is chosen with
     /// probability `|K_i |psi>|^2` and the state renormalized.

@@ -236,6 +236,13 @@ impl Matrix {
         self.is_square() && self.approx_eq(&self.dagger(), tol)
     }
 
+    /// True when every off-diagonal entry has magnitude at most `tol`
+    /// (square matrices only; non-square matrices are never diagonal).
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        self.is_square()
+            && (0..self.rows).all(|i| (0..self.cols).all(|j| i == j || self[(i, j)].abs() <= tol))
+    }
+
     /// Matrix power by repeated squaring (square matrices only).
     pub fn pow(&self, mut e: u32) -> Matrix {
         assert!(self.is_square(), "pow of non-square matrix");
@@ -328,6 +335,14 @@ mod tests {
 
     fn pauli_x() -> Matrix {
         Matrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    #[test]
+    fn is_diagonal_checks_off_diagonal_entries() {
+        assert!(Matrix::identity(4).is_diagonal(0.0));
+        assert!(Matrix::from_real(&[&[2.0, 0.0], &[0.0, -3.0]]).is_diagonal(0.0));
+        assert!(!pauli_x().is_diagonal(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_diagonal(1.0));
     }
 
     fn pauli_y() -> Matrix {

@@ -268,25 +268,73 @@ impl ChainMps {
         }
     }
 
+    /// One step of the amplitude sweep: contracts the left environment
+    /// row vector `v` with site `i`'s tensor sliced at physical value
+    /// `bit`. Both the scalar and batched amplitude paths are built from
+    /// this exact routine, so they perform identical floating-point
+    /// operations.
+    fn sweep_step(&self, i: usize, bit: usize, v: &[C64]) -> Vec<C64> {
+        let site = &self.sites[i];
+        let mut next = vec![C64::ZERO; site.r];
+        for (li, &vl) in v.iter().enumerate() {
+            if vl == C64::ZERO {
+                continue;
+            }
+            for (ri, slot) in next.iter_mut().enumerate() {
+                *slot = vl.mul_add(site.at(li, bit, ri), *slot);
+            }
+        }
+        next
+    }
+
     /// Amplitude `<bits|psi>` in `O(n chi^2)` by sweeping the chain.
     pub fn amplitude_of(&self, bits: BitString) -> C64 {
         assert_eq!(bits.len(), self.n);
         let mut v = vec![C64::ONE];
-        for (i, site) in self.sites.iter().enumerate() {
+        for i in 0..self.sites.len() {
             let bit = bits.get(self.qubit_of_site[i]) as usize;
-            let mut next = vec![C64::ZERO; site.r];
-            for (li, &vl) in v.iter().enumerate() {
-                if vl == C64::ZERO {
-                    continue;
-                }
-                for (ri, slot) in next.iter_mut().enumerate() {
-                    *slot = vl.mul_add(site.at(li, bit, ri), *slot);
-                }
-            }
-            v = next;
+            v = self.sweep_step(i, bit, &v);
         }
         debug_assert_eq!(v.len(), 1);
         v[0]
+    }
+
+    /// Batched amplitude sweep sharing environments across candidates:
+    /// descends the chain once, forking the left environment only at
+    /// sites where the candidate set disagrees on the physical bit. For
+    /// the sampler's candidate sets (all `2^k` assignments of a small
+    /// support) this contracts each shared chain prefix once instead of
+    /// `2^k` times. Every candidate's amplitude goes through the same
+    /// [`ChainMps::sweep_step`] sequence a standalone sweep would, so the
+    /// results are bit-identical to per-candidate [`ChainMps::amplitude_of`]
+    /// calls.
+    fn amplitudes_shared_sweep(&self, candidates: &[BitString], out: &mut [f64]) {
+        // Explicit stack of (site index, environment, candidate indices).
+        let all: Vec<usize> = (0..candidates.len()).collect();
+        let mut stack: Vec<(usize, Vec<C64>, Vec<usize>)> = vec![(0, vec![C64::ONE], all)];
+        while let Some((i, v, idxs)) = stack.pop() {
+            if i == self.sites.len() {
+                debug_assert_eq!(v.len(), 1);
+                let p = v[0].norm_sqr();
+                for &c in &idxs {
+                    out[c] = p;
+                }
+                continue;
+            }
+            let q = self.qubit_of_site[i];
+            let first = candidates[idxs[0]].get(q);
+            if idxs.iter().all(|&c| candidates[c].get(q) == first) {
+                let next = self.sweep_step(i, first as usize, &v);
+                stack.push((i + 1, next, idxs));
+            } else {
+                let (ones, zeros): (Vec<usize>, Vec<usize>) =
+                    idxs.into_iter().partition(|&c| candidates[c].get(q));
+                let next0 = self.sweep_step(i, 0, &v);
+                let next1 = self.sweep_step(i, 1, &v);
+                stack.push((i + 1, next0, zeros));
+                stack.push((i + 1, next1, ones));
+            }
+        }
     }
 
     /// Squared norm via transfer-matrix contraction (`O(n chi^4)`).
@@ -368,6 +416,17 @@ impl BglsState for ChainMps {
 
     fn probability(&self, bits: BitString) -> f64 {
         self.amplitude_of(bits).norm_sqr()
+    }
+
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        for c in candidates {
+            assert_eq!(c.len(), self.n);
+        }
+        let mut out = vec![0.0; candidates.len()];
+        if !candidates.is_empty() {
+            self.amplitudes_shared_sweep(candidates, &mut out);
+        }
+        out
     }
 
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
@@ -510,5 +569,45 @@ mod tests {
             st.apply_gate(&Gate::Ccx, &[0, 1, 2]),
             Err(SimError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn batched_probabilities_are_bit_identical_to_scalar() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // scramble a 6-qubit chain, including swaps that permute sites
+        let mut st = ChainMps::zero(6, MpsOptions::exact());
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 3]).unwrap();
+        st.apply_gate(&Gate::T, &[3]).unwrap();
+        st.apply_gate(&Gate::ISwap, &[1, 4]).unwrap();
+        st.apply_gate(&Gate::SqrtX, &[2]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[5, 2]).unwrap();
+        st.apply_gate(&Gate::H, &[4]).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        // candidate sets of the sampler's shape (shared base, varying
+        // support) and fully random sets
+        let base = BitString::from_u64(6, rng.gen::<u64>());
+        let mut sets: Vec<Vec<BitString>> = vec![
+            base.candidates(&[2, 4]),
+            base.candidates(&[0]),
+            base.candidates(&[1, 3, 5]),
+        ];
+        sets.push(
+            (0..9)
+                .map(|_| BitString::from_u64(6, rng.gen::<u64>()))
+                .collect(),
+        );
+        for cands in sets {
+            let batched = st.probabilities_batch(&cands);
+            for (c, p) in cands.iter().zip(&batched) {
+                let scalar = st.probability(*c);
+                assert!(
+                    p.to_bits() == scalar.to_bits(),
+                    "batched {p} != scalar {scalar} for {c}"
+                );
+            }
+        }
     }
 }

@@ -155,6 +155,44 @@ impl BglsState for LazyNetworkState {
     fn probability(&self, bits: BitString) -> f64 {
         self.amplitude_of(bits).norm_sqr()
     }
+
+    /// Batched form sharing the slicing stage: tensors of qubits on which
+    /// every candidate agrees are sliced once and reused, so only the
+    /// varying qubits (the gate support, for the sampler's candidate
+    /// sets) are re-sliced per candidate. The per-candidate contraction
+    /// consumes the same sliced tensors in the same order as
+    /// [`LazyNetworkState::amplitude_of`], so results are bit-identical
+    /// to scalar calls.
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        let Some(first) = candidates.first() else {
+            return Vec::new();
+        };
+        assert_eq!(first.len(), self.n);
+        let shared: Vec<Option<Tensor>> = (0..self.n)
+            .map(|q| {
+                let b0 = first.get(q);
+                candidates
+                    .iter()
+                    .all(|c| c.get(q) == b0)
+                    .then(|| self.tensors[q].isel(q as BondId, b0 as usize))
+            })
+            .collect();
+        candidates
+            .iter()
+            .map(|c| {
+                assert_eq!(c.len(), self.n);
+                let sliced: Vec<Tensor> = shared
+                    .iter()
+                    .enumerate()
+                    .map(|(q, t)| match t {
+                        Some(t) => t.clone(),
+                        None => self.tensors[q].isel(q as BondId, c.get(q) as usize),
+                    })
+                    .collect();
+                contract_network(sliced).norm_sqr()
+            })
+            .collect()
+    }
 }
 
 impl AmplitudeState for LazyNetworkState {
@@ -216,6 +254,28 @@ mod tests {
             st.apply_gate(&Gate::Ccx, &[0, 1, 2]),
             Err(SimError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn batched_probabilities_are_bit_identical_to_scalar() {
+        let mut st = LazyNetworkState::zero(4);
+        for (g, qs) in [
+            (Gate::H, vec![0usize]),
+            (Gate::T, vec![1]),
+            (Gate::Cnot, vec![0, 2]),
+            (Gate::ISwap, vec![1, 3]),
+            (Gate::Rzz(0.4.into()), vec![2, 3]),
+        ] {
+            st.apply_gate(&g, &qs).unwrap();
+        }
+        let base = BitString::from_u64(4, 0b0110);
+        for cands in [base.candidates(&[1, 3]), base.candidates(&[0])] {
+            let batched = st.probabilities_batch(&cands);
+            for (c, p) in cands.iter().zip(&batched) {
+                assert_eq!(p.to_bits(), st.probability(*c).to_bits(), "{c}");
+            }
+        }
+        assert!(st.probabilities_batch(&[]).is_empty());
     }
 
     #[test]

@@ -113,6 +113,19 @@ impl BglsState for DensityMatrix {
         self.vec[r | (r << self.n)].re.max(0.0)
     }
 
+    /// Batched form: the diagonal index arithmetic `r | (r << n)` hoisted
+    /// into one tight loop. Same clamped diagonal entries as the scalar
+    /// path, bit for bit.
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        let n = self.n;
+        let mut out = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            let r = c.as_u64() as usize;
+            out.push(self.vec[r | (r << n)].re.max(0.0));
+        }
+        out
+    }
+
     fn apply_kraus(
         &mut self,
         channel: &Channel,

@@ -127,6 +127,18 @@ impl BglsState for StateVector {
         self.amps[bits.as_u64() as usize].norm_sqr()
     }
 
+    /// Batched form: one bounds-checked slice walk over direct amplitude
+    /// lookups, with no per-candidate trait dispatch. Values are the same
+    /// `|amps[b]|^2` the scalar path computes, bit for bit.
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            debug_assert_eq!(c.len(), self.n);
+            out.push(self.amps[c.as_u64() as usize].norm_sqr());
+        }
+        out
+    }
+
     fn apply_kraus(
         &mut self,
         channel: &Channel,

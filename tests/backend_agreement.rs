@@ -6,7 +6,10 @@
 //! [`AnyState`]: no function signature names a concrete state type, which
 //! is exactly the property a multi-backend service front-end relies on.
 
-use bgls_suite::apps::{empirical_distribution, total_variation_distance};
+use bgls_suite::apps::{
+    chi_squared_fits, empirical_distribution, qaoa_maxcut_circuit, resolve_qaoa,
+    total_variation_distance, Graph,
+};
 use bgls_suite::circuit::{
     generate_random_circuit, Channel, Circuit, Gate, Operation, Qubit, RandomCircuitParams,
 };
@@ -44,6 +47,22 @@ fn born_distribution(circuit: &Circuit) -> Vec<f64> {
 fn clifford_circuit() -> Circuit {
     let mut rng = StdRng::seed_from_u64(12);
     generate_random_circuit(&RandomCircuitParams::clifford(N, 12), &mut rng)
+}
+
+fn ghz_circuit() -> Circuit {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    for i in 1..N as u32 {
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+    }
+    c
+}
+
+/// A bound one-layer QAOA MaxCut circuit on the N-vertex ring.
+fn qaoa_circuit() -> Circuit {
+    let edges: Vec<(usize, usize)> = (0..N).map(|v| (v, (v + 1) % N)).collect();
+    let graph = Graph::new(N, edges);
+    resolve_qaoa(&qaoa_maxcut_circuit(&graph, 1), &[0.7], &[0.4])
 }
 
 fn universal_circuit() -> Circuit {
@@ -194,4 +213,143 @@ fn kraus_channels_agree_between_trajectories_and_density_matrix() {
     let dt = traj.histogram("z").unwrap().to_distribution();
     let tvd = total_variation_distance(&de, &dt);
     assert!(tvd < TVD_TOL, "trajectories vs exact channels: TVD {tvd}");
+}
+
+// ---- batched hot path: determinism and statistical agreement ----------
+
+/// The three circuit families of the batched-path acceptance tests. The
+/// Clifford and QAOA entries exercise, respectively, the CH-form's
+/// default batch loop and the MPS environment-sharing sweep.
+fn agreement_circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("ghz", ghz_circuit()),
+        ("random-clifford", clifford_circuit()),
+        ("qaoa", qaoa_circuit()),
+    ]
+}
+
+fn backends_for(name: &str) -> Vec<BackendKind> {
+    // the CH form is Clifford-only; QAOA's Rzz angles are not on the grid
+    BackendKind::all()
+        .into_iter()
+        .filter(|&k| !(name == "qaoa" && k == BackendKind::ChForm))
+        .collect()
+}
+
+/// Batch vs scalar candidate evaluation is bit-identical under a fixed
+/// seed: the batched hook must return exactly the scalar hook's values,
+/// so the multinomial splits consume identical RNG streams.
+#[test]
+fn batched_and_scalar_paths_sample_identically_on_every_backend() {
+    for (name, circuit) in agreement_circuits() {
+        for kind in backends_for(name) {
+            let sample = |batch: bool| {
+                let opts = SimulatorOptions {
+                    seed: Some(77),
+                    batch_probabilities: batch,
+                    ..Default::default()
+                };
+                Simulator::for_backend(kind, N, opts)
+                    .sample_final_bitstrings(&circuit, 4000)
+                    .unwrap_or_else(|e| panic!("{name} on {kind}: {e}"))
+            };
+            assert_eq!(
+                sample(true),
+                sample(false),
+                "{name} on {kind}: batched path diverged from scalar path"
+            );
+        }
+    }
+}
+
+/// Parallel and sequential multiplicity-map redistribution are
+/// bit-identical: every map entry draws from its own seed-derived stream.
+#[test]
+fn parallel_redistribution_is_bit_identical_to_sequential() {
+    for (name, circuit) in agreement_circuits() {
+        for kind in backends_for(name) {
+            let sample = |parallel: bool| {
+                let opts = SimulatorOptions {
+                    seed: Some(78),
+                    parallel_redistribution: parallel,
+                    ..Default::default()
+                };
+                Simulator::for_backend(kind, N, opts)
+                    .sample_final_bitstrings(&circuit, 4000)
+                    .unwrap_or_else(|e| panic!("{name} on {kind}: {e}"))
+            };
+            assert_eq!(sample(true), sample(false), "{name} on {kind}");
+        }
+    }
+}
+
+/// Fused circuits sample from the same distribution as unfused ones.
+/// Fusion changes the executed gate sequence (and hence the seeded RNG
+/// stream), so agreement is statistical: fused counts are chi-squared
+/// tested against the exact Born weights, and the fused run itself is
+/// seed-reproducible. The CH form participates on Clifford circuits —
+/// fused `U1` runs of Clifford gates are re-recognized as Clifford.
+#[test]
+fn fused_circuits_agree_with_unfused_distributions() {
+    for (name, circuit) in agreement_circuits() {
+        let reference = born_distribution(&circuit);
+        for kind in backends_for(name) {
+            let run = |fuse: bool, seed: u64| {
+                let opts = SimulatorOptions {
+                    seed: Some(seed),
+                    fuse_gates: fuse,
+                    ..Default::default()
+                };
+                Simulator::for_backend(kind, N, opts)
+                    .sample_final_bitstrings(&circuit, REPS)
+                    .unwrap_or_else(|e| panic!("{name} on {kind}: {e}"))
+            };
+            let histogram = |samples: &[BitString]| {
+                let mut counts = vec![0u64; 1 << N];
+                for b in samples {
+                    counts[b.as_u64() as usize] += 1;
+                }
+                counts
+            };
+            let fused = run(true, 79);
+            let unfused = run(false, 79);
+            assert!(
+                chi_squared_fits(&histogram(&fused), &reference, 5.0),
+                "{name} on {kind}: fused sampling deviates from Born distribution"
+            );
+            assert!(
+                chi_squared_fits(&histogram(&unfused), &reference, 5.0),
+                "{name} on {kind}: unfused sampling deviates from Born distribution"
+            );
+            assert_eq!(
+                fused,
+                run(true, 79),
+                "{name} on {kind}: fused run not seed-stable"
+            );
+        }
+    }
+}
+
+/// GHZ through `run()` with the batched path: only the two legal
+/// outcomes, and their counts pass the shared chi-squared check against
+/// the ideal 50/50 split (replacing ad-hoc "loose 5-sigma" windows).
+#[test]
+fn ghz_outcome_counts_pass_chi_squared_on_every_backend() {
+    let mut circuit = ghz_circuit();
+    circuit.push(Operation::measure(Qubit::range(N), "z").unwrap());
+    let all_ones = (1u64 << N) - 1;
+    for kind in BackendKind::all() {
+        let r = Simulator::for_backend(kind, N, SimulatorOptions::default())
+            .with_seed(80)
+            .run(&circuit, 20_000)
+            .unwrap();
+        let h = r.histogram("z").unwrap();
+        let zeros = h.count_value(0);
+        let ones = h.count_value(all_ones);
+        assert_eq!(zeros + ones, 20_000, "{kind}: non-GHZ outcome sampled");
+        assert!(
+            chi_squared_fits(&[zeros, ones], &[1.0, 1.0], 5.0),
+            "{kind}: GHZ branch counts {zeros}/{ones} fail chi-squared"
+        );
+    }
 }

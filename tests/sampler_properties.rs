@@ -1,19 +1,21 @@
 //! Statistical property tests of the gate-by-gate sampler itself: on
 //! random circuits, the empirical sampling distribution must converge to
 //! the exact Born distribution, on every backend path (multiplicity map,
-//! per-sample trajectories, mid-circuit measurement collapse).
+//! per-sample trajectories, mid-circuit measurement collapse) — plus
+//! property tests of the sampling primitives `multinomial_split` and
+//! `categorical` against the shared chi-squared harness.
 
-use bgls_suite::apps::{empirical_distribution, total_variation_distance};
+use bgls_suite::apps::{chi_squared_fits, empirical_distribution, total_variation_distance};
 use bgls_suite::circuit::{
     decompose_three_qubit_gates, generate_random_circuit, Circuit, Gate, Operation, Qubit,
     RandomCircuitParams,
 };
-use bgls_suite::core::{Simulator, SimulatorOptions};
+use bgls_suite::core::{categorical, multinomial_split, Simulator, SimulatorOptions};
 use bgls_suite::mps::{ChainMps, MpsOptions};
 use bgls_suite::statevector::StateVector;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn random_circuit(seed: u64, n: usize, moments: usize) -> Circuit {
     let params = RandomCircuitParams {
@@ -81,6 +83,82 @@ proptest! {
         let emp = empirical_distribution(&samples, 3);
         let tvd = total_variation_distance(&emp, &ideal);
         prop_assert!(tvd < 0.05, "TVD {tvd}");
+    }
+}
+
+/// Random weight vector with `k` bins, roughly `zero_every`-th of them
+/// exactly zero (always at least one positive bin).
+fn random_weights(rng: &mut StdRng, k: usize, zero_every: usize) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..k)
+        .map(|_| {
+            if rng.gen_range(0usize..zero_every) == 0 {
+                0.0
+            } else {
+                rng.gen_range(0.05..1.0)
+            }
+        })
+        .collect();
+    if w.iter().all(|&x| x == 0.0) {
+        w[0] = 1.0;
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `multinomial_split` conserves the total and never populates a
+    /// zero-weight bin.
+    #[test]
+    fn multinomial_split_conserves_total_and_zero_bins(
+        seed in 0u64..100_000,
+        m in 0u64..200_000,
+        k in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = random_weights(&mut rng, k, 3);
+        let counts = multinomial_split(m, &weights, &mut rng).unwrap();
+        prop_assert_eq!(counts.len(), weights.len());
+        prop_assert_eq!(counts.iter().sum::<u64>(), m, "total not conserved");
+        for (c, w) in counts.iter().zip(&weights) {
+            prop_assert!(*w > 0.0 || *c == 0, "zero-weight bin got {c} trials");
+        }
+    }
+
+    /// The chained-binomial split is distributed like `m` independent
+    /// categorical draws: both empirical histograms pass a chi-squared
+    /// test against the normalized weights.
+    #[test]
+    fn multinomial_split_matches_repeated_categorical(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = random_weights(&mut rng, 5, 5);
+        let m = 40_000u64;
+        let split_counts = multinomial_split(m, &weights, &mut rng).unwrap();
+        let mut draw_counts = vec![0u64; weights.len()];
+        for _ in 0..m {
+            draw_counts[categorical(&weights, &mut rng).unwrap()] += 1;
+        }
+        prop_assert!(
+            chi_squared_fits(&split_counts, &weights, 5.0),
+            "multinomial_split deviates: {split_counts:?} vs weights {weights:?}"
+        );
+        prop_assert!(
+            chi_squared_fits(&draw_counts, &weights, 5.0),
+            "categorical deviates: {draw_counts:?} vs weights {weights:?}"
+        );
+    }
+
+    /// `categorical` never returns the index of a zero-weight bin, and
+    /// always returns an in-range index.
+    #[test]
+    fn categorical_never_selects_zero_weight(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = random_weights(&mut rng, 6, 2);
+        for _ in 0..500 {
+            let idx = categorical(&weights, &mut rng).unwrap();
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0, "zero-weight index {idx} from {weights:?}");
+        }
     }
 }
 

@@ -6,6 +6,10 @@
 //! `sample_size`) and reports the median wall-clock time per iteration.
 //! No statistical analysis, plots, or HTML reports — just numbers on
 //! stdout, which is what an offline CI can consume.
+//!
+//! Like real criterion, `cargo bench -- --test` runs every benchmark
+//! routine exactly once without timing — a smoke mode CI uses so bench
+//! code cannot rot without failing the pipeline.
 
 #![warn(missing_docs)]
 
@@ -82,7 +86,24 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// True when the bench binary was invoked with `--test` (criterion's
+/// smoke mode): routines run once, nothing is timed.
+fn test_mode() -> bool {
+    use std::sync::OnceLock;
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_bench(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode() {
+        let mut b = Bencher {
+            samples: 0,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        println!("  {label}: ok (test mode, 1 run, untimed)");
+        return;
+    }
     let mut b = Bencher {
         samples,
         times: Vec::new(),

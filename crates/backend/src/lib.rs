@@ -159,7 +159,7 @@ impl std::str::FromStr for BackendKind {
 /// pipeline; the enum dispatch adds one match per operation, which is
 /// noise next to the `O(2^n)`/`O(n^2)`/`O(n chi^3)` work each operation
 /// performs.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub enum AnyState {
     /// Dense pure state.
     StateVector(StateVector),
@@ -171,6 +171,32 @@ pub enum AnyState {
     ChainMps(ChainMps),
     /// Lazy tensor network.
     LazyNetwork(LazyNetworkState),
+}
+
+impl Clone for AnyState {
+    fn clone(&self) -> Self {
+        match self {
+            AnyState::StateVector(s) => AnyState::StateVector(s.clone()),
+            AnyState::DensityMatrix(s) => AnyState::DensityMatrix(s.clone()),
+            AnyState::ChForm(s) => AnyState::ChForm(s.clone()),
+            AnyState::ChainMps(s) => AnyState::ChainMps(s.clone()),
+            AnyState::LazyNetwork(s) => AnyState::LazyNetwork(s.clone()),
+        }
+    }
+
+    /// Buffer-reusing clone when both sides hold the same variant — the
+    /// dense backends overwrite their amplitude buffers in place, which
+    /// the per-trajectory scratch-state path relies on.
+    fn clone_from(&mut self, source: &Self) {
+        match (self, source) {
+            (AnyState::StateVector(s), AnyState::StateVector(src)) => s.clone_from(src),
+            (AnyState::DensityMatrix(s), AnyState::DensityMatrix(src)) => s.clone_from(src),
+            (AnyState::ChForm(s), AnyState::ChForm(src)) => s.clone_from(src),
+            (AnyState::ChainMps(s), AnyState::ChainMps(src)) => s.clone_from(src),
+            (AnyState::LazyNetwork(s), AnyState::LazyNetwork(src)) => s.clone_from(src),
+            (slot, src) => *slot = src.clone(),
+        }
+    }
 }
 
 /// Delegates a method call to whichever variant is live.
@@ -244,6 +270,23 @@ impl BglsState for AnyState {
         rng: &mut dyn RngCore,
     ) -> Result<usize, SimError> {
         dispatch!(self, s => s.apply_kraus(channel, qubits, rng))
+    }
+
+    fn kraus_branch_probabilities(
+        &self,
+        channel: &Channel,
+        qubits: &[usize],
+    ) -> Result<Vec<f64>, SimError> {
+        dispatch!(self, s => s.kraus_branch_probabilities(channel, qubits))
+    }
+
+    fn apply_kraus_branch(
+        &mut self,
+        channel: &Channel,
+        branch: usize,
+        qubits: &[usize],
+    ) -> Result<(), SimError> {
+        dispatch!(self, s => s.apply_kraus_branch(channel, branch, qubits))
     }
 
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
@@ -355,6 +398,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn kraus_branch_methods_dispatch_per_backend() {
+        let ch = Channel::bit_flip(0.25).unwrap();
+        for kind in BackendKind::all() {
+            let state = AnyState::zero(kind, 2);
+            let probs = state.kraus_branch_probabilities(&ch, &[0]);
+            match kind {
+                // CH form has no channel support: typed error, not panic
+                BackendKind::ChForm => assert!(
+                    matches!(probs, Err(bgls_core::SimError::Unsupported(_))),
+                    "{kind}"
+                ),
+                // the density matrix absorbs the channel deterministically
+                BackendKind::DensityMatrix => assert_eq!(probs.unwrap(), vec![1.0], "{kind}"),
+                _ => {
+                    let probs = probs.unwrap();
+                    assert_eq!(probs.len(), 2, "{kind}");
+                    assert!((probs[0] - 0.75).abs() < 1e-10, "{kind}: {probs:?}");
+                    let mut state = state;
+                    state.apply_kraus_branch(&ch, 1, &[0]).unwrap();
+                    assert!(
+                        (state.probability(bgls_core::BitString::from_u64(2, 0b01)) - 1.0).abs()
+                            < 1e-10,
+                        "{kind}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_from_preserves_state_across_variants() {
+        let mut src = AnyState::zero(BackendKind::StateVector, 2);
+        src.apply_gate(&Gate::X, &[1]).unwrap();
+        // same variant: in-place copy
+        let mut dst = AnyState::zero(BackendKind::StateVector, 2);
+        dst.clone_from(&src);
+        assert!((dst.probability(bgls_core::BitString::from_u64(2, 0b10)) - 1.0).abs() < 1e-12);
+        // different variant: falls back to a fresh clone
+        let mut other = AnyState::zero(BackendKind::ChForm, 2);
+        other.clone_from(&src);
+        assert_eq!(other.kind(), BackendKind::StateVector);
+        assert!((other.probability(bgls_core::BitString::from_u64(2, 0b10)) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,20 +6,29 @@
 //! mirroring the Python package's constructor: an initial state, an
 //! `apply_op` hook, and a `compute_probability` hook.
 //!
-//! Two execution paths:
+//! Three execution paths:
 //! * **sample-parallelized** (Sec. 3.2.3): for unitary circuits with
 //!   terminal measurements the state evolves once and all repetitions ride
 //!   along in a `bitstring -> multiplicity` map, split multinomially at
 //!   each gate. Runtime saturates at large repetition counts (Fig. 2).
-//! * **trajectories** (Sec. 3.2.1): circuits with channels, mid-circuit
-//!   measurements, or stochastic apply hooks (sum-over-Cliffords) re-run
-//!   per repetition, optionally across Rayon threads.
+//! * **trajectory forest**: circuits with stochastic channels or
+//!   mid-circuit measurements keep the multiplicity-map economics by
+//!   maintaining a frontier of `(state, multiplicity-map)` nodes.
+//!   Deterministic segments advance each node once; at a stochastic
+//!   operation every node splits its multiplicities multinomially across
+//!   the branch outcomes and forks one child state per nonempty branch.
+//!   Total state evolutions drop from `O(reps x gates)` to
+//!   `O(distinct branch histories x gates)`.
+//! * **trajectories** (Sec. 3.2.1): stochastic apply hooks
+//!   (sum-over-Cliffords), custom hook constructors, or a forest frontier
+//!   that outgrew [`SimulatorOptions::max_forest_nodes`] re-run the
+//!   circuit per repetition, optionally across Rayon threads.
 
 use crate::bitstring::BitString;
 use crate::error::SimError;
 use crate::results::RunResult;
 use crate::state::BglsState;
-use bgls_circuit::{Circuit, Gate, OpKind, Operation};
+use bgls_circuit::{Channel, Circuit, Gate, OpKind, Operation};
 use bgls_linalg::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -56,9 +65,31 @@ pub struct SimulatorOptions {
     /// distribution is provably unchanged. Off by default to mirror the
     /// paper; exposed for the ablation bench.
     pub skip_diagonal_updates: bool,
-    /// Use Rayon to spread trajectory repetitions across threads
-    /// (default `true`).
+    /// Use Rayon to spread trajectory repetitions — and trajectory-forest
+    /// frontier nodes — across threads (default `true`). Both paths draw
+    /// every sample from its own seed-derived RNG stream, so results are
+    /// bit-identical whether this is on or off.
     pub parallel_trajectories: bool,
+    /// Run noisy / mid-circuit-measurement circuits through the
+    /// trajectory-forest engine instead of per-repetition replay
+    /// (default `true`). The forest samples the same distribution as
+    /// replay but evolves each distinct branch history once, so seeded
+    /// samples differ between the two engines (the streams are keyed
+    /// differently) while every histogram stays distributionally
+    /// identical.
+    pub trajectory_forest: bool,
+    /// Frontier budget for the trajectory forest (default `256`). When a
+    /// stochastic operation would grow the frontier beyond this many
+    /// nodes, the run abandons the forest *before* materializing the
+    /// oversized frontier and falls back to per-trajectory replay, which
+    /// has flat memory use. The budget bounds forest memory to roughly
+    /// `2 x max_forest_nodes` live states.
+    pub max_forest_nodes: usize,
+    /// Run [`Simulator::run_sweep`] resolvers across Rayon threads
+    /// (default `false`). Every resolver's run derives its own seed
+    /// stream from [`SimulatorOptions::seed`] exactly as the sequential
+    /// loop does, so per-resolver results are bit-identical either way.
+    pub parallel_sweep: bool,
     /// Evaluate candidate probabilities through the batched hook when one
     /// is installed (default `true`). `false` forces the scalar
     /// per-candidate hook — same samples, useful for benchmarking the
@@ -87,6 +118,9 @@ impl Default for SimulatorOptions {
             parallelize_samples: true,
             skip_diagonal_updates: false,
             parallel_trajectories: true,
+            trajectory_forest: true,
+            max_forest_nodes: 256,
+            parallel_sweep: false,
             batch_probabilities: true,
             parallel_redistribution: true,
             fuse_gates: false,
@@ -106,6 +140,12 @@ pub struct Simulator<S: BglsState> {
     /// Custom apply hooks may be stochastic (e.g. sum-over-Cliffords), in
     /// which case each sample must re-run the circuit.
     stochastic_apply: bool,
+    /// True when the hooks are the [`Simulator::new`] defaults, i.e.
+    /// channel application goes through [`BglsState::apply_kraus`]. The
+    /// trajectory forest forks channels via the state's branch methods,
+    /// which is only faithful to the default hook; custom-hook
+    /// simulators keep the replay path.
+    default_hooks: bool,
     options: SimulatorOptions,
 }
 
@@ -117,6 +157,7 @@ impl<S: BglsState> Clone for Simulator<S> {
             compute_probability: self.compute_probability.clone(),
             compute_probabilities_batch: self.compute_probabilities_batch.clone(),
             stochastic_apply: self.stochastic_apply,
+            default_hooks: self.default_hooks,
             options: self.options.clone(),
         }
     }
@@ -147,6 +188,7 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             compute_probability: prob,
             compute_probabilities_batch: Some(batch),
             stochastic_apply: false,
+            default_hooks: true,
             options: SimulatorOptions::default(),
         }
     }
@@ -171,6 +213,7 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             compute_probability,
             compute_probabilities_batch: None,
             stochastic_apply,
+            default_hooks: false,
             options: SimulatorOptions::default(),
         }
     }
@@ -232,16 +275,30 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             && circuit.measurements_are_terminal()
     }
 
+    /// True when the trajectory-forest engine may attempt this run
+    /// (checked only after [`Simulator::can_parallelize`] declined).
+    /// Forest channel forking calls the state's Kraus branch methods
+    /// directly, so it requires the default hooks; stochastic custom
+    /// hooks always replay.
+    fn can_forest(&self) -> bool {
+        self.options.trajectory_forest
+            && self.options.parallelize_samples
+            && self.default_hooks
+            && !self.stochastic_apply
+    }
+
     /// Runs the circuit for `repetitions` and returns measurement
     /// histograms, Cirq-style. The circuit must contain at least one
     /// measurement.
     ///
     /// Determinism: with a fixed seed the returned histograms are
-    /// bit-identical regardless of `batch_probabilities` and
-    /// `parallel_redistribution` (and, on the trajectory path, regardless
-    /// of `parallel_trajectories`). `fuse_gates` changes the executed
-    /// gate sequence, so it preserves the distribution but not the
-    /// individual seeded samples.
+    /// bit-identical regardless of `batch_probabilities`,
+    /// `parallel_redistribution`, and (on the forest and trajectory
+    /// paths) `parallel_trajectories`. Switching the *engine* —
+    /// `trajectory_forest` on/off, or a forest run falling back on
+    /// budget exhaustion — keys the RNG streams differently, so it
+    /// preserves the distribution but not the individual seeded samples;
+    /// `fuse_gates` likewise changes the executed gate sequence.
     pub fn run(&self, circuit: &Circuit, repetitions: u64) -> Result<RunResult, SimError> {
         if !circuit.has_measurements() {
             return Err(SimError::NoMeasurements);
@@ -252,10 +309,20 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         }
         let circuit = self.prepared(circuit);
         if self.can_parallelize(&circuit) {
-            self.run_parallel_samples(&circuit, repetitions)
-        } else {
-            self.run_trajectories(&circuit, repetitions)
+            return self.run_parallel_samples(&circuit, repetitions);
         }
+        if self.can_forest() {
+            match self.run_forest(&circuit, repetitions) {
+                // frontier outgrew max_forest_nodes: replay instead
+                Ok(None) => {}
+                // backend lacks branch/projection capability for some
+                // operation: the replay path is the arbiter of whether
+                // the circuit is runnable at all
+                Err(SimError::Unsupported(_)) => {}
+                other => return other.map(|r| r.expect("forest result")),
+            }
+        }
+        self.run_trajectories(&circuit, repetitions)
     }
 
     /// Applies the opportunistic circuit transformations selected by the
@@ -288,16 +355,29 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     /// Runs a parameterized circuit once per resolver (the Cirq
     /// `run_sweep` equivalent, used by the QAOA grid search of Sec. 4.4).
     /// Returns one [`RunResult`] per resolver, in order.
+    ///
+    /// With [`SimulatorOptions::parallel_sweep`] the resolvers fan out
+    /// across Rayon threads. Each resolver's run derives its RNG streams
+    /// from [`SimulatorOptions::seed`] exactly as in the sequential loop
+    /// (the runs never share RNG state), so per-resolver results are
+    /// bit-identical whether the sweep is parallel or not.
     pub fn run_sweep(
         &self,
         circuit: &Circuit,
         resolvers: &[bgls_circuit::ParamResolver],
         repetitions: u64,
     ) -> Result<Vec<RunResult>, SimError> {
-        resolvers
-            .iter()
-            .map(|r| self.run(&circuit.resolve(r), repetitions))
-            .collect()
+        if self.options.parallel_sweep && resolvers.len() > 1 {
+            resolvers
+                .par_iter()
+                .map(|r| self.run(&circuit.resolve(r), repetitions))
+                .collect()
+        } else {
+            resolvers
+                .iter()
+                .map(|r| self.run(&circuit.resolve(r), repetitions))
+                .collect()
+        }
     }
 
     /// Samples `repetitions` bitstrings from the circuit's *final* state
@@ -326,18 +406,29 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             Ok(out)
         } else {
             let seed = self.sample_base_seed();
-            let run_one = |rep: u64| -> Result<BitString, SimError> {
-                let mut rng = rep_rng(seed, rep);
-                let (b, _state) = self.trajectory_once(&stripped, n, &mut rng, None)?;
-                Ok(b)
+            let supports = op_supports(&stripped);
+            let run_chunk = |reps: std::ops::Range<u64>| -> Result<Vec<BitString>, SimError> {
+                let mut scratch = self.initial_state.clone();
+                let mut out = Vec::with_capacity((reps.end - reps.start) as usize);
+                for rep in reps {
+                    let mut rng = rep_rng(seed, rep);
+                    out.push(self.trajectory_once(
+                        &stripped,
+                        &supports,
+                        &mut scratch,
+                        n,
+                        &mut rng,
+                    )?);
+                }
+                Ok(out)
             };
-            if self.options.parallel_trajectories && repetitions > 1 {
-                (0..repetitions)
-                    .into_par_iter()
-                    .map(run_one)
-                    .collect::<Result<Vec<_>, _>>()
-            } else {
-                (0..repetitions).map(run_one).collect()
+            match rep_chunks(repetitions, self.options.parallel_trajectories) {
+                Some(chunks) => {
+                    let parts: Result<Vec<Vec<BitString>>, SimError> =
+                        chunks.into_par_iter().map(run_chunk).collect();
+                    Ok(parts?.into_iter().flatten().collect())
+                }
+                None => run_chunk(0..repetitions),
             }
         }
     }
@@ -436,16 +527,29 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         }
         let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
         let step_seed: u64 = rng.gen();
+        *map = self.redistribute(state, &support, step_seed, map)?;
+        Ok(())
+    }
+
+    /// Redistributes every map entry's multiplicity across its candidate
+    /// set — through the batched hook when installed and enabled, else
+    /// the scalar loop. Both variants are bit-identical (see
+    /// [`Simulator::step_multiplicity_map`]).
+    fn redistribute(
+        &self,
+        state: &S,
+        support: &[usize],
+        step_seed: u64,
+        map: &FxHashMap<BitString, u64>,
+    ) -> Result<FxHashMap<BitString, u64>, SimError> {
         let batch_hook = match &self.compute_probabilities_batch {
             Some(hook) if self.options.batch_probabilities => Some(hook),
             _ => None,
         };
-        let next = match batch_hook {
-            Some(hook) => self.step_map_batched(state, &support, step_seed, map, hook)?,
-            None => self.step_map_scalar(state, &support, step_seed, map)?,
-        };
-        *map = next;
-        Ok(())
+        match batch_hook {
+            Some(hook) => self.step_map_batched(state, support, step_seed, map, hook),
+            None => self.step_map_scalar(state, support, step_seed, map),
+        }
     }
 
     /// True when this redistribution should fan out across Rayon threads.
@@ -607,27 +711,307 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         self.options.skip_diagonal_updates && op.as_gate().map(Gate::is_diagonal).unwrap_or(false)
     }
 
+    // ---- trajectory-forest path ----------------------------------------
+
+    /// Runs the circuit through the trajectory-forest engine: a frontier
+    /// of `(state, multiplicity-map)` nodes sharing every deterministic
+    /// prefix of their branch histories. Returns `Ok(None)` when the
+    /// frontier outgrew [`SimulatorOptions::max_forest_nodes`] (the
+    /// caller replays instead).
+    ///
+    /// Determinism: every node carries a SplitMix stream key derived from
+    /// the base seed and its branch history ([`stream_seed`]); all
+    /// randomness — redistribution step seeds, branch multinomials —
+    /// is a pure function of `(stream, op index)`, so histograms are
+    /// bit-identical across thread counts and across the batched /
+    /// scalar probability paths.
+    fn run_forest(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+    ) -> Result<Option<RunResult>, SimError> {
+        let n = self.initial_state.num_qubits();
+        let terminal = circuit.measurements_are_terminal();
+        let op_count = circuit.all_operations().count() as u64;
+        let seed = self.sample_base_seed();
+        let mut result = RunResult::new(repetitions);
+        let mut root_map: FxHashMap<BitString, u64> = FxHashMap::default();
+        root_map.insert(BitString::zeros(n), repetitions);
+        let mut nodes = vec![ForestNode {
+            state: self.initial_state.clone(),
+            map: root_map,
+            stream: seed,
+        }];
+        for (t, op) in circuit.all_operations().enumerate() {
+            let t = t as u64;
+            match &op.kind {
+                OpKind::Measure { key } => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    for node in &nodes {
+                        for (b, m) in &node.map {
+                            result.record(key, b.restrict(&qs), *m);
+                        }
+                    }
+                    // No operation consumes the post-measurement state
+                    // after the final op, so only interior measurements
+                    // fork.
+                    if !terminal && t + 1 < op_count {
+                        match self.forest_collapse(nodes, &qs, t)? {
+                            Some(next) => nodes = next,
+                            None => return Ok(None),
+                        }
+                    }
+                }
+                OpKind::Channel(ch) if !self.initial_state.channels_are_deterministic() => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    match self.forest_branch(nodes, ch, &qs, t)? {
+                        Some(next) => nodes = next,
+                        None => return Ok(None),
+                    }
+                }
+                _ => {
+                    nodes = self.forest_step(nodes, op, t)?;
+                }
+            }
+        }
+        Ok(Some(result))
+    }
+
+    /// True when a frontier sweep should fan out across Rayon threads.
+    fn forest_in_parallel(&self, n_items: usize) -> bool {
+        self.options.parallel_trajectories && n_items > 1 && rayon::current_num_threads() > 1
+    }
+
+    /// Maps a fallible function over frontier items, across Rayon threads
+    /// when enabled. Everything mapped here derives its randomness from
+    /// per-item stream keys, so the sweep order never affects results.
+    fn forest_map<T, U, F>(&self, items: Vec<T>, f: F) -> Result<Vec<U>, SimError>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> Result<U, SimError> + Sync,
+    {
+        if self.forest_in_parallel(items.len()) {
+            items.into_par_iter().map(&f).collect()
+        } else {
+            items.into_iter().map(&f).collect()
+        }
+    }
+
+    /// Deterministic forest advance: apply the operation to every node
+    /// once and redistribute its map, exactly as the single-state
+    /// sample-parallelized path does — but with the step seed derived
+    /// from the node's stream instead of a shared sequential RNG.
+    fn forest_step(
+        &self,
+        mut nodes: Vec<ForestNode<S>>,
+        op: &Operation,
+        t: u64,
+    ) -> Result<Vec<ForestNode<S>>, SimError> {
+        let advance = |node: &mut ForestNode<S>| -> Result<(), SimError> {
+            // Hook-compatible RNG; the default hook draws nothing for
+            // gates, and deterministic channels ignore it.
+            let mut rng = rep_rng(node.stream, t);
+            (self.apply_op)(&mut node.state, op, &mut rng)?;
+            if self.skip_update(op) {
+                return Ok(());
+            }
+            let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+            node.map = self.redistribute(
+                &node.state,
+                &support,
+                stream_seed(node.stream, t),
+                &node.map,
+            )?;
+            Ok(())
+        };
+        if self.forest_in_parallel(nodes.len()) {
+            let results: Result<Vec<()>, SimError> = nodes.par_iter_mut().map(&advance).collect();
+            results?;
+        } else {
+            for node in &mut nodes {
+                advance(node)?;
+            }
+        }
+        Ok(nodes)
+    }
+
+    /// Stochastic-channel branch point: every node splits each map
+    /// entry's multiplicity multinomially across the channel's Kraus
+    /// branch probabilities (per-entry RNG streams, mirroring the
+    /// redistribution step) and forks one child state per nonempty
+    /// branch. Zero-multiplicity branches are pruned, so low-noise
+    /// circuits keep the frontier near one node.
+    ///
+    /// Two phases so the [`SimulatorOptions::max_forest_nodes`] budget is
+    /// checked *before* any child state is materialized: first the branch
+    /// weights and multiplicity splits (no state clones), then — only if
+    /// the prospective frontier fits — the per-branch states. Returns
+    /// `Ok(None)` on budget exhaustion.
+    fn forest_branch(
+        &self,
+        nodes: Vec<ForestNode<S>>,
+        channel: &Channel,
+        support: &[usize],
+        t: u64,
+    ) -> Result<Option<Vec<ForestNode<S>>>, SimError> {
+        struct Plan<S> {
+            state: S,
+            branch_seed: u64,
+            branch_maps: Vec<FxHashMap<BitString, u64>>,
+        }
+        let plans: Vec<Plan<S>> = self.forest_map(nodes, |node| {
+            let probs = node.state.kraus_branch_probabilities(channel, support)?;
+            let branch_seed = stream_seed(node.stream, t);
+            let mut branch_maps: Vec<FxHashMap<BitString, u64>> =
+                vec![FxHashMap::default(); probs.len()];
+            let mut counts = Vec::new();
+            for (&b, &m) in &node.map {
+                let mut entry_rng = rep_rng(branch_seed, b.as_u64());
+                multinomial_split_into(m, &probs, &mut entry_rng, &mut counts)?;
+                for (j, &cnt) in counts.iter().enumerate() {
+                    if cnt > 0 {
+                        branch_maps[j].insert(b, cnt);
+                    }
+                }
+            }
+            Ok(Plan {
+                state: node.state,
+                branch_seed,
+                branch_maps,
+            })
+        })?;
+        let children_total: usize = plans
+            .iter()
+            .map(|p| p.branch_maps.iter().filter(|m| !m.is_empty()).count())
+            .sum();
+        if children_total > self.options.max_forest_nodes {
+            return Ok(None);
+        }
+        let parts = self.forest_map(plans, |plan| {
+            let occupied = plan.branch_maps.iter().filter(|m| !m.is_empty()).count();
+            let mut parent = Some(plan.state);
+            let mut remaining = occupied;
+            let mut children = Vec::with_capacity(occupied);
+            for (j, map) in plan.branch_maps.into_iter().enumerate() {
+                if map.is_empty() {
+                    continue;
+                }
+                remaining -= 1;
+                let mut state = if remaining == 0 {
+                    // the last child takes the parent state without a copy
+                    parent.take().expect("parent state")
+                } else {
+                    parent.as_ref().expect("parent state").clone()
+                };
+                state.apply_kraus_branch(channel, j, support)?;
+                let stream = stream_seed(plan.branch_seed, 1 + j as u64);
+                // the BGLS bitstring update after the channel application
+                let map = self.redistribute(&state, support, stream_seed(stream, t), &map)?;
+                children.push(ForestNode { state, map, stream });
+            }
+            Ok(children)
+        })?;
+        Ok(Some(parts.into_iter().flatten().collect()))
+    }
+
+    /// Mid-circuit-measurement fork: a node's entries are grouped by
+    /// measured outcome and each group gets a child whose state is
+    /// projected onto that outcome — keeping later operations exactly
+    /// correlated with what this node's repetitions already recorded.
+    /// Like [`Simulator::forest_branch`], the budget is checked against
+    /// the grouped outcome counts before any state is cloned; returns
+    /// `Ok(None)` on budget exhaustion.
+    fn forest_collapse(
+        &self,
+        nodes: Vec<ForestNode<S>>,
+        support: &[usize],
+        t: u64,
+    ) -> Result<Option<Vec<ForestNode<S>>>, SimError> {
+        struct Plan<S> {
+            state: S,
+            fork_seed: u64,
+            outcomes: Vec<(u64, FxHashMap<BitString, u64>)>,
+        }
+        let plans: Vec<Plan<S>> = self.forest_map(nodes, |node| {
+            let mut groups: FxHashMap<u64, FxHashMap<BitString, u64>> = FxHashMap::default();
+            for (&b, &m) in &node.map {
+                groups
+                    .entry(b.support_value(support))
+                    .or_default()
+                    .insert(b, m);
+            }
+            let mut outcomes: Vec<(u64, FxHashMap<BitString, u64>)> = groups.into_iter().collect();
+            outcomes.sort_unstable_by_key(|&(v, _)| v);
+            Ok(Plan {
+                fork_seed: stream_seed(node.stream, t),
+                state: node.state,
+                outcomes,
+            })
+        })?;
+        let children_total: usize = plans.iter().map(|p| p.outcomes.len()).sum();
+        if children_total > self.options.max_forest_nodes {
+            return Ok(None);
+        }
+        let parts = self.forest_map(plans, |plan| {
+            let total = plan.outcomes.len();
+            let mut parent = Some(plan.state);
+            let mut children = Vec::with_capacity(total);
+            for (i, (v, map)) in plan.outcomes.into_iter().enumerate() {
+                let mut state = if i + 1 == total {
+                    parent.take().expect("parent state")
+                } else {
+                    parent.as_ref().expect("parent state").clone()
+                };
+                for (j, &q) in support.iter().enumerate() {
+                    state.project(q, (v >> j) & 1 == 1)?;
+                }
+                children.push(ForestNode {
+                    state,
+                    map,
+                    stream: stream_seed(plan.fork_seed, 1 + v),
+                });
+            }
+            Ok(children)
+        })?;
+        Ok(Some(parts.into_iter().flatten().collect()))
+    }
+
     // ---- trajectory path ----------------------------------------------
 
     fn run_trajectories(&self, circuit: &Circuit, repetitions: u64) -> Result<RunResult, SimError> {
         let n = self.initial_state.num_qubits();
         let terminal = circuit.measurements_are_terminal();
         let seed = self.sample_base_seed();
+        let supports = op_supports(circuit);
 
-        let run_one = |rep: u64| -> Result<RunResult, SimError> {
-            let mut rng = rep_rng(seed, rep);
-            let mut result = RunResult::new(1);
-            let mut recorder = |key: &str, outcome: BitString| {
-                result.record(key, outcome, 1);
-            };
-            self.trajectory_once_with_measure(circuit, n, &mut rng, terminal, &mut recorder)?;
+        // One scratch state per chunk: trajectories reuse its buffers via
+        // `clone_from` instead of allocating a fresh state every rep.
+        let run_chunk = |reps: std::ops::Range<u64>| -> Result<RunResult, SimError> {
+            let mut result = RunResult::new(0);
+            let mut scratch = self.initial_state.clone();
+            for rep in reps {
+                let mut rng = rep_rng(seed, rep);
+                let mut recorder = |key: &str, outcome: BitString| {
+                    result.record(key, outcome, 1);
+                };
+                self.trajectory_once_with_measure(
+                    circuit,
+                    &supports,
+                    &mut scratch,
+                    n,
+                    &mut rng,
+                    terminal,
+                    &mut recorder,
+                )?;
+            }
             Ok(result)
         };
 
-        if self.options.parallel_trajectories && repetitions > 1 {
-            (0..repetitions)
+        match rep_chunks(repetitions, self.options.parallel_trajectories) {
+            Some(chunks) => chunks
                 .into_par_iter()
-                .map(run_one)
+                .map(run_chunk)
                 .try_reduce(
                     || RunResult::new(0),
                     |mut a, b| {
@@ -635,69 +1019,70 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
                         Ok(a)
                     },
                 )
-                // merge() sums the per-rep counts; report the true total
-                .map(|r| r.with_repetitions(repetitions))
-        } else {
-            let mut result = RunResult::new(0);
-            for rep in 0..repetitions {
-                result.merge(run_one(rep)?);
-            }
-            Ok(result.with_repetitions(repetitions))
+                // merge() sums the per-chunk counts; report the true total
+                .map(|r| r.with_repetitions(repetitions)),
+            None => run_chunk(0..repetitions).map(|r| r.with_repetitions(repetitions)),
         }
     }
 
-    /// Walks the circuit once (no measurement handling), returning the final
-    /// bitstring and state.
+    /// Walks the circuit once into `state` (measurements skipped),
+    /// returning the final bitstring. `state` is overwritten via
+    /// `clone_from`, so callers can reuse one scratch state across
+    /// repetitions.
     fn trajectory_once(
         &self,
         circuit: &Circuit,
+        supports: &[Vec<usize>],
+        state: &mut S,
         n: usize,
         rng: &mut StdRng,
-        mut bits: Option<BitString>,
-    ) -> Result<(BitString, S), SimError> {
-        let mut state = self.initial_state.clone();
-        let b = bits.get_or_insert(BitString::zeros(n));
-        for op in circuit.all_operations() {
+    ) -> Result<BitString, SimError> {
+        state.clone_from(&self.initial_state);
+        let mut b = BitString::zeros(n);
+        for (op, support) in circuit.all_operations().zip(supports) {
             if op.is_measurement() {
                 continue;
             }
-            (self.apply_op)(&mut state, op, rng)?;
+            (self.apply_op)(state, op, rng)?;
             if !self.skip_update(op) {
-                *b = self.resample(&state, *b, op, rng)?;
+                b = self.resample(state, b, support, rng)?;
             }
         }
-        Ok((*b, state))
+        Ok(b)
     }
 
     /// Full trajectory including measurement recording and (when needed)
-    /// collapse.
+    /// collapse. `state` is a reusable scratch buffer like in
+    /// [`Simulator::trajectory_once`].
+    #[allow(clippy::too_many_arguments)]
     fn trajectory_once_with_measure(
         &self,
         circuit: &Circuit,
+        supports: &[Vec<usize>],
+        state: &mut S,
         n: usize,
         rng: &mut StdRng,
         terminal: bool,
         record: &mut dyn FnMut(&str, BitString),
     ) -> Result<(), SimError> {
-        let mut state = self.initial_state.clone();
+        state.clone_from(&self.initial_state);
         let mut b = BitString::zeros(n);
-        for op in circuit.all_operations() {
+        for (op, support) in circuit.all_operations().zip(supports) {
             match &op.kind {
                 OpKind::Measure { key } => {
-                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
-                    record(key, b.restrict(&qs));
+                    record(key, b.restrict(support));
                     if !terminal {
                         // Collapse so later gates see the post-measurement
                         // state of this trajectory.
-                        for &q in &qs {
+                        for &q in support {
                             state.project(q, b.get(q))?;
                         }
                     }
                 }
                 _ => {
-                    (self.apply_op)(&mut state, op, rng)?;
+                    (self.apply_op)(state, op, rng)?;
                     if !self.skip_update(op) {
-                        b = self.resample(&state, b, op, rng)?;
+                        b = self.resample(state, b, support, rng)?;
                     }
                 }
             }
@@ -712,15 +1097,25 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         &self,
         state: &S,
         b: BitString,
-        op: &Operation,
+        support: &[usize],
         rng: &mut StdRng,
     ) -> Result<BitString, SimError> {
-        let support: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
-        let candidates = b.candidates(&support);
+        let candidates = b.candidates(support);
         let probs = self.candidate_probs(state, &candidates);
         let idx = categorical(&probs, rng)?;
         Ok(candidates[idx])
     }
+}
+
+/// One frontier node of the trajectory forest: a concrete state shared by
+/// every repetition whose branch history matches `stream`, plus the
+/// multiplicity map of those repetitions' bitstrings.
+struct ForestNode<S> {
+    state: S,
+    map: FxHashMap<BitString, u64>,
+    /// SplitMix stream key encoding this node's branch history; all of
+    /// the node's randomness derives from `(stream, op index)`.
+    stream: u64,
 }
 
 /// Runs a redistribution splitter over `entries` and feeds every nonzero
@@ -757,16 +1152,56 @@ where
     Ok(())
 }
 
-/// RNG stream derived from a base seed and a stream index (SplitMix-style
-/// separation). Used per repetition on the trajectory path and per map
-/// entry on the redistribution path, so parallel execution is independent
-/// of scheduling yet reproducible. Distinct indices always yield distinct
-/// streams (the multiplier is odd, hence invertible mod 2^64).
-fn rep_rng(seed: u64, rep: u64) -> StdRng {
-    let mut z = seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// Derives a child stream key from a parent key and an index —
+/// SplitMix-style separation. Distinct indices always yield distinct
+/// streams (the multiplier is odd, hence invertible mod 2^64), and the
+/// mix is a pure function, so keys can be chained into a *tree* of
+/// streams: the trajectory forest keys every node by its branch history
+/// this way, making results independent of scheduling and thread count.
+fn stream_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+    z ^ (z >> 31)
+}
+
+/// RNG over a [`stream_seed`] stream. Used per repetition on the
+/// trajectory path, per map entry on the redistribution path, and per
+/// `(node, operation)` on the forest path.
+fn rep_rng(seed: u64, rep: u64) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(seed, rep))
+}
+
+/// Splits `0..repetitions` into one contiguous range per Rayon thread
+/// (replay-path chunking: each chunk reuses one scratch state). Returns
+/// `None` when the work should stay sequential. Per-repetition RNG
+/// streams are keyed by the absolute repetition index, so the chunking
+/// never changes results.
+fn rep_chunks(repetitions: u64, parallel: bool) -> Option<Vec<std::ops::Range<u64>>> {
+    let threads = rayon::current_num_threads() as u64;
+    if !parallel || repetitions <= 1 || threads <= 1 {
+        return None;
+    }
+    let chunk_len = repetitions.div_ceil(threads).max(1);
+    let mut chunks = Vec::with_capacity(threads as usize);
+    let mut start = 0;
+    while start < repetitions {
+        let end = (start + chunk_len).min(repetitions);
+        chunks.push(start..end);
+        start = end;
+    }
+    Some(chunks)
+}
+
+/// Each operation's support as state indices, in
+/// [`Circuit::all_operations`] order — precomputed once per circuit so
+/// the replay loops stop rebuilding a `Vec<usize>` per operation per
+/// repetition.
+fn op_supports(circuit: &Circuit) -> Vec<Vec<usize>> {
+    circuit
+        .all_operations()
+        .map(|op| op.support().iter().map(|q| q.index()).collect())
+        .collect()
 }
 
 /// Draws an index from unnormalized non-negative weights.
@@ -1286,6 +1721,218 @@ mod tests {
         let r = sim.run(&c, 2000).unwrap();
         let flips = r.histogram("m").unwrap().count_value(1);
         assert!(flips > 450 && flips < 750, "flips = {flips}");
+    }
+
+    /// GHZ with sparse bit-flip noise plus a mid-circuit measurement —
+    /// exercises every forest transition: deterministic steps, channel
+    /// branch points, and a measurement fork.
+    fn noisy_mid_circuit_circuit(n: usize, p: f64) -> Circuit {
+        let mut c = ghz(n);
+        c.push(Operation::channel(Channel::bit_flip(p).unwrap(), vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "mid").unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::channel(Channel::depolarizing(p).unwrap(), vec![Qubit(1)]).unwrap());
+        c.push(Operation::measure(Qubit::range(n), "fin").unwrap());
+        c
+    }
+
+    fn forest_opts(seed: u64) -> SimulatorOptions {
+        SimulatorOptions {
+            seed: Some(seed),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn forest_engages_and_budget_fallback_replays() {
+        let c = noisy_mid_circuit_circuit(3, 0.2);
+        let run = |opts: SimulatorOptions| {
+            Simulator::new(RefState::zero(3))
+                .with_options(opts)
+                .run(&c, 2000)
+                .unwrap()
+        };
+        let forest = run(forest_opts(31));
+        let replay = run(SimulatorOptions {
+            trajectory_forest: false,
+            ..forest_opts(31)
+        });
+        let exhausted = run(SimulatorOptions {
+            max_forest_nodes: 0,
+            ..forest_opts(31)
+        });
+        // a zero budget falls back to replay: bit-identical to the
+        // replay engine under the same seed
+        assert_eq!(exhausted.histogram("fin"), replay.histogram("fin"));
+        assert_eq!(exhausted.histogram("mid"), replay.histogram("mid"));
+        // the forest keys its streams differently, so with the same seed
+        // an identical histogram would mean it silently replayed
+        assert_ne!(
+            forest.histogram("fin"),
+            replay.histogram("fin"),
+            "forest run reproduced the replay stream exactly — did it engage?"
+        );
+    }
+
+    #[test]
+    fn forest_parallel_and_serial_are_bit_identical() {
+        let c = noisy_mid_circuit_circuit(4, 0.15);
+        let run = |parallel: bool| {
+            let opts = SimulatorOptions {
+                parallel_trajectories: parallel,
+                parallel_redistribution: parallel,
+                ..forest_opts(32)
+            };
+            Simulator::new(RefState::zero(4))
+                .with_options(opts)
+                .run(&c, 3000)
+                .unwrap()
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a.histogram("fin"), b.histogram("fin"));
+        assert_eq!(a.histogram("mid"), b.histogram("mid"));
+    }
+
+    #[test]
+    fn forest_batched_and_scalar_are_bit_identical() {
+        let c = noisy_mid_circuit_circuit(4, 0.15);
+        let run = |batch: bool| {
+            let opts = SimulatorOptions {
+                batch_probabilities: batch,
+                ..forest_opts(33)
+            };
+            Simulator::new(RefState::zero(4))
+                .with_options(opts)
+                .run(&c, 3000)
+                .unwrap()
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a.histogram("fin"), b.histogram("fin"));
+        assert_eq!(a.histogram("mid"), b.histogram("mid"));
+    }
+
+    #[test]
+    fn forest_mid_circuit_collapse_correlates_outcomes() {
+        // H(0); measure(0); CNOT(0 -> 1); measure(1): outcomes must agree
+        // exactly, repetition by repetition, through the forest's
+        // measurement forks.
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "a").unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(1)], "b").unwrap());
+        let sim = Simulator::new(RefState::zero(2)).with_options(forest_opts(34));
+        let r = sim.run(&c, 1000).unwrap();
+        assert_eq!(
+            r.histogram("a").unwrap().count_value(1),
+            r.histogram("b").unwrap().count_value(1),
+        );
+    }
+
+    #[test]
+    fn forest_matches_replay_distribution_on_noisy_circuit() {
+        let mut c = Circuit::new();
+        c.push(Operation::channel(Channel::bit_flip(0.3).unwrap(), vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let run = |forest: bool| {
+            let opts = SimulatorOptions {
+                trajectory_forest: forest,
+                ..forest_opts(35)
+            };
+            Simulator::new(RefState::zero(1))
+                .with_options(opts)
+                .run(&c, 4000)
+                .unwrap()
+        };
+        let ff = run(true).histogram("m").unwrap().count_value(1) as f64 / 4000.0;
+        let fr = run(false).histogram("m").unwrap().count_value(1) as f64 / 4000.0;
+        assert!((ff - 0.3).abs() < 0.035, "forest flip rate {ff}");
+        assert!((fr - 0.3).abs() < 0.035, "replay flip rate {fr}");
+    }
+
+    #[test]
+    fn forest_conserves_repetitions_under_heavy_branching() {
+        // depolarizing noise on every qubit of an entangling circuit:
+        // plenty of branch points, still exactly `reps` outcomes per key
+        let c = entangling_circuit(4);
+        let ops: Vec<Operation> = c.all_operations().cloned().collect();
+        let mut noisy = Circuit::new();
+        for op in ops {
+            let is_measure = op.is_measurement();
+            if is_measure {
+                for q in 0..4u32 {
+                    noisy.push(
+                        Operation::channel(Channel::depolarizing(0.1).unwrap(), vec![Qubit(q)])
+                            .unwrap(),
+                    );
+                }
+            }
+            noisy.push(op);
+        }
+        let sim = Simulator::new(RefState::zero(4)).with_options(forest_opts(36));
+        let r = sim.run(&noisy, 5000).unwrap();
+        assert_eq!(r.histogram("z").unwrap().total(), 5000);
+    }
+
+    #[test]
+    fn custom_hooks_never_use_the_forest() {
+        // with_hooks simulators keep the replay engine even for noisy
+        // circuits: same seed, same histogram as an explicit replay run
+        let mut c = Circuit::new();
+        c.push(Operation::channel(Channel::bit_flip(0.4).unwrap(), vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let apply: ApplyFn<RefState> = Arc::new(|s, op, rng| match &op.kind {
+            OpKind::Gate(g) => {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                s.apply_gate(g, &qs)
+            }
+            OpKind::Channel(ch) => {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                s.apply_kraus(ch, &qs, rng).map(|_| ())
+            }
+            OpKind::Measure { .. } => Ok(()),
+        });
+        let prob: ProbFn<RefState> = Arc::new(|s, b| s.probability(b));
+        let hooked = Simulator::with_hooks(RefState::zero(1), apply, prob, false)
+            .with_options(forest_opts(37));
+        let replay = Simulator::new(RefState::zero(1)).with_options(SimulatorOptions {
+            trajectory_forest: false,
+            ..forest_opts(37)
+        });
+        assert_eq!(
+            hooked.run(&c, 500).unwrap().histogram("m"),
+            replay.run(&c, 500).unwrap().histogram("m"),
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        use bgls_circuit::{Param, ParamResolver};
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::Rx(Param::symbol("t")), vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let resolvers: Vec<ParamResolver> = (0..6)
+            .map(|i| ParamResolver::from_pairs([("t", 0.3 * i as f64)]))
+            .collect();
+        let run = |parallel: bool| {
+            let opts = SimulatorOptions {
+                parallel_sweep: parallel,
+                ..forest_opts(38)
+            };
+            Simulator::new(RefState::zero(1))
+                .with_options(opts)
+                .run_sweep(&c, &resolvers, 600)
+                .unwrap()
+        };
+        let par = run(true);
+        let seq = run(false);
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.histogram("m"), b.histogram("m"));
+        }
     }
 
     #[test]

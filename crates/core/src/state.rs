@@ -64,6 +64,56 @@ pub trait BglsState: Clone {
         Err(SimError::Unsupported("Kraus channels".into()))
     }
 
+    /// Probabilities of every Kraus branch of `channel` on the current
+    /// state: `p_i = |K_i |psi>|^2` (pure states) or
+    /// `Tr(K_i rho K_i^dagger)` (mixed states). This is the branch-point
+    /// query of the trajectory-forest engine: the simulator splits a
+    /// node's multiplicities multinomially across these probabilities
+    /// instead of sampling one branch per repetition.
+    ///
+    /// **Determinism contract:** the returned vector must be a pure
+    /// function of the state and channel — same values bit for bit on
+    /// every call, independent of thread count or call order — and must
+    /// list one entry per Kraus operator, in [`Channel::kraus`] order,
+    /// summing to 1 within rounding. Backends that apply channels
+    /// deterministically (density matrices) return the single branch
+    /// `[1.0]`, meaning "the whole channel, applied exactly".
+    ///
+    /// Backends without channel support return
+    /// [`SimError::Unsupported`] (the default).
+    fn kraus_branch_probabilities(
+        &self,
+        channel: &Channel,
+        qubits: &[usize],
+    ) -> Result<Vec<f64>, SimError> {
+        let _ = (channel, qubits);
+        Err(SimError::Unsupported("Kraus branch probabilities".into()))
+    }
+
+    /// Applies one *chosen* Kraus branch of `channel` — `K_branch`
+    /// followed by renormalization — with no randomness drawn. Together
+    /// with [`BglsState::kraus_branch_probabilities`] this decomposes
+    /// [`BglsState::apply_kraus`] into its query and commit halves so
+    /// the trajectory forest can fork every nonempty branch of a node.
+    ///
+    /// **Determinism contract:** the post-branch state must be exactly
+    /// the state [`BglsState::apply_kraus`] would leave behind had its
+    /// internal draw selected `branch` — the forest and replay paths
+    /// then walk identical per-branch states. Deterministic-channel
+    /// backends accept only `branch == 0` and apply the whole channel.
+    /// Returns [`SimError::ZeroProbabilityEvent`] when the branch has
+    /// zero weight on this state, leaving the state unchanged (errors
+    /// must not poison the state).
+    fn apply_kraus_branch(
+        &mut self,
+        channel: &Channel,
+        branch: usize,
+        qubits: &[usize],
+    ) -> Result<(), SimError> {
+        let _ = (channel, branch, qubits);
+        Err(SimError::Unsupported("Kraus branch application".into()))
+    }
+
     /// Projects `qubit` onto `value` and renormalizes (mid-circuit
     /// measurement collapse). Backends without projection support return
     /// [`SimError::Unsupported`] (the default).
@@ -176,6 +226,46 @@ pub(crate) mod testing {
                 r -= norm;
             }
             unreachable!("loop always returns at the last branch")
+        }
+
+        fn kraus_branch_probabilities(
+            &self,
+            channel: &Channel,
+            qubits: &[usize],
+        ) -> Result<Vec<f64>, SimError> {
+            self.check_qubits(qubits)?;
+            let qs: Vec<Qubit> = qubits.iter().map(|&q| Qubit(q as u32)).collect();
+            Ok(channel
+                .kraus()
+                .iter()
+                .map(|k| {
+                    let full = embed_unitary_nonunitary(k, &qs, self.n);
+                    full.matvec(&self.amps)
+                        .iter()
+                        .map(|z| z.norm_sqr())
+                        .sum::<f64>()
+                })
+                .collect())
+        }
+
+        fn apply_kraus_branch(
+            &mut self,
+            channel: &Channel,
+            branch: usize,
+            qubits: &[usize],
+        ) -> Result<(), SimError> {
+            self.check_qubits(qubits)?;
+            let qs: Vec<Qubit> = qubits.iter().map(|&q| Qubit(q as u32)).collect();
+            let k = &channel.kraus()[branch];
+            let full = embed_unitary_nonunitary(k, &qs, self.n);
+            let cand = full.matvec(&self.amps);
+            let norm: f64 = cand.iter().map(|z| z.norm_sqr()).sum();
+            if norm <= 0.0 {
+                return Err(SimError::ZeroProbabilityEvent);
+            }
+            let scale = 1.0 / norm.sqrt();
+            self.amps = cand.into_iter().map(|z| z * scale).collect();
+            Ok(())
         }
 
         fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {

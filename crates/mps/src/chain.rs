@@ -444,6 +444,57 @@ impl BglsState for ChainMps {
         Ok(())
     }
 
+    fn kraus_branch_probabilities(
+        &self,
+        channel: &Channel,
+        qubits: &[usize],
+    ) -> Result<Vec<f64>, SimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != 1 {
+            return Err(SimError::Unsupported(
+                "multi-qubit channels on chain MPS".into(),
+            ));
+        }
+        Ok(channel
+            .kraus()
+            .iter()
+            .map(|k| {
+                let mut cand = self.clone();
+                cand.apply_1q_matrix(k, qubits[0]);
+                cand.norm_sqr()
+            })
+            .collect())
+    }
+
+    fn apply_kraus_branch(
+        &mut self,
+        channel: &Channel,
+        branch: usize,
+        qubits: &[usize],
+    ) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != 1 {
+            return Err(SimError::Unsupported(
+                "multi-qubit channels on chain MPS".into(),
+            ));
+        }
+        let k = channel
+            .kraus()
+            .get(branch)
+            .ok_or_else(|| SimError::Invalid(format!("Kraus branch {branch} out of range")))?;
+        // apply on a candidate so a zero-weight branch leaves the state
+        // untouched instead of poisoned
+        let mut cand = self.clone();
+        cand.apply_1q_matrix(k, qubits[0]);
+        let norm = cand.norm_sqr();
+        if norm <= 0.0 {
+            return Err(SimError::ZeroProbabilityEvent);
+        }
+        cand.scale_first_site(1.0 / norm.sqrt());
+        *self = cand;
+        Ok(())
+    }
+
     fn apply_kraus(
         &mut self,
         channel: &Channel,
@@ -569,6 +620,43 @@ mod tests {
             st.apply_gate(&Gate::Ccx, &[0, 1, 2]),
             Err(SimError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn kraus_branch_probabilities_sum_to_one_on_entangled_chain() {
+        let mut st = ChainMps::zero(3, MpsOptions::exact());
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 2]).unwrap();
+        let ch = Channel::amplitude_damping(0.4).unwrap();
+        let probs = st.kraus_branch_probabilities(&ch, &[2]).unwrap();
+        assert_eq!(probs.len(), 2);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        // P(decay) = gamma * P(|1>) = 0.4 * 0.5
+        assert!((probs[1] - 0.2).abs() < 1e-10);
+        // multi-qubit channels stay unsupported
+        let two = Channel::depolarizing2(0.1).unwrap();
+        assert!(matches!(
+            st.kraus_branch_probabilities(&two, &[0, 1]),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn apply_kraus_branch_renormalizes() {
+        let mut st = ChainMps::zero(2, MpsOptions::exact());
+        st.apply_gate(&Gate::H, &[1]).unwrap();
+        let ch = Channel::bit_flip(0.5).unwrap();
+        st.apply_kraus_branch(&ch, 1, &[0]).unwrap();
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-10);
+        assert!((st.probability(b(2, 0b01)) - 0.5).abs() < 1e-10);
+        // zero-weight branch errors and leaves the state untouched
+        let zero = Channel::bit_flip(0.0).unwrap();
+        let mut st = ChainMps::zero(1, MpsOptions::exact());
+        assert!(matches!(
+            st.apply_kraus_branch(&zero, 1, &[0]),
+            Err(SimError::ZeroProbabilityEvent)
+        ));
+        assert!((st.probability(b(1, 0)) - 1.0).abs() < 1e-12);
     }
 
     #[test]

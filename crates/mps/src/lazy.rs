@@ -15,9 +15,10 @@
 //! ```
 
 use crate::schmidt::operator_schmidt;
-use bgls_circuit::Gate;
+use bgls_circuit::{Channel, Gate};
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
 use bgls_linalg::{contract_network, BondId, Matrix, Tensor, C64};
+use rand::{Rng, RngCore};
 
 /// Per-qubit lazy tensor network state.
 #[derive(Clone, Debug)]
@@ -124,6 +125,33 @@ impl LazyNetworkState {
             .map(|x| self.amplitude_of(BitString::from_u64(self.n, x)))
             .collect()
     }
+
+    /// Squared norm `<psi|psi>` by contracting the doubled network: every
+    /// tensor paired with its conjugate, sharing physical legs (summed
+    /// over) while internal bonds of the conjugate copy are relabeled out
+    /// of the way. Cost is contraction-bounded like any probability
+    /// query; non-unitary operations (Kraus branches, projections) use it
+    /// to renormalize.
+    pub fn norm_sqr(&self) -> f64 {
+        let offset = self.next_bond;
+        let mut net: Vec<Tensor> = Vec::with_capacity(2 * self.n);
+        for t in &self.tensors {
+            net.push(t.clone());
+            let labels: Vec<BondId> = t
+                .labels()
+                .iter()
+                .map(|&l| if l >= self.n as BondId { l + offset } else { l })
+                .collect();
+            let data: Vec<C64> = t.data().iter().map(|z| z.conj()).collect();
+            net.push(Tensor::new(labels, t.shape().to_vec(), data));
+        }
+        contract_network(net).re
+    }
+
+    /// Rescales the whole state by `k` (after non-unitary operations).
+    fn rescale(&mut self, k: f64) {
+        self.tensors[0] = self.tensors[0].scale(C64::real(k));
+    }
 }
 
 impl BglsState for LazyNetworkState {
@@ -192,6 +220,103 @@ impl BglsState for LazyNetworkState {
                 contract_network(sliced).norm_sqr()
             })
             .collect()
+    }
+
+    fn kraus_branch_probabilities(
+        &self,
+        channel: &Channel,
+        qubits: &[usize],
+    ) -> Result<Vec<f64>, SimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != 1 {
+            return Err(SimError::Unsupported(
+                "multi-qubit channels on the lazy tensor network".into(),
+            ));
+        }
+        Ok(channel
+            .kraus()
+            .iter()
+            .map(|k| {
+                let mut cand = self.clone();
+                cand.apply_1q_matrix(k, qubits[0]);
+                cand.norm_sqr()
+            })
+            .collect())
+    }
+
+    fn apply_kraus_branch(
+        &mut self,
+        channel: &Channel,
+        branch: usize,
+        qubits: &[usize],
+    ) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != 1 {
+            return Err(SimError::Unsupported(
+                "multi-qubit channels on the lazy tensor network".into(),
+            ));
+        }
+        let k = channel
+            .kraus()
+            .get(branch)
+            .ok_or_else(|| SimError::Invalid(format!("Kraus branch {branch} out of range")))?;
+        // apply on a candidate so a zero-weight branch leaves the state
+        // untouched instead of poisoned
+        let mut cand = self.clone();
+        cand.apply_1q_matrix(k, qubits[0]);
+        let norm = cand.norm_sqr();
+        if norm <= 0.0 {
+            return Err(SimError::ZeroProbabilityEvent);
+        }
+        cand.rescale(1.0 / norm.sqrt());
+        *self = cand;
+        Ok(())
+    }
+
+    fn apply_kraus(
+        &mut self,
+        channel: &Channel,
+        qubits: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, SimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != 1 {
+            return Err(SimError::Unsupported(
+                "multi-qubit channels on the lazy tensor network".into(),
+            ));
+        }
+        // Quantum-trajectory branch selection: P(i) = |K_i |psi>|^2.
+        let mut r: f64 = rng.gen::<f64>();
+        let last = channel.kraus().len() - 1;
+        for (i, k) in channel.kraus().iter().enumerate() {
+            let mut cand = self.clone();
+            cand.apply_1q_matrix(k, qubits[0]);
+            let norm = cand.norm_sqr();
+            if r < norm || i == last {
+                if norm <= 0.0 {
+                    return Err(SimError::ZeroProbabilityEvent);
+                }
+                cand.rescale(1.0 / norm.sqrt());
+                *self = cand;
+                return Ok(i);
+            }
+            r -= norm;
+        }
+        unreachable!("last branch always taken")
+    }
+
+    fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+        self.check_qubits(&[qubit])?;
+        let mut p = Matrix::zeros(2, 2);
+        let idx = value as usize;
+        p[(idx, idx)] = C64::ONE;
+        self.apply_1q_matrix(&p, qubit);
+        let norm = self.norm_sqr();
+        if norm <= 1e-300 {
+            return Err(SimError::ZeroProbabilityEvent);
+        }
+        self.rescale(1.0 / norm.sqrt());
+        Ok(())
     }
 }
 
@@ -276,6 +401,61 @@ mod tests {
             }
         }
         assert!(st.probabilities_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn doubled_network_norm_matches_ket_norm() {
+        let mut st = LazyNetworkState::zero(3);
+        for (g, qs) in [
+            (Gate::H, vec![0usize]),
+            (Gate::Cnot, vec![0, 1]),
+            (Gate::T, vec![2]),
+            (Gate::ISwap, vec![1, 2]),
+        ] {
+            st.apply_gate(&g, &qs).unwrap();
+        }
+        let from_ket: f64 = st.ket().iter().map(|a| a.norm_sqr()).sum();
+        assert!((st.norm_sqr() - from_ket).abs() < 1e-10);
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kraus_branches_and_application_work() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut st = LazyNetworkState::zero(2);
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 1]).unwrap();
+        let ch = Channel::amplitude_damping(0.6).unwrap();
+        let probs = st.kraus_branch_probabilities(&ch, &[1]).unwrap();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!((probs[1] - 0.3).abs() < 1e-10, "decay branch {}", probs[1]);
+        // forcing the decay branch collapses qubit 1 to |0>
+        let mut decayed = st.clone();
+        decayed.apply_kraus_branch(&ch, 1, &[1]).unwrap();
+        assert!(
+            (decayed.probability(BitString::from_u64(2, 0b01)) - 1.0).abs() < 1e-10,
+            "amplitude damping maps the |11> component onto |01>"
+        );
+        // sampled application selects some branch and renormalizes
+        let mut rng = StdRng::seed_from_u64(5);
+        let branch = st.apply_kraus(&ch, &[1], &mut rng).unwrap();
+        assert!(branch < 2);
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_conditions_the_network() {
+        let mut st = LazyNetworkState::zero(2);
+        st.apply_gate(&Gate::H, &[0]).unwrap();
+        st.apply_gate(&Gate::Cnot, &[0, 1]).unwrap();
+        st.project(0, true).unwrap();
+        assert!((st.probability(BitString::from_u64(2, 0b11)) - 1.0).abs() < 1e-10);
+        // projecting onto the now-impossible outcome errors
+        assert!(matches!(
+            st.project(0, false),
+            Err(SimError::ZeroProbabilityEvent)
+        ));
     }
 
     #[test]

@@ -16,11 +16,28 @@ use bgls_linalg::{Matrix, C64};
 use rand::RngCore;
 
 /// Mixed state of `n` qubits as a vectorized `2^n x 2^n` density matrix.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DensityMatrix {
     /// Vectorized entries: `rho[r, c]` at `r | (c << n)`.
     vec: Vec<C64>,
     n: usize,
+}
+
+impl Clone for DensityMatrix {
+    fn clone(&self) -> Self {
+        DensityMatrix {
+            vec: self.vec.clone(),
+            n: self.n,
+        }
+    }
+
+    /// Buffer-reusing clone: overwrites the existing entry vector in
+    /// place (no reallocation when the widths match) — the per-trajectory
+    /// scratch-state path leans on this.
+    fn clone_from(&mut self, source: &Self) {
+        self.vec.clone_from(&source.vec);
+        self.n = source.n;
+    }
 }
 
 impl DensityMatrix {
@@ -94,6 +111,21 @@ impl DensityMatrix {
         let col_qubits: Vec<usize> = qubits.iter().map(|&q| q + self.n).collect();
         kernel::apply_matrix(&mut self.vec, &m.conj(), &col_qubits);
     }
+
+    /// Exact channel application: `rho -> sum_i K_i rho K_i^dagger`.
+    fn apply_channel_exact(&mut self, channel: &Channel, qubits: &[usize]) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        let mut acc = vec![C64::ZERO; self.vec.len()];
+        for k in channel.kraus() {
+            let mut branch = self.clone();
+            branch.conjugate_by(k, qubits);
+            for (a, b) in acc.iter_mut().zip(&branch.vec) {
+                *a += *b;
+            }
+        }
+        self.vec = acc;
+        Ok(())
+    }
 }
 
 impl BglsState for DensityMatrix {
@@ -132,18 +164,33 @@ impl BglsState for DensityMatrix {
         qubits: &[usize],
         _rng: &mut dyn RngCore,
     ) -> Result<usize, SimError> {
+        self.apply_channel_exact(channel, qubits).map(|_| 0)
+    }
+
+    /// Density matrices absorb the whole channel exactly, so the
+    /// "branching" is the single certain branch `[1.0]` — a forest node
+    /// on this backend never forks at a channel.
+    fn kraus_branch_probabilities(
+        &self,
+        _channel: &Channel,
+        qubits: &[usize],
+    ) -> Result<Vec<f64>, SimError> {
         self.check_qubits(qubits)?;
-        // Exact channel application: rho -> sum_i K_i rho K_i^dagger.
-        let mut acc = vec![C64::ZERO; self.vec.len()];
-        for k in channel.kraus() {
-            let mut branch = self.clone();
-            branch.conjugate_by(k, qubits);
-            for (a, b) in acc.iter_mut().zip(&branch.vec) {
-                *a += *b;
-            }
+        Ok(vec![1.0])
+    }
+
+    fn apply_kraus_branch(
+        &mut self,
+        channel: &Channel,
+        branch: usize,
+        qubits: &[usize],
+    ) -> Result<(), SimError> {
+        if branch != 0 {
+            return Err(SimError::Invalid(format!(
+                "deterministic channel has a single branch, got {branch}"
+            )));
         }
-        self.vec = acc;
-        Ok(0)
+        self.apply_channel_exact(channel, qubits)
     }
 
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
@@ -304,6 +351,29 @@ mod tests {
                 assert!((a - b).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn kraus_branching_is_the_single_exact_channel() {
+        let ch = Channel::bit_flip(0.3).unwrap();
+        let dm = DensityMatrix::zero(1);
+        assert_eq!(dm.kraus_branch_probabilities(&ch, &[0]).unwrap(), vec![1.0]);
+        let mut dm = DensityMatrix::zero(1);
+        dm.apply_kraus_branch(&ch, 0, &[0]).unwrap();
+        assert!((dm.probability(BitString::from_u64(1, 1)) - 0.3).abs() < 1e-12);
+        let mut dm = DensityMatrix::zero(1);
+        assert!(dm.apply_kraus_branch(&ch, 1, &[0]).is_err());
+    }
+
+    #[test]
+    fn clone_from_reuses_buffer() {
+        let mut src = DensityMatrix::zero(2);
+        src.apply_gate(&Gate::H, &[0]).unwrap();
+        let mut dst = DensityMatrix::zero(2);
+        let buf = dst.vec.as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(dst.vec.as_ptr(), buf, "clone_from reallocated");
+        assert!((dst.probability(BitString::from_u64(2, 1)) - 0.5).abs() < 1e-12);
     }
 
     #[test]

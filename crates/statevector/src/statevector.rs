@@ -9,10 +9,27 @@ use rand::{Rng, RngCore};
 
 /// A pure state as a dense vector of `2^n` amplitudes. State-index bit `i`
 /// is qubit `i`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct StateVector {
     amps: Vec<C64>,
     n: usize,
+}
+
+impl Clone for StateVector {
+    fn clone(&self) -> Self {
+        StateVector {
+            amps: self.amps.clone(),
+            n: self.n,
+        }
+    }
+
+    /// Buffer-reusing clone: overwrites the existing amplitude vector in
+    /// place (no reallocation when the widths match) — the per-trajectory
+    /// scratch-state path leans on this.
+    fn clone_from(&mut self, source: &Self) {
+        self.amps.clone_from(&source.amps);
+        self.n = source.n;
+    }
 }
 
 impl StateVector {
@@ -166,6 +183,50 @@ impl BglsState for StateVector {
         unreachable!("last branch always taken")
     }
 
+    fn kraus_branch_probabilities(
+        &self,
+        channel: &Channel,
+        qubits: &[usize],
+    ) -> Result<Vec<f64>, SimError> {
+        self.check_qubits(qubits)?;
+        // P(i) = |K_i |psi>|^2 — one reusable scratch buffer for every
+        // branch.
+        let mut scratch = vec![C64::ZERO; self.amps.len()];
+        Ok(channel
+            .kraus()
+            .iter()
+            .map(|k| {
+                scratch.copy_from_slice(&self.amps);
+                kernel::apply_matrix(&mut scratch, k, qubits);
+                kernel::norm_sqr(&scratch)
+            })
+            .collect())
+    }
+
+    fn apply_kraus_branch(
+        &mut self,
+        channel: &Channel,
+        branch: usize,
+        qubits: &[usize],
+    ) -> Result<(), SimError> {
+        self.check_qubits(qubits)?;
+        let k = channel
+            .kraus()
+            .get(branch)
+            .ok_or_else(|| SimError::Invalid(format!("Kraus branch {branch} out of range")))?;
+        // apply on a candidate so a zero-weight branch leaves the state
+        // untouched instead of poisoned
+        let mut cand = self.amps.clone();
+        kernel::apply_matrix(&mut cand, k, qubits);
+        let norm = kernel::norm_sqr(&cand);
+        if norm <= 0.0 {
+            return Err(SimError::ZeroProbabilityEvent);
+        }
+        kernel::scale(&mut cand, 1.0 / norm.sqrt());
+        self.amps = cand;
+        Ok(())
+    }
+
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
         self.check_qubits(&[qubit])?;
         let mask = 1usize << qubit;
@@ -283,6 +344,54 @@ mod tests {
         }
         let f = flips as f64 / 4000.0;
         assert!((f - 0.25).abs() < 0.03, "flip rate {f}");
+    }
+
+    #[test]
+    fn kraus_branch_probabilities_match_channel_weights() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        let ch = Channel::depolarizing(0.12).unwrap();
+        let probs = sv.kraus_branch_probabilities(&ch, &[0]).unwrap();
+        assert_eq!(probs.len(), 4);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((probs[0] - 0.88).abs() < 1e-12);
+        for p in &probs[1..] {
+            assert!((p - 0.04).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_kraus_branch_matches_sampled_branch_state() {
+        // forcing branch 1 of a bit flip must yield exactly X|0> = |1>
+        let ch = Channel::bit_flip(0.25).unwrap();
+        let mut sv = StateVector::zero(1);
+        sv.apply_kraus_branch(&ch, 1, &[0]).unwrap();
+        assert!((sv.probability(BitString::from_u64(1, 1)) - 1.0).abs() < 1e-12);
+        // zero-weight branch errors instead of producing NaNs, and the
+        // state is left untouched
+        let zero = Channel::bit_flip(0.0).unwrap();
+        let mut sv = StateVector::zero(1);
+        assert!(matches!(
+            sv.apply_kraus_branch(&zero, 1, &[0]),
+            Err(SimError::ZeroProbabilityEvent)
+        ));
+        assert!((sv.probability(BitString::zeros(1)) - 1.0).abs() < 1e-15);
+        // out-of-range branch is a typed error
+        let mut sv = StateVector::zero(1);
+        assert!(sv.apply_kraus_branch(&ch, 9, &[0]).is_err());
+    }
+
+    #[test]
+    fn clone_from_reuses_buffer_and_copies_amplitudes() {
+        let mut src = StateVector::zero(3);
+        src.apply_gate(&Gate::H, &[1]).unwrap();
+        let mut dst = StateVector::zero(3);
+        let buf = dst.amps.as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(dst.amps.as_ptr(), buf, "clone_from reallocated");
+        for (a, b) in dst.amplitudes().iter().zip(src.amplitudes()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

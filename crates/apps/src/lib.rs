@@ -44,5 +44,5 @@ pub use qaoa::{
 pub use bgls_backend::{AnyState, BackendKind, SimulatorExt};
 pub use workloads::{
     brickwork_circuit, ghz_circuit, ghz_random_cnot_circuit, random_fixed_cnot_circuit,
-    random_fixed_depth_circuit,
+    random_fixed_depth_circuit, random_u2_brickwork,
 };

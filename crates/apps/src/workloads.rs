@@ -3,8 +3,10 @@
 //! (Fig. 7a), fixed-CNOT-count random circuits (Fig. 7b).
 
 use bgls_circuit::{Circuit, Gate, Operation, Qubit};
+use bgls_linalg::{svd, Matrix, C64};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::Arc;
 
 /// The canonical GHZ ladder: `H(0)` then `CNOT(i-1 -> i)`.
 pub fn ghz_circuit(n: usize) -> Circuit {
@@ -120,6 +122,41 @@ pub fn brickwork_circuit(n: usize, layers: usize, rng: &mut impl Rng) -> Circuit
         while q + 1 < n {
             c.push(
                 Operation::gate(Gate::Cz, vec![Qubit(q as u32), Qubit(q as u32 + 1)]).expect("2q"),
+            );
+            q += 2;
+        }
+    }
+    c
+}
+
+/// A Haar-style random two-qubit unitary: `U V^dagger` from the SVD of
+/// a matrix with i.i.d. complex entries.
+fn random_unitary_4(rng: &mut impl Rng) -> Matrix {
+    let a = Matrix::from_fn(4, 4, |_, _| {
+        C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    });
+    let d = svd(&a);
+    d.u.matmul(&d.vt)
+}
+
+/// Brickwork circuit of *random two-qubit unitaries* (staggered
+/// nearest-neighbour bricks). Unlike [`brickwork_circuit`]'s CZ bricks,
+/// generic `SU(4)` gates multiply the Schmidt rank across every bond by
+/// 4 per brick, so a chi-capped chain MPS saturates its bond budget
+/// within a few layers — the stress workload for the two-site
+/// split/sweep kernels at a given chi.
+pub fn random_u2_brickwork(n: usize, layers: usize, rng: &mut impl Rng) -> Circuit {
+    let mut c = Circuit::new();
+    for layer in 0..layers {
+        let mut q = layer % 2;
+        while q + 1 < n {
+            let u = random_unitary_4(rng);
+            c.push(
+                Operation::gate(
+                    Gate::U2(Arc::new(u)),
+                    vec![Qubit(q as u32), Qubit(q as u32 + 1)],
+                )
+                .expect("2q"),
             );
             q += 2;
         }

@@ -1,0 +1,121 @@
+//! Bench: the dense-kernel floor under the MPS/lazy contraction stack.
+//!
+//! Everything the gate-by-gate sampler does on a structured state bottoms
+//! out in three arithmetic workloads:
+//!
+//! * `raw_gemm` — `Matrix::matmul` on the (2chi x chi)(chi x 2chi)
+//!   two-site shapes the chain MPS produces at chi=32, plus a larger
+//!   square and a non-power-of-two shape;
+//! * `tensor_contract` — `Tensor::contract` on rank-3/rank-4 operands
+//!   whose shared bonds force axis permutation (the lazy-network case);
+//! * `chain_chi32` — end-to-end chain-MPS sampling of a brickwork
+//!   circuit at chi=32 (two-site GEMM + Jacobi SVD + amplitude sweeps);
+//! * `lazy_norm_sqr` — `LazyNetworkState::norm_sqr` via the doubled
+//!   network, the heaviest `contract_network` consumer.
+//!
+//! The acceptance bar for the GEMM PR is >= 3x on `chain_chi32` and on
+//! `lazy_norm_sqr` versus the pre-GEMM sequential kernels; measured
+//! before/after pairs are recorded in `BENCH_gemm_contraction.json`.
+
+use bgls_apps::{brickwork_circuit, random_u2_brickwork};
+use bgls_core::{BglsState, Simulator};
+use bgls_linalg::{Matrix, Tensor, C64};
+use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+    Matrix::from_fn(m, n, |_, _| {
+        C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+fn random_tensor(rng: &mut StdRng, labels: Vec<u32>, shape: Vec<usize>) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data = (0..len)
+        .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    Tensor::new(labels, shape, data)
+}
+
+fn bench_raw_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raw_gemm");
+    group.sample_size(20);
+    // (m, k, n): two-site theta at chi=32, a large square, a ragged shape.
+    for &(m, k, n) in &[(64usize, 32usize, 64usize), (128, 128, 128), (96, 53, 77)] {
+        let mut rng = StdRng::seed_from_u64((m * k * n) as u64);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| bch.iter(|| a.matmul(&b)),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(4242);
+    let a = random_matrix(&mut rng, 128, 128);
+    let v: Vec<C64> = (0..128)
+        .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    group.bench_function("matvec/128", |bch| bch.iter(|| a.matvec(&v)));
+    group.finish();
+}
+
+fn bench_tensor_contract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_contract");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    // Rank-3 x rank-3 over one shared bond, with the shared axis leading
+    // in one operand and trailing in the other so the old path permutes
+    // both (the lazy-network steady state).
+    let a3 = random_tensor(&mut rng, vec![0, 1, 2], vec![32, 2, 32]);
+    let b3 = random_tensor(&mut rng, vec![3, 2, 4], vec![32, 32, 2]);
+    group.bench_function("rank3_shared1", |bch| bch.iter(|| a3.contract(&b3)));
+    // Rank-4 x rank-4 over two shared bonds (doubled-network shape).
+    let a4 = random_tensor(&mut rng, vec![0, 1, 2, 3], vec![2, 16, 16, 2]);
+    let b4 = random_tensor(&mut rng, vec![4, 2, 1, 5], vec![2, 16, 16, 2]);
+    group.bench_function("rank4_shared2", |bch| bch.iter(|| a4.contract(&b4)));
+    group.finish();
+}
+
+fn bench_chain_chi32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_chi32");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(32);
+    // 20 qubits, 8 layers of random SU(4) bricks: bonds saturate the
+    // chi=32 cap in the bulk, so every two-site gate pays the
+    // (64 x 32)(32 x 64) GEMM and a 64x128 Jacobi SVD, and every
+    // candidate sweep runs chi x chi contractions.
+    let circuit = random_u2_brickwork(20, 8, &mut rng);
+    group.bench_function("sample_20", |bch| {
+        let sim = Simulator::new(ChainMps::zero(20, MpsOptions::with_max_bond(32))).with_seed(1);
+        bch.iter(|| sim.sample_final_bitstrings(&circuit, 20).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_lazy_norm_sqr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy_norm_sqr");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    let circuit = brickwork_circuit(16, 8, &mut rng);
+    let mut state = LazyNetworkState::zero(16);
+    for op in circuit.all_operations() {
+        if let Some(gate) = op.as_gate() {
+            let qubits: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+            state.apply_gate(gate, &qubits).unwrap();
+        }
+    }
+    group.bench_function("brickwork_16x8", |bch| bch.iter(|| state.norm_sqr()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_gemm,
+    bench_tensor_contract,
+    bench_chain_chi32,
+    bench_lazy_norm_sqr
+);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Bench: tensor-network vs dense sampling (paper Figs. 6-7): the GHZ
 //! random-CNOT hard case and the shallow-circuit easy case.
 
-use bgls_apps::{ghz_random_cnot_circuit, random_fixed_cnot_circuit};
+use bgls_apps::{ghz_random_cnot_circuit, random_fixed_cnot_circuit, random_u2_brickwork};
 use bgls_core::Simulator;
-use bgls_mps::LazyNetworkState;
+use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
 use bgls_statevector::StateVector;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -41,5 +41,21 @@ fn bench_fixed_cnots(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ghz, bench_fixed_cnots);
+/// Chain-MPS sampling at the chi=32 cap on a random-SU(4) brickwork
+/// circuit deep enough to saturate the bulk bonds — the workload the blocked-GEMM /
+/// split-plane-SVD kernel layer targets (>= 3x bar, see
+/// `BENCH_gemm_contraction.json`).
+fn bench_chain_chi32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_chi32");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(32);
+    let circuit = random_u2_brickwork(20, 8, &mut rng);
+    group.bench_function("sample_20", |b| {
+        let sim = Simulator::new(ChainMps::zero(20, MpsOptions::with_max_bond(32))).with_seed(1);
+        b.iter(|| sim.sample_final_bitstrings(&circuit, 20).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghz, bench_fixed_cnots, bench_chain_chi32);
 criterion_main!(benches);

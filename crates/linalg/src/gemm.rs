@@ -1,0 +1,823 @@
+//! Cache-blocked, register-tiled complex GEMM and matvec — the dense
+//! arithmetic floor under the MPS / lazy-tensor-network contraction
+//! stack.
+//!
+//! # Blocking scheme
+//!
+//! Large multiplies run through a classic three-level scheme:
+//!
+//! * the K dimension is split into panels of at most [`KC`] terms;
+//! * B is packed once up front into *split re/im* panels, [`NR`]
+//!   columns wide, so the microkernel streams contiguous `f64` lanes
+//!   instead of interleaved complex pairs;
+//! * output rows are processed in blocks of [`MC`]; each block packs
+//!   its slice of A into [`MR`]-row split panels and walks every K
+//!   panel in ascending order.
+//!
+//! The microkernel holds an `MR x NR` tile of C in registers (split
+//! re/im accumulators), loads the tile from memory before the panel and
+//! stores it after, so across panels every output element accumulates
+//! its `k` terms **in ascending order, one term at a time** — exactly
+//! the scalar `C64::mul_add` fold the naive triple loop performs.
+//!
+//! Multiplies below [`PACK_MIN_FLOPS`] (or too skinny to tile) skip the
+//! packing machinery entirely and run the naive fold with a zero-`a`
+//! skip, which is the historical `Matrix::matmul` loop verbatim.
+//!
+//! # Determinism contract
+//!
+//! For every output element, both the packed and the naive path compute
+//!
+//! ```text
+//! c[i][j] = fold(k ascending) of  a[i][k] * b[k][j] + acc
+//! ```
+//!
+//! with the component expressions of [`C64::mul_add`] (no FMA
+//! contraction, no reassociation, no partial sums). Rayon parallelism
+//! splits the *output rows* into fixed [`MC`]-row blocks, each owned by
+//! exactly one task, so results are bit-identical for every thread
+//! count, including fully serial execution. The only divergence from
+//! the naive-with-skip fold is the sign of exact zeros (the packed path
+//! multiplies structural zeros instead of skipping them), which no
+//! downstream consumer observes: probabilities square amplitudes and
+//! `-0.0 == 0.0` in every comparison.
+//!
+//! # Strided panels
+//!
+//! [`matmul_gather_into`] accepts per-axis offset tables instead of
+//! contiguous operands, so `Tensor::contract` feeds permuted tensor
+//! panels straight into the packing step without materializing the
+//! permutation first. The packing/scratch buffers are reused across
+//! calls via [`with_scratch`].
+
+use crate::complex::C64;
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Register-tile height (rows of A per microkernel).
+pub const MR: usize = 2;
+/// Register-tile width (columns of B per microkernel).
+pub const NR: usize = 32;
+/// K-panel depth: terms accumulated per packed panel.
+pub const KC: usize = 256;
+/// Output-row block: the parallel work grain and A-packing height.
+pub const MC: usize = 64;
+/// `m * k * n` below which the naive fold beats packing overhead.
+pub const PACK_MIN_FLOPS: usize = 4096;
+/// `m * k * n` above which row blocks are fanned out across Rayon.
+pub const PAR_MIN_FLOPS: usize = 1 << 20;
+/// `m * k` above which matvec rows are fanned out across Rayon.
+pub const PAR_MIN_MATVEC: usize = 1 << 19;
+
+/// Reusable packing buffers. Obtain one with [`with_scratch`]; the
+/// thread-local instance amortizes allocations across calls.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    b_re: Vec<f64>,
+    b_im: Vec<f64>,
+    a_re: Vec<f64>,
+    a_im: Vec<f64>,
+    /// Offset tables for the gather (strided-tensor) entry point.
+    pub moff: Vec<usize>,
+    /// Shared-axis offsets into the left operand.
+    pub a_koff: Vec<usize>,
+    /// Shared-axis offsets into the right operand.
+    pub b_koff: Vec<usize>,
+    /// Free-axis offsets into the right operand.
+    pub noff: Vec<usize>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::default());
+}
+
+/// Runs `f` with the thread-local [`GemmScratch`].
+pub fn with_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Row-major `m x k` times `k x n`, freshly allocated output.
+pub fn matmul(m: usize, k: usize, n: usize, a: &[C64], b: &[C64]) -> Vec<C64> {
+    let mut out = vec![C64::ZERO; m * n];
+    matmul_into(&mut out, m, k, n, a, b);
+    out
+}
+
+/// Row-major `m x k` times `k x n` into `out` (overwritten).
+pub fn matmul_into(out: &mut [C64], m: usize, k: usize, n: usize, a: &[C64], b: &[C64]) {
+    matmul_impl(out, m, k, n, a, b, false);
+}
+
+/// Row-major `m x k` times `k x n` *accumulated* onto `out`
+/// (`out += a * b`). Used where a sum of products folds into one
+/// buffer (the MPS transfer-matrix norm).
+pub fn matmul_acc_into(out: &mut [C64], m: usize, k: usize, n: usize, a: &[C64], b: &[C64]) {
+    matmul_impl(out, m, k, n, a, b, true);
+}
+
+fn matmul_impl(
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[C64],
+    b: &[C64],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(out.len(), m * n, "output size mismatch");
+    if !use_packed(m, k, n) {
+        naive_contiguous(out, m, k, n, a, b, accumulate);
+        return;
+    }
+    with_scratch(|sc| matmul_packed(sc, out, m, k, n, a, b, accumulate));
+}
+
+/// The packed path on caller-provided scratch (callers already inside
+/// [`with_scratch`] must use this — the thread-local cell is not
+/// re-entrant).
+#[allow(clippy::too_many_arguments)]
+fn matmul_packed(
+    sc: &mut GemmScratch,
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[C64],
+    b: &[C64],
+    accumulate: bool,
+) {
+    pack_b_contiguous(sc, k, n, b);
+    run_blocked(
+        out,
+        m,
+        k,
+        n,
+        sc,
+        accumulate,
+        &|rows, kp0, kc, dst_re, dst_im| pack_a_contiguous(rows, kp0, kc, k, a, dst_re, dst_im),
+    );
+}
+
+/// GEMM over *gathered* operands: element `(i, kk)` of the left panel
+/// lives at `a[moff[i] + a_koff[kk]]`, element `(kk, j)` of the right
+/// panel at `b[b_koff[kk] + noff[j]]`. This is how `Tensor::contract`
+/// multiplies permuted views without materializing them. The caller
+/// provides the scratch so offset tables can be built in place.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_gather_into(
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[C64],
+    b: &[C64],
+    sc: &mut GemmScratch,
+) {
+    matmul_gather_impl(out, m, k, n, a, b, sc, false)
+}
+
+/// [`matmul_gather_into`] accumulating onto `out` instead of
+/// overwriting it.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_gather_acc_into(
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[C64],
+    b: &[C64],
+    sc: &mut GemmScratch,
+) {
+    matmul_gather_impl(out, m, k, n, a, b, sc, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matmul_gather_impl(
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[C64],
+    b: &[C64],
+    sc: &mut GemmScratch,
+    accumulate: bool,
+) {
+    assert_eq!(sc.moff.len(), m, "row offset table mismatch");
+    assert_eq!(sc.a_koff.len(), k, "lhs shared offset table mismatch");
+    assert_eq!(sc.b_koff.len(), k, "rhs shared offset table mismatch");
+    assert_eq!(sc.noff.len(), n, "column offset table mismatch");
+    assert_eq!(out.len(), m * n, "output size mismatch");
+    // Columns contiguous (`noff[j] = j`) is the common case — any
+    // contraction whose right operand keeps its free axes trailing —
+    // and lets the inner loops run on slices instead of per-element
+    // table lookups.
+    let b_cols_contiguous = sc.noff.iter().enumerate().all(|(j, &o)| o == j);
+    if b_cols_contiguous
+        && sc.moff.iter().enumerate().all(|(i, &o)| o == i * k)
+        && sc.a_koff.iter().enumerate().all(|(kk, &o)| o == kk)
+        && sc.b_koff.iter().enumerate().all(|(kk, &o)| o == kk * n)
+    {
+        // Fully contiguous: both operands are plain row-major views of
+        // (a prefix of) their buffers. Reuse the caller's scratch — the
+        // thread-local cell may already be borrowed by this very call.
+        let (a, b) = (&a[..m * k], &b[..k * n]);
+        if !use_packed(m, k, n) {
+            naive_contiguous(out, m, k, n, a, b, accumulate);
+        } else {
+            matmul_packed(sc, out, m, k, n, a, b, accumulate);
+        }
+        return;
+    }
+    if !use_packed(m, k, n) {
+        // Naive gather fold — the historical permute-then-matmul result,
+        // term for term.
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            if !accumulate {
+                orow.fill(C64::ZERO);
+            }
+            for kk in 0..k {
+                let av = a[sc.moff[i] + sc.a_koff[kk]];
+                if av == C64::ZERO {
+                    continue;
+                }
+                let bbase = sc.b_koff[kk];
+                if b_cols_contiguous {
+                    let brow = &b[bbase..bbase + n];
+                    for (slot, &bv) in orow.iter_mut().zip(brow) {
+                        *slot = av.mul_add(bv, *slot);
+                    }
+                } else {
+                    for (j, slot) in orow.iter_mut().enumerate() {
+                        *slot = av.mul_add(b[bbase + sc.noff[j]], *slot);
+                    }
+                }
+            }
+        }
+        return;
+    }
+    // Move the tables out so the packing closures can borrow `sc`'s
+    // panel buffers mutably at the same time.
+    let moff = std::mem::take(&mut sc.moff);
+    let a_koff = std::mem::take(&mut sc.a_koff);
+    let b_koff = std::mem::take(&mut sc.b_koff);
+    let noff = std::mem::take(&mut sc.noff);
+    pack_b_gather(sc, k, n, b, &b_koff, &noff);
+    run_blocked(
+        out,
+        m,
+        k,
+        n,
+        sc,
+        accumulate,
+        &|rows, kp0, kc, dst_re, dst_im| {
+            pack_a_gather(rows, kp0, kc, a, &moff, &a_koff, dst_re, dst_im)
+        },
+    );
+    sc.moff = moff;
+    sc.a_koff = a_koff;
+    sc.b_koff = b_koff;
+    sc.noff = noff;
+}
+
+/// Matrix-vector product `out = A x` for row-major `A` (`m x k`).
+///
+/// Rows are processed [`MR`] at a time sharing the `x` loads; each
+/// row's accumulator folds `j` in ascending order with the
+/// [`C64::mul_add`] expressions, so results are bit-identical to the
+/// scalar fold for every thread count.
+pub fn matvec_into(out: &mut [C64], m: usize, k: usize, a: &[C64], x: &[C64]) {
+    assert_eq!(a.len(), m * k, "matrix size mismatch");
+    assert_eq!(x.len(), k, "vector size mismatch");
+    assert_eq!(out.len(), m, "output size mismatch");
+    if m * k >= PAR_MIN_MATVEC && rayon::current_num_threads() > 1 {
+        let tasks: Vec<(usize, &mut [C64])> = out
+            .chunks_mut(MC)
+            .enumerate()
+            .map(|(bi, ch)| (bi * MC, ch))
+            .collect();
+        tasks
+            .into_par_iter()
+            .for_each(|(row0, ch)| matvec_rows(ch, row0, k, a, x));
+    } else {
+        matvec_rows(out, 0, k, a, x);
+    }
+}
+
+fn matvec_rows(out: &mut [C64], row0: usize, k: usize, a: &[C64], x: &[C64]) {
+    let mut i = 0;
+    while i < out.len() {
+        let block = (out.len() - i).min(MR);
+        let mut acc = [C64::ZERO; MR];
+        for (j, &xv) in x.iter().enumerate() {
+            for (r, slot) in acc.iter_mut().enumerate().take(block) {
+                let av = a[(row0 + i + r) * k + j];
+                *slot = av.mul_add(xv, *slot);
+            }
+        }
+        out[i..i + block].copy_from_slice(&acc[..block]);
+        i += block;
+    }
+}
+
+/// True when the packed/tiled path is worth its setup cost: enough
+/// arithmetic to amortize packing, and a deep enough `k` that the
+/// packed panels are actually reused (short-`k` products are pure
+/// streaming, where the naive contiguous fold already runs at vector
+/// speed).
+#[inline]
+fn use_packed(m: usize, k: usize, n: usize) -> bool {
+    m * k * n >= PACK_MIN_FLOPS && m >= MR && n >= NR && k >= 8
+}
+
+/// The historical `Matrix::matmul` triple loop (ascending-k fold with a
+/// zero-`a` skip), kept as the small-size path.
+fn naive_contiguous(
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[C64],
+    b: &[C64],
+    accumulate: bool,
+) {
+    if !accumulate {
+        out.fill(C64::ZERO);
+    }
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == C64::ZERO {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (slot, &bv) in orow.iter_mut().zip(brow) {
+                *slot = av.mul_add(bv, *slot);
+            }
+        }
+    }
+}
+
+/// Number of K panels and the bounds of panel `p`.
+#[inline]
+fn panel(k: usize, p: usize) -> (usize, usize) {
+    let start = p * KC;
+    (start, (k - start).min(KC))
+}
+
+/// Packs all of B (`k x n`) into split re/im panels: panel-major, then
+/// NR-column blocks, then `kk`, then the NR lane. Columns beyond `n`
+/// are zero-padded so the microkernel never branches on width.
+fn pack_b_contiguous(sc: &mut GemmScratch, k: usize, n: usize, b: &[C64]) {
+    pack_b_with(sc, k, n, |kk, j| b[kk * n + j]);
+}
+
+fn pack_b_gather(
+    sc: &mut GemmScratch,
+    k: usize,
+    n: usize,
+    b: &[C64],
+    b_koff: &[usize],
+    noff: &[usize],
+) {
+    pack_b_with(sc, k, n, |kk, j| b[b_koff[kk] + noff[j]]);
+}
+
+fn pack_b_with(sc: &mut GemmScratch, k: usize, n: usize, at: impl Fn(usize, usize) -> C64) {
+    let n_pad = n.div_ceil(NR) * NR;
+    sc.b_re.clear();
+    sc.b_re.resize(k * n_pad, 0.0);
+    sc.b_im.clear();
+    sc.b_im.resize(k * n_pad, 0.0);
+    let mut w = 0;
+    for p in 0..k.div_ceil(KC) {
+        let (kp0, kc) = panel(k, p);
+        for jb in (0..n).step_by(NR) {
+            for kk in 0..kc {
+                for jr in 0..NR {
+                    let (re, im) = if jb + jr < n {
+                        let z = at(kp0 + kk, jb + jr);
+                        (z.re, z.im)
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    sc.b_re[w] = re;
+                    sc.b_im[w] = im;
+                    w += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(w, k * n_pad);
+}
+
+/// Packs `rows` rows of A for K panel `[kp0, kp0+kc)` into split re/im
+/// MR-row blocks (`kk`-major inside a block). Rows beyond the valid
+/// count are zero-padded.
+fn pack_a_contiguous(
+    rows: std::ops::Range<usize>,
+    kp0: usize,
+    kc: usize,
+    k: usize,
+    a: &[C64],
+    dst_re: &mut Vec<f64>,
+    dst_im: &mut Vec<f64>,
+) {
+    pack_a_with(rows, kp0, kc, |i, kk| a[i * k + kk], dst_re, dst_im);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_a_gather(
+    rows: std::ops::Range<usize>,
+    kp0: usize,
+    kc: usize,
+    a: &[C64],
+    moff: &[usize],
+    a_koff: &[usize],
+    dst_re: &mut Vec<f64>,
+    dst_im: &mut Vec<f64>,
+) {
+    pack_a_with(
+        rows,
+        kp0,
+        kc,
+        |i, kk| a[moff[i] + a_koff[kk]],
+        dst_re,
+        dst_im,
+    );
+}
+
+fn pack_a_with(
+    rows: std::ops::Range<usize>,
+    kp0: usize,
+    kc: usize,
+    at: impl Fn(usize, usize) -> C64,
+    dst_re: &mut Vec<f64>,
+    dst_im: &mut Vec<f64>,
+) {
+    let height = rows.len();
+    let blocks = height.div_ceil(MR);
+    dst_re.clear();
+    dst_re.resize(blocks * kc * MR, 0.0);
+    dst_im.clear();
+    dst_im.resize(blocks * kc * MR, 0.0);
+    let mut w = 0;
+    for ib in 0..blocks {
+        for kk in 0..kc {
+            for ir in 0..MR {
+                let i = ib * MR + ir;
+                let (re, im) = if i < height {
+                    let z = at(rows.start + i, kp0 + kk);
+                    (z.re, z.im)
+                } else {
+                    (0.0, 0.0)
+                };
+                dst_re[w] = re;
+                dst_im[w] = im;
+                w += 1;
+            }
+        }
+    }
+}
+
+/// Signature of the per-row-block A packer (contiguous or gather).
+type PackA<'a> =
+    dyn Fn(std::ops::Range<usize>, usize, usize, &mut Vec<f64>, &mut Vec<f64>) + Sync + 'a;
+
+/// Drives the packed kernel over `MC`-row output blocks, serially or
+/// across Rayon depending on size. B panels must already be packed in
+/// `sc`. Row blocks are fixed-size regardless of thread count, and each
+/// output element is owned by exactly one block, so parallel and serial
+/// execution are bit-identical.
+fn run_blocked(
+    out: &mut [C64],
+    m: usize,
+    k: usize,
+    n: usize,
+    sc: &mut GemmScratch,
+    accumulate: bool,
+    pack_a: &PackA,
+) {
+    if !accumulate {
+        out.fill(C64::ZERO);
+    }
+    let parallel = m * k * n >= PAR_MIN_FLOPS && rayon::current_num_threads() > 1 && m > MC;
+    if parallel {
+        let b_re = &sc.b_re;
+        let b_im = &sc.b_im;
+        let tasks: Vec<(usize, &mut [C64])> = out
+            .chunks_mut(MC * n)
+            .enumerate()
+            .map(|(bi, ch)| (bi * MC, ch))
+            .collect();
+        tasks.into_par_iter().for_each(|(row0, ch)| {
+            let rows = ch.len() / n;
+            let mut a_re = Vec::new();
+            let mut a_im = Vec::new();
+            row_block(
+                ch,
+                row0..row0 + rows,
+                k,
+                n,
+                b_re,
+                b_im,
+                pack_a,
+                &mut a_re,
+                &mut a_im,
+            );
+        });
+    } else {
+        let mut a_re = std::mem::take(&mut sc.a_re);
+        let mut a_im = std::mem::take(&mut sc.a_im);
+        for row0 in (0..m).step_by(MC) {
+            let rows = (m - row0).min(MC);
+            let ch = &mut out[row0 * n..(row0 + rows) * n];
+            row_block(
+                ch,
+                row0..row0 + rows,
+                k,
+                n,
+                &sc.b_re,
+                &sc.b_im,
+                pack_a,
+                &mut a_re,
+                &mut a_im,
+            );
+        }
+        sc.a_re = a_re;
+        sc.a_im = a_im;
+    }
+}
+
+/// Processes one `MC`-row output block: packs its A slice per K panel
+/// and sweeps the microkernel over every `MR x NR` tile.
+#[allow(clippy::too_many_arguments)]
+fn row_block(
+    out: &mut [C64],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    b_re: &[f64],
+    b_im: &[f64],
+    pack_a: &PackA,
+    a_re: &mut Vec<f64>,
+    a_im: &mut Vec<f64>,
+) {
+    let height = rows.len();
+    let n_pad = n.div_ceil(NR) * NR;
+    let mut panel_start = 0usize;
+    for p in 0..k.div_ceil(KC) {
+        let (kp0, kc) = panel(k, p);
+        pack_a(rows.start..rows.end, kp0, kc, a_re, a_im);
+        for jb in (0..n).step_by(NR) {
+            let bb = panel_start + (jb / NR) * kc * NR;
+            for ib in (0..height).step_by(MR) {
+                let ab = (ib / MR) * kc * MR;
+                microkernel(
+                    out,
+                    ib,
+                    jb,
+                    n,
+                    (height - ib).min(MR),
+                    (n - jb).min(NR),
+                    kc,
+                    &a_re[ab..ab + kc * MR],
+                    &a_im[ab..ab + kc * MR],
+                    &b_re[bb..bb + kc * NR],
+                    &b_im[bb..bb + kc * NR],
+                );
+            }
+        }
+        panel_start += kc * n_pad;
+    }
+}
+
+/// The register tile: loads the valid part of an `MR x NR` C tile,
+/// folds `kc` terms in ascending order with the `C64::mul_add`
+/// component expressions, and stores the valid part back.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    out: &mut [C64],
+    ib: usize,
+    jb: usize,
+    n: usize,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+) {
+    let mut acc_re = [[0.0f64; NR]; MR];
+    let mut acc_im = [[0.0f64; NR]; MR];
+    for i in 0..mr {
+        for j in 0..nr {
+            let c = out[(ib + i) * n + jb + j];
+            acc_re[i][j] = c.re;
+            acc_im[i][j] = c.im;
+        }
+    }
+    for kk in 0..kc {
+        // Fixed-size views: no bounds checks inside the unrolled tile,
+        // and the `[f64; NR]` lanes map straight onto vector registers.
+        let ar: &[f64; MR] = a_re[kk * MR..kk * MR + MR].try_into().unwrap();
+        let ai: &[f64; MR] = a_im[kk * MR..kk * MR + MR].try_into().unwrap();
+        let br: &[f64; NR] = b_re[kk * NR..kk * NR + NR].try_into().unwrap();
+        let bi: &[f64; NR] = b_im[kk * NR..kk * NR + NR].try_into().unwrap();
+        for i in 0..MR {
+            let (ari, aii) = (ar[i], ai[i]);
+            let accr = &mut acc_re[i];
+            let acci = &mut acc_im[i];
+            for j in 0..NR {
+                // The C64::mul_add component expressions (+= only
+                // commutes the final, exact-in-IEEE addition).
+                accr[j] += ari * br[j] - aii * bi[j];
+                acci[j] += ari * bi[j] + aii * br[j];
+            }
+        }
+    }
+    for i in 0..mr {
+        for j in 0..nr {
+            out[(ib + i) * n + jb + j] = C64::new(acc_re[i][j], acc_im[i][j]);
+        }
+    }
+}
+
+/// Builds the row-major offset table of a multi-axis view: entry `t`
+/// is the flat offset of the `t`-th multi-index over `dims` (last axis
+/// fastest) with per-axis `strides`. An empty axis list yields `[0]`.
+pub fn build_offsets(out: &mut Vec<usize>, dims: &[usize], strides: &[usize]) {
+    out.clear();
+    out.push(0);
+    for (&d, &s) in dims.iter().zip(strides) {
+        push_offset_axis(out, d, s);
+    }
+}
+
+/// Adds one (fastest-varying) axis of dimension `d` and stride `s` to an
+/// offset table under construction — the incremental form of
+/// [`build_offsets`] for callers that walk axes without materializing
+/// dim/stride arrays first. `out` must be non-empty (seed it with `0`).
+pub fn push_offset_axis(out: &mut Vec<usize>, d: usize, s: usize) {
+    // Expand in place, back to front: every existing offset becomes
+    // `d` consecutive entries with the new (fastest) axis added.
+    let l = out.len();
+    out.resize(l * d, 0);
+    for t in (0..l).rev() {
+        let base = out[t];
+        for j in (0..d).rev() {
+            out[t * d + j] = base + j * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_reference(m: usize, k: usize, n: usize, a: &[C64], b: &[C64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] = av.mul_add(b[kk * n + j], out[i * n + j]);
+                }
+            }
+        }
+        out
+    }
+
+    fn filled(len: usize, seed: u64) -> Vec<C64> {
+        // cheap deterministic pseudo-random fill without rand dev-dep noise
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let im = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                C64::new(re + 0.1, im - 0.1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_path_matches_naive_bitwise() {
+        for &(m, k, n) in &[
+            (16usize, 16usize, 16usize),
+            (64, 32, 64),
+            (37, 53, 29),
+            (4, 300, 4),
+        ] {
+            let a = filled(m * k, (m + k) as u64);
+            let b = filled(k * n, (k + n) as u64);
+            let got = matmul(m, k, n, &a, &b);
+            let want = naive_reference(m, k, n, &a, &b);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits(), "{m}x{k}x{n}");
+                assert_eq!(g.im.to_bits(), w.im.to_bits(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_degenerate_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 7usize, 1usize),
+            (1, 1, 1),
+            (2, 3, 2),
+            (1, 64, 9),
+            (5, 1, 5),
+        ] {
+            let a = filled(m * k, 3);
+            let b = filled(k * n, 4);
+            let got = matmul(m, k, n, &a, &b);
+            let want = naive_reference(m, k, n, &a, &b);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits());
+                assert_eq!(g.im.to_bits(), w.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_fold() {
+        for &(m, k) in &[(1usize, 5usize), (7, 3), (64, 64), (130, 33)] {
+            let a = filled(m * k, 9);
+            let x = filled(k, 11);
+            let mut got = vec![C64::ZERO; m];
+            matvec_into(&mut got, m, k, &a, &x);
+            for i in 0..m {
+                let want = (0..k).fold(C64::ZERO, |acc, j| a[i * k + j].mul_add(x[j], acc));
+                assert_eq!(got[i].re.to_bits(), want.re.to_bits());
+                assert_eq!(got[i].im.to_bits(), want.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_enumerate_row_major() {
+        let mut out = Vec::new();
+        build_offsets(&mut out, &[2, 3], &[100, 10]);
+        assert_eq!(out, vec![0, 10, 20, 100, 110, 120]);
+        build_offsets(&mut out, &[], &[]);
+        assert_eq!(out, vec![0]);
+        build_offsets(&mut out, &[3], &[7]);
+        assert_eq!(out, vec![0, 7, 14]);
+    }
+
+    #[test]
+    fn gather_fast_path_inside_with_scratch_does_not_reborrow() {
+        // Regression: identity offset tables at a packed-path shape
+        // route to the contiguous kernel; that must work on the
+        // caller's scratch even when the caller is already inside
+        // `with_scratch` (as `Tensor::contract` always is).
+        let (m, k, n) = (8usize, 8usize, 64usize);
+        let a = filled(m * k, 31);
+        let b = filled(k * n, 32);
+        let want = naive_reference(m, k, n, &a, &b);
+        let mut got = vec![C64::ZERO; m * n];
+        with_scratch(|sc| {
+            sc.moff = (0..m).map(|i| i * k).collect();
+            sc.a_koff = (0..k).collect();
+            sc.b_koff = (0..k).map(|kk| kk * n).collect();
+            sc.noff = (0..n).collect();
+            matmul_gather_into(&mut got, m, k, n, &a, &b, sc);
+        });
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), w.re.to_bits());
+            assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_matches_contiguous() {
+        let (m, k, n) = (24usize, 18usize, 20usize);
+        let a = filled(m * k, 21);
+        let b = filled(k * n, 22);
+        let want = matmul(m, k, n, &a, &b);
+        let mut sc = GemmScratch {
+            moff: (0..m).map(|i| i * k).collect(),
+            a_koff: (0..k).collect(),
+            b_koff: (0..k).map(|kk| kk * n).collect(),
+            noff: (0..n).collect(),
+            ..Default::default()
+        };
+        let mut got = vec![C64::ZERO; m * n];
+        matmul_gather_into(&mut got, m, k, n, &a, &b, &mut sc);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), w.re.to_bits());
+            assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
+    }
+}

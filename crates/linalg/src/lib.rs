@@ -6,6 +6,9 @@
 //! * [`Matrix`] — dense complex matrices (gate unitaries, MPS factors);
 //! * [`Tensor`] / [`contract_network`] — labelled tensors and greedy network
 //!   contraction (the quimb substitute used by the lazy MPS state);
+//! * [`gemm`] — cache-blocked, register-tiled complex GEMM/matvec with
+//!   deterministic Rayon row-block parallelism (the arithmetic floor
+//!   under [`Matrix::matmul`] and [`Tensor::contract`]);
 //! * [`svd`] — one-sided Jacobi SVD for MPS splitting/truncation;
 //! * [`BitVec`] / [`BitMatrix`] — F2 linear algebra backing the CH-form
 //!   stabilizer state;
@@ -14,11 +17,14 @@
 //!
 //! Everything here is implemented from scratch — no BLAS, LAPACK, or
 //! external numeric crates — per the reproduction charter in `DESIGN.md`.
+//! The only dependency is the workspace's vendored `rayon` stand-in,
+//! which the GEMM layer uses for deterministic row-block parallelism.
 
 #![warn(missing_docs)]
 
 mod complex;
 mod f2;
+pub mod gemm;
 mod hash;
 mod matrix;
 mod svd;
@@ -28,5 +34,5 @@ pub use complex::C64;
 pub use f2::{BitMatrix, BitVec};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use matrix::Matrix;
-pub use svd::{svd, Svd};
+pub use svd::{svd, svd_slice, Svd};
 pub use tensor::{contract_network, BondId, Tensor};

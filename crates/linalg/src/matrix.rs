@@ -139,7 +139,10 @@ impl Matrix {
         }
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, via the blocked kernels in
+    /// [`crate::gemm`] (naive ascending-`k` fold below the packing
+    /// threshold, cache-blocked register tiles with deterministic Rayon
+    /// row blocks above it).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -149,36 +152,17 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner accesses contiguous in both
-        // `rhs` and `out`.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == C64::ZERO {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for j in 0..rhs.cols {
-                    orow[j] = a.mul_add(rrow[j], orow[j]);
-                }
-            }
-        }
-        out
+        let data = crate::gemm::matmul(self.rows, self.cols, rhs.cols, &self.data, &rhs.data);
+        Matrix::from_vec(self.rows, rhs.cols, data)
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v` (blocked over row groups in
+    /// [`crate::gemm::matvec_into`]).
     pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .fold(C64::ZERO, |acc, (&a, &x)| a.mul_add(x, acc))
-            })
-            .collect()
+        let mut out = vec![C64::ZERO; self.rows];
+        crate::gemm::matvec_into(&mut out, self.rows, self.cols, &self.data, v);
+        out
     }
 
     /// Kronecker (tensor) product `self (x) rhs`.

@@ -80,43 +80,86 @@ const JACOBI_TOL: f64 = 1e-14;
 /// normalized columns `U`. For `m < n` the decomposition of the conjugate
 /// transpose is computed and the factors swapped.
 pub fn svd(a: &Matrix) -> Svd {
-    if a.rows() < a.cols() {
-        let t = svd(&a.dagger());
+    svd_slice(a.rows(), a.cols(), a.data())
+}
+
+/// [`svd`] on a raw row-major slice — lets callers that already hold a
+/// buffer (the MPS two-site split) skip building a `Matrix` first.
+///
+/// Internally the working copy lives in *column-major split re/im
+/// planes*, so the Gram cross-term sums and plane-rotation updates of
+/// the Jacobi sweep stream contiguous `f64` lanes instead of stride-`n`
+/// interleaved complex pairs; squared column norms are cached across the
+/// sweep and updated in closed form after each rotation; and `V` is
+/// recovered from the converged working copy by a single GEMM (see
+/// [`recover_vt`]) instead of accumulating every rotation.
+///
+/// **Determinism contract:** the result is a pure function of the input
+/// — bit-identical on every call, thread count, and batch shape (the
+/// factorization runs serially). The lane-split FMA reductions round
+/// differently from a strict sequential fold, so factors may differ
+/// from a naive Jacobi implementation in the last units of precision;
+/// factorization accuracy (`A ~= U S V^H`, orthonormal factors) is
+/// unchanged.
+///
+/// # Panics
+/// Panics if `data.len() != rows * cols`.
+pub fn svd_slice(rows: usize, cols: usize, data: &[C64]) -> Svd {
+    assert_eq!(data.len(), rows * cols, "svd_slice size mismatch");
+    if rows < cols {
         // A^dagger = U' S V'^dagger  =>  A = V' S U'^dagger
+        let mut dag = vec![C64::ZERO; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                dag[j * rows + i] = data[i * cols + j].conj();
+            }
+        }
+        let t = svd_slice(cols, rows, &dag);
         return Svd {
             u: t.vt.dagger(),
             s: t.s,
             vt: t.u.dagger(),
         };
     }
-    let m = a.rows();
-    let n = a.cols();
-    let mut w = a.clone(); // working copy whose columns get orthogonalized
-    let mut v = Matrix::identity(n);
+    let m = rows;
+    let n = cols;
+    // Working copy in column-major split planes: column j of W occupies
+    // `wr[j*m..(j+1)*m]` / `wi[...]`.
+    let mut wr = vec![0.0f64; m * n];
+    let mut wi = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let z = data[i * n + j];
+            wr[j * m + i] = z.re;
+            wi[j * m + i] = z.im;
+        }
+    }
+    // Cached squared column norms, refreshed at every sweep start and
+    // updated in closed form after each rotation (the rotation leaves
+    // `|w_p'|^2 = c^2 app + s^2 aqq + 2cs|apq|` and the mirror for q),
+    // so the per-pair Gram pass only computes the cross term.
+    let mut colnorm = vec![0.0f64; n];
 
     for _sweep in 0..MAX_SWEEPS {
+        for (j, slot) in colnorm.iter_mut().enumerate() {
+            *slot = norm_sqr_lanes(&wr[j * m..(j + 1) * m], &wi[j * m..(j + 1) * m]);
+        }
         let mut rotated = false;
         for p in 0..n {
             for q in (p + 1)..n {
-                // 2x2 Gram block of columns p and q.
-                let mut app = 0.0f64;
-                let mut aqq = 0.0f64;
-                let mut apq = C64::ZERO;
-                for i in 0..m {
-                    let wp = w[(i, p)];
-                    let wq = w[(i, q)];
-                    app += wp.norm_sqr();
-                    aqq += wq.norm_sqr();
-                    apq += wp.conj() * wq;
-                }
-                let off = apq.abs();
-                if off <= JACOBI_TOL * (app * aqq).sqrt() || off == 0.0 {
+                let (wpr, wqr) = two_cols(&mut wr, p, q, m);
+                let (wpi, wqi) = two_cols(&mut wi, p, q, m);
+                let (apq_re, apq_im) = gram_cross(wpr, wpi, wqr, wqi);
+                let off_sq = apq_re * apq_re + apq_im * apq_im;
+                let app = colnorm[p];
+                let aqq = colnorm[q];
+                // Compare squares: same criterion as
+                // `off <= tol * sqrt(app*aqq)` without the square roots.
+                if off_sq <= JACOBI_TOL * JACOBI_TOL * (app * aqq) || off_sq == 0.0 {
                     continue;
                 }
                 rotated = true;
-                // Phase of the cross term; the rotation below zeroes
-                // new_p^dagger new_q = e^{i phi}[ (aqq-app)/2 sin2t + |apq| cos2t ].
-                let phi = apq.arg();
+                let off = off_sq.sqrt();
                 // Zeroing condition: (1 - t^2)|apq| + t(aqq - app) = 0, i.e.
                 // t^2 - 2 tau t - 1 = 0; take the small-magnitude root.
                 let tau = (aqq - app) / (2.0 * off);
@@ -127,22 +170,19 @@ pub fn svd(a: &Matrix) -> Svd {
                 };
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                let e_pos = C64::cis(phi); // e^{i phi}
+                // e^{i phi} for phi = arg(apq), computed algebraically:
+                // cheaper and sharper than cis(atan2(..)).
+                let inv_off = 1.0 / off;
+                let e_pos = C64::new(apq_re * inv_off, apq_im * inv_off);
                 let e_neg = e_pos.conj();
+                let ens = e_neg * s;
+                let eps = e_pos * s;
                 // Right-multiply by the plane rotation
                 //   J[p,p]=c, J[q,p]=e^{-i phi} s, J[p,q]=-e^{i phi} s, J[q,q]=c
-                for i in 0..m {
-                    let wp = w[(i, p)];
-                    let wq = w[(i, q)];
-                    w[(i, p)] = wp * c + wq * (e_neg * s);
-                    w[(i, q)] = wq * c - wp * (e_pos * s);
-                }
-                for i in 0..n {
-                    let vp = v[(i, p)];
-                    let vq = v[(i, q)];
-                    v[(i, p)] = vp * c + vq * (e_neg * s);
-                    v[(i, q)] = vq * c - vp * (e_pos * s);
-                }
+                rotate_cols(wpr, wpi, wqr, wqi, c, ens, eps);
+                let cross = 2.0 * c * s * off;
+                colnorm[p] = (c * c * app + s * s * aqq + cross).max(0.0);
+                colnorm[q] = (s * s * app + c * c * aqq - cross).max(0.0);
             }
         }
         if !rotated {
@@ -153,24 +193,19 @@ pub fn svd(a: &Matrix) -> Svd {
     // Column norms are the singular values; sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt())
+        .map(|j| norm_sqr_lanes(&wr[j * m..(j + 1) * m], &wi[j * m..(j + 1) * m]).sqrt())
         .collect();
     order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
 
     let mut u = Matrix::zeros(m, n);
     let mut s = Vec::with_capacity(n);
-    let mut vt = Matrix::zeros(n, n);
     for (newj, &j) in order.iter().enumerate() {
         let norm = norms[j];
         s.push(norm);
         if norm > 0.0 {
             for i in 0..m {
-                u[(i, newj)] = w[(i, j)] / norm;
+                u[(i, newj)] = C64::new(wr[j * m + i], wi[j * m + i]) / norm;
             }
-        }
-        for i in 0..n {
-            // row newj of V^dagger = conjugate of column j of V
-            vt[(newj, i)] = v[(i, j)].conj();
         }
     }
 
@@ -178,7 +213,197 @@ pub fn svd(a: &Matrix) -> Svd {
     // orthonormal completion so U keeps orthonormal columns.
     complete_orthonormal(&mut u, s.iter().take_while(|&&x| x > 0.0).count());
 
+    let vt = recover_vt(m, n, data, &wr, &wi, &order, &norms);
+
     Svd { u, s, vt }
+}
+
+/// Rebuilds `V^dagger` from the converged working copy instead of
+/// accumulating every plane rotation into an `n x n` factor.
+///
+/// At convergence column `j` of `W` equals `u_j * s_j`, and
+/// `A^H w_j = V S U^H u_j s_j = s_j^2 v_j`, so one GEMM recovers every
+/// `v_j` with a nonzero singular value. A modified Gram-Schmidt polish
+/// (in descending-`s` order, so the well-conditioned directions anchor
+/// the basis) restores orthonormality to machine precision where the
+/// division by `s_j^2` amplified rounding, and the standard-basis
+/// completion fills the null-space rows, exactly as for `U`.
+fn recover_vt(
+    m: usize,
+    n: usize,
+    data: &[C64],
+    wr: &[f64],
+    wi: &[f64],
+    order: &[usize],
+    norms: &[f64],
+) -> Matrix {
+    // G = A^H W, n x n: column j holds s_j^2 v_j.
+    let mut ah = vec![C64::ZERO; n * m];
+    for i in 0..m {
+        for j in 0..n {
+            ah[j * m + i] = data[i * n + j].conj();
+        }
+    }
+    let mut w = vec![C64::ZERO; m * n];
+    for j in 0..n {
+        for i in 0..m {
+            w[i * n + j] = C64::new(wr[j * m + i], wi[j * m + i]);
+        }
+    }
+    let g = crate::gemm::matmul(n, m, n, &ah, &w);
+
+    // V as column-major split planes, in descending singular-value
+    // order. Recovery divides by s_j^2, amplifying rounding by
+    // s_max/s_j, so directions at or below `s_max * RECOVER_MIN` (whose
+    // contribution to `A` is below rounding anyway) come from the
+    // orthonormal completion instead.
+    const RECOVER_MIN: f64 = 1e-13;
+    let s_floor = order.first().map_or(0.0, |&j| norms[j] * RECOVER_MIN);
+    let mut tvr = vec![0.0f64; n * n];
+    let mut tvi = vec![0.0f64; n * n];
+    let mut recovered = 0usize;
+    for (newj, &j) in order.iter().enumerate() {
+        let s_sq = norms[j] * norms[j];
+        if norms[j] <= s_floor || s_sq <= 0.0 {
+            break; // norms are sorted; the rest complete orthonormally
+        }
+        recovered = newj + 1;
+        let inv = 1.0 / s_sq;
+        for i in 0..n {
+            let z = g[i * n + j];
+            tvr[newj * n + i] = z.re * inv;
+            tvi[newj * n + i] = z.im * inv;
+        }
+        // MGS polish against the previous (better-conditioned) columns:
+        // restores orthonormality to machine precision where the
+        // division amplified rounding.
+        for k in 0..newj {
+            let (vkr, vjr) = two_cols(&mut tvr, k, newj, n);
+            let (vki, vji) = two_cols(&mut tvi, k, newj, n);
+            let (dre, dim) = gram_cross(vkr, vki, vjr, vji);
+            for i in 0..n {
+                // v_j -= v_k * dot  (complex), componentwise FMA
+                let kr = vkr[i];
+                let ki = vki[i];
+                vjr[i] = kr.mul_add(-dre, ki.mul_add(dim, vjr[i]));
+                vji[i] = kr.mul_add(-dim, ki.mul_add(-dre, vji[i]));
+            }
+        }
+        let col = newj * n..(newj + 1) * n;
+        let norm = norm_sqr_lanes(&tvr[col.clone()], &tvi[col.clone()]).sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            for i in col {
+                tvr[i] *= inv;
+                tvi[i] *= inv;
+            }
+        }
+    }
+    let mut v = Matrix::from_fn(n, n, |i, k| C64::new(tvr[k * n + i], tvi[k * n + i]));
+    complete_orthonormal(&mut v, recovered);
+    v.dagger()
+}
+
+/// Number of partial accumulators in the lane-split reductions below.
+/// The sums use [`GRAM_LANES`] independent accumulators per quantity
+/// (combined left to right at the end) and fused multiply-adds, which
+/// lets the reductions run at full vector width. Every helper here is a
+/// deterministic pure function of its inputs — identical on every call
+/// and thread count — but not the same rounding as a strict sequential
+/// fold.
+const GRAM_LANES: usize = 8;
+
+/// Cross term `<w_p, w_q> = sum_i conj(wp_i) wq_i` of two columns held
+/// as split re/im lanes.
+fn gram_cross(wpr: &[f64], wpi: &[f64], wqr: &[f64], wqi: &[f64]) -> (f64, f64) {
+    const L: usize = GRAM_LANES;
+    let m = wpr.len();
+    let blocks = m / L;
+    let mut re1 = [0.0f64; L];
+    let mut re2 = [0.0f64; L];
+    let mut im1 = [0.0f64; L];
+    let mut im2 = [0.0f64; L];
+    for (((prc, pic), qrc), qic) in wpr
+        .chunks_exact(L)
+        .zip(wpi.chunks_exact(L))
+        .zip(wqr.chunks_exact(L))
+        .zip(wqi.chunks_exact(L))
+    {
+        let pr: &[f64; L] = prc.try_into().unwrap();
+        let pi: &[f64; L] = pic.try_into().unwrap();
+        let qr: &[f64; L] = qrc.try_into().unwrap();
+        let qi: &[f64; L] = qic.try_into().unwrap();
+        for l in 0..L {
+            re1[l] = pr[l].mul_add(qr[l], re1[l]);
+            re2[l] = pi[l].mul_add(qi[l], re2[l]);
+            im1[l] = pr[l].mul_add(qi[l], im1[l]);
+            im2[l] = pi[l].mul_add(qr[l], im2[l]);
+        }
+    }
+    for i in blocks * L..m {
+        re1[0] = wpr[i].mul_add(wqr[i], re1[0]);
+        re2[0] = wpi[i].mul_add(wqi[i], re2[0]);
+        im1[0] = wpr[i].mul_add(wqi[i], im1[0]);
+        im2[0] = wpi[i].mul_add(wqr[i], im2[0]);
+    }
+    let re: f64 = re1.iter().sum::<f64>() + re2.iter().sum::<f64>();
+    let im: f64 = im1.iter().sum::<f64>() - im2.iter().sum::<f64>();
+    (re, im)
+}
+
+/// Squared norm of a column held as split re/im lanes.
+fn norm_sqr_lanes(cr: &[f64], ci: &[f64]) -> f64 {
+    const L: usize = GRAM_LANES;
+    let m = cr.len();
+    let blocks = m / L;
+    let mut acc1 = [0.0f64; L];
+    let mut acc2 = [0.0f64; L];
+    for (rc, ic) in cr.chunks_exact(L).zip(ci.chunks_exact(L)) {
+        let r: &[f64; L] = rc.try_into().unwrap();
+        let i: &[f64; L] = ic.try_into().unwrap();
+        for l in 0..L {
+            acc1[l] = r[l].mul_add(r[l], acc1[l]);
+            acc2[l] = i[l].mul_add(i[l], acc2[l]);
+        }
+    }
+    for t in blocks * L..m {
+        acc1[0] = cr[t].mul_add(cr[t], acc1[0]);
+        acc2[0] = ci[t].mul_add(ci[t], acc2[0]);
+    }
+    acc1.iter().sum::<f64>() + acc2.iter().sum::<f64>()
+}
+
+/// Disjoint mutable views of columns `p < q` in a column-major plane.
+#[inline]
+fn two_cols(plane: &mut [f64], p: usize, q: usize, m: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(p < q);
+    let (left, right) = plane.split_at_mut(q * m);
+    (&mut left[p * m..p * m + m], &mut right[..m])
+}
+
+/// Applies the plane rotation `w_p' = c w_p + ens w_q`,
+/// `w_q' = c w_q - eps w_p` to a column pair held as split re/im lanes.
+/// Elementwise with fused multiply-adds; contiguity lets it vectorize.
+#[inline]
+fn rotate_cols(
+    pr: &mut [f64],
+    pi: &mut [f64],
+    qr: &mut [f64],
+    qi: &mut [f64],
+    c: f64,
+    ens: C64,
+    eps: C64,
+) {
+    for i in 0..pr.len() {
+        let wpr = pr[i];
+        let wpi = pi[i];
+        let wqr = qr[i];
+        let wqi = qi[i];
+        pr[i] = wqr.mul_add(ens.re, wqi.mul_add(-ens.im, wpr * c));
+        pi[i] = wqr.mul_add(ens.im, wqi.mul_add(ens.re, wpi * c));
+        qr[i] = wpr.mul_add(-eps.re, wpi.mul_add(eps.im, wqr * c));
+        qi[i] = wpr.mul_add(-eps.im, wpi.mul_add(-eps.re, wqi * c));
+    }
 }
 
 /// Fills columns `from..` of `u` with vectors orthonormal to the preceding

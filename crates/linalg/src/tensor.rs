@@ -207,6 +207,14 @@ impl Tensor {
     ///
     /// With no shared labels this is the outer product. The result carries
     /// `self`'s free labels followed by `other`'s free labels.
+    ///
+    /// No permuted copies are materialized: the operands are described
+    /// to [`crate::gemm::matmul_gather_into`] by per-axis offset tables
+    /// (the `m` index walks `self`'s free axes, the `k` index the shared
+    /// axes, the `n` index `other`'s free axes), and the gather GEMM
+    /// packs those strided panels directly. Offset tables and packing
+    /// buffers are reused across calls via the thread-local
+    /// [`crate::gemm::with_scratch`] scratch.
     pub fn contract(&self, other: &Tensor) -> Tensor {
         let shared: Vec<BondId> = self
             .labels
@@ -235,19 +243,29 @@ impl Tensor {
             );
         }
 
-        // Permute so shared axes are trailing in `a` and leading in `b`.
-        let a_order: Vec<BondId> = a_free.iter().chain(&shared).copied().collect();
-        let b_order: Vec<BondId> = shared.iter().chain(&b_free).copied().collect();
-        let a = self.permute(&a_order);
-        let b = other.permute(&b_order);
-
         let k: usize = shared.iter().map(|&l| self.dim_of(l).unwrap()).product();
-        let m = a.size() / k.max(1);
-        let n = b.size() / k.max(1);
+        let m = self.size() / k.max(1);
+        let n = other.size() / k.max(1);
 
-        let am = Matrix::from_vec(m, k, a.data);
-        let bm = Matrix::from_vec(k, n, b.data);
-        let c = am.matmul(&bm);
+        let a_strides = self.strides();
+        let b_strides = other.strides();
+        let mut out = vec![C64::ZERO; m * n];
+        crate::gemm::with_scratch(|sc| {
+            let fill_table =
+                |table: &mut Vec<usize>, t: &Tensor, strides: &[usize], labels: &[BondId]| {
+                    table.clear();
+                    table.push(0);
+                    for &l in labels {
+                        let axis = t.axis_of(l).unwrap();
+                        crate::gemm::push_offset_axis(table, t.shape[axis], strides[axis]);
+                    }
+                };
+            fill_table(&mut sc.moff, self, &a_strides, &a_free);
+            fill_table(&mut sc.a_koff, self, &a_strides, &shared);
+            fill_table(&mut sc.b_koff, other, &b_strides, &shared);
+            fill_table(&mut sc.noff, other, &b_strides, &b_free);
+            crate::gemm::matmul_gather_into(&mut out, m, k, n, &self.data, &other.data, sc);
+        });
 
         let mut labels = a_free;
         labels.extend(&b_free);
@@ -259,8 +277,7 @@ impl Tensor {
                     .expect("free label must come from one operand")
             })
             .collect();
-        let data = c.data().to_vec();
-        Tensor::new(labels, shape, data)
+        Tensor::new(labels, shape, out)
     }
 
     /// Multiplies every entry by a scalar.
@@ -316,40 +333,54 @@ pub fn contract_network(tensors: Vec<Tensor>) -> C64 {
     if tensors.is_empty() {
         return scalar;
     }
+    // Scratch for the planner: label -> first holder, and the deduped
+    // connected pair list of the current step.
+    let mut holder: crate::FxHashMap<BondId, usize> = crate::FxHashMap::default();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     while tensors.len() > 1 {
-        let mut best: Option<(usize, usize, usize)> = None; // (i, j, result_size)
-        let mut found_shared = false;
-        for i in 0..tensors.len() {
-            for j in (i + 1)..tensors.len() {
-                let shares = tensors[i]
-                    .labels()
-                    .iter()
-                    .any(|l| tensors[j].labels().contains(l));
-                if !shares && found_shared {
-                    continue;
-                }
-                let shared_size: usize = tensors[i]
-                    .labels()
-                    .iter()
-                    .filter(|l| tensors[j].labels().contains(l))
-                    .map(|&l| tensors[i].dim_of(l).unwrap())
-                    .product();
-                let result_size =
-                    tensors[i].size() / shared_size * (tensors[j].size() / shared_size);
-                let candidate = (i, j, result_size);
-                let better = match best {
-                    None => true,
-                    Some((_, _, sz)) => {
-                        if shares && !found_shared {
-                            true // always prefer a real contraction over an outer product
-                        } else {
-                            result_size < sz
-                        }
+        // Candidate pairs are tensors connected by at least one bond —
+        // found through a label index in O(T * rank) instead of the
+        // all-pairs O(T^2) scan. Evaluating them in ascending (i, j)
+        // order with a strict `<` preference picks exactly the pair the
+        // historical full scan picked (unshared pairs only mattered
+        // when no shared pair existed), so contraction order — and with
+        // it every intermediate rounding — is unchanged.
+        holder.clear();
+        pairs.clear();
+        for (i, t) in tensors.iter().enumerate() {
+            for &l in t.labels() {
+                match holder.get(&l) {
+                    None => {
+                        holder.insert(l, i);
                     }
-                };
-                if better {
-                    best = Some(candidate);
-                    found_shared |= shares;
+                    Some(&h) => pairs.push((h, i)),
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut best: Option<(usize, usize, usize)> = None; // (i, j, result_size)
+        for &(i, j) in &pairs {
+            let shared_size: usize = tensors[i]
+                .labels()
+                .iter()
+                .filter(|l| tensors[j].labels().contains(l))
+                .map(|&l| tensors[i].dim_of(l).unwrap())
+                .product();
+            let result_size = tensors[i].size() / shared_size * (tensors[j].size() / shared_size);
+            if best.is_none_or(|(_, _, sz)| result_size < sz) {
+                best = Some((i, j, result_size));
+            }
+        }
+        if best.is_none() {
+            // Fully disconnected remainder: fall back to the historical
+            // smallest-outer-product choice.
+            for i in 0..tensors.len() {
+                for j in (i + 1)..tensors.len() {
+                    let result_size = tensors[i].size() * tensors[j].size();
+                    if best.is_none_or(|(_, _, sz)| result_size < sz) {
+                        best = Some((i, j, result_size));
+                    }
                 }
             }
         }

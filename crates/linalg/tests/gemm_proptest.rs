@@ -1,0 +1,188 @@
+//! Property tests for the blocked GEMM layer and the no-copy tensor
+//! contraction: random shapes (including non-power-of-two and
+//! degenerate `1 x k`) must reproduce the naive ascending-`k` fold bit
+//! for bit, serial or parallel.
+
+use bgls_linalg::{gemm, Matrix, Tensor, C64};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Force a multi-thread Rayon pool (the vendored stand-in caches the
+/// count on first use) so the parallel row-block path genuinely runs
+/// across threads even on single-core CI runners. Every test in this
+/// binary sets the same value, so ordering does not matter.
+fn force_threads() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+/// Random nonzero entries: keeps the bitwise comparison meaningful (the
+/// packed kernel multiplies structural zeros the naive skip elides,
+/// which can flip the sign of an exact zero — invisible to every
+/// consumer, but a `to_bits` mismatch here).
+fn fill(rng: &mut StdRng, len: usize) -> Vec<C64> {
+    (0..len)
+        .map(|_| {
+            let re: f64 = rng.gen_range(0.1..1.0);
+            let im: f64 = rng.gen_range(0.1..1.0);
+            C64::new(
+                if rng.gen::<bool>() { re } else { -re },
+                if rng.gen::<bool>() { im } else { -im },
+            )
+        })
+        .collect()
+}
+
+/// The reference semantics: per output element, fold `k` in ascending
+/// order with the `C64::mul_add` expressions.
+fn naive_gemm(m: usize, k: usize, n: usize, a: &[C64], b: &[C64]) -> Vec<C64> {
+    let mut out = vec![C64::ZERO; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            for j in 0..n {
+                out[i * n + j] = av.mul_add(b[kk * n + j], out[i * n + j]);
+            }
+        }
+    }
+    out
+}
+
+fn assert_bits_eq(got: &[C64], want: &[C64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (t, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.re.to_bits() == w.re.to_bits() && g.im.to_bits() == w.im.to_bits(),
+            "{ctx}: entry {t}: got {g:?}, want {w:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked GEMM (naive, packed, and parallel row-block paths,
+    /// depending on shape) is bit-identical to the sequential fold on
+    /// arbitrary shapes, including degenerate `1 x k` and non-powers
+    /// of two.
+    #[test]
+    fn gemm_matches_naive_fold(seed in 0u64..10_000, m in 1usize..70, k in 1usize..80, n in 1usize..70) {
+        force_threads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let got = gemm::matmul(m, k, n, &a, &b);
+        assert_bits_eq(&got, &naive_gemm(m, k, n, &a, &b), &format!("{m}x{k}x{n}"));
+    }
+
+    /// Shapes past the parallel threshold fan output rows across
+    /// Rayon; results must stay bit-identical to the sequential fold
+    /// for any thread count.
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial(seed in 0u64..1_000) {
+        force_threads();
+        let (m, k, n) = (150usize, 70usize, 110usize); // m*k*n > 1<<20, m > MC
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let got = gemm::matmul(m, k, n, &a, &b);
+        assert_bits_eq(&got, &naive_gemm(m, k, n, &a, &b), "parallel");
+    }
+
+    /// Blocked matvec (and its parallel row chunks) is bit-identical to
+    /// the per-row ascending fold.
+    #[test]
+    fn matvec_matches_fold(seed in 0u64..10_000, m in 1usize..90, k in 1usize..90) {
+        force_threads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let x = fill(&mut rng, k);
+        let mat = Matrix::from_vec(m, k, a.clone());
+        let got = mat.matvec(&x);
+        let want: Vec<C64> = (0..m)
+            .map(|i| (0..k).fold(C64::ZERO, |acc, j| a[i * k + j].mul_add(x[j], acc)))
+            .collect();
+        assert_bits_eq(&got, &want, "matvec");
+    }
+
+    /// The no-copy gather contraction reproduces the historical
+    /// permute-then-multiply path bit for bit on random tensor pairs
+    /// with random shared-label subsets.
+    #[test]
+    fn contract_matches_permute_reference(
+        seed in 0u64..10_000,
+        rank_a in 1usize..5,
+        rank_b in 1usize..5,
+        shared in 1usize..4,
+    ) {
+        force_threads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared = shared.min(rank_a).min(rank_b);
+        // Shared labels 100.. with random dims; free labels disjoint.
+        // Dims up to 9 so a fair share of cases clear the packed-path
+        // thresholds (k >= 8, n >= NR, m*k*n >= 4096) and exercise the
+        // gather packing and the contiguous fast path, not just the
+        // naive gather fold.
+        let shared_dims: Vec<usize> = (0..shared).map(|_| rng.gen_range(1..10)).collect();
+        let a_free_dims: Vec<usize> = (shared..rank_a).map(|_| rng.gen_range(1..10)).collect();
+        let b_free_dims: Vec<usize> = (shared..rank_b).map(|_| rng.gen_range(1..10)).collect();
+
+        let mut a_labels: Vec<u32> = (0..shared as u32).map(|t| 100 + t).collect();
+        a_labels.extend((0..a_free_dims.len() as u32).map(|t| 200 + t));
+        let mut a_shape = shared_dims.clone();
+        a_shape.extend(&a_free_dims);
+        // Shuffle axes so the gather path sees nontrivial strides.
+        let mut axes: Vec<usize> = (0..a_labels.len()).collect();
+        for i in (1..axes.len()).rev() {
+            axes.swap(i, rng.gen_range(0..i + 1));
+        }
+        let a_labels: Vec<u32> = axes.iter().map(|&t| a_labels[t]).collect();
+        let a_shape: Vec<usize> = axes.iter().map(|&t| a_shape[t]).collect();
+
+        let mut b_labels: Vec<u32> = (0..shared as u32).map(|t| 100 + t).collect();
+        b_labels.extend((0..b_free_dims.len() as u32).map(|t| 300 + t));
+        let mut b_shape = shared_dims.clone();
+        b_shape.extend(&b_free_dims);
+        let mut axes: Vec<usize> = (0..b_labels.len()).collect();
+        for i in (1..axes.len()).rev() {
+            axes.swap(i, rng.gen_range(0..i + 1));
+        }
+        let b_labels: Vec<u32> = axes.iter().map(|&t| b_labels[t]).collect();
+        let b_shape: Vec<usize> = axes.iter().map(|&t| b_shape[t]).collect();
+
+        let a_len: usize = a_shape.iter().product();
+        let b_len: usize = b_shape.iter().product();
+        let ta = Tensor::new(a_labels.clone(), a_shape, fill(&mut rng, a_len));
+        let tb = Tensor::new(b_labels.clone(), b_shape, fill(&mut rng, b_len));
+
+        let got = ta.contract(&tb);
+
+        // Reference: permute shared axes trailing/leading, then naive GEMM.
+        let shared_l: Vec<u32> = a_labels
+            .iter()
+            .copied()
+            .filter(|l| b_labels.contains(l))
+            .collect();
+        let a_free: Vec<u32> = a_labels
+            .iter()
+            .copied()
+            .filter(|l| !shared_l.contains(l))
+            .collect();
+        let b_free: Vec<u32> = b_labels
+            .iter()
+            .copied()
+            .filter(|l| !shared_l.contains(l))
+            .collect();
+        let a_order: Vec<u32> = a_free.iter().chain(&shared_l).copied().collect();
+        let b_order: Vec<u32> = shared_l.iter().chain(&b_free).copied().collect();
+        let pa = ta.permute(&a_order);
+        let pb = tb.permute(&b_order);
+        let k: usize = shared_l.iter().map(|&l| ta.dim_of(l).unwrap()).product();
+        let m = pa.size() / k.max(1);
+        let n = pb.size() / k.max(1);
+        let want = naive_gemm(m, k, n, pa.data(), pb.data());
+
+        prop_assert_eq!(got.labels(), &a_free.iter().chain(&b_free).copied().collect::<Vec<_>>()[..]);
+        assert_bits_eq(got.data(), &want, "contract");
+    }
+}

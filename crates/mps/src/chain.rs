@@ -12,8 +12,40 @@
 
 use bgls_circuit::{Channel, Gate};
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
-use bgls_linalg::{svd, Matrix, C64};
+use bgls_linalg::{gemm, svd_slice, Matrix, C64};
 use rand::{Rng, RngCore};
+use std::cell::RefCell;
+
+/// Reusable buffers for the two-site split, the transfer-matrix norm,
+/// and the batched amplitude sweep. Thread-local so `ChainMps` values
+/// stay plain data (`Clone + Send + Sync`) while per-gate allocations
+/// are amortized away — the same buffer-reuse discipline PR 3 applied
+/// to replay states via `clone_from`.
+#[derive(Default)]
+struct ChainScratch {
+    /// Merged two-site tensor `theta` (`2l x 2r`).
+    theta: Vec<C64>,
+    /// Gate-applied theta, fed straight to the SVD.
+    gated: Vec<C64>,
+    /// Transfer-matrix environment (`dim x dim`).
+    rho: Vec<C64>,
+    /// Next transfer-matrix environment.
+    rho_next: Vec<C64>,
+    /// `M_p^T rho` intermediate (`r x l`).
+    tmat: Vec<C64>,
+    /// Conjugated physical slice (`l x r`).
+    conj_slice: Vec<C64>,
+    /// One-qubit gate application buffer.
+    buf_1q: Vec<C64>,
+    /// Batched-sweep environment rows (`branches x dim`).
+    env: Vec<C64>,
+    /// Batched-sweep next environment rows.
+    env_next: Vec<C64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ChainScratch> = RefCell::new(ChainScratch::default());
+}
 
 /// Truncation options — the `cirq.contrib.quimb.MPSOptions` substitute.
 #[derive(Clone, Copy, Debug)]
@@ -118,101 +150,94 @@ impl ChainMps {
         let i = self.site_of_qubit[q];
         let site = &mut self.sites[i];
         let (l, r) = (site.l, site.r);
-        let mut out = vec![C64::ZERO; site.data.len()];
-        for li in 0..l {
-            for ri in 0..r {
-                let a0 = site.data[(li * 2) * r + ri];
-                let a1 = site.data[(li * 2 + 1) * r + ri];
-                out[(li * 2) * r + ri] = u[(0, 0)] * a0 + u[(0, 1)] * a1;
-                out[(li * 2 + 1) * r + ri] = u[(1, 0)] * a0 + u[(1, 1)] * a1;
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            sc.buf_1q.clear();
+            sc.buf_1q.resize(site.data.len(), C64::ZERO);
+            let out = &mut sc.buf_1q;
+            for li in 0..l {
+                for ri in 0..r {
+                    let a0 = site.data[(li * 2) * r + ri];
+                    let a1 = site.data[(li * 2 + 1) * r + ri];
+                    out[(li * 2) * r + ri] = u[(0, 0)] * a0 + u[(0, 1)] * a1;
+                    out[(li * 2 + 1) * r + ri] = u[(1, 0)] * a0 + u[(1, 1)] * a1;
+                }
             }
-        }
-        site.data = out;
+            std::mem::swap(&mut site.data, &mut sc.buf_1q);
+        });
     }
 
     /// Applies a 4x4 matrix to adjacent sites `(i, i+1)`; gate index bit 1
     /// (most significant) belongs to site `i`.
+    ///
+    /// The merge is one GEMM — site tensors `A[l, p, m]` and
+    /// `B[m, p, r]` are *already* the row-major `(2l x m)` and
+    /// `(m x 2r)` operands of the theta product — the gate application
+    /// is a `(4 x 4)(4 x r)` GEMM per left-bond block, and the gated
+    /// buffer doubles as the `(2l x 2r)` SVD input with no reshape copy.
+    /// All intermediates live in the thread-local [`ChainScratch`].
     fn apply_two_site(&mut self, i: usize, u: &Matrix) {
-        let a = &self.sites[i];
-        let b = &self.sites[i + 1];
-        let (l, m, r) = (a.l, a.r, b.r);
-        debug_assert_eq!(b.l, m);
-        // theta[l, p1, p2, r] = sum_m A[l, p1, m] B[m, p2, r]
-        let mut theta = vec![C64::ZERO; l * 4 * r];
-        for li in 0..l {
-            for p1 in 0..2 {
-                for mi in 0..m {
-                    let av = a.at(li, p1, mi);
-                    if av == C64::ZERO {
-                        continue;
-                    }
-                    for p2 in 0..2 {
-                        for ri in 0..r {
-                            theta[((li * 2 + p1) * 2 + p2) * r + ri] = av.mul_add(
-                                b.at(mi, p2, ri),
-                                theta[((li * 2 + p1) * 2 + p2) * r + ri],
-                            );
-                        }
-                    }
-                }
-            }
-        }
-        // gate application over the two physical legs
-        let mut gated = vec![C64::ZERO; l * 4 * r];
-        for li in 0..l {
-            for ri in 0..r {
-                for pout in 0..4 {
-                    let mut acc = C64::ZERO;
-                    for pin in 0..4 {
-                        let t = theta[(li * 4 + pin) * r + ri];
-                        acc = u[(pout, pin)].mul_add(t, acc);
-                    }
-                    gated[(li * 4 + pout) * r + ri] = acc;
-                }
-            }
-        }
-        // reshape to (l*2) x (2*r) and split by SVD
-        let mut mat = Matrix::zeros(l * 2, 2 * r);
-        for li in 0..l {
-            for p1 in 0..2 {
-                for p2 in 0..2 {
-                    for ri in 0..r {
-                        mat[(li * 2 + p1, p2 * r + ri)] = gated[((li * 2 + p1) * 2 + p2) * r + ri];
-                    }
-                }
-            }
-        }
-        let mut d = svd(&mat);
+        let (l, r) = (self.sites[i].l, self.sites[i + 1].r);
         let chi_cap = self.options.max_bond.unwrap_or(usize::MAX);
-        let err = d.truncate(chi_cap, self.options.cutoff);
+        let (d, err) = SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            let a = &self.sites[i];
+            let b = &self.sites[i + 1];
+            let m = a.r;
+            debug_assert_eq!(b.l, m);
+            // theta[(l p1), (p2 r)] = sum_m A[(l p1), m] B[m, (p2 r)]
+            sc.theta.clear();
+            sc.theta.resize(l * 4 * r, C64::ZERO);
+            gemm::matmul_into(&mut sc.theta, 2 * l, m, 2 * r, &a.data, &b.data);
+            // gate application over the two physical legs: block `li` of
+            // theta is (4 x r) row-major over the joint physical index
+            sc.gated.clear();
+            sc.gated.resize(l * 4 * r, C64::ZERO);
+            for li in 0..l {
+                gemm::matmul_into(
+                    &mut sc.gated[li * 4 * r..(li + 1) * 4 * r],
+                    4,
+                    4,
+                    r,
+                    u.data(),
+                    &sc.theta[li * 4 * r..(li + 1) * 4 * r],
+                );
+            }
+            // `gated` is already the (2l x 2r) split matrix.
+            let mut d = svd_slice(l * 2, 2 * r, &sc.gated);
+            let err = d.truncate(chi_cap, self.options.cutoff);
+            (d, err)
+        });
         self.truncation_weight += err;
         let chi = d.s.len();
-        let mut na = Site {
-            l,
-            r: chi,
-            data: vec![C64::ZERO; l * 2 * chi],
-        };
-        for li in 0..l {
-            for p1 in 0..2 {
-                for k in 0..chi {
-                    na.data[(li * 2 + p1) * chi + k] = d.u[(li * 2 + p1, k)];
-                }
+        let mut na_data = std::mem::take(&mut self.sites[i].data);
+        na_data.clear();
+        na_data.resize(l * 2 * chi, C64::ZERO);
+        for li2 in 0..l * 2 {
+            for k in 0..chi {
+                na_data[li2 * chi + k] = d.u[(li2, k)];
             }
         }
-        let mut nb = Site {
-            l: chi,
-            r,
-            data: vec![C64::ZERO; chi * 2 * r],
-        };
+        let mut nb_data = std::mem::take(&mut self.sites[i + 1].data);
+        nb_data.clear();
+        nb_data.resize(chi * 2 * r, C64::ZERO);
         for k in 0..chi {
             for p2 in 0..2 {
                 for ri in 0..r {
-                    nb.data[(k * 2 + p2) * r + ri] = d.vt[(k, p2 * r + ri)] * d.s[k];
+                    nb_data[(k * 2 + p2) * r + ri] = d.vt[(k, p2 * r + ri)] * d.s[k];
                 }
             }
         }
-        self.sites[i] = na;
-        self.sites[i + 1] = nb;
+        self.sites[i] = Site {
+            l,
+            r: chi,
+            data: na_data,
+        };
+        self.sites[i + 1] = Site {
+            l: chi,
+            r,
+            data: nb_data,
+        };
         // Truncation shrinks the state; renormalize exactly. (The chain is
         // not kept in canonical form, so the discarded singular weight
         // alone does not determine the norm change.)
@@ -300,75 +325,149 @@ impl ChainMps {
     }
 
     /// Batched amplitude sweep sharing environments across candidates:
-    /// descends the chain once, forking the left environment only at
-    /// sites where the candidate set disagrees on the physical bit. For
-    /// the sampler's candidate sets (all `2^k` assignments of a small
-    /// support) this contracts each shared chain prefix once instead of
-    /// `2^k` times. Every candidate's amplitude goes through the same
-    /// [`ChainMps::sweep_step`] sequence a standalone sweep would, so the
-    /// results are bit-identical to per-candidate [`ChainMps::amplitude_of`]
-    /// calls.
+    /// descends the chain level-synchronously, forking a branch's left
+    /// environment only at sites where its candidate set disagrees on
+    /// the physical bit. For the sampler's candidate sets (all `2^k`
+    /// assignments of a small support) each shared chain prefix is
+    /// contracted once instead of `2^k` times, and every site advances
+    /// *all* branch environments with at most two gather-GEMMs (one per
+    /// physical bit value) on the blocked kernels — a
+    /// `(branches x chi)(chi x chi)`-shaped workload instead of one
+    /// strided axpy per branch.
+    ///
+    /// Every environment element folds the same `sum_l v[l] * A[l,b,r]`
+    /// terms in the same ascending order as [`ChainMps::sweep_step`], so
+    /// the returned probabilities are bit-identical to per-candidate
+    /// [`ChainMps::amplitude_of`] calls (the GEMM multiplies structural
+    /// zeros the scalar sweep skips, which can flip the sign of an
+    /// exact-zero component but never survives `norm_sqr`).
     fn amplitudes_shared_sweep(&self, candidates: &[BitString], out: &mut [f64]) {
-        // Explicit stack of (site index, environment, candidate indices).
-        let all: Vec<usize> = (0..candidates.len()).collect();
-        let mut stack: Vec<(usize, Vec<C64>, Vec<usize>)> = vec![(0, vec![C64::ONE], all)];
-        while let Some((i, v, idxs)) = stack.pop() {
-            if i == self.sites.len() {
-                debug_assert_eq!(v.len(), 1);
-                let p = v[0].norm_sqr();
-                for &c in &idxs {
-                    out[c] = p;
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            let mut env = std::mem::take(&mut sc.env);
+            let mut next = std::mem::take(&mut sc.env_next);
+            env.clear();
+            env.push(C64::ONE);
+            let mut dim = 1usize;
+            // Branch `b` owns environment row `env[b*dim..(b+1)*dim]`
+            // and the candidate indices `branches[b]`.
+            let mut branches: Vec<Vec<usize>> = vec![(0..candidates.len()).collect()];
+            for i in 0..self.sites.len() {
+                let site = &self.sites[i];
+                let (l, r) = (site.l, site.r);
+                debug_assert_eq!(l, dim);
+                let q = self.qubit_of_site[i];
+                // Plan this level: (parent row, bit) per output branch,
+                // grouped by bit so each group is one batched GEMM.
+                let mut plan: [(Vec<usize>, Vec<Vec<usize>>); 2] = Default::default();
+                for (b, idxs) in branches.drain(..).enumerate() {
+                    let first = candidates[idxs[0]].get(q);
+                    if idxs.iter().all(|&c| candidates[c].get(q) == first) {
+                        plan[first as usize].0.push(b);
+                        plan[first as usize].1.push(idxs);
+                    } else {
+                        let (ones, zeros): (Vec<usize>, Vec<usize>) =
+                            idxs.into_iter().partition(|&c| candidates[c].get(q));
+                        plan[0].0.push(b);
+                        plan[0].1.push(zeros);
+                        plan[1].0.push(b);
+                        plan[1].1.push(ones);
+                    }
                 }
-                continue;
-            }
-            let q = self.qubit_of_site[i];
-            let first = candidates[idxs[0]].get(q);
-            if idxs.iter().all(|&c| candidates[c].get(q) == first) {
-                let next = self.sweep_step(i, first as usize, &v);
-                stack.push((i + 1, next, idxs));
-            } else {
-                let (ones, zeros): (Vec<usize>, Vec<usize>) =
-                    idxs.into_iter().partition(|&c| candidates[c].get(q));
-                let next0 = self.sweep_step(i, 0, &v);
-                let next1 = self.sweep_step(i, 1, &v);
-                stack.push((i + 1, next0, zeros));
-                stack.push((i + 1, next1, ones));
-            }
-        }
-    }
-
-    /// Squared norm via transfer-matrix contraction (`O(n chi^4)`).
-    pub fn norm_sqr(&self) -> f64 {
-        // rho[l, l'] environment, starting 1x1
-        let mut rho = vec![C64::ONE];
-        let mut dim = 1usize;
-        for site in &self.sites {
-            let (l, r) = (site.l, site.r);
-            debug_assert_eq!(l, dim);
-            let mut next = vec![C64::ZERO; r * r];
-            for li in 0..l {
-                for lj in 0..l {
-                    let e = rho[li * l + lj];
-                    if e == C64::ZERO {
+                let total = plan[0].0.len() + plan[1].0.len();
+                next.clear();
+                next.resize(total * r, C64::ZERO);
+                let mut row0 = 0usize;
+                for (bit, (parents, idx_groups)) in plan.iter_mut().enumerate() {
+                    let rows = parents.len();
+                    if rows == 0 {
                         continue;
                     }
-                    for p in 0..2 {
-                        for ri in 0..r {
-                            let x = e * site.at(li, p, ri);
-                            if x == C64::ZERO {
-                                continue;
-                            }
-                            for rj in 0..r {
-                                next[ri * r + rj] += x * site.at(lj, p, rj).conj();
-                            }
-                        }
-                    }
+                    gemm::with_scratch(|g| {
+                        g.moff.clear();
+                        g.moff.extend(parents.iter().map(|&p| p * dim));
+                        g.a_koff.clear();
+                        g.a_koff.extend(0..dim);
+                        g.b_koff.clear();
+                        g.b_koff.extend((0..l).map(|li| (li * 2 + bit) * r));
+                        g.noff.clear();
+                        g.noff.extend(0..r);
+                        gemm::matmul_gather_into(
+                            &mut next[row0 * r..(row0 + rows) * r],
+                            rows,
+                            dim,
+                            r,
+                            &env,
+                            &site.data,
+                            g,
+                        );
+                    });
+                    branches.append(idx_groups);
+                    row0 += rows;
+                }
+                std::mem::swap(&mut env, &mut next);
+                dim = r;
+            }
+            debug_assert_eq!(dim, 1);
+            for (b, idxs) in branches.iter().enumerate() {
+                let p = env[b].norm_sqr();
+                for &c in idxs {
+                    out[c] = p;
                 }
             }
-            rho = next;
-            dim = r;
-        }
-        rho[0].re
+            sc.env = env;
+            sc.env_next = next;
+        });
+    }
+
+    /// Squared norm via transfer-matrix contraction.
+    ///
+    /// Each site advances the environment as
+    /// `rho' = sum_p M_p^T rho conj(M_p)` — two GEMMs per physical
+    /// value on the blocked kernels (`O(n chi^3)` arithmetic at GEMM
+    /// speed instead of the historical scalar `O(n chi^4)` loop), with
+    /// every intermediate in the thread-local scratch. Deterministic: a
+    /// pure function of the state, identical on every call and thread
+    /// count.
+    pub fn norm_sqr(&self) -> f64 {
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            // rho[l, l'] environment, starting 1x1
+            sc.rho.clear();
+            sc.rho.push(C64::ONE);
+            let mut dim = 1usize;
+            for site in &self.sites {
+                let (l, r) = (site.l, site.r);
+                debug_assert_eq!(l, dim);
+                sc.rho_next.clear();
+                sc.rho_next.resize(r * r, C64::ZERO);
+                for p in 0..2 {
+                    // T = M_p^T rho, gathering M_p[li, ri] = A[li, p, ri]
+                    // straight from the site tensor (no transposed copy).
+                    sc.tmat.clear();
+                    sc.tmat.resize(r * l, C64::ZERO);
+                    gemm::with_scratch(|g| {
+                        g.moff.clear();
+                        g.moff.extend(0..r);
+                        g.a_koff.clear();
+                        g.a_koff.extend((0..l).map(|li| (li * 2 + p) * r));
+                        g.b_koff.clear();
+                        g.b_koff.extend((0..l).map(|li| li * l));
+                        g.noff.clear();
+                        g.noff.extend(0..l);
+                        gemm::matmul_gather_into(&mut sc.tmat, r, l, l, &site.data, &sc.rho, g);
+                    });
+                    // rho' += T conj(M_p)
+                    sc.conj_slice.clear();
+                    sc.conj_slice
+                        .extend((0..l * r).map(|t| site.data[(t / r * 2 + p) * r + t % r].conj()));
+                    gemm::matmul_acc_into(&mut sc.rho_next, r, l, r, &sc.tmat, &sc.conj_slice);
+                }
+                std::mem::swap(&mut sc.rho, &mut sc.rho_next);
+                dim = r;
+            }
+            sc.rho[0].re
+        })
     }
 
     /// Rescales the whole state by `k` (used after non-unitary Kraus

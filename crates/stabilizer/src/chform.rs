@@ -373,15 +373,27 @@ impl ChForm {
         let mut xf = BitVec::zeros(self.n);
         let mut za = BitVec::zeros(self.n);
         for p in x.iter_ones() {
-            mu = (mu + self.gamma[p]) % 4;
-            if za.dot(self.f.row(p)) {
-                mu = (mu + 2) % 4;
-            }
-            xf.xor_assign(self.f.row(p));
-            za.xor_assign(self.m.row(p));
+            self.conjugation_step(p, &mut mu, &mut xf, &mut za);
         }
-        // <x|psi> = omega * i^{-mu} <xF| U_H |s>
-        // <xF|U_H|s> = 2^{-|v|/2} (-1)^{|xF & s & v|} [xF agrees with s off v]
+        self.amplitude_tail(mu, &xf)
+    }
+
+    /// Merges the conjugated `X_p` string into the running
+    /// `U_C^dag |x> = i^mu |xF|` state (one set bit of `x`).
+    #[inline]
+    fn conjugation_step(&self, p: usize, mu: &mut u8, xf: &mut BitVec, za: &mut BitVec) {
+        *mu = (*mu + self.gamma[p]) % 4;
+        if za.dot(self.f.row(p)) {
+            *mu = (*mu + 2) % 4;
+        }
+        xf.xor_assign(self.f.row(p));
+        za.xor_assign(self.m.row(p));
+    }
+
+    /// Finishes an amplitude from the merged conjugation state:
+    /// `<x|psi> = omega * i^{-mu} <xF| U_H |s>` with
+    /// `<xF|U_H|s> = 2^{-|v|/2} (-1)^{|xF & s & v|} [xF agrees with s off v]`.
+    fn amplitude_tail(&self, mu: u8, xf: &BitVec) -> C64 {
         let not_v = self.v.not();
         if xf.and(&not_v) != self.s.and(&not_v) {
             return C64::ZERO;
@@ -397,6 +409,90 @@ impl ChForm {
     /// Born probability `|<x|psi>|^2`.
     pub fn probability_of(&self, x: &BitVec) -> f64 {
         self.amplitude(x).norm_sqr()
+    }
+
+    /// Born probabilities of a whole candidate set, sharing the
+    /// `U_C^dag` Pauli-conjugation work across candidates.
+    ///
+    /// Candidates from the sampler differ only on the support bits of
+    /// the current gate, so the running `(mu, xF, Z-accumulator)` merge
+    /// state is identical until the first disagreeing bit position. A
+    /// trie over bit positions advances every group of agreeing
+    /// candidates once and forks only where the set splits, so each
+    /// shared prefix of conjugated `X_p` rows is merged once instead of
+    /// once per candidate, and each leaf's amplitude tail is computed
+    /// once per distinct bitstring.
+    ///
+    /// Every candidate passes through the exact
+    /// [`ChForm::conjugation_step`] / [`ChForm::amplitude_tail`]
+    /// sequence a scalar [`ChForm::probability_of`] call performs (the
+    /// merge is integer/boolean arithmetic, the tail a fixed float
+    /// expression), so results are bit-identical to scalar calls.
+    pub fn probabilities_batch_of(&self, candidates: &[BitVec]) -> Vec<f64> {
+        let mut out = vec![0.0; candidates.len()];
+        if candidates.is_empty() {
+            return out;
+        }
+        for c in candidates {
+            assert_eq!(c.len(), self.n, "bitstring width mismatch");
+        }
+        struct Node {
+            p: usize,
+            mu: u8,
+            xf: BitVec,
+            za: BitVec,
+            idxs: Vec<usize>,
+        }
+        let mut stack = vec![Node {
+            p: 0,
+            mu: 0,
+            xf: BitVec::zeros(self.n),
+            za: BitVec::zeros(self.n),
+            idxs: (0..candidates.len()).collect(),
+        }];
+        while let Some(mut node) = stack.pop() {
+            let mut p = node.p;
+            // Advance through positions the whole group agrees on.
+            while p < self.n {
+                let first = candidates[node.idxs[0]].get(p);
+                if !node.idxs.iter().all(|&c| candidates[c].get(p) == first) {
+                    break;
+                }
+                if first {
+                    self.conjugation_step(p, &mut node.mu, &mut node.xf, &mut node.za);
+                }
+                p += 1;
+            }
+            if p == self.n {
+                let prob = self.amplitude_tail(node.mu, &node.xf).norm_sqr();
+                for &c in &node.idxs {
+                    out[c] = prob;
+                }
+                continue;
+            }
+            // Fork on bit `p`.
+            let (ones, zeros): (Vec<usize>, Vec<usize>) =
+                node.idxs.into_iter().partition(|&c| candidates[c].get(p));
+            let mut mu1 = node.mu;
+            let mut xf1 = node.xf.clone();
+            let mut za1 = node.za.clone();
+            self.conjugation_step(p, &mut mu1, &mut xf1, &mut za1);
+            stack.push(Node {
+                p: p + 1,
+                mu: node.mu,
+                xf: node.xf,
+                za: node.za,
+                idxs: zeros,
+            });
+            stack.push(Node {
+                p: p + 1,
+                mu: mu1,
+                xf: xf1,
+                za: za1,
+                idxs: ones,
+            });
+        }
+        out
     }
 
     /// Dense ket (verification only; exponential in `n`).
@@ -579,6 +675,63 @@ mod tests {
         }
         let total: f64 = st.ket().iter().map(|a| a.norm_sqr()).sum();
         assert!((total - 1.0).abs() < 1e-10, "norm drifted: {total}");
+    }
+
+    #[test]
+    fn batched_probabilities_are_bit_identical_to_scalar() {
+        // Scrambled Clifford state (same walk as the normalization test).
+        let mut st = ChForm::zero(6);
+        let seq: [(usize, usize, u8); 14] = [
+            (0, 0, 0),
+            (1, 0, 1),
+            (0, 1, 2),
+            (2, 3, 2),
+            (1, 2, 1),
+            (4, 3, 0),
+            (3, 1, 2),
+            (5, 1, 1),
+            (0, 2, 3),
+            (2, 0, 2),
+            (5, 0, 0),
+            (3, 2, 3),
+            (4, 0, 1),
+            (1, 4, 2),
+        ];
+        for (a, b, kind) in seq {
+            match kind {
+                0 => st.apply_h(a).unwrap(),
+                1 => st.apply_s(a).unwrap(),
+                2 => st.apply_cnot(a, b).unwrap(),
+                _ => st.apply_cz(a, b).unwrap(),
+            }
+        }
+        // Sampler-shaped sets (shared base, all assignments of a small
+        // support) plus a fully mixed set.
+        let base = 0b101100u64;
+        let mut sets: Vec<Vec<BitVec>> = Vec::new();
+        for support in [vec![2usize], vec![0, 4], vec![1, 3, 5]] {
+            let mut cands = Vec::new();
+            for assign in 0..1u64 << support.len() {
+                let mut x = base;
+                for (t, &q) in support.iter().enumerate() {
+                    x = (x & !(1 << q)) | (((assign >> t) & 1) << q);
+                }
+                cands.push(bits(6, x));
+            }
+            sets.push(cands);
+        }
+        sets.push((0..13).map(|t| bits(6, (t * 37 + 5) % 64)).collect());
+        for cands in sets {
+            let batched = st.probabilities_batch_of(&cands);
+            for (c, p) in cands.iter().zip(&batched) {
+                let scalar = st.probability_of(c);
+                assert!(
+                    p.to_bits() == scalar.to_bits(),
+                    "batched {p} != scalar {scalar} for {c:?}"
+                );
+            }
+        }
+        assert!(st.probabilities_batch_of(&[]).is_empty());
     }
 
     #[test]

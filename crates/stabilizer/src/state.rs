@@ -278,6 +278,18 @@ impl BglsState for ChForm {
         let x = BitVec::from_u64(bits.len(), bits.as_u64());
         self.probability_of(&x)
     }
+
+    /// Batched probabilities sharing the `U_C^dag` Pauli-conjugation
+    /// prefix across the candidate set (see
+    /// [`ChForm::probabilities_batch_of`]); bit-identical to scalar
+    /// [`ChForm::probability_of`] calls.
+    fn probabilities_batch(&self, candidates: &[BitString]) -> Vec<f64> {
+        let xs: Vec<BitVec> = candidates
+            .iter()
+            .map(|b| BitVec::from_u64(b.len(), b.as_u64()))
+            .collect();
+        self.probabilities_batch_of(&xs)
+    }
 }
 
 impl AmplitudeState for ChForm {

@@ -1,0 +1,44 @@
+//! Determinism probe: prints seeded sampling histograms for the
+//! chain-MPS (chi=32) and lazy-network backends. Diff the output across
+//! revisions (or across `RAYON_NUM_THREADS` settings) to check that a
+//! kernel change left seeded sampling behaviour bit-identical:
+//!
+//! ```text
+//! cargo run --release --example hist_probe > before.txt
+//! # ... apply changes ...
+//! cargo run --release --example hist_probe | diff before.txt -
+//! ```
+
+use bgls_apps::{brickwork_circuit, random_u2_brickwork};
+use bgls_core::Simulator;
+use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let chain_circuit = random_u2_brickwork(20, 8, &mut rng);
+    let sim = Simulator::new(ChainMps::zero(20, MpsOptions::with_max_bond(32))).with_seed(1);
+    let samples = sim.sample_final_bitstrings(&chain_circuit, 200).unwrap();
+    let mut hist: std::collections::BTreeMap<String, u64> = Default::default();
+    for b in &samples {
+        *hist.entry(format!("{b}")).or_insert(0) += 1;
+    }
+    println!("chain_chi32:");
+    for (b, c) in &hist {
+        println!("  {b} {c}");
+    }
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let lazy_circuit = brickwork_circuit(14, 4, &mut rng);
+    let sim = Simulator::new(LazyNetworkState::zero(14)).with_seed(2);
+    let samples = sim.sample_final_bitstrings(&lazy_circuit, 200).unwrap();
+    let mut hist: std::collections::BTreeMap<String, u64> = Default::default();
+    for b in &samples {
+        *hist.entry(format!("{b}")).or_insert(0) += 1;
+    }
+    println!("lazy:");
+    for (b, c) in &hist {
+        println!("  {b} {c}");
+    }
+}

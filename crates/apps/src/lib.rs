@@ -33,10 +33,13 @@ pub use metrics::{
     chi_squared_fits, chi_squared_statistic, chi_squared_threshold, classical_fidelity,
     empirical_distribution, linear_xeb, overlap, total_variation_distance,
 };
-pub use observables::{maxcut_energy_expectation, z_string_expectation, z_string_standard_error};
+pub use observables::{
+    diagonal_expectation, maxcut_energy_expectation, maxcut_hamiltonian, transverse_field_ising,
+    z_string_expectation, z_string_standard_error,
+};
 pub use qaoa::{
-    qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa, solve_maxcut_qaoa_mps,
-    QaoaSolution, QaoaSweepResult,
+    qaoa_energy_landscape, qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa,
+    solve_maxcut_qaoa_mps, QaoaSolution, QaoaSweepResult,
 };
 
 // Re-exported so app callers can name backends without a direct
@@ -44,5 +47,5 @@ pub use qaoa::{
 pub use bgls_backend::{AnyState, BackendKind, SimulatorExt};
 pub use workloads::{
     brickwork_circuit, ghz_circuit, ghz_random_cnot_circuit, random_fixed_cnot_circuit,
-    random_fixed_depth_circuit, random_u2_brickwork,
+    random_fixed_depth_circuit, random_u2_brickwork, tfim_layer_circuit,
 };

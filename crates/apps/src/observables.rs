@@ -1,42 +1,126 @@
-//! Sample-based estimation of diagonal observables.
+//! Observable construction and estimation for the application layer.
 //!
-//! Gate-by-gate sampling produces computational-basis bitstrings, so any
-//! observable diagonal in that basis (Z-strings, cut counts, Ising
-//! energies) can be estimated directly from samples — this is exactly how
-//! the QAOA sweep scores parameter settings (paper Sec. 4.4).
+//! Built on the Pauli subsystem (`bgls_circuit::{PauliString,
+//! PauliSum}`): Hamiltonian builders for the shipped workloads (MaxCut
+//! cost, transverse-field Ising) plus sample-based estimators for
+//! Z-diagonal observables — the historical `z_string_expectation` path,
+//! now expressed through the same [`PauliString`] parity machinery the
+//! shot-based estimator in `bgls-core` uses. Exact (sample-free)
+//! evaluation goes through `Simulator::expectation_value` /
+//! `BglsState::expectation` instead.
 
 use crate::graph::Graph;
+use bgls_circuit::{CircuitError, PauliString, PauliSum};
 use bgls_core::BitString;
+use bgls_linalg::C64;
+
+/// The MaxCut cost Hamiltonian `C = sum_{(a,b) in E} (1 - Z_a Z_b) / 2`
+/// as a [`PauliSum`]. Its expectation on a computational-basis
+/// distribution is the mean cut value — the quantity the QAOA sweep
+/// maximizes.
+pub fn maxcut_hamiltonian(graph: &Graph) -> PauliSum {
+    let mut h = PauliSum::new();
+    for &(a, b) in graph.edges() {
+        h.add_term(C64::real(0.5), PauliString::identity());
+        h.add_term(
+            C64::real(-0.5),
+            PauliString::z_string(&[a, b]).expect("graph edges join distinct vertices"),
+        );
+    }
+    h
+}
+
+/// The transverse-field Ising Hamiltonian
+/// `H = -J sum_i Z_i Z_{i+1} - h sum_i X_i` on an open (or periodic)
+/// chain of `n` qubits — the standard mixed-basis observable used by the
+/// observable-estimation example and benches: its ZZ and X terms land in
+/// different qubit-wise-commuting groups, so shot-based estimation
+/// exercises the grouped path.
+pub fn transverse_field_ising(n: usize, coupling: f64, field: f64, periodic: bool) -> PauliSum {
+    let mut h = PauliSum::new();
+    for i in 0..n.saturating_sub(1) {
+        h.add_term(
+            C64::real(-coupling),
+            PauliString::z_string(&[i, i + 1]).expect("distinct chain sites"),
+        );
+    }
+    if periodic && n > 2 {
+        h.add_term(
+            C64::real(-coupling),
+            PauliString::z_string(&[n - 1, 0]).expect("distinct chain sites"),
+        );
+    }
+    for i in 0..n {
+        h.add_term(C64::real(-field), PauliString::x(i));
+    }
+    h
+}
+
+/// Estimates a **Z-diagonal** Hermitian observable from
+/// computational-basis samples: every non-identity term must be a pure
+/// Z-string, whose eigenvalue on a sample is its support parity. Fails
+/// on X/Y terms (those need the basis-rotated shot path,
+/// `Simulator::estimate_expectation`). With no samples, only the
+/// identity constant is returned.
+pub fn diagonal_expectation(
+    observable: &PauliSum,
+    samples: &[BitString],
+) -> Result<f64, CircuitError> {
+    let mut constant = 0.0;
+    let mut diagonal: Vec<(f64, &PauliString)> = Vec::new();
+    for (c, p) in observable.terms() {
+        if p.is_identity() {
+            constant += c.re;
+            continue;
+        }
+        if p.iter().any(|(_, op)| op != bgls_circuit::PauliOp::Z) {
+            return Err(CircuitError::Invalid(format!(
+                "term '{p}' is not Z-diagonal; use the basis-rotated shot estimator"
+            )));
+        }
+        diagonal.push((c.re, p));
+    }
+    if samples.is_empty() || diagonal.is_empty() {
+        return Ok(constant);
+    }
+    // per-term support masks hoisted out of the per-sample loop; the
+    // per-sample scorer is shared with the core shot estimator
+    let masks: Vec<(f64, u64)> = diagonal
+        .iter()
+        .map(|(c, p)| (*c, p.support_mask()))
+        .collect();
+    let mean: f64 = samples
+        .iter()
+        .map(|b| bgls_circuit::score_parity_terms(&masks, b.as_u64()))
+        .sum::<f64>()
+        / samples.len() as f64;
+    Ok(constant + mean)
+}
 
 /// Estimates `<Z_{q1} Z_{q2} ... >` for a Z-string supported on `qubits`
 /// from computational-basis samples: each sample contributes
-/// `(-1)^(parity of selected bits)`.
+/// `(-1)^(parity of selected bits)` ([`PauliString::parity_sign`]).
+/// Repeated qubits cancel pairwise (`Z^2 = I`), matching the operator
+/// algebra.
 pub fn z_string_expectation(samples: &[BitString], qubits: &[usize]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let total: i64 = samples
+    // XOR-fold so duplicated qubits cancel instead of erroring
+    let mask = qubits.iter().fold(0u64, |acc, &q| acc ^ (1 << q));
+    samples
         .iter()
-        .map(|b| {
-            let parity = qubits.iter().filter(|&&q| b.get(q)).count() % 2;
-            if parity == 0 {
-                1i64
-            } else {
-                -1i64
-            }
-        })
-        .sum();
-    total as f64 / samples.len() as f64
+        .map(|b| bgls_circuit::parity_sign_masked(mask, b.as_u64()))
+        .sum::<f64>()
+        / samples.len() as f64
 }
 
 /// Estimates the Ising/MaxCut cost Hamiltonian expectation
-/// `<C> = sum_edges (1 - <Z_a Z_b>) / 2` from samples.
+/// `<C> = sum_edges (1 - <Z_a Z_b>) / 2` from samples — the
+/// [`maxcut_hamiltonian`] evaluated with [`diagonal_expectation`].
 pub fn maxcut_energy_expectation(graph: &Graph, samples: &[BitString]) -> f64 {
-    graph
-        .edges()
-        .iter()
-        .map(|&(a, b)| (1.0 - z_string_expectation(samples, &[a, b])) / 2.0)
-        .sum()
+    diagonal_expectation(&maxcut_hamiltonian(graph), samples)
+        .expect("the MaxCut Hamiltonian is Z-diagonal")
 }
 
 /// Standard error of the mean for a +-1-valued estimator (conservative
@@ -79,6 +163,17 @@ mod tests {
     }
 
     #[test]
+    fn repeated_qubits_cancel_pairwise() {
+        // Z0 Z0 = I: duplicates must evaluate, not panic
+        let samples = vec![b(2, 0b01), b(2, 0b11)];
+        assert_eq!(z_string_expectation(&samples, &[0, 0]), 1.0);
+        assert_eq!(
+            z_string_expectation(&samples, &[0, 0, 1]),
+            z_string_expectation(&samples, &[1])
+        );
+    }
+
+    #[test]
     fn mixed_samples_average() {
         // two +1 (00), two -1 (01): expectation 0
         let samples = vec![b(2, 0), b(2, 0), b(2, 1), b(2, 1)];
@@ -93,6 +188,39 @@ mod tests {
         let via_energy = maxcut_energy_expectation(&g, &samples);
         let via_cuts = mean_cut(&g, &samples);
         assert!((via_energy - via_cuts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxcut_hamiltonian_scores_partitions_exactly() {
+        use crate::maxcut::cut_value;
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let h = maxcut_hamiltonian(&g);
+        for x in 0..16u64 {
+            let cut = cut_value(&g, b(4, x)) as f64;
+            let e = diagonal_expectation(&h, &[b(4, x)]).unwrap();
+            assert!((e - cut).abs() < 1e-12, "partition {x:04b}");
+        }
+    }
+
+    #[test]
+    fn diagonal_expectation_rejects_off_diagonal_terms() {
+        let h: PauliSum = "X0 + Z1".parse().unwrap();
+        assert!(diagonal_expectation(&h, &[b(2, 0)]).is_err());
+        // identity constant survives an empty sample set
+        let c: PauliSum = "Z0 + 3".parse().unwrap();
+        assert_eq!(diagonal_expectation(&c, &[]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn tfim_has_expected_structure() {
+        let h = transverse_field_ising(4, 1.0, 0.5, false);
+        // 3 ZZ bonds + 4 X fields
+        assert_eq!(h.num_terms(), 7);
+        assert!(h.is_hermitian(0.0));
+        let ring = transverse_field_ising(4, 1.0, 0.5, true);
+        assert_eq!(ring.num_terms(), 8);
+        // ZZ terms and X terms cannot share a measurement basis
+        assert!(ring.qubit_wise_commuting_groups().len() >= 2);
     }
 
     #[test]

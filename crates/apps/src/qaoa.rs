@@ -5,6 +5,7 @@
 
 use crate::graph::Graph;
 use crate::maxcut::{cut_value, mean_cut};
+use crate::observables::maxcut_hamiltonian;
 use bgls_backend::{AnyState, BackendKind};
 use bgls_circuit::{Circuit, Gate, Operation, Param, ParamResolver, Qubit};
 use bgls_core::{BglsState, BitString, SimError, Simulator, SimulatorOptions};
@@ -89,19 +90,76 @@ where
     F: Fn() -> Simulator<S>,
 {
     assert!(grid >= 1);
-    let mut sweep = Vec::with_capacity(grid * grid);
+    let (points, _) = qaoa_grid_resolvers(grid);
+    let mut sweep = Vec::with_capacity(points.len());
     let mut best = (0.0f64, 0.0f64, f64::NEG_INFINITY);
+    for (gamma, beta) in points {
+        let bound = resolve_qaoa(circuit, &[gamma], &[beta]);
+        let samples = make_simulator().sample_final_bitstrings(&bound, samples_per_point)?;
+        let mc = mean_cut(graph, &samples);
+        sweep.push((gamma, beta, mc));
+        if mc > best.2 {
+            best = (gamma, beta, mc);
+        }
+    }
+    Ok(QaoaSweepResult {
+        best_params: (best.0, best.1),
+        best_mean_cut: best.2,
+        sweep,
+    })
+}
+
+/// The one-layer `(gamma, beta)` grid, as points and as parameter
+/// resolvers — the single source of truth for both the sampled sweep
+/// ([`qaoa_sweep`]) and the exact landscape
+/// ([`qaoa_energy_landscape`]), so the two stay pointwise comparable.
+fn qaoa_grid_resolvers(grid: usize) -> (Vec<(f64, f64)>, Vec<ParamResolver>) {
+    let mut points = Vec::with_capacity(grid * grid);
+    let mut resolvers = Vec::with_capacity(grid * grid);
     for gi in 0..grid {
         let gamma = std::f64::consts::PI * (gi as f64 + 0.5) / grid as f64;
         for bi in 0..grid {
             let beta = std::f64::consts::FRAC_PI_2 * (bi as f64 + 0.5) / grid as f64;
-            let bound = resolve_qaoa(circuit, &[gamma], &[beta]);
-            let samples = make_simulator().sample_final_bitstrings(&bound, samples_per_point)?;
-            let mc = mean_cut(graph, &samples);
-            sweep.push((gamma, beta, mc));
-            if mc > best.2 {
-                best = (gamma, beta, mc);
-            }
+            points.push((gamma, beta));
+            let mut r = ParamResolver::new();
+            r.bind("gamma0", gamma);
+            r.bind("beta0", beta);
+            resolvers.push(r);
+        }
+    }
+    (points, resolvers)
+}
+
+/// The **exact** one-layer QAOA energy landscape over the same
+/// `grid x grid` of `(gamma, beta)` values as [`qaoa_sweep`], scored by
+/// the expectation engine instead of sampling: each grid point's mean
+/// cut is `<C>` of the MaxCut Hamiltonian ([`maxcut_hamiltonian`]) on
+/// the bound circuit's output state, evaluated through
+/// `Simulator::expectation_sweep` with zero sampling noise.
+///
+/// Use this to score parameters when an exact backend fits the problem
+/// (it is what the sampled sweep converges to as `samples_per_point`
+/// grows); use [`qaoa_sweep`] to reproduce the paper's sampled workflow.
+pub fn qaoa_energy_landscape<S, F>(
+    graph: &Graph,
+    circuit: &Circuit,
+    make_simulator: F,
+    grid: usize,
+) -> Result<QaoaSweepResult, SimError>
+where
+    S: BglsState + Send + Sync,
+    F: Fn() -> Simulator<S>,
+{
+    assert!(grid >= 1);
+    let hamiltonian = maxcut_hamiltonian(graph);
+    let (points, resolvers) = qaoa_grid_resolvers(grid);
+    let energies = make_simulator().expectation_sweep(circuit, &resolvers, &hamiltonian)?;
+    let mut sweep = Vec::with_capacity(points.len());
+    let mut best = (0.0f64, 0.0f64, f64::NEG_INFINITY);
+    for (&(gamma, beta), &energy) in points.iter().zip(&energies) {
+        sweep.push((gamma, beta, energy));
+        if energy > best.2 {
+            best = (gamma, beta, energy);
         }
     }
     Ok(QaoaSweepResult {
@@ -238,6 +296,56 @@ mod tests {
             "best mean cut {}",
             result.best_mean_cut
         );
+    }
+
+    #[test]
+    fn exact_landscape_agrees_with_sampled_sweep() {
+        let g = Graph::new(3, [(0, 1), (1, 2)]);
+        let c = qaoa_maxcut_circuit(&g, 1);
+        let exact =
+            qaoa_energy_landscape(&g, &c, || Simulator::new(StateVector::zero(3)), 4).unwrap();
+        assert_eq!(exact.sweep.len(), 16);
+        // the sampled sweep converges to the exact landscape pointwise
+        let sampled = qaoa_sweep(
+            &g,
+            &c,
+            || Simulator::new(StateVector::zero(3)).with_seed(3),
+            4,
+            4000,
+        )
+        .unwrap();
+        for ((ge, be, ee), (gs, bs, es)) in exact.sweep.iter().zip(&sampled.sweep) {
+            assert_eq!((ge, be), (gs, bs));
+            assert!(
+                (ee - es).abs() < 0.08,
+                "({ge}, {be}): exact {ee} vs sampled {es}"
+            );
+        }
+        // exact landscape at zero angles is the uniform mean cut |E|/2
+        let zero = resolve_qaoa(&c, &[0.0], &[0.0]);
+        let e0 = Simulator::new(StateVector::zero(3))
+            .expectation_value(&zero, &crate::observables::maxcut_hamiltonian(&g))
+            .unwrap();
+        assert!((e0 - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_landscape_is_backend_agnostic() {
+        use bgls_backend::simulator_for;
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3)]);
+        let c = qaoa_maxcut_circuit(&g, 1);
+        let reference =
+            qaoa_energy_landscape(&g, &c, || Simulator::new(StateVector::zero(4)), 3).unwrap();
+        for kind in [
+            BackendKind::DensityMatrix,
+            BackendKind::ChainMps { chi: None },
+            BackendKind::LazyNetwork,
+        ] {
+            let land = qaoa_energy_landscape(&g, &c, || simulator_for(kind, 4), 3).unwrap();
+            for (a, b) in reference.sweep.iter().zip(&land.sweep) {
+                assert!((a.2 - b.2).abs() < 1e-10, "{kind} at ({}, {})", a.0, a.1);
+            }
+        }
     }
 
     #[test]

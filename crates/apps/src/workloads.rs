@@ -21,6 +21,27 @@ pub fn ghz_circuit(n: usize) -> Circuit {
     c
 }
 
+/// One Trotter-style transverse-field Ising layer: an `Ry(0.55)` tilt
+/// per site, `Rzz(0.7)` bonds along the open chain, then `Rx(0.35)`
+/// kicks — the correlated, non-Clifford state the observable-estimation
+/// example and the `observable_expectation` bench both score against
+/// [`crate::transverse_field_ising`]. One definition so the recorded
+/// bench baseline always measures the documented example workload.
+pub fn tfim_layer_circuit(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new();
+    for q in 0..n as u32 {
+        c.push(Operation::gate(Gate::Ry(0.55.into()), vec![Qubit(q)]).expect("1q"));
+    }
+    for q in 0..(n - 1) as u32 {
+        c.push(Operation::gate(Gate::Rzz(0.7.into()), vec![Qubit(q), Qubit(q + 1)]).expect("2q"));
+    }
+    for q in 0..n as u32 {
+        c.push(Operation::gate(Gate::Rx(0.35.into()), vec![Qubit(q)]).expect("1q"));
+    }
+    c
+}
+
 /// GHZ with *randomly sequenced* CNOTs (the Fig. 6 workload): starting
 /// from `H(0)`, repeatedly pick a random already-entangled control and a
 /// random fresh target. The final state is exactly GHZ, but the random

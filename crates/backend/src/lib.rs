@@ -36,7 +36,7 @@
 
 #![warn(missing_docs)]
 
-use bgls_circuit::{Channel, Gate};
+use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_core::{BglsState, BitString, SimError, Simulator, SimulatorOptions};
 use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
 use bgls_stabilizer::ChForm;
@@ -291,6 +291,10 @@ impl BglsState for AnyState {
 
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
         dispatch!(self, s => s.project(qubit, value))
+    }
+
+    fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        dispatch!(self, s => s.expectation(observable))
     }
 
     fn channels_are_deterministic(&self) -> bool {

@@ -9,6 +9,10 @@
 //!   (paper Sec. 4.4);
 //! * [`Channel`] — Kraus channels for noisy simulation via trajectories
 //!   (Sec. 3.2.1);
+//! * [`PauliOp`] / [`PauliString`] / [`PauliSum`] — sparse Pauli
+//!   observables with phase-tracked algebra, qubit-wise-commuting
+//!   grouping, and basis-rotation emission (the observable side of the
+//!   expectation engine in `bgls-core`);
 //! * [`fuse`] / [`optimize_for_bgls`] — single-qubit-run merging
 //!   (Sec. 3.2.2), the pass behind the simulator's `fuse_gates` knob;
 //! * [`generate_random_circuit`] — random-circuit workloads (Sec. 4.1.3);
@@ -24,6 +28,7 @@ mod gate;
 mod moment;
 mod op;
 mod param;
+mod pauli;
 mod qasm;
 mod qubit;
 mod random;
@@ -39,6 +44,7 @@ pub use gate::{Gate, CLIFFORD_GENERATORS};
 pub use moment::Moment;
 pub use op::{OpKind, Operation};
 pub use param::{Param, ParamResolver};
+pub use pauli::{parity_sign_masked, score_parity_terms, PauliOp, PauliString, PauliSum};
 pub use qasm::{from_qasm, to_qasm};
 pub use qubit::Qubit;
 pub use random::{

@@ -1,0 +1,924 @@
+//! Sparse Pauli observables: [`PauliOp`], [`PauliString`], [`PauliSum`].
+//!
+//! The gate-by-gate sampler surfaces bitstring histograms; observables
+//! turn those histograms — or the exact backend states — into physics.
+//! This module is the observable *algebra*: sparse Pauli strings with
+//! phase-tracked multiplication, Hermitian sums with complex
+//! coefficients, parsing for both sparse (`"X0 Z2"`) and dense
+//! (`"XIZ"`) spellings, qubit-wise-commuting grouping, and the
+//! basis-rotation circuits that map each group onto computational-basis
+//! measurements.
+//!
+//! The evaluation side lives elsewhere: `BglsState::expectation` in
+//! `bgls-core` (exact per-backend expectations) and
+//! `Simulator::expectation_value` / `Simulator::estimate_expectation`
+//! (exact and grouped-shot estimation over circuits).
+//!
+//! ```
+//! use bgls_circuit::{PauliString, PauliSum};
+//!
+//! let zz: PauliString = "Z0 Z1".parse().unwrap();
+//! let xx: PauliString = "X0 X1".parse().unwrap();
+//! assert!(zz.commutes_with(&xx));
+//! assert!(!zz.qubit_wise_commutes(&xx));
+//!
+//! // (Z0 Z1)(X0 X1) = (ZX)(ZX) = (iY)(iY) = -Y0 Y1
+//! let (phase, prod) = zz.mul_with_phase(&xx);
+//! assert_eq!(prod.to_string(), "Y0 Y1");
+//! assert_eq!(phase.re, -1.0);
+//!
+//! let h: PauliSum = "1.5 * Z0 Z1 - 0.5 * X0 + 2".parse().unwrap();
+//! assert_eq!(h.num_terms(), 3);
+//! assert!(h.is_hermitian(1e-12));
+//! ```
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::op::Operation;
+use crate::qubit::Qubit;
+use bgls_linalg::{Matrix, C64};
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator (the identity is represented by
+/// *absence* from a [`PauliString`]'s support).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PauliOp {
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl PauliOp {
+    /// Display letter.
+    pub fn letter(&self) -> char {
+        match self {
+            PauliOp::X => 'X',
+            PauliOp::Y => 'Y',
+            PauliOp::Z => 'Z',
+        }
+    }
+
+    /// The operator's 2x2 matrix.
+    pub fn matrix(&self) -> Matrix {
+        match self {
+            PauliOp::X => Matrix::from_vec(2, 2, vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]),
+            PauliOp::Y => Matrix::from_vec(2, 2, vec![C64::ZERO, -C64::I, C64::I, C64::ZERO]),
+            PauliOp::Z => Matrix::from_vec(2, 2, vec![C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE]),
+        }
+    }
+
+    /// Whether the operator has an X component (X or Y) / a Z component
+    /// (Z or Y) in the symplectic `X^x Z^z` picture.
+    pub fn xz_bits(&self) -> (bool, bool) {
+        match self {
+            PauliOp::X => (true, false),
+            PauliOp::Y => (true, true),
+            PauliOp::Z => (false, true),
+        }
+    }
+
+    /// Parses one Pauli letter (`X`/`Y`/`Z`, case-insensitive).
+    /// `I` is not a `PauliOp`; callers treat it as "no operator".
+    fn from_letter(c: char) -> Option<PauliOp> {
+        match c.to_ascii_uppercase() {
+            'X' => Some(PauliOp::X),
+            'Y' => Some(PauliOp::Y),
+            'Z' => Some(PauliOp::Z),
+            _ => None,
+        }
+    }
+
+    /// Single-qubit product `self * other` as `(i^k, result)`, where
+    /// `result = None` means the identity (e.g. `X * X = I`).
+    fn mul(self, other: PauliOp) -> (u8, Option<PauliOp>) {
+        use PauliOp::*;
+        if self == other {
+            return (0, None);
+        }
+        match (self, other) {
+            // cyclic products pick up +i, anti-cyclic -i (i^3)
+            (X, Y) => (1, Some(Z)),
+            (Y, Z) => (1, Some(X)),
+            (Z, X) => (1, Some(Y)),
+            (Y, X) => (3, Some(Z)),
+            (Z, Y) => (3, Some(X)),
+            (X, Z) => (3, Some(Y)),
+            _ => unreachable!("equal operators handled above"),
+        }
+    }
+}
+
+impl fmt::Display for PauliOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A sparse Hermitian Pauli string: a product of single-qubit [`PauliOp`]s
+/// on distinct qubits (identity everywhere else), e.g. `X0 Z2 Y5`.
+///
+/// Strings carry no coefficient or phase of their own — they are the
+/// basis elements a [`PauliSum`] weights. Products of two strings produce
+/// an explicit `i^k` phase ([`PauliString::mul_with_phase`]), so the
+/// algebra stays exact.
+///
+/// ```
+/// use bgls_circuit::{PauliOp, PauliString};
+///
+/// let p: PauliString = "Y1 X3".parse().unwrap();
+/// assert_eq!(p.weight(), 2);
+/// assert_eq!(p.op_on(1), Some(PauliOp::Y));
+/// assert_eq!(p.op_on(0), None);
+/// // dense spelling: one letter per qubit, qubit 0 first
+/// assert_eq!("IYIX".parse::<PauliString>().unwrap(), p);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PauliString {
+    /// `(qubit, op)` pairs, sorted by qubit, one entry per qubit.
+    ops: Vec<(usize, PauliOp)>,
+}
+
+impl PauliString {
+    /// The identity string (empty support).
+    pub fn identity() -> Self {
+        PauliString { ops: Vec::new() }
+    }
+
+    /// A single-qubit string.
+    pub fn single(qubit: usize, op: PauliOp) -> Self {
+        PauliString {
+            ops: vec![(qubit, op)],
+        }
+    }
+
+    /// `X` on one qubit.
+    pub fn x(qubit: usize) -> Self {
+        Self::single(qubit, PauliOp::X)
+    }
+
+    /// `Y` on one qubit.
+    pub fn y(qubit: usize) -> Self {
+        Self::single(qubit, PauliOp::Y)
+    }
+
+    /// `Z` on one qubit.
+    pub fn z(qubit: usize) -> Self {
+        Self::single(qubit, PauliOp::Z)
+    }
+
+    /// The Z-string `Z_{q1} Z_{q2} ...` over the listed qubits.
+    pub fn z_string(qubits: &[usize]) -> Result<Self, CircuitError> {
+        Self::from_ops(qubits.iter().map(|&q| (q, PauliOp::Z)))
+    }
+
+    /// Builds a string from `(qubit, op)` pairs. Fails on duplicate
+    /// qubits (use [`PauliString::mul_with_phase`] to multiply operators
+    /// on the same qubit).
+    pub fn from_ops(ops: impl IntoIterator<Item = (usize, PauliOp)>) -> Result<Self, CircuitError> {
+        let mut ops: Vec<(usize, PauliOp)> = ops.into_iter().collect();
+        ops.sort_unstable_by_key(|&(q, _)| q);
+        for w in ops.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(CircuitError::Invalid(format!(
+                    "duplicate qubit {} in Pauli string",
+                    w[0].0
+                )));
+            }
+        }
+        Ok(PauliString { ops })
+    }
+
+    /// True for the identity string.
+    pub fn is_identity(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of non-identity tensor factors.
+    pub fn weight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The `(qubit, op)` pairs in ascending qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, PauliOp)> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// The supported qubits in ascending order.
+    pub fn support(&self) -> Vec<usize> {
+        self.ops.iter().map(|&(q, _)| q).collect()
+    }
+
+    /// The operator on `qubit`, if any.
+    pub fn op_on(&self, qubit: usize) -> Option<PauliOp> {
+        self.ops
+            .binary_search_by_key(&qubit, |&(q, _)| q)
+            .ok()
+            .map(|i| self.ops[i].1)
+    }
+
+    /// The largest supported qubit index (`None` for the identity).
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.ops.last().map(|&(q, _)| q)
+    }
+
+    /// Symplectic masks over the low 64 qubits: `(x_mask, z_mask,
+    /// y_count)` with bit `q` of `x_mask` set when qubit `q` carries X or
+    /// Y, bit `q` of `z_mask` when it carries Z or Y. Together with
+    /// `i^{y_count}` this is the `P = i^{|Y|} X^x Z^z` normal form every
+    /// dense backend evaluates. Panics when the support exceeds qubit 63
+    /// (the `BitString` width cap).
+    pub fn dense_masks(&self) -> (u64, u64, u32) {
+        let mut x = 0u64;
+        let mut z = 0u64;
+        let mut ny = 0u32;
+        for &(q, op) in &self.ops {
+            assert!(q < 64, "dense masks support at most 64 qubits, got {q}");
+            let (xb, zb) = op.xz_bits();
+            if xb {
+                x |= 1 << q;
+            }
+            if zb {
+                z |= 1 << q;
+            }
+            if op == PauliOp::Y {
+                ny += 1;
+            }
+        }
+        (x, z, ny)
+    }
+
+    /// Phase-tracked product: `self * other = i^k * result`, returned as
+    /// `(i^k, result)` with the phase materialized as a [`C64`].
+    pub fn mul_with_phase(&self, other: &PauliString) -> (C64, PauliString) {
+        let mut ops = Vec::with_capacity(self.ops.len() + other.ops.len());
+        let mut phase: u8 = 0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ops.len() || j < other.ops.len() {
+            match (self.ops.get(i), other.ops.get(j)) {
+                (Some(&(qa, a)), Some(&(qb, _))) if qa < qb => {
+                    ops.push((qa, a));
+                    i += 1;
+                }
+                (Some(&(qa, _)), Some(&(qb, b))) if qb < qa => {
+                    ops.push((qb, b));
+                    j += 1;
+                }
+                (Some(&(q, a)), Some(&(_, b))) => {
+                    let (k, prod) = a.mul(b);
+                    phase = (phase + k) % 4;
+                    if let Some(op) = prod {
+                        ops.push((q, op));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(q, a)), None) => {
+                    ops.push((q, a));
+                    i += 1;
+                }
+                (None, Some(&(q, b))) => {
+                    ops.push((q, b));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        (C64::i_pow(phase as i64), PauliString { ops })
+    }
+
+    /// True when the strings commute as operators: they anticommute on an
+    /// even number of shared qubits.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        let mut anti = 0usize;
+        for &(q, a) in &self.ops {
+            if let Some(b) = other.op_on(q) {
+                if a != b {
+                    anti += 1;
+                }
+            }
+        }
+        anti.is_multiple_of(2)
+    }
+
+    /// True when the strings commute *qubit-wise*: on every shared qubit
+    /// the operators are equal. Qubit-wise-commuting strings are
+    /// simultaneously diagonalized by one single-qubit basis rotation
+    /// layer, which is what lets a whole group ride one sampling run.
+    pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
+        self.ops
+            .iter()
+            .all(|&(q, a)| other.op_on(q).map(|b| a == b).unwrap_or(true))
+    }
+
+    /// The support as a `u64` bitmask (bit `q` set when qubit `q`
+    /// carries an operator). Panics beyond qubit 63 — the `BitString`
+    /// width cap. Hot loops (the shot estimator) compute this once per
+    /// term and score samples with [`parity_sign_masked`].
+    pub fn support_mask(&self) -> u64 {
+        self.ops.iter().fold(0, |acc, &(q, _)| {
+            assert!(q < 64, "support mask limited to 64 qubits, got {q}");
+            acc | (1 << q)
+        })
+    }
+
+    /// The `(-1)^{...}` eigenvalue of this string on a computational
+    /// basis state, *assuming the string is Z-diagonal on its support
+    /// after basis rotation*: the parity of `bits` over the support.
+    /// `bits` holds qubit `q`'s value in bit `q`.
+    pub fn parity_sign(&self, bits: u64) -> f64 {
+        parity_sign_masked(self.support_mask(), bits)
+    }
+}
+
+/// [`PauliString::parity_sign`] with the support mask precomputed
+/// ([`PauliString::support_mask`]) — the per-sample form of the shot
+/// estimator's scoring loop.
+pub fn parity_sign_masked(support_mask: u64, bits: u64) -> f64 {
+    if (bits & support_mask).count_ones().is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Scores one computational-basis sample against precomputed
+/// `(real coefficient, support mask)` terms
+/// ([`PauliSum::parity_terms`]): `sum_t c_t * (-1)^{|bits & mask_t|}`.
+/// The per-sample inner loop shared by the shot estimator and the
+/// sample-based diagonal estimators.
+pub fn score_parity_terms(terms: &[(f64, u64)], bits: u64) -> f64 {
+    terms
+        .iter()
+        .map(|&(c, mask)| c * parity_sign_masked(mask, bits))
+        .sum()
+}
+
+impl FromStr for PauliString {
+    type Err = CircuitError;
+
+    /// Parses either the sparse spelling (`"X0 Z2"`, `*`-separated also
+    /// accepted) or the dense one (`"XIZZ"`, one letter per qubit with
+    /// qubit 0 first). `""`, `"I"`, and `"II..."` are the identity.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let err = |msg: String| CircuitError::Invalid(msg);
+        if s.chars().any(|c| c.is_ascii_digit()) {
+            // sparse: letter-index tokens
+            let mut ops = Vec::new();
+            for tok in s.split(|c: char| c.is_whitespace() || c == '*') {
+                if tok.is_empty() {
+                    continue;
+                }
+                let mut chars = tok.chars();
+                let letter = chars.next().expect("non-empty token");
+                let idx: usize = chars
+                    .as_str()
+                    .parse()
+                    .map_err(|_| err(format!("bad qubit index in Pauli token '{tok}'")))?;
+                if letter.eq_ignore_ascii_case(&'I') {
+                    continue;
+                }
+                let op = PauliOp::from_letter(letter)
+                    .ok_or_else(|| err(format!("bad Pauli letter in token '{tok}'")))?;
+                ops.push((idx, op));
+            }
+            PauliString::from_ops(ops)
+        } else {
+            // dense: one letter per qubit
+            let mut ops = Vec::new();
+            for (q, c) in s.chars().filter(|c| !c.is_whitespace()).enumerate() {
+                if c.eq_ignore_ascii_case(&'I') {
+                    continue;
+                }
+                let op = PauliOp::from_letter(c)
+                    .ok_or_else(|| err(format!("bad Pauli letter '{c}'")))?;
+                ops.push((q, op));
+            }
+            PauliString::from_ops(ops)
+        }
+    }
+}
+
+impl fmt::Display for PauliString {
+    /// Sparse spelling: `"X0 Z2"`; the identity prints as `"I"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ops.is_empty() {
+            return write!(f, "I");
+        }
+        for (i, &(q, op)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A weighted sum of [`PauliString`]s with complex coefficients — the
+/// observable type of the expectation engine. Terms are kept canonical:
+/// sorted, like strings merged, and (near-)zero coefficients dropped.
+///
+/// ```
+/// use bgls_circuit::{PauliString, PauliSum};
+/// use bgls_linalg::C64;
+///
+/// // build programmatically ...
+/// let mut h = PauliSum::new();
+/// h.add_term(C64::real(0.5), "Z0 Z1".parse().unwrap());
+/// h.add_term(C64::real(0.5), "Z0 Z1".parse().unwrap());
+/// // ... or parse; the two agree
+/// assert_eq!(h, "Z0 Z1".parse().unwrap());
+///
+/// // algebra: (X0)^2 = I
+/// let x: PauliSum = "X0".parse().unwrap();
+/// let sq = x.mul_sum(&x);
+/// assert_eq!(sq.num_terms(), 1);
+/// assert!(sq.terms()[0].1.is_identity());
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PauliSum {
+    /// Canonical `(coefficient, string)` terms, sorted by string.
+    terms: Vec<(C64, PauliString)>,
+}
+
+/// Coefficients at or below this magnitude are treated as zero when
+/// canonicalizing.
+const COEFF_EPS: f64 = 1e-15;
+
+impl PauliSum {
+    /// The zero sum.
+    pub fn new() -> Self {
+        PauliSum { terms: Vec::new() }
+    }
+
+    /// A constant (identity-only) sum.
+    pub fn constant(c: C64) -> Self {
+        let mut s = PauliSum::new();
+        s.add_term(c, PauliString::identity());
+        s
+    }
+
+    /// Builds from `(coefficient, string)` pairs, merging duplicates.
+    pub fn from_terms(terms: impl IntoIterator<Item = (C64, PauliString)>) -> Self {
+        let mut s = PauliSum::new();
+        for (c, p) in terms {
+            s.add_term(c, p);
+        }
+        s
+    }
+
+    /// Adds `c * string` into the sum, keeping terms canonical.
+    pub fn add_term(&mut self, c: C64, string: PauliString) {
+        match self.terms.binary_search_by(|(_, p)| p.cmp(&string)) {
+            Ok(i) => {
+                self.terms[i].0 += c;
+                if self.terms[i].0.abs() <= COEFF_EPS {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => {
+                if c.abs() > COEFF_EPS {
+                    self.terms.insert(i, (c, string));
+                }
+            }
+        }
+    }
+
+    /// The canonical terms, sorted by string.
+    pub fn terms(&self) -> &[(C64, PauliString)] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True for the (empty) zero sum.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True when every coefficient is real within `tol` — i.e. the sum is
+    /// a Hermitian observable with a real expectation value.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.terms.iter().all(|(c, _)| c.im.abs() <= tol)
+    }
+
+    /// The largest supported qubit index across all terms.
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.terms.iter().filter_map(|(_, p)| p.max_qubit()).max()
+    }
+
+    /// Scales every coefficient.
+    pub fn scaled(&self, k: C64) -> PauliSum {
+        PauliSum::from_terms(self.terms.iter().map(|(c, p)| (*c * k, p.clone())))
+    }
+
+    /// Sum of two observables.
+    pub fn add_sum(&self, other: &PauliSum) -> PauliSum {
+        let mut out = self.clone();
+        for (c, p) in &other.terms {
+            out.add_term(*c, p.clone());
+        }
+        out
+    }
+
+    /// Operator product of two observables, with all `i^k` cross-term
+    /// phases folded into the coefficients.
+    pub fn mul_sum(&self, other: &PauliSum) -> PauliSum {
+        let mut out = PauliSum::new();
+        for (ca, pa) in &self.terms {
+            for (cb, pb) in &other.terms {
+                let (phase, prod) = pa.mul_with_phase(pb);
+                out.add_term(*ca * *cb * phase, prod);
+            }
+        }
+        out
+    }
+
+    /// The terms as `(real coefficient, support mask)` pairs — the
+    /// precomputed form of the Z-diagonalized scoring loop
+    /// ([`score_parity_terms`]). Identity terms carry mask `0` (sign
+    /// `+1` on every sample); imaginary coefficient parts are dropped,
+    /// so callers wanting Hermiticity enforced must check it first.
+    pub fn parity_terms(&self) -> Vec<(f64, u64)> {
+        self.terms
+            .iter()
+            .map(|(c, p)| (c.re, p.support_mask()))
+            .collect()
+    }
+
+    /// Greedy first-fit partition of the terms into qubit-wise-commuting
+    /// groups. Every group's strings share one single-qubit measurement
+    /// basis ([`PauliSum::diagonalizing_rotations`]), so the shot-based
+    /// estimator spends one sampling run per group instead of one per
+    /// term. The union of the groups is exactly this sum.
+    pub fn qubit_wise_commuting_groups(&self) -> Vec<PauliSum> {
+        let mut groups: Vec<PauliSum> = Vec::new();
+        for (c, p) in &self.terms {
+            // qubit_wise_commutes is symmetric (it only compares shared
+            // qubits), so one direction suffices
+            match groups
+                .iter_mut()
+                .find(|g| g.terms.iter().all(|(_, q)| q.qubit_wise_commutes(p)))
+            {
+                Some(g) => g.add_term(*c, p.clone()),
+                None => groups.push(PauliSum::from_terms([(*c, p.clone())])),
+            }
+        }
+        groups
+    }
+
+    /// The shared measurement basis of a qubit-wise-commuting sum: the
+    /// union of the terms' supports with the (consistent) operator per
+    /// qubit. Fails when two terms disagree on a qubit — i.e. when the
+    /// sum is not qubit-wise commuting.
+    pub fn joint_basis(&self) -> Result<Vec<(usize, PauliOp)>, CircuitError> {
+        let mut basis: Vec<(usize, PauliOp)> = Vec::new();
+        for (_, p) in &self.terms {
+            for (q, op) in p.iter() {
+                match basis.binary_search_by_key(&q, |&(bq, _)| bq) {
+                    Ok(i) => {
+                        if basis[i].1 != op {
+                            return Err(CircuitError::Invalid(format!(
+                                "terms disagree on qubit {q} ({} vs {op}): \
+                                 sum is not qubit-wise commuting",
+                                basis[i].1
+                            )));
+                        }
+                    }
+                    Err(i) => basis.insert(i, (q, op)),
+                }
+            }
+        }
+        Ok(basis)
+    }
+
+    /// The single-qubit rotation layer mapping this (qubit-wise
+    /// commuting) sum's measurement basis onto the computational basis:
+    /// `H` per X qubit, `Sdg` then `H` per Y qubit (so that `W P W^dag =
+    /// Z` on every supported qubit). Appending these operations to a
+    /// circuit and sampling bitstrings turns every term into a parity
+    /// observable ([`PauliString::parity_sign`]).
+    ///
+    /// All emitted gates are Clifford, so the rotations stay runnable on
+    /// every backend, stabilizer states included.
+    pub fn diagonalizing_rotations(&self) -> Result<Vec<Operation>, CircuitError> {
+        let mut ops = Vec::new();
+        for (q, op) in self.joint_basis()? {
+            let q = Qubit(q as u32);
+            match op {
+                PauliOp::Z => {}
+                PauliOp::X => ops.push(Operation::gate(Gate::H, vec![q])?),
+                PauliOp::Y => {
+                    ops.push(Operation::gate(Gate::Sdg, vec![q])?);
+                    ops.push(Operation::gate(Gate::H, vec![q])?);
+                }
+            }
+        }
+        Ok(ops)
+    }
+}
+
+impl FromStr for PauliSum {
+    type Err = CircuitError;
+
+    /// Parses sums like `"1.5 * Z0 Z1 - 0.5 * X0 + 2"`: terms separated
+    /// by `+`/`-`, each an optional real factor (joined by `*` or
+    /// whitespace) times a Pauli string; a bare number is an identity
+    /// term.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut sum = PauliSum::new();
+        let mut term = String::new();
+        let mut sign = 1.0f64;
+        let flush = |term: &mut String, sign: f64, sum: &mut PauliSum| -> Result<(), _> {
+            let t = term.trim();
+            if t.is_empty() {
+                return Err(CircuitError::Invalid("empty term in Pauli sum".into()));
+            }
+            let mut coeff = sign;
+            let mut paulis = String::new();
+            for tok in t.split(|c: char| c.is_whitespace() || c == '*') {
+                if tok.is_empty() {
+                    continue;
+                }
+                if let Ok(v) = tok.parse::<f64>() {
+                    coeff *= v;
+                } else {
+                    paulis.push_str(tok);
+                    paulis.push(' ');
+                }
+            }
+            let string: PauliString = paulis.parse()?;
+            sum.add_term(C64::real(coeff), string);
+            term.clear();
+            Ok(())
+        };
+        for c in s.trim().chars() {
+            // a sign directly after 'e'/'E' is a float exponent
+            // ("1e-3"), not a term separator
+            let in_exponent = matches!(term.chars().last(), Some('e' | 'E'))
+                && term
+                    .chars()
+                    .rev()
+                    .nth(1)
+                    .map(|p| p.is_ascii_digit() || p == '.')
+                    .unwrap_or(false);
+            match c {
+                '+' | '-' if in_exponent => term.push(c),
+                '+' | '-' if !term.trim().is_empty() => {
+                    flush(&mut term, sign, &mut sum)?;
+                    sign = if c == '-' { -1.0 } else { 1.0 };
+                }
+                '-' => sign = -sign,
+                '+' => {}
+                _ => term.push(c),
+            }
+        }
+        flush(&mut term, sign, &mut sum)?;
+        Ok(sum)
+    }
+}
+
+impl fmt::Display for PauliSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, p)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if c.im.abs() > COEFF_EPS {
+                write!(f, "({} + {}i)", c.re, c.im)?;
+            } else {
+                write!(f, "{}", c.re)?;
+            }
+            write!(f, " * {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_sparse_and_dense_agree() {
+        assert_eq!(ps("X0 Z2"), ps("XIZ"));
+        assert_eq!(ps("x0 * z2"), ps("X0 Z2"));
+        assert_eq!(ps("Y3"), ps("IIIY"));
+        assert_eq!(ps(""), PauliString::identity());
+        assert_eq!(ps("I"), PauliString::identity());
+        assert_eq!(ps("I0 I5"), PauliString::identity());
+        // unsorted sparse input canonicalizes
+        assert_eq!(ps("Z2 X0"), ps("X0 Z2"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("Q0".parse::<PauliString>().is_err());
+        assert!("Xq".parse::<PauliString>().is_err());
+        assert!("X0 Z0".parse::<PauliString>().is_err()); // duplicate qubit
+        assert!("XQZ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["I", "X0", "X0 Z2", "Y1 Z2 X5"] {
+            assert_eq!(ps(s).to_string(), s);
+            assert_eq!(ps(&ps(s).to_string()), ps(s));
+        }
+    }
+
+    #[test]
+    fn single_qubit_products_with_phases() {
+        // X Y = iZ
+        let (phase, p) = PauliString::x(0).mul_with_phase(&PauliString::y(0));
+        assert_eq!(p, PauliString::z(0));
+        assert!(phase.approx_eq(C64::I, 1e-15));
+        // Y X = -iZ
+        let (phase, p) = PauliString::y(0).mul_with_phase(&PauliString::x(0));
+        assert_eq!(p, PauliString::z(0));
+        assert!(phase.approx_eq(-C64::I, 1e-15));
+        // X X = I
+        let (phase, p) = PauliString::x(0).mul_with_phase(&PauliString::x(0));
+        assert!(p.is_identity());
+        assert!(phase.approx_eq(C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn multi_qubit_product_merges_disjoint_support() {
+        let (phase, p) = ps("X0").mul_with_phase(&ps("Z2"));
+        assert_eq!(p, ps("X0 Z2"));
+        assert!(phase.approx_eq(C64::ONE, 1e-15));
+        // (Z0 Z1)(X0 X1) = -Y0 Y1
+        let (phase, p) = ps("Z0 Z1").mul_with_phase(&ps("X0 X1"));
+        assert_eq!(p, ps("Y0 Y1"));
+        assert!(phase.approx_eq(-C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn product_matches_matrix_arithmetic() {
+        // verify phase tracking against 2-qubit dense kron products
+        let cases = [("X0 Z1", "Y0 Y1"), ("Z0", "Y0 X1"), ("Y0 Z1", "Z0 Y1")];
+        let dense = |p: &PauliString| -> Matrix {
+            let mut m = Matrix::identity(1);
+            for q in 0..2 {
+                let f = p
+                    .op_on(q)
+                    .map(|o| o.matrix())
+                    .unwrap_or(Matrix::identity(2));
+                // qubit 0 = most significant factor, matching kron order
+                m = m.kron(&f);
+            }
+            m
+        };
+        for (a, b) in cases {
+            let (pa, pb) = (ps(a), ps(b));
+            let (phase, prod) = pa.mul_with_phase(&pb);
+            let lhs = dense(&pa).matmul(&dense(&pb));
+            let rhs = dense(&prod).scale(phase);
+            assert!(lhs.approx_eq(&rhs, 1e-12), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn commutation_checks() {
+        assert!(ps("Z0 Z1").commutes_with(&ps("X0 X1"))); // anticommute on 2 qubits
+        assert!(!ps("Z0").commutes_with(&ps("X0")));
+        assert!(ps("Z0").commutes_with(&ps("Z0")));
+        assert!(ps("Z0").commutes_with(&ps("X1")));
+        // qubit-wise commuting is stricter
+        assert!(!ps("Z0 Z1").qubit_wise_commutes(&ps("X0 X1")));
+        assert!(ps("Z0").qubit_wise_commutes(&ps("Z0 Z1")));
+        assert!(ps("X0 Z2").qubit_wise_commutes(&ps("X0 Y1")));
+    }
+
+    #[test]
+    fn dense_masks_normal_form() {
+        let (x, z, ny) = ps("X0 Y1 Z2").dense_masks();
+        assert_eq!(x, 0b011);
+        assert_eq!(z, 0b110);
+        assert_eq!(ny, 1);
+    }
+
+    #[test]
+    fn parity_sign_is_support_parity() {
+        let p = ps("Z0 Z2");
+        assert_eq!(p.parity_sign(0b000), 1.0);
+        assert_eq!(p.parity_sign(0b001), -1.0);
+        assert_eq!(p.parity_sign(0b101), 1.0);
+        assert_eq!(p.parity_sign(0b010), 1.0); // off-support bit ignored
+        assert_eq!(PauliString::identity().parity_sign(0b111), 1.0);
+    }
+
+    #[test]
+    fn sum_parsing_and_canonicalization() {
+        let h: PauliSum = "1.5 * Z0 Z1 - 0.5*X0 + 2".parse().unwrap();
+        assert_eq!(h.num_terms(), 3);
+        assert!(h.is_hermitian(0.0));
+        // identity coefficient
+        let id_term = h.terms().iter().find(|(_, p)| p.is_identity()).unwrap();
+        assert_eq!(id_term.0.re, 2.0);
+        // like terms merge, cancellation drops terms
+        let cancel: PauliSum = "Z0 - Z0 + X1".parse().unwrap();
+        assert_eq!(cancel.num_terms(), 1);
+        // double negative
+        let neg: PauliSum = "- 2 * Z0".parse().unwrap();
+        assert_eq!(neg.terms()[0].0.re, -2.0);
+        assert!("".parse::<PauliSum>().is_err());
+        // scientific-notation coefficients: the exponent sign is not a
+        // term separator
+        let sci: PauliSum = "1e-3 * Z0 + 2.5e+1 * X1 - 4E-2 * Z2".parse().unwrap();
+        assert_eq!(sci.num_terms(), 3);
+        let coeff = |s: &str| {
+            let p: PauliString = s.parse().unwrap();
+            sci.terms().iter().find(|(_, q)| *q == p).unwrap().0.re
+        };
+        assert_eq!(coeff("Z0"), 1e-3);
+        assert_eq!(coeff("X1"), 25.0);
+        assert_eq!(coeff("Z2"), -4e-2);
+    }
+
+    #[test]
+    fn sum_algebra() {
+        let a: PauliSum = "Z0 + X1".parse().unwrap();
+        let b: PauliSum = "Z0 - X1".parse().unwrap();
+        let s = a.add_sum(&b);
+        assert_eq!(s, "2 * Z0".parse().unwrap());
+        // (Z0 + X1)(Z0 - X1) = I - Z0 X1 + X1 Z0 - I = 0? No:
+        // Z0 Z0 = I, -Z0 X1 + X1 Z0 = 0 (disjoint commute), -X1 X1 = -I
+        let p = a.mul_sum(&b);
+        assert!(p.is_zero(), "{p}");
+        // anticommutator phases: (X0)(Y0) + (Y0)(X0) = iZ0 - iZ0 = 0
+        let xy = PauliSum::from_terms([(C64::ONE, ps("X0"))])
+            .mul_sum(&PauliSum::from_terms([(C64::ONE, ps("Y0"))]));
+        let yx = PauliSum::from_terms([(C64::ONE, ps("Y0"))])
+            .mul_sum(&PauliSum::from_terms([(C64::ONE, ps("X0"))]));
+        assert!(xy.add_sum(&yx).is_zero());
+        assert!(!xy.is_hermitian(1e-12)); // iZ0 alone is anti-Hermitian
+    }
+
+    #[test]
+    fn qwc_groups_cover_the_sum() {
+        let h: PauliSum = "Z0 Z1 + Z1 Z2 + X0 + X2 + Y1".parse().unwrap();
+        let groups = h.qubit_wise_commuting_groups();
+        assert!(groups.len() >= 2);
+        let mut total = PauliSum::new();
+        for g in &groups {
+            // group members pairwise qubit-wise commute
+            for (_, p) in g.terms() {
+                for (_, q) in g.terms() {
+                    assert!(p.qubit_wise_commutes(q), "{p} vs {q}");
+                }
+            }
+            total = total.add_sum(g);
+        }
+        assert_eq!(total, h);
+    }
+
+    #[test]
+    fn joint_basis_and_rotations() {
+        let g: PauliSum = "X0 Z1 + X0 Y2".parse().unwrap();
+        let basis = g.joint_basis().unwrap();
+        assert_eq!(
+            basis,
+            vec![(0, PauliOp::X), (1, PauliOp::Z), (2, PauliOp::Y)]
+        );
+        let rots = g.diagonalizing_rotations().unwrap();
+        // H on q0; nothing on q1; Sdg H on q2
+        assert_eq!(rots.len(), 3);
+        // non-QWC sums are rejected
+        let bad: PauliSum = "X0 + Z0".parse().unwrap();
+        assert!(bad.joint_basis().is_err());
+    }
+
+    #[test]
+    fn pauli_matrices_are_the_textbook_ones() {
+        for op in [PauliOp::X, PauliOp::Y, PauliOp::Z] {
+            let m = op.matrix();
+            assert!(m.is_unitary(1e-12));
+            // Hermitian and traceless
+            assert!(m.approx_eq(&m.dagger(), 1e-15), "{op}");
+            assert!((m[(0, 0)] + m[(1, 1)]).abs() < 1e-15);
+        }
+        // Y = i X Z
+        let ixz = PauliOp::X
+            .matrix()
+            .matmul(&PauliOp::Z.matrix())
+            .scale(C64::I);
+        assert!(ixz.approx_eq(&PauliOp::Y.matrix(), 1e-15));
+    }
+}

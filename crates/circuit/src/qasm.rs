@@ -4,6 +4,25 @@
 //! a single quantum register, and classical registers fed by measurements.
 //! Angle expressions accept the usual `pi`-arithmetic (`pi/2`, `3*pi/4`,
 //! `-pi`, plain floats).
+//!
+//! The pair [`to_qasm`] / [`from_qasm`] round-trips every circuit whose
+//! operations have a QASM spelling; constructs without one (channels,
+//! explicit-matrix gates, symbolic parameters) fail with a typed
+//! [`CircuitError`] rather than emitting unparseable text.
+//!
+//! ```
+//! use bgls_circuit::{from_qasm, to_qasm, Circuit, Gate, Operation, Qubit};
+//!
+//! let mut c = Circuit::new();
+//! c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+//! c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+//! c.push(Operation::measure(Qubit::range(2), "m").unwrap());
+//!
+//! let text = to_qasm(&c).unwrap();
+//! assert!(text.contains("cx q[0], q[1];"));
+//! let back = from_qasm(&text).unwrap();
+//! assert_eq!(back.num_operations(), c.num_operations());
+//! ```
 
 use crate::circuit::{Circuit, InsertStrategy};
 use crate::error::CircuitError;

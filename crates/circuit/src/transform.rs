@@ -2,6 +2,32 @@
 //! substitute (paper Sec. 3.2.2): merging runs of single-qubit gates so the
 //! sampler updates its bitstring once per merged gate instead of once per
 //! primitive gate, a documented 1.5-2x runtime win.
+//!
+//! The composed pass behind `SimulatorOptions::fuse_gates` is [`fuse`]
+//! ([`merge_single_qubit_gates`] followed by [`drop_identities`]); the
+//! pieces are public so callers can run them independently. Every pass
+//! preserves the circuit's unitary action exactly — matrices are
+//! multiplied, never approximated — so sampling *distributions* are
+//! unchanged even though the gate sequence (and hence seeded samples)
+//! differs.
+//!
+//! ```
+//! use bgls_circuit::{fuse, Circuit, Gate, Operation, Qubit};
+//!
+//! let mut c = Circuit::new();
+//! // H T H on one qubit: three ops fuse into one U1 matrix
+//! for g in [Gate::H, Gate::T, Gate::H] {
+//!     c.push(Operation::gate(g, vec![Qubit(0)]).unwrap());
+//! }
+//! let fused = fuse(&c);
+//! assert_eq!(fused.num_operations(), 1);
+//! // H H fuses to the identity and is dropped outright
+//! let mut id = Circuit::new();
+//! for g in [Gate::H, Gate::H] {
+//!     id.push(Operation::gate(g, vec![Qubit(0)]).unwrap());
+//! }
+//! assert_eq!(fuse(&id).num_operations(), 0);
+//! ```
 
 use crate::circuit::{Circuit, InsertStrategy};
 use crate::gate::Gate;

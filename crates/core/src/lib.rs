@@ -31,7 +31,7 @@ mod state;
 pub use baseline::QubitByQubitSimulator;
 pub use bitstring::BitString;
 pub use error::SimError;
-pub use results::{Histogram, RunResult};
+pub use results::{ExpectationEstimate, Histogram, RunResult};
 pub use simulator::{
     categorical, multinomial_split, ApplyFn, BatchProbFn, ProbFn, Simulator, SimulatorOptions,
 };

@@ -1,4 +1,12 @@
-//! Run results: measurement histograms per key.
+//! Run results: measurement histograms per measurement key
+//! ([`Histogram`], [`RunResult`]) and shot-based observable estimates
+//! ([`ExpectationEstimate`]).
+//!
+//! These are the simulator's output types: `Simulator::run` produces a
+//! [`RunResult`] (one [`Histogram`] per measurement key), and
+//! `Simulator::estimate_expectation` produces an
+//! [`ExpectationEstimate`] (a sampled observable value with its
+//! standard error).
 
 use crate::bitstring::BitString;
 use bgls_linalg::FxHashMap;
@@ -101,6 +109,29 @@ impl fmt::Display for Histogram {
         }
         Ok(())
     }
+}
+
+/// Result of `Simulator::estimate_expectation`: a shot-based estimate of
+/// a Hermitian observable's expectation value.
+///
+/// The observable's non-identity terms are partitioned into
+/// qubit-wise-commuting groups, each group measured in one sampling run
+/// of `shots_per_group` repetitions after a basis-rotation layer, and
+/// each sample scored with the group's signed parity sum. `value` is the
+/// sum of the group means plus the observable's identity constant;
+/// `std_error` combines the groups' standard errors of the mean in
+/// quadrature (groups are sampled independently), so the error shrinks
+/// as `1/sqrt(shots_per_group)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpectationEstimate {
+    /// The estimated expectation value.
+    pub value: f64,
+    /// Standard error of the estimate (quadrature over groups).
+    pub std_error: f64,
+    /// Samples drawn per qubit-wise-commuting group.
+    pub shots_per_group: u64,
+    /// Number of qubit-wise-commuting groups measured.
+    pub num_groups: usize,
 }
 
 /// Result of [`crate::Simulator::run`]: one histogram per measurement key.

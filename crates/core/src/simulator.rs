@@ -26,10 +26,10 @@
 
 use crate::bitstring::BitString;
 use crate::error::SimError;
-use crate::results::RunResult;
+use crate::results::{ExpectationEstimate, RunResult};
 use crate::state::BglsState;
-use bgls_circuit::{Channel, Circuit, Gate, OpKind, Operation};
-use bgls_linalg::FxHashMap;
+use bgls_circuit::{Channel, Circuit, Gate, OpKind, Operation, PauliString, PauliSum, Qubit};
+use bgls_linalg::{FxHashMap, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_distr::{Binomial, Distribution};
@@ -437,6 +437,294 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         self.options
             .seed
             .unwrap_or_else(|| StdRng::from_entropy().gen())
+    }
+
+    // ---- expectation engine -------------------------------------------
+
+    /// Validates an observable's qubit support against the state width.
+    fn check_observable(&self, observable: &PauliSum) -> Result<(), SimError> {
+        if let Some(q) = observable.max_qubit() {
+            let n = self.initial_state.num_qubits();
+            if q >= n {
+                return Err(SimError::QubitOutOfRange {
+                    index: q,
+                    num_qubits: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact expectation value of `observable` on the circuit's output
+    /// state: `Re <psi| O |psi>` (or `Re Tr(rho O)` on mixed-state
+    /// backends), with no sampling involved.
+    ///
+    /// The state is evolved **once** and every term of the sum is
+    /// evaluated on it through [`BglsState::expectation`] — the
+    /// per-backend exact implementations (amplitude inner product,
+    /// density-matrix trace, stabilizer conjugation, MPS transfer
+    /// matrix, doubled-network contraction). For a Hermitian observable
+    /// the imaginary part vanishes exactly, so the returned real part is
+    /// the full answer.
+    ///
+    /// Like the trajectory forest, the walk is branch-aware: stochastic
+    /// Kraus channels fork a weighted frontier over
+    /// [`BglsState::kraus_branch_probabilities`] (exact branch weights,
+    /// no multinomial sampling), interior measurements fork over the
+    /// outcome distribution with projective collapse, and the final
+    /// value is the weight-averaged expectation over the frontier —
+    /// exact for the channel's mixed output state. A measurement whose
+    /// qubits see no later non-measurement operation is a pure readout
+    /// and is ignored (matching [`Simulator::final_state`]), judged
+    /// per measurement — an unrelated mid-circuit measurement elsewhere
+    /// does not change a readout's semantics. The frontier is bounded by
+    /// [`SimulatorOptions::max_forest_nodes`]; exceeding it is an error
+    /// (there is no sampling fallback on the exact path). Deterministic:
+    /// no randomness is consumed, so the result is a pure function of
+    /// circuit, observable, and backend.
+    ///
+    /// Custom stochastic apply hooks (e.g. sum-over-Cliffords) cannot be
+    /// branch-enumerated and return [`SimError::Unsupported`]; so do
+    /// stochastic channels under a custom (non-default) apply hook.
+    pub fn expectation_value(
+        &self,
+        circuit: &Circuit,
+        observable: &PauliSum,
+    ) -> Result<f64, SimError> {
+        self.check_observable(observable)?;
+        self.check_runnable(circuit)?;
+        let circuit = self.prepared(circuit);
+        let nodes = self.expectation_frontier(&circuit)?;
+        let mut acc = C64::ZERO;
+        for (w, state) in &nodes {
+            for (c, p) in observable.terms() {
+                acc += *c * C64::real(*w * state.expectation(p)?);
+            }
+        }
+        Ok(acc.re)
+    }
+
+    /// Exact expectation values of `observable` for a parameterized
+    /// circuit under each resolver, in order — the expectation-engine
+    /// analogue of [`Simulator::run_sweep`], and the scoring loop of
+    /// variational workflows (QAOA energy landscapes).
+    ///
+    /// With [`SimulatorOptions::parallel_sweep`] the resolvers fan out
+    /// across Rayon threads; each entry is a pure function of its
+    /// resolved circuit, so the sweep is bit-identical either way.
+    pub fn expectation_sweep(
+        &self,
+        circuit: &Circuit,
+        resolvers: &[bgls_circuit::ParamResolver],
+        observable: &PauliSum,
+    ) -> Result<Vec<f64>, SimError> {
+        if self.options.parallel_sweep && resolvers.len() > 1 {
+            resolvers
+                .par_iter()
+                .map(|r| self.expectation_value(&circuit.resolve(r), observable))
+                .collect()
+        } else {
+            resolvers
+                .iter()
+                .map(|r| self.expectation_value(&circuit.resolve(r), observable))
+                .collect()
+        }
+    }
+
+    /// Walks the circuit maintaining a frontier of `(weight, state)`
+    /// nodes whose weights are *exact* branch probabilities (no
+    /// sampling): gates advance every node, stochastic channels fork
+    /// nodes across their Kraus branches, and interior measurements fork
+    /// nodes across outcome values with projective collapse. Weights sum
+    /// to 1 within rounding.
+    fn expectation_frontier(&self, circuit: &Circuit) -> Result<Vec<(f64, S)>, SimError> {
+        if self.stochastic_apply {
+            return Err(SimError::Unsupported(
+                "exact expectation with a stochastic apply hook (use \
+                 estimate_expectation)"
+                    .into(),
+            ));
+        }
+        let deterministic_channels = self.initial_state.channels_are_deterministic();
+        if circuit.has_channels() && !deterministic_channels && !self.default_hooks {
+            return Err(SimError::Unsupported(
+                "exact expectation of stochastic channels under custom hooks".into(),
+            ));
+        }
+        let budget = self.options.max_forest_nodes;
+        let over_budget = || {
+            SimError::Invalid(format!(
+                "expectation frontier exceeded max_forest_nodes ({budget}); \
+                 raise the budget or use estimate_expectation"
+            ))
+        };
+        let ops: Vec<&Operation> = circuit.all_operations().collect();
+        // A measurement is a pure readout — ignored, matching
+        // `final_state` / `sample_final_bitstrings` — unless a later
+        // non-measurement operation acts on one of its qubits, in which
+        // case that qubit's collapse is physical and the node forks.
+        // Per-measurement, per-qubit: an unrelated mid-circuit
+        // measurement elsewhere must not change a readout's semantics.
+        let is_readout = |t: usize, support: &[Qubit]| -> bool {
+            !ops[t + 1..].iter().any(|later| {
+                !later.is_measurement() && later.support().iter().any(|q| support.contains(q))
+            })
+        };
+        // Hook-compatible RNG: gates and deterministic channels draw
+        // nothing from it, and the stochastic cases never reach the hook.
+        let mut rng = self.make_rng();
+        let mut nodes: Vec<(f64, S)> = vec![(1.0, self.initial_state.clone())];
+        for (t, op) in ops.iter().copied().enumerate() {
+            match &op.kind {
+                OpKind::Measure { .. } if is_readout(t, op.support()) => {}
+                OpKind::Measure { .. } => {
+                    // Interior measurement: the post-measurement ensemble
+                    // is the proper mixture over outcomes, one collapsed
+                    // node per outcome with its Born weight.
+                    for q in op.support().iter().map(|q| q.index()) {
+                        let z_q = PauliString::z(q);
+                        let mut next = Vec::with_capacity(nodes.len() * 2);
+                        for (w, state) in nodes {
+                            let p_one = ((1.0 - state.expectation(&z_q)?) / 2.0).clamp(0.0, 1.0);
+                            for (value, pv) in [(false, 1.0 - p_one), (true, p_one)] {
+                                if pv <= 0.0 {
+                                    continue;
+                                }
+                                let mut child = state.clone();
+                                child.project(q, value)?;
+                                next.push((w * pv, child));
+                            }
+                            if next.len() > budget {
+                                return Err(over_budget());
+                            }
+                        }
+                        nodes = next;
+                    }
+                }
+                OpKind::Channel(ch) if !deterministic_channels => {
+                    let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                    let mut next = Vec::with_capacity(nodes.len());
+                    for (w, state) in nodes {
+                        let probs = state.kraus_branch_probabilities(ch, &qs)?;
+                        for (branch, &pv) in probs.iter().enumerate() {
+                            if pv <= 0.0 {
+                                continue;
+                            }
+                            let mut child = state.clone();
+                            child.apply_kraus_branch(ch, branch, &qs)?;
+                            next.push((w * pv, child));
+                        }
+                        if next.len() > budget {
+                            return Err(over_budget());
+                        }
+                    }
+                    nodes = next;
+                }
+                _ => {
+                    for (_, state) in &mut nodes {
+                        (self.apply_op)(state, op, &mut rng)?;
+                    }
+                }
+            }
+        }
+        Ok(nodes)
+    }
+
+    /// Shot-based estimate of a Hermitian observable on the circuit's
+    /// output distribution: the observable's non-identity terms are
+    /// partitioned into qubit-wise-commuting groups
+    /// ([`PauliSum::qubit_wise_commuting_groups`]), each group's shared
+    /// basis rotation ([`PauliSum::diagonalizing_rotations`]) is
+    /// appended to the circuit, and **one** sampling run of
+    /// `shots_per_group` repetitions scores every term in the group as a
+    /// signed bitstring parity. Identity terms contribute exactly.
+    ///
+    /// Returns the estimate with its standard error
+    /// ([`ExpectationEstimate`]); the error shrinks as
+    /// `1/sqrt(shots_per_group)`. Sampling rides the full gate-by-gate
+    /// hot path (multiplicity maps, batched probabilities), so the
+    /// estimator works on every backend and terminally-measured circuit
+    /// the sampler handles — including stochastic-hook simulators the
+    /// exact path rejects; circuits with *mid-circuit* measurements are
+    /// rejected (their collapse cannot be reproduced after measurement
+    /// stripping — use [`Simulator::expectation_value`], which forks
+    /// them exactly). Each group derives its own seed stream from the
+    /// configured seed, so estimates are reproducible and groups are
+    /// statistically independent.
+    pub fn estimate_expectation(
+        &self,
+        circuit: &Circuit,
+        observable: &PauliSum,
+        shots_per_group: u64,
+    ) -> Result<ExpectationEstimate, SimError> {
+        if shots_per_group < 2 {
+            return Err(SimError::Invalid(
+                "estimate_expectation needs at least 2 shots per group".into(),
+            ));
+        }
+        if !observable.is_hermitian(1e-9) {
+            return Err(SimError::Invalid(
+                "estimate_expectation requires a Hermitian observable \
+                 (real coefficients)"
+                    .into(),
+            ));
+        }
+        if !circuit.measurements_are_terminal() {
+            // Stripping an interior measurement would silently drop its
+            // dephasing/collapse effect on the final state; the exact
+            // path (expectation_value) forks it instead.
+            return Err(SimError::Unsupported(
+                "shot estimation of circuits with mid-circuit measurements \
+                 (use expectation_value)"
+                    .into(),
+            ));
+        }
+        self.check_observable(observable)?;
+        let mut value = 0.0;
+        let mut measured = PauliSum::new();
+        for (c, p) in observable.terms() {
+            if p.is_identity() {
+                value += c.re;
+            } else {
+                measured.add_term(*c, p.clone());
+            }
+        }
+        let groups = measured.qubit_wise_commuting_groups();
+        let base = circuit.without_measurements();
+        let seed0 = self.sample_base_seed();
+        let mut variance = 0.0;
+        for (i, group) in groups.iter().enumerate() {
+            let mut rotated = base.clone();
+            for op in group.diagonalizing_rotations()? {
+                rotated.push(op);
+            }
+            let mut sim = self.clone();
+            sim.options.seed = Some(stream_seed(seed0, i as u64));
+            let samples = sim.sample_final_bitstrings(&rotated, shots_per_group)?;
+            // Per-sample group energy: every term's signed parity at
+            // once, so within-group covariance is captured exactly.
+            // Support masks are pure per-term data — hoisted out of the
+            // per-sample loop.
+            let term_masks = group.parity_terms();
+            let mut mean = 0.0;
+            let mut m2 = 0.0;
+            for (k, b) in samples.iter().enumerate() {
+                let y = bgls_circuit::score_parity_terms(&term_masks, b.as_u64());
+                // Welford running mean/variance
+                let delta = y - mean;
+                mean += delta / (k + 1) as f64;
+                m2 += delta * (y - mean);
+            }
+            let shots = samples.len() as f64;
+            value += mean;
+            variance += m2 / (shots * (shots - 1.0));
+        }
+        Ok(ExpectationEstimate {
+            value,
+            std_error: variance.sqrt(),
+            shots_per_group,
+            num_groups: groups.len(),
+        })
     }
 
     // ---- sample-parallelized path -------------------------------------
@@ -1964,5 +2252,198 @@ mod tests {
         let sim = Simulator::with_hooks(state, apply, prob, false).with_seed(1);
         let _ = sim.run(&ghz(2), 10).unwrap();
         assert!(CALLS.load(Ordering::Relaxed) > 0);
+    }
+
+    // ---- expectation engine --------------------------------------------
+
+    #[test]
+    fn expectation_value_on_ghz_is_exact() {
+        let sim = Simulator::new(RefState::zero(3));
+        // terminal measurement in ghz() is ignored by the exact path
+        let obs: PauliSum = "Z0 Z1 + X0 X1 X2 + 0.5 * Z0 + 2".parse().unwrap();
+        let e = sim.expectation_value(&ghz(3), &obs).unwrap();
+        assert!((e - 4.0).abs() < 1e-10, "GHZ energy {e}");
+        // identity-only observable
+        let c = sim
+            .expectation_value(&ghz(3), &PauliSum::constant(C64::real(1.5)))
+            .unwrap();
+        assert!((c - 1.5).abs() < 1e-12);
+        // out-of-range support is a typed error
+        assert!(matches!(
+            sim.expectation_value(&ghz(3), &"Z7".parse().unwrap()),
+            Err(SimError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn expectation_value_forks_stochastic_channels_exactly() {
+        let mut c = Circuit::new();
+        c.push(Operation::channel(Channel::bit_flip(0.3).unwrap(), vec![Qubit(0)]).unwrap());
+        let sim = Simulator::new(RefState::zero(1));
+        // <Z> = (1 - p) - p = 0.4, with exact branch weights (no sampling)
+        let z = sim.expectation_value(&c, &"Z0".parse().unwrap()).unwrap();
+        assert!((z - 0.4).abs() < 1e-12, "<Z> = {z}");
+        // budget of 1 node cannot hold the two branches
+        let tight = Simulator::new(RefState::zero(1)).with_options(SimulatorOptions {
+            max_forest_nodes: 1,
+            ..Default::default()
+        });
+        assert!(matches!(
+            tight.expectation_value(&c, &"Z0".parse().unwrap()),
+            Err(SimError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn expectation_value_forks_interior_measurements() {
+        // H, measure, H: the measured mixture dephases, so the final <Z>
+        // is 0 (a pure H-H walk would give 1).
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        let sim = Simulator::new(RefState::zero(1));
+        let z = sim.expectation_value(&c, &"Z0".parse().unwrap()).unwrap();
+        assert!(z.abs() < 1e-12, "dephased <Z> = {z}");
+        let mut pure = Circuit::new();
+        pure.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        pure.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        let z = sim
+            .expectation_value(&pure, &"Z0".parse().unwrap())
+            .unwrap();
+        assert!((z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_semantics_are_per_measurement() {
+        // q0 carries a genuine mid-circuit measurement; q1's terminal
+        // measurement is a readout and must stay ignored regardless —
+        // <X1> is 1 with or without the unrelated q0 dephasing.
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m0").unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(1)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(1)], "m1").unwrap());
+        let sim = Simulator::new(RefState::zero(2));
+        let x1 = sim.expectation_value(&c, &"X1".parse().unwrap()).unwrap();
+        assert!((x1 - 1.0).abs() < 1e-12, "readout dephased <X1> = {x1}");
+        // while q0's interior measurement still dephases <X0>
+        let z0 = sim.expectation_value(&c, &"Z0".parse().unwrap()).unwrap();
+        assert!(z0.abs() < 1e-12, "interior measurement kept <Z0> = {z0}");
+    }
+
+    #[test]
+    fn expectation_value_rejects_stochastic_hooks() {
+        let apply: ApplyFn<RefState> = Arc::new(|_, _, _| Ok(()));
+        let prob: ProbFn<RefState> = Arc::new(|s, b| s.probability(b));
+        let sim = Simulator::with_hooks(RefState::zero(1), apply, prob, true);
+        assert!(matches!(
+            sim.expectation_value(&ghz(1), &"Z0".parse().unwrap()),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn expectation_sweep_matches_pointwise_values() {
+        use bgls_circuit::{Param, ParamResolver};
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::Rx(Param::symbol("t")), vec![Qubit(0)]).unwrap());
+        let obs: PauliSum = "Z0".parse().unwrap();
+        let resolvers: Vec<ParamResolver> = [0.0, 0.5, 1.2, std::f64::consts::PI]
+            .iter()
+            .map(|&t| ParamResolver::from_pairs([("t", t)]))
+            .collect();
+        for parallel in [false, true] {
+            let sim = Simulator::new(RefState::zero(1)).with_options(SimulatorOptions {
+                parallel_sweep: parallel,
+                ..Default::default()
+            });
+            let sweep = sim.expectation_sweep(&c, &resolvers, &obs).unwrap();
+            // <Z> after Rx(t) is cos(t)
+            for (r, (e, t)) in sweep
+                .iter()
+                .zip([0.0, 0.5, 1.2, std::f64::consts::PI])
+                .enumerate()
+            {
+                let _ = r;
+                assert!((e - t.cos()).abs() < 1e-10, "Rx({t}): {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_expectation_matches_exact_and_shrinks() {
+        let obs: PauliSum = "Z0 Z1 + X0 X1 X2 + 0.5 * Z2 + 1".parse().unwrap();
+        let sim = Simulator::new(RefState::zero(3)).with_seed(5);
+        let exact = sim.expectation_value(&ghz(3), &obs).unwrap();
+        let small = sim.estimate_expectation(&ghz(3), &obs, 200).unwrap();
+        let big = sim.estimate_expectation(&ghz(3), &obs, 20_000).unwrap();
+        // Z-terms and the X-string need different bases: 2 groups
+        assert_eq!(small.num_groups, 2);
+        assert_eq!(small.shots_per_group, 200);
+        for est in [&small, &big] {
+            assert!(
+                (est.value - exact).abs() < 5.0 * est.std_error + 1e-9,
+                "estimate {} vs exact {exact} (se {})",
+                est.value,
+                est.std_error
+            );
+        }
+        // 100x the shots shrinks the standard error ~10x
+        let ratio = small.std_error / big.std_error;
+        assert!((ratio - 10.0).abs() < 3.0, "SE ratio {ratio}");
+    }
+
+    #[test]
+    fn estimate_expectation_is_seed_deterministic() {
+        let obs: PauliSum = "Z0 + X0 X1".parse().unwrap();
+        let a = Simulator::new(RefState::zero(2))
+            .with_seed(9)
+            .estimate_expectation(&ghz(2), &obs, 500)
+            .unwrap();
+        let b = Simulator::new(RefState::zero(2))
+            .with_seed(9)
+            .estimate_expectation(&ghz(2), &obs, 500)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_expectation_rejects_mid_circuit_measurements() {
+        // stripping the interior measurement would silently drop its
+        // dephasing; the estimator must refuse rather than answer wrong
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        let sim = Simulator::new(RefState::zero(1)).with_seed(1);
+        assert!(matches!(
+            sim.estimate_expectation(&c, &"Z0".parse().unwrap(), 100),
+            Err(SimError::Unsupported(_))
+        ));
+        // the exact path handles the same circuit
+        assert!(
+            sim.expectation_value(&c, &"Z0".parse().unwrap())
+                .unwrap()
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn estimate_expectation_rejects_bad_inputs() {
+        let sim = Simulator::new(RefState::zero(1)).with_seed(1);
+        let z: PauliSum = "Z0".parse().unwrap();
+        assert!(matches!(
+            sim.estimate_expectation(&ghz(1), &z, 1),
+            Err(SimError::Invalid(_))
+        ));
+        // anti-Hermitian observable (imaginary coefficient) rejected
+        let i_z = z.scaled(C64::I);
+        assert!(matches!(
+            sim.estimate_expectation(&ghz(1), &i_z, 100),
+            Err(SimError::Invalid(_))
+        ));
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::bitstring::BitString;
 use crate::error::SimError;
-use bgls_circuit::{Channel, Gate};
+use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_linalg::C64;
 use rand::RngCore;
 
@@ -120,6 +120,29 @@ pub trait BglsState: Clone {
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
         let _ = (qubit, value);
         Err(SimError::Unsupported("projective collapse".into()))
+    }
+
+    /// Exact expectation value `<psi|P|psi>` (pure states) or `Tr(rho P)`
+    /// (mixed states) of a Hermitian Pauli string on the current state.
+    ///
+    /// Every exact backend implements this natively: amplitude inner
+    /// product on the dense state vector, a diagonal trace walk on the
+    /// density matrix, `U_C`-conjugation on the CH-form stabilizer
+    /// state, a transfer-matrix sweep on the chain MPS, and a
+    /// doubled-network contraction on the lazy tensor network.
+    ///
+    /// **Contract:** the state is assumed normalized (the expectation is
+    /// *not* divided by the norm), the result is a pure function of the
+    /// state (deterministic, thread-count independent), and qubits
+    /// beyond [`BglsState::num_qubits`] are rejected with
+    /// [`SimError::QubitOutOfRange`]. The identity string returns the
+    /// squared norm, i.e. `1.0` on a normalized state.
+    ///
+    /// Backends without expectation support return
+    /// [`SimError::Unsupported`] (the default).
+    fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        let _ = observable;
+        Err(SimError::Unsupported("Pauli expectation".into()))
     }
 
     /// True when [`BglsState::apply_kraus`] applies the *whole* channel
@@ -266,6 +289,26 @@ pub(crate) mod testing {
             let scale = 1.0 / norm.sqrt();
             self.amps = cand.into_iter().map(|z| z * scale).collect();
             Ok(())
+        }
+
+        fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+            if let Some(q) = observable.max_qubit() {
+                self.check_qubits(&[q])?;
+            }
+            // <psi|P|psi> with P = i^{ny} X^x Z^z: P|b> = i^{ny}
+            // (-1)^{|b & z|} |b ^ x>, so the expectation is one pass over
+            // the amplitudes.
+            let (x, z, ny) = observable.dense_masks();
+            let mut acc = C64::ZERO;
+            for (b, &amp) in self.amps.iter().enumerate() {
+                let term = self.amps[b ^ x as usize].conj() * amp;
+                if (b as u64 & z).count_ones() % 2 == 1 {
+                    acc -= term;
+                } else {
+                    acc += term;
+                }
+            }
+            Ok((acc * C64::i_pow(ny as i64)).re)
         }
 
         fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {

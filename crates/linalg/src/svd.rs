@@ -91,8 +91,8 @@ pub fn svd(a: &Matrix) -> Svd {
 /// the Jacobi sweep stream contiguous `f64` lanes instead of stride-`n`
 /// interleaved complex pairs; squared column norms are cached across the
 /// sweep and updated in closed form after each rotation; and `V` is
-/// recovered from the converged working copy by a single GEMM (see
-/// [`recover_vt`]) instead of accumulating every rotation.
+/// recovered from the converged working copy by a single GEMM (the
+/// internal `recover_vt` step) instead of accumulating every rotation.
 ///
 /// **Determinism contract:** the result is a pure function of the input
 /// — bit-identical on every call, thread count, and batch shape (the

@@ -10,7 +10,7 @@
 //! cost `O(n chi^2)` — the `f(n, d)` that makes wide, lowly-entangled
 //! circuits cheap (Fig. 7).
 
-use bgls_circuit::{Channel, Gate};
+use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
 use bgls_linalg::{gemm, svd_slice, Matrix, C64};
 use rand::{Rng, RngCore};
@@ -470,6 +470,85 @@ impl ChainMps {
         })
     }
 
+    /// Exact expectation `<psi| prod_q O_q |psi>` of a product of
+    /// single-qubit operators, by the same GEMM transfer-matrix sweep as
+    /// [`ChainMps::norm_sqr`] with the operator matrix elements woven
+    /// into the bra-side slice: at each site,
+    /// `rho' = sum_{p, p'} O[p', p] * M_p^T rho conj(M_{p'})`
+    /// (identity sites keep the two-GEMM norm step). `O(n chi^3)`
+    /// arithmetic on the blocked kernels, intermediates in the
+    /// thread-local scratch. Deterministic: a pure function of the
+    /// state.
+    fn operator_product_expectation(&self, site_ops: &[Option<Matrix>]) -> C64 {
+        debug_assert_eq!(site_ops.len(), self.sites.len());
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            sc.rho.clear();
+            sc.rho.push(C64::ONE);
+            let mut dim = 1usize;
+            for (site, op) in self.sites.iter().zip(site_ops) {
+                let (l, r) = (site.l, site.r);
+                debug_assert_eq!(l, dim);
+                sc.rho_next.clear();
+                sc.rho_next.resize(r * r, C64::ZERO);
+                for p in 0..2 {
+                    // T = M_p^T rho, gathered straight from the site
+                    // tensor exactly as in norm_sqr.
+                    sc.tmat.clear();
+                    sc.tmat.resize(r * l, C64::ZERO);
+                    gemm::with_scratch(|g| {
+                        g.moff.clear();
+                        g.moff.extend(0..r);
+                        g.a_koff.clear();
+                        g.a_koff.extend((0..l).map(|li| (li * 2 + p) * r));
+                        g.b_koff.clear();
+                        g.b_koff.extend((0..l).map(|li| li * l));
+                        g.noff.clear();
+                        g.noff.extend(0..l);
+                        gemm::matmul_gather_into(&mut sc.tmat, r, l, l, &site.data, &sc.rho, g);
+                    });
+                    for p_out in 0..2 {
+                        let w = match op {
+                            // identity site: only the diagonal survives
+                            None if p_out == p => C64::ONE,
+                            None => continue,
+                            Some(m) => m[(p_out, p)],
+                        };
+                        if w == C64::ZERO {
+                            continue;
+                        }
+                        // rho' += T (w * conj(M_{p_out})): the operator
+                        // element rides the conjugated bra slice.
+                        sc.conj_slice.clear();
+                        sc.conj_slice.extend(
+                            (0..l * r)
+                                .map(|t| site.data[(t / r * 2 + p_out) * r + t % r].conj() * w),
+                        );
+                        gemm::matmul_acc_into(&mut sc.rho_next, r, l, r, &sc.tmat, &sc.conj_slice);
+                    }
+                }
+                std::mem::swap(&mut sc.rho, &mut sc.rho_next);
+                dim = r;
+            }
+            debug_assert_eq!(dim, 1);
+            sc.rho[0]
+        })
+    }
+
+    /// Exact Pauli expectation `<psi|P|psi>` via the operator-woven
+    /// transfer-matrix sweep above, with each Pauli factor routed to its
+    /// current site through the tracked qubit-to-site permutation.
+    pub fn pauli_expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        if let Some(q) = observable.max_qubit() {
+            self.check_qubits(&[q])?;
+        }
+        let mut site_ops: Vec<Option<Matrix>> = vec![None; self.sites.len()];
+        for (q, op) in observable.iter() {
+            site_ops[self.site_of_qubit[q]] = Some(op.matrix());
+        }
+        Ok(self.operator_product_expectation(&site_ops).re)
+    }
+
     /// Rescales the whole state by `k` (used after non-unitary Kraus
     /// application).
     fn scale_first_site(&mut self, k: f64) {
@@ -526,6 +605,10 @@ impl BglsState for ChainMps {
             self.amplitudes_shared_sweep(candidates, &mut out);
         }
         out
+    }
+
+    fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        self.pauli_expectation(observable)
     }
 
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
@@ -756,6 +839,36 @@ mod tests {
             Err(SimError::ZeroProbabilityEvent)
         ));
         assert!((st.probability(b(1, 0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_expectation_matches_statevector() {
+        use bgls_statevector::StateVector;
+        // scrambled chain whose swap routing permutes qubit -> site
+        let gates: [(Gate, Vec<usize>); 7] = [
+            (Gate::H, vec![0]),
+            (Gate::Cnot, vec![0, 3]),
+            (Gate::T, vec![3]),
+            (Gate::ISwap, vec![1, 4]),
+            (Gate::Ry(0.6.into()), vec![2]),
+            (Gate::Cnot, vec![4, 1]),
+            (Gate::Rzz(0.4.into()), vec![0, 2]),
+        ];
+        let mut st = ChainMps::zero(5, MpsOptions::exact());
+        let mut sv = StateVector::zero(5);
+        for (g, qs) in gates {
+            st.apply_gate(&g, &qs).unwrap();
+            sv.apply_gate(&g, &qs).unwrap();
+        }
+        for s in ["I", "Z0", "X3", "Y1 Z2", "X0 X3", "Z0 Y1 X2 Z3 Y4"] {
+            let p: PauliString = s.parse().unwrap();
+            let a = st.pauli_expectation(&p).unwrap();
+            let b = sv.expectation(&p).unwrap();
+            assert!((a - b).abs() < 1e-10, "{s}: mps {a} vs sv {b}");
+        }
+        // identity sweep reproduces the norm
+        assert!((st.pauli_expectation(&PauliString::identity()).unwrap() - 1.0).abs() < 1e-10);
+        assert!(st.pauli_expectation(&"Z7".parse().unwrap()).is_err());
     }
 
     #[test]

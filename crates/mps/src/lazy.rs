@@ -15,7 +15,7 @@
 //! ```
 
 use crate::schmidt::operator_schmidt;
-use bgls_circuit::{Channel, Gate};
+use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
 use bgls_linalg::{contract_network, BondId, Matrix, Tensor, C64};
 use rand::{Rng, RngCore};
@@ -152,6 +152,52 @@ impl LazyNetworkState {
     fn rescale(&mut self, k: f64) {
         self.tensors[0] = self.tensors[0].scale(C64::real(k));
     }
+
+    /// Exact Pauli expectation `<psi|P|psi>` by contracting the doubled
+    /// network with operator tensors inserted: like
+    /// [`LazyNetworkState::norm_sqr`], every tensor is paired with its
+    /// conjugate, but on each supported qubit the bra copy's physical
+    /// leg is relabeled and a 2x2 Pauli tensor bridges the bra and ket
+    /// legs (off-support legs stay shared/summed). Cost is
+    /// contraction-bounded like any probability query. Deterministic: a
+    /// pure function of the state.
+    pub fn pauli_expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        if let Some(q) = observable.max_qubit() {
+            self.check_qubits(&[q])?;
+        }
+        let offset = self.next_bond;
+        let mut net: Vec<Tensor> = Vec::with_capacity(2 * self.n + observable.weight());
+        for (q, t) in self.tensors.iter().enumerate() {
+            net.push(t.clone());
+            let op = observable.op_on(q);
+            let labels: Vec<BondId> = t
+                .labels()
+                .iter()
+                .map(|&l| {
+                    if l >= self.n as BondId || (l == q as BondId && op.is_some()) {
+                        // internal bonds always split; the physical leg
+                        // splits only where an operator sits between the
+                        // bra and ket copies
+                        l + offset
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            let data: Vec<C64> = t.data().iter().map(|z| z.conj()).collect();
+            net.push(Tensor::new(labels, t.shape().to_vec(), data));
+            if let Some(op) = op {
+                // O[p_bra, p_ket] bridging the split physical leg
+                let m = op.matrix();
+                net.push(Tensor::new(
+                    vec![q as BondId + offset, q as BondId],
+                    vec![2, 2],
+                    m.data().to_vec(),
+                ));
+            }
+        }
+        Ok(contract_network(net).re)
+    }
 }
 
 impl BglsState for LazyNetworkState {
@@ -220,6 +266,10 @@ impl BglsState for LazyNetworkState {
                 contract_network(sliced).norm_sqr()
             })
             .collect()
+    }
+
+    fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        self.pauli_expectation(observable)
     }
 
     fn kraus_branch_probabilities(
@@ -401,6 +451,33 @@ mod tests {
             }
         }
         assert!(st.probabilities_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn pauli_expectation_matches_statevector() {
+        use bgls_core::BglsState as _;
+        use bgls_statevector::StateVector;
+        let gates: [(Gate, Vec<usize>); 6] = [
+            (Gate::H, vec![0]),
+            (Gate::T, vec![1]),
+            (Gate::Cnot, vec![0, 2]),
+            (Gate::ISwap, vec![1, 3]),
+            (Gate::Rzz(0.4.into()), vec![2, 3]),
+            (Gate::Ry(0.9.into()), vec![0]),
+        ];
+        let mut st = LazyNetworkState::zero(4);
+        let mut sv = StateVector::zero(4);
+        for (g, qs) in gates {
+            st.apply_gate(&g, &qs).unwrap();
+            sv.apply_gate(&g, &qs).unwrap();
+        }
+        for s in ["I", "Z0", "X2", "Y1 Z3", "X0 Y1 Z2 X3"] {
+            let p: PauliString = s.parse().unwrap();
+            let a = st.pauli_expectation(&p).unwrap();
+            let b = sv.expectation(&p).unwrap();
+            assert!((a - b).abs() < 1e-10, "{s}: lazy {a} vs sv {b}");
+        }
+        assert!(st.pauli_expectation(&"Z6".parse().unwrap()).is_err());
     }
 
     #[test]

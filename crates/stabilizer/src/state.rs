@@ -8,7 +8,7 @@
 //! states.
 
 use crate::chform::ChForm;
-use bgls_circuit::Gate;
+use bgls_circuit::{Gate, PauliOp, PauliString};
 use bgls_core::{AmplitudeState, BglsState, BitString, SimError};
 use bgls_linalg::{BitVec, Matrix, C64};
 use std::f64::consts::PI;
@@ -290,6 +290,40 @@ impl BglsState for ChForm {
             .collect();
         self.probabilities_batch_of(&xs)
     }
+
+    /// Exact stabilizer expectation via `U_C` conjugation
+    /// ([`ChForm::pauli_expectation`]): `O(n^2 / 64)` per term,
+    /// independent of circuit depth, always one of `{0, +-1}` (up to the
+    /// state's global scalar) because a Pauli either sits in the
+    /// stabilizer group up to sign or anticommutes with some stabilizer.
+    fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
+        let n = ChForm::num_qubits(self);
+        if let Some(q) = observable.max_qubit() {
+            if q >= n {
+                return Err(SimError::QubitOutOfRange {
+                    index: q,
+                    num_qubits: n,
+                });
+            }
+        }
+        // P = i^{ny} X^x Z^z (Y contributes to both masks plus one i).
+        let mut x = BitVec::zeros(n);
+        let mut z = BitVec::zeros(n);
+        let mut ny = 0u8;
+        for (q, op) in observable.iter() {
+            let (xb, zb) = op.xz_bits();
+            if xb {
+                x.set(q, true);
+            }
+            if zb {
+                z.set(q, true);
+            }
+            if op == PauliOp::Y {
+                ny = (ny + 1) % 4;
+            }
+        }
+        Ok(self.pauli_expectation(&x, &z, ny).re)
+    }
 }
 
 impl AmplitudeState for ChForm {
@@ -367,6 +401,65 @@ mod tests {
             st.apply_gate(&Gate::Rz((PI / 4.0).into()), &[0]),
             Err(SimError::NotClifford(_))
         ));
+    }
+
+    #[test]
+    fn trait_expectation_matches_statevector_on_random_clifford() {
+        use bgls_circuit::{generate_random_circuit, RandomCircuitParams};
+        use bgls_statevector::StateVector;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let n = 5;
+        let mut crng = StdRng::seed_from_u64(11);
+        let circuit = generate_random_circuit(&RandomCircuitParams::clifford(n, 20), &mut crng);
+        let mut ch = ChForm::zero(n);
+        let mut sv = StateVector::zero(n);
+        for op in circuit.all_operations() {
+            let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+            let g = op.as_gate().unwrap();
+            ch.apply_gate(g, &qs).unwrap();
+            sv.apply_gate(g, &qs).unwrap();
+        }
+        for s in [
+            "I",
+            "Z0",
+            "X3",
+            "Y1",
+            "Z0 Z4",
+            "X0 Y2 Z3",
+            "Y0 Y1 Y2",
+            "X0 X1 X2 X3 X4",
+        ] {
+            let p: PauliString = s.parse().unwrap();
+            let a = ch.expectation(&p).unwrap();
+            let b = sv.expectation(&p).unwrap();
+            assert!((a - b).abs() < 1e-10, "{s}: chform {a} vs sv {b}");
+            // stabilizer expectations of Hermitian Paulis are 0 or +-1
+            assert!(a.abs() < 1e-10 || (a.abs() - 1.0).abs() < 1e-10, "{s}: {a}");
+        }
+        assert!(ch.expectation(&"Z9".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn ghz_stabilizer_expectations() {
+        let mut st = ChForm::zero(3);
+        st.apply_h(0).unwrap();
+        st.apply_cnot(0, 1).unwrap();
+        st.apply_cnot(1, 2).unwrap();
+        let cases = [
+            ("X0 X1 X2", 1.0),
+            ("Z0 Z1", 1.0),
+            ("Z1 Z2", 1.0),
+            ("Z0", 0.0),
+            ("X0", 0.0),
+            ("Y0 Y1 X2", -1.0),
+        ];
+        for (s, want) in cases {
+            let p: PauliString = s.parse().unwrap();
+            let got = st.expectation(&p).unwrap();
+            assert!((got - want).abs() < 1e-12, "{s}: {got} vs {want}");
+        }
     }
 
     #[test]

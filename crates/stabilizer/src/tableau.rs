@@ -211,6 +211,63 @@ impl CliffordTableau {
         }
     }
 
+    /// Exact stabilizer expectation `<psi|P|psi>` of a Pauli string via
+    /// the stabilizer group, without amplitude access: `P` anticommutes
+    /// with some stabilizer generator (expectation `0`), or it equals a
+    /// product of generators up to sign (expectation `+-1`). The product
+    /// is reconstructed from the destabilizer rows — generator `i`
+    /// participates exactly when `P` anticommutes with destabilizer `i`
+    /// — and its sign accumulated with the CHP phase function.
+    pub fn pauli_expectation(
+        &self,
+        observable: &bgls_circuit::PauliString,
+    ) -> Result<f64, SimError> {
+        if let Some(q) = observable.max_qubit() {
+            self.check(q)?;
+        }
+        let n = self.n;
+        let width = self.x.n();
+        // P in row convention: per-qubit (x, z) bits, Y = (1, 1) with the
+        // phase absorbed (the same convention tableau rows use).
+        let mut px = BitVec::zeros(width);
+        let mut pz = BitVec::zeros(width);
+        for (q, op) in observable.iter() {
+            let (xb, zb) = op.xz_bits();
+            px.set(q, xb);
+            pz.set(q, zb);
+        }
+        // Symplectic anticommutation test of P against row i.
+        let anticommutes = |i: usize| -> bool { px.dot(self.z.row(i)) ^ pz.dot(self.x.row(i)) };
+        if (n..2 * n).any(&anticommutes) {
+            return Ok(0.0);
+        }
+        // P commutes with every stabilizer, so it is +-(product of the
+        // generators flagged by the destabilizers). Accumulate that
+        // product's sign exactly as rowsum does.
+        let mut ax = BitVec::zeros(width);
+        let mut az = BitVec::zeros(width);
+        let mut phase: i32 = 0;
+        for i in 0..n {
+            if !anticommutes(i) {
+                continue;
+            }
+            let row = n + i;
+            phase += 2 * (self.r.get(row) as i32);
+            for j in 0..n {
+                phase +=
+                    Self::g(self.x.get(row, j), self.z.get(row, j), ax.get(j), az.get(j)) as i32;
+            }
+            ax.xor_assign(self.x.row(row));
+            az.xor_assign(self.z.row(row));
+        }
+        debug_assert!(
+            ax == px && az == pz,
+            "commuting Pauli must lie in the +- stabilizer group"
+        );
+        debug_assert_eq!(phase.rem_euclid(2), 0, "stabilizer sign must be real");
+        Ok(if phase.rem_euclid(4) == 0 { 1.0 } else { -1.0 })
+    }
+
     /// Applies a Clifford gate (same acceptance set as the CH form).
     pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
         use Gate::*;
@@ -522,6 +579,36 @@ mod tests {
                 "outcome {b}: tableau {ft} vs chform {fc}"
             );
         }
+    }
+
+    #[test]
+    fn tableau_expectation_matches_chform() {
+        use crate::ChForm;
+        use bgls_circuit::{generate_random_circuit, PauliString, RandomCircuitParams};
+        use bgls_core::BglsState as _;
+
+        let n = 5;
+        for seed in 0..6 {
+            let mut crng = StdRng::seed_from_u64(seed);
+            let circuit = generate_random_circuit(&RandomCircuitParams::clifford(n, 18), &mut crng);
+            let tab = tableau_from_circuit(&circuit, n).unwrap();
+            let mut ch = ChForm::zero(n);
+            for op in circuit.all_operations() {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                ch.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
+            }
+            for s in ["Z0", "X1 X2", "Y0 Z3", "Z0 Z1 Z2 Z3 Z4", "X0 Y1 Z2", "I"] {
+                let p: PauliString = s.parse().unwrap();
+                let a = tab.pauli_expectation(&p).unwrap();
+                let b = ch.expectation(&p).unwrap();
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "seed {seed}, {s}: tableau {a} vs chform {b}"
+                );
+            }
+        }
+        let t = CliffordTableau::zero(2);
+        assert!(t.pauli_expectation(&"Z4".parse().unwrap()).is_err());
     }
 
     #[test]

@@ -8,7 +8,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// Complex number with `f64` components.
+///
+/// `#[repr(C)]` is load-bearing: the runtime-dispatched SIMD kernels in
+/// [`crate::dispatch`] reinterpret `&[C64]` as `&[f64]` with the layout
+/// `[re, im, re, im, ..]`, which requires the declared field order.
 #[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct C64 {
     /// Real part.
     pub re: f64,

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod complex;
+pub mod dispatch;
 mod f2;
 pub mod gemm;
 mod hash;

@@ -10,16 +10,20 @@
 //! keep the sample-parallelized BGLS path.
 
 use crate::kernel;
+use crate::shard::ShardedBuffer;
 use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_core::{BglsState, BitString, MarginalState, SimError};
 use bgls_linalg::{Matrix, C64};
 use rand::RngCore;
 
 /// Mixed state of `n` qubits as a vectorized `2^n x 2^n` density matrix.
+/// Entries live in a cache-line-aligned [`ShardedBuffer`], so the sharded
+/// dense kernels apply to the vectorized form exactly as they do to a
+/// state vector.
 #[derive(Debug)]
 pub struct DensityMatrix {
     /// Vectorized entries: `rho[r, c]` at `r | (c << n)`.
-    vec: Vec<C64>,
+    vec: ShardedBuffer,
     n: usize,
 }
 
@@ -44,7 +48,7 @@ impl DensityMatrix {
     /// The pure all-zeros state `|0..0><0..0|`.
     pub fn zero(n: usize) -> Self {
         assert!(n <= 13, "density matrix limited to 13 qubits (4^n memory)");
-        let mut vec = vec![C64::ZERO; 1usize << (2 * n)];
+        let mut vec = ShardedBuffer::zeroed(1usize << (2 * n));
         vec[0] = C64::ONE;
         DensityMatrix { vec, n }
     }
@@ -58,7 +62,7 @@ impl DensityMatrix {
         }
         let n = amps.len().trailing_zeros() as usize;
         let dim = amps.len();
-        let mut vec = vec![C64::ZERO; dim * dim];
+        let mut vec = ShardedBuffer::zeroed(dim * dim);
         for c in 0..dim {
             for r in 0..dim {
                 vec[r | (c << n)] = amps[r] * amps[c].conj();
@@ -94,8 +98,8 @@ impl DensityMatrix {
     /// Purity `Tr(rho^2)`; 1 for pure states, `1/2^n` for maximally mixed.
     pub fn purity(&self) -> f64 {
         // Tr(rho^2) = sum_{r,c} rho[r,c] rho[c,r] = sum |rho[r,c]|^2 for
-        // Hermitian rho.
-        self.vec.iter().map(|z| z.norm_sqr()).sum()
+        // Hermitian rho — the squared norm of the vectorized entries.
+        kernel::norm_sqr(&self.vec)
     }
 
     /// Dense copy of the matrix (verification only).
@@ -106,20 +110,23 @@ impl DensityMatrix {
 
     /// Applies a matrix to the row side and its conjugate to the column
     /// side: `rho -> M rho M^dagger` (not necessarily trace preserving).
+    /// Both sides go through [`apply_unitaries`](crate::apply_unitaries) in one call, so
+    /// the row and column sweeps fuse into a single pass when their shard
+    /// footprints allow it.
     fn conjugate_by(&mut self, m: &Matrix, qubits: &[usize]) {
-        kernel::apply_matrix(&mut self.vec, m, qubits);
         let col_qubits: Vec<usize> = qubits.iter().map(|&q| q + self.n).collect();
-        kernel::apply_matrix(&mut self.vec, &m.conj(), &col_qubits);
+        let conj = m.conj();
+        kernel::apply_unitaries(&mut self.vec, &[(m, qubits), (&conj, &col_qubits)]);
     }
 
     /// Exact channel application: `rho -> sum_i K_i rho K_i^dagger`.
     fn apply_channel_exact(&mut self, channel: &Channel, qubits: &[usize]) -> Result<(), SimError> {
         self.check_qubits(qubits)?;
-        let mut acc = vec![C64::ZERO; self.vec.len()];
+        let mut acc = ShardedBuffer::zeroed(self.vec.len());
         for k in channel.kraus() {
             let mut branch = self.clone();
             branch.conjugate_by(k, qubits);
-            for (a, b) in acc.iter_mut().zip(&branch.vec) {
+            for (a, b) in acc.iter_mut().zip(branch.vec.iter()) {
                 *a += *b;
             }
         }

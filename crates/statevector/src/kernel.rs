@@ -1,15 +1,76 @@
-//! Gate-application kernels over dense amplitude arrays.
+//! Sharded gate-application kernels over dense amplitude arrays.
 //!
 //! Shared by the state-vector backend and the (vectorized) density-matrix
-//! backend. Single- and two-qubit gates get dedicated bit-twiddling loops;
-//! arbitrary k-qubit unitaries use a gather/scatter path. Large arrays are
-//! processed in parallel with Rayon over cache-aligned chunks.
+//! backend. The amplitude array is processed as fixed-length power-of-two
+//! **shards** ([`SHARD_LEN`] amplitudes = 256 KiB, sized to sit in L2):
+//!
+//! * a gate whose qubits all lie **below** [`SHARD_BITS`] is shard-local —
+//!   every shard is updated independently;
+//! * a gate touching an index bit at or above [`SHARD_BITS`] pairs shards
+//!   (or groups four of them, for a 2q gate with both qubits high) and
+//!   exchanges amplitude blocks between them.
+//!
+//! Shard ownership is fixed: shard `s` covers amplitudes
+//! `[s * SHARD_LEN, (s + 1) * SHARD_LEN)`, and each parallel task owns a
+//! disjoint shard group, so serial and parallel execution perform the exact
+//! same per-amplitude arithmetic — results are bit-identical for every
+//! `RAYON_NUM_THREADS`, including 1. Reductions ([`norm_sqr`]) compute one
+//! partial per shard and combine them with a fixed ascending-shard pairwise
+//! tree fold, which is likewise thread-count-invariant.
+//!
+//! The arithmetic floor under the shard loops is
+//! [`bgls_linalg::dispatch`] — runtime-ISA-selected (AVX-512/AVX2/NEON/
+//! scalar) split-re/im microkernels that are bit-identical across paths.
+//!
+//! [`apply_unitaries`] adds pass fusion on top: consecutive gates whose
+//! shard-bit footprint fits one shard group are applied back-to-back while
+//! the group is cache-resident, turning k full-buffer memory passes into
+//! one. Because gates act elementwise on disjoint shard groups, fusion is
+//! bit-identical to gate-by-gate application.
 
-use bgls_linalg::{Matrix, C64};
+use bgls_linalg::{dispatch, Matrix, C64};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Arrays at or above this length use the Rayon-parallel kernels.
-const PAR_THRESHOLD: usize = 1 << 14;
+/// log2 of the shard length. 2^14 amplitudes × 16 bytes = 256 KiB per
+/// shard: small enough that a 4-shard group (the largest the fused engine
+/// forms) stays cache-resident, large enough to amortize dispatch.
+pub const SHARD_BITS: usize = 14;
+
+/// Amplitudes per shard (`1 << SHARD_BITS`).
+pub const SHARD_LEN: usize = 1 << SHARD_BITS;
+
+/// Arrays at or above this length (= two shards) run the shard loops in
+/// parallel; below it the array is a single (possibly short) shard and runs
+/// serially. Serial and parallel paths iterate the same shard decomposition
+/// in the same per-shard order, so the threshold affects scheduling only,
+/// never results.
+pub const PAR_THRESHOLD: usize = 2 * SHARD_LEN;
+
+/// Shard length actually used for `amps`: full shards when the array is
+/// large, the whole array as one shard when it is smaller than [`SHARD_LEN`].
+#[inline]
+fn shard_bits_for(len: usize) -> usize {
+    debug_assert!(len.is_power_of_two());
+    SHARD_BITS.min(len.trailing_zeros() as usize)
+}
+
+/// Inserts a zero bit at position `b`, shifting higher bits up.
+#[inline]
+fn insert_zero(t: usize, b: usize) -> usize {
+    ((t >> b) << (b + 1)) | (t & ((1usize << b) - 1))
+}
+
+fn validate(len: usize, u: &Matrix, qubits: &[usize]) {
+    let k = qubits.len();
+    assert_eq!(u.rows(), 1 << k, "matrix size does not match qubit count");
+    assert!(len.is_power_of_two());
+    let n_bits = len.trailing_zeros() as usize;
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n_bits, "qubit {q} out of range for {n_bits} bits");
+        assert!(!qubits[..i].contains(&q), "duplicate qubit {q}");
+    }
+}
 
 /// Applies a `2^k x 2^k` unitary (or any matrix — Kraus operators reuse
 /// this) to the amplitudes, acting on `qubits`. Gate-matrix convention:
@@ -19,81 +80,371 @@ const PAR_THRESHOLD: usize = 1 << 14;
 /// # Panics
 /// Panics if dimensions are inconsistent or a qubit index repeats/overflows.
 pub fn apply_matrix(amps: &mut [C64], u: &Matrix, qubits: &[usize]) {
-    let k = qubits.len();
-    assert_eq!(u.rows(), 1 << k, "matrix size does not match qubit count");
-    assert!(amps.len().is_power_of_two());
-    let n_bits = amps.len().trailing_zeros() as usize;
-    for (i, &q) in qubits.iter().enumerate() {
-        assert!(q < n_bits, "qubit {q} out of range for {n_bits} bits");
-        assert!(!qubits[..i].contains(&q), "duplicate qubit {q}");
-    }
-    match k {
+    validate(amps.len(), u, qubits);
+    let sb = shard_bits_for(amps.len());
+    match qubits.len() {
         0 => {}
-        1 => apply_1q(amps, u, qubits[0]),
-        2 => apply_2q(amps, u, qubits[0], qubits[1]),
+        1 | 2 => {
+            let op = compile_op(u, qubits, sb).expect("1q/2q op always compiles");
+            run_segment(amps, sb, op.mask(), std::slice::from_ref(&op));
+        }
         _ => apply_kq(amps, u, qubits),
     }
 }
 
-fn apply_1q(amps: &mut [C64], u: &Matrix, q: usize) {
-    let m = 1usize << q;
-    let u00 = u[(0, 0)];
-    let u01 = u[(0, 1)];
-    let u10 = u[(1, 0)];
-    let u11 = u[(1, 1)];
-    let chunk = m << 1;
-    let body = |slice: &mut [C64]| {
-        for lo in 0..m {
-            let a0 = slice[lo];
-            let a1 = slice[lo + m];
-            slice[lo] = u00 * a0 + u01 * a1;
-            slice[lo + m] = u10 * a0 + u11 * a1;
+/// Applies a sequence of unitaries with **pass fusion**: consecutive ops
+/// whose combined shard-bit footprint spans at most four shards are applied
+/// in one pass over memory, per shard group, while the group is
+/// cache-resident.
+///
+/// Bit-identical to calling [`apply_matrix`] per op in order (gates act
+/// elementwise on disjoint shard groups, so per-amplitude arithmetic and
+/// ordering are unchanged) — only the memory traffic differs.
+///
+/// # Panics
+/// As [`apply_matrix`], for any op in the list.
+pub fn apply_unitaries(amps: &mut [C64], ops: &[(&Matrix, &[usize])]) {
+    for (u, qs) in ops {
+        validate(amps.len(), u, qs);
+    }
+    let sb = shard_bits_for(amps.len());
+    let mut seg: Vec<ShardOp> = Vec::new();
+    let mut mask = Mask::default();
+    for (u, qs) in ops {
+        match compile_op(u, qs, sb) {
+            Some(op) => {
+                if let Some(m) = mask.union(op.mask()) {
+                    mask = m;
+                } else {
+                    run_segment(amps, sb, mask, &seg);
+                    seg.clear();
+                    mask = op.mask();
+                }
+                seg.push(op);
+            }
+            None => {
+                // k = 0 or k >= 3: flush and fall back to the unfused path.
+                if !seg.is_empty() {
+                    run_segment(amps, sb, mask, &seg);
+                    seg.clear();
+                    mask = Mask::default();
+                }
+                apply_matrix(amps, u, qs);
+            }
         }
-    };
-    if amps.len() >= PAR_THRESHOLD && amps.len() / chunk > 1 {
-        amps.par_chunks_mut(chunk).for_each(body);
-    } else {
-        amps.chunks_mut(chunk).for_each(body);
+    }
+    if !seg.is_empty() {
+        run_segment(amps, sb, mask, &seg);
     }
 }
 
-fn apply_2q(amps: &mut [C64], u: &Matrix, qa: usize, qb: usize) {
-    // qa = most significant gate bit (bit 1 of the gate index).
-    let ma = 1usize << qa;
-    let mb = 1usize << qb;
-    let top = qa.max(qb);
-    let chunk = 1usize << (top + 1);
-    // Within a chunk (bits 0..=top), enumerate bases with bits qlow and top
-    // clear. Since i < 2^(top-1), inserting a zero at qlow leaves bit `top`
-    // clear automatically.
-    let qlow = qa.min(qb);
-    let low_mask = (1usize << qlow) - 1;
-    let quarter = chunk >> 2;
+/// Up to two shard-index bits — the footprint of one fused segment.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+struct Mask {
+    bits: [usize; 2],
+    len: usize,
+}
 
-    let body = |slice: &mut [C64]| {
-        for i in 0..quarter {
-            let base = ((i & !low_mask) << 1) | (i & low_mask);
-            debug_assert_eq!(base & ma, 0);
-            debug_assert_eq!(base & mb, 0);
-            let i00 = base;
-            let i01 = base | mb; // gate index bit0 = qb
-            let i10 = base | ma; // gate index bit1 = qa
-            let i11 = base | ma | mb;
-            let a00 = slice[i00];
-            let a01 = slice[i01];
-            let a10 = slice[i10];
-            let a11 = slice[i11];
-            for (row, slot) in [i00, i01, i10, i11].into_iter().enumerate() {
-                slice[slot] =
-                    u[(row, 0)] * a00 + u[(row, 1)] * a01 + u[(row, 2)] * a10 + u[(row, 3)] * a11;
+impl Mask {
+    fn one(b: usize) -> Mask {
+        Mask {
+            bits: [b, 0],
+            len: 1,
+        }
+    }
+
+    fn two(bl: usize, bh: usize) -> Mask {
+        debug_assert!(bl < bh);
+        Mask {
+            bits: [bl, bh],
+            len: 2,
+        }
+    }
+
+    fn slice(&self) -> &[usize] {
+        &self.bits[..self.len]
+    }
+
+    /// Position of shard bit `b` within the mask.
+    fn pos(&self, b: usize) -> usize {
+        self.slice()
+            .iter()
+            .position(|&x| x == b)
+            .expect("bit in mask")
+    }
+
+    /// Sorted union, or `None` when it would exceed two bits.
+    fn union(&self, other: Mask) -> Option<Mask> {
+        let mut bits = [0usize; 2];
+        let mut len = 0;
+        let (a, b) = (self.slice(), other.slice());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            if len == 2 {
+                return None;
             }
+            bits[len] = next;
+            len += 1;
+        }
+        Some(Mask { bits, len })
+    }
+}
+
+/// A 1q/2q gate classified against the shard boundary. Shard-local qubits
+/// keep their in-shard bit position; high qubits are reduced to shard-index
+/// bits (`q - SHARD_BITS`). 2q coefficient arrays are stored in
+/// **positional** order — gate bit 1 is the higher memory bit — matching
+/// the [`bgls_linalg::dispatch`] convention.
+#[derive(Clone)]
+enum ShardOp {
+    /// 1q gate below the shard boundary.
+    Local1q { q: usize, u: [C64; 4] },
+    /// 1q gate on shard-index bit `b`.
+    Cross1q { b: usize, u: [C64; 4] },
+    /// 2q gate with both qubits below the boundary (`ql < qh`).
+    Local2q { qh: usize, ql: usize, u: [C64; 16] },
+    /// 2q gate with the high qubit on shard-index bit `b`, low in-shard.
+    Mixed2q { b: usize, ql: usize, u: [C64; 16] },
+    /// 2q gate with both qubits on shard-index bits (`bl < bh`).
+    Cross2q { bh: usize, bl: usize, u: [C64; 16] },
+}
+
+impl ShardOp {
+    fn mask(&self) -> Mask {
+        match *self {
+            ShardOp::Local1q { .. } | ShardOp::Local2q { .. } => Mask::default(),
+            ShardOp::Cross1q { b, .. } | ShardOp::Mixed2q { b, .. } => Mask::one(b),
+            ShardOp::Cross2q { bh, bl, .. } => Mask::two(bl, bh),
+        }
+    }
+}
+
+fn u4_of(u: &Matrix) -> [C64; 4] {
+    let d = u.data();
+    [d[0], d[1], d[2], d[3]]
+}
+
+/// Row-major coefficients with gate bits swapped: `out[r][c] =
+/// u[swap(r)][swap(c)]` where `swap` exchanges the two gate index bits.
+/// Used when the caller's first-listed qubit is the *lower* memory bit, so
+/// the kernels can always treat gate bit 1 as the higher one.
+fn u16_swapped(u: &Matrix) -> [C64; 16] {
+    let sw = |i: usize| ((i & 1) << 1) | (i >> 1);
+    let mut out = [C64::ZERO; 16];
+    for (r, row) in out.chunks_exact_mut(4).enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            *slot = u[(sw(r), sw(c))];
+        }
+    }
+    out
+}
+
+fn u16_of(u: &Matrix) -> [C64; 16] {
+    let mut out = [C64::ZERO; 16];
+    out.copy_from_slice(u.data());
+    out
+}
+
+/// Classifies a 1q/2q gate against the shard boundary `sb`; `None` for any
+/// other arity.
+fn compile_op(u: &Matrix, qubits: &[usize], sb: usize) -> Option<ShardOp> {
+    match *qubits {
+        [q] => Some(if q < sb {
+            ShardOp::Local1q { q, u: u4_of(u) }
+        } else {
+            ShardOp::Cross1q {
+                b: q - sb,
+                u: u4_of(u),
+            }
+        }),
+        [qa, qb] => {
+            // Positional form: gate bit 1 = higher memory bit.
+            let (qh, ql, u16) = if qa > qb {
+                (qa, qb, u16_of(u))
+            } else {
+                (qb, qa, u16_swapped(u))
+            };
+            Some(if qh < sb {
+                ShardOp::Local2q { qh, ql, u: u16 }
+            } else if ql < sb {
+                ShardOp::Mixed2q {
+                    b: qh - sb,
+                    ql,
+                    u: u16,
+                }
+            } else {
+                ShardOp::Cross2q {
+                    bh: qh - sb,
+                    bl: ql - sb,
+                    u: u16,
+                }
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Shared amplitude base pointer for handing disjoint shard slices to
+/// parallel tasks.
+struct SharedAmps {
+    ptr: *mut C64,
+}
+
+// SAFETY: tasks created by `run_segment` access disjoint shard index sets.
+unsafe impl Send for SharedAmps {}
+// SAFETY: as above — disjointness is enforced by the group enumeration.
+unsafe impl Sync for SharedAmps {}
+
+impl SharedAmps {
+    /// # Safety
+    /// Callers must hold a unique borrow of the underlying array and never
+    /// request the same shard index from two live slices.
+    #[allow(clippy::mut_from_ref)] // disjointness contract documented above
+    unsafe fn shard(&self, idx: usize, shard_len: usize) -> &mut [C64] {
+        std::slice::from_raw_parts_mut(self.ptr.add(idx * shard_len), shard_len)
+    }
+}
+
+/// Applies a fused segment: every op in `ops`, in order, over each shard
+/// group induced by `mask`. Groups are disjoint, so they run in parallel
+/// when the array is large; the serial path walks the identical groups.
+fn run_segment(amps: &mut [C64], sb: usize, mask: Mask, ops: &[ShardOp]) {
+    let shard_len = 1usize << sb;
+    let ns = amps.len() >> sb;
+    let p = mask.len;
+    let groups = ns >> p;
+    let len = amps.len();
+    let shared = SharedAmps {
+        ptr: amps.as_mut_ptr(),
+    };
+    let run = |g: usize| {
+        // Base shard of the group: insert zeros at the mask bits
+        // (ascending), then enumerate the group's shards in gate-subset
+        // order.
+        let mut base = g;
+        for &b in mask.slice() {
+            base = insert_zero(base, b);
+        }
+        let mut idx = [0usize; 4];
+        for (sub, slot) in idx[..1 << p].iter_mut().enumerate() {
+            let mut s = base;
+            for (j, &b) in mask.slice().iter().enumerate() {
+                if (sub >> j) & 1 == 1 {
+                    s |= 1 << b;
+                }
+            }
+            *slot = s;
+        }
+        for op in ops {
+            // SAFETY: groups partition the shard set and `idx` holds
+            // distinct indices, so all slices handed out are disjoint.
+            unsafe { apply_to_group(&shared, shard_len, &idx, p, mask, op) }
         }
     };
-    if amps.len() >= PAR_THRESHOLD && amps.len() / chunk > 1 {
-        amps.par_chunks_mut(chunk).for_each(body);
+    if len >= PAR_THRESHOLD && groups > 1 {
+        (0..groups).into_par_iter().for_each(run);
     } else {
-        amps.chunks_mut(chunk).for_each(body);
+        (0..groups).for_each(run);
     }
+}
+
+/// Applies one op to the shard group `idx[..1 << p]`.
+///
+/// # Safety
+/// The group's shard indices must be disjoint from those of any other live
+/// task, and `idx[sub]` must follow the gate-subset order built by
+/// `run_segment`.
+unsafe fn apply_to_group(
+    shared: &SharedAmps,
+    shard_len: usize,
+    idx: &[usize; 4],
+    p: usize,
+    mask: Mask,
+    op: &ShardOp,
+) {
+    match op {
+        ShardOp::Local1q { q, u } => {
+            for &s in &idx[..1 << p] {
+                dispatch::apply_1q_slice(shared.shard(s, shard_len), *q, u);
+            }
+        }
+        ShardOp::Local2q { qh, ql, u } => {
+            for &s in &idx[..1 << p] {
+                dispatch::apply_2q_slice(shared.shard(s, shard_len), *qh, *ql, u);
+            }
+        }
+        ShardOp::Cross1q { b, u } => {
+            let j = 1usize << mask.pos(*b);
+            for sub in 0..(1usize << p) {
+                if sub & j == 0 {
+                    dispatch::apply_1q_pair(
+                        shared.shard(idx[sub], shard_len),
+                        shared.shard(idx[sub | j], shard_len),
+                        u,
+                    );
+                }
+            }
+        }
+        ShardOp::Mixed2q { b, ql, u } => {
+            let j = 1usize << mask.pos(*b);
+            for sub in 0..(1usize << p) {
+                if sub & j == 0 {
+                    dispatch::apply_2q_pair(
+                        shared.shard(idx[sub], shard_len),
+                        shared.shard(idx[sub | j], shard_len),
+                        *ql,
+                        u,
+                    );
+                }
+            }
+        }
+        ShardOp::Cross2q { bh, bl, u } => {
+            let jh = 1usize << mask.pos(*bh);
+            let jl = 1usize << mask.pos(*bl);
+            for sub in 0..(1usize << p) {
+                if sub & (jh | jl) == 0 {
+                    dispatch::apply_2q_quad(
+                        shared.shard(idx[sub], shard_len),
+                        shared.shard(idx[sub | jl], shard_len),
+                        shared.shard(idx[sub | jh], shard_len),
+                        shared.shard(idx[sub | jh | jl], shard_len),
+                        u,
+                    );
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable gather buffer for the k-qubit gather/scatter path — one
+    /// allocation per thread instead of one per chunk (same pattern as
+    /// `Tensor::contract`'s GEMM scratch).
+    static KQ_SCRATCH: RefCell<Vec<C64>> = const { RefCell::new(Vec::new()) };
 }
 
 fn apply_kq(amps: &mut [C64], u: &Matrix, qubits: &[usize]) {
@@ -120,26 +471,31 @@ fn apply_kq(amps: &mut [C64], u: &Matrix, qubits: &[usize]) {
 
     let per_chunk = chunk >> k;
     let body = |slice: &mut [C64]| {
-        let mut gathered = vec![C64::ZERO; dim];
-        for i in 0..per_chunk {
-            // expand i by inserting zero bits at each sorted qubit position
-            let mut base = i;
-            for &q in &sorted {
-                let high = (base >> q) << (q + 1);
-                let low = base & ((1 << q) - 1);
-                base = high | low;
+        KQ_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            if buf.len() < dim {
+                buf.resize(dim, C64::ZERO);
             }
-            for (g, &off) in offsets.iter().enumerate() {
-                gathered[g] = slice[base | off];
-            }
-            for (row, &off) in offsets.iter().enumerate() {
-                let mut acc = C64::ZERO;
-                for (col, &g) in gathered.iter().enumerate() {
-                    acc = u[(row, col)].mul_add(g, acc);
+            let gathered = &mut buf[..dim];
+            for i in 0..per_chunk {
+                // expand i by inserting zero bits at each sorted qubit
+                // position
+                let mut base = i;
+                for &q in &sorted {
+                    base = insert_zero(base, q);
                 }
-                slice[base | off] = acc;
+                for (g, &off) in offsets.iter().enumerate() {
+                    gathered[g] = slice[base | off];
+                }
+                for (row, &off) in offsets.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (col, &g) in gathered.iter().enumerate() {
+                        acc = u[(row, col)].mul_add(g, acc);
+                    }
+                    slice[base | off] = acc;
+                }
             }
-        }
+        })
     };
     if amps.len() >= PAR_THRESHOLD && amps.len() / chunk > 1 {
         amps.par_chunks_mut(chunk).for_each(body);
@@ -148,21 +504,83 @@ fn apply_kq(amps: &mut [C64], u: &Matrix, qubits: &[usize]) {
     }
 }
 
-/// Squared norm of an amplitude array.
-pub fn norm_sqr(amps: &[C64]) -> f64 {
+/// One partial per [`SHARD_LEN`] chunk (the last may be short), in shard
+/// order, computed in parallel above [`PAR_THRESHOLD`]. Each partial is a
+/// pure function of its chunk, so the vector is thread-count-invariant.
+pub(crate) fn shard_partials<T, F>(amps: &[C64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[C64]) -> T + Sync,
+{
     if amps.len() >= PAR_THRESHOLD {
-        amps.par_iter().map(|z| z.norm_sqr()).sum()
+        let chunks: Vec<(usize, &[C64])> = amps.chunks(SHARD_LEN).enumerate().collect();
+        chunks.into_par_iter().map(|(i, c)| f(i, c)).collect()
     } else {
-        amps.iter().map(|z| z.norm_sqr()).sum()
+        amps.chunks(SHARD_LEN)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect()
     }
+}
+
+/// Ascending pairwise tree fold: `parts[i] <- parts[2i] + parts[2i+1]`
+/// per level. Fixed order, so reductions are bit-identical regardless of
+/// how the partials were scheduled.
+pub(crate) fn tree_fold_f64(mut parts: Vec<f64>) -> f64 {
+    if parts.is_empty() {
+        return 0.0;
+    }
+    let mut n = parts.len();
+    while n > 1 {
+        let half = n / 2;
+        for i in 0..half {
+            parts[i] = parts[2 * i] + parts[2 * i + 1];
+        }
+        if n % 2 == 1 {
+            parts[half] = parts[n - 1];
+            n = half + 1;
+        } else {
+            n = half;
+        }
+    }
+    parts[0]
+}
+
+/// Complex variant of [`tree_fold_f64`] — same fixed fold order.
+pub(crate) fn tree_fold_c64(mut parts: Vec<C64>) -> C64 {
+    if parts.is_empty() {
+        return C64::ZERO;
+    }
+    let mut n = parts.len();
+    while n > 1 {
+        let half = n / 2;
+        for i in 0..half {
+            parts[i] = parts[2 * i] + parts[2 * i + 1];
+        }
+        if n % 2 == 1 {
+            parts[half] = parts[n - 1];
+            n = half + 1;
+        } else {
+            n = half;
+        }
+    }
+    parts[0]
+}
+
+/// Squared norm of an amplitude array: per-shard 8-lane partials
+/// ([`bgls_linalg::dispatch::sum_norm_sqr`]) combined by ascending tree
+/// fold — bit-identical for every thread count and ISA path.
+pub fn norm_sqr(amps: &[C64]) -> f64 {
+    tree_fold_f64(shard_partials(amps, |_, c| dispatch::sum_norm_sqr(c)))
 }
 
 /// Scales every amplitude by a real factor.
 pub fn scale(amps: &mut [C64], factor: f64) {
     if amps.len() >= PAR_THRESHOLD {
-        amps.par_iter_mut().for_each(|z| *z *= factor);
+        amps.par_chunks_mut(SHARD_LEN)
+            .for_each(|c| dispatch::scale(c, factor));
     } else {
-        amps.iter_mut().for_each(|z| *z *= factor);
+        dispatch::scale(amps, factor);
     }
 }
 
@@ -197,6 +615,49 @@ mod tests {
                 "{} on {:?}: {a:?} vs {b:?}",
                 gate.name(),
                 qubits
+            );
+        }
+    }
+
+    /// The pre-shard flat reference loops (bit-for-bit the old kernel
+    /// semantics): 1q/2q row updates with left-associated accumulation.
+    #[allow(clippy::assign_op_pattern)] // verbatim copy of the legacy loop
+    fn reference_apply(amps: &mut [C64], u: &Matrix, qubits: &[usize]) {
+        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        let k = qubits.len();
+        let dim = 1usize << k;
+        let offsets: Vec<usize> = (0..dim)
+            .map(|g| {
+                let mut off = 0;
+                for (j, &m) in masks.iter().enumerate() {
+                    if (g >> (k - 1 - j)) & 1 == 1 {
+                        off |= m;
+                    }
+                }
+                off
+            })
+            .collect();
+        let all: usize = masks.iter().sum();
+        for base in 0..amps.len() {
+            if base & all != 0 {
+                continue;
+            }
+            let vals: Vec<C64> = offsets.iter().map(|&o| amps[base | o]).collect();
+            for (row, &off) in offsets.iter().enumerate() {
+                let mut acc = u[(row, 0)] * vals[0];
+                for (col, v) in vals.iter().enumerate().skip(1) {
+                    acc = acc + u[(row, col)] * *v;
+                }
+                amps[base | off] = acc;
+            }
+        }
+    }
+
+    fn bit_eq(a: &[C64], b: &[C64]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "bit mismatch at {i}: {x:?} vs {y:?}"
             );
         }
     }
@@ -241,9 +702,82 @@ mod tests {
     }
 
     #[test]
+    fn sharded_path_matches_flat_reference() {
+        // 16 qubits = 4 shards: exercises local, cross-pair, mixed, and
+        // cross-quad shard cases against the flat pre-shard loops.
+        //
+        // Gates listed higher-qubit-first accumulate their 4-term rows in
+        // the same column order as the legacy loops, so they must agree to
+        // 0 ulp. Gates listed lower-qubit-first are permuted to positional
+        // order (gate bit 1 = higher memory bit), which reorders the
+        // addition chain — those agree to 1e-12 instead.
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(12);
+        let amps = random_amps(&mut rng, n);
+        let exact: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::H, vec![0]),
+            (Gate::H, vec![13]),
+            (Gate::H, vec![14]),
+            (Gate::H, vec![15]),
+            (Gate::Cnot, vec![9, 3]),
+            (Gate::ISwap, vec![14, 2]),
+            (Gate::Rzz(0.3.into()), vec![15, 14]),
+            (Gate::Cnot, vec![15, 0]),
+        ];
+        for (gate, qs) in exact {
+            let u = gate.unitary().unwrap();
+            let mut fast = amps.clone();
+            apply_matrix(&mut fast, &u, &qs);
+            let mut slow = amps.clone();
+            reference_apply(&mut slow, &u, &qs);
+            bit_eq(&fast, &slow);
+        }
+        let reordered: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::Cnot, vec![3, 9]),
+            (Gate::ISwap, vec![2, 14]),
+            (Gate::Rzz(0.3.into()), vec![14, 15]),
+        ];
+        for (gate, qs) in reordered {
+            let u = gate.unitary().unwrap();
+            let mut fast = amps.clone();
+            apply_matrix(&mut fast, &u, &qs);
+            let mut slow = amps.clone();
+            reference_apply(&mut slow, &u, &qs);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(a.approx_eq(*b, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_passes_match_gate_by_gate_bitwise() {
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(13);
+        let amps = random_amps(&mut rng, n);
+        let mut ops: Vec<(Matrix, Vec<usize>)> = Vec::new();
+        for q in 0..n {
+            ops.push((Gate::H.unitary().unwrap(), vec![q]));
+        }
+        for q in 0..n - 1 {
+            ops.push((Gate::Rzz(0.3.into()).unitary().unwrap(), vec![q, q + 1]));
+        }
+        ops.push((Gate::Ccx.unitary().unwrap(), vec![15, 2, 7]));
+        ops.push((Gate::ISwap.unitary().unwrap(), vec![1, 14]));
+
+        let mut unfused = amps.clone();
+        for (u, qs) in &ops {
+            apply_matrix(&mut unfused, u, qs);
+        }
+        let mut fused = amps.clone();
+        let refs: Vec<(&Matrix, &[usize])> = ops.iter().map(|(u, q)| (u, q.as_slice())).collect();
+        apply_unitaries(&mut fused, &refs);
+        bit_eq(&fused, &unfused);
+    }
+
+    #[test]
     fn large_array_parallel_path_matches() {
         // exceed PAR_THRESHOLD to exercise the rayon branches
-        let n = 15;
+        let n = 16;
         let mut rng = StdRng::seed_from_u64(9);
         let amps = random_amps(&mut rng, n);
         let u = Gate::Cnot.unitary().unwrap();
@@ -252,35 +786,34 @@ mod tests {
         apply_matrix(&mut fast, &u, &[14, 3]);
 
         let mut seq = amps;
-        // force sequential by applying manually with the same semantics
-        let qs = [14usize, 3usize];
-        let offsets: Vec<usize> = (0..4)
-            .map(|g: usize| {
-                let mut off = 0;
-                for (j, &q) in qs.iter().enumerate() {
-                    if (g >> (1 - j)) & 1 == 1 {
-                        off |= 1 << q;
-                    }
-                }
-                off
-            })
-            .collect();
-        for base in 0..seq.len() {
-            if base & (1 << 14) != 0 || base & (1 << 3) != 0 {
-                continue;
-            }
-            let vals: Vec<C64> = offsets.iter().map(|&o| seq[base | o]).collect();
-            for (row, &off) in offsets.iter().enumerate() {
-                let mut acc = C64::ZERO;
-                for (col, v) in vals.iter().enumerate() {
-                    acc += u[(row, col)] * *v;
-                }
-                seq[base | off] = acc;
-            }
-        }
+        reference_apply(&mut seq, &u, &[14, 3]);
         for (a, b) in fast.iter().zip(&seq) {
             assert!(a.approx_eq(*b, 1e-10));
         }
+    }
+
+    #[test]
+    fn norm_tree_fold_matches_plain_sum() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [3usize, 10, 15, 16] {
+            let amps = random_amps(&mut rng, n);
+            let plain: f64 = amps.iter().map(|z| z.norm_sqr()).sum();
+            let tree = norm_sqr(&amps);
+            assert!(
+                (plain - tree).abs() <= 1e-10 * plain.max(1.0),
+                "n={n}: {plain} vs {tree}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_fold_is_ascending_pairwise() {
+        let parts = vec![1.0, 2.0, 4.0, 8.0, 16.0];
+        // ((1+2) + (4+8)) fold with odd carry: level 1 -> [3, 12, 16],
+        // level 2 -> [15, 16], level 3 -> 31.
+        assert_eq!(tree_fold_f64(parts), 31.0);
+        assert_eq!(tree_fold_f64(vec![]), 0.0);
+        assert_eq!(tree_fold_c64(vec![C64::ONE; 5]), C64::real(5.0));
     }
 
     #[test]

@@ -28,10 +28,14 @@
 
 mod density;
 mod kernel;
+mod shard;
 mod statevector;
 
 pub use density::DensityMatrix;
-pub use kernel::{apply_matrix, norm_sqr, scale};
+pub use kernel::{
+    apply_matrix, apply_unitaries, norm_sqr, scale, PAR_THRESHOLD, SHARD_BITS, SHARD_LEN,
+};
+pub use shard::{ShardedBuffer, AMP_ALIGN};
 pub use statevector::StateVector;
 
 use bgls_core::{BglsState, BitString};

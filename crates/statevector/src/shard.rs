@@ -1,0 +1,195 @@
+//! Cache-line-aligned amplitude storage for the dense backends.
+//!
+//! One contiguous allocation aligned to [`AMP_ALIGN`] (a full x86 cache
+//! line, which is also the AVX-512 vector width), viewed logically as
+//! fixed-length shards by the kernel layer in `crate::kernel`. Keeping the
+//! storage contiguous preserves the flat `&[C64]` surface (`amplitudes()`,
+//! direct Born lookups, `inner_product`) while the alignment guarantees that
+//! every shard starts on a cache-line/vector boundary, so the
+//! runtime-dispatched SIMD kernels never straddle lines at shard edges.
+
+use bgls_linalg::C64;
+use std::alloc::{alloc, alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment of dense amplitude allocations, in bytes.
+pub const AMP_ALIGN: usize = 64;
+
+/// A fixed-length, 64-byte-aligned buffer of complex amplitudes.
+///
+/// Dereferences to `[C64]`, so all slice-based kernels and accessors work
+/// unchanged; `clone_from` reuses the existing allocation when the lengths
+/// match (the per-trajectory scratch-state path relies on that).
+pub struct ShardedBuffer {
+    ptr: NonNull<C64>,
+    len: usize,
+}
+
+// SAFETY: the buffer uniquely owns its allocation of plain `C64` data.
+unsafe impl Send for ShardedBuffer {}
+// SAFETY: shared access is only through `&self` slices of `C64: Sync`.
+unsafe impl Sync for ShardedBuffer {}
+
+impl ShardedBuffer {
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<C64>(), AMP_ALIGN)
+            .expect("amplitude buffer layout overflow")
+    }
+
+    /// Allocates without initializing. The caller must write every element
+    /// before the buffer is read.
+    fn alloc_uninit(len: usize) -> Self {
+        if len == 0 {
+            return ShardedBuffer {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has nonzero size.
+        let raw = unsafe { alloc(layout) } as *mut C64;
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        ShardedBuffer { ptr, len }
+    }
+
+    /// An all-zero buffer of `len` amplitudes.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self::alloc_uninit(0);
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has nonzero size; all-zero bits are a valid C64.
+        let raw = unsafe { alloc_zeroed(layout) } as *mut C64;
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        ShardedBuffer { ptr, len }
+    }
+
+    /// Copies a slice into a fresh aligned buffer.
+    pub fn from_slice(src: &[C64]) -> Self {
+        let mut buf = Self::alloc_uninit(src.len());
+        buf.as_mut_slice().copy_from_slice(src);
+        buf
+    }
+
+    /// The amplitudes as a flat slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        // SAFETY: ptr covers exactly `len` initialized elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The amplitudes as a flat mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        // SAFETY: ptr covers exactly `len` elements owned uniquely by self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl From<Vec<C64>> for ShardedBuffer {
+    fn from(v: Vec<C64>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl Drop for ShardedBuffer {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated with the identical layout; C64 needs no drop.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) }
+        }
+    }
+}
+
+impl Clone for ShardedBuffer {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+
+    /// Reuses the existing allocation when the lengths match; reallocates
+    /// otherwise.
+    fn clone_from(&mut self, source: &Self) {
+        if self.len == source.len {
+            self.as_mut_slice().copy_from_slice(source.as_slice());
+        } else {
+            *self = source.clone();
+        }
+    }
+}
+
+impl Deref for ShardedBuffer {
+    type Target = [C64];
+    #[inline]
+    fn deref(&self) -> &[C64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for ShardedBuffer {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [C64] {
+        self.as_mut_slice()
+    }
+}
+
+impl fmt::Debug for ShardedBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedBuffer")
+            .field("len", &self.len)
+            .field("align", &AMP_ALIGN)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_cache_line_aligned() {
+        for len in [1usize, 2, 16, 1 << 10, (1 << 14) + 3] {
+            let buf = ShardedBuffer::zeroed(len);
+            assert_eq!(buf.as_ptr() as usize % AMP_ALIGN, 0);
+            assert_eq!(buf.len(), len);
+            assert!(buf.iter().all(|&z| z == C64::ZERO));
+        }
+    }
+
+    #[test]
+    fn round_trips_and_clones() {
+        let src: Vec<C64> = (0..37).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let buf = ShardedBuffer::from_slice(&src);
+        assert_eq!(buf.as_slice(), &src[..]);
+        let copy = buf.clone();
+        assert_eq!(copy.as_slice(), buf.as_slice());
+        assert_ne!(copy.as_ptr(), buf.as_ptr());
+    }
+
+    #[test]
+    fn clone_from_reuses_matching_allocation() {
+        let src = ShardedBuffer::from_slice(&[C64::ONE; 64]);
+        let mut dst = ShardedBuffer::zeroed(64);
+        let p = dst.as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(dst.as_ptr(), p);
+        assert!(dst.iter().all(|&z| z == C64::ONE));
+        // length mismatch falls back to reallocation
+        let mut small = ShardedBuffer::zeroed(8);
+        small.clone_from(&src);
+        assert_eq!(small.len(), 64);
+    }
+
+    #[test]
+    fn zero_length_buffer_is_safe() {
+        let buf = ShardedBuffer::zeroed(0);
+        assert!(buf.is_empty());
+        let copy = buf.clone();
+        assert!(copy.is_empty());
+    }
+}

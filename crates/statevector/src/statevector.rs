@@ -2,16 +2,19 @@
 //! `cirq.StateVectorSimulationState` substitute.
 
 use crate::kernel;
+use crate::shard::ShardedBuffer;
 use bgls_circuit::{Channel, Circuit, Gate, OpKind, PauliString};
 use bgls_core::{AmplitudeState, BglsState, BitString, MarginalState, SimError};
-use bgls_linalg::C64;
+use bgls_linalg::{Matrix, C64};
 use rand::{Rng, RngCore};
 
 /// A pure state as a dense vector of `2^n` amplitudes. State-index bit `i`
-/// is qubit `i`.
+/// is qubit `i`. Storage is a cache-line-aligned [`ShardedBuffer`] so the
+/// sharded kernels in `crate::kernel` never straddle a vector lane at a
+/// shard boundary.
 #[derive(Debug)]
 pub struct StateVector {
-    amps: Vec<C64>,
+    amps: ShardedBuffer,
     n: usize,
 }
 
@@ -42,7 +45,7 @@ impl StateVector {
     pub fn computational_basis(n: usize, basis: u64) -> Self {
         assert!(n <= 30, "dense state vector limited to 30 qubits");
         assert!(n == 64 || basis >> n == 0, "basis index wider than n");
-        let mut amps = vec![C64::ZERO; 1usize << n];
+        let mut amps = ShardedBuffer::zeroed(1usize << n);
         amps[basis as usize] = C64::ONE;
         StateVector { amps, n }
     }
@@ -60,19 +63,25 @@ impl StateVector {
         if norm <= 0.0 || !norm.is_finite() {
             return Err(SimError::Invalid("state has zero or invalid norm".into()));
         }
-        let mut amps = amps;
+        let mut amps = ShardedBuffer::from(amps);
         kernel::scale(&mut amps, 1.0 / norm.sqrt());
         Ok(StateVector { amps, n })
     }
 
     /// Evolves |0...0> through a unitary circuit (gates only).
+    ///
+    /// The whole gate list is handed to [`apply_unitaries`](crate::apply_unitaries) in one
+    /// call, so runs of gates whose shard footprints overlap fuse into a
+    /// single pass over the amplitudes instead of one sweep per gate.
     pub fn from_circuit(circuit: &Circuit, n: usize) -> Result<Self, SimError> {
         let mut sv = StateVector::zero(n);
+        let mut owned: Vec<(Matrix, Vec<usize>)> = Vec::new();
         for op in circuit.all_operations() {
             match &op.kind {
                 OpKind::Gate(g) => {
                     let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
-                    sv.apply_gate(g, &qs)?;
+                    sv.check_qubits(&qs)?;
+                    owned.push((g.unitary()?, qs));
                 }
                 OpKind::Measure { .. } => {}
                 OpKind::Channel(c) => {
@@ -83,6 +92,9 @@ impl StateVector {
                 }
             }
         }
+        let ops: Vec<(&Matrix, &[usize])> =
+            owned.iter().map(|(m, qs)| (m, qs.as_slice())).collect();
+        kernel::apply_unitaries(&mut sv.amps, &ops);
         Ok(sv)
     }
 
@@ -101,7 +113,7 @@ impl StateVector {
         assert_eq!(self.n, other.n);
         self.amps
             .iter()
-            .zip(&other.amps)
+            .zip(other.amps.iter())
             .map(|(a, b)| a.conj() * *b)
             .sum()
     }
@@ -230,24 +242,31 @@ impl BglsState for StateVector {
     /// Exact `<psi|P|psi>` by one inner-product pass over the
     /// amplitudes: with `P = i^{ny} X^x Z^z`, `P|b> = i^{ny}
     /// (-1)^{|b & z|} |b ^ x>`, so each amplitude pairs with its
-    /// X-flipped partner under a Z-parity sign. `O(2^n)` time, no
-    /// allocation.
+    /// X-flipped partner under a Z-parity sign. Accumulated as one
+    /// partial per shard combined by ascending tree fold, so the result
+    /// is bit-identical for every thread count.
     fn expectation(&self, observable: &PauliString) -> Result<f64, SimError> {
         if let Some(q) = observable.max_qubit() {
             self.check_qubits(&[q])?;
         }
         let (x, z, ny) = observable.dense_masks();
         let x = x as usize;
-        let mut acc = C64::ZERO;
-        for (b, &amp) in self.amps.iter().enumerate() {
-            let term = self.amps[b ^ x].conj() * amp;
-            if (b as u64 & z).count_ones() % 2 == 1 {
-                acc -= term;
-            } else {
-                acc += term;
+        let amps = self.amps.as_slice();
+        let parts = kernel::shard_partials(amps, |ci, chunk| {
+            let base = ci * kernel::SHARD_LEN;
+            let mut acc = C64::ZERO;
+            for (i, &amp) in chunk.iter().enumerate() {
+                let b = base + i;
+                let term = amps[b ^ x].conj() * amp;
+                if (b as u64 & z).count_ones() % 2 == 1 {
+                    acc -= term;
+                } else {
+                    acc += term;
+                }
             }
-        }
-        Ok((acc * C64::i_pow(ny as i64)).re)
+            acc
+        });
+        Ok((kernel::tree_fold_c64(parts) * C64::i_pow(ny as i64)).re)
     }
 
     fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
@@ -269,6 +288,10 @@ impl AmplitudeState for StateVector {
 }
 
 impl MarginalState for StateVector {
+    /// Marginal mass as one partial per shard combined by ascending tree
+    /// fold (thread-count-invariant). Mask bits at or above the shard
+    /// boundary are constant across a shard, so non-matching shards are
+    /// skipped without touching their amplitudes.
     fn marginal_probability(&self, assignment: &[(usize, bool)]) -> f64 {
         let mut mask = 0usize;
         let mut want = 0usize;
@@ -278,12 +301,22 @@ impl MarginalState for StateVector {
                 want |= 1 << q;
             }
         }
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask == want)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        let high = mask & !(kernel::SHARD_LEN - 1);
+        let low_mask = mask & (kernel::SHARD_LEN - 1);
+        let low_want = want & (kernel::SHARD_LEN - 1);
+        let parts = kernel::shard_partials(&self.amps, |ci, chunk| {
+            let base = ci * kernel::SHARD_LEN;
+            if base & high != want & high {
+                return 0.0;
+            }
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & low_mask == low_want)
+                .map(|(_, a)| a.norm_sqr())
+                .sum()
+        });
+        kernel::tree_fold_f64(parts)
     }
 }
 

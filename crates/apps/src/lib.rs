@@ -39,7 +39,7 @@ pub use observables::{
 };
 pub use qaoa::{
     qaoa_energy_landscape, qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa,
-    solve_maxcut_qaoa_mps, QaoaSolution, QaoaSweepResult,
+    solve_maxcut_qaoa_auto, solve_maxcut_qaoa_mps, QaoaSolution, QaoaSweepResult,
 };
 
 // Re-exported so app callers can name backends without a direct

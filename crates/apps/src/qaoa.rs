@@ -235,6 +235,42 @@ pub fn solve_maxcut_qaoa_mps(
     )
 }
 
+/// Planner-driven variant of [`solve_maxcut_qaoa`]: instead of the
+/// caller naming a backend, a representative bound circuit (the grid's
+/// interior point — the planner only reads structure, which is
+/// identical at every grid point) is profiled by [`bgls_plan::plan`]
+/// and the sweep runs on whatever backend it routes to. Returns the
+/// solution together with the plan so callers can inspect the routing
+/// rationale.
+pub fn solve_maxcut_qaoa_auto(
+    graph: &Graph,
+    grid: usize,
+    samples_per_point: u64,
+    final_samples: u64,
+    seed: u64,
+) -> Result<(QaoaSolution, bgls_plan::ExecutionPlan), SimError> {
+    let n = graph.num_vertices();
+    let circuit = qaoa_maxcut_circuit(graph, 1);
+    let mut probe = resolve_qaoa(&circuit, &[0.5], &[0.5]);
+    probe.push(Operation::measure(Qubit::range(n), "m").expect("n >= 1"));
+    let plan = bgls_plan::plan(
+        &probe,
+        &bgls_plan::Deliverable::Histogram {
+            repetitions: samples_per_point,
+        },
+        &bgls_plan::PlannerConfig::default(),
+    )?;
+    let solution = solve_maxcut_qaoa(
+        graph,
+        plan.backend,
+        grid,
+        samples_per_point,
+        final_samples,
+        seed,
+    )?;
+    Ok((solution, plan))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +382,22 @@ mod tests {
                 assert!((a.2 - b.2).abs() < 1e-10, "{kind} at ({}, {})", a.0, a.1);
             }
         }
+    }
+
+    #[test]
+    fn auto_pipeline_routes_and_solves() {
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3)]);
+        let (_, optimal) = brute_force_maxcut(&g);
+        let (sol, plan) = solve_maxcut_qaoa_auto(&g, 5, 60, 300, 7).unwrap();
+        // Narrow unitary non-Clifford circuit: dense statevector wins
+        // the planner's cost model.
+        assert_eq!(plan.backend, BackendKind::StateVector);
+        assert_eq!(cut_value(&g, sol.partition), sol.cut);
+        assert!(
+            sol.cut + 1 >= optimal,
+            "QAOA cut {} vs optimal {optimal}",
+            sol.cut
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@
 use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_core::{BglsState, BitString, SimError, Simulator, SimulatorOptions};
 use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
-use bgls_stabilizer::ChForm;
+use bgls_stabilizer::{ChForm, CliffordTableau};
 use bgls_statevector::{DensityMatrix, StateVector};
 use rand::RngCore;
 
@@ -69,13 +69,24 @@ pub enum BackendKind {
     /// Lazy tensor network (`bgls-mps`): one tensor per qubit plus
     /// operator-Schmidt bonds, contracted per probability query.
     LazyNetwork,
+    /// Aaronson–Gottesman stabilizer tableau (`bgls-stabilizer`):
+    /// Clifford circuits at any width with projective collapse, so
+    /// mid-circuit-measurement Clifford circuits run (which the CH form
+    /// rejects). Amplitude queries cost `O(n^3)` bit-ops vs the CH
+    /// form's `O(n^2)`, so terminally-measured Clifford work should
+    /// still route to [`BackendKind::ChForm`].
+    Tableau,
 }
 
 impl BackendKind {
-    /// Every backend kind in its default configuration — what agreement
-    /// tests and capability probes iterate over. The chain-MPS entry is
-    /// the *exact* (uncapped) variant; tests that want the truncation
-    /// code path covered push a `ChainMps { chi: Some(..) }` explicitly.
+    /// Every *amplitude* backend kind in its default configuration —
+    /// what agreement tests and capability probes iterate over. The
+    /// chain-MPS entry is the *exact* (uncapped) variant; tests that
+    /// want the truncation code path covered push a
+    /// `ChainMps { chi: Some(..) }` explicitly. [`BackendKind::Tableau`]
+    /// is deliberately excluded: it accepts only Clifford circuits, so
+    /// generic agreement suites would reject it — Clifford-specific
+    /// tests opt in explicitly.
     pub fn all() -> Vec<BackendKind> {
         vec![
             BackendKind::StateVector,
@@ -95,6 +106,7 @@ impl BackendKind {
             BackendKind::ChainMps { chi: None } => "mps".into(),
             BackendKind::ChainMps { chi: Some(chi) } => format!("mps:{chi}"),
             BackendKind::LazyNetwork => "lazy".into(),
+            BackendKind::Tableau => "tableau".into(),
         }
     }
 
@@ -121,7 +133,8 @@ impl std::fmt::Display for ParseBackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown backend '{}' (expected statevector | density | chform | mps[:chi] | lazy)",
+            "unknown backend '{}' (expected statevector (sv) | density (dm) | chform \
+             (stabilizer) | mps[:chi] | lazy | tableau)",
             self.input
         )
     }
@@ -132,18 +145,25 @@ impl std::error::Error for ParseBackendError {}
 impl std::str::FromStr for BackendKind {
     type Err = ParseBackendError;
 
+    /// Parsing is whitespace-trimmed and case-insensitive — backend
+    /// names arrive from CLI flags, config files, and request payloads,
+    /// where `" MPS:16 "` clearly means `mps:16`. `"stabilizer"` stays
+    /// an alias for the CH form (the documented historical name); the
+    /// tableau is addressed as `"tableau"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseBackendError { input: s.into() };
-        Ok(match s {
+        let normalized = s.trim().to_ascii_lowercase();
+        Ok(match normalized.as_str() {
             "statevector" | "sv" => BackendKind::StateVector,
             "density" | "dm" => BackendKind::DensityMatrix,
             "chform" | "stabilizer" => BackendKind::ChForm,
             "mps" => BackendKind::ChainMps { chi: None },
             "lazy" => BackendKind::LazyNetwork,
+            "tableau" => BackendKind::Tableau,
             other => {
                 let chi = other
                     .strip_prefix("mps:")
-                    .and_then(|c| c.parse::<usize>().ok())
+                    .and_then(|c| c.trim().parse::<usize>().ok())
                     .filter(|&c| c >= 1)
                     .ok_or_else(err)?;
                 BackendKind::ChainMps { chi: Some(chi) }
@@ -171,6 +191,8 @@ pub enum AnyState {
     ChainMps(ChainMps),
     /// Lazy tensor network.
     LazyNetwork(LazyNetworkState),
+    /// Stabilizer tableau.
+    Tableau(CliffordTableau),
 }
 
 impl Clone for AnyState {
@@ -181,6 +203,7 @@ impl Clone for AnyState {
             AnyState::ChForm(s) => AnyState::ChForm(s.clone()),
             AnyState::ChainMps(s) => AnyState::ChainMps(s.clone()),
             AnyState::LazyNetwork(s) => AnyState::LazyNetwork(s.clone()),
+            AnyState::Tableau(s) => AnyState::Tableau(s.clone()),
         }
     }
 
@@ -194,6 +217,7 @@ impl Clone for AnyState {
             (AnyState::ChForm(s), AnyState::ChForm(src)) => s.clone_from(src),
             (AnyState::ChainMps(s), AnyState::ChainMps(src)) => s.clone_from(src),
             (AnyState::LazyNetwork(s), AnyState::LazyNetwork(src)) => s.clone_from(src),
+            (AnyState::Tableau(s), AnyState::Tableau(src)) => s.clone_from(src),
             (slot, src) => *slot = src.clone(),
         }
     }
@@ -208,6 +232,7 @@ macro_rules! dispatch {
             AnyState::ChForm($state) => $call,
             AnyState::ChainMps($state) => $call,
             AnyState::LazyNetwork($state) => $call,
+            AnyState::Tableau($state) => $call,
         }
     };
 }
@@ -227,6 +252,7 @@ impl AnyState {
                 AnyState::ChainMps(ChainMps::zero(n, options))
             }
             BackendKind::LazyNetwork => AnyState::LazyNetwork(LazyNetworkState::zero(n)),
+            BackendKind::Tableau => AnyState::Tableau(CliffordTableau::zero(n)),
         }
     }
 
@@ -240,6 +266,7 @@ impl AnyState {
                 chi: m.options().max_bond,
             },
             AnyState::LazyNetwork(_) => BackendKind::LazyNetwork,
+            AnyState::Tableau(_) => BackendKind::Tableau,
         }
     }
 }
@@ -339,12 +366,86 @@ mod tests {
     fn every_kind_round_trips_through_parse() {
         let mut kinds = BackendKind::all();
         kinds.push(BackendKind::ChainMps { chi: Some(16) });
+        kinds.push(BackendKind::Tableau);
         for kind in kinds {
             let back: BackendKind = kind.name().parse().unwrap();
             assert_eq!(back, kind, "{kind}");
         }
         assert!("nope".parse::<BackendKind>().is_err());
         assert!("mps:0".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn parsing_trims_whitespace_and_ignores_case() {
+        for (input, expected) in [
+            ("  statevector ", BackendKind::StateVector),
+            ("SV", BackendKind::StateVector),
+            ("Density", BackendKind::DensityMatrix),
+            ("CHFORM", BackendKind::ChForm),
+            // "stabilizer" remains the documented CH-form alias
+            ("Stabilizer", BackendKind::ChForm),
+            ("Tableau", BackendKind::Tableau),
+            (" MPS:16 ", BackendKind::ChainMps { chi: Some(16) }),
+            ("\tlazy\n", BackendKind::LazyNetwork),
+        ] {
+            assert_eq!(input.parse::<BackendKind>().unwrap(), expected, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_lists_the_valid_names() {
+        let err = "warp-drive".parse::<BackendKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("warp-drive"), "{msg}");
+        for name in ["statevector", "density", "chform", "mps", "lazy", "tableau"] {
+            assert!(msg.contains(name), "missing {name} in: {msg}");
+        }
+    }
+
+    #[test]
+    fn tableau_backend_samples_clifford_circuits_gate_by_gate() {
+        let n = 3;
+        let mut circuit = ghz(n);
+        circuit.push(Operation::measure(Qubit::range(n), "z").unwrap());
+        let sim = simulator_for(BackendKind::Tableau, n).with_seed(13);
+        let result = sim.run(&circuit, 300).unwrap();
+        let h = result.histogram("z").unwrap();
+        let all = (1u64 << n) - 1;
+        assert_eq!(h.count_value(0) + h.count_value(all), 300);
+        assert!(h.count_value(0) > 75 && h.count_value(all) > 75);
+    }
+
+    #[test]
+    fn tableau_backend_projects_mid_circuit_measurements() {
+        // the CH form rejects this circuit (no projection); the tableau
+        // route is exactly what makes it runnable
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "a").unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(1)], "b").unwrap());
+        let chform = simulator_for(BackendKind::ChForm, 2).with_seed(1);
+        assert!(chform.run(&c, 10).is_err());
+        let tableau = simulator_for(BackendKind::Tableau, 2).with_seed(1);
+        let result = tableau.run(&c, 200).unwrap();
+        let a = result.histogram("a").unwrap();
+        let b = result.histogram("b").unwrap();
+        assert_eq!(a.count_value(1), b.count_value(1), "perfectly correlated");
+    }
+
+    #[test]
+    fn tableau_backend_rejects_non_clifford_and_channels() {
+        use bgls_core::SimError;
+        let mut t = Circuit::new();
+        t.push(Operation::gate(Gate::T, vec![Qubit(0)]).unwrap());
+        t.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let sim = simulator_for(BackendKind::Tableau, 1).with_seed(1);
+        assert!(matches!(sim.run(&t, 5), Err(SimError::NotClifford(_))));
+        let state = AnyState::zero(BackendKind::Tableau, 1);
+        assert!(matches!(
+            state.kraus_branch_probabilities(&Channel::bit_flip(0.5).unwrap(), &[0]),
+            Err(SimError::Unsupported(_))
+        ));
     }
 
     #[test]

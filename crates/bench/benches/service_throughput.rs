@@ -1,0 +1,118 @@
+//! Bench: the batch simulation service with its deterministic result
+//! cache on vs off, serving a hot-circuit traffic mix.
+//!
+//! The stream models a parameter-study client: four circuit classes
+//! (each routed to a different backend by the planner), `ROUNDS` rounds
+//! of requests cycling over a small set of hot seeds — so the same
+//! `(circuit, seed, repetitions)` triple recurs many times. The cached
+//! service answers repeats from the memo table (bit-identical by the
+//! engine's determinism contract) and deduplicates repeats that share a
+//! drain batch; the uncached service (`cache_capacity: 0`) re-simulates
+//! every request.
+//!
+//! Acceptance bar for this PR: cached throughput >= 5x uncached on this
+//! mix (recorded in `BENCH_service_throughput.json`).
+
+use bgls_circuit::{Channel, Circuit, Gate, Operation, Qubit};
+use bgls_plan::{ServiceConfig, SimRequest, SimulationService};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Hot seeds per circuit class; every request draws one of these.
+const HOT_SEEDS: u64 = 2;
+/// Rounds over the circuit mix: 4 circuits x ROUNDS requests total.
+fn rounds() -> u64 {
+    if std::env::args().any(|a| a == "--test") {
+        4
+    } else {
+        20
+    }
+}
+/// Shots per request.
+fn reps() -> u64 {
+    if std::env::args().any(|a| a == "--test") {
+        50
+    } else {
+        2_000
+    }
+}
+
+fn measured(mut c: Circuit, n: u32) -> Circuit {
+    c.push(Operation::measure((0..n).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+    c
+}
+
+/// Pure Clifford GHZ ladder: routed to the CH form.
+fn ghz(n: u32) -> Circuit {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    for i in 1..n {
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+    }
+    measured(c, n)
+}
+
+/// T-dusted ladder: unitary non-Clifford, routed dense.
+fn t_ladder(n: u32) -> Circuit {
+    let mut c = Circuit::new();
+    for i in 0..n {
+        c.push(Operation::gate(Gate::T, vec![Qubit(i)]).unwrap());
+        c.push(Operation::gate(Gate::H, vec![Qubit(i)]).unwrap());
+    }
+    for i in 1..n {
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+    }
+    measured(c, n)
+}
+
+/// Narrow noisy circuit: routed to the density matrix.
+fn noisy(n: u32) -> Circuit {
+    let mut c = ghz(n).without_measurements();
+    for i in 0..n {
+        c.push(Operation::channel(Channel::bit_flip(0.02).unwrap(), vec![Qubit(i)]).unwrap());
+    }
+    measured(c, n)
+}
+
+/// Clifford with a mid-circuit measurement: routed to the tableau.
+fn mid_circuit(n: u32) -> Circuit {
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    c.push(Operation::measure(vec![Qubit(0)], "early").unwrap());
+    for i in 1..n {
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+    }
+    measured(c, n)
+}
+
+fn traffic() -> Vec<Circuit> {
+    vec![ghz(12), t_ladder(14), noisy(8), mid_circuit(10)]
+}
+
+/// Builds a service, submits the whole hot mix, and drains it.
+fn serve(cache_capacity: usize, circuits: &[Circuit]) -> u64 {
+    let mut svc = SimulationService::new(ServiceConfig {
+        cache_capacity,
+        ..ServiceConfig::default()
+    });
+    for round in 0..rounds() {
+        for c in circuits {
+            svc.submit(SimRequest::histogram(c.clone(), reps()).with_seed(round % HOT_SEEDS))
+                .expect("submit");
+        }
+    }
+    let completed = svc.run_all();
+    assert_eq!(completed as u64, rounds() * circuits.len() as u64);
+    completed as u64
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let circuits = traffic();
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(2);
+    group.bench_function("hot_mix/uncached", |b| b.iter(|| serve(0, &circuits)));
+    group.bench_function("hot_mix/cached", |b| b.iter(|| serve(1024, &circuits)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

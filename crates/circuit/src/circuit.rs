@@ -263,6 +263,90 @@ impl Circuit {
     pub fn count_ops_where(&self, pred: impl Fn(&Operation) -> bool) -> usize {
         self.all_operations().filter(|op| pred(op)).count()
     }
+
+    /// A structural 64-bit fingerprint of the circuit: moment structure,
+    /// operation kinds, gate names and parameter bit patterns (symbolic
+    /// parameters hash their symbol, scale, and offset), explicit-matrix
+    /// entries, measurement keys, channel Kraus matrices, and qubit lists
+    /// all contribute. Two circuits built the same way hash the same;
+    /// any structural difference — including a parameter differing only
+    /// in sign of zero — changes the hash with FxHash-level probability.
+    ///
+    /// This is the cache/batching key of the serving layer: seeded
+    /// simulation results are a pure function of (circuit, backend,
+    /// options, seed, repetitions), and this hash stands in for the
+    /// circuit in that key. It is *not* semantic equivalence — a circuit
+    /// and its gate-fused form hash differently.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = bgls_linalg::FxHasher::default();
+        let hash_param = |h: &mut bgls_linalg::FxHasher, p: &crate::Param| match p {
+            crate::Param::Const(v) => {
+                h.write_u8(0);
+                h.write_u64(v.to_bits());
+            }
+            crate::Param::Symbolic {
+                symbol,
+                scale,
+                offset,
+            } => {
+                h.write_u8(1);
+                h.write(symbol.as_bytes());
+                h.write_u64(scale.to_bits());
+                h.write_u64(offset.to_bits());
+            }
+        };
+        let hash_matrix = |h: &mut bgls_linalg::FxHasher, m: &Matrix| {
+            h.write_usize(m.rows());
+            h.write_usize(m.cols());
+            for c in m.data() {
+                h.write_u64(c.re.to_bits());
+                h.write_u64(c.im.to_bits());
+            }
+        };
+        h.write_usize(self.moments.len());
+        for moment in &self.moments {
+            h.write_usize(moment.operations().len());
+            for op in moment.operations() {
+                match &op.kind {
+                    OpKind::Gate(g) => {
+                        h.write_u8(2);
+                        h.write(g.name().as_bytes());
+                        match g {
+                            crate::Gate::Rx(p)
+                            | crate::Gate::Ry(p)
+                            | crate::Gate::Rz(p)
+                            | crate::Gate::ZPow(p)
+                            | crate::Gate::CPhase(p)
+                            | crate::Gate::Rzz(p) => hash_param(&mut h, p),
+                            crate::Gate::U1(m) | crate::Gate::U2(m) => hash_matrix(&mut h, m),
+                            crate::Gate::U(m, arity) => {
+                                h.write_usize(*arity);
+                                hash_matrix(&mut h, m);
+                            }
+                            _ => {}
+                        }
+                    }
+                    OpKind::Measure { key } => {
+                        h.write_u8(3);
+                        h.write(key.as_bytes());
+                    }
+                    OpKind::Channel(c) => {
+                        h.write_u8(4);
+                        h.write(c.name().as_bytes());
+                        for k in c.kraus() {
+                            hash_matrix(&mut h, k);
+                        }
+                    }
+                }
+                h.write_usize(op.qubits.len());
+                for q in &op.qubits {
+                    h.write_u32(q.0);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Embeds a `2^k x 2^k` gate matrix acting on `qubits` (first listed = most
@@ -475,5 +559,59 @@ mod tests {
         c.push(Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap());
         assert!(c.has_channels());
         assert!(!c.is_unitary_circuit());
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_discriminating() {
+        let build = |theta: f64, key: &str| {
+            let mut c = Circuit::new();
+            c.push(op(Gate::H, &[0]));
+            c.push(op(Gate::Cnot, &[0, 1]));
+            c.push(op(Gate::Rz(Param::from(theta)), &[1]));
+            c.push(Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![Qubit(0)]).unwrap());
+            c.push(Operation::measure(vec![Qubit(0), Qubit(1)], key).unwrap());
+            c
+        };
+        // same construction -> same hash
+        assert_eq!(
+            build(0.25, "z").structural_hash(),
+            build(0.25, "z").structural_hash()
+        );
+        // any structural difference -> different hash
+        let base = build(0.25, "z").structural_hash();
+        assert_ne!(base, build(0.26, "z").structural_hash(), "parameter");
+        assert_ne!(base, build(0.25, "m").structural_hash(), "measure key");
+        let mut reordered = Circuit::new();
+        reordered.push(op(Gate::Cnot, &[0, 1]));
+        reordered.push(op(Gate::H, &[0]));
+        assert_ne!(
+            reordered.structural_hash(),
+            {
+                let mut c = Circuit::new();
+                c.push(op(Gate::H, &[0]));
+                c.push(op(Gate::Cnot, &[0, 1]));
+                c
+            }
+            .structural_hash(),
+            "operation order"
+        );
+        // qubit relabeling changes the hash
+        assert_ne!(
+            op_circuit(&[op(Gate::X, &[0])]).structural_hash(),
+            op_circuit(&[op(Gate::X, &[1])]).structural_hash()
+        );
+        // symbolic vs resolved parameters differ; resolving is hashable
+        let mut sym = Circuit::new();
+        sym.push(op(Gate::Rz(Param::symbol("t")), &[0]));
+        let resolved = sym.resolve(ParamResolver::new().bind("t", 0.25));
+        assert_ne!(sym.structural_hash(), resolved.structural_hash());
+    }
+
+    fn op_circuit(ops: &[Operation]) -> Circuit {
+        let mut c = Circuit::new();
+        for o in ops {
+            c.push(o.clone());
+        }
+        c
     }
 }

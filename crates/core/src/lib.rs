@@ -25,6 +25,7 @@ mod baseline;
 mod bitstring;
 mod error;
 mod results;
+mod service;
 mod simulator;
 mod state;
 
@@ -32,7 +33,9 @@ pub use baseline::QubitByQubitSimulator;
 pub use bitstring::BitString;
 pub use error::SimError;
 pub use results::{ExpectationEstimate, Histogram, RunResult};
+pub use service::{BatchController, BatchPolicy, CacheKey, CacheStats, ResultCache};
 pub use simulator::{
-    categorical, multinomial_split, ApplyFn, BatchProbFn, ProbFn, Simulator, SimulatorOptions,
+    categorical, multinomial_split, stream_seed, ApplyFn, BatchProbFn, ProbFn, Simulator,
+    SimulatorOptions,
 };
 pub use state::{AmplitudeState, BglsState, MarginalState};

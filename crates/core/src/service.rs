@@ -1,0 +1,370 @@
+//! Serving-layer building blocks: a deterministic result cache and a
+//! setpoint-driven batch admission controller.
+//!
+//! The gate-by-gate engine's determinism contract makes simulation
+//! results *cacheable*: a seeded run is a pure function of
+//! `(circuit, backend, options, seed, repetitions)`, so a service
+//! fielding heavy traffic can answer a repeated request from memory with
+//! a bit-identical result. [`ResultCache`] is that memo table, keyed by
+//! [`CacheKey`] and bounded by FIFO eviction.
+//!
+//! [`BatchController`] governs how many queued requests a service drains
+//! per batch. Instead of a fixed constant it runs a small PI control
+//! loop on the observed per-batch service latency — the batch size is a
+//! *setpoint-tracking knob*: batches that finish faster than the target
+//! latency grow the next batch (better amortization of fan-out
+//! overhead), slow batches shrink it (bounded queue delay for the
+//! requests behind them). The controller is deterministic given its
+//! observation sequence, clamps to a configured range, and holds inside
+//! a deadband so it does not dither.
+
+use crate::results::RunResult;
+use bgls_linalg::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Cache key of one deterministic simulation request.
+///
+/// `circuit` is a structural circuit fingerprint
+/// (`bgls_circuit::Circuit::structural_hash`) of the *resolved* circuit;
+/// `backend` a fingerprint of the backend name plus any
+/// result-affecting options; `seed` the exact seed the run executes
+/// under (unseeded requests are not cacheable — their results are not
+/// reproducible); `repetitions` the shot count; `deliverable` a
+/// fingerprint of what is requested (histogram, or which observable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structural hash of the resolved circuit.
+    pub circuit: u64,
+    /// Fingerprint of the backend and result-affecting options.
+    pub backend: u64,
+    /// The seed the run executes under.
+    pub seed: u64,
+    /// Requested repetitions.
+    pub repetitions: u64,
+    /// Fingerprint of the requested deliverable (0 for a plain
+    /// histogram; observable hash for an expectation).
+    pub deliverable: u64,
+}
+
+/// Hit/miss counters of a [`ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded FIFO memo table for deterministic simulation results.
+///
+/// Values are shared via `Arc`, so serving a hit never copies the
+/// histogram payload. Capacity 0 disables the cache entirely (every
+/// lookup misses, nothing is stored) — the switch the throughput bench
+/// uses to measure the cache's effect.
+#[derive(Clone, Debug)]
+pub struct ResultCache<V = RunResult> {
+    map: FxHashMap<CacheKey, Arc<V>>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V> ResultCache<V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<V>> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the oldest entries beyond
+    /// capacity. Re-inserting an existing key replaces the value without
+    /// refreshing its eviction position (results are deterministic, so
+    /// the replacement is bit-identical anyway).
+    pub fn insert(&mut self, key: CacheKey, value: Arc<V>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                    self.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Configuration of the [`BatchController`]: the latency setpoint and
+/// the PI gains (in the spirit of a Shannon-style control unit — steer a
+/// knob to hold a target signal instead of hard-coding the knob).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Smallest batch the controller will issue.
+    pub min_batch: usize,
+    /// Largest batch the controller will issue.
+    pub max_batch: usize,
+    /// Target wall-clock per drained batch, in milliseconds. The
+    /// controller grows the batch while batches finish under the target
+    /// and shrinks it when they overrun.
+    pub target_batch_ms: f64,
+    /// Proportional gain on the relative latency error.
+    pub kp: f64,
+    /// Integral gain on the accumulated relative error.
+    pub ki: f64,
+    /// Relative deadband: errors smaller than this fraction of the
+    /// setpoint leave the batch size untouched (no dithering).
+    pub deadband: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            min_batch: 1,
+            max_batch: 64,
+            target_batch_ms: 50.0,
+            kp: 0.5,
+            ki: 0.1,
+            deadband: 0.1,
+        }
+    }
+}
+
+/// PI controller steering the per-drain batch size toward the policy's
+/// latency setpoint. Feed it each drained batch's size and elapsed time
+/// via [`BatchController::observe`]; read the next batch size with
+/// [`BatchController::batch_size`].
+#[derive(Clone, Debug)]
+pub struct BatchController {
+    policy: BatchPolicy,
+    current: f64,
+    integral: f64,
+}
+
+impl BatchController {
+    /// A controller starting at the policy's midpoint batch size.
+    pub fn new(policy: BatchPolicy) -> Self {
+        let start = ((policy.min_batch + policy.max_batch) / 2).max(policy.min_batch);
+        BatchController {
+            policy,
+            current: start as f64,
+            integral: 0.0,
+        }
+    }
+
+    /// The batch size to drain next.
+    pub fn batch_size(&self) -> usize {
+        (self.current.round() as usize).clamp(self.policy.min_batch, self.policy.max_batch)
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Records one drained batch: `jobs` requests served in `elapsed_ms`
+    /// wall-clock milliseconds. The controller compares the *projected*
+    /// latency of the current batch size (per-job latency times current
+    /// size) against the setpoint and applies a PI update on the
+    /// relative error, clamped to the policy's range.
+    pub fn observe(&mut self, jobs: usize, elapsed_ms: f64) {
+        if jobs == 0 || !elapsed_ms.is_finite() || elapsed_ms < 0.0 {
+            return;
+        }
+        let per_job_ms = (elapsed_ms / jobs as f64).max(1e-6);
+        let projected = per_job_ms * self.current;
+        // positive error = headroom below the setpoint -> grow
+        let error = (self.policy.target_batch_ms - projected) / self.policy.target_batch_ms;
+        if error.abs() <= self.policy.deadband {
+            return;
+        }
+        self.integral = (self.integral + error).clamp(-10.0, 10.0);
+        let adjust = self.policy.kp * error + self.policy.ki * self.integral;
+        // multiplicative actuation keeps the step proportional to the
+        // current operating point across the decades between min and max
+        self.current = (self.current * (1.0 + adjust))
+            .clamp(self.policy.min_batch as f64, self.policy.max_batch as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey {
+            circuit: i,
+            backend: 1,
+            seed: 2,
+            repetitions: 100,
+            deliverable: 0,
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_the_stored_value() {
+        let mut cache: ResultCache<u64> = ResultCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), Arc::new(42));
+        assert_eq!(*cache.get(&key(1)).unwrap(), 42);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_distinguishes_every_key_component() {
+        let base = key(1);
+        let mut variants = vec![base];
+        variants.push(CacheKey { circuit: 9, ..base });
+        variants.push(CacheKey { backend: 9, ..base });
+        variants.push(CacheKey { seed: 9, ..base });
+        variants.push(CacheKey {
+            repetitions: 9,
+            ..base
+        });
+        variants.push(CacheKey {
+            deliverable: 9,
+            ..base
+        });
+        let mut cache: ResultCache<usize> = ResultCache::new(16);
+        for (i, k) in variants.iter().enumerate() {
+            cache.insert(*k, Arc::new(i));
+        }
+        for (i, k) in variants.iter().enumerate() {
+            assert_eq!(*cache.get(k).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cache_evicts_fifo_beyond_capacity() {
+        let mut cache: ResultCache<u64> = ResultCache::new(2);
+        cache.insert(key(1), Arc::new(1));
+        cache.insert(key(2), Arc::new(2));
+        cache.insert(key(3), Arc::new(3));
+        assert!(cache.get(&key(1)).is_none(), "oldest entry evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache: ResultCache<u64> = ResultCache::new(0);
+        cache.insert(key(1), Arc::new(1));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn controller_grows_on_fast_batches_and_shrinks_on_slow() {
+        let policy = BatchPolicy {
+            min_batch: 1,
+            max_batch: 64,
+            target_batch_ms: 50.0,
+            ..Default::default()
+        };
+        let mut c = BatchController::new(policy);
+        let start = c.batch_size();
+        // fast batches: 0.1 ms per job, far under the 50 ms setpoint
+        for _ in 0..20 {
+            let b = c.batch_size();
+            c.observe(b, 0.1 * b as f64);
+        }
+        assert!(c.batch_size() > start, "headroom must grow the batch");
+        // slow batches: 10 ms per job drives the projected latency over
+        for _ in 0..30 {
+            let b = c.batch_size();
+            c.observe(b, 10.0 * b as f64);
+        }
+        assert!(c.batch_size() < 64, "overrun must shrink the batch");
+        assert!(c.batch_size() >= policy.min_batch);
+    }
+
+    #[test]
+    fn controller_clamps_and_ignores_degenerate_observations() {
+        let policy = BatchPolicy {
+            min_batch: 2,
+            max_batch: 8,
+            ..Default::default()
+        };
+        let mut c = BatchController::new(policy);
+        for _ in 0..100 {
+            c.observe(4, 0.0001); // extremely fast -> push to max
+        }
+        assert_eq!(c.batch_size(), 8);
+        c.observe(0, 1.0); // no-op
+        c.observe(4, f64::NAN); // no-op
+        c.observe(4, -1.0); // no-op
+        assert_eq!(c.batch_size(), 8);
+        for _ in 0..200 {
+            c.observe(4, 1e6); // extremely slow -> push to min
+        }
+        assert_eq!(c.batch_size(), 2);
+    }
+
+    #[test]
+    fn controller_holds_inside_the_deadband() {
+        let policy = BatchPolicy::default();
+        let mut c = BatchController::new(policy);
+        let b = c.batch_size();
+        // exactly on target: projected latency == setpoint
+        let per_job = policy.target_batch_ms / b as f64;
+        for _ in 0..10 {
+            c.observe(b, per_job * b as f64);
+        }
+        assert_eq!(c.batch_size(), b, "on-target observations must hold");
+    }
+}

@@ -356,27 +356,65 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     /// `run_sweep` equivalent, used by the QAOA grid search of Sec. 4.4).
     /// Returns one [`RunResult`] per resolver, in order.
     ///
-    /// With [`SimulatorOptions::parallel_sweep`] the resolvers fan out
-    /// across Rayon threads. Each resolver's run derives its RNG streams
-    /// from [`SimulatorOptions::seed`] exactly as in the sequential loop
-    /// (the runs never share RNG state), so per-resolver results are
-    /// bit-identical whether the sweep is parallel or not.
+    /// Seeding: one base seed is fixed per sweep call —
+    /// [`SimulatorOptions::seed`], or a single entropy draw when the seed
+    /// is `None` — and resolver `i` runs with the derived seed
+    /// [`stream_seed`]`(base, i)`. Entry `i` is therefore exactly the
+    /// result of a standalone [`Simulator::run`] of the resolved circuit
+    /// under that derived seed: resolvers never share RNG state, distinct
+    /// grid points get statistically independent streams even when they
+    /// resolve to the same circuit, and with
+    /// [`SimulatorOptions::parallel_sweep`] the Rayon fan-out is
+    /// bit-identical to the sequential loop. With `seed: None` the sweep
+    /// is *internally* deterministic (serial vs parallel agree within the
+    /// call) but two sweep calls draw different bases.
     pub fn run_sweep(
         &self,
         circuit: &Circuit,
         resolvers: &[bgls_circuit::ParamResolver],
         repetitions: u64,
     ) -> Result<Vec<RunResult>, SimError> {
+        let base = self.sample_base_seed();
+        let run_one = |(i, r): (usize, &bgls_circuit::ParamResolver)| {
+            let mut sim = self.clone();
+            sim.options.seed = Some(stream_seed(base, i as u64));
+            sim.run(&circuit.resolve(r), repetitions)
+        };
         if self.options.parallel_sweep && resolvers.len() > 1 {
-            resolvers
-                .par_iter()
-                .map(|r| self.run(&circuit.resolve(r), repetitions))
-                .collect()
+            let indexed: Vec<(usize, &bgls_circuit::ParamResolver)> =
+                resolvers.iter().enumerate().collect();
+            indexed.par_iter().map(|&entry| run_one(entry)).collect()
         } else {
-            resolvers
-                .iter()
-                .map(|r| self.run(&circuit.resolve(r), repetitions))
-                .collect()
+            resolvers.iter().enumerate().map(run_one).collect()
+        }
+    }
+
+    /// Runs a batch of already-resolved circuits in one fan-out, each
+    /// with its own seed (`None` draws entropy for that entry). This is
+    /// the serving-layer companion of [`Simulator::run_sweep`]: a batcher
+    /// that merges compatible requests needs every entry's result to be a
+    /// pure function of `(circuit, seed, repetitions)` — independent of
+    /// which other requests happen to share the batch — so each entry
+    /// runs under exactly its own seed rather than a position-derived
+    /// stream. Entry `i` is bit-identical to
+    /// `self.clone()` with `options.seed = jobs[i].1` running
+    /// `jobs[i].0` standalone, whether or not
+    /// [`SimulatorOptions::parallel_sweep`] spreads the batch across
+    /// Rayon threads.
+    pub fn run_batch(
+        &self,
+        jobs: &[(Circuit, Option<u64>)],
+        repetitions: u64,
+    ) -> Result<Vec<RunResult>, SimError> {
+        let run_one = |(circuit, seed): &(Circuit, Option<u64>)| {
+            let mut sim = self.clone();
+            sim.options.seed = *seed;
+            sim.run(circuit, repetitions)
+        };
+        if self.options.parallel_sweep && jobs.len() > 1 {
+            jobs.par_iter().map(run_one).collect()
+        } else {
+            jobs.iter().map(run_one).collect()
         }
     }
 
@@ -510,8 +548,11 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     /// variational workflows (QAOA energy landscapes).
     ///
     /// With [`SimulatorOptions::parallel_sweep`] the resolvers fan out
-    /// across Rayon threads; each entry is a pure function of its
-    /// resolved circuit, so the sweep is bit-identical either way.
+    /// across Rayon threads; the exact walk consumes no randomness, so
+    /// each entry is a pure function of its resolved circuit and the
+    /// sweep is bit-identical serial vs parallel regardless of the seed
+    /// (including `seed: None` — unlike [`Simulator::run_sweep`], no
+    /// entropy is ever drawn).
     pub fn expectation_sweep(
         &self,
         circuit: &Circuit,
@@ -717,7 +758,9 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
             }
             let shots = samples.len() as f64;
             value += mean;
-            variance += m2 / (shots * (shots - 1.0));
+            // m2 is mathematically non-negative, but clamp against
+            // floating-point cancellation so std_error can never be NaN.
+            variance += m2.max(0.0) / (shots * (shots - 1.0));
         }
         Ok(ExpectationEstimate {
             value,
@@ -1446,7 +1489,14 @@ where
 /// mix is a pure function, so keys can be chained into a *tree* of
 /// streams: the trajectory forest keys every node by its branch history
 /// this way, making results independent of scheduling and thread count.
-fn stream_seed(seed: u64, index: u64) -> u64 {
+///
+/// Public because callers that fan work out themselves (sweep batchers,
+/// the serving layer, shot-group estimators) use it to give each child
+/// job an independent, reproducible stream: [`Simulator::run_sweep`]
+/// seeds resolver `i` with `stream_seed(base, i)`, and
+/// [`Simulator::estimate_expectation`] does the same per
+/// qubit-wise-commuting group.
+pub fn stream_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -1492,12 +1542,38 @@ fn op_supports(circuit: &Circuit) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// Draws an index from unnormalized non-negative weights.
-pub fn categorical(weights: &[f64], rng: &mut impl Rng) -> Result<usize, SimError> {
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || total.is_nan() || !total.is_finite() {
+/// Validates a weight slice for the samplers below: every entry must be
+/// finite and non-negative (`NaN`/negative/`inf` weights are a caller
+/// bug, reported as [`SimError::Invalid`]), and the total must be a
+/// positive finite number (an all-zero distribution is the
+/// impossible-event case, [`SimError::ZeroProbabilityEvent`]). Returns
+/// the total.
+#[inline]
+fn checked_weight_total(weights: &[f64]) -> Result<f64, SimError> {
+    let mut total = 0.0;
+    for &w in weights {
+        // `!is_finite` catches NaN and the infinities in one test.
+        if !w.is_finite() || w < 0.0 {
+            return Err(SimError::Invalid(format!(
+                "invalid probability weight {w} (weights must be finite and non-negative)"
+            )));
+        }
+        total += w;
+    }
+    if total <= 0.0 {
         return Err(SimError::ZeroProbabilityEvent);
     }
+    if total.is_infinite() {
+        return Err(SimError::Invalid(
+            "probability weights overflow to an infinite total".into(),
+        ));
+    }
+    Ok(total)
+}
+
+/// Draws an index from unnormalized non-negative weights.
+pub fn categorical(weights: &[f64], rng: &mut impl Rng) -> Result<usize, SimError> {
+    let total = checked_weight_total(weights)?;
     let mut r = rng.gen::<f64>() * total;
     for (i, &w) in weights.iter().enumerate() {
         if r < w {
@@ -1534,10 +1610,7 @@ fn multinomial_split_into(
     rng: &mut impl Rng,
     counts: &mut Vec<u64>,
 ) -> Result<(), SimError> {
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || total.is_nan() || !total.is_finite() {
-        return Err(SimError::ZeroProbabilityEvent);
-    }
+    let total = checked_weight_total(weights)?;
     counts.clear();
     counts.resize(weights.len(), 0);
     if m <= 4 {
@@ -1800,6 +1873,129 @@ mod tests {
         // t = 0: always 0; t = pi: always 1
         assert_eq!(results[0].histogram("m").unwrap().count_value(0), 100);
         assert_eq!(results[1].histogram("m").unwrap().count_value(1), 100);
+    }
+
+    #[test]
+    fn run_sweep_is_bit_identical_serial_vs_parallel() {
+        use bgls_circuit::{Param, ParamResolver};
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::Ry(Param::symbol("t")), vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::measure(Qubit::range(2), "m").unwrap());
+        let resolvers: Vec<ParamResolver> = (0..6)
+            .map(|i| ParamResolver::from_pairs([("t", 0.3 + 0.2 * i as f64)]))
+            .collect();
+        let serial = Simulator::new(RefState::zero(2))
+            .with_seed(11)
+            .run_sweep(&c, &resolvers, 500)
+            .unwrap();
+        let mut opts = SimulatorOptions {
+            seed: Some(11),
+            parallel_sweep: true,
+            ..Default::default()
+        };
+        let parallel = Simulator::new(RefState::zero(2))
+            .with_options(opts.clone())
+            .run_sweep(&c, &resolvers, 500)
+            .unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.histogram("m"), p.histogram("m"));
+        }
+        // entry i must equal a standalone run under stream_seed(base, i)
+        for (i, s) in serial.iter().enumerate() {
+            opts.seed = Some(stream_seed(11, i as u64));
+            let standalone = Simulator::new(RefState::zero(2))
+                .with_options(opts.clone())
+                .run(&c.resolve(&resolvers[i]), 500)
+                .unwrap();
+            assert_eq!(s.histogram("m"), standalone.histogram("m"), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn run_sweep_gives_identical_resolvers_independent_streams() {
+        use bgls_circuit::ParamResolver;
+        // two identical grid points: same distribution, but they must not
+        // replay the same RNG stream (that would correlate their samples)
+        let resolvers = [ParamResolver::new(), ParamResolver::new()];
+        let sim = Simulator::new(RefState::zero(3)).with_seed(5);
+        let results = sim.run_sweep(&ghz(3), &resolvers, 400).unwrap();
+        assert_ne!(stream_seed(5, 0), stream_seed(5, 1));
+        for (i, r) in results.iter().enumerate() {
+            let standalone = Simulator::new(RefState::zero(3))
+                .with_seed(stream_seed(5, i as u64))
+                .run(&ghz(3), 400)
+                .unwrap();
+            assert_eq!(
+                r.histogram("z"),
+                standalone.histogram("z"),
+                "entry {i} must run under its own derived stream"
+            );
+        }
+    }
+
+    #[test]
+    fn unseeded_run_sweep_is_internally_deterministic() {
+        use bgls_circuit::ParamResolver;
+        // seed: None draws one base per sweep call; within the call the
+        // fan-out must still agree serial vs parallel -- which shows up
+        // as both identical-resolver entries being *independent* yet the
+        // whole sweep completing without shared-RNG interleaving. The
+        // cross-call base differs, so only distributional properties can
+        // be asserted here.
+        let resolvers = [ParamResolver::new(), ParamResolver::new()];
+        let sim = Simulator::new(RefState::zero(2));
+        let results = sim.run_sweep(&ghz(2), &resolvers, 300).unwrap();
+        for r in &results {
+            let h = r.histogram("z").unwrap();
+            assert_eq!(h.count_value(0b00) + h.count_value(0b11), 300);
+        }
+    }
+
+    #[test]
+    fn run_batch_entries_are_pure_functions_of_circuit_and_seed() {
+        let c2 = ghz(2);
+        let c3 = ghz(3);
+        let sim = Simulator::new(RefState::zero(3)).with_seed(99);
+        // the same (circuit, seed) entry must give bit-identical results
+        // no matter what else shares the batch, and regardless of the
+        // simulator's own seed
+        let solo = sim.run_batch(&[(c3.clone(), Some(7))], 200).unwrap();
+        let mixed = sim
+            .run_batch(
+                &[
+                    (c2.clone(), Some(1)),
+                    (c3.clone(), Some(7)),
+                    (c3.clone(), Some(8)),
+                ],
+                200,
+            )
+            .unwrap();
+        assert_eq!(solo[0].histogram("z"), mixed[1].histogram("z"));
+        // and it matches a standalone seeded run
+        let standalone = Simulator::new(RefState::zero(3))
+            .with_seed(7)
+            .run(&c3, 200)
+            .unwrap();
+        assert_eq!(solo[0].histogram("z"), standalone.histogram("z"));
+        // parallel fan-out agrees bit-for-bit
+        let par = Simulator::new(RefState::zero(3))
+            .with_options(SimulatorOptions {
+                parallel_sweep: true,
+                ..Default::default()
+            })
+            .run_batch(
+                &[
+                    (c2.clone(), Some(1)),
+                    (c3.clone(), Some(7)),
+                    (c3.clone(), Some(8)),
+                ],
+                200,
+            )
+            .unwrap();
+        for (a, b) in mixed.iter().zip(&par) {
+            assert_eq!(a.histogram("z"), b.histogram("z"));
+        }
     }
 
     #[test]

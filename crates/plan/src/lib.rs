@@ -1,0 +1,144 @@
+//! Circuit-aware execution planning and a batch simulation service for
+//! the BGLS gate-by-gate sampling stack.
+//!
+//! The engine crates expose six interchangeable state representations
+//! and three execution paths; picking the right pair per circuit is
+//! mechanical once the circuit's structure is known. This crate closes
+//! that loop:
+//!
+//! - [`CircuitProfile`] measures a circuit (Clifford fraction, noise,
+//!   mid-circuit measurements, width, a Schmidt-rank bound from
+//!   two-qubit-gate lightcones),
+//! - [`plan`] turns the profile plus the requested [`Deliverable`] into
+//!   an [`ExecutionPlan`] — backend, [`ExecPath`], and the
+//!   [`bgls_core::SimulatorOptions`] that realize it,
+//! - [`SimulationService`] hosts a submission queue over the planner:
+//!   compatible requests merge into single `run_batch` /
+//!   `expectation_sweep` fan-outs, batch admission tracks a latency
+//!   setpoint ([`bgls_core::BatchController`]), and seeded results are
+//!   memoized in a deterministic [`bgls_core::ResultCache`] — sound
+//!   because every seeded run is a pure function of
+//!   `(circuit, backend, options, seed, repetitions)`.
+//!
+//! One-shot use goes through [`plan_and_run`]:
+//!
+//! ```
+//! use bgls_circuit::{Circuit, Gate, Operation, Qubit};
+//! use bgls_plan::{plan_and_run, ExecPath};
+//!
+//! let mut bell = Circuit::new();
+//! bell.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+//! bell.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+//! bell.push(Operation::measure(vec![Qubit(0), Qubit(1)], "m").unwrap());
+//!
+//! let planned = plan_and_run(&bell, 100, Some(7)).unwrap();
+//! // A Clifford circuit with terminal measurements routes to the CH
+//! // form and the sample-parallel path.
+//! assert_eq!(planned.plan.backend.name(), "chform");
+//! assert_eq!(planned.plan.path, ExecPath::SampleParallel);
+//! let counts = planned.result.histogram("m").unwrap();
+//! assert_eq!(counts.total(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod planner;
+mod profile;
+mod service;
+
+pub use planner::{plan, Deliverable, ExecPath, ExecutionPlan, PlannerConfig};
+pub use profile::CircuitProfile;
+pub use service::{JobId, JobOutput, ServiceConfig, ServiceStats, SimRequest, SimulationService};
+
+use bgls_backend::AnyState;
+use bgls_circuit::{Circuit, PauliSum};
+use bgls_core::{RunResult, SimError, Simulator};
+
+/// A plan together with the run it produced.
+#[derive(Clone, Debug)]
+pub struct PlannedRun {
+    /// The routing decision.
+    pub plan: ExecutionPlan,
+    /// The sampled result.
+    pub result: RunResult,
+}
+
+/// A plan together with the expectation value it produced.
+#[derive(Clone, Debug)]
+pub struct PlannedExpectation {
+    /// The routing decision.
+    pub plan: ExecutionPlan,
+    /// The exact expectation value.
+    pub value: f64,
+}
+
+/// Plans `circuit` for a histogram deliverable under the default
+/// [`PlannerConfig`] and runs it. See [`plan`] for the routing table;
+/// the result is bit-identical to [`ExecutionPlan::run`] on the
+/// returned plan.
+pub fn plan_and_run(
+    circuit: &Circuit,
+    repetitions: u64,
+    seed: Option<u64>,
+) -> Result<PlannedRun, SimError> {
+    let plan = plan(
+        circuit,
+        &Deliverable::Histogram { repetitions },
+        &PlannerConfig::default(),
+    )?;
+    let result = plan.run(circuit, repetitions, seed)?;
+    Ok(PlannedRun { plan, result })
+}
+
+/// Plans `circuit` for an exact-expectation deliverable under the
+/// default [`PlannerConfig`] and evaluates it with the weighted-frontier
+/// walk (deterministic — no seed).
+pub fn plan_and_expect(
+    circuit: &Circuit,
+    observable: &PauliSum,
+) -> Result<PlannedExpectation, SimError> {
+    let plan = plan(
+        circuit,
+        &Deliverable::Expectation {
+            observable: observable.clone(),
+        },
+        &PlannerConfig::default(),
+    )?;
+    let value = plan.expectation(circuit, observable)?;
+    Ok(PlannedExpectation { plan, value })
+}
+
+/// Planner-driven entry points on [`Simulator`], for callers that
+/// already speak the simulator API:
+/// `Simulator::<AnyState>::plan_and_run(...)`.
+pub trait SimulatorPlanExt {
+    /// [`plan_and_run`] as an associated function.
+    fn plan_and_run(
+        circuit: &Circuit,
+        repetitions: u64,
+        seed: Option<u64>,
+    ) -> Result<PlannedRun, SimError>;
+
+    /// [`plan_and_expect`] as an associated function.
+    fn plan_and_expect(
+        circuit: &Circuit,
+        observable: &PauliSum,
+    ) -> Result<PlannedExpectation, SimError>;
+}
+
+impl SimulatorPlanExt for Simulator<AnyState> {
+    fn plan_and_run(
+        circuit: &Circuit,
+        repetitions: u64,
+        seed: Option<u64>,
+    ) -> Result<PlannedRun, SimError> {
+        plan_and_run(circuit, repetitions, seed)
+    }
+
+    fn plan_and_expect(
+        circuit: &Circuit,
+        observable: &PauliSum,
+    ) -> Result<PlannedExpectation, SimError> {
+        plan_and_expect(circuit, observable)
+    }
+}

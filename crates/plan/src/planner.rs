@@ -1,0 +1,536 @@
+//! The execution planner: profile a circuit, pick a backend and path.
+
+use crate::profile::CircuitProfile;
+use bgls_backend::{AnyState, BackendKind, SimulatorExt};
+use bgls_circuit::{Circuit, PauliSum};
+use bgls_core::{RunResult, SimError, Simulator, SimulatorOptions};
+use bgls_linalg::FxHasher;
+use std::hash::{Hash, Hasher};
+
+/// What the caller wants out of the simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Deliverable {
+    /// Sampled measurement outcomes over `repetitions` shots.
+    Histogram {
+        /// Shot count.
+        repetitions: u64,
+    },
+    /// The exact expectation value of a Pauli observable on the final
+    /// state (the deterministic weighted-frontier walk — no sampling).
+    Expectation {
+        /// The observable.
+        observable: PauliSum,
+    },
+}
+
+/// Resource budgets the planner routes against.
+///
+/// The defaults describe a single workstation-class host: dense state
+/// vectors up to ~16M amplitudes, dense density matrices up to ~16M
+/// entries, and MPS bond dimensions that keep per-gate cost comfortably
+/// below the dense crossover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Widest circuit routed to the dense state vector (`2^n` memory).
+    pub max_statevector_qubits: usize,
+    /// Widest circuit routed to the density matrix (`4^n` memory).
+    pub max_density_qubits: usize,
+    /// Largest Schmidt-rank bound for which the chain MPS is preferred;
+    /// circuits whose bound exceeds this are not routed to MPS.
+    pub mps_chi_cap: usize,
+    /// Frontier budget handed to the trajectory forest
+    /// ([`SimulatorOptions::max_forest_nodes`]); circuits whose
+    /// fork count would overflow `2^log2(budget)` branch histories are
+    /// planned for per-trajectory replay instead.
+    pub max_forest_nodes: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_statevector_qubits: 24,
+            max_density_qubits: 12,
+            mps_chi_cap: 64,
+            max_forest_nodes: 256,
+        }
+    }
+}
+
+/// Which execution engine inside [`Simulator`] the plan expects to run.
+///
+/// The path is realized through [`SimulatorOptions`], not a separate
+/// code path: the simulator already picks its engine from the circuit
+/// and options, so the plan's job is to configure the options such that
+/// the intended engine is the one that fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecPath {
+    /// The paper's multiplicity-map sample parallelization: all
+    /// repetitions advance through one state sweep. Requires a circuit
+    /// free of trajectory forks (unitary + terminal measurements, or
+    /// deterministic channels on a density matrix).
+    SampleParallel,
+    /// The trajectory forest: distinct branch histories evolve once,
+    /// with a frontier bounded by
+    /// [`PlannerConfig::max_forest_nodes`]. Best for *sparse* noise.
+    Forest,
+    /// Per-trajectory replay: flat memory, one full circuit pass per
+    /// repetition. Chosen when the fork count would blow the forest
+    /// budget anyway (dense noise), skipping the doomed forest attempt.
+    Replay,
+    /// Trajectory collapse on a stabilizer tableau: mid-circuit
+    /// measurements execute as projective collapse
+    /// (`CliffordTableau::project`), which the CH form cannot do. The
+    /// engine is the forest/replay machinery over tableau nodes.
+    TableauCollapse,
+    /// The deterministic weighted-frontier expectation walk
+    /// (`Simulator::expectation_value`) — exact, no randomness.
+    ExpectationWalk,
+}
+
+impl std::fmt::Display for ExecPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ExecPath::SampleParallel => "sample-parallel",
+            ExecPath::Forest => "forest",
+            ExecPath::Replay => "replay",
+            ExecPath::TableauCollapse => "tableau-collapse",
+            ExecPath::ExpectationWalk => "expectation-walk",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A routed execution: backend, path, and the options that realize it.
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    /// The state representation to simulate on.
+    pub backend: BackendKind,
+    /// The engine the options select.
+    pub path: ExecPath,
+    /// Simulator options realizing the path (seed left `None`; callers
+    /// set it per run).
+    pub options: SimulatorOptions,
+    /// The profile the routing decision was made from.
+    pub profile: CircuitProfile,
+    /// Human-readable one-line justification of the choice.
+    pub rationale: String,
+}
+
+impl ExecutionPlan {
+    /// A simulator realizing this plan for an `n`-qubit circuit, seeded
+    /// with `seed`.
+    pub fn simulator(&self, n: usize, seed: Option<u64>) -> Simulator<AnyState> {
+        let mut options = self.options.clone();
+        options.seed = seed;
+        Simulator::for_backend(self.backend, n.max(1), options)
+    }
+
+    /// Runs `circuit` under this plan. The result is bit-identical to
+    /// any other execution of the same `(circuit, plan, seed,
+    /// repetitions)` tuple — the invariant the serving cache relies on.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        repetitions: u64,
+        seed: Option<u64>,
+    ) -> Result<RunResult, SimError> {
+        self.simulator(circuit.num_qubits(), seed)
+            .run(circuit, repetitions)
+    }
+
+    /// Exact expectation of `observable` on the final state under this
+    /// plan (deterministic; consumes no randomness).
+    pub fn expectation(&self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, SimError> {
+        self.simulator(circuit.num_qubits(), None)
+            .expectation_value(circuit, observable)
+    }
+
+    /// Fingerprint of everything about the plan that can change a seeded
+    /// result: the backend and the result-affecting options. Parallelism
+    /// toggles are excluded — the engine's determinism contract makes
+    /// them bit-identical. This is the `backend` component of a
+    /// serving-layer cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.backend.name().hash(&mut h);
+        self.options.parallelize_samples.hash(&mut h);
+        self.options.skip_diagonal_updates.hash(&mut h);
+        self.options.trajectory_forest.hash(&mut h);
+        self.options.max_forest_nodes.hash(&mut h);
+        self.options.fuse_gates.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Routes `circuit` to the backend and execution path expected to
+/// simulate it best for the requested `deliverable`.
+///
+/// The decision table (documented in `docs/ARCHITECTURE.md`):
+///
+/// 1. Pure Clifford, terminal measurements → CH form, sample-parallel.
+/// 2. Pure Clifford, mid-circuit measurements → stabilizer tableau with
+///    projective collapse.
+/// 3. Noisy and narrow (`n <= max_density_qubits`) → density matrix,
+///    sample-parallel (channels apply deterministically).
+/// 4. Noisy and wider → a forest-capable pure-state backend
+///    (statevector / MPS / lazy by width and rank bound); replay when
+///    the fork count would overflow the forest budget.
+/// 5. Unitary non-Clifford → cost model between dense statevector
+///    (`ops * 2^n`) and chain MPS (`ops * n * chi^3`) when the rank
+///    bound is small; lazy network as the wide fallback.
+/// 6. Expectation deliverables → the exact weighted-frontier walk on
+///    the cheapest exact backend for the circuit class.
+///
+/// Errors with [`SimError::Invalid`] on unresolved parameters and
+/// [`SimError::Unsupported`] when no backend fits (e.g. a wide circuit
+/// with Toffoli-class gates that MPS cannot take and dense memory
+/// cannot hold).
+pub fn plan(
+    circuit: &Circuit,
+    deliverable: &Deliverable,
+    config: &PlannerConfig,
+) -> Result<ExecutionPlan, SimError> {
+    let profile = CircuitProfile::of(circuit);
+    if profile.parameterized {
+        return Err(SimError::Invalid(
+            "cannot plan a parameterized circuit: resolve its symbols first \
+             (or submit it with a resolver)"
+                .into(),
+        ));
+    }
+    let n = profile.num_qubits;
+    let sv_ok = n <= config.max_statevector_qubits;
+    let dm_ok = n <= config.max_density_qubits;
+    let mps_ok = profile.max_arity <= 2;
+    let low_chi = profile.chi_bound() <= config.mps_chi_cap as u64;
+    // The forest frontier holds one node per distinct branch history;
+    // `fork_ops` forks of >=2 branches each overflow a budget of B nodes
+    // once 2^forks > B, at which point replay (flat memory) wins by
+    // skipping the abandoned forest attempt.
+    let forest_fits = profile.fork_ops <= (config.max_forest_nodes.max(2)).ilog2() as usize;
+    let trajectory_path = if forest_fits {
+        ExecPath::Forest
+    } else {
+        ExecPath::Replay
+    };
+
+    let mut options = SimulatorOptions {
+        max_forest_nodes: config.max_forest_nodes,
+        ..SimulatorOptions::default()
+    };
+
+    let (backend, path, rationale): (BackendKind, ExecPath, String) = match deliverable {
+        Deliverable::Expectation { .. } => {
+            let backend = if profile.is_clifford() && !profile.mid_circuit_measurements {
+                BackendKind::ChForm
+            } else if profile.is_clifford() {
+                // The walk collapses interior measurements projectively;
+                // only the tableau can do that among stabilizer states.
+                BackendKind::Tableau
+            } else {
+                pick_pure_state_backend(&profile, config, sv_ok, mps_ok, low_chi)?
+            };
+            (
+                backend,
+                ExecPath::ExpectationWalk,
+                format!(
+                    "exact expectation walk on {} (clifford fraction {:.2}, chi bound {})",
+                    backend.name(),
+                    profile.clifford_fraction(),
+                    profile.chi_bound()
+                ),
+            )
+        }
+        Deliverable::Histogram { .. } => {
+            if profile.is_clifford() && !profile.mid_circuit_measurements {
+                (
+                    BackendKind::ChForm,
+                    ExecPath::SampleParallel,
+                    format!(
+                        "pure Clifford with terminal measurements: CH form samples all \
+                         repetitions in one sweep at any width (n = {n})"
+                    ),
+                )
+            } else if profile.is_clifford() {
+                (
+                    BackendKind::Tableau,
+                    ExecPath::TableauCollapse,
+                    format!(
+                        "Clifford with mid-circuit measurements: tableau projective \
+                         collapse ({} fork qubits)",
+                        profile.fork_ops
+                    ),
+                )
+            } else if profile.has_channels && dm_ok {
+                (
+                    BackendKind::DensityMatrix,
+                    ExecPath::SampleParallel,
+                    format!(
+                        "noisy and narrow (n = {n} <= {}): density matrix applies channels \
+                         deterministically, keeping sample parallelization",
+                        config.max_density_qubits
+                    ),
+                )
+            } else if profile.has_channels || profile.mid_circuit_measurements {
+                let backend = pick_pure_state_backend(&profile, config, sv_ok, mps_ok, low_chi)?;
+                if matches!(trajectory_path, ExecPath::Replay) {
+                    options.trajectory_forest = false;
+                }
+                (
+                    backend,
+                    trajectory_path,
+                    format!(
+                        "stochastic branches on {} ({} forks vs forest budget {}): {}",
+                        backend.name(),
+                        profile.fork_ops,
+                        config.max_forest_nodes,
+                        if forest_fits {
+                            "forest shares branch histories"
+                        } else {
+                            "dense forks overflow the forest, replay has flat memory"
+                        }
+                    ),
+                )
+            } else {
+                // Unitary non-Clifford, terminal measurements: cost model.
+                let backend = pick_unitary_backend(&profile, config, sv_ok, mps_ok, low_chi)?;
+                (
+                    backend,
+                    ExecPath::SampleParallel,
+                    format!(
+                        "unitary non-Clifford: {} minimizes the cost model \
+                         (n = {n}, chi bound {})",
+                        backend.name(),
+                        profile.chi_bound()
+                    ),
+                )
+            }
+        }
+    };
+
+    Ok(ExecutionPlan {
+        backend,
+        path,
+        options,
+        profile,
+        rationale,
+    })
+}
+
+/// The pure-state ladder used for trajectory and expectation work:
+/// dense when it fits, chain MPS when the rank bound is small, lazy
+/// network as the wide two-local fallback.
+fn pick_pure_state_backend(
+    profile: &CircuitProfile,
+    config: &PlannerConfig,
+    sv_ok: bool,
+    mps_ok: bool,
+    low_chi: bool,
+) -> Result<BackendKind, SimError> {
+    if sv_ok {
+        Ok(BackendKind::StateVector)
+    } else if mps_ok && low_chi {
+        Ok(BackendKind::ChainMps {
+            chi: Some(profile.chi_bound() as usize),
+        })
+    } else if mps_ok {
+        Ok(BackendKind::LazyNetwork)
+    } else {
+        Err(too_wide(profile, config))
+    }
+}
+
+/// Cost-model pick for unitary non-Clifford circuits with terminal
+/// measurements: dense statevector `ops * 2^n` vs exact chain MPS
+/// `ops * n * chi^3`, lazy network when neither fits.
+fn pick_unitary_backend(
+    profile: &CircuitProfile,
+    config: &PlannerConfig,
+    sv_ok: bool,
+    mps_ok: bool,
+    low_chi: bool,
+) -> Result<BackendKind, SimError> {
+    let ops = profile.num_operations.max(1) as u128;
+    let sv_cost = if sv_ok {
+        Some(ops << profile.num_qubits.min(100))
+    } else {
+        None
+    };
+    let mps_cost = if mps_ok && low_chi {
+        let chi = profile.chi_bound() as u128;
+        Some(ops * profile.num_qubits.max(1) as u128 * chi * chi * chi)
+    } else {
+        None
+    };
+    match (sv_cost, mps_cost) {
+        (Some(sv), Some(mps)) if mps < sv => Ok(BackendKind::ChainMps {
+            chi: Some(profile.chi_bound() as usize),
+        }),
+        (Some(_), _) => Ok(BackendKind::StateVector),
+        (None, Some(_)) => Ok(BackendKind::ChainMps {
+            chi: Some(profile.chi_bound() as usize),
+        }),
+        (None, None) if mps_ok => Ok(BackendKind::LazyNetwork),
+        (None, None) => Err(too_wide(profile, config)),
+    }
+}
+
+fn too_wide(profile: &CircuitProfile, config: &PlannerConfig) -> SimError {
+    SimError::Unsupported(format!(
+        "no backend fits: {} qubits exceeds the dense budget ({} sv / {} dm) and \
+         arity-{} operations rule out the chain MPS and lazy network",
+        profile.num_qubits,
+        config.max_statevector_qubits,
+        config.max_density_qubits,
+        profile.max_arity
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_circuit::{Channel, Gate, Operation, Qubit};
+
+    fn q(i: u32) -> Qubit {
+        Qubit(i)
+    }
+
+    fn hist() -> Deliverable {
+        Deliverable::Histogram { repetitions: 100 }
+    }
+
+    fn measured_ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![q(0)]).unwrap());
+        for i in 1..n {
+            c.push(Operation::gate(Gate::Cnot, vec![q(i - 1), q(i)]).unwrap());
+        }
+        c.push(Operation::measure((0..n).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        c
+    }
+
+    #[test]
+    fn pure_clifford_routes_to_chform_sample_parallel() {
+        let plan = plan(&measured_ghz(30), &hist(), &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.backend, BackendKind::ChForm);
+        assert_eq!(plan.path, ExecPath::SampleParallel);
+    }
+
+    #[test]
+    fn mid_circuit_clifford_routes_to_tableau_collapse() {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![q(0)]).unwrap());
+        c.push(Operation::measure(vec![q(0)], "early").unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![q(0), q(1)]).unwrap());
+        c.push(Operation::measure(vec![q(0), q(1)], "late").unwrap());
+        let plan = plan(&c, &hist(), &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.backend, BackendKind::Tableau);
+        assert_eq!(plan.path, ExecPath::TableauCollapse);
+    }
+
+    #[test]
+    fn noisy_narrow_routes_to_density_matrix() {
+        let mut c = measured_ghz(4);
+        let mut noisy = Circuit::new();
+        noisy.push(Operation::gate(Gate::H, vec![q(0)]).unwrap());
+        noisy.push(Operation::channel(Channel::bit_flip(0.05).unwrap(), vec![q(0)]).unwrap());
+        noisy.extend_circuit(&c);
+        c = noisy;
+        let plan = plan(&c, &hist(), &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.backend, BackendKind::DensityMatrix);
+        assert_eq!(plan.path, ExecPath::SampleParallel);
+    }
+
+    #[test]
+    fn noisy_wide_routes_to_forest_then_replay_as_noise_densifies() {
+        let cfg = PlannerConfig::default();
+        // 16 qubits: too wide for the density matrix, fine for the
+        // statevector. Channels go *before* the terminal measurement.
+        let noisy = |channel_qubits: u32| {
+            let mut c = measured_ghz(16).without_measurements();
+            for i in 0..channel_qubits {
+                c.push(Operation::channel(Channel::bit_flip(0.05).unwrap(), vec![q(i)]).unwrap());
+            }
+            c.push(Operation::measure((0..16).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+            c
+        };
+        let p1 = plan(&noisy(1), &hist(), &cfg).unwrap();
+        assert_eq!(p1.backend, BackendKind::StateVector);
+        assert_eq!(p1.path, ExecPath::Forest);
+        assert!(p1.options.trajectory_forest);
+
+        let p2 = plan(&noisy(16), &hist(), &cfg).unwrap();
+        assert_eq!(p2.path, ExecPath::Replay);
+        assert!(!p2.options.trajectory_forest);
+    }
+
+    #[test]
+    fn low_chi_wide_chain_routes_to_capped_mps() {
+        // 30 qubits (> sv budget) of T-dusted nearest-neighbour ladder:
+        // chi bound is 2, MPS is the only sane exact route.
+        let mut c = Circuit::new();
+        for i in 0..30u32 {
+            c.push(Operation::gate(Gate::T, vec![q(i)]).unwrap());
+        }
+        for i in 1..30u32 {
+            c.push(Operation::gate(Gate::Cnot, vec![q(i - 1), q(i)]).unwrap());
+        }
+        c.push(Operation::measure((0..30).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        let plan = plan(&c, &hist(), &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.backend, BackendKind::ChainMps { chi: Some(2) });
+        assert_eq!(plan.path, ExecPath::SampleParallel);
+    }
+
+    #[test]
+    fn expectation_deliverable_routes_to_the_walk() {
+        let c = measured_ghz(4).without_measurements();
+        let obs: PauliSum = "Z0 Z1".parse().unwrap();
+        let plan = plan(
+            &c,
+            &Deliverable::Expectation { observable: obs },
+            &PlannerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.path, ExecPath::ExpectationWalk);
+        assert_eq!(plan.backend, BackendKind::ChForm);
+    }
+
+    #[test]
+    fn wide_toffoli_circuits_are_rejected_with_a_typed_error() {
+        let mut c = Circuit::new();
+        for i in 0..30u32 {
+            c.push(Operation::gate(Gate::H, vec![q(i)]).unwrap());
+        }
+        c.push(Operation::gate(Gate::Ccx, vec![q(0), q(1), q(2)]).unwrap());
+        c.push(Operation::measure((0..30).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        match plan(&c, &hist(), &PlannerConfig::default()) {
+            Err(SimError::Unsupported(msg)) => assert!(msg.contains("arity-3"), "{msg}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameterized_circuits_are_rejected_at_plan_time() {
+        let mut c = Circuit::new();
+        c.push(
+            Operation::gate(Gate::Rz(bgls_circuit::Param::symbol("theta")), vec![q(0)]).unwrap(),
+        );
+        c.push(Operation::measure(vec![q(0)], "m").unwrap());
+        assert!(matches!(
+            plan(&c, &hist(), &PlannerConfig::default()),
+            Err(SimError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_result_affecting_options() {
+        let p1 = plan(&measured_ghz(4), &hist(), &PlannerConfig::default()).unwrap();
+        let mut p2 = p1.clone();
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        p2.options.fuse_gates = true;
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+        let mut p3 = p1.clone();
+        p3.options.parallel_trajectories = false; // bit-identical by contract
+        assert_eq!(p1.fingerprint(), p3.fingerprint());
+    }
+}

@@ -1,0 +1,704 @@
+//! The batch simulation service: a queue, a planner, a batcher, and a
+//! deterministic result cache.
+//!
+//! [`SimulationService`] is the host loop the planner was built for.
+//! Requests arrive via [`SimulationService::submit`] (which plans them
+//! immediately — infeasible circuits are rejected at the door), sit in
+//! a bounded FIFO queue, and are drained by
+//! [`SimulationService::run_pending`] in admission-controlled batches:
+//!
+//! 1. Each drained job first consults the [`ResultCache`]. A seeded
+//!    simulation is a pure function of
+//!    `(circuit, backend, options, seed, repetitions)`, so a hit is
+//!    *bit-identical* to re-running — not an approximation.
+//! 2. Cache misses are deduplicated (a hot burst of identical requests
+//!    simulates once) and merged into compatibility groups — same plan
+//!    fingerprint, width, and shot count for histograms; same base
+//!    circuit and observable for expectation sweeps. Each group becomes
+//!    ONE engine fan-out: [`Simulator::run_batch`] for histograms
+//!    (every entry under exactly its own seed, so merging never changes
+//!    any result) or [`Simulator::expectation_sweep`] for expectations.
+//! 3. Batch size is a setpoint-driven knob: a [`BatchController`] PI
+//!    loop grows batches while service latency is under target and
+//!    shrinks them when it overshoots.
+
+use crate::planner::{plan, Deliverable, ExecutionPlan};
+use crate::PlannerConfig;
+use bgls_backend::SimulatorExt;
+use bgls_circuit::{Circuit, ParamResolver, PauliSum};
+use bgls_core::BatchPolicy;
+use bgls_core::{
+    BatchController, CacheKey, CacheStats, ResultCache, RunResult, SimError, Simulator,
+};
+use bgls_linalg::{FxHashMap, FxHasher};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a [`SimulationService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Budgets for the per-request planner.
+    pub planner: PlannerConfig,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Maximum queued (submitted, unexecuted) jobs; further submissions
+    /// are rejected with [`SimError::Invalid`].
+    pub max_queue: usize,
+    /// Seed applied to histogram requests that do not carry their own.
+    /// `None` leaves such requests unseeded — fresh entropy every run,
+    /// and therefore uncacheable.
+    pub default_seed: Option<u64>,
+    /// Setpoint and gains of the batch admission controller.
+    pub batch: BatchPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            planner: PlannerConfig::default(),
+            cache_capacity: 1024,
+            max_queue: 4096,
+            default_seed: None,
+            batch: BatchPolicy::default(),
+        }
+    }
+}
+
+/// Handle to a submitted job; redeem with
+/// [`SimulationService::take_result`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct JobId(pub u64);
+
+/// A completed job's payload.
+#[derive(Clone, Debug)]
+pub enum JobOutput {
+    /// Sampled histogram result (shared — cache hits hand out the same
+    /// allocation).
+    Histogram(Arc<RunResult>),
+    /// Exact expectation value.
+    Expectation(f64),
+}
+
+impl JobOutput {
+    /// The run result, when this is a histogram job.
+    pub fn histogram(&self) -> Option<&RunResult> {
+        match self {
+            JobOutput::Histogram(r) => Some(r),
+            JobOutput::Expectation(_) => None,
+        }
+    }
+
+    /// The value, when this is an expectation job.
+    pub fn expectation(&self) -> Option<f64> {
+        match self {
+            JobOutput::Histogram(_) => None,
+            JobOutput::Expectation(v) => Some(*v),
+        }
+    }
+}
+
+/// One simulation request.
+#[derive(Clone, Debug)]
+pub struct SimRequest {
+    /// The circuit to simulate (possibly parameterized when `resolver`
+    /// is set).
+    pub circuit: Circuit,
+    /// Parameter bindings applied at submission.
+    pub resolver: Option<ParamResolver>,
+    /// What to compute.
+    pub deliverable: Deliverable,
+    /// Explicit seed; falls back to [`ServiceConfig::default_seed`].
+    pub seed: Option<u64>,
+}
+
+impl SimRequest {
+    /// A histogram request over `repetitions` shots.
+    pub fn histogram(circuit: Circuit, repetitions: u64) -> Self {
+        SimRequest {
+            circuit,
+            resolver: None,
+            deliverable: Deliverable::Histogram { repetitions },
+            seed: None,
+        }
+    }
+
+    /// An exact-expectation request.
+    pub fn expectation(circuit: Circuit, observable: PauliSum) -> Self {
+        SimRequest {
+            circuit,
+            resolver: None,
+            deliverable: Deliverable::Expectation { observable },
+            seed: None,
+        }
+    }
+
+    /// Attaches an explicit seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attaches parameter bindings, resolved at submission.
+    pub fn with_resolver(mut self, resolver: ParamResolver) -> Self {
+        self.resolver = Some(resolver);
+        self
+    }
+}
+
+/// Service counters (cache counters live in
+/// [`SimulationService::cache_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted by [`SimulationService::submit`].
+    pub submitted: u64,
+    /// Jobs finished successfully (including cache hits).
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Drain batches executed.
+    pub batches: u64,
+    /// Jobs that shared an engine fan-out with at least one other job
+    /// (the batching win).
+    pub merged_jobs: u64,
+    /// Distinct simulations actually executed (after cache hits and
+    /// in-batch deduplication).
+    pub simulated_jobs: u64,
+}
+
+struct PendingJob {
+    id: u64,
+    /// Unresolved circuit — the base of `expectation_sweep` merging.
+    base: Circuit,
+    resolver: ParamResolver,
+    /// Resolver already applied; what histogram jobs execute.
+    resolved: Circuit,
+    plan: ExecutionPlan,
+    seed: Option<u64>,
+    key: Option<CacheKey>,
+    kind: JobKind,
+}
+
+enum JobKind {
+    Histogram { repetitions: u64 },
+    Expectation { observable: PauliSum, obs_fp: u64 },
+}
+
+/// The planner-driven batch simulation host. Single-threaded by design:
+/// `submit` enqueues, [`SimulationService::run_pending`] drains — the
+/// parallelism lives inside the merged engine fan-outs (Rayon), which
+/// keeps the whole service deterministic for seeded traffic.
+pub struct SimulationService {
+    config: ServiceConfig,
+    queue: VecDeque<PendingJob>,
+    done: FxHashMap<u64, Result<JobOutput, SimError>>,
+    cache: ResultCache<JobOutput>,
+    controller: BatchController,
+    next_id: u64,
+    stats: ServiceStats,
+}
+
+impl SimulationService {
+    /// A service over `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = ResultCache::new(config.cache_capacity);
+        let controller = BatchController::new(config.batch);
+        SimulationService {
+            config,
+            queue: VecDeque::new(),
+            done: FxHashMap::default(),
+            cache,
+            controller,
+            next_id: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// A service with default configuration.
+    pub fn with_defaults() -> Self {
+        SimulationService::new(ServiceConfig::default())
+    }
+
+    /// Plans and enqueues a request. Infeasible or malformed requests
+    /// are rejected here, synchronously, rather than failing later in a
+    /// batch; a full queue rejects with [`SimError::Invalid`]
+    /// (admission control — the queue bound is the service's memory
+    /// ceiling).
+    pub fn submit(&mut self, request: SimRequest) -> Result<JobId, SimError> {
+        if self.queue.len() >= self.config.max_queue {
+            return Err(SimError::Invalid(format!(
+                "service queue is full ({} jobs); drain with run_pending before submitting more",
+                self.queue.len()
+            )));
+        }
+        let resolver = request.resolver.unwrap_or_default();
+        let resolved = request.circuit.resolve(&resolver);
+        let plan = plan(&resolved, &request.deliverable, &self.config.planner)?;
+        let seed = request.seed.or(self.config.default_seed);
+        let (kind, key) = match request.deliverable {
+            Deliverable::Histogram { repetitions } => {
+                // Only seeded histograms are reproducible, hence cacheable.
+                let key = seed.map(|s| CacheKey {
+                    circuit: resolved.structural_hash(),
+                    backend: plan.fingerprint(),
+                    seed: s,
+                    repetitions,
+                    deliverable: 0,
+                });
+                (JobKind::Histogram { repetitions }, key)
+            }
+            Deliverable::Expectation { observable } => {
+                // The expectation walk is deterministic: cacheable
+                // regardless of seeding.
+                let obs_fp = hash_str(&observable.to_string());
+                let key = Some(CacheKey {
+                    circuit: resolved.structural_hash(),
+                    backend: plan.fingerprint(),
+                    seed: 0,
+                    repetitions: 0,
+                    deliverable: obs_fp,
+                });
+                (JobKind::Expectation { observable, obs_fp }, key)
+            }
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(PendingJob {
+            id,
+            base: request.circuit,
+            resolver,
+            resolved,
+            plan,
+            seed,
+            key,
+            kind,
+        });
+        self.stats.submitted += 1;
+        Ok(JobId(id))
+    }
+
+    /// Drains and executes one admission-controlled batch from the
+    /// queue; returns the number of jobs completed (ok or err). Call in
+    /// a loop — or use [`SimulationService::run_all`] — to drain fully.
+    pub fn run_pending(&mut self) -> usize {
+        if self.queue.is_empty() {
+            return 0;
+        }
+        let take = self.controller.batch_size().min(self.queue.len());
+        let batch: Vec<PendingJob> = self.queue.drain(..take).collect();
+        let started = Instant::now();
+        let completed = self.execute_batch(batch);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.controller.observe(take, elapsed_ms);
+        self.stats.batches += 1;
+        completed
+    }
+
+    /// Drains the whole queue; returns total jobs completed.
+    pub fn run_all(&mut self) -> usize {
+        let mut total = 0;
+        while !self.queue.is_empty() {
+            total += self.run_pending();
+        }
+        total
+    }
+
+    /// Removes and returns a finished job's result; `None` while the
+    /// job is still queued (or the id is unknown/already taken).
+    pub fn take_result(&mut self, id: JobId) -> Option<Result<JobOutput, SimError>> {
+        self.done.remove(&id.0)
+    }
+
+    /// Jobs waiting to execute.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The controller's current batch size (the PI loop's actuation).
+    pub fn batch_size(&self) -> usize {
+        self.controller.batch_size()
+    }
+
+    fn finish(&mut self, id: u64, result: Result<JobOutput, SimError>) {
+        match &result {
+            Ok(_) => self.stats.completed += 1,
+            Err(_) => self.stats.failed += 1,
+        }
+        self.done.insert(id, result);
+    }
+
+    fn execute_batch(&mut self, batch: Vec<PendingJob>) -> usize {
+        let mut completed = 0usize;
+        // Phase 1: cache lookups, and in-batch dedup of identical keys —
+        // a group key maps to the first job carrying it, followers just
+        // receive a copy of its output.
+        let mut misses: Vec<PendingJob> = Vec::new();
+        let mut followers: FxHashMap<CacheKey, Vec<u64>> = FxHashMap::default();
+        let mut leaders: FxHashMap<CacheKey, ()> = FxHashMap::default();
+        // Memoization (cache lookups AND in-batch dedup) is one switch:
+        // capacity 0 means every request simulates, the uncached
+        // baseline the throughput bench contrasts against.
+        let memoize = self.config.cache_capacity > 0;
+        for job in batch {
+            if let Some(key) = job.key {
+                if memoize {
+                    if let Some(hit) = self.cache.get(&key) {
+                        self.finish(job.id, Ok((*hit).clone()));
+                        completed += 1;
+                        continue;
+                    }
+                    if leaders.contains_key(&key) {
+                        followers.entry(key).or_default().push(job.id);
+                        completed += 1; // resolved when the leader finishes
+                        continue;
+                    }
+                    leaders.insert(key, ());
+                }
+            }
+            misses.push(job);
+            completed += 1;
+        }
+
+        // Phase 2: group misses into compatible engine fan-outs.
+        let mut hist_groups: FxHashMap<(u64, usize, u64), Vec<PendingJob>> = FxHashMap::default();
+        let mut exp_groups: FxHashMap<(u64, u64, u64), Vec<PendingJob>> = FxHashMap::default();
+        for job in misses {
+            match &job.kind {
+                JobKind::Histogram { repetitions } => {
+                    let group = (
+                        job.plan.fingerprint(),
+                        job.resolved.num_qubits().max(1),
+                        *repetitions,
+                    );
+                    hist_groups.entry(group).or_default().push(job);
+                }
+                JobKind::Expectation { obs_fp, .. } => {
+                    let group = (job.plan.fingerprint(), job.base.structural_hash(), *obs_fp);
+                    exp_groups.entry(group).or_default().push(job);
+                }
+            }
+        }
+
+        for ((_, n, repetitions), group) in hist_groups {
+            self.run_histogram_group(n, repetitions, group, &followers);
+        }
+        for (_, group) in exp_groups {
+            self.run_expectation_group(group, &followers);
+        }
+        completed
+    }
+
+    /// One merged `run_batch` fan-out: every entry executes under its
+    /// own seed, so each job's histogram is bit-identical to a
+    /// standalone [`ExecutionPlan::run`] — batch composition never
+    /// leaks into results.
+    fn run_histogram_group(
+        &mut self,
+        n: usize,
+        repetitions: u64,
+        group: Vec<PendingJob>,
+        followers: &FxHashMap<CacheKey, Vec<u64>>,
+    ) {
+        let mut options = group[0].plan.options.clone();
+        options.parallel_sweep = true; // fan the merged batch across threads
+        let sim = Simulator::for_backend(group[0].plan.backend, n, options);
+        let jobs: Vec<(Circuit, Option<u64>)> =
+            group.iter().map(|j| (j.resolved.clone(), j.seed)).collect();
+        let merged = group.len() > 1;
+        self.stats.simulated_jobs += group.len() as u64;
+        match sim.run_batch(&jobs, repetitions) {
+            Ok(results) => {
+                for (job, result) in group.into_iter().zip(results) {
+                    let output = JobOutput::Histogram(Arc::new(result));
+                    if merged {
+                        self.stats.merged_jobs += 1;
+                    }
+                    self.settle(job, Ok(output), followers);
+                }
+            }
+            Err(_) => {
+                // A merged fan-out reports only its first error; re-run
+                // entries individually (cold path) so each job gets its
+                // own verdict.
+                for job in group {
+                    let outcome = sim
+                        .clone()
+                        .with_options({
+                            let mut o = job.plan.options.clone();
+                            o.seed = job.seed;
+                            o
+                        })
+                        .run(&job.resolved, repetitions)
+                        .map(|r| JobOutput::Histogram(Arc::new(r)));
+                    self.settle(job, outcome, followers);
+                }
+            }
+        }
+    }
+
+    /// One merged `expectation_sweep` fan-out over the group's shared
+    /// base circuit: entries differ only in their parameter bindings.
+    /// The walk is deterministic, so merging is trivially sound.
+    fn run_expectation_group(
+        &mut self,
+        group: Vec<PendingJob>,
+        followers: &FxHashMap<CacheKey, Vec<u64>>,
+    ) {
+        let observable = match &group[0].kind {
+            JobKind::Expectation { observable, .. } => observable.clone(),
+            JobKind::Histogram { .. } => unreachable!("histogram job in expectation group"),
+        };
+        let n = group
+            .iter()
+            .map(|j| j.resolved.num_qubits())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut options = group[0].plan.options.clone();
+        options.parallel_sweep = true;
+        let sim = Simulator::for_backend(group[0].plan.backend, n, options);
+        let base = group[0].base.clone();
+        let resolvers: Vec<ParamResolver> = group.iter().map(|j| j.resolver.clone()).collect();
+        let merged = group.len() > 1;
+        self.stats.simulated_jobs += group.len() as u64;
+        match sim.expectation_sweep(&base, &resolvers, &observable) {
+            Ok(values) => {
+                for (job, value) in group.into_iter().zip(values) {
+                    if merged {
+                        self.stats.merged_jobs += 1;
+                    }
+                    self.settle(job, Ok(JobOutput::Expectation(value)), followers);
+                }
+            }
+            Err(_) => {
+                for job in group {
+                    let outcome = sim
+                        .expectation_value(&job.resolved, &observable)
+                        .map(JobOutput::Expectation);
+                    self.settle(job, outcome, followers);
+                }
+            }
+        }
+    }
+
+    /// Records a job's outcome, feeds the cache, and fans the output
+    /// out to in-batch duplicate requests.
+    fn settle(
+        &mut self,
+        job: PendingJob,
+        outcome: Result<JobOutput, SimError>,
+        followers: &FxHashMap<CacheKey, Vec<u64>>,
+    ) {
+        if let (Some(key), Ok(output)) = (job.key, &outcome) {
+            self.cache.insert(key, Arc::new(output.clone()));
+            if let Some(ids) = followers.get(&key) {
+                for &id in ids {
+                    self.stats.merged_jobs += 1;
+                    self.finish(id, Ok(output.clone()));
+                }
+            }
+        } else if let (Some(key), Err(_)) = (job.key, &outcome) {
+            // Followers of a failed leader re-fail with the same error
+            // text (SimError is Clone).
+            if let Some(ids) = followers.get(&key) {
+                for &id in ids {
+                    self.finish(id, outcome.clone());
+                }
+            }
+        }
+        self.finish(job.id, outcome);
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_circuit::{Gate, Operation, Qubit};
+
+    fn q(i: u32) -> Qubit {
+        Qubit(i)
+    }
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![q(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![q(0), q(1)]).unwrap());
+        c.push(Operation::measure(vec![q(0), q(1)], "m").unwrap());
+        c
+    }
+
+    #[test]
+    fn seeded_requests_hit_the_cache_bit_identically() {
+        let mut svc = SimulationService::with_defaults();
+        let a = svc
+            .submit(SimRequest::histogram(bell(), 200).with_seed(9))
+            .unwrap();
+        svc.run_all();
+        let first = match svc.take_result(a).unwrap().unwrap() {
+            JobOutput::Histogram(r) => r,
+            _ => panic!("expected histogram"),
+        };
+        let b = svc
+            .submit(SimRequest::histogram(bell(), 200).with_seed(9))
+            .unwrap();
+        svc.run_all();
+        let second = match svc.take_result(b).unwrap().unwrap() {
+            JobOutput::Histogram(r) => r,
+            _ => panic!("expected histogram"),
+        };
+        assert_eq!(svc.cache_stats().hits, 1);
+        assert_eq!(first.histogram("m"), second.histogram("m"));
+        // A cache hit hands out the same allocation, not a re-run.
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn unseeded_requests_bypass_the_cache() {
+        let mut svc = SimulationService::with_defaults();
+        svc.submit(SimRequest::histogram(bell(), 50)).unwrap();
+        svc.submit(SimRequest::histogram(bell(), 50)).unwrap();
+        svc.run_all();
+        assert_eq!(svc.cache_stats().hits, 0);
+        assert_eq!(svc.stats().completed, 2);
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_simulate_once() {
+        let mut svc = SimulationService::with_defaults();
+        let ids: Vec<JobId> = (0..6)
+            .map(|_| {
+                svc.submit(SimRequest::histogram(bell(), 100).with_seed(3))
+                    .unwrap()
+            })
+            .collect();
+        svc.run_all();
+        assert_eq!(svc.stats().simulated_jobs, 1);
+        let outs: Vec<Arc<RunResult>> = ids
+            .into_iter()
+            .map(|id| match svc.take_result(id).unwrap().unwrap() {
+                JobOutput::Histogram(r) => r,
+                _ => panic!("expected histogram"),
+            })
+            .collect();
+        for o in &outs[1..] {
+            assert!(Arc::ptr_eq(&outs[0], o));
+        }
+    }
+
+    #[test]
+    fn merged_batches_match_standalone_runs() {
+        // Mixed traffic with distinct seeds merges into one run_batch
+        // fan-out; every entry must equal its standalone execution.
+        let mut svc = SimulationService::with_defaults();
+        let ids: Vec<(JobId, u64)> = (0..5u64)
+            .map(|s| {
+                let id = svc
+                    .submit(SimRequest::histogram(bell(), 150).with_seed(s))
+                    .unwrap();
+                (id, s)
+            })
+            .collect();
+        svc.run_all();
+        assert!(svc.stats().merged_jobs >= 4);
+        for (id, seed) in ids {
+            let got = match svc.take_result(id).unwrap().unwrap() {
+                JobOutput::Histogram(r) => r,
+                _ => panic!("expected histogram"),
+            };
+            let standalone = crate::plan_and_run(&bell(), 150, Some(seed))
+                .unwrap()
+                .result;
+            assert_eq!(got.histogram("m"), standalone.histogram("m"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn expectation_requests_merge_into_one_sweep_and_cache() {
+        let mut base = Circuit::new();
+        base.push(
+            Operation::gate(Gate::Ry(bgls_circuit::Param::symbol("theta")), vec![q(0)]).unwrap(),
+        );
+        let obs: PauliSum = "Z0".parse().unwrap();
+        let mut svc = SimulationService::with_defaults();
+        let thetas = [0.0f64, 0.7, 1.4, 2.1];
+        let ids: Vec<JobId> = thetas
+            .iter()
+            .map(|&t| {
+                let mut r = ParamResolver::new();
+                r.bind("theta", t);
+                svc.submit(SimRequest::expectation(base.clone(), obs.clone()).with_resolver(r))
+                    .unwrap()
+            })
+            .collect();
+        svc.run_all();
+        for (id, &t) in ids.iter().zip(&thetas) {
+            let got = svc
+                .take_result(*id)
+                .unwrap()
+                .unwrap()
+                .expectation()
+                .unwrap();
+            assert!((got - t.cos()).abs() < 1e-10, "theta {t}: {got}");
+        }
+        // Same grid again: answered from cache without simulating.
+        let before = svc.stats().simulated_jobs;
+        let mut r = ParamResolver::new();
+        r.bind("theta", 0.7);
+        let id = svc
+            .submit(SimRequest::expectation(base.clone(), obs.clone()).with_resolver(r))
+            .unwrap();
+        svc.run_all();
+        assert_eq!(svc.stats().simulated_jobs, before);
+        assert!(svc.cache_stats().hits >= 1);
+        let got = svc.take_result(id).unwrap().unwrap().expectation().unwrap();
+        assert!((got - 0.7f64.cos()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn the_queue_bound_rejects_overload() {
+        let mut svc = SimulationService::new(ServiceConfig {
+            max_queue: 2,
+            ..ServiceConfig::default()
+        });
+        svc.submit(SimRequest::histogram(bell(), 10)).unwrap();
+        svc.submit(SimRequest::histogram(bell(), 10)).unwrap();
+        assert!(matches!(
+            svc.submit(SimRequest::histogram(bell(), 10)),
+            Err(SimError::Invalid(_))
+        ));
+        svc.run_all();
+        svc.submit(SimRequest::histogram(bell(), 10)).unwrap();
+    }
+
+    #[test]
+    fn infeasible_circuits_are_rejected_at_submission() {
+        let mut wide = Circuit::new();
+        for i in 0..30u32 {
+            wide.push(Operation::gate(Gate::H, vec![q(i)]).unwrap());
+        }
+        wide.push(Operation::gate(Gate::Ccx, vec![q(0), q(1), q(2)]).unwrap());
+        wide.push(Operation::measure(vec![q(0)], "m").unwrap());
+        let mut svc = SimulationService::with_defaults();
+        assert!(matches!(
+            svc.submit(SimRequest::histogram(wide, 10)),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+}

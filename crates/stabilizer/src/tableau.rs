@@ -2,8 +2,14 @@
 //! 2004) — the "stabilizer tableaux" the paper cites as the precursor of
 //! the CH form (Sec. 4.1.2).
 //!
-//! The tableau cannot answer bitstring-probability queries (it has no
-//! amplitude access), so it is *not* a BGLS backend; it implements the
+//! The tableau has no amplitude access, but it can still answer
+//! bitstring-probability queries by *forced measurement*
+//! ([`CliffordTableau::basis_probability`]: each random-outcome qubit
+//! contributes a factor 1/2 and collapses toward the target bit), so it
+//! doubles as a full [`bgls_core::BglsState`] backend — one that, unlike
+//! the CH form, also supports projective collapse
+//! ([`CliffordTableau::project`]) and therefore mid-circuit-measurement
+//! Clifford circuits. [`TableauSimulator`] additionally implements the
 //! **conventional** way to sample Clifford circuits — evolve, then measure
 //! qubit by qubit with collapse — and serves as the baseline the CH-form
 //! gate-by-gate sampler is compared against.
@@ -171,44 +177,114 @@ impl CliffordTableau {
         }
     }
 
+    /// Index of a stabilizer row anticommuting with `Z_a`, if any — the
+    /// measurement of qubit `a` has a random 50/50 outcome exactly when
+    /// one exists; otherwise the outcome is deterministic.
+    fn anticommuting_stabilizer(&self, a: usize) -> Option<usize> {
+        (self.n..2 * self.n).find(|&p| self.x.get(p, a))
+    }
+
+    /// Collapses a *random-outcome* measurement of qubit `a` to `outcome`,
+    /// where `p` is the anticommuting stabilizer row found by
+    /// [`CliffordTableau::anticommuting_stabilizer`]. This is the CHP
+    /// update: every other anticommuting row absorbs row `p`, row `p`
+    /// moves to the destabilizers, and `+-Z_a` becomes a stabilizer.
+    fn collapse(&mut self, a: usize, p: usize, outcome: bool) {
+        let n = self.n;
+        for i in 0..2 * n {
+            if i != p && self.x.get(i, a) {
+                self.rowsum(i, p);
+            }
+        }
+        // destabilizer p-n <- old stabilizer p; stabilizer p <- +-Z_a
+        let xp = self.x.row(p).clone();
+        self.x.set_row(p - n, xp);
+        let zp = self.z.row(p).clone();
+        self.z.set_row(p - n, zp);
+        self.r.set(p - n, self.r.get(p));
+        self.x.set_row(p, BitVec::zeros(self.x.n()));
+        let mut znew = BitVec::zeros(self.z.n());
+        znew.set(a, true);
+        self.z.set_row(p, znew);
+        self.r.set(p, outcome);
+    }
+
+    /// The deterministic measurement outcome of qubit `a` — only valid
+    /// when no stabilizer anticommutes with `Z_a`. Accumulates the
+    /// destabilizer-indicated stabilizers in the scratch row.
+    fn deterministic_outcome(&mut self, a: usize) -> bool {
+        let n = self.n;
+        self.scratch_x = BitVec::zeros(self.x.n());
+        self.scratch_z = BitVec::zeros(self.z.n());
+        self.scratch_r = 0;
+        for i in 0..n {
+            if self.x.get(i, a) {
+                self.rowsum_scratch(i + n);
+            }
+        }
+        debug_assert_eq!(self.scratch_r % 2, 0);
+        self.scratch_r.rem_euclid(4) == 2
+    }
+
     /// Measures qubit `a` in the computational basis, collapsing the state.
     pub fn measure(&mut self, a: usize, rng: &mut impl Rng) -> Result<bool, SimError> {
         self.check(a)?;
-        let n = self.n;
-        // random outcome iff some stabilizer anticommutes with Z_a
-        let p = (n..2 * n).find(|&p| self.x.get(p, a));
-        if let Some(p) = p {
-            let outcome = rng.gen::<bool>();
-            for i in 0..2 * n {
-                if i != p && self.x.get(i, a) {
-                    self.rowsum(i, p);
-                }
+        match self.anticommuting_stabilizer(a) {
+            Some(p) => {
+                let outcome = rng.gen::<bool>();
+                self.collapse(a, p, outcome);
+                Ok(outcome)
             }
-            // destabilizer p-n <- old stabilizer p; stabilizer p <- +-Z_a
-            let xp = self.x.row(p).clone();
-            self.x.set_row(p - n, xp);
-            let zp = self.z.row(p).clone();
-            self.z.set_row(p - n, zp);
-            self.r.set(p - n, self.r.get(p));
-            self.x.set_row(p, BitVec::zeros(self.x.n()));
-            let mut znew = BitVec::zeros(self.z.n());
-            znew.set(a, true);
-            self.z.set_row(p, znew);
-            self.r.set(p, outcome);
-            Ok(outcome)
-        } else {
-            // deterministic: accumulate destabilizer-indicated stabilizers
-            self.scratch_x = BitVec::zeros(self.x.n());
-            self.scratch_z = BitVec::zeros(self.z.n());
-            self.scratch_r = 0;
-            for i in 0..n {
-                if self.x.get(i, a) {
-                    self.rowsum_scratch(i + n);
-                }
-            }
-            debug_assert_eq!(self.scratch_r % 2, 0);
-            Ok(self.scratch_r.rem_euclid(4) == 2)
+            None => Ok(self.deterministic_outcome(a)),
         }
+    }
+
+    /// Projects qubit `a` onto the measurement outcome `value`,
+    /// renormalizing implicitly (stabilizer states have no norm to
+    /// track). When the outcome is random the projection succeeds with
+    /// the forced value; when it is deterministic and contradicts
+    /// `value`, the projector annihilates the state and the call fails
+    /// with [`SimError::ZeroProbabilityEvent`]. This is what lets the
+    /// tableau participate in the trajectory-forest and exact
+    /// expectation walks, which the CH form (no projection) cannot.
+    pub fn project(&mut self, a: usize, value: bool) -> Result<(), SimError> {
+        self.check(a)?;
+        match self.anticommuting_stabilizer(a) {
+            Some(p) => {
+                self.collapse(a, p, value);
+                Ok(())
+            }
+            None if self.deterministic_outcome(a) == value => Ok(()),
+            None => Err(SimError::ZeroProbabilityEvent),
+        }
+    }
+
+    /// `|<bits|psi>|^2` by forced sequential measurement on a scratch
+    /// clone: each qubit whose outcome is random contributes a factor
+    /// `1/2` and is collapsed to the target bit; a deterministic qubit
+    /// contradicting the target makes the whole amplitude zero. Runs in
+    /// `O(n^3)` bit-operations worst case — asymptotically worse than
+    /// the CH form's `O(n^2)` amplitude, but it turns the tableau into a
+    /// full gate-by-gate (BGLS) backend rather than only a
+    /// collapse-measurement sampler.
+    pub fn basis_probability(&self, bits: &BitString) -> f64 {
+        let mut t = self.clone();
+        let mut p = 1.0;
+        for q in 0..self.n {
+            let target = bits.get(q);
+            match t.anticommuting_stabilizer(q) {
+                Some(row) => {
+                    p *= 0.5;
+                    t.collapse(q, row, target);
+                }
+                None => {
+                    if t.deterministic_outcome(q) != target {
+                        return 0.0;
+                    }
+                }
+            }
+        }
+        p
     }
 
     /// Exact stabilizer expectation `<psi|P|psi>` of a Pauli string via
@@ -376,6 +452,40 @@ impl CliffordTableau {
             },
             other => Err(SimError::NotClifford(other.name().into())),
         }
+    }
+}
+
+/// The tableau as a gate-by-gate (BGLS) backend: Clifford gates apply
+/// natively, probabilities come from
+/// [`CliffordTableau::basis_probability`], projection from
+/// [`CliffordTableau::project`], and Pauli expectations from
+/// [`CliffordTableau::pauli_expectation`]. Channels stay unsupported
+/// (trait default) — noisy circuits belong on the density matrix or a
+/// trajectory-capable amplitude backend.
+///
+/// Compared to the CH form this trades `O(n^2)` amplitudes for `O(n^3)`
+/// ones, but gains projection — so mid-circuit-measurement Clifford
+/// circuits (QEC syndrome extraction et al.) run on the forest engine
+/// and the exact expectation walk, both of which the CH form rejects.
+impl bgls_core::BglsState for CliffordTableau {
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimError> {
+        CliffordTableau::apply_gate(self, gate, qubits)
+    }
+
+    fn probability(&self, bits: BitString) -> f64 {
+        self.basis_probability(&bits)
+    }
+
+    fn project(&mut self, qubit: usize, value: bool) -> Result<(), SimError> {
+        CliffordTableau::project(self, qubit, value)
+    }
+
+    fn expectation(&self, observable: &bgls_circuit::PauliString) -> Result<f64, SimError> {
+        self.pauli_expectation(observable)
     }
 }
 
@@ -609,6 +719,99 @@ mod tests {
         }
         let t = CliffordTableau::zero(2);
         assert!(t.pauli_expectation(&"Z4".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn basis_probability_matches_chform_amplitudes() {
+        use crate::ChForm;
+        use bgls_circuit::{generate_random_circuit, RandomCircuitParams};
+        use bgls_core::BglsState as _;
+
+        let n = 4;
+        for seed in 0..8 {
+            let mut crng = StdRng::seed_from_u64(100 + seed);
+            let circuit = generate_random_circuit(&RandomCircuitParams::clifford(n, 12), &mut crng);
+            let tab = tableau_from_circuit(&circuit, n).unwrap();
+            let mut ch = ChForm::zero(n);
+            for op in circuit.all_operations() {
+                let qs: Vec<usize> = op.support().iter().map(|q| q.index()).collect();
+                ch.apply_gate(op.as_gate().unwrap(), &qs).unwrap();
+            }
+            for v in 0..1u64 << n {
+                let b = BitString::from_u64(n, v);
+                let pt = tab.basis_probability(&b);
+                let pc = ch.probability(b);
+                assert!(
+                    (pt - pc).abs() < 1e-10,
+                    "seed {seed}, {b}: tableau {pt} vs chform {pc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn project_forces_outcomes_and_rejects_impossible_ones() {
+        // GHZ: project qubit 0 to 1 -> all qubits read 1 deterministically
+        let mut t = CliffordTableau::zero(3);
+        t.h(0).unwrap();
+        t.cnot(0, 1).unwrap();
+        t.cnot(1, 2).unwrap();
+        t.project(0, true).unwrap();
+        let mut r = rng();
+        assert!(t.measure(1, &mut r).unwrap());
+        assert!(t.measure(2, &mut r).unwrap());
+        // projecting a deterministic qubit onto the wrong value is the
+        // impossible event
+        assert!(matches!(
+            t.project(1, false),
+            Err(SimError::ZeroProbabilityEvent)
+        ));
+        // onto the right value it is a no-op
+        t.project(1, true).unwrap();
+    }
+
+    #[test]
+    fn tableau_runs_as_a_gate_by_gate_backend() {
+        use bgls_circuit::{Operation, Qubit};
+        use bgls_core::Simulator;
+
+        let n = 3;
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(1), Qubit(2)]).unwrap());
+        c.push(Operation::measure(Qubit::range(n), "z").unwrap());
+        let result = Simulator::new(CliffordTableau::zero(n))
+            .with_seed(3)
+            .run(&c, 500)
+            .unwrap();
+        let h = result.histogram("z").unwrap();
+        assert_eq!(h.count_value(0b000) + h.count_value(0b111), 500);
+        assert!(h.count_value(0b000) > 150 && h.count_value(0b111) > 150);
+    }
+
+    #[test]
+    fn tableau_handles_mid_circuit_measurement_via_projection() {
+        use bgls_circuit::{Operation, Qubit};
+        use bgls_core::Simulator;
+
+        // measure qubit 0 of a Bell pair mid-circuit, then CNOT onto a
+        // fresh qubit: records "a" and "b" must agree perfectly
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0)], "a").unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(2)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(2)], "b").unwrap());
+        let result = Simulator::new(CliffordTableau::zero(3))
+            .with_seed(5)
+            .run(&c, 400)
+            .unwrap();
+        let a = result.histogram("a").unwrap();
+        let b = result.histogram("b").unwrap();
+        assert_eq!(a.count_value(0), b.count_value(0));
+        assert_eq!(a.count_value(1), b.count_value(1));
+        assert!(a.count_value(0) > 100 && a.count_value(1) > 100);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Planner-driven QAOA: solve MaxCut without naming a backend — the
+//! execution planner profiles the bound circuit and routes it.
+//!
+//! ```text
+//! cargo run --release --example planner_qaoa
+//! ```
+
+use bgls_apps::{brute_force_maxcut, solve_maxcut_qaoa_auto, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = Graph::erdos_renyi(8, 0.35, &mut rng);
+    let (_, optimal) = brute_force_maxcut(&graph);
+    println!(
+        "MaxCut on G(n = {}, |E| = {}): optimal cut {optimal}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let (solution, plan) = solve_maxcut_qaoa_auto(&graph, 6, 100, 500, 7).expect("qaoa");
+    println!(
+        "planner routed to  : {} / {}",
+        plan.backend.name(),
+        plan.path
+    );
+    println!("rationale          : {}", plan.rationale);
+    println!(
+        "profile            : {} qubits, {} ops, clifford fraction {:.2}, chi bound {}",
+        plan.profile.num_qubits,
+        plan.profile.num_operations,
+        plan.profile.clifford_fraction(),
+        plan.profile.chi_bound()
+    );
+    println!(
+        "best (gamma, beta) : ({:.3}, {:.3}) with mean cut {:.3}",
+        solution.sweep.best_params.0, solution.sweep.best_params.1, solution.sweep.best_mean_cut
+    );
+    println!(
+        "best sampled cut   : {} / {optimal} (bitstring {:?})",
+        solution.cut, solution.partition
+    );
+}

@@ -33,7 +33,12 @@ pub use bgls_circuit as circuit;
 pub use bgls_core as core;
 pub use bgls_linalg as linalg;
 pub use bgls_mps as mps;
+pub use bgls_plan as plan;
 pub use bgls_stabilizer as stabilizer;
 pub use bgls_statevector as statevector;
 
 pub use bgls_backend::{simulator_for, AnyState, BackendKind, SimulatorExt};
+pub use bgls_plan::{
+    plan_and_expect, plan_and_run, Deliverable, ExecPath, ExecutionPlan, PlannerConfig, SimRequest,
+    SimulationService, SimulatorPlanExt,
+};

@@ -140,3 +140,66 @@ fn zero_repetitions_is_a_clean_empty_result() {
     assert_eq!(r.repetitions(), 0);
     assert!(r.histogram("z").is_none());
 }
+
+#[test]
+fn estimate_expectation_rejects_degenerate_shot_counts() {
+    // 0 shots would divide by zero; 1 shot leaves the variance term
+    // 0/0 = NaN. Both must be typed errors, not silent NaNs.
+    let mut c = Circuit::new();
+    c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    let obs: bgls_suite::circuit::PauliSum = "Z0".parse().unwrap();
+    let sim = Simulator::new(StateVector::zero(1)).with_seed(3);
+    for shots in [0, 1] {
+        match sim.estimate_expectation(&c, &obs, shots) {
+            Err(SimError::Invalid(msg)) => assert!(msg.contains("2 shots"), "{msg}"),
+            other => panic!("shots={shots}: expected Invalid, got {other:?}"),
+        }
+    }
+    // The smallest legal count yields finite values.
+    let est = sim.estimate_expectation(&c, &obs, 2).unwrap();
+    assert!(est.value.is_finite());
+    assert!(est.std_error.is_finite());
+}
+
+#[test]
+fn all_zero_weights_are_a_zero_probability_event() {
+    use bgls_suite::core::{categorical, multinomial_split};
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    assert!(matches!(
+        categorical(&[0.0, 0.0, 0.0], &mut rng),
+        Err(SimError::ZeroProbabilityEvent)
+    ));
+    assert!(matches!(
+        multinomial_split(10, &[0.0, 0.0], &mut rng),
+        Err(SimError::ZeroProbabilityEvent)
+    ));
+}
+
+#[test]
+fn nan_and_negative_weights_are_invalid() {
+    use bgls_suite::core::{categorical, multinomial_split};
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    for bad in [f64::NAN, -0.25, f64::INFINITY] {
+        let weights = [0.5, bad, 0.25];
+        match categorical(&weights, &mut rng) {
+            Err(SimError::Invalid(msg)) => {
+                assert!(msg.contains("weight"), "{msg}")
+            }
+            other => panic!("weight {bad}: expected Invalid, got {other:?}"),
+        }
+        assert!(matches!(
+            multinomial_split(10, &weights, &mut rng),
+            Err(SimError::Invalid(_))
+        ));
+    }
+}
+
+#[test]
+fn empty_weight_vectors_cannot_be_sampled() {
+    use bgls_suite::core::categorical;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!(categorical(&[], &mut rng).is_err());
+}

@@ -37,11 +37,12 @@
 #![warn(missing_docs)]
 
 use bgls_circuit::{Channel, Gate, PauliString};
-use bgls_core::{BglsState, BitString, SimError, Simulator, SimulatorOptions};
+use bgls_core::{BglsState, BitString, OpFaultFn, SimError, Simulator, SimulatorOptions};
 use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
 use bgls_stabilizer::{ChForm, CliffordTableau};
 use bgls_statevector::{DensityMatrix, StateVector};
 use rand::RngCore;
+use std::sync::Arc;
 
 /// Names one of the available state representations.
 ///
@@ -114,6 +115,13 @@ impl BackendKind {
     /// sampling trajectory branches (today: the density matrix).
     pub fn channels_are_deterministic(&self) -> bool {
         matches!(self, BackendKind::DensityMatrix)
+    }
+
+    /// True when `self` and `other` name the same state representation,
+    /// ignoring configuration such as the MPS bond cap — `mps:8` and
+    /// `mps:64` are the same family.
+    pub fn same_family(&self, other: BackendKind) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(&other)
     }
 }
 
@@ -348,6 +356,66 @@ pub fn simulator_for(kind: BackendKind, n_qubits: usize) -> Simulator<AnyState> 
     Simulator::for_backend(kind, n_qubits, SimulatorOptions::default())
 }
 
+/// A declarative backend-failure injection: abort a run at the Nth
+/// applied operation, optionally only when it executes on a given
+/// backend family.
+///
+/// This is the fallible-op side of the fault-injection harness. The
+/// spec is plain data so it can ride in a service's `FaultPlan`;
+/// [`OpFaultSpec::arm`] turns it into the [`OpFaultFn`] hook a
+/// [`Simulator::with_fallible_ops`] run consults. The armed hook is a
+/// pure function of the application ordinal, so re-running the same
+/// plan reproduces the same abort at the same operation — chaos tests
+/// stay bit-for-bit deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpFaultSpec {
+    /// 1-based application ordinal at which the run aborts (every
+    /// operation from this ordinal on fails, so the first one hit
+    /// surfaces the error).
+    pub at_op: u64,
+    /// Restrict the fault to one backend family (chi-insensitive, see
+    /// [`BackendKind::same_family`]); `None` faults every backend.
+    pub only_backend: Option<BackendKind>,
+    /// Message carried in the resulting [`SimError::Faulted`].
+    pub message: String,
+}
+
+impl OpFaultSpec {
+    /// A spec failing every backend at `at_op`.
+    pub fn new(at_op: u64, message: impl Into<String>) -> Self {
+        OpFaultSpec {
+            at_op,
+            only_backend: None,
+            message: message.into(),
+        }
+    }
+
+    /// Restricts the fault to `kind`'s backend family.
+    pub fn for_backend(mut self, kind: BackendKind) -> Self {
+        self.only_backend = Some(kind);
+        self
+    }
+
+    /// Arms the spec for a run on `kind`: `Some(hook)` when the fault
+    /// applies to that backend, `None` when the run should proceed
+    /// unfaulted (no hook installed — the simulator stays untouched).
+    pub fn arm(&self, kind: BackendKind) -> Option<OpFaultFn> {
+        match self.only_backend {
+            Some(only) if !only.same_family(kind) => return None,
+            _ => {}
+        }
+        let at = self.at_op.max(1);
+        let message = self.message.clone();
+        Some(Arc::new(move |ordinal, _op| {
+            if ordinal >= at {
+                Err(SimError::Faulted(message.clone()))
+            } else {
+                Ok(())
+            }
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +616,49 @@ mod tests {
         other.clone_from(&src);
         assert_eq!(other.kind(), BackendKind::StateVector);
         assert!((other.probability(bgls_core::BitString::from_u64(2, 0b10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn armed_op_fault_aborts_at_the_requested_ordinal() {
+        let n = 3;
+        let mut circuit = ghz(n);
+        circuit.push(Operation::measure(Qubit::range(n), "z").unwrap());
+        // the first CNOT is the 2nd applied operation
+        let spec = OpFaultSpec::new(2, "injected");
+        let sim = simulator_for(BackendKind::StateVector, n)
+            .with_seed(5)
+            .with_fallible_ops(spec.arm(BackendKind::StateVector).unwrap());
+        match sim.run(&circuit, 10) {
+            Err(SimError::Faulted(msg)) => assert_eq!(msg, "injected"),
+            other => panic!("expected a Faulted error, got {other:?}"),
+        }
+        // a fault that never fires leaves the run bit-identical
+        let late = OpFaultSpec::new(1_000, "never");
+        let faulted = simulator_for(BackendKind::StateVector, n)
+            .with_seed(5)
+            .with_fallible_ops(late.arm(BackendKind::StateVector).unwrap())
+            .run(&circuit, 50)
+            .unwrap();
+        let clean = simulator_for(BackendKind::StateVector, n)
+            .with_seed(5)
+            .run(&circuit, 50)
+            .unwrap();
+        assert_eq!(
+            faulted.histogram("z").unwrap().iter_sorted(),
+            clean.histogram("z").unwrap().iter_sorted()
+        );
+    }
+
+    #[test]
+    fn op_fault_spec_scopes_to_a_backend_family() {
+        let spec = OpFaultSpec::new(1, "sv only").for_backend(BackendKind::StateVector);
+        assert!(spec.arm(BackendKind::StateVector).is_some());
+        assert!(spec.arm(BackendKind::ChForm).is_none());
+        // chi configuration does not change the family
+        let mps = OpFaultSpec::new(1, "mps").for_backend(BackendKind::ChainMps { chi: Some(8) });
+        assert!(mps.arm(BackendKind::ChainMps { chi: None }).is_some());
+        assert!(BackendKind::StateVector.same_family(BackendKind::StateVector));
+        assert!(!BackendKind::StateVector.same_family(BackendKind::LazyNetwork));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! mix (recorded in `BENCH_service_throughput.json`).
 
 use bgls_circuit::{Channel, Circuit, Gate, Operation, Qubit};
-use bgls_plan::{ServiceConfig, SimRequest, SimulationService};
+use bgls_plan::{ServePolicy, ServiceConfig, ServiceHandle, SimRequest, SimulationService};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 /// Hot seeds per circuit class; every request draws one of these.
@@ -105,12 +105,40 @@ fn serve(cache_capacity: usize, circuits: &[Circuit]) -> u64 {
     completed as u64
 }
 
+/// The same hot mix through the async front door: a worker pool drains
+/// the service while the submitting thread redeems tickets. Measures
+/// the serving layer's overhead (channel, slots, condvar) on top of the
+/// cached drain loop.
+fn serve_async(circuits: &[Circuit]) -> u64 {
+    let handle = ServiceHandle::start(ServiceConfig::default(), ServePolicy::default())
+        .expect("start serving pool");
+    let mut tickets = Vec::new();
+    for round in 0..rounds() {
+        for c in circuits {
+            tickets.push(
+                handle
+                    .submit(SimRequest::histogram(c.clone(), reps()).with_seed(round % HOT_SEEDS))
+                    .expect("submit"),
+            );
+        }
+    }
+    for t in &tickets {
+        handle.wait(*t).expect("serve");
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, rounds() * circuits.len() as u64);
+    stats.completed
+}
+
 fn bench_service_throughput(c: &mut Criterion) {
     let circuits = traffic();
     let mut group = c.benchmark_group("service_throughput");
     group.sample_size(2);
     group.bench_function("hot_mix/uncached", |b| b.iter(|| serve(0, &circuits)));
     group.bench_function("hot_mix/cached", |b| b.iter(|| serve(1024, &circuits)));
+    group.bench_function("hot_mix/async_served", |b| {
+        b.iter(|| serve_async(&circuits))
+    });
     group.finish();
 }
 

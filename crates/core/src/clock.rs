@@ -1,0 +1,116 @@
+//! Deadline clock abstraction for the serving layer.
+//!
+//! The fault-tolerant service needs a notion of "now" for deadlines and
+//! retry backoff, and a way to wait for a backoff window to pass. Both
+//! must be swappable: production uses a monotonic wall clock, while the
+//! chaos tests drive a [`ManualClock`] so deadline misses and backoff
+//! schedules are reproducible bit-for-bit.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A millisecond clock the serving layer schedules against.
+///
+/// `now_ms` is monotone non-decreasing. `sleep_ms` blocks (or, for a
+/// manual clock, advances time) for at least the requested window —
+/// callers use it to wait out retry backoff without busy-spinning.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Milliseconds elapsed since the clock's origin.
+    fn now_ms(&self) -> u64;
+    /// Waits for `ms` milliseconds of clock time to pass.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// Wall-clock [`Clock`] anchored at construction time.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+/// A hand-cranked [`Clock`] for deterministic tests.
+///
+/// `now_ms` reads an atomic counter; `sleep_ms` *advances* it, so a
+/// service waiting out a retry backoff makes progress without real time
+/// passing — the whole schedule becomes a pure function of the workload.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 ms.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A shared handle starting at 0 ms.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ManualClock::new())
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_on_sleep() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.sleep_ms(25);
+        clock.advance_ms(5);
+        assert_eq!(clock.now_ms(), 30);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+    }
+}

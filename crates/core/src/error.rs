@@ -29,6 +29,29 @@ pub enum SimError {
     },
     /// Invalid argument.
     Invalid(String),
+    /// A worker caught a panic while executing this job. The panic is
+    /// isolated to the job: the worker and every other batch member keep
+    /// running, and the payload message is preserved here.
+    WorkerPanic(String),
+    /// The job's deadline elapsed before it could be served. Deadlines
+    /// are checked at batch boundaries, so a miss is reported the next
+    /// time the job would have been drained.
+    DeadlineExceeded {
+        /// The deadline budget the job was submitted with, in
+        /// milliseconds.
+        budget_ms: u64,
+    },
+    /// The job was cancelled by the caller before it executed.
+    Cancelled,
+    /// A resource budget was exhausted mid-run (e.g. the weighted
+    /// expectation frontier outgrew `max_forest_nodes`). The serving
+    /// layer treats this as an immediate degradation trigger rather than
+    /// a retryable fault — retrying the same plan exhausts the same
+    /// budget.
+    BudgetExhausted(String),
+    /// The backend aborted mid-run through the fallible-op hook
+    /// ([`crate::Simulator::with_fallible_ops`]).
+    Faulted(String),
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +78,13 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Invalid(msg) => write!(f, "{msg}"),
+            SimError::WorkerPanic(msg) => write!(f, "worker caught a panic: {msg}"),
+            SimError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded (budget {budget_ms} ms)")
+            }
+            SimError::Cancelled => write!(f, "cancelled by the caller"),
+            SimError::BudgetExhausted(msg) => write!(f, "budget exhausted: {msg}"),
+            SimError::Faulted(msg) => write!(f, "backend fault: {msg}"),
         }
     }
 }

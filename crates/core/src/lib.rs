@@ -23,6 +23,7 @@
 
 mod baseline;
 mod bitstring;
+mod clock;
 mod error;
 mod results;
 mod service;
@@ -31,11 +32,12 @@ mod state;
 
 pub use baseline::QubitByQubitSimulator;
 pub use bitstring::BitString;
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use error::SimError;
 pub use results::{ExpectationEstimate, Histogram, RunResult};
-pub use service::{BatchController, BatchPolicy, CacheKey, CacheStats, ResultCache};
+pub use service::{BatchController, BatchPolicy, CacheKey, CacheStats, ResultCache, RetryPolicy};
 pub use simulator::{
-    categorical, multinomial_split, stream_seed, ApplyFn, BatchProbFn, ProbFn, Simulator,
-    SimulatorOptions,
+    categorical, multinomial_split, stream_seed, ApplyFn, BatchProbFn, OpFaultFn, ProbFn,
+    Simulator, SimulatorOptions,
 };
 pub use state::{AmplitudeState, BglsState, MarginalState};

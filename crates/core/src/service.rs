@@ -146,6 +146,56 @@ impl<V> ResultCache<V> {
     }
 }
 
+/// Retry budget and exponential-backoff schedule for failed jobs.
+///
+/// The schedule is a pure function of the attempt index, so a service
+/// replaying the same workload against a [`crate::ManualClock`] produces
+/// the same re-admission times bit-for-bit. `max_retries` bounds the
+/// retries *per degradation rung*: a job that exhausts the budget on one
+/// plan falls down the degradation ladder with a fresh budget rather
+/// than failing outright.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per degradation rung (0 disables retry — first
+    /// failure degrades or fails).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Multiplier applied per further retry (clamped to >= 1).
+    pub backoff_multiplier: f64,
+    /// Ceiling on any single backoff window, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 1,
+            backoff_multiplier: 2.0,
+            max_backoff_ms: 1_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether a job that has already consumed `retries_on_rung` retries
+    /// on its current plan may retry again.
+    pub fn should_retry(&self, retries_on_rung: u32) -> bool {
+        retries_on_rung < self.max_retries
+    }
+
+    /// The backoff window before retry number `retry` (0-based), in
+    /// milliseconds: `base * multiplier^retry`, capped at
+    /// `max_backoff_ms`.
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let mult = self.backoff_multiplier.max(1.0);
+        let exp = mult.powi(retry.min(63) as i32);
+        let window = (self.base_backoff_ms as f64 * exp).min(self.max_backoff_ms as f64);
+        window as u64
+    }
+}
+
 /// Configuration of the [`BatchController`]: the latency setpoint and
 /// the PI gains (in the spirit of a Shannon-style control unit — steer a
 /// knob to hold a target signal instead of hard-coding the knob).
@@ -229,7 +279,17 @@ impl BatchController {
         if error.abs() <= self.policy.deadband {
             return;
         }
-        self.integral = (self.integral + error).clamp(-10.0, 10.0);
+        // Anti-windup by conditional integration: when the actuator is
+        // pinned at a clamp and the error pushes further into it, the
+        // integral term would only accumulate charge that has to be
+        // unwound before the controller can react to a reversal. Skip
+        // integration in that case so recovery from saturation is
+        // immediate.
+        let pinned_high = self.current >= self.policy.max_batch as f64 && error > 0.0;
+        let pinned_low = self.current <= self.policy.min_batch as f64 && error < 0.0;
+        if !pinned_high && !pinned_low {
+            self.integral = (self.integral + error).clamp(-10.0, 10.0);
+        }
         let adjust = self.policy.kp * error + self.policy.ki * self.integral;
         // multiplicative actuation keeps the step proportional to the
         // current operating point across the decades between min and max
@@ -301,6 +361,44 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_insertion_order_not_access_order() {
+        // The cache is FIFO by design (deterministic results make
+        // recency worthless for correctness): a recent hit must not
+        // rescue an entry from eviction.
+        let mut cache: ResultCache<u64> = ResultCache::new(2);
+        cache.insert(key(1), Arc::new(1));
+        cache.insert(key(2), Arc::new(2));
+        assert!(cache.get(&key(1)).is_some(), "touch the oldest entry");
+        cache.insert(key(3), Arc::new(3));
+        assert!(
+            cache.get(&key(1)).is_none(),
+            "FIFO evicts the oldest insertion even if it was just read"
+        );
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsertion_keeps_the_original_eviction_position() {
+        let mut cache: ResultCache<u64> = ResultCache::new(2);
+        cache.insert(key(1), Arc::new(10));
+        cache.insert(key(2), Arc::new(20));
+        // replace key(1)'s value: position in the eviction queue must
+        // not refresh, and no phantom order entry may accumulate
+        cache.insert(key(1), Arc::new(11));
+        assert_eq!(*cache.get(&key(1)).unwrap(), 11, "value replaced");
+        cache.insert(key(3), Arc::new(30));
+        assert!(
+            cache.get(&key(1)).is_none(),
+            "reinserted key evicts at its original position"
+        );
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn zero_capacity_disables_the_cache() {
         let mut cache: ResultCache<u64> = ResultCache::new(0);
         cache.insert(key(1), Arc::new(1));
@@ -353,6 +451,87 @@ mod tests {
             c.observe(4, 1e6); // extremely slow -> push to min
         }
         assert_eq!(c.batch_size(), 2);
+    }
+
+    #[test]
+    fn anti_windup_releases_the_max_clamp_promptly() {
+        let policy = BatchPolicy {
+            min_batch: 1,
+            max_batch: 8,
+            target_batch_ms: 50.0,
+            ..Default::default()
+        };
+        let mut c = BatchController::new(policy);
+        // saturate high: ~unit positive error per observation, held at
+        // the max clamp for many observations
+        for _ in 0..50 {
+            let b = c.batch_size();
+            c.observe(b, 0.001 * b as f64);
+        }
+        assert_eq!(c.batch_size(), 8, "fast batches pin the max clamp");
+        // moderate reversal: projected latency 2x the setpoint. Without
+        // conditional integration the wound-up integral holds the
+        // controller at the clamp for many observations; with it the
+        // first reversal observations already move the batch size.
+        for _ in 0..3 {
+            c.observe(8, 100.0);
+        }
+        assert!(
+            c.batch_size() < 8,
+            "controller must unpin from the max clamp within 3 reversal observations"
+        );
+    }
+
+    #[test]
+    fn anti_windup_releases_the_min_clamp_promptly() {
+        let policy = BatchPolicy {
+            min_batch: 2,
+            max_batch: 8,
+            target_batch_ms: 50.0,
+            ..Default::default()
+        };
+        let mut c = BatchController::new(policy);
+        // saturate low with a persistent moderate overload (30 ms per
+        // job keeps the projected latency above target even at min)
+        for _ in 0..50 {
+            let b = c.batch_size();
+            c.observe(b, 30.0 * b as f64);
+        }
+        assert_eq!(c.batch_size(), 2, "slow batches pin the min clamp");
+        // reversal: essentially free batches
+        for _ in 0..3 {
+            let b = c.batch_size();
+            c.observe(b, 0.001 * b as f64);
+        }
+        assert!(
+            c.batch_size() > 2,
+            "controller must unpin from the min clamp within 3 reversal observations"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_exponential_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 2,
+            backoff_multiplier: 2.0,
+            max_backoff_ms: 10,
+        };
+        assert_eq!(policy.backoff_ms(0), 2);
+        assert_eq!(policy.backoff_ms(1), 4);
+        assert_eq!(policy.backoff_ms(2), 8);
+        assert_eq!(policy.backoff_ms(3), 10, "capped at max_backoff_ms");
+        assert_eq!(policy.backoff_ms(40), 10);
+        assert!(policy.should_retry(0));
+        assert!(policy.should_retry(2));
+        assert!(!policy.should_retry(3));
+        // a sub-unit multiplier must not shrink the window
+        let decay = RetryPolicy {
+            backoff_multiplier: 0.5,
+            base_backoff_ms: 4,
+            ..policy
+        };
+        assert_eq!(decay.backoff_ms(5), 4);
     }
 
     #[test]

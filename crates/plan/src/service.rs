@@ -1,5 +1,5 @@
-//! The batch simulation service: a queue, a planner, a batcher, and a
-//! deterministic result cache.
+//! The batch simulation service: a queue, a planner, a batcher, a
+//! deterministic result cache — and a fault-tolerance layer.
 //!
 //! [`SimulationService`] is the host loop the planner was built for.
 //! Requests arrive via [`SimulationService::submit`] (which plans them
@@ -21,20 +21,57 @@
 //! 3. Batch size is a setpoint-driven knob: a [`BatchController`] PI
 //!    loop grows batches while service latency is under target and
 //!    shrinks them when it overshoots.
+//!
+//! # Failure domains
+//!
+//! Every batch member is its own failure domain. A panicking kernel is
+//! caught (`catch_unwind`) and surfaces as a typed
+//! [`SimError::WorkerPanic`] on that job alone; the drain loop, the
+//! other batch members, and the service itself keep running. Failed
+//! jobs are retried with exponential backoff ([`RetryPolicy`]) and,
+//! when the retry budget on a plan is exhausted — or immediately on
+//! [`SimError::BudgetExhausted`] — re-planned one rung down the
+//! [`crate::degrade`] ladder, with each hop recorded in the final
+//! [`JobReport::degradations`]. Deadlines are checked at batch
+//! boundaries against the service [`Clock`]; queued jobs can be
+//! cancelled by [`JobId`]. A [`FaultPlan`] injects deterministic,
+//! seed-keyed faults for chaos testing.
 
-use crate::planner::{plan, Deliverable, ExecutionPlan};
+use crate::fault::{FaultPlan, InjectedFault};
+use crate::planner::{degrade, plan, Deliverable, ExecPath, ExecutionPlan};
 use crate::PlannerConfig;
-use bgls_backend::SimulatorExt;
+use bgls_backend::{BackendKind, SimulatorExt};
 use bgls_circuit::{Circuit, ParamResolver, PauliSum};
-use bgls_core::BatchPolicy;
 use bgls_core::{
-    BatchController, CacheKey, CacheStats, ResultCache, RunResult, SimError, Simulator,
+    BatchController, BatchPolicy, CacheKey, CacheStats, Clock, MonotonicClock, OpFaultFn,
+    ResultCache, RetryPolicy, RunResult, SimError, Simulator,
 };
 use bgls_linalg::{FxHashMap, FxHasher};
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks a mutex, recovering from poisoning: a panicking worker must
+/// never take the service down with it — the protected state is only
+/// ever updated in consistent steps, so the post-panic value is valid.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload as text for [`SimError::WorkerPanic`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Configuration of a [`SimulationService`].
 #[derive(Clone, Debug)]
@@ -44,7 +81,9 @@ pub struct ServiceConfig {
     /// Result-cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
     /// Maximum queued (submitted, unexecuted) jobs; further submissions
-    /// are rejected with [`SimError::Invalid`].
+    /// are rejected with [`SimError::Invalid`]. Retry/degradation
+    /// re-admissions bypass the bound — an accepted job is never lost
+    /// to backpressure.
     pub max_queue: usize,
     /// Seed applied to histogram requests that do not carry their own.
     /// `None` leaves such requests unseeded — fresh entropy every run,
@@ -52,6 +91,18 @@ pub struct ServiceConfig {
     pub default_seed: Option<u64>,
     /// Setpoint and gains of the batch admission controller.
     pub batch: BatchPolicy,
+    /// Retry budget and backoff schedule per degradation rung.
+    pub retry: RetryPolicy,
+    /// Deadline budget applied to requests that do not carry their own
+    /// (`None` = no default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Shots per Pauli group when an expectation job degrades from the
+    /// exact walk to the grouped-shot estimate
+    /// ([`ExecPath::ShotEstimate`]).
+    pub degraded_shots: u64,
+    /// Deterministic fault injection for chaos tests; `None` (the
+    /// default) injects nothing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +113,10 @@ impl Default for ServiceConfig {
             max_queue: 4096,
             default_seed: None,
             batch: BatchPolicy::default(),
+            retry: RetryPolicy::default(),
+            default_deadline_ms: None,
+            degraded_shots: 2048,
+            fault: None,
         }
     }
 }
@@ -71,13 +126,30 @@ impl Default for ServiceConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct JobId(pub u64);
 
+/// Where a job currently is in its lifecycle — the typed answer to
+/// "why did `take_result` return `None`".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Submitted and waiting in the queue (possibly in a retry backoff
+    /// window).
+    Pending,
+    /// Drained into the batch currently executing.
+    Running,
+    /// Finished — [`SimulationService::take_result`] will return it.
+    Done,
+    /// The service has no record of the id: never submitted here, or
+    /// its result was already taken.
+    Unknown,
+}
+
 /// A completed job's payload.
 #[derive(Clone, Debug)]
 pub enum JobOutput {
     /// Sampled histogram result (shared — cache hits hand out the same
     /// allocation).
     Histogram(Arc<RunResult>),
-    /// Exact expectation value.
+    /// Expectation value (exact from the walk, or a grouped-shot
+    /// estimate when the job degraded to [`ExecPath::ShotEstimate`]).
     Expectation(f64),
 }
 
@@ -99,6 +171,46 @@ impl JobOutput {
     }
 }
 
+/// A finished job: the output plus how it was produced.
+///
+/// The fault-tolerance contract lives here: `backend`/`path` name the
+/// plan that finally served the job, and `degradations` records every
+/// ladder hop that led to it. A degraded-but-successful seeded job is
+/// bit-identical to running the recorded fallback plan directly with
+/// the same seed.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The payload.
+    pub output: JobOutput,
+    /// Execution attempts this job consumed (0 when served from cache).
+    pub attempts: u32,
+    /// One entry per degradation hop, oldest first — empty for a job
+    /// served by its original plan.
+    pub degradations: Vec<String>,
+    /// Backend of the plan that produced the output.
+    pub backend: BackendKind,
+    /// Execution path of the plan that produced the output.
+    pub path: ExecPath,
+}
+
+impl JobReport {
+    /// The run result, when this is a histogram job.
+    pub fn histogram(&self) -> Option<&RunResult> {
+        self.output.histogram()
+    }
+
+    /// The value, when this is an expectation job.
+    pub fn expectation(&self) -> Option<f64> {
+        self.output.expectation()
+    }
+
+    /// True when the job was served by a fallback plan rather than its
+    /// original one.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+}
+
 /// One simulation request.
 #[derive(Clone, Debug)]
 pub struct SimRequest {
@@ -111,6 +223,11 @@ pub struct SimRequest {
     pub deliverable: Deliverable,
     /// Explicit seed; falls back to [`ServiceConfig::default_seed`].
     pub seed: Option<u64>,
+    /// Deadline budget in milliseconds from submission; falls back to
+    /// [`ServiceConfig::default_deadline_ms`]. Checked at batch
+    /// boundaries — an expired job fails with
+    /// [`SimError::DeadlineExceeded`] instead of executing.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SimRequest {
@@ -121,6 +238,7 @@ impl SimRequest {
             resolver: None,
             deliverable: Deliverable::Histogram { repetitions },
             seed: None,
+            deadline_ms: None,
         }
     }
 
@@ -131,6 +249,7 @@ impl SimRequest {
             resolver: None,
             deliverable: Deliverable::Expectation { observable },
             seed: None,
+            deadline_ms: None,
         }
     }
 
@@ -143,6 +262,12 @@ impl SimRequest {
     /// Attaches parameter bindings, resolved at submission.
     pub fn with_resolver(mut self, resolver: ParamResolver) -> Self {
         self.resolver = Some(resolver);
+        self
+    }
+
+    /// Attaches a deadline budget in milliseconds from submission.
+    pub fn with_deadline_ms(mut self, budget_ms: u64) -> Self {
+        self.deadline_ms = Some(budget_ms);
         self
     }
 }
@@ -165,6 +290,18 @@ pub struct ServiceStats {
     /// Distinct simulations actually executed (after cache hits and
     /// in-batch deduplication).
     pub simulated_jobs: u64,
+    /// Failed attempts re-admitted for another try on the same plan.
+    pub retries: u64,
+    /// Hops taken down the degradation ladder.
+    pub degradations: u64,
+    /// Panics caught and converted to [`SimError::WorkerPanic`].
+    pub panics_caught: u64,
+    /// Jobs failed with [`SimError::DeadlineExceeded`].
+    pub deadline_misses: u64,
+    /// Jobs cancelled by the caller before execution.
+    pub cancellations: u64,
+    /// Faults injected by the configured [`FaultPlan`].
+    pub faults_injected: u64,
 }
 
 struct PendingJob {
@@ -176,8 +313,25 @@ struct PendingJob {
     resolved: Circuit,
     plan: ExecutionPlan,
     seed: Option<u64>,
-    key: Option<CacheKey>,
+    /// Identity at submission — what in-batch dedup and cache lookups
+    /// key on. Stable across retries and degradations.
+    dedup_key: Option<CacheKey>,
+    /// Key under the plan *currently serving* the job — what a
+    /// successful result is cached under. Re-computed on degradation so
+    /// a fallback backend's bits are never stored under the original
+    /// plan's key.
+    serve_key: Option<CacheKey>,
     kind: JobKind,
+    /// Execution attempts started so far (also the fault-roll index).
+    attempt: u32,
+    /// Retries consumed on the current degradation rung.
+    rung_retries: u32,
+    /// Degradation-ladder hops taken, oldest first.
+    degradations: Vec<String>,
+    /// `(absolute deadline in clock ms, original budget)`.
+    deadline: Option<(u64, u64)>,
+    /// Earliest clock time the job may execute (retry backoff).
+    not_before_ms: u64,
 }
 
 enum JobKind {
@@ -185,23 +339,85 @@ enum JobKind {
     Expectation { observable: PauliSum, obs_fp: u64 },
 }
 
+/// Cache key for a job under a given plan. The submission-time call
+/// produces the dedup identity; after a degradation the same function
+/// re-keys the job under the fallback plan (for
+/// [`ExecPath::ShotEstimate`] the estimate is seeded sampling, so it is
+/// cacheable only when seeded, keyed by shots in the `repetitions`
+/// slot).
+fn key_for(
+    kind: &JobKind,
+    plan: &ExecutionPlan,
+    resolved: &Circuit,
+    seed: Option<u64>,
+    degraded_shots: u64,
+) -> Option<CacheKey> {
+    let circuit = resolved.structural_hash();
+    let backend = plan.fingerprint();
+    match kind {
+        // Only seeded histograms are reproducible, hence cacheable.
+        JobKind::Histogram { repetitions } => seed.map(|s| CacheKey {
+            circuit,
+            backend,
+            seed: s,
+            repetitions: *repetitions,
+            deliverable: 0,
+        }),
+        JobKind::Expectation { obs_fp, .. } => {
+            if plan.path == ExecPath::ShotEstimate {
+                seed.map(|s| CacheKey {
+                    circuit,
+                    backend,
+                    seed: s,
+                    repetitions: degraded_shots,
+                    deliverable: *obs_fp,
+                })
+            } else {
+                // The expectation walk is deterministic: cacheable
+                // regardless of seeding.
+                Some(CacheKey {
+                    circuit,
+                    backend,
+                    seed: 0,
+                    repetitions: 0,
+                    deliverable: *obs_fp,
+                })
+            }
+        }
+    }
+}
+
 /// The planner-driven batch simulation host. Single-threaded by design:
 /// `submit` enqueues, [`SimulationService::run_pending`] drains — the
 /// parallelism lives inside the merged engine fan-outs (Rayon), which
-/// keeps the whole service deterministic for seeded traffic.
+/// keeps the whole service deterministic for seeded traffic. The async
+/// front door ([`crate::ServiceHandle`]) wraps this same loop in a
+/// worker pool.
 pub struct SimulationService {
     config: ServiceConfig,
     queue: VecDeque<PendingJob>,
-    done: FxHashMap<u64, Result<JobOutput, SimError>>,
+    done: FxHashMap<u64, Result<JobReport, SimError>>,
     cache: ResultCache<JobOutput>,
     controller: BatchController,
     next_id: u64,
     stats: ServiceStats,
+    clock: Arc<dyn Clock>,
+    /// Ids of jobs inside the batch currently executing — shared so the
+    /// front door can answer [`SimulationService::status`] queries
+    /// without the service lock.
+    running: Arc<Mutex<FxHashMap<u64, ()>>>,
 }
 
 impl SimulationService {
-    /// A service over `config`.
+    /// A service over `config`, timed by a wall [`MonotonicClock`].
     pub fn new(config: ServiceConfig) -> Self {
+        SimulationService::with_clock(config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A service over `config` scheduling against `clock` — hand in a
+    /// [`bgls_core::ManualClock`] to make deadlines and retry backoff
+    /// deterministic in tests.
+    pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let cache = ResultCache::new(config.cache_capacity);
         let controller = BatchController::new(config.batch);
         SimulationService {
@@ -212,6 +428,8 @@ impl SimulationService {
             controller,
             next_id: 0,
             stats: ServiceStats::default(),
+            clock,
+            running: Arc::new(Mutex::new(FxHashMap::default())),
         }
     }
 
@@ -236,32 +454,18 @@ impl SimulationService {
         let resolved = request.circuit.resolve(&resolver);
         let plan = plan(&resolved, &request.deliverable, &self.config.planner)?;
         let seed = request.seed.or(self.config.default_seed);
-        let (kind, key) = match request.deliverable {
-            Deliverable::Histogram { repetitions } => {
-                // Only seeded histograms are reproducible, hence cacheable.
-                let key = seed.map(|s| CacheKey {
-                    circuit: resolved.structural_hash(),
-                    backend: plan.fingerprint(),
-                    seed: s,
-                    repetitions,
-                    deliverable: 0,
-                });
-                (JobKind::Histogram { repetitions }, key)
-            }
+        let kind = match request.deliverable {
+            Deliverable::Histogram { repetitions } => JobKind::Histogram { repetitions },
             Deliverable::Expectation { observable } => {
-                // The expectation walk is deterministic: cacheable
-                // regardless of seeding.
                 let obs_fp = hash_str(&observable.to_string());
-                let key = Some(CacheKey {
-                    circuit: resolved.structural_hash(),
-                    backend: plan.fingerprint(),
-                    seed: 0,
-                    repetitions: 0,
-                    deliverable: obs_fp,
-                });
-                (JobKind::Expectation { observable, obs_fp }, key)
+                JobKind::Expectation { observable, obs_fp }
             }
         };
+        let key = key_for(&kind, &plan, &resolved, seed, self.config.degraded_shots);
+        let deadline = request
+            .deadline_ms
+            .or(self.config.default_deadline_ms)
+            .map(|budget| (self.clock.now_ms().saturating_add(budget), budget));
         let id = self.next_id;
         self.next_id += 1;
         self.queue.push_back(PendingJob {
@@ -271,43 +475,143 @@ impl SimulationService {
             resolved,
             plan,
             seed,
-            key,
+            dedup_key: key,
+            serve_key: key,
             kind,
+            attempt: 0,
+            rung_retries: 0,
+            degradations: Vec::new(),
+            deadline,
+            not_before_ms: 0,
         });
         self.stats.submitted += 1;
         Ok(JobId(id))
     }
 
     /// Drains and executes one admission-controlled batch from the
-    /// queue; returns the number of jobs completed (ok or err). Call in
-    /// a loop — or use [`SimulationService::run_all`] — to drain fully.
+    /// queue; returns the number of jobs settled (ok or err — retried
+    /// jobs do not count until they settle). Jobs inside a retry
+    /// backoff window are passed over; jobs past their deadline settle
+    /// with [`SimError::DeadlineExceeded`] without executing. Call in a
+    /// loop — or use [`SimulationService::run_all`] — to drain fully.
     pub fn run_pending(&mut self) -> usize {
         if self.queue.is_empty() {
             return 0;
         }
-        let take = self.controller.batch_size().min(self.queue.len());
-        let batch: Vec<PendingJob> = self.queue.drain(..take).collect();
-        let started = Instant::now();
-        let completed = self.execute_batch(batch);
-        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-        self.controller.observe(take, elapsed_ms);
-        self.stats.batches += 1;
-        completed
+        let settled_before = self.stats.completed + self.stats.failed;
+        let now = self.clock.now_ms();
+        let want = self.controller.batch_size();
+        let mut batch: Vec<PendingJob> = Vec::new();
+        let rounds = self.queue.len();
+        for _ in 0..rounds {
+            if batch.len() >= want {
+                break;
+            }
+            let Some(job) = self.queue.pop_front() else {
+                break;
+            };
+            if let Some((deadline_abs, budget_ms)) = job.deadline {
+                if now > deadline_abs {
+                    self.stats.deadline_misses += 1;
+                    self.finish(job.id, Err(SimError::DeadlineExceeded { budget_ms }));
+                    continue;
+                }
+            }
+            if job.not_before_ms > now {
+                // still backing off: rotate to the back, keep draining
+                self.queue.push_back(job);
+                continue;
+            }
+            batch.push(job);
+        }
+        if !batch.is_empty() {
+            let taken = batch.len();
+            let started = Instant::now();
+            self.execute_batch(batch);
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            self.controller.observe(taken, elapsed_ms);
+            self.stats.batches += 1;
+        }
+        (self.stats.completed + self.stats.failed - settled_before) as usize
     }
 
-    /// Drains the whole queue; returns total jobs completed.
+    /// Drains the whole queue — including waiting out retry backoff
+    /// windows via the service clock — and returns total jobs settled.
     pub fn run_all(&mut self) -> usize {
         let mut total = 0;
         while !self.queue.is_empty() {
-            total += self.run_pending();
+            let settled = self.run_pending();
+            total += settled;
+            if settled == 0 {
+                if let Some(delay) = self.next_eligible_delay_ms() {
+                    self.clock.sleep_ms(delay.max(1));
+                }
+            }
         }
         total
     }
 
+    /// Milliseconds until the earliest queued job becomes eligible to
+    /// execute (0 when one already is; `None` when the queue is empty).
+    /// The async front door uses this to pace its drain loop instead of
+    /// spinning on backoff windows.
+    pub fn next_eligible_delay_ms(&self) -> Option<u64> {
+        let now = self.clock.now_ms();
+        self.queue
+            .iter()
+            .map(|j| j.not_before_ms.saturating_sub(now))
+            .min()
+    }
+
     /// Removes and returns a finished job's result; `None` while the
-    /// job is still queued (or the id is unknown/already taken).
-    pub fn take_result(&mut self, id: JobId) -> Option<Result<JobOutput, SimError>> {
+    /// job is still queued or running (disambiguate with
+    /// [`SimulationService::status`]).
+    pub fn take_result(&mut self, id: JobId) -> Option<Result<JobReport, SimError>> {
         self.done.remove(&id.0)
+    }
+
+    /// Removes and returns every finished job, ordered by id — the bulk
+    /// form the async front door publishes from.
+    pub fn take_finished(&mut self) -> Vec<(JobId, Result<JobReport, SimError>)> {
+        let mut out: Vec<(JobId, Result<JobReport, SimError>)> = self
+            .done
+            .drain()
+            .map(|(id, result)| (JobId(id), result))
+            .collect();
+        out.sort_by_key(|(id, _)| id.0);
+        out
+    }
+
+    /// Where `id` currently is in its lifecycle. Note that a taken
+    /// result reverts to [`JobStatus::Unknown`] — the service keeps no
+    /// tombstones.
+    pub fn status(&self, id: JobId) -> JobStatus {
+        if self.done.contains_key(&id.0) {
+            return JobStatus::Done;
+        }
+        if lock(&self.running).contains_key(&id.0) {
+            return JobStatus::Running;
+        }
+        if self.queue.iter().any(|j| j.id == id.0) {
+            return JobStatus::Pending;
+        }
+        JobStatus::Unknown
+    }
+
+    /// Cancels a queued job: it settles immediately with
+    /// [`SimError::Cancelled`] and will never execute. Returns `false`
+    /// when the job is not in the queue (already running, done, or
+    /// unknown) — cancellation is best-effort and never yanks a job out
+    /// of a batch mid-flight.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|j| j.id == id.0) {
+            if let Some(job) = self.queue.remove(pos) {
+                self.stats.cancellations += 1;
+                self.finish(job.id, Err(SimError::Cancelled));
+                return true;
+            }
+        }
+        false
     }
 
     /// Jobs waiting to execute.
@@ -330,50 +634,132 @@ impl SimulationService {
         self.controller.batch_size()
     }
 
-    fn finish(&mut self, id: u64, result: Result<JobOutput, SimError>) {
+    /// The clock the service schedules against.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    fn finish(&mut self, id: u64, result: Result<JobReport, SimError>) {
         match &result {
             Ok(_) => self.stats.completed += 1,
             Err(_) => self.stats.failed += 1,
         }
+        lock(&self.running).remove(&id);
         self.done.insert(id, result);
     }
 
-    fn execute_batch(&mut self, batch: Vec<PendingJob>) -> usize {
-        let mut completed = 0usize;
+    fn report_for(job: &PendingJob, output: JobOutput) -> JobReport {
+        JobReport {
+            output,
+            attempts: job.attempt,
+            degradations: job.degradations.clone(),
+            backend: job.plan.backend,
+            path: job.plan.path,
+        }
+    }
+
+    fn execute_batch(&mut self, batch: Vec<PendingJob>) {
+        {
+            let mut running = lock(&self.running);
+            for job in &batch {
+                running.insert(job.id, ());
+            }
+        }
         // Phase 1: cache lookups, and in-batch dedup of identical keys —
-        // a group key maps to the first job carrying it, followers just
-        // receive a copy of its output.
-        let mut misses: Vec<PendingJob> = Vec::new();
-        let mut followers: FxHashMap<CacheKey, Vec<u64>> = FxHashMap::default();
-        let mut leaders: FxHashMap<CacheKey, ()> = FxHashMap::default();
+        // a dedup key maps to the first job carrying it (the leader);
+        // parked duplicates follow the leader's fate (copy of its
+        // output, its error, or re-admission alongside it).
         // Memoization (cache lookups AND in-batch dedup) is one switch:
         // capacity 0 means every request simulates, the uncached
         // baseline the throughput bench contrasts against.
         let memoize = self.config.cache_capacity > 0;
+        let mut misses: Vec<PendingJob> = Vec::new();
+        let mut parked: FxHashMap<CacheKey, Vec<PendingJob>> = FxHashMap::default();
+        let mut leaders: FxHashMap<CacheKey, ()> = FxHashMap::default();
         for job in batch {
-            if let Some(key) = job.key {
-                if memoize {
+            if memoize {
+                if let Some(key) = job.dedup_key {
                     if let Some(hit) = self.cache.get(&key) {
-                        self.finish(job.id, Ok((*hit).clone()));
-                        completed += 1;
+                        let report = Self::report_for(&job, (*hit).clone());
+                        self.finish(job.id, Ok(report));
                         continue;
                     }
                     if leaders.contains_key(&key) {
-                        followers.entry(key).or_default().push(job.id);
-                        completed += 1; // resolved when the leader finishes
+                        parked.entry(key).or_default().push(job);
                         continue;
                     }
                     leaders.insert(key, ());
                 }
             }
             misses.push(job);
-            completed += 1;
         }
 
-        // Phase 2: group misses into compatible engine fan-outs.
+        // Phase 2: the fault sieve. Jobs the FaultPlan selects are
+        // pulled out of the merge groups and executed (or poisoned)
+        // individually so an injected fault never contaminates a merged
+        // fan-out.
+        let fault = self.config.fault.clone();
+        let mut clean: Vec<PendingJob> = Vec::new();
+        let mut faulted: Vec<(PendingJob, InjectedFault)> = Vec::new();
+        match &fault {
+            Some(fp) if !fp.is_inert() => {
+                for job in misses {
+                    match fp.decide(job.id, job.attempt, job.plan.backend) {
+                        InjectedFault::None => clean.push(job),
+                        injected => faulted.push((job, injected)),
+                    }
+                }
+            }
+            _ => clean = misses,
+        }
+        if let Some(fp) = &fault {
+            if fp.latency_ms > 0 && !(clean.is_empty() && faulted.is_empty()) {
+                // artificial service latency, once per executed batch
+                self.clock.sleep_ms(fp.latency_ms);
+            }
+        }
+        for (job, injected) in faulted {
+            self.stats.faults_injected += 1;
+            let outcome = match injected {
+                InjectedFault::None => unreachable!("the fault sieve only collects faulted jobs"),
+                InjectedFault::Panic => {
+                    let seed = fault.as_ref().map(|fp| fp.seed).unwrap_or_default();
+                    let msg = format!(
+                        "injected panic (fault seed {seed}, job {}, attempt {})",
+                        job.id, job.attempt
+                    );
+                    let caught =
+                        catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, SimError> {
+                            panic!("{msg}");
+                        }));
+                    match caught {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            self.stats.panics_caught += 1;
+                            Err(SimError::WorkerPanic(panic_message(payload)))
+                        }
+                    }
+                }
+                InjectedFault::BudgetExhaustion => Err(SimError::BudgetExhausted(format!(
+                    "injected budget exhaustion (job {}, attempt {})",
+                    job.id, job.attempt
+                ))),
+                InjectedFault::BackendFailure => {
+                    let armed = fault
+                        .as_ref()
+                        .and_then(|fp| fp.op_fault_spec().arm(job.plan.backend));
+                    self.run_single_guarded(&job, armed)
+                }
+            };
+            self.dispose(job, outcome, &mut parked);
+        }
+
+        // Phase 3: group the clean misses into compatible engine
+        // fan-outs. The fingerprint covers backend, path, and
+        // result-affecting options, so groups are homogeneous.
         let mut hist_groups: FxHashMap<(u64, usize, u64), Vec<PendingJob>> = FxHashMap::default();
         let mut exp_groups: FxHashMap<(u64, u64, u64), Vec<PendingJob>> = FxHashMap::default();
-        for job in misses {
+        for job in clean {
             match &job.kind {
                 JobKind::Histogram { repetitions } => {
                     let group = (
@@ -389,26 +775,36 @@ impl SimulationService {
                 }
             }
         }
-
         for ((_, n, repetitions), group) in hist_groups {
-            self.run_histogram_group(n, repetitions, group, &followers);
+            self.run_histogram_group(n, repetitions, group, &mut parked);
         }
         for (_, group) in exp_groups {
-            self.run_expectation_group(group, &followers);
+            self.run_expectation_group(group, &mut parked);
         }
-        completed
+
+        // Every leader was disposed above, which drains its parked
+        // duplicates; anything left would be a bookkeeping bug — re-admit
+        // rather than lose a job.
+        for (_, dups) in parked {
+            for dup in dups {
+                lock(&self.running).remove(&dup.id);
+                self.queue.push_back(dup);
+            }
+        }
     }
 
     /// One merged `run_batch` fan-out: every entry executes under its
     /// own seed, so each job's histogram is bit-identical to a
     /// standalone [`ExecutionPlan::run`] — batch composition never
-    /// leaks into results.
+    /// leaks into results. The fan-out runs under `catch_unwind`; on
+    /// any group-level failure (error or panic) each entry re-runs
+    /// individually so every job gets its own isolated verdict.
     fn run_histogram_group(
         &mut self,
         n: usize,
         repetitions: u64,
         group: Vec<PendingJob>,
-        followers: &FxHashMap<CacheKey, Vec<u64>>,
+        parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
     ) {
         let mut options = group[0].plan.options.clone();
         options.parallel_sweep = true; // fan the merged batch across threads
@@ -416,32 +812,25 @@ impl SimulationService {
         let jobs: Vec<(Circuit, Option<u64>)> =
             group.iter().map(|j| (j.resolved.clone(), j.seed)).collect();
         let merged = group.len() > 1;
-        self.stats.simulated_jobs += group.len() as u64;
-        match sim.run_batch(&jobs, repetitions) {
-            Ok(results) => {
+        let attempt = catch_unwind(AssertUnwindSafe(|| sim.run_batch(&jobs, repetitions)));
+        match attempt {
+            Ok(Ok(results)) => {
+                self.stats.simulated_jobs += group.len() as u64;
                 for (job, result) in group.into_iter().zip(results) {
-                    let output = JobOutput::Histogram(Arc::new(result));
                     if merged {
                         self.stats.merged_jobs += 1;
                     }
-                    self.settle(job, Ok(output), followers);
+                    let output = JobOutput::Histogram(Arc::new(result));
+                    self.dispose(job, Ok(output), parked);
                 }
             }
-            Err(_) => {
-                // A merged fan-out reports only its first error; re-run
-                // entries individually (cold path) so each job gets its
-                // own verdict.
+            _ => {
+                // A merged fan-out reports only its first error — and a
+                // panic poisons the whole attempt. Isolate: re-run each
+                // entry in its own failure domain.
                 for job in group {
-                    let outcome = sim
-                        .clone()
-                        .with_options({
-                            let mut o = job.plan.options.clone();
-                            o.seed = job.seed;
-                            o
-                        })
-                        .run(&job.resolved, repetitions)
-                        .map(|r| JobOutput::Histogram(Arc::new(r)));
-                    self.settle(job, outcome, followers);
+                    let outcome = self.run_single_guarded(&job, None);
+                    self.dispose(job, outcome, parked);
                 }
             }
         }
@@ -450,11 +839,20 @@ impl SimulationService {
     /// One merged `expectation_sweep` fan-out over the group's shared
     /// base circuit: entries differ only in their parameter bindings.
     /// The walk is deterministic, so merging is trivially sound.
+    /// Degraded shot-estimate jobs never merge — each runs individually
+    /// under its own seed.
     fn run_expectation_group(
         &mut self,
         group: Vec<PendingJob>,
-        followers: &FxHashMap<CacheKey, Vec<u64>>,
+        parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
     ) {
+        if group[0].plan.path == ExecPath::ShotEstimate {
+            for job in group {
+                let outcome = self.run_single_guarded(&job, None);
+                self.dispose(job, outcome, parked);
+            }
+            return;
+        }
         let observable = match &group[0].kind {
             JobKind::Expectation { observable, .. } => observable.clone(),
             JobKind::Histogram { .. } => unreachable!("histogram job in expectation group"),
@@ -471,53 +869,205 @@ impl SimulationService {
         let base = group[0].base.clone();
         let resolvers: Vec<ParamResolver> = group.iter().map(|j| j.resolver.clone()).collect();
         let merged = group.len() > 1;
-        self.stats.simulated_jobs += group.len() as u64;
-        match sim.expectation_sweep(&base, &resolvers, &observable) {
-            Ok(values) => {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            sim.expectation_sweep(&base, &resolvers, &observable)
+        }));
+        match attempt {
+            Ok(Ok(values)) => {
+                self.stats.simulated_jobs += group.len() as u64;
                 for (job, value) in group.into_iter().zip(values) {
                     if merged {
                         self.stats.merged_jobs += 1;
                     }
-                    self.settle(job, Ok(JobOutput::Expectation(value)), followers);
+                    self.dispose(job, Ok(JobOutput::Expectation(value)), parked);
                 }
             }
-            Err(_) => {
+            _ => {
                 for job in group {
-                    let outcome = sim
-                        .expectation_value(&job.resolved, &observable)
-                        .map(JobOutput::Expectation);
-                    self.settle(job, outcome, followers);
+                    let outcome = self.run_single_guarded(&job, None);
+                    self.dispose(job, outcome, parked);
                 }
             }
         }
     }
 
-    /// Records a job's outcome, feeds the cache, and fans the output
-    /// out to in-batch duplicate requests.
-    fn settle(
+    /// Runs one job standalone inside its own `catch_unwind` failure
+    /// domain; a panic becomes [`SimError::WorkerPanic`].
+    fn run_single_guarded(
         &mut self,
-        job: PendingJob,
-        outcome: Result<JobOutput, SimError>,
-        followers: &FxHashMap<CacheKey, Vec<u64>>,
-    ) {
-        if let (Some(key), Ok(output)) = (job.key, &outcome) {
-            self.cache.insert(key, Arc::new(output.clone()));
-            if let Some(ids) = followers.get(&key) {
-                for &id in ids {
-                    self.stats.merged_jobs += 1;
-                    self.finish(id, Ok(output.clone()));
-                }
+        job: &PendingJob,
+        armed: Option<OpFaultFn>,
+    ) -> Result<JobOutput, SimError> {
+        self.stats.simulated_jobs += 1;
+        let attempt = {
+            let this: &Self = self;
+            catch_unwind(AssertUnwindSafe(|| this.run_single(job, armed)))
+        };
+        match attempt {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                self.stats.panics_caught += 1;
+                Err(SimError::WorkerPanic(panic_message(payload)))
             }
-        } else if let (Some(key), Err(_)) = (job.key, &outcome) {
-            // Followers of a failed leader re-fail with the same error
-            // text (SimError is Clone).
-            if let Some(ids) = followers.get(&key) {
-                for &id in ids {
-                    self.finish(id, outcome.clone());
+        }
+    }
+
+    /// Standalone execution of one job under its current plan. By the
+    /// engine determinism contract the result is bit-identical to the
+    /// merged fan-out path for the same `(circuit, plan, seed)`.
+    fn run_single(
+        &self,
+        job: &PendingJob,
+        armed: Option<OpFaultFn>,
+    ) -> Result<JobOutput, SimError> {
+        let n = job.resolved.num_qubits().max(1);
+        let mut options = job.plan.options.clone();
+        options.seed = job.seed;
+        let mut sim = Simulator::for_backend(job.plan.backend, n, options);
+        if let Some(hook) = armed {
+            sim = sim.with_fallible_ops(hook);
+        }
+        match &job.kind {
+            JobKind::Histogram { repetitions } => sim
+                .run(&job.resolved, *repetitions)
+                .map(|r| JobOutput::Histogram(Arc::new(r))),
+            JobKind::Expectation { observable, .. } => {
+                if job.plan.path == ExecPath::ShotEstimate {
+                    sim.estimate_expectation(&job.resolved, observable, self.config.degraded_shots)
+                        .map(|estimate| JobOutput::Expectation(estimate.value))
+                } else {
+                    sim.expectation_value(&job.resolved, observable)
+                        .map(JobOutput::Expectation)
                 }
             }
         }
-        self.finish(job.id, outcome);
+    }
+
+    /// Routes one executed attempt's outcome: settle on success, and on
+    /// failure walk the retry → degrade → terminal-failure ladder.
+    /// Parked in-batch duplicates follow their leader everywhere.
+    fn dispose(
+        &mut self,
+        mut job: PendingJob,
+        outcome: Result<JobOutput, SimError>,
+        parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
+    ) {
+        job.attempt += 1;
+        match outcome {
+            Ok(output) => {
+                if self.config.cache_capacity > 0 {
+                    if let Some(key) = job.serve_key {
+                        self.cache.insert(key, Arc::new(output.clone()));
+                    }
+                }
+                if let Some(dk) = job.dedup_key {
+                    if let Some(dups) = parked.remove(&dk) {
+                        for dup in dups {
+                            self.stats.merged_jobs += 1;
+                            let report = JobReport {
+                                output: output.clone(),
+                                attempts: job.attempt,
+                                degradations: job.degradations.clone(),
+                                backend: job.plan.backend,
+                                path: job.plan.path,
+                            };
+                            self.finish(dup.id, Ok(report));
+                        }
+                    }
+                }
+                let report = Self::report_for(&job, output);
+                self.finish(job.id, Ok(report));
+            }
+            Err(SimError::Cancelled) => self.fail(job, SimError::Cancelled, parked),
+            Err(err @ SimError::DeadlineExceeded { .. }) => self.fail(job, err, parked),
+            Err(err @ SimError::BudgetExhausted(_)) => {
+                // retrying the same plan exhausts the same budget —
+                // degrade immediately
+                self.degrade_or_fail(job, err, parked)
+            }
+            Err(err) => {
+                if self.config.retry.should_retry(job.rung_retries) {
+                    let backoff = self.config.retry.backoff_ms(job.rung_retries);
+                    job.rung_retries += 1;
+                    self.stats.retries += 1;
+                    job.not_before_ms = self.clock.now_ms().saturating_add(backoff);
+                    self.requeue(job, parked);
+                } else {
+                    self.degrade_or_fail(job, err, parked);
+                }
+            }
+        }
+    }
+
+    /// Steps the job one rung down the degradation ladder, or settles
+    /// it with `cause` at the bottom.
+    fn degrade_or_fail(
+        &mut self,
+        mut job: PendingJob,
+        cause: SimError,
+        parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
+    ) {
+        match degrade(&job.plan, &self.config.planner) {
+            Some(next) => {
+                self.stats.degradations += 1;
+                job.degradations.push(format!(
+                    "{}/{} -> {}/{}: {}",
+                    job.plan.backend.name(),
+                    job.plan.path,
+                    next.backend.name(),
+                    next.path,
+                    cause
+                ));
+                job.plan = next;
+                job.rung_retries = 0;
+                // Re-key: results from the fallback plan must never be
+                // cached under the original plan's fingerprint.
+                job.serve_key = key_for(
+                    &job.kind,
+                    &job.plan,
+                    &job.resolved,
+                    job.seed,
+                    self.config.degraded_shots,
+                );
+                job.not_before_ms = self.clock.now_ms();
+                self.requeue(job, parked);
+            }
+            None => self.fail(job, cause, parked),
+        }
+    }
+
+    /// Re-admits a job (and its parked duplicates) to the queue,
+    /// bypassing the submission bound — an accepted job is never
+    /// dropped by backpressure.
+    fn requeue(&mut self, job: PendingJob, parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>) {
+        let dedup_key = job.dedup_key;
+        lock(&self.running).remove(&job.id);
+        self.queue.push_back(job);
+        if let Some(dk) = dedup_key {
+            if let Some(dups) = parked.remove(&dk) {
+                for dup in dups {
+                    lock(&self.running).remove(&dup.id);
+                    self.queue.push_back(dup);
+                }
+            }
+        }
+    }
+
+    /// Settles a job and its parked duplicates with a terminal error.
+    fn fail(
+        &mut self,
+        job: PendingJob,
+        err: SimError,
+        parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
+    ) {
+        if let Some(dk) = job.dedup_key {
+            if let Some(dups) = parked.remove(&dk) {
+                for dup in dups {
+                    self.finish(dup.id, Err(err.clone()));
+                }
+            }
+        }
+        self.finish(job.id, Err(err));
     }
 }
 
@@ -528,9 +1078,11 @@ fn hash_str(s: &str) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use bgls_circuit::{Gate, Operation, Qubit};
+    use bgls_core::ManualClock;
 
     fn q(i: u32) -> Qubit {
         Qubit(i)
@@ -544,6 +1096,13 @@ mod tests {
         c
     }
 
+    fn histogram_of(report: JobReport) -> Arc<RunResult> {
+        match report.output {
+            JobOutput::Histogram(r) => r,
+            JobOutput::Expectation(_) => panic!("expected histogram"),
+        }
+    }
+
     #[test]
     fn seeded_requests_hit_the_cache_bit_identically() {
         let mut svc = SimulationService::with_defaults();
@@ -551,18 +1110,12 @@ mod tests {
             .submit(SimRequest::histogram(bell(), 200).with_seed(9))
             .unwrap();
         svc.run_all();
-        let first = match svc.take_result(a).unwrap().unwrap() {
-            JobOutput::Histogram(r) => r,
-            _ => panic!("expected histogram"),
-        };
+        let first = histogram_of(svc.take_result(a).unwrap().unwrap());
         let b = svc
             .submit(SimRequest::histogram(bell(), 200).with_seed(9))
             .unwrap();
         svc.run_all();
-        let second = match svc.take_result(b).unwrap().unwrap() {
-            JobOutput::Histogram(r) => r,
-            _ => panic!("expected histogram"),
-        };
+        let second = histogram_of(svc.take_result(b).unwrap().unwrap());
         assert_eq!(svc.cache_stats().hits, 1);
         assert_eq!(first.histogram("m"), second.histogram("m"));
         // A cache hit hands out the same allocation, not a re-run.
@@ -592,10 +1145,7 @@ mod tests {
         assert_eq!(svc.stats().simulated_jobs, 1);
         let outs: Vec<Arc<RunResult>> = ids
             .into_iter()
-            .map(|id| match svc.take_result(id).unwrap().unwrap() {
-                JobOutput::Histogram(r) => r,
-                _ => panic!("expected histogram"),
-            })
+            .map(|id| histogram_of(svc.take_result(id).unwrap().unwrap()))
             .collect();
         for o in &outs[1..] {
             assert!(Arc::ptr_eq(&outs[0], o));
@@ -618,10 +1168,7 @@ mod tests {
         svc.run_all();
         assert!(svc.stats().merged_jobs >= 4);
         for (id, seed) in ids {
-            let got = match svc.take_result(id).unwrap().unwrap() {
-                JobOutput::Histogram(r) => r,
-                _ => panic!("expected histogram"),
-            };
+            let got = histogram_of(svc.take_result(id).unwrap().unwrap());
             let standalone = crate::plan_and_run(&bell(), 150, Some(seed))
                 .unwrap()
                 .result;
@@ -700,5 +1247,83 @@ mod tests {
             svc.submit(SimRequest::histogram(wide, 10)),
             Err(SimError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn status_distinguishes_pending_done_and_unknown() {
+        let mut svc = SimulationService::with_defaults();
+        let id = svc
+            .submit(SimRequest::histogram(bell(), 20).with_seed(1))
+            .unwrap();
+        assert_eq!(svc.status(id), JobStatus::Pending);
+        assert_eq!(svc.status(JobId(999)), JobStatus::Unknown);
+        svc.run_all();
+        assert_eq!(svc.status(id), JobStatus::Done);
+        svc.take_result(id).unwrap().unwrap();
+        assert_eq!(svc.status(id), JobStatus::Unknown, "no tombstones");
+    }
+
+    #[test]
+    fn cancellation_settles_queued_jobs_with_a_typed_error() {
+        let mut svc = SimulationService::with_defaults();
+        let keep = svc
+            .submit(SimRequest::histogram(bell(), 20).with_seed(1))
+            .unwrap();
+        let drop_ = svc
+            .submit(SimRequest::histogram(bell(), 20).with_seed(2))
+            .unwrap();
+        assert!(svc.cancel(drop_));
+        assert!(!svc.cancel(drop_), "already cancelled");
+        assert!(!svc.cancel(JobId(999)), "unknown id");
+        svc.run_all();
+        assert!(svc.take_result(keep).unwrap().is_ok());
+        assert!(matches!(
+            svc.take_result(drop_),
+            Some(Err(SimError::Cancelled))
+        ));
+        assert_eq!(svc.stats().cancellations, 1);
+    }
+
+    #[test]
+    fn deadlines_are_enforced_at_batch_boundaries() {
+        let clock = ManualClock::shared();
+        let mut svc = SimulationService::with_clock(
+            ServiceConfig {
+                batch: BatchPolicy {
+                    min_batch: 1,
+                    max_batch: 1,
+                    ..BatchPolicy::default()
+                },
+                fault: Some(FaultPlan {
+                    latency_ms: 10,
+                    ..FaultPlan::default()
+                }),
+                ..ServiceConfig::default()
+            },
+            clock.clone(),
+        );
+        let first = svc
+            .submit(
+                SimRequest::histogram(bell(), 10)
+                    .with_seed(1)
+                    .with_deadline_ms(5),
+            )
+            .unwrap();
+        let second = svc
+            .submit(
+                SimRequest::histogram(bell(), 10)
+                    .with_seed(2)
+                    .with_deadline_ms(5),
+            )
+            .unwrap();
+        // batch 1 executes `first` on time, but the injected 10 ms of
+        // latency pushes the manual clock past `second`'s deadline
+        svc.run_all();
+        assert!(svc.take_result(first).unwrap().is_ok());
+        assert!(matches!(
+            svc.take_result(second),
+            Some(Err(SimError::DeadlineExceeded { budget_ms: 5 }))
+        ));
+        assert_eq!(svc.stats().deadline_misses, 1);
     }
 }

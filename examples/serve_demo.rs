@@ -120,6 +120,14 @@ fn main() {
         100.0 * cache.hit_rate()
     );
     println!("  controller settled on batch size {}", svc.batch_size());
+    println!(
+        "  failures: {} retries, {} degradations, {} panics caught, {} deadline misses, {} cancellations",
+        stats.retries,
+        stats.degradations,
+        stats.panics_caught,
+        stats.deadline_misses,
+        stats.cancellations
+    );
 
     // Spot-check one result per class.
     for (i, (label, _)) in circuits.iter().enumerate() {

@@ -39,6 +39,7 @@ pub use bgls_statevector as statevector;
 
 pub use bgls_backend::{simulator_for, AnyState, BackendKind, SimulatorExt};
 pub use bgls_plan::{
-    plan_and_expect, plan_and_run, Deliverable, ExecPath, ExecutionPlan, PlannerConfig, SimRequest,
-    SimulationService, SimulatorPlanExt,
+    plan_and_expect, plan_and_run, Deliverable, ExecPath, ExecutionPlan, FaultPlan, JobReport,
+    JobStatus, PlannerConfig, ServiceHandle, SimRequest, SimulationService, SimulatorPlanExt,
+    Ticket,
 };

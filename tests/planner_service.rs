@@ -175,7 +175,7 @@ fn service_cache_hits_are_bit_identical_to_cold_runs() {
         .submit(SimRequest::histogram(ghz.clone(), 300).with_seed(42))
         .unwrap();
     svc.run_all();
-    let cold = match svc.take_result(a).unwrap().unwrap() {
+    let cold = match svc.take_result(a).unwrap().unwrap().output {
         JobOutput::Histogram(r) => r,
         other => panic!("expected histogram, got {other:?}"),
     };
@@ -184,7 +184,7 @@ fn service_cache_hits_are_bit_identical_to_cold_runs() {
         .submit(SimRequest::histogram(ghz.clone(), 300).with_seed(42))
         .unwrap();
     svc.run_all();
-    let hot = match svc.take_result(b).unwrap().unwrap() {
+    let hot = match svc.take_result(b).unwrap().unwrap().output {
         JobOutput::Histogram(r) => r,
         other => panic!("expected histogram, got {other:?}"),
     };
@@ -224,11 +224,11 @@ fn zero_capacity_cache_reexecutes_every_request() {
     svc.run_all();
     assert_eq!(svc.cache_stats().hits, 0);
     assert_eq!(svc.stats().simulated_jobs, 2);
-    let ra = match svc.take_result(a).unwrap().unwrap() {
+    let ra = match svc.take_result(a).unwrap().unwrap().output {
         JobOutput::Histogram(r) => r,
         other => panic!("{other:?}"),
     };
-    let rb = match svc.take_result(b).unwrap().unwrap() {
+    let rb = match svc.take_result(b).unwrap().unwrap().output {
         JobOutput::Histogram(r) => r,
         other => panic!("{other:?}"),
     };
@@ -277,7 +277,7 @@ fn mixed_service_traffic_matches_standalone_execution() {
     svc.run_all();
 
     for (id, seed) in hist_ids.into_iter().zip(0..4u64) {
-        let got = match svc.take_result(id).unwrap().unwrap() {
+        let got = match svc.take_result(id).unwrap().unwrap().output {
             JobOutput::Histogram(r) => r,
             other => panic!("{other:?}"),
         };

@@ -1,0 +1,136 @@
+//! Bench: the circuit-optimization pipeline on vs off.
+//!
+//! Two measurements, recorded in `BENCH_circuit_optimize.json`:
+//!
+//! 1. **Dense sweeps** — a dusted brickwork circuit and a T-dusted
+//!    ladder run on the dense state vector with
+//!    `SimulatorOptions::optimize` unset vs set. The pipeline fuses
+//!    each cluster of single-qubit dust into its neighbouring
+//!    two-qubit gate, so the sweep applies a fraction of the raw
+//!    operation count. Acceptance bar: >= 1.5x median wall-clock on
+//!    both circuits, optimization time included.
+//! 2. **Uncached service mix** — the planner-driven service draining
+//!    the same traffic with `PlannerConfig::optimize` on vs off and
+//!    the result cache disabled, isolating the optimizer's effect on
+//!    end-to-end serving throughput.
+
+use bgls_circuit::{Circuit, Gate, Operation, OptimizeConfig, Qubit};
+use bgls_core::{Simulator, SimulatorOptions};
+use bgls_plan::{PlannerConfig, ServiceConfig, SimRequest, SimulationService};
+use bgls_statevector::StateVector;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn reps() -> u64 {
+    if std::env::args().any(|a| a == "--test") {
+        10
+    } else {
+        200
+    }
+}
+
+fn measured(mut c: Circuit, n: u32) -> Circuit {
+    c.push(Operation::measure((0..n).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+    c
+}
+
+/// Brickwork with single-qubit dust: per layer, rotations on every
+/// qubit followed by an alternating-offset CZ brick. The dust fuses
+/// into the bricks, collapsing each (1q, 1q, 2q) cluster to one U4.
+fn brickwork(n: u32, layers: u32) -> Circuit {
+    let mut c = Circuit::new();
+    for layer in 0..layers {
+        for q in 0..n {
+            c.push(
+                Operation::gate(Gate::Ry((0.3 + 0.1 * layer as f64).into()), vec![Qubit(q)])
+                    .unwrap(),
+            );
+            c.push(Operation::gate(Gate::T, vec![Qubit(q)]).unwrap());
+        }
+        let offset = layer % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            c.push(Operation::gate(Gate::Cz, vec![Qubit(q), Qubit(q + 1)]).unwrap());
+            q += 2;
+        }
+    }
+    measured(c, n)
+}
+
+/// T-dusted CNOT ladder: the service bench's unitary non-Clifford
+/// workload with a compile-away T-H-T-H dust layer per rung round.
+fn t_ladder(n: u32) -> Circuit {
+    let mut c = Circuit::new();
+    for _ in 0..4 {
+        for i in 0..n {
+            for gate in [Gate::T, Gate::H, Gate::T, Gate::H] {
+                c.push(Operation::gate(gate, vec![Qubit(i)]).unwrap());
+            }
+        }
+        for i in 1..n {
+            c.push(Operation::gate(Gate::Cnot, vec![Qubit(i - 1), Qubit(i)]).unwrap());
+        }
+    }
+    measured(c, n)
+}
+
+/// One dense run with the in-simulator pipeline toggled; optimization
+/// time (when on) is inside the measurement.
+fn dense_run(circuit: &Circuit, n: usize, optimize: bool) -> u64 {
+    let options = SimulatorOptions {
+        seed: Some(7),
+        optimize: optimize.then(OptimizeConfig::default),
+        ..SimulatorOptions::default()
+    };
+    let sim = Simulator::new(StateVector::zero(n)).with_options(options);
+    sim.run(circuit, reps()).expect("dense run").repetitions()
+}
+
+/// Drains a cold, uncached service over the mixed traffic with the
+/// planner's optimizer pipeline toggled.
+fn serve_uncached(circuits: &[Circuit], optimize: bool) -> u64 {
+    let mut svc = SimulationService::new(ServiceConfig {
+        cache_capacity: 0,
+        planner: PlannerConfig {
+            optimize: optimize.then(OptimizeConfig::default),
+            ..PlannerConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    for round in 0..4u64 {
+        for c in circuits {
+            svc.submit(SimRequest::histogram(c.clone(), reps()).with_seed(round))
+                .expect("submit");
+        }
+    }
+    svc.run_all() as u64
+}
+
+fn bench_circuit_optimize(c: &mut Criterion) {
+    let brick = brickwork(14, 8);
+    let ladder = t_ladder(14);
+    let mut group = c.benchmark_group("circuit_optimize");
+    group.sample_size(5);
+    group.bench_function("dense_sweep/brickwork/raw", |b| {
+        b.iter(|| dense_run(&brick, 14, false))
+    });
+    group.bench_function("dense_sweep/brickwork/optimized", |b| {
+        b.iter(|| dense_run(&brick, 14, true))
+    });
+    group.bench_function("dense_sweep/t_ladder/raw", |b| {
+        b.iter(|| dense_run(&ladder, 14, false))
+    });
+    group.bench_function("dense_sweep/t_ladder/optimized", |b| {
+        b.iter(|| dense_run(&ladder, 14, true))
+    });
+    let mix = vec![brick.clone(), ladder.clone()];
+    group.bench_function("service_mix/uncached/raw", |b| {
+        b.iter(|| serve_uncached(&mix, false))
+    });
+    group.bench_function("service_mix/uncached/optimized", |b| {
+        b.iter(|| serve_uncached(&mix, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_optimize);
+criterion_main!(benches);

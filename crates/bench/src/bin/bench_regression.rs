@@ -1,0 +1,546 @@
+//! Bench-regression smoke for CI.
+//!
+//! ```text
+//! bench_regression [--threshold PCT] [--no-smoke] [--timed NAME]...
+//! ```
+//!
+//! Two phases, both driven by the checked-in `BENCH_*.json` baselines
+//! and the `[[bench]]` targets of `crates/bench/Cargo.toml`:
+//!
+//! 1. **Smoke** (default): every criterion bench target runs once in
+//!    `--test` mode (one untimed iteration), so bench code cannot rot
+//!    without failing CI.
+//! 2. **Regression** (per `--timed NAME`): the named bench runs for
+//!    real; every `  label: median X ms` line is matched against the
+//!    baseline's `*_ms` entries (a baseline key matches a label when
+//!    all of its `_`-separated tokens appear among the label's `/`,
+//!    `_`-separated tokens). Any matched measurement more than
+//!    `--threshold` percent (default 25) slower than its baseline
+//!    fails the run. A first-attempt regression earns one retry (the
+//!    per-label minimum across both runs is what's judged), so a
+//!    uniformly loaded runner doesn't flag a phantom regression.
+//!
+//! Baselines recorded on other hosts make absolute comparisons noisy;
+//! the threshold is a tripwire for order-of-magnitude rot, not a
+//! micro-benchmark gate. Unmatched baseline entries (legacy schemas)
+//! are reported but never fatal. Std-only: the JSON reader below
+//! understands exactly the house bench-json subset.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{exit, Command};
+
+// ---------------------------------------------------------------- JSON
+
+/// Minimal JSON value for the house bench-json files. Bool and array
+/// payloads are parsed for completeness but never consulted.
+#[allow(dead_code)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' | b'f' => out.push(' '),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("bad utf-8"))?,
+                    );
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ----------------------------------------------------------- baselines
+
+/// One baseline timing: the token set that identifies it and the
+/// recorded median milliseconds.
+struct BaselineEntry {
+    key_path: String,
+    tokens: Vec<String>,
+    ms: f64,
+}
+
+/// Collects every numeric leaf whose key ends in `_ms` (or is
+/// `median_ms`), tagging it with the tokens of its path. Structural
+/// keys (`results`, `groups`, ...) contribute no tokens.
+fn collect_ms(value: &Json, path: &[&str], out: &mut Vec<BaselineEntry>) {
+    if let Json::Obj(fields) = value {
+        for (key, child) in fields {
+            match child {
+                Json::Num(ms) if key.ends_with("_ms") || key == "median_ms" => {
+                    let mut tokens: Vec<String> = Vec::new();
+                    for part in path.iter().copied().chain([key.as_str()]) {
+                        if matches!(
+                            part,
+                            "results" | "groups" | "workloads" | "config" | "median_ms"
+                        ) {
+                            continue;
+                        }
+                        tokens.extend(
+                            part.split(['_', '/', '.'])
+                                .filter(|t| !t.is_empty() && *t != "ms")
+                                .map(str::to_lowercase),
+                        );
+                    }
+                    tokens.dedup();
+                    out.push(BaselineEntry {
+                        key_path: path
+                            .iter()
+                            .copied()
+                            .chain([key.as_str()])
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                        tokens,
+                        ms: *ms,
+                    });
+                }
+                _ => {
+                    let mut next: Vec<&str> = path.to_vec();
+                    next.push(key);
+                    collect_ms(child, &next, out);
+                }
+            }
+        }
+    }
+}
+
+/// Loads `BENCH_<name>.json` from the repo root, keyed by its `bench`
+/// field.
+fn load_baselines(root: &Path) -> BTreeMap<String, Vec<BaselineEntry>> {
+    let mut out = BTreeMap::new();
+    let Ok(dir) = fs::read_dir(root) else {
+        return out;
+    };
+    for entry in dir.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let json = match parse_json(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("warning: {name}: {e}");
+                continue;
+            }
+        };
+        let bench = match &json {
+            Json::Obj(fields) => fields.iter().find_map(|(k, v)| match v {
+                Json::Str(s) if k == "bench" => Some(s.clone()),
+                _ => None,
+            }),
+            _ => None,
+        };
+        let Some(bench) = bench else {
+            eprintln!("warning: {name}: no \"bench\" field");
+            continue;
+        };
+        let mut entries = Vec::new();
+        collect_ms(&json, &[], &mut entries);
+        out.insert(bench, entries);
+    }
+    out
+}
+
+// ---------------------------------------------------------- cargo glue
+
+/// `[[bench]]` target names from `crates/bench/Cargo.toml`.
+fn bench_targets(root: &Path) -> Vec<String> {
+    let manifest = root.join("crates/bench/Cargo.toml");
+    let text = fs::read_to_string(&manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut targets = Vec::new();
+    let mut in_bench = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_bench = line == "[[bench]]";
+        } else if in_bench {
+            if let Some(name) = line
+                .strip_prefix("name")
+                .and_then(|r| r.trim_start().strip_prefix('='))
+            {
+                targets.push(name.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    targets
+}
+
+fn run_bench(root: &Path, name: &str, test_mode: bool) -> Result<String, String> {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root).args(["bench", "--bench", name]);
+    if test_mode {
+        cmd.args(["--", "--test"]);
+    }
+    let out = cmd
+        .output()
+        .map_err(|e| format!("spawn cargo bench --bench {name}: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "cargo bench --bench {name}{} failed:\n{}",
+            if test_mode { " -- --test" } else { "" },
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// Parses `  label: median X ms over N samples` lines.
+fn parse_medians(stdout: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in stdout.lines() {
+        let line = line.trim();
+        let Some((label, rest)) = line.split_once(": median ") else {
+            continue;
+        };
+        if let Some(ms) = rest
+            .split_whitespace()
+            .next()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            out.push((label.to_string(), ms));
+        }
+    }
+    out
+}
+
+fn label_tokens(label: &str) -> Vec<String> {
+    label
+        .split(['/', '_', '.', ':'])
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+// ---------------------------------------------------------------- main
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/bench when run via cargo.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() {
+    let mut threshold_pct = 25.0f64;
+    let mut smoke = true;
+    let mut timed: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold needs a number");
+                    exit(2);
+                })
+            }
+            "--no-smoke" => smoke = false,
+            "--timed" => timed.push(args.next().unwrap_or_else(|| {
+                eprintln!("--timed needs a bench name");
+                exit(2);
+            })),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: bench_regression [--threshold PCT] [--no-smoke] [--timed NAME]..."
+                );
+                exit(2);
+            }
+        }
+    }
+
+    let root = repo_root();
+    let targets = bench_targets(&root);
+    let baselines = load_baselines(&root);
+    let mut failures: Vec<String> = Vec::new();
+
+    if smoke {
+        println!("== smoke: one untimed iteration per bench target");
+        for target in &targets {
+            match run_bench(&root, target, true) {
+                Ok(_) => println!("  {target}: ok"),
+                Err(e) => {
+                    println!("  {target}: FAILED");
+                    failures.push(e);
+                }
+            }
+        }
+    }
+
+    for name in &timed {
+        println!("== regression: {name} vs BENCH_{name}.json (threshold {threshold_pct}%)");
+        let Some(entries) = baselines.get(name) else {
+            failures.push(format!("no BENCH_{name}.json baseline found"));
+            continue;
+        };
+        // Best-of-two: a loaded or thermally-throttled runner can slow
+        // every label uniformly, so a first-attempt regression earns one
+        // retry with the per-label minimum kept across attempts.
+        let mut best: Vec<(String, f64)> = Vec::new();
+        let mut bench_broken = false;
+        for attempt in 0..2 {
+            let stdout = match run_bench(&root, name, false) {
+                Ok(s) => s,
+                Err(e) => {
+                    failures.push(e);
+                    bench_broken = true;
+                    break;
+                }
+            };
+            let medians = parse_medians(&stdout);
+            if medians.is_empty() {
+                failures.push(format!("{name}: no `median` lines in bench output"));
+                bench_broken = true;
+                break;
+            }
+            for (label, ms) in medians {
+                match best.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, prev)) => *prev = prev.min(ms),
+                    None => best.push((label, ms)),
+                }
+            }
+            let regressed = entries.iter().any(|entry| {
+                best.iter().any(|(label, ms)| {
+                    let tokens = label_tokens(label);
+                    entry.tokens.iter().all(|t| tokens.contains(t))
+                        && ms / entry.ms > 1.0 + threshold_pct / 100.0
+                })
+            });
+            if !regressed {
+                break;
+            }
+            if attempt == 0 {
+                println!("  (regression on first run — retrying once, keeping per-label minima)");
+            }
+        }
+        if bench_broken {
+            continue;
+        }
+        for entry in entries {
+            let hit = best.iter().find(|(label, _)| {
+                let tokens = label_tokens(label);
+                entry.tokens.iter().all(|t| tokens.contains(t))
+            });
+            match hit {
+                Some((label, ms)) => {
+                    let ratio = ms / entry.ms;
+                    let verdict = if ratio > 1.0 + threshold_pct / 100.0 {
+                        failures.push(format!(
+                            "{name}: {label} regressed {ratio:.2}x vs baseline {} ({:.3} ms -> {:.3} ms)",
+                            entry.key_path, entry.ms, ms
+                        ));
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {label}: {ms:.3} ms vs baseline {:.3} ms ({ratio:.2}x) {verdict}",
+                        entry.ms
+                    );
+                }
+                None => println!(
+                    "  (unmatched baseline entry {} — legacy schema, skipped)",
+                    entry.key_path
+                ),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench regression check passed");
+    } else {
+        eprintln!("\n{} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        exit(1);
+    }
+}

@@ -27,6 +27,7 @@ mod error;
 mod gate;
 mod moment;
 mod op;
+mod optimize;
 mod param;
 mod pauli;
 mod qasm;
@@ -43,6 +44,11 @@ pub use error::CircuitError;
 pub use gate::{Gate, CLIFFORD_GENERATORS};
 pub use moment::Moment;
 pub use op::{OpKind, Operation};
+pub use optimize::{
+    cancel_inverse_pairs, extract_diagonal_runs, fuse_two_qubit_runs, lightcone_prune,
+    lightcone_prune_for, optimize, pipeline_for, reorder_commuting_gates, OptimizeConfig,
+    PassPipeline, PassStats, RewriteStats,
+};
 pub use param::{Param, ParamResolver};
 pub use pauli::{parity_sign_masked, score_parity_terms, PauliOp, PauliString, PauliSum};
 pub use qasm::{from_qasm, to_qasm};

@@ -1,0 +1,1223 @@
+//! The multi-pass circuit optimizer: a composable [`PassPipeline`] of
+//! pure `Circuit -> Circuit` rewrites that every execution path can run
+//! behind a planner/simulator knob.
+//!
+//! The passes, in the order [`pipeline_for`] composes them:
+//!
+//! 1. [`cancel_inverse_pairs`] — drops adjacent gate pairs whose product
+//!    is the identity up to global phase (`H·H`, `CX·CX`, `T·T†`, ...).
+//! 2. [`reorder_commuting_gates`] — commutation-aware reordering:
+//!    single-qubit gates sink left through syntactically-commuting
+//!    multi-qubit gates (diagonal past diagonal, diagonal past a CNOT
+//!    control, X-basis past a CNOT target), lengthening the fusible and
+//!    cancellable runs the later passes feed on.
+//! 3. [`lightcone_prune`] — dead-gate elimination: a reverse walk keeps
+//!    only operations inside the causal cone of the measured (or
+//!    caller-supplied observable) qubit set.
+//! 4. [`fuse_two_qubit_runs`] / [`extract_diagonal_runs`] — merges
+//!    maximal runs of gates on the same qubit pair into single `U4`
+//!    matrices ([`Gate::U2`]), absorbing neighbouring single-qubit gates
+//!    into the run; the diagonal-aware variant keeps maximal diagonal
+//!    segments as their own entry-wise-diagonal matrices so the
+//!    sampler's `skip_diagonal_updates` optimization keeps firing
+//!    across merged segments.
+//!
+//! Every pass preserves the circuit's action on every observable
+//! exactly — matrices are multiplied, never approximated; dropped gates
+//! are provably outside every measured lightcone — so sampling
+//! *distributions* and expectation values are unchanged even though the
+//! gate sequence (and hence the seeded RNG stream) differs.
+//!
+//! [`optimize`] runs the configured pipeline to a fixpoint, which makes
+//! the whole optimizer deterministic and idempotent:
+//! `optimize(optimize(c)) == optimize(c)`.
+//!
+//! ```
+//! use bgls_circuit::{optimize, Circuit, Gate, Operation, OptimizeConfig, Qubit};
+//!
+//! let mut c = Circuit::new();
+//! c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+//! c.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap()); // cancels
+//! c.push(Operation::gate(Gate::T, vec![Qubit(0)]).unwrap());
+//! c.push(Operation::gate(Gate::Cz, vec![Qubit(0), Qubit(1)]).unwrap());
+//! c.push(Operation::measure(vec![Qubit(0), Qubit(1)], "m").unwrap());
+//!
+//! let (opt, stats) = optimize(&c, &OptimizeConfig::default());
+//! assert!(opt.num_operations() < c.num_operations());
+//! assert_eq!(stats.ops_before, 5);
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::op::Operation;
+use crate::qubit::Qubit;
+use crate::transform;
+use bgls_linalg::{FxHashMap, FxHashSet, FxHasher, Matrix};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Fixpoint iteration cap for [`optimize`]: each round either strictly
+/// shrinks the circuit or canonicalizes order, so real circuits settle
+/// in 2-3 rounds; the cap only guards pathological inputs.
+const MAX_ROUNDS: usize = 16;
+
+/// Numerical tolerance for recognizing identity-up-to-phase products.
+const IDENTITY_TOL: f64 = 1e-12;
+
+/// Which optimizer passes run, and in what flavour.
+///
+/// The default enables every structure-preserving win (cancellation,
+/// reordering, lightcone pruning, 1q- and 2q-run fusion) and leaves
+/// [`extract_diagonal_runs`](OptimizeConfig::extract_diagonal_runs) off:
+/// splitting merged runs at diagonality boundaries trades op count for
+/// diagonal skips, which only pays when the executing simulator has
+/// `skip_diagonal_updates` enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OptimizeConfig {
+    /// Drop adjacent gate pairs whose product is the identity up to
+    /// global phase ([`cancel_inverse_pairs`]).
+    pub cancel_inverses: bool,
+    /// Sink single-qubit gates left through syntactically-commuting
+    /// multi-qubit gates ([`reorder_commuting_gates`]).
+    pub reorder_commuting: bool,
+    /// Drop operations outside the causal cone of the measured qubit
+    /// set ([`lightcone_prune`]).
+    pub lightcone: bool,
+    /// Merge maximal single-qubit runs into one matrix per run
+    /// ([`crate::merge_single_qubit_gates`]); subsumed by
+    /// `fuse_two_qubit_runs` when that is also enabled.
+    pub merge_single_qubit_runs: bool,
+    /// Merge maximal same-pair two-qubit runs (and absorbed neighbour
+    /// 1q gates) into single `U4` matrices ([`fuse_two_qubit_runs`]).
+    pub fuse_two_qubit_runs: bool,
+    /// Split merged runs at diagonality boundaries so maximal diagonal
+    /// segments stay entry-wise diagonal ([`extract_diagonal_runs`]);
+    /// only meaningful with `fuse_two_qubit_runs`.
+    pub extract_diagonal_runs: bool,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            cancel_inverses: true,
+            reorder_commuting: true,
+            lightcone: true,
+            merge_single_qubit_runs: true,
+            fuse_two_qubit_runs: true,
+            extract_diagonal_runs: false,
+        }
+    }
+}
+
+impl OptimizeConfig {
+    /// Every pass disabled: [`optimize`] returns the circuit unchanged.
+    pub fn off() -> Self {
+        OptimizeConfig {
+            cancel_inverses: false,
+            reorder_commuting: false,
+            lightcone: false,
+            merge_single_qubit_runs: false,
+            fuse_two_qubit_runs: false,
+            extract_diagonal_runs: false,
+        }
+    }
+
+    /// Every pass enabled, including diagonal-run extraction — the
+    /// configuration for simulators running with
+    /// `skip_diagonal_updates`.
+    pub fn full() -> Self {
+        OptimizeConfig {
+            extract_diagonal_runs: true,
+            ..OptimizeConfig::default()
+        }
+    }
+
+    /// This configuration with the matrix-producing passes disabled.
+    ///
+    /// Fusion passes emit [`Gate::U1`]/[`Gate::U2`] matrices, which have
+    /// no stabilizer effect — running them on a Clifford circuit would
+    /// push it off the stabilizer backends. The surviving passes
+    /// (cancellation, reordering, lightcone pruning) only drop or
+    /// reorder *named* gates, so a Clifford circuit stays Clifford.
+    pub fn stabilizer_safe(self) -> Self {
+        OptimizeConfig {
+            merge_single_qubit_runs: false,
+            fuse_two_qubit_runs: false,
+            extract_diagonal_runs: false,
+            ..self
+        }
+    }
+
+    /// True when at least one pass is enabled.
+    pub fn enabled(&self) -> bool {
+        self.cancel_inverses
+            || self.reorder_commuting
+            || self.lightcone
+            || self.merge_single_qubit_runs
+            || self.fuse_two_qubit_runs
+    }
+
+    /// Stable fingerprint of the pipeline configuration. Folded into
+    /// plan fingerprints so optimized and raw executions of the same
+    /// circuit can never collide in a result cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        // Version salt: bump when pass semantics change, so stale
+        // cached results keyed under the old pipeline never alias.
+        0x4247_4c53_0001_u64.hash(&mut h);
+        [
+            self.cancel_inverses,
+            self.reorder_commuting,
+            self.lightcone,
+            self.merge_single_qubit_runs,
+            self.fuse_two_qubit_runs,
+            self.extract_diagonal_runs,
+        ]
+        .hash(&mut h);
+        h.finish()
+    }
+}
+
+/// What one pass application did to the operation count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass name as registered in the pipeline.
+    pub name: &'static str,
+    /// Operations entering the pass.
+    pub ops_before: usize,
+    /// Operations leaving the pass.
+    pub ops_after: usize,
+    /// True when the pass changed the circuit structurally (it may
+    /// reorder without changing the count).
+    pub changed: bool,
+}
+
+/// Cumulative rewrite statistics for one [`optimize`] invocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Operations in the input circuit.
+    pub ops_before: usize,
+    /// Operations in the optimized circuit.
+    pub ops_after: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// One entry per pass application, in execution order (passes
+    /// repeat across fixpoint rounds).
+    pub passes: Vec<PassStats>,
+}
+
+impl RewriteStats {
+    /// Baseline stats for an untouched circuit of `ops` operations.
+    pub fn unchanged(ops: usize) -> Self {
+        RewriteStats {
+            ops_before: ops,
+            ops_after: ops,
+            rounds: 0,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Names of the passes that changed the circuit, deduplicated in
+    /// first-fired order — the `passes applied` line in job reports.
+    pub fn passes_applied(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for p in &self.passes {
+            if p.changed && !seen.contains(&p.name) {
+                seen.push(p.name);
+            }
+        }
+        seen
+    }
+
+    /// Fraction of operations removed (`0.0` for an untouched circuit).
+    pub fn reduction(&self) -> f64 {
+        if self.ops_before == 0 {
+            0.0
+        } else {
+            1.0 - self.ops_after as f64 / self.ops_before as f64
+        }
+    }
+}
+
+/// A boxed pure circuit rewrite.
+type PassFn = Arc<dyn Fn(&Circuit) -> Circuit + Send + Sync>;
+
+/// An ordered, composable sequence of named circuit rewrites.
+///
+/// Each pass is a pure `Circuit -> Circuit` function; [`PassPipeline::run`]
+/// applies them once in order and records per-pass [`PassStats`], and
+/// [`PassPipeline::run_to_fixpoint`] iterates until the circuit's
+/// structural hash stabilizes (the determinism/idempotence contract of
+/// [`optimize`]).
+#[derive(Clone, Default)]
+pub struct PassPipeline {
+    passes: Vec<(&'static str, PassFn)>,
+}
+
+impl PassPipeline {
+    /// An empty pipeline (`run` is the identity).
+    pub fn new() -> Self {
+        PassPipeline { passes: Vec::new() }
+    }
+
+    /// Appends a named pass.
+    pub fn with_pass(
+        mut self,
+        name: &'static str,
+        pass: impl Fn(&Circuit) -> Circuit + Send + Sync + 'static,
+    ) -> Self {
+        self.passes.push((name, Arc::new(pass)));
+        self
+    }
+
+    /// Registered pass count.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True when no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Applies every pass once, in order, recording per-pass stats.
+    pub fn run(&self, circuit: &Circuit) -> (Circuit, RewriteStats) {
+        let mut stats = RewriteStats::unchanged(circuit.num_operations());
+        let mut current = circuit.clone();
+        let mut hash = current.structural_hash();
+        for (name, pass) in &self.passes {
+            let before = current.num_operations();
+            let next = pass(&current);
+            let next_hash = next.structural_hash();
+            stats.passes.push(PassStats {
+                name,
+                ops_before: before,
+                ops_after: next.num_operations(),
+                changed: next_hash != hash,
+            });
+            current = next;
+            hash = next_hash;
+        }
+        stats.rounds = 1;
+        stats.ops_after = current.num_operations();
+        (current, stats)
+    }
+
+    /// Iterates [`PassPipeline::run`] until the circuit's structural
+    /// hash stabilizes, capped at `max_rounds`.
+    pub fn run_to_fixpoint(&self, circuit: &Circuit, max_rounds: usize) -> (Circuit, RewriteStats) {
+        let mut stats = RewriteStats::unchanged(circuit.num_operations());
+        if self.is_empty() {
+            return (circuit.clone(), stats);
+        }
+        let mut current = circuit.clone();
+        let mut hash = current.structural_hash();
+        for _ in 0..max_rounds {
+            let (next, round) = self.run(&current);
+            stats.rounds += 1;
+            stats.passes.extend(round.passes);
+            let next_hash = next.structural_hash();
+            current = next;
+            if next_hash == hash {
+                break;
+            }
+            hash = next_hash;
+        }
+        stats.ops_after = current.num_operations();
+        (current, stats)
+    }
+}
+
+impl std::fmt::Debug for PassPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.passes.iter().map(|(name, _)| name))
+            .finish()
+    }
+}
+
+/// The pipeline `config` describes, in canonical order: cancellation,
+/// reordering, lightcone pruning, then fusion (2q-run fusion subsumes
+/// the 1q merge when both are enabled).
+pub fn pipeline_for(config: &OptimizeConfig) -> PassPipeline {
+    let mut p = PassPipeline::new();
+    if config.cancel_inverses {
+        p = p.with_pass("cancel-inverses", cancel_inverse_pairs);
+    }
+    if config.reorder_commuting {
+        p = p.with_pass("reorder-commuting", reorder_commuting_gates);
+    }
+    if config.lightcone {
+        p = p.with_pass("lightcone", lightcone_prune);
+    }
+    if config.fuse_two_qubit_runs {
+        if config.extract_diagonal_runs {
+            p = p.with_pass("fuse-2q-diagonal-aware", extract_diagonal_runs);
+        } else {
+            p = p.with_pass("fuse-2q", fuse_two_qubit_runs);
+        }
+    } else if config.merge_single_qubit_runs {
+        p = p.with_pass("merge-1q", transform::fuse);
+    }
+    p
+}
+
+/// Runs the pipeline `config` describes to a fixpoint and returns the
+/// optimized circuit with its rewrite statistics.
+///
+/// Deterministic and idempotent: the same input always produces the
+/// same output, and `optimize(optimize(c)) == optimize(c)`.
+pub fn optimize(circuit: &Circuit, config: &OptimizeConfig) -> (Circuit, RewriteStats) {
+    pipeline_for(config).run_to_fixpoint(circuit, MAX_ROUNDS)
+}
+
+/// Drops adjacent gate pairs whose product is the identity up to global
+/// phase — `H·H`, `CX·CX`, `T·T†`, `S·S†`, and any matrix pair that
+/// multiplies out to `e^{iφ}I`.
+///
+/// "Adjacent" means no other operation touches any of the pair's qubits
+/// between the two gates, and both act on the same qubit *set* (a
+/// reversed two-qubit listing is handled by permuting the matrix).
+/// Measurements, channels, and parameterized gates are barriers. The
+/// scan repeats until no pair cancels, so towers like `X·X·X·X` vanish
+/// entirely.
+pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
+    let mut ops: Vec<Operation> = circuit.all_operations().cloned().collect();
+    loop {
+        let mut changed = false;
+        // Surviving ops so far; per-qubit index of the last survivor.
+        let mut kept: Vec<Option<Operation>> = Vec::with_capacity(ops.len());
+        let mut last: FxHashMap<Qubit, usize> = FxHashMap::default();
+        for op in ops {
+            if let Some(prev_idx) = cancellable_predecessor(&op, &kept, &last) {
+                let prev = kept[prev_idx].take().expect("predecessor is a survivor");
+                if product_is_identity(&prev, &op) {
+                    for q in op.support() {
+                        last.remove(q);
+                    }
+                    changed = true;
+                    continue;
+                }
+                kept[prev_idx] = Some(prev);
+            }
+            let idx = kept.len();
+            for q in op.support() {
+                last.insert(*q, idx);
+            }
+            kept.push(Some(op));
+        }
+        ops = kept.into_iter().flatten().collect();
+        if !changed {
+            break;
+        }
+    }
+    Circuit::from_ops(ops)
+}
+
+/// Index of the surviving op that `op` could cancel against: the unique
+/// last-toucher of every qubit in `op`'s support, acting on the same
+/// qubit set, both sides non-parameterized unitaries of arity <= 3.
+fn cancellable_predecessor(
+    op: &Operation,
+    kept: &[Option<Operation>],
+    last: &FxHashMap<Qubit, usize>,
+) -> Option<usize> {
+    if !is_cancellable(op) {
+        return None;
+    }
+    let mut iter = op.support().iter();
+    let first = iter.next()?;
+    let idx = *last.get(first)?;
+    for q in iter {
+        if last.get(q) != Some(&idx) {
+            return None;
+        }
+    }
+    let prev = kept[idx].as_ref()?;
+    if !is_cancellable(prev) || prev.support().len() != op.support().len() {
+        return None;
+    }
+    // Same qubit set (order may differ for two-qubit gates).
+    if !op.support().iter().all(|q| prev.support().contains(q)) {
+        return None;
+    }
+    Some(idx)
+}
+
+fn is_cancellable(op: &Operation) -> bool {
+    op.as_gate()
+        .map(|g| !g.is_parameterized() && g.arity() <= 3)
+        .unwrap_or(false)
+}
+
+/// True when applying `first` then `second` is the identity up to
+/// global phase.
+fn product_is_identity(first: &Operation, second: &Operation) -> bool {
+    let (Some(f), Some(s)) = (first.as_gate(), second.as_gate()) else {
+        return false;
+    };
+    let (Ok(mf), Ok(ms)) = (f.unitary(), s.unitary()) else {
+        return false;
+    };
+    let ms = matrix_in_order(&ms, second.support(), first.support());
+    transform::is_identity_up_to_phase(&ms.matmul(&mf), IDENTITY_TOL)
+}
+
+/// Sinks single-qubit gates left (earlier) through contiguous
+/// syntactically-commuting multi-qubit gates: a diagonal gate passes
+/// diagonal gates and CNOT/Toffoli controls, an X-basis gate
+/// (`X`, `√X`, `Rx`) passes CNOT/Toffoli targets.
+///
+/// The move stops at the first operation on the same qubit that is not
+/// a commuting multi-qubit gate — in particular at other single-qubit
+/// gates, which preserves per-qubit gate order and makes the pass
+/// idempotent. Reordering lengthens the adjacent runs that
+/// [`cancel_inverse_pairs`] and [`fuse_two_qubit_runs`] feed on.
+pub fn reorder_commuting_gates(circuit: &Circuit) -> Circuit {
+    let mut out: Vec<Operation> = Vec::new();
+    for op in circuit.all_operations() {
+        let movable = op
+            .as_gate()
+            .map(|g| g.arity() == 1 && !g.is_parameterized())
+            .unwrap_or(false);
+        if !movable {
+            out.push(op.clone());
+            continue;
+        }
+        let g = op.as_gate().expect("movable implies gate");
+        let q = op.support()[0];
+        let mut dest = out.len();
+        while dest > 0 {
+            let prev = &out[dest - 1];
+            if !prev.support().contains(&q) {
+                break;
+            }
+            let passes = prev
+                .as_gate()
+                .map(|h| {
+                    h.arity() >= 2
+                        && !h.is_parameterized()
+                        && commutes_with_earlier(g, q, h, prev.support())
+                })
+                .unwrap_or(false);
+            if !passes {
+                break;
+            }
+            dest -= 1;
+        }
+        out.insert(dest, op.clone());
+    }
+    Circuit::from_ops(out)
+}
+
+/// Syntactic commutation of 1q gate `g` on `q` with the earlier
+/// multi-qubit gate `h` on `hq` — sound rules only, no matrix algebra.
+fn commutes_with_earlier(g: &Gate, q: Qubit, h: &Gate, hq: &[Qubit]) -> bool {
+    let g_diag = g.is_diagonal();
+    if g_diag && h.is_diagonal() {
+        return true;
+    }
+    let g_x_basis = matches!(g, Gate::X | Gate::SqrtX | Gate::SqrtXDag | Gate::Rx(_));
+    match h {
+        Gate::Cnot => (g_diag && hq[0] == q) || (g_x_basis && hq[1] == q),
+        Gate::Ccx => (g_diag && (hq[0] == q || hq[1] == q)) || (g_x_basis && hq[2] == q),
+        Gate::Cswap => g_diag && hq[0] == q,
+        _ => false,
+    }
+}
+
+/// Dead-gate elimination against the measured qubit set: a reverse walk
+/// keeps measurements (their recorded outcomes are user-visible) and
+/// every operation whose support intersects the growing causal cone;
+/// everything else provably cannot affect any recorded outcome and is
+/// dropped. Circuits without measurements are returned unchanged —
+/// there is no output to anchor the cone on (use
+/// [`lightcone_prune_for`] with explicit targets instead).
+pub fn lightcone_prune(circuit: &Circuit) -> Circuit {
+    if !circuit.has_measurements() {
+        return circuit.clone();
+    }
+    lightcone_prune_for(circuit, &[])
+}
+
+/// [`lightcone_prune`] with an explicit target qubit set seeding the
+/// cone — the observable-support variant the planner uses for
+/// expectation deliverables. Measurements are always kept (and extend
+/// the cone); with no targets and no measurements the circuit is
+/// returned unchanged.
+pub fn lightcone_prune_for(circuit: &Circuit, targets: &[Qubit]) -> Circuit {
+    if targets.is_empty() && !circuit.has_measurements() {
+        return circuit.clone();
+    }
+    let ops: Vec<&Operation> = circuit.all_operations().collect();
+    let mut live: FxHashSet<Qubit> = targets.iter().copied().collect();
+    let mut keep = vec![false; ops.len()];
+    for (i, op) in ops.iter().enumerate().rev() {
+        let in_cone = op.is_measurement() || op.support().iter().any(|q| live.contains(q));
+        if in_cone {
+            keep[i] = true;
+            live.extend(op.support().iter().copied());
+        }
+    }
+    Circuit::from_ops(
+        ops.iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(op, _)| (*op).clone()),
+    )
+}
+
+/// Merges maximal runs of gates on the same qubit pair into single
+/// `U4` matrices ([`Gate::U2`]), absorbing neighbouring single-qubit
+/// gates into the run; lone single-qubit runs merge to one [`Gate::U1`].
+///
+/// A run on pair `(a, b)` opens at a two-qubit gate and accumulates
+/// every later gate touching only `a`/`b` until a barrier (measurement,
+/// channel, parameterized or 3+-qubit gate) or a gate pairing `a` or
+/// `b` with a third qubit closes it. Matrix products are exact; runs
+/// whose product is the identity up to phase are dropped; runs of a
+/// single operation re-emit that operation verbatim (which makes the
+/// pass idempotent).
+pub fn fuse_two_qubit_runs(circuit: &Circuit) -> Circuit {
+    fuse_runs(circuit, false)
+}
+
+/// Diagonal-aware variant of [`fuse_two_qubit_runs`]: each run is split
+/// into maximal diagonal / non-diagonal segments, merged separately, so
+/// a diagonal segment (`CZ·S·CPhase...`) emits an entry-wise-diagonal
+/// matrix and the sampler's `skip_diagonal_updates` optimization keeps
+/// firing across the merged circuit.
+pub fn extract_diagonal_runs(circuit: &Circuit) -> Circuit {
+    fuse_runs(circuit, true)
+}
+
+/// One merged segment of a run: the accumulated matrix over the subset
+/// of run qubits touched so far (2x2 while only one qubit of a pair is
+/// touched, promoted to 4x4 on demand).
+struct Seg {
+    diagonal: bool,
+    touched: Vec<Qubit>,
+    m: Matrix,
+}
+
+/// An open fusion run on one qubit or one qubit pair.
+struct Run {
+    /// Fixed support, in the first two-qubit gate's listed order.
+    qubits: Vec<Qubit>,
+    segs: Vec<Seg>,
+    /// Original operations, re-emitted verbatim for singleton runs.
+    ops: Vec<Operation>,
+}
+
+impl Run {
+    /// Multiplies `m` (over `mq`, a subset of the run support) into the
+    /// current segment, starting a new segment at diagonality
+    /// boundaries when `split` is set.
+    fn absorb(&mut self, m: &Matrix, mq: &[Qubit], diagonal: bool, split: bool) {
+        // Normalize two-qubit matrices to the run's qubit order.
+        let (m, tq) = if mq.len() == 2 {
+            if mq == self.qubits.as_slice() {
+                (m.clone(), self.qubits.clone())
+            } else {
+                (swap_conjugate(m), self.qubits.clone())
+            }
+        } else {
+            (m.clone(), vec![mq[0]])
+        };
+        match self.segs.last_mut() {
+            Some(seg) if !split || seg.diagonal == diagonal => {
+                if seg.touched == tq {
+                    seg.m = m.matmul(&seg.m);
+                } else {
+                    let a = embed_in_pair(&seg.m, &seg.touched, &self.qubits);
+                    let b = embed_in_pair(&m, &tq, &self.qubits);
+                    seg.m = b.matmul(&a);
+                    seg.touched = self.qubits.clone();
+                }
+                seg.diagonal = seg.diagonal && diagonal;
+            }
+            _ => self.segs.push(Seg {
+                diagonal,
+                touched: tq,
+                m,
+            }),
+        }
+    }
+
+    /// Emits the run: singleton runs verbatim, otherwise one `U1`/`U2`
+    /// per segment, skipping segments that fused to the identity.
+    fn emit(self, out: &mut Vec<Operation>) {
+        if self.ops.len() == 1 {
+            out.extend(self.ops);
+            return;
+        }
+        for seg in self.segs {
+            if transform::is_identity_up_to_phase(&seg.m, IDENTITY_TOL) {
+                continue;
+            }
+            let gate = if seg.touched.len() == 1 {
+                Gate::U1(Arc::new(seg.m))
+            } else {
+                Gate::U2(Arc::new(seg.m))
+            };
+            out.push(
+                Operation::gate(gate, seg.touched)
+                    .expect("run qubits are distinct and arity-matched"),
+            );
+        }
+    }
+}
+
+fn fuse_runs(circuit: &Circuit, split_diagonal: bool) -> Circuit {
+    let mut open: Vec<Option<Run>> = Vec::new();
+    let mut owner: FxHashMap<Qubit, usize> = FxHashMap::default();
+    let mut out: Vec<Operation> = Vec::new();
+
+    fn flush(
+        i: usize,
+        open: &mut [Option<Run>],
+        owner: &mut FxHashMap<Qubit, usize>,
+        out: &mut Vec<Operation>,
+    ) {
+        if let Some(run) = open[i].take() {
+            for q in &run.qubits {
+                owner.remove(q);
+            }
+            run.emit(out);
+        }
+    }
+
+    for op in circuit.all_operations() {
+        let fusible = op
+            .as_gate()
+            .map(|g| (1..=2).contains(&g.arity()) && !g.is_parameterized())
+            .unwrap_or(false);
+        if !fusible {
+            // Barrier: close every run it touches, emit verbatim.
+            let mut to_flush: Vec<usize> = op
+                .support()
+                .iter()
+                .filter_map(|q| owner.get(q).copied())
+                .collect();
+            to_flush.sort_unstable();
+            to_flush.dedup();
+            for i in to_flush {
+                flush(i, &mut open, &mut owner, &mut out);
+            }
+            out.push(op.clone());
+            continue;
+        }
+        let g = op.as_gate().expect("fusible implies gate");
+        let m = g.unitary().expect("non-parameterized gate has a unitary");
+        let diag = g.is_diagonal();
+        let qs = op.support();
+        if qs.len() == 1 {
+            let q = qs[0];
+            if let Some(&i) = owner.get(&q) {
+                let run = open[i].as_mut().expect("owner points at an open run");
+                run.absorb(&m, qs, diag, split_diagonal);
+                run.ops.push(op.clone());
+            } else {
+                let i = open.len();
+                open.push(Some(Run {
+                    qubits: vec![q],
+                    segs: vec![Seg {
+                        diagonal: diag,
+                        touched: vec![q],
+                        m,
+                    }],
+                    ops: vec![op.clone()],
+                }));
+                owner.insert(q, i);
+            }
+            continue;
+        }
+        let (a, b) = (qs[0], qs[1]);
+        let (ia, ib) = (owner.get(&a).copied(), owner.get(&b).copied());
+        if let (Some(i), true) = (ia, ia == ib) {
+            // Same open pair (possibly listed in the other order).
+            let run = open[i].as_mut().expect("owner points at an open run");
+            run.absorb(&m, qs, diag, split_diagonal);
+            run.ops.push(op.clone());
+            continue;
+        }
+        // Open a new pair run: absorb lone 1q runs on a/b, flush runs
+        // pairing a/b with a third qubit.
+        let mut absorbed: Vec<Run> = Vec::new();
+        for q in [a, b] {
+            if let Some(&i) = owner.get(&q) {
+                let lone_1q = open[i]
+                    .as_ref()
+                    .map(|r| r.qubits.len() == 1)
+                    .unwrap_or(false);
+                if lone_1q {
+                    let r = open[i].take().expect("owner points at an open run");
+                    owner.remove(&q);
+                    absorbed.push(r);
+                } else {
+                    flush(i, &mut open, &mut owner, &mut out);
+                }
+            }
+        }
+        let i = open.len();
+        let mut run = Run {
+            qubits: qs.to_vec(),
+            segs: Vec::new(),
+            ops: Vec::new(),
+        };
+        // Absorbed 1q runs precede this gate in time and act on
+        // disjoint qubits, so feeding them in either order is exact.
+        for r in absorbed {
+            for seg in r.segs {
+                run.absorb(&seg.m, &seg.touched, seg.diagonal, split_diagonal);
+            }
+            run.ops.extend(r.ops);
+        }
+        run.absorb(&m, qs, diag, split_diagonal);
+        run.ops.push(op.clone());
+        open.push(Some(run));
+        owner.insert(a, i);
+        owner.insert(b, i);
+    }
+    for i in 0..open.len() {
+        flush(i, &mut open, &mut owner, &mut out);
+    }
+    Circuit::from_ops(out)
+}
+
+/// Permutes `m` (given over `from`) into `to`'s qubit order. Supports
+/// identical order (clone) and the reversed two-qubit order (conjugate
+/// by SWAP).
+fn matrix_in_order(m: &Matrix, from: &[Qubit], to: &[Qubit]) -> Matrix {
+    if from == to {
+        m.clone()
+    } else {
+        debug_assert_eq!(from.len(), 2, "only 2q order permutation is supported");
+        swap_conjugate(m)
+    }
+}
+
+/// `SWAP · m · SWAP` — the 4x4 matrix re-expressed with its qubit
+/// listing reversed.
+fn swap_conjugate(m: &Matrix) -> Matrix {
+    let perm = [0usize, 2, 1, 3]; // basis index with the two bits swapped
+    let mut out = Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            out[(i, j)] = m[(perm[i], perm[j])];
+        }
+    }
+    out
+}
+
+/// Embeds `m` (over `from`, a subset of the pair `pair`) into the full
+/// 4x4 matrix over `pair`. The first listed qubit is the most
+/// significant bit of the matrix index (the Cirq convention).
+fn embed_in_pair(m: &Matrix, from: &[Qubit], pair: &[Qubit]) -> Matrix {
+    if from == pair {
+        return m.clone();
+    }
+    debug_assert_eq!(from.len(), 1, "partial support must be a single qubit");
+    let id = Matrix::identity(2);
+    if from[0] == pair[0] {
+        m.kron(&id)
+    } else {
+        id.kron(&m.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{generate_random_circuit, RandomCircuitParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn op(g: Gate, qs: &[u32]) -> Operation {
+        Operation::gate(g, qs.iter().map(|&q| Qubit(q)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn measured(mut c: Circuit, n: u32) -> Circuit {
+        c.push(Operation::measure((0..n).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        c
+    }
+
+    fn unitary_eq(a: &Circuit, b: &Circuit, n: usize) {
+        let ua = a.unitary(n).unwrap();
+        let ub = b.unitary(n).unwrap();
+        // Compare up to global phase: find the first non-negligible
+        // entry and align phases there.
+        let mut phase = None;
+        'outer: for i in 0..ua.rows() {
+            for j in 0..ua.cols() {
+                if ua[(i, j)].abs() > 1e-8 {
+                    phase = Some(ub[(i, j)] * ua[(i, j)].conj() * (1.0 / ua[(i, j)].abs().powi(2)));
+                    break 'outer;
+                }
+            }
+        }
+        let phase = phase.unwrap();
+        assert!(
+            (phase.abs() - 1.0).abs() < 1e-8,
+            "phase factor must be unimodular, got {phase:?}"
+        );
+        let scaled = ua.scale(phase);
+        assert!(
+            scaled.approx_eq(&ub, 1e-8),
+            "unitaries differ beyond global phase"
+        );
+    }
+
+    #[test]
+    fn hh_and_cxcx_cancel() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::T, &[1]));
+        let out = cancel_inverse_pairs(&c);
+        assert_eq!(out.num_operations(), 1);
+    }
+
+    #[test]
+    fn cancellation_towers_collapse() {
+        let mut c = Circuit::new();
+        for _ in 0..4 {
+            c.push(op(Gate::X, &[0]));
+        }
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 0);
+    }
+
+    #[test]
+    fn reversed_qubit_listing_still_cancels() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cz, &[0, 1]));
+        c.push(op(Gate::Cz, &[1, 0]));
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 0);
+    }
+
+    #[test]
+    fn interposed_ops_block_cancellation() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::T, &[0]));
+        c.push(op(Gate::H, &[0]));
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 3);
+        // measurement barrier
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(Operation::measure(vec![Qubit(0)], "m").unwrap());
+        c.push(op(Gate::H, &[0]));
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 3);
+    }
+
+    #[test]
+    fn reorder_enables_cx_cancellation() {
+        // T on the control commutes with CX: reorder + cancel kills the
+        // CX pair without leaving the named-gate (Clifford+T) set.
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::T, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        let reordered = reorder_commuting_gates(&c);
+        let out = cancel_inverse_pairs(&reordered);
+        assert_eq!(out.num_operations(), 1);
+        unitary_eq(&c, &out, 2);
+    }
+
+    #[test]
+    fn reorder_moves_x_past_cnot_target() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::X, &[1]));
+        let out = reorder_commuting_gates(&c);
+        let first = out.all_operations().next().unwrap();
+        assert_eq!(first.as_gate(), Some(&Gate::X));
+        unitary_eq(&c, &out, 2);
+    }
+
+    #[test]
+    fn reorder_is_idempotent_on_disjoint_movables() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::T, &[0]));
+        c.push(op(Gate::X, &[1]));
+        let once = reorder_commuting_gates(&c);
+        let twice = reorder_commuting_gates(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn reorder_never_moves_past_non_commuting_gates() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::X, &[0])); // X on the control does NOT commute
+        let out = reorder_commuting_gates(&c);
+        let first = out.all_operations().next().unwrap();
+        assert_eq!(first.as_gate(), Some(&Gate::Cnot));
+    }
+
+    #[test]
+    fn lightcone_drops_gates_outside_the_measured_cone() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::H, &[5])); // never measured, never entangled
+        c.push(Operation::measure(vec![Qubit(0), Qubit(1)], "m").unwrap());
+        let out = lightcone_prune(&c);
+        assert_eq!(out.num_operations(), 3);
+        assert!(out
+            .all_operations()
+            .all(|o| !o.support().contains(&Qubit(5))));
+    }
+
+    #[test]
+    fn lightcone_keeps_everything_in_the_cone() {
+        // The CNOT chain drags every qubit into the cone of q2.
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::Cnot, &[1, 2]));
+        c.push(Operation::measure(vec![Qubit(2)], "m").unwrap());
+        assert_eq!(lightcone_prune(&c).num_operations(), 4);
+    }
+
+    #[test]
+    fn lightcone_without_measurements_is_a_noop() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::H, &[1]));
+        assert_eq!(lightcone_prune(&c), c);
+    }
+
+    #[test]
+    fn lightcone_for_targets_prunes_to_the_observable_cone() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::T, &[3]));
+        let out = lightcone_prune_for(&c, &[Qubit(0)]);
+        assert_eq!(out.num_operations(), 1);
+        assert_eq!(out.all_operations().next().unwrap().support(), &[Qubit(0)]);
+    }
+
+    #[test]
+    fn brickwork_brick_fuses_to_one_u2() {
+        // 1q dust + CZ + 1q dust on one pair: everything merges.
+        let mut c = Circuit::new();
+        c.push(op(Gate::T, &[0]));
+        c.push(op(Gate::H, &[1]));
+        c.push(op(Gate::Cz, &[0, 1]));
+        c.push(op(Gate::SqrtX, &[0]));
+        c.push(op(Gate::S, &[1]));
+        let out = fuse_two_qubit_runs(&c);
+        assert_eq!(out.num_operations(), 1);
+        let gate = out.all_operations().next().unwrap().as_gate().unwrap();
+        assert!(matches!(gate, Gate::U2(_)));
+        unitary_eq(&c, &out, 2);
+    }
+
+    #[test]
+    fn adjacent_same_pair_2q_gates_merge_even_reversed() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(op(Gate::Cnot, &[1, 0]));
+        c.push(op(Gate::Swap, &[0, 1]));
+        let out = fuse_two_qubit_runs(&c);
+        assert_eq!(out.num_operations(), 1);
+        unitary_eq(&c, &out, 2);
+    }
+
+    #[test]
+    fn mismatched_pairs_close_runs() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cz, &[0, 1]));
+        c.push(op(Gate::Cz, &[1, 2])); // shares q1: closes the (0,1) run
+        let out = fuse_two_qubit_runs(&c);
+        assert_eq!(out.num_operations(), 2);
+        unitary_eq(&c, &out, 3);
+    }
+
+    #[test]
+    fn lone_1q_runs_merge_to_u1_not_u2() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::T, &[0]));
+        c.push(op(Gate::H, &[3]));
+        let out = fuse_two_qubit_runs(&c);
+        assert_eq!(out.num_operations(), 2);
+        for o in out.all_operations() {
+            assert_eq!(o.support().len(), 1, "no arity inflation for 1q runs");
+        }
+        unitary_eq(&c, &out, 4);
+    }
+
+    #[test]
+    fn diagonal_extraction_splits_segments() {
+        // CZ·S (diagonal) then H (not) then CZ (diagonal): the
+        // diagonal-aware pass keeps the diagonal segments diagonal.
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cz, &[0, 1]));
+        c.push(op(Gate::S, &[0]));
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cz, &[0, 1]));
+        let out = extract_diagonal_runs(&c);
+        let gates: Vec<&Gate> = out.all_operations().map(|o| o.as_gate().unwrap()).collect();
+        assert_eq!(gates.len(), 3);
+        assert!(
+            gates[0].is_diagonal(),
+            "leading CZ·S segment stays diagonal"
+        );
+        assert!(!gates[1].is_diagonal());
+        assert!(gates[2].is_diagonal());
+        unitary_eq(&c, &out, 2);
+        // The plain pass merges the same run into a single U2.
+        assert_eq!(fuse_two_qubit_runs(&c).num_operations(), 1);
+    }
+
+    #[test]
+    fn barriers_flush_runs_verbatim() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::T, &[0]));
+        c.push(op(Gate::Cz, &[0, 1]));
+        c.push(Operation::measure(vec![Qubit(0)], "mid").unwrap());
+        c.push(op(Gate::T, &[0]));
+        let out = fuse_two_qubit_runs(&c);
+        // run(T,CZ) | measure | T
+        assert_eq!(out.num_operations(), 3);
+        assert!(out.has_measurements());
+    }
+
+    #[test]
+    fn optimize_is_deterministic_and_idempotent() {
+        let mut rng = StdRng::seed_from_u64(2023);
+        let params = RandomCircuitParams {
+            qubits: 5,
+            moments: 30,
+            op_density: 0.9,
+            gate_set: vec![
+                Gate::H,
+                Gate::S,
+                Gate::T,
+                Gate::X,
+                Gate::SqrtX,
+                Gate::Cnot,
+                Gate::Cz,
+            ],
+        };
+        for trial in 0..8 {
+            let c = measured(generate_random_circuit(&params, &mut rng), 5);
+            for config in [
+                OptimizeConfig::default(),
+                OptimizeConfig::full(),
+                OptimizeConfig::default().stabilizer_safe(),
+            ] {
+                let (once, _) = optimize(&c, &config);
+                let (again, _) = optimize(&c, &config);
+                assert_eq!(once, again, "trial {trial}: determinism");
+                let (twice, _) = optimize(&once, &config);
+                assert_eq!(once, twice, "trial {trial}: idempotence");
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_the_unitary_action() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = RandomCircuitParams {
+            qubits: 4,
+            moments: 25,
+            op_density: 0.9,
+            gate_set: vec![Gate::H, Gate::S, Gate::T, Gate::X, Gate::Cnot, Gate::Cz],
+        };
+        for _ in 0..5 {
+            let c = generate_random_circuit(&params, &mut rng);
+            // No measurements: disable lightcone (nothing anchors it)
+            // and compare full unitaries up to global phase.
+            let config = OptimizeConfig {
+                lightcone: false,
+                ..OptimizeConfig::full()
+            };
+            let (opt, stats) = optimize(&c, &config);
+            assert!(stats.ops_after <= stats.ops_before);
+            unitary_eq(&c, &opt, 4);
+        }
+    }
+
+    #[test]
+    fn stabilizer_safe_pipeline_keeps_circuits_clifford() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::S, &[1]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        let c = measured(c, 2);
+        let (opt, _) = optimize(&c, &OptimizeConfig::default().stabilizer_safe());
+        assert!(opt.is_clifford(), "no matrix gates may appear");
+        assert!(opt.num_operations() < c.num_operations(), "H·H cancelled");
+    }
+
+    #[test]
+    fn off_config_is_the_identity() {
+        let c = measured(Circuit::from_ops([op(Gate::H, &[0]), op(Gate::H, &[0])]), 1);
+        let (opt, stats) = optimize(&c, &OptimizeConfig::off());
+        assert_eq!(opt, c);
+        assert_eq!(stats.rounds, 0);
+        assert!(stats.passes_applied().is_empty());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs() {
+        let a = OptimizeConfig::default().fingerprint();
+        let b = OptimizeConfig::off().fingerprint();
+        let c = OptimizeConfig::full().fingerprint();
+        let d = OptimizeConfig::default().stabilizer_safe().fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn rewrite_stats_report_passes_applied() {
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::T, &[1]));
+        c.push(op(Gate::Cz, &[0, 1]));
+        let c = measured(c, 2);
+        let (_, stats) = optimize(&c, &OptimizeConfig::default());
+        let applied = stats.passes_applied();
+        assert!(applied.contains(&"cancel-inverses"), "{applied:?}");
+        assert!(stats.reduction() > 0.0);
+    }
+
+    #[test]
+    fn pipeline_debug_lists_pass_names() {
+        let p = pipeline_for(&OptimizeConfig::default());
+        let dbg = format!("{p:?}");
+        assert!(
+            dbg.contains("cancel-inverses") && dbg.contains("fuse-2q"),
+            "{dbg}"
+        );
+        assert_eq!(pipeline_for(&OptimizeConfig::off()).len(), 0);
+        assert!(pipeline_for(&OptimizeConfig::off()).is_empty());
+    }
+
+    #[test]
+    fn swap_conjugate_reverses_cnot() {
+        // CNOT listed (control, target) vs (target, control).
+        let cx = Gate::Cnot.unitary().unwrap();
+        let flipped = swap_conjugate(&cx);
+        // flipped should equal the matrix of CNOT with control on the
+        // LEAST significant qubit: |x y> -> |x^y y>.
+        let mut expect = Matrix::zeros(4, 4);
+        for x in 0..2usize {
+            for y in 0..2usize {
+                let from = x * 2 + y;
+                let to = (x ^ y) * 2 + y;
+                expect[(to, from)] = bgls_linalg::C64::ONE;
+            }
+        }
+        assert!(flipped.approx_eq(&expect, 1e-12));
+    }
+}

@@ -123,7 +123,7 @@ pub fn optimize_for_bgls(circuit: &Circuit) -> Circuit {
 }
 
 /// True when `m ~= e^{i phi} I` for some phase.
-fn is_identity_up_to_phase(m: &Matrix, tol: f64) -> bool {
+pub(crate) fn is_identity_up_to_phase(m: &Matrix, tol: f64) -> bool {
     if !m.is_square() {
         return false;
     }

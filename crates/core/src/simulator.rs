@@ -117,6 +117,19 @@ pub struct SimulatorOptions {
     /// [`bgls_circuit::Gate::U1`] matrices (stabilizer states accept only
     /// Clifford ones).
     pub fuse_gates: bool,
+    /// Run the full multi-pass optimizer pipeline
+    /// ([`bgls_circuit::optimize`]) on circuits before sampling them
+    /// (default `None` = off). When set, this supersedes `fuse_gates`:
+    /// the configured pipeline (cancellation, commutation reordering,
+    /// lightcone pruning, 1q/2q run fusion, optional diagonal-run
+    /// extraction) runs instead of the plain single-qubit fusion.
+    /// Preserves the sampling distribution and every expectation value
+    /// exactly but changes the executed gate sequence, so seeded samples
+    /// differ from raw runs. Matrix-producing configurations require a
+    /// backend that accepts [`bgls_circuit::Gate::U1`]/`U2` matrices —
+    /// use [`bgls_circuit::OptimizeConfig::stabilizer_safe`] for
+    /// stabilizer backends.
+    pub optimize: Option<bgls_circuit::OptimizeConfig>,
 }
 
 impl Default for SimulatorOptions {
@@ -132,6 +145,7 @@ impl Default for SimulatorOptions {
             batch_probabilities: true,
             parallel_redistribution: true,
             fuse_gates: false,
+            optimize: None,
         }
     }
 }
@@ -363,9 +377,12 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
     }
 
     /// Applies the opportunistic circuit transformations selected by the
-    /// options (today: single-qubit gate fusion).
+    /// options: the full optimizer pipeline when `optimize` is set,
+    /// otherwise single-qubit gate fusion when `fuse_gates` is set.
     fn prepared<'a>(&self, circuit: &'a Circuit) -> std::borrow::Cow<'a, Circuit> {
-        if self.options.fuse_gates {
+        if let Some(config) = &self.options.optimize {
+            std::borrow::Cow::Owned(bgls_circuit::optimize(circuit, config).0)
+        } else if self.options.fuse_gates {
             std::borrow::Cow::Owned(bgls_circuit::fuse(circuit))
         } else {
             std::borrow::Cow::Borrowed(circuit)
@@ -464,10 +481,7 @@ impl<S: BglsState + Send + Sync> Simulator<S> {
         repetitions: u64,
     ) -> Result<Vec<BitString>, SimError> {
         self.check_runnable(circuit)?;
-        let mut stripped = circuit.without_measurements();
-        if self.options.fuse_gates {
-            stripped = bgls_circuit::fuse(&stripped);
-        }
+        let stripped = self.prepared(&circuit.without_measurements()).into_owned();
         let n = self.initial_state.num_qubits();
         if self.can_parallelize(&stripped) {
             let mut rng = self.make_rng();

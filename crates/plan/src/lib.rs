@@ -50,6 +50,7 @@
 // The serving modules are the availability-critical path: a stray
 // `unwrap` there is a worker-killing panic waiting to happen, so the
 // lint budget for them is zero (tests opt back in locally).
+mod cost;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 mod fault;
 mod planner;
@@ -59,8 +60,12 @@ mod serve;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 mod service;
 
+pub use cost::CostModel;
 pub use fault::{FaultPlan, InjectedFault};
-pub use planner::{degrade, plan, Deliverable, ExecPath, ExecutionPlan, PlannerConfig};
+pub use planner::{
+    degrade, plan, plan_prepared, prepare, Deliverable, ExecPath, ExecutionPlan, PlannerConfig,
+    PreparedCircuit,
+};
 pub use profile::CircuitProfile;
 pub use serve::{ServePolicy, ServiceHandle, Ticket};
 pub use service::{
@@ -104,7 +109,7 @@ pub fn plan_and_run(
         &Deliverable::Histogram { repetitions },
         &PlannerConfig::default(),
     )?;
-    let result = plan.run(circuit, repetitions, seed)?;
+    let result = plan.run(repetitions, seed)?;
     Ok(PlannedRun { plan, result })
 }
 
@@ -122,7 +127,7 @@ pub fn plan_and_expect(
         },
         &PlannerConfig::default(),
     )?;
-    let value = plan.expectation(circuit, observable)?;
+    let value = plan.expectation(observable)?;
     Ok(PlannedExpectation { plan, value })
 }
 

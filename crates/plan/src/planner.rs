@@ -1,8 +1,12 @@
 //! The execution planner: profile a circuit, pick a backend and path.
 
+use crate::cost::CostModel;
 use crate::profile::CircuitProfile;
 use bgls_backend::{AnyState, BackendKind, SimulatorExt};
-use bgls_circuit::{Circuit, PauliSum};
+use bgls_circuit::{
+    lightcone_prune_for, optimize, Circuit, OptimizeConfig, PassStats, PauliSum, Qubit,
+    RewriteStats,
+};
 use bgls_core::{RunResult, SimError, Simulator, SimulatorOptions};
 use bgls_linalg::FxHasher;
 use std::hash::{Hash, Hasher};
@@ -43,6 +47,16 @@ pub struct PlannerConfig {
     /// fork count would overflow `2^log2(budget)` branch histories are
     /// planned for per-trajectory replay instead.
     pub max_forest_nodes: usize,
+    /// Optimizer pipeline run on circuits before routing and execution
+    /// (default: the standard pipeline, [`OptimizeConfig::default`]).
+    /// `None` plans and executes circuits exactly as written. Clifford
+    /// circuits automatically get the
+    /// [`OptimizeConfig::stabilizer_safe`] subset so they stay on the
+    /// stabilizer backends; expectation deliverables get only the
+    /// observable-lightcone prune (the one pass that commutes with
+    /// parameter resolution, keeping merged sweeps bit-identical to
+    /// standalone walks).
+    pub optimize: Option<OptimizeConfig>,
 }
 
 impl Default for PlannerConfig {
@@ -52,6 +66,7 @@ impl Default for PlannerConfig {
             max_density_qubits: 12,
             mps_chi_cap: 64,
             max_forest_nodes: 256,
+            optimize: Some(OptimizeConfig::default()),
         }
     }
 }
@@ -108,7 +123,8 @@ impl std::fmt::Display for ExecPath {
     }
 }
 
-/// A routed execution: backend, path, and the options that realize it.
+/// A routed execution: backend, path, the options that realize it, and
+/// the (possibly optimizer-rewritten) circuit executions run.
 #[derive(Clone, Debug)]
 pub struct ExecutionPlan {
     /// The state representation to simulate on.
@@ -118,7 +134,21 @@ pub struct ExecutionPlan {
     /// Simulator options realizing the path (seed left `None`; callers
     /// set it per run).
     pub options: SimulatorOptions,
-    /// The profile the routing decision was made from.
+    /// The circuit this plan executes: the optimizer-pipeline output
+    /// when [`PlannerConfig::optimize`] is set, otherwise a verbatim
+    /// copy of the planned circuit. [`ExecutionPlan::run`] and
+    /// [`ExecutionPlan::expectation`] run *this* circuit.
+    pub circuit: Circuit,
+    /// What the optimizer did to the circuit (all-zero deltas when the
+    /// pipeline was off).
+    pub rewrite: RewriteStats,
+    /// The effective optimizer pipeline configuration (`None` when the
+    /// pipeline was off). Folded into [`ExecutionPlan::fingerprint`] so
+    /// optimized and raw executions never collide in a result cache.
+    pub optimize: Option<OptimizeConfig>,
+    /// The profile the routing decision was made from — computed
+    /// *post-optimization*, so rewrites that shrink a circuit can
+    /// re-route it to a cheaper backend.
     pub profile: CircuitProfile,
     /// Human-readable one-line justification of the choice.
     pub rationale: String,
@@ -133,33 +163,38 @@ impl ExecutionPlan {
         Simulator::for_backend(self.backend, n.max(1), options)
     }
 
-    /// Runs `circuit` under this plan. The result is bit-identical to
-    /// any other execution of the same `(circuit, plan, seed,
-    /// repetitions)` tuple — the invariant the serving cache relies on.
-    pub fn run(
-        &self,
-        circuit: &Circuit,
-        repetitions: u64,
-        seed: Option<u64>,
-    ) -> Result<RunResult, SimError> {
-        self.simulator(circuit.num_qubits(), seed)
-            .run(circuit, repetitions)
+    /// Runs the plan's circuit. The result is bit-identical to any
+    /// other execution of the same `(circuit, plan, seed, repetitions)`
+    /// tuple — the invariant the serving cache relies on.
+    pub fn run(&self, repetitions: u64, seed: Option<u64>) -> Result<RunResult, SimError> {
+        self.simulator(self.circuit.num_qubits(), seed)
+            .run(&self.circuit, repetitions)
     }
 
     /// Exact expectation of `observable` on the final state under this
     /// plan (deterministic; consumes no randomness).
-    pub fn expectation(&self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, SimError> {
-        self.simulator(circuit.num_qubits(), None)
-            .expectation_value(circuit, observable)
+    pub fn expectation(&self, observable: &PauliSum) -> Result<f64, SimError> {
+        let n = self.circuit.num_qubits().max(
+            observable_targets(observable)
+                .iter()
+                .map(|q| q.0 as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        self.simulator(n, None)
+            .expectation_value(&self.circuit, observable)
     }
 
     /// Fingerprint of everything about the plan that can change a seeded
-    /// result: the backend, the execution path, and the result-affecting
-    /// options. Parallelism toggles are excluded — the engine's
-    /// determinism contract makes them bit-identical. The path matters
-    /// because a degraded [`ExecPath::ShotEstimate`] produces different
-    /// numbers than the exact walk on the same backend and options. This
-    /// is the `backend` component of a serving-layer cache key.
+    /// result: the backend, the execution path, the result-affecting
+    /// options, and the optimizer pipeline configuration (an optimized
+    /// circuit executes a different gate sequence than its raw form, so
+    /// the two must never share a cache entry). Parallelism toggles are
+    /// excluded — the engine's determinism contract makes them
+    /// bit-identical. The path matters because a degraded
+    /// [`ExecPath::ShotEstimate`] produces different numbers than the
+    /// exact walk on the same backend and options. This is the
+    /// `backend` component of a serving-layer cache key.
     pub fn fingerprint(&self) -> u64 {
         let mut h = FxHasher::default();
         self.backend.name().hash(&mut h);
@@ -169,8 +204,23 @@ impl ExecutionPlan {
         self.options.trajectory_forest.hash(&mut h);
         self.options.max_forest_nodes.hash(&mut h);
         self.options.fuse_gates.hash(&mut h);
+        self.optimize.map(|c| c.fingerprint()).hash(&mut h);
+        self.options.optimize.map(|c| c.fingerprint()).hash(&mut h);
         h.finish()
     }
+}
+
+/// The union of the observable's per-term supports — the seed set for
+/// the expectation-path lightcone prune.
+fn observable_targets(observable: &PauliSum) -> Vec<Qubit> {
+    let mut targets: Vec<Qubit> = observable
+        .terms()
+        .iter()
+        .flat_map(|(_, p)| p.support().into_iter().map(|q| Qubit(q as u32)))
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    targets
 }
 
 /// Routes `circuit` to the backend and execution path expected to
@@ -201,14 +251,167 @@ pub fn plan(
     deliverable: &Deliverable,
     config: &PlannerConfig,
 ) -> Result<ExecutionPlan, SimError> {
-    let profile = CircuitProfile::of(circuit);
-    if profile.parameterized {
+    plan_prepared(&prepare(circuit, config), deliverable, config, None)
+}
+
+/// A circuit profiled and run through the configured optimizer pipeline
+/// once, reusable across every deliverable planned for it. The service
+/// memoizes these behind the circuit's structural hash so cache-hit
+/// traffic never re-profiles or re-optimizes.
+#[derive(Clone, Debug)]
+pub struct PreparedCircuit {
+    /// The circuit exactly as submitted.
+    raw: Circuit,
+    /// Profile of the raw circuit.
+    pub raw_profile: CircuitProfile,
+    /// The histogram-path pipeline output (a verbatim copy of `raw`
+    /// when the pipeline is off or the circuit is parameterized).
+    pub circuit: Circuit,
+    /// Profile of `circuit` — the histogram routing basis.
+    pub profile: CircuitProfile,
+    /// What the pipeline did.
+    pub rewrite: RewriteStats,
+    /// The effective pipeline configuration (`stabilizer_safe` for
+    /// Clifford circuits); `None` when the pipeline was off.
+    pub config: Option<OptimizeConfig>,
+}
+
+impl PreparedCircuit {
+    /// The circuit exactly as submitted.
+    pub fn raw(&self) -> &Circuit {
+        &self.raw
+    }
+}
+
+/// Profiles `circuit` and runs the pipeline [`PlannerConfig::optimize`]
+/// selects. Clifford circuits get the [`OptimizeConfig::stabilizer_safe`]
+/// subset (matrix-producing fusion would push them off the stabilizer
+/// backends); parameterized circuits are returned unoptimized — the
+/// planner rejects them before execution anyway.
+pub fn prepare(circuit: &Circuit, config: &PlannerConfig) -> PreparedCircuit {
+    let raw_profile = CircuitProfile::of(circuit);
+    let effective = match config.optimize {
+        Some(cfg) if !raw_profile.parameterized && cfg.enabled() => {
+            if raw_profile.is_clifford() {
+                Some(cfg.stabilizer_safe())
+            } else {
+                Some(cfg)
+            }
+        }
+        _ => None,
+    };
+    let (optimized, rewrite) = match &effective {
+        Some(cfg) => optimize(circuit, cfg),
+        None => (
+            circuit.clone(),
+            RewriteStats::unchanged(circuit.num_operations()),
+        ),
+    };
+    let profile = if optimized.structural_hash() == circuit.structural_hash() {
+        raw_profile.clone()
+    } else {
+        CircuitProfile::of(&optimized)
+    };
+    PreparedCircuit {
+        raw: circuit.clone(),
+        raw_profile,
+        circuit: optimized,
+        profile,
+        rewrite,
+        config: effective,
+    }
+}
+
+/// [`plan`] over a [`PreparedCircuit`], with an optional
+/// timing-calibrated [`CostModel`] sharpening the dense-vs-MPS routing
+/// choice once its buckets are warm (cold models route exactly like the
+/// static formulas).
+pub fn plan_prepared(
+    prep: &PreparedCircuit,
+    deliverable: &Deliverable,
+    config: &PlannerConfig,
+    model: Option<&CostModel>,
+) -> Result<ExecutionPlan, SimError> {
+    if prep.raw_profile.parameterized {
         return Err(SimError::Invalid(
             "cannot plan a parameterized circuit: resolve its symbols first \
              (or submit it with a resolver)"
                 .into(),
         ));
     }
+    // Expectation deliverables execute the observable-lightcone-pruned
+    // circuit (the one pass that commutes with parameter resolution, so
+    // merged sweeps stay bit-identical to standalone walks); histograms
+    // execute the full pipeline output.
+    let (circuit, rewrite, profile) = match deliverable {
+        Deliverable::Histogram { .. } => {
+            (prep.circuit.clone(), prep.rewrite.clone(), &prep.profile)
+        }
+        Deliverable::Expectation { observable } => {
+            let lightcone = prep.config.map(|c| c.lightcone).unwrap_or(false);
+            if lightcone {
+                let pruned = lightcone_prune_for(&prep.raw, &observable_targets(observable));
+                let ops_before = prep.raw.num_operations();
+                let ops_after = pruned.num_operations();
+                let changed = pruned.structural_hash() != prep.raw.structural_hash();
+                let rewrite = RewriteStats {
+                    ops_before,
+                    ops_after,
+                    rounds: 1,
+                    passes: vec![PassStats {
+                        name: "lightcone-observable",
+                        ops_before,
+                        ops_after,
+                        changed,
+                    }],
+                };
+                let profile = if changed {
+                    CircuitProfile::of(&pruned)
+                } else {
+                    prep.raw_profile.clone()
+                };
+                return route(
+                    pruned,
+                    rewrite,
+                    &profile,
+                    prep.config,
+                    deliverable,
+                    config,
+                    model,
+                );
+            }
+            (
+                prep.raw.clone(),
+                RewriteStats::unchanged(prep.raw.num_operations()),
+                &prep.raw_profile,
+            )
+        }
+    };
+    let profile = profile.clone();
+    route(
+        circuit,
+        rewrite,
+        &profile,
+        prep.config,
+        deliverable,
+        config,
+        model,
+    )
+}
+
+/// The decision table: routes `profile` to a backend and path for
+/// `deliverable`, packaging `circuit`/`rewrite` into the plan.
+#[allow(clippy::too_many_arguments)]
+fn route(
+    circuit: Circuit,
+    rewrite: RewriteStats,
+    profile: &CircuitProfile,
+    optimize_cfg: Option<OptimizeConfig>,
+    deliverable: &Deliverable,
+    config: &PlannerConfig,
+    model: Option<&CostModel>,
+) -> Result<ExecutionPlan, SimError> {
+    let profile = profile.clone();
     let n = profile.num_qubits;
     let sv_ok = n <= config.max_statevector_qubits;
     let dm_ok = n <= config.max_density_qubits;
@@ -304,7 +507,8 @@ pub fn plan(
                 )
             } else {
                 // Unitary non-Clifford, terminal measurements: cost model.
-                let backend = pick_unitary_backend(&profile, config, sv_ok, mps_ok, low_chi)?;
+                let backend =
+                    pick_unitary_backend(&profile, config, sv_ok, mps_ok, low_chi, model)?;
                 (
                     backend,
                     ExecPath::SampleParallel,
@@ -323,6 +527,9 @@ pub fn plan(
         backend,
         path,
         options,
+        circuit,
+        rewrite,
+        optimize: optimize_cfg,
         profile,
         rationale,
     })
@@ -370,6 +577,9 @@ pub fn degrade(current: &ExecutionPlan, config: &PlannerConfig) -> Option<Execut
             backend: current.backend,
             path: ExecPath::ShotEstimate,
             options: current.options.clone(),
+            circuit: current.circuit.clone(),
+            rewrite: current.rewrite.clone(),
+            optimize: current.optimize,
             profile: profile.clone(),
             rationale: format!(
                 "degraded: exact expectation walk -> grouped-shot estimate on {}",
@@ -389,6 +599,9 @@ pub fn degrade(current: &ExecutionPlan, config: &PlannerConfig) -> Option<Execut
             backend: current.backend,
             path: ExecPath::Replay,
             options,
+            circuit: current.circuit.clone(),
+            rewrite: current.rewrite.clone(),
+            optimize: current.optimize,
             profile: profile.clone(),
             rationale: "degraded: trajectory forest -> per-trajectory replay (flat memory)".into(),
         });
@@ -431,6 +644,9 @@ pub fn degrade(current: &ExecutionPlan, config: &PlannerConfig) -> Option<Execut
         backend,
         path,
         options,
+        circuit: current.circuit.clone(),
+        rewrite: current.rewrite.clone(),
+        optimize: current.optimize,
         profile: profile.clone(),
         rationale: format!("degraded: {why}"),
     })
@@ -461,14 +677,45 @@ fn pick_pure_state_backend(
 
 /// Cost-model pick for unitary non-Clifford circuits with terminal
 /// measurements: dense statevector `ops * 2^n` vs exact chain MPS
-/// `ops * n * chi^3`, lazy network when neither fits.
+/// `ops * n * chi^3`, lazy network when neither fits. When a calibrated
+/// [`CostModel`] has warm buckets for *both* candidates on the
+/// sample-parallel path, the comparison uses its measured
+/// milliseconds instead of the static units; a cold (or half-warm)
+/// model falls through to the static comparison, so cold-start routing
+/// is unchanged.
 fn pick_unitary_backend(
     profile: &CircuitProfile,
     config: &PlannerConfig,
     sv_ok: bool,
     mps_ok: bool,
     low_chi: bool,
+    model: Option<&CostModel>,
 ) -> Result<BackendKind, SimError> {
+    if sv_ok && mps_ok && low_chi {
+        let mps_backend = BackendKind::ChainMps {
+            chi: Some(profile.chi_bound() as usize),
+        };
+        if let Some(m) = model {
+            let path = ExecPath::SampleParallel;
+            let sv_ms = m.predict_ms(
+                &BackendKind::StateVector,
+                path,
+                CostModel::static_units(profile, &BackendKind::StateVector),
+            );
+            let mps_ms = m.predict_ms(
+                &mps_backend,
+                path,
+                CostModel::static_units(profile, &mps_backend),
+            );
+            if let (Some(sv_ms), Some(mps_ms)) = (sv_ms, mps_ms) {
+                return Ok(if mps_ms < sv_ms {
+                    mps_backend
+                } else {
+                    BackendKind::StateVector
+                });
+            }
+        }
+    }
     let ops = profile.num_operations.max(1) as u128;
     let sv_cost = if sv_ok {
         Some(ops << profile.num_qubits.min(100))
@@ -595,9 +842,24 @@ mod tests {
             c.push(Operation::gate(Gate::Cnot, vec![q(i - 1), q(i)]).unwrap());
         }
         c.push(Operation::measure((0..30).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
-        let plan = plan(&c, &hist(), &PlannerConfig::default()).unwrap();
-        assert_eq!(plan.backend, BackendKind::ChainMps { chi: Some(2) });
-        assert_eq!(plan.path, ExecPath::SampleParallel);
+        // Pipeline off: the raw chain's rank-2 crossings bound chi at 2.
+        let raw = PlannerConfig {
+            optimize: None,
+            ..PlannerConfig::default()
+        };
+        let raw_plan = plan(&c, &hist(), &raw).unwrap();
+        assert_eq!(raw_plan.backend, BackendKind::ChainMps { chi: Some(2) });
+        assert_eq!(raw_plan.path, ExecPath::SampleParallel);
+        // Pipeline on: T gates fuse into the CNOTs as U4 matrices, which
+        // are (soundly) weighted as rank-4 crossings — still a
+        // chi-capped MPS, with a wider but exact cap.
+        let opt_plan = plan(&c, &hist(), &PlannerConfig::default()).unwrap();
+        assert!(
+            matches!(opt_plan.backend, BackendKind::ChainMps { chi: Some(cap) } if cap >= 2),
+            "{:?}",
+            opt_plan.backend
+        );
+        assert_eq!(opt_plan.path, ExecPath::SampleParallel);
     }
 
     #[test]

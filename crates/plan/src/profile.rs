@@ -1,6 +1,6 @@
 //! Static circuit inspection: the feature vector the planner routes on.
 
-use bgls_circuit::Circuit;
+use bgls_circuit::{Circuit, Gate};
 
 /// Structural features of a circuit that determine which backend and
 /// execution path simulate it best.
@@ -102,8 +102,18 @@ impl CircuitProfile {
                     p.entangling_gates += usize::from(op.as_gate().is_some());
                     let lo = support.iter().map(|q| q.0 as usize).min().unwrap();
                     let hi = support.iter().map(|q| q.0 as usize).max().unwrap();
+                    // Each crossing gate can at most multiply the cut's
+                    // Schmidt rank by its operator-Schmidt rank: 2 for
+                    // the controlled named gates (CNOT, CZ, CPhase,
+                    // Rzz, ...), 4 for SWAP-class gates and arbitrary
+                    // two-qubit matrices — so merged U4s from the
+                    // optimizer are weighted soundly.
+                    let weight = match op.as_gate() {
+                        Some(Gate::Swap | Gate::ISwap | Gate::U2(_) | Gate::U(_, _)) => 2,
+                        _ => 1,
+                    };
                     for crossings in cut_crossings.iter_mut().take(hi).skip(lo) {
-                        *crossings += 1;
+                        *crossings += weight;
                     }
                 }
             }

@@ -455,6 +455,7 @@ fn worker_loop(shared: &Shared, receiver: &Arc<Mutex<Receiver<Msg>>>) {
 mod tests {
     use super::*;
     use crate::planner::Deliverable;
+    use crate::service::JobOutput;
     use bgls_circuit::{Circuit, Gate, Operation, Qubit};
 
     fn bell() -> Circuit {
@@ -545,6 +546,39 @@ mod tests {
 
     #[test]
     fn infeasible_submissions_resolve_with_the_planner_error() {
+        // A wide non-Clifford Toffoli ladder where every qubit feeds the
+        // measurement: the lightcone keeps all 30 qubits live, arity-3
+        // gates exclude the chain backends, and 30 dense qubits exceed
+        // the width budget — infeasible even after optimization.
+        let mut wide = Circuit::new();
+        for i in 0..30u32 {
+            wide.push(Operation::gate(Gate::T, vec![Qubit(i)]).unwrap());
+        }
+        for i in 2..30u32 {
+            wide.push(
+                Operation::gate(Gate::Ccx, vec![Qubit(i - 2), Qubit(i - 1), Qubit(i)]).unwrap(),
+            );
+        }
+        wide.push(Operation::measure((0..30).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        let handle = ServiceHandle::with_defaults().unwrap();
+        let ticket = handle
+            .submit(SimRequest {
+                circuit: wide,
+                resolver: None,
+                deliverable: Deliverable::Histogram { repetitions: 10 },
+                seed: None,
+                deadline_ms: None,
+            })
+            .unwrap();
+        assert!(matches!(handle.wait(ticket), Err(SimError::Unsupported(_))));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn lightcone_rescues_wide_circuits_with_dead_qubits() {
+        // 30 raw qubits but only a 3-qubit observable cone: the optimizer
+        // prunes the dead width, the planner accepts the residue, and the
+        // service allocates state for the pruned circuit only.
         let mut wide = Circuit::new();
         for i in 0..30u32 {
             wide.push(Operation::gate(Gate::H, vec![Qubit(i)]).unwrap());
@@ -557,11 +591,22 @@ mod tests {
                 circuit: wide,
                 resolver: None,
                 deliverable: Deliverable::Histogram { repetitions: 10 },
-                seed: None,
+                seed: Some(5),
                 deadline_ms: None,
             })
             .unwrap();
-        assert!(matches!(handle.wait(ticket), Err(SimError::Unsupported(_))));
+        let report = handle.wait(ticket).expect("pruned circuit is feasible");
+        match &report.output {
+            JobOutput::Histogram(result) => {
+                assert_eq!(result.histogram("m").unwrap().total(), 10);
+            }
+            other => panic!("histogram expected, got {other:?}"),
+        }
+        assert!(
+            report.rewrite.ops_after < report.rewrite.ops_before,
+            "lightcone must have pruned dead gates: {:?}",
+            report.rewrite
+        );
         handle.shutdown();
     }
 

@@ -37,11 +37,12 @@
 //! cancelled by [`JobId`]. A [`FaultPlan`] injects deterministic,
 //! seed-keyed faults for chaos testing.
 
+use crate::cost::CostModel;
 use crate::fault::{FaultPlan, InjectedFault};
-use crate::planner::{degrade, plan, Deliverable, ExecPath, ExecutionPlan};
+use crate::planner::{degrade, plan_prepared, prepare, Deliverable, ExecPath, ExecutionPlan};
 use crate::PlannerConfig;
 use bgls_backend::{BackendKind, SimulatorExt};
-use bgls_circuit::{Circuit, ParamResolver, PauliSum};
+use bgls_circuit::{lightcone_prune_for, Circuit, ParamResolver, PauliSum, Qubit, RewriteStats};
 use bgls_core::{
     BatchController, BatchPolicy, CacheKey, CacheStats, Clock, MonotonicClock, OpFaultFn,
     ResultCache, RetryPolicy, RunResult, SimError, Simulator,
@@ -191,6 +192,17 @@ pub struct JobReport {
     pub backend: BackendKind,
     /// Execution path of the plan that produced the output.
     pub path: ExecPath,
+    /// What the optimizer pipeline did to the circuit this job executed
+    /// (all-zero deltas when the pipeline was off).
+    pub rewrite: RewriteStats,
+    /// The calibrated cost model's wall-clock prediction for this job's
+    /// share of its batch, in milliseconds. `None` while the model's
+    /// `(backend, path)` bucket is still warming up, and for cache hits.
+    pub predicted_ms: Option<f64>,
+    /// This job's share of its batch's measured wall-clock, in
+    /// milliseconds, apportioned by static cost units. `None` for cache
+    /// hits (nothing executed).
+    pub measured_ms: Option<f64>,
 }
 
 impl JobReport {
@@ -332,6 +344,10 @@ struct PendingJob {
     deadline: Option<(u64, u64)>,
     /// Earliest clock time the job may execute (retry backoff).
     not_before_ms: u64,
+    /// Calibrated wall-clock prediction captured just before execution.
+    predicted_ms: Option<f64>,
+    /// Measured share of the executing batch's wall-clock.
+    measured_ms: Option<f64>,
 }
 
 enum JobKind {
@@ -406,7 +422,19 @@ pub struct SimulationService {
     /// front door can answer [`SimulationService::status`] queries
     /// without the service lock.
     running: Arc<Mutex<FxHashMap<u64, ()>>>,
+    /// Timing-calibrated cost model, fed by batch wall-clock
+    /// observations; consulted at plan time once its buckets are warm.
+    cost: CostModel,
+    /// Memoized [`crate::PreparedCircuit`]s behind the resolved
+    /// circuit's structural hash — cache-hit traffic never re-profiles
+    /// or re-optimizes. Bounded: cleared wholesale at capacity.
+    preps: FxHashMap<u64, Arc<crate::PreparedCircuit>>,
 }
+
+/// Entry bound for the prepared-circuit memo; beyond this the map is
+/// cleared (the entries are cheap to rebuild, and real traffic cycles
+/// through far fewer distinct circuits).
+const PREP_MEMO_CAPACITY: usize = 512;
 
 impl SimulationService {
     /// A service over `config`, timed by a wall [`MonotonicClock`].
@@ -430,6 +458,8 @@ impl SimulationService {
             stats: ServiceStats::default(),
             clock,
             running: Arc::new(Mutex::new(FxHashMap::default())),
+            cost: CostModel::new(),
+            preps: FxHashMap::default(),
         }
     }
 
@@ -452,7 +482,24 @@ impl SimulationService {
         }
         let resolver = request.resolver.unwrap_or_default();
         let resolved = request.circuit.resolve(&resolver);
-        let plan = plan(&resolved, &request.deliverable, &self.config.planner)?;
+        let prep = match self.preps.get(&resolved.structural_hash()) {
+            Some(p) => Arc::clone(p),
+            None => {
+                if self.preps.len() >= PREP_MEMO_CAPACITY {
+                    self.preps.clear();
+                }
+                let p = Arc::new(prepare(&resolved, &self.config.planner));
+                self.preps
+                    .insert(resolved.structural_hash(), Arc::clone(&p));
+                p
+            }
+        };
+        let plan = plan_prepared(
+            &prep,
+            &request.deliverable,
+            &self.config.planner,
+            Some(&self.cost),
+        )?;
         let seed = request.seed.or(self.config.default_seed);
         let kind = match request.deliverable {
             Deliverable::Histogram { repetitions } => JobKind::Histogram { repetitions },
@@ -483,6 +530,8 @@ impl SimulationService {
             degradations: Vec::new(),
             deadline,
             not_before_ms: 0,
+            predicted_ms: None,
+            measured_ms: None,
         });
         self.stats.submitted += 1;
         Ok(JobId(id))
@@ -655,6 +704,9 @@ impl SimulationService {
             degradations: job.degradations.clone(),
             backend: job.plan.backend,
             path: job.plan.path,
+            rewrite: job.plan.rewrite.clone(),
+            predicted_ms: job.predicted_ms,
+            measured_ms: job.measured_ms,
         }
     }
 
@@ -762,9 +814,12 @@ impl SimulationService {
         for job in clean {
             match &job.kind {
                 JobKind::Histogram { repetitions } => {
+                    // Width from the plan's (optimizer-rewritten) circuit:
+                    // a lightcone-pruned circuit must not allocate state
+                    // for the raw submission's dead qubits.
                     let group = (
                         job.plan.fingerprint(),
-                        job.resolved.num_qubits().max(1),
+                        job.plan.circuit.num_qubits().max(1),
                         *repetitions,
                     );
                     hist_groups.entry(group).or_default().push(job);
@@ -803,22 +858,43 @@ impl SimulationService {
         &mut self,
         n: usize,
         repetitions: u64,
-        group: Vec<PendingJob>,
+        mut group: Vec<PendingJob>,
         parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
     ) {
+        let backend = group[0].plan.backend;
+        let path = group[0].plan.path;
         let mut options = group[0].plan.options.clone();
         options.parallel_sweep = true; // fan the merged batch across threads
-        let sim = Simulator::for_backend(group[0].plan.backend, n, options);
-        let jobs: Vec<(Circuit, Option<u64>)> =
-            group.iter().map(|j| (j.resolved.clone(), j.seed)).collect();
+        let sim = Simulator::for_backend(backend, n, options);
+        // Each job executes its plan's (optimizer-rewritten) circuit;
+        // the plan fingerprint in the group key guarantees every member
+        // went through the same pipeline.
+        let jobs: Vec<(Circuit, Option<u64>)> = group
+            .iter()
+            .map(|j| (j.plan.circuit.clone(), j.seed))
+            .collect();
+        let units: Vec<f64> = group
+            .iter()
+            .map(|j| CostModel::static_units(&j.plan.profile, &backend) * repetitions as f64)
+            .collect();
+        let total_units: f64 = units.iter().sum();
+        for (job, u) in group.iter_mut().zip(&units) {
+            job.predicted_ms = self.cost.predict_ms(&backend, path, *u);
+        }
         let merged = group.len() > 1;
+        let started = Instant::now();
         let attempt = catch_unwind(AssertUnwindSafe(|| sim.run_batch(&jobs, repetitions)));
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         match attempt {
             Ok(Ok(results)) => {
                 self.stats.simulated_jobs += group.len() as u64;
-                for (job, result) in group.into_iter().zip(results) {
+                self.cost.observe(&backend, path, total_units, elapsed_ms);
+                for ((mut job, result), u) in group.into_iter().zip(results).zip(units) {
                     if merged {
                         self.stats.merged_jobs += 1;
+                    }
+                    if total_units > 0.0 {
+                        job.measured_ms = Some(elapsed_ms * u / total_units);
                     }
                     let output = JobOutput::Histogram(Arc::new(result));
                     self.dispose(job, Ok(output), parked);
@@ -843,7 +919,7 @@ impl SimulationService {
     /// under its own seed.
     fn run_expectation_group(
         &mut self,
-        group: Vec<PendingJob>,
+        mut group: Vec<PendingJob>,
         parked: &mut FxHashMap<CacheKey, Vec<PendingJob>>,
     ) {
         if group[0].plan.path == ExecPath::ShotEstimate {
@@ -857,27 +933,58 @@ impl SimulationService {
             JobKind::Expectation { observable, .. } => observable.clone(),
             JobKind::Histogram { .. } => unreachable!("histogram job in expectation group"),
         };
-        let n = group
-            .iter()
-            .map(|j| j.resolved.num_qubits())
-            .max()
-            .unwrap_or(1)
-            .max(1);
+        let backend = group[0].plan.backend;
+        let path = group[0].plan.path;
         let mut options = group[0].plan.options.clone();
         options.parallel_sweep = true;
-        let sim = Simulator::for_backend(group[0].plan.backend, n, options);
-        let base = group[0].base.clone();
+        // The observable lightcone commutes with parameter resolution
+        // (it drops ops by support alone), so pruning the shared base
+        // yields exactly the per-job plan circuits after resolution —
+        // the merged sweep stays bit-identical to standalone walks.
+        let mut targets: Vec<Qubit> = observable
+            .terms()
+            .iter()
+            .flat_map(|(_, p)| p.support().into_iter().map(|q| Qubit(q as u32)))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let base = if group[0].plan.optimize.map(|c| c.lightcone).unwrap_or(false) {
+            lightcone_prune_for(&group[0].base, &targets)
+        } else {
+            group[0].base.clone()
+        };
+        // Width from the (possibly pruned) base, extended to cover the
+        // observable's support — never the raw submission width.
+        let n = base
+            .num_qubits()
+            .max(targets.iter().map(|q| q.0 as usize + 1).max().unwrap_or(0))
+            .max(1);
+        let sim = Simulator::for_backend(backend, n, options);
         let resolvers: Vec<ParamResolver> = group.iter().map(|j| j.resolver.clone()).collect();
+        let units: Vec<f64> = group
+            .iter()
+            .map(|j| CostModel::static_units(&j.plan.profile, &backend))
+            .collect();
+        let total_units: f64 = units.iter().sum();
+        for (job, u) in group.iter_mut().zip(&units) {
+            job.predicted_ms = self.cost.predict_ms(&backend, path, *u);
+        }
         let merged = group.len() > 1;
+        let started = Instant::now();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             sim.expectation_sweep(&base, &resolvers, &observable)
         }));
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         match attempt {
             Ok(Ok(values)) => {
                 self.stats.simulated_jobs += group.len() as u64;
-                for (job, value) in group.into_iter().zip(values) {
+                self.cost.observe(&backend, path, total_units, elapsed_ms);
+                for ((mut job, value), u) in group.into_iter().zip(values).zip(units) {
                     if merged {
                         self.stats.merged_jobs += 1;
+                    }
+                    if total_units > 0.0 {
+                        job.measured_ms = Some(elapsed_ms * u / total_units);
                     }
                     self.dispose(job, Ok(JobOutput::Expectation(value)), parked);
                 }
@@ -920,7 +1027,20 @@ impl SimulationService {
         job: &PendingJob,
         armed: Option<OpFaultFn>,
     ) -> Result<JobOutput, SimError> {
-        let n = job.resolved.num_qubits().max(1);
+        // Width from the plan's (optimizer-rewritten) circuit, extended
+        // to cover the observable for expectation jobs — never the raw
+        // submission width, which may include lightcone-pruned qubits.
+        let obs_width = match &job.kind {
+            JobKind::Expectation { observable, .. } => observable
+                .terms()
+                .iter()
+                .flat_map(|(_, p)| p.support())
+                .map(|q| q + 1)
+                .max()
+                .unwrap_or(0),
+            JobKind::Histogram { .. } => 0,
+        };
+        let n = job.plan.circuit.num_qubits().max(obs_width).max(1);
         let mut options = job.plan.options.clone();
         options.seed = job.seed;
         let mut sim = Simulator::for_backend(job.plan.backend, n, options);
@@ -929,14 +1049,18 @@ impl SimulationService {
         }
         match &job.kind {
             JobKind::Histogram { repetitions } => sim
-                .run(&job.resolved, *repetitions)
+                .run(&job.plan.circuit, *repetitions)
                 .map(|r| JobOutput::Histogram(Arc::new(r))),
             JobKind::Expectation { observable, .. } => {
                 if job.plan.path == ExecPath::ShotEstimate {
-                    sim.estimate_expectation(&job.resolved, observable, self.config.degraded_shots)
-                        .map(|estimate| JobOutput::Expectation(estimate.value))
+                    sim.estimate_expectation(
+                        &job.plan.circuit,
+                        observable,
+                        self.config.degraded_shots,
+                    )
+                    .map(|estimate| JobOutput::Expectation(estimate.value))
                 } else {
-                    sim.expectation_value(&job.resolved, observable)
+                    sim.expectation_value(&job.plan.circuit, observable)
                         .map(JobOutput::Expectation)
                 }
             }
@@ -970,6 +1094,9 @@ impl SimulationService {
                                 degradations: job.degradations.clone(),
                                 backend: job.plan.backend,
                                 path: job.plan.path,
+                                rewrite: job.plan.rewrite.clone(),
+                                predicted_ms: job.predicted_ms,
+                                measured_ms: job.measured_ms,
                             };
                             self.finish(dup.id, Ok(report));
                         }
@@ -1236,15 +1363,42 @@ mod tests {
 
     #[test]
     fn infeasible_circuits_are_rejected_at_submission() {
+        // 30 qubits of H dust around a Toffoli, but only one *live*
+        // qubit cone: every measured qubit is entangled with at most
+        // q0..q2.
         let mut wide = Circuit::new();
         for i in 0..30u32 {
             wide.push(Operation::gate(Gate::H, vec![q(i)]).unwrap());
         }
         wide.push(Operation::gate(Gate::Ccx, vec![q(0), q(1), q(2)]).unwrap());
         wide.push(Operation::measure(vec![q(0)], "m").unwrap());
-        let mut svc = SimulationService::with_defaults();
+        // Pipeline off: 30 qubits with an arity-3 gate fits nothing.
+        let mut svc = SimulationService::new(ServiceConfig {
+            planner: PlannerConfig {
+                optimize: None,
+                ..PlannerConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
         assert!(matches!(
-            svc.submit(SimRequest::histogram(wide, 10)),
+            svc.submit(SimRequest::histogram(wide.clone(), 10)),
+            Err(SimError::Unsupported(_))
+        ));
+        // Pipeline on: lightcone pruning drops the 27 dead H gates, and
+        // the surviving 3-qubit cone routes dense. Genuinely infeasible
+        // circuits — a *live* wide Toffoli cone — are still rejected.
+        let mut svc = SimulationService::with_defaults();
+        assert!(svc.submit(SimRequest::histogram(wide, 10)).is_ok());
+        let mut live = Circuit::new();
+        for i in 0..30u32 {
+            live.push(Operation::gate(Gate::T, vec![q(i)]).unwrap());
+        }
+        for i in 2..30u32 {
+            live.push(Operation::gate(Gate::Ccx, vec![q(i - 2), q(i - 1), q(i)]).unwrap());
+        }
+        live.push(Operation::measure((0..30).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        assert!(matches!(
+            svc.submit(SimRequest::histogram(live, 10)),
             Err(SimError::Unsupported(_))
         ));
     }

@@ -104,7 +104,20 @@ fn main() {
                 } else {
                     "clean".to_string()
                 };
-                println!("{label:24} {seed:>4}  ok: {how}");
+                let rewrite = if report.rewrite.ops_after < report.rewrite.ops_before {
+                    format!(
+                        ", optimized {} -> {} ops",
+                        report.rewrite.ops_before, report.rewrite.ops_after
+                    )
+                } else {
+                    String::new()
+                };
+                let timing = match (report.predicted_ms, report.measured_ms) {
+                    (Some(p), Some(m)) => format!(", {p:.2} ms predicted / {m:.2} ms measured"),
+                    (None, Some(m)) => format!(", {m:.2} ms measured"),
+                    _ => String::new(),
+                };
+                println!("{label:24} {seed:>4}  ok: {how}{rewrite}{timing}");
             }
             Err(e) => println!("{label:24} {seed:>4}  failed (typed): {e}"),
         }

@@ -65,7 +65,7 @@ fn main() {
         ("t-dusted chain(30)", t_chain(30)),
     ];
 
-    println!("routing table:");
+    println!("routing table (post-optimization):");
     for (label, c) in &circuits {
         let p = plan(
             c,
@@ -73,7 +73,19 @@ fn main() {
             &PlannerConfig::default(),
         )
         .unwrap();
-        println!("  {label:24} -> {:12} / {}", p.backend.name(), p.path);
+        let passes = p.rewrite.passes_applied();
+        println!(
+            "  {label:24} -> {:12} / {:16} {} -> {} ops ({})",
+            p.backend.name(),
+            p.path.to_string(),
+            p.rewrite.ops_before,
+            p.rewrite.ops_after,
+            if passes.is_empty() {
+                "no rewrites".to_string()
+            } else {
+                passes.join(", ")
+            }
+        );
     }
 
     let mut svc = SimulationService::with_defaults();
@@ -129,14 +141,23 @@ fn main() {
         stats.cancellations
     );
 
-    // Spot-check one result per class.
+    // Spot-check one result per class, with the optimizer's rewrite
+    // deltas and the calibrated cost model's prediction error.
+    println!("\nper-class reports (rewrites + cost calibration):");
     for (i, (label, _)) in circuits.iter().enumerate() {
         if let Some(Ok(out)) = svc.take_result(ids[i]) {
             let hist = out.histogram().unwrap();
             let key = hist.keys()[0].to_string();
+            let timing = match (out.predicted_ms, out.measured_ms) {
+                (Some(p), Some(m)) => format!("predicted {p:.3} ms / measured {m:.3} ms"),
+                (None, Some(m)) => format!("measured {m:.3} ms (model warming up)"),
+                _ => "served from cache".to_string(),
+            };
             println!(
-                "  {label:24} histogram[{key}] total {}",
-                hist.histogram(&key).unwrap().total()
+                "  {label:24} histogram[{key}] total {:5}  rewrite {} -> {} ops  {timing}",
+                hist.histogram(&key).unwrap().total(),
+                out.rewrite.ops_before,
+                out.rewrite.ops_after,
             );
         }
     }

@@ -38,8 +38,9 @@ pub use bgls_stabilizer as stabilizer;
 pub use bgls_statevector as statevector;
 
 pub use bgls_backend::{simulator_for, AnyState, BackendKind, SimulatorExt};
+pub use bgls_circuit::{optimize, OptimizeConfig, PassPipeline, PassStats, RewriteStats};
 pub use bgls_plan::{
-    plan_and_expect, plan_and_run, Deliverable, ExecPath, ExecutionPlan, FaultPlan, JobReport,
-    JobStatus, PlannerConfig, ServiceHandle, SimRequest, SimulationService, SimulatorPlanExt,
-    Ticket,
+    plan_and_expect, plan_and_run, plan_prepared, prepare, CostModel, Deliverable, ExecPath,
+    ExecutionPlan, FaultPlan, JobReport, JobStatus, PlannerConfig, PreparedCircuit, ServiceHandle,
+    SimRequest, SimulationService, SimulatorPlanExt, Ticket,
 };

@@ -1,0 +1,256 @@
+//! Optimizer agreement suite: the circuit-optimization pipeline must be
+//! semantically invisible. Whatever the passes rewrite, the optimized
+//! circuit has to produce the same physics as the raw one — exact
+//! expectations to 1e-10 on every backend, sampled histograms that fit
+//! the raw Born distribution, determinism and idempotence of the
+//! rewrite itself, and a lightcone pass that never drops an operation
+//! inside the observable's causal cone.
+
+use bgls_suite::apps::{chi_squared_fits, empirical_distribution, total_variation_distance};
+use bgls_suite::circuit::{
+    generate_random_circuit, lightcone_prune_for, optimize, Circuit, Gate, Operation,
+    OptimizeConfig, PauliSum, Qubit, RandomCircuitParams,
+};
+use bgls_suite::core::{BglsState, BitString, Simulator, SimulatorOptions};
+use bgls_suite::plan::{plan, Deliverable, PlannerConfig};
+use bgls_suite::{AnyState, BackendKind, SimulatorExt};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 4;
+const TOL: f64 = 1e-10;
+
+fn runtime_simulator(kind: BackendKind, n: usize) -> Simulator<AnyState> {
+    Simulator::for_backend(kind, n, SimulatorOptions::default()).with_seed(11)
+}
+
+fn six_backends() -> Vec<BackendKind> {
+    let mut kinds = BackendKind::all();
+    kinds.push(BackendKind::ChainMps { chi: Some(8) });
+    kinds
+}
+
+/// A seeded universal random circuit (no measurements).
+fn universal(seed: u64, n: usize, moments: usize) -> Circuit {
+    let params = RandomCircuitParams {
+        qubits: n,
+        moments,
+        op_density: 0.9,
+        gate_set: vec![
+            Gate::H,
+            Gate::T,
+            Gate::SqrtX,
+            Gate::Ry(0.9.into()),
+            Gate::Rz(0.3.into()),
+            Gate::Cnot,
+            Gate::Cz,
+        ],
+    };
+    generate_random_circuit(&params, &mut StdRng::seed_from_u64(seed))
+}
+
+fn clifford(seed: u64, n: usize, moments: usize) -> Circuit {
+    generate_random_circuit(
+        &RandomCircuitParams::clifford(n, moments),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+fn observable_battery() -> Vec<PauliSum> {
+    ["Z0", "X1", "Z0*Z3", "0.5*X0*X1 + 0.25*Z2 - 1.5*Y1*Z3"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect()
+}
+
+/// Exact expectations of raw and optimized circuits agree to 1e-10 on
+/// every backend that accepts the circuit. Clifford circuits run under
+/// the stabilizer-safe pass subset (so the stabilizer backends still
+/// accept the rewritten circuit); universal circuits under the full
+/// pipeline on the matrix-capable backends.
+#[test]
+fn optimized_expectations_agree_on_all_six_backends() {
+    let cases: Vec<(Circuit, OptimizeConfig, Vec<BackendKind>)> = vec![
+        (
+            clifford(21, N, 10),
+            OptimizeConfig::default().stabilizer_safe(),
+            six_backends(),
+        ),
+        (
+            universal(22, N, 10),
+            OptimizeConfig::full(),
+            six_backends()
+                .into_iter()
+                .filter(|&k| k != BackendKind::ChForm)
+                .collect(),
+        ),
+    ];
+    for (raw, config, kinds) in cases {
+        let (opt, stats) = optimize(&raw, &config);
+        assert!(stats.ops_after <= stats.ops_before);
+        for obs in observable_battery() {
+            for &kind in &kinds {
+                let reference = runtime_simulator(kind, N)
+                    .expectation_value(&raw, &obs)
+                    .unwrap_or_else(|e| panic!("raw on {kind}: {e}"));
+                let got = runtime_simulator(kind, N)
+                    .expectation_value(&opt, &obs)
+                    .unwrap_or_else(|e| panic!("optimized on {kind}: {e}"));
+                assert!(
+                    (got - reference).abs() < TOL,
+                    "{kind} on '{obs}': optimized {got} vs raw {reference}"
+                );
+            }
+        }
+    }
+}
+
+/// Seeded histograms from the optimized circuit fit the raw circuit's
+/// exact Born distribution (chi-squared, 5 sigma) on every backend that
+/// accepts the circuit, and stay close in total variation.
+#[test]
+fn optimized_histograms_fit_the_raw_born_distribution() {
+    let raw = universal(33, N, 8);
+    let born: Vec<f64> = {
+        let state = runtime_simulator(BackendKind::StateVector, N)
+            .final_state(&raw)
+            .unwrap();
+        (0..1u64 << N)
+            .map(|x| state.probability(BitString::from_u64(N, x)))
+            .collect()
+    };
+    let (opt, _) = optimize(&raw, &OptimizeConfig::full());
+    const REPS: usize = 20_000;
+    for kind in six_backends()
+        .into_iter()
+        .filter(|&k| !matches!(k, BackendKind::ChForm | BackendKind::Tableau))
+    {
+        let samples = runtime_simulator(kind, N)
+            .sample_final_bitstrings(&opt, REPS as u64)
+            .unwrap_or_else(|e| panic!("sampling optimized on {kind}: {e}"));
+        let emp = empirical_distribution(&samples, N);
+        let tvd = total_variation_distance(&emp, &born);
+        assert!(tvd < 0.04, "{kind}: TVD {tvd} vs raw Born");
+        let observed: Vec<u64> = emp
+            .iter()
+            .map(|p| (p * REPS as f64).round() as u64)
+            .collect();
+        assert!(
+            chi_squared_fits(&observed, &born, 5.0),
+            "{kind}: optimized histogram rejects the raw Born distribution"
+        );
+    }
+}
+
+/// Reference causal cone: reverse-scan from the observable's support,
+/// marking every operation that touches a live qubit and folding its
+/// support into the live set (measurements are always live).
+fn reference_cone(circuit: &Circuit, targets: &[Qubit]) -> Vec<Operation> {
+    let ops: Vec<&Operation> = circuit.all_operations().collect();
+    let mut live: std::collections::HashSet<Qubit> = targets.iter().copied().collect();
+    let mut keep = vec![false; ops.len()];
+    for (i, op) in ops.iter().enumerate().rev() {
+        let touches = op.support().iter().any(|q| live.contains(q));
+        if touches || op.is_measurement() {
+            keep[i] = true;
+            live.extend(op.support().iter().copied());
+        }
+    }
+    ops.into_iter()
+        .zip(keep)
+        .filter(|&(_, k)| k)
+        .map(|(op, _)| op.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The optimizer is a pure function of `(circuit, config)` and a
+    /// fixpoint: re-running it changes nothing.
+    #[test]
+    fn optimizer_is_deterministic_and_idempotent(seed in 0u64..10_000, n in 2usize..5) {
+        let raw = universal(seed, n, 8);
+        for config in [OptimizeConfig::default(), OptimizeConfig::full(), OptimizeConfig::default().stabilizer_safe()] {
+            let (a, _) = optimize(&raw, &config);
+            let (b, _) = optimize(&raw, &config);
+            prop_assert_eq!(a.structural_hash(), b.structural_hash(), "determinism");
+            let (fixed, stats) = optimize(&a, &config);
+            prop_assert_eq!(a.structural_hash(), fixed.structural_hash(), "idempotence");
+            prop_assert_eq!(stats.ops_before, stats.ops_after);
+        }
+    }
+
+    /// Optimized circuits preserve exact expectations on random
+    /// circuits and single-qubit observables (dense reference backend).
+    #[test]
+    fn optimized_expectations_agree_on_random_circuits(seed in 0u64..10_000, n in 2usize..5, q in 0usize..2) {
+        let raw = universal(seed, n, 8);
+        let obs: PauliSum = format!("Z{}", q.min(n - 1)).parse().unwrap();
+        let (opt, _) = optimize(&raw, &OptimizeConfig::full());
+        let reference = runtime_simulator(BackendKind::StateVector, n)
+            .expectation_value(&raw, &obs).unwrap();
+        let got = runtime_simulator(BackendKind::StateVector, n)
+            .expectation_value(&opt, &obs).unwrap();
+        prop_assert!((got - reference).abs() < TOL, "{got} vs {reference}");
+    }
+
+    /// The lightcone pass keeps exactly the reference causal cone: no
+    /// operation inside the cone is ever dropped, and the kept sequence
+    /// preserves execution order.
+    #[test]
+    fn lightcone_never_drops_a_gate_inside_the_cone(seed in 0u64..10_000, n in 2usize..6, q in 0usize..4) {
+        let raw = universal(seed, n, 6);
+        let targets = [Qubit(q.min(n - 1) as u32)];
+        let pruned = lightcone_prune_for(&raw, &targets);
+        let expected = reference_cone(&raw, &targets);
+        prop_assert_eq!(
+            &pruned,
+            &Circuit::from_ops(expected.clone()),
+            "pruned circuit must equal the reference cone repacked"
+        );
+        // And the physics check: the observable cannot tell them apart.
+        let obs: PauliSum = format!("Z{}", targets[0].0).parse().unwrap();
+        let reference = runtime_simulator(BackendKind::StateVector, n)
+            .expectation_value(&raw, &obs).unwrap();
+        let got = runtime_simulator(BackendKind::StateVector, n.max(pruned.num_qubits()))
+            .expectation_value(&pruned, &obs).unwrap();
+        prop_assert!((got - reference).abs() < TOL, "{got} vs {reference}");
+    }
+}
+
+/// Optimizer configuration is part of the plan fingerprint: an
+/// optimized plan and a raw plan for the same circuit must never share
+/// a result-cache entry, and distinct pass subsets are distinct.
+#[test]
+fn optimizer_config_distinguishes_plan_fingerprints() {
+    let mut bell = Circuit::new();
+    bell.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    bell.push(Operation::gate(Gate::Cnot, vec![Qubit(0), Qubit(1)]).unwrap());
+    bell.push(Operation::measure(vec![Qubit(0), Qubit(1)], "m").unwrap());
+    let deliverable = Deliverable::Histogram { repetitions: 10 };
+    let raw_cfg = PlannerConfig {
+        optimize: None,
+        ..PlannerConfig::default()
+    };
+    let raw = plan(&bell, &deliverable, &raw_cfg).unwrap();
+    let opt = plan(&bell, &deliverable, &PlannerConfig::default()).unwrap();
+    assert_eq!(raw.backend.name(), opt.backend.name());
+    assert_ne!(
+        raw.fingerprint(),
+        opt.fingerprint(),
+        "optimized and raw plans must never collide in the result cache"
+    );
+    let configs = [
+        OptimizeConfig::off(),
+        OptimizeConfig::default(),
+        OptimizeConfig::full(),
+        OptimizeConfig::default().stabilizer_safe(),
+    ];
+    for (i, a) in configs.iter().enumerate() {
+        for b in configs.iter().skip(i + 1) {
+            assert_ne!(a.fingerprint(), b.fingerprint(), "{a:?} vs {b:?}");
+        }
+    }
+}

@@ -257,7 +257,7 @@ fn degraded_jobs_match_the_fallback_plan_run_directly() {
 
         // the degradation contract: same bits as the fallback plan
         // executed standalone with the same seed
-        let direct = fallback.run(circuit, 40, Some(*seed)).unwrap();
+        let direct = fallback.run(40, Some(*seed)).unwrap();
         assert_eq!(
             report.histogram().unwrap().histogram("m"),
             direct.histogram("m")

@@ -146,7 +146,7 @@ fn planner_separates_five_circuit_classes() {
     for (label, c) in &classes {
         let p = plan(c, &hist(100), &cfg).unwrap();
         // Every routed plan must actually execute.
-        let result = p.run(c, 40, Some(7)).unwrap();
+        let result = p.run(40, Some(7)).unwrap();
         assert!(result.repetitions() == 40, "{label}");
         pairs.insert(format!("{}/{}", p.backend.name(), p.path));
     }
@@ -197,7 +197,7 @@ fn service_cache_hits_are_bit_identical_to_cold_runs() {
 
     // And the cached payload equals a from-scratch plan execution.
     let p = plan(&ghz, &hist(300), &PlannerConfig::default()).unwrap();
-    let standalone = p.run(&ghz, 300, Some(42)).unwrap();
+    let standalone = p.run(300, Some(42)).unwrap();
     assert_eq!(cold.histogram("m"), standalone.histogram("m"));
 }
 
@@ -282,7 +282,7 @@ fn mixed_service_traffic_matches_standalone_execution() {
             other => panic!("{other:?}"),
         };
         let p = plan(&bell, &hist(120), &PlannerConfig::default()).unwrap();
-        let standalone = p.run(&bell, 120, Some(seed)).unwrap();
+        let standalone = p.run(120, Some(seed)).unwrap();
         assert_eq!(got.histogram("m"), standalone.histogram("m"), "seed {seed}");
     }
     for (id, &t) in exp_ids.iter().zip(&thetas) {

@@ -785,16 +785,39 @@ fn fuse_runs(circuit: &Circuit, split_diagonal: bool) -> Circuit {
     Circuit::from_ops(out)
 }
 
-/// Permutes `m` (given over `from`) into `to`'s qubit order. Supports
-/// identical order (clone) and the reversed two-qubit order (conjugate
-/// by SWAP).
+/// Permutes `m` (given over `from`) into `to`'s qubit order, for any
+/// listing of the same qubit set. The first listed qubit is the most
+/// significant bit of the matrix index (the Cirq convention).
 fn matrix_in_order(m: &Matrix, from: &[Qubit], to: &[Qubit]) -> Matrix {
     if from == to {
-        m.clone()
-    } else {
-        debug_assert_eq!(from.len(), 2, "only 2q order permutation is supported");
-        swap_conjugate(m)
+        return m.clone();
     }
+    let n = from.len();
+    debug_assert_eq!(to.len(), n, "permutation requires the same qubit set");
+    let dim = 1usize << n;
+    debug_assert_eq!(m.rows(), dim);
+    // `to` position -> `from` position of the same qubit.
+    let pos: Vec<usize> = to
+        .iter()
+        .map(|q| {
+            from.iter()
+                .position(|p| p == q)
+                .expect("permutation requires the same qubit set")
+        })
+        .collect();
+    // Basis index over `to` -> the same basis state's index over `from`.
+    let remap = |i: usize| -> usize {
+        pos.iter().enumerate().fold(0usize, |acc, (p, &fp)| {
+            acc | (((i >> (n - 1 - p)) & 1) << (n - 1 - fp))
+        })
+    };
+    let mut out = Matrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            out[(i, j)] = m[(remap(i), remap(j))];
+        }
+    }
+    out
 }
 
 /// `SWAP · m · SWAP` — the 4x4 matrix re-expressed with its qubit
@@ -895,6 +918,52 @@ mod tests {
         c.push(op(Gate::Cz, &[0, 1]));
         c.push(op(Gate::Cz, &[1, 0]));
         assert_eq!(cancel_inverse_pairs(&c).num_operations(), 0);
+    }
+
+    #[test]
+    fn permuted_three_qubit_listings_cancel_exactly_when_equal() {
+        // Ccz is symmetric in all three qubits: every listing cancels.
+        for perm in [[0, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let mut c = Circuit::new();
+            c.push(op(Gate::Ccz, &[0, 1, 2]));
+            c.push(op(Gate::Ccz, &perm));
+            assert_eq!(cancel_inverse_pairs(&c).num_operations(), 0, "{perm:?}");
+        }
+        // Ccx controls commute with each other but not with the target.
+        let mut c = Circuit::new();
+        c.push(op(Gate::Ccx, &[0, 1, 2]));
+        c.push(op(Gate::Ccx, &[1, 0, 2]));
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 0);
+        let mut c = Circuit::new();
+        c.push(op(Gate::Ccx, &[0, 1, 2]));
+        c.push(op(Gate::Ccx, &[2, 1, 0]));
+        let out = cancel_inverse_pairs(&c);
+        assert_eq!(out.num_operations(), 2);
+        unitary_eq(&c, &out, 3);
+        // Cswap is symmetric only in its two swap targets.
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cswap, &[0, 1, 2]));
+        c.push(op(Gate::Cswap, &[0, 2, 1]));
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 0);
+        let mut c = Circuit::new();
+        c.push(op(Gate::Cswap, &[0, 1, 2]));
+        c.push(op(Gate::Cswap, &[1, 0, 2]));
+        assert_eq!(cancel_inverse_pairs(&c).num_operations(), 2);
+    }
+
+    #[test]
+    fn matrix_in_order_matches_circuit_unitary_on_permutations() {
+        // Re-expressing a matrix over a permuted qubit listing must
+        // leave its embedding in the full space unchanged.
+        use crate::circuit::embed_unitary;
+        let m = Gate::Ccx.unitary().unwrap();
+        let to: Vec<Qubit> = (0..3).map(Qubit).collect();
+        for perm in [[0u32, 1, 2], [1, 0, 2], [2, 0, 1], [2, 1, 0]] {
+            let from: Vec<Qubit> = perm.iter().map(|&q| Qubit(q)).collect();
+            let got = embed_unitary(&matrix_in_order(&m, &from, &to), &to, 3);
+            let want = embed_unitary(&m, &from, 3);
+            assert!(got.approx_eq(&want, 1e-12), "{perm:?}");
+        }
     }
 
     #[test]

@@ -104,16 +104,25 @@ impl CircuitProfile {
                     let hi = support.iter().map(|q| q.0 as usize).max().unwrap();
                     // Each crossing gate can at most multiply the cut's
                     // Schmidt rank by its operator-Schmidt rank: 2 for
-                    // the controlled named gates (CNOT, CZ, CPhase,
-                    // Rzz, ...), 4 for SWAP-class gates and arbitrary
-                    // two-qubit matrices — so merged U4s from the
-                    // optimizer are weighted soundly.
-                    let weight = match op.as_gate() {
-                        Some(Gate::Swap | Gate::ISwap | Gate::U2(_) | Gate::U(_, _)) => 2,
-                        _ => 1,
-                    };
-                    for crossings in cut_crossings.iter_mut().take(hi).skip(lo) {
-                        *crossings += weight;
+                    // the controlled named gates (CNOT, CZ, Toffoli,
+                    // CPhase, Rzz, ...); for SWAP-class gates and
+                    // arbitrary matrices the rank is bounded per cut by
+                    // `4^min(lo_span, hi_span)` over the support split —
+                    // 4 for merged U4s from the optimizer, and growing
+                    // with the split for wider `U(_, k)` gates so the
+                    // chi bound stays sound at any arity.
+                    let generic = matches!(
+                        op.as_gate(),
+                        Some(Gate::Swap | Gate::ISwap | Gate::U2(_) | Gate::U(_, _))
+                    );
+                    for (cut, crossings) in cut_crossings.iter_mut().enumerate().take(hi).skip(lo) {
+                        *crossings += if generic {
+                            let lo_span = support.iter().filter(|q| q.0 as usize <= cut).count();
+                            let hi_span = support.len() - lo_span;
+                            2 * lo_span.min(hi_span)
+                        } else {
+                            1
+                        };
                     }
                 }
             }

@@ -482,7 +482,14 @@ impl SimulationService {
         }
         let resolver = request.resolver.unwrap_or_default();
         let resolved = request.circuit.resolve(&resolver);
-        let prep = match self.preps.get(&resolved.structural_hash()) {
+        // The memo key is a 64-bit structural hash; verify the hit
+        // against the actual circuit so a collision re-prepares instead
+        // of silently executing another circuit's plan.
+        let memo_hit = self
+            .preps
+            .get(&resolved.structural_hash())
+            .filter(|p| p.raw() == &resolved);
+        let prep = match memo_hit {
             Some(p) => Arc::clone(p),
             None => {
                 if self.preps.len() >= PREP_MEMO_CAPACITY {

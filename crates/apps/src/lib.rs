@@ -25,7 +25,9 @@ mod maxcut;
 mod metrics;
 mod observables;
 mod qaoa;
+mod qec;
 mod workloads;
+mod xeb;
 
 pub use graph::Graph;
 pub use maxcut::{brute_force_maxcut, cut_value, mean_cut};
@@ -41,6 +43,11 @@ pub use qaoa::{
     qaoa_energy_landscape, qaoa_maxcut_circuit, qaoa_sweep, resolve_qaoa, solve_maxcut_qaoa,
     solve_maxcut_qaoa_auto, solve_maxcut_qaoa_mps, QaoaSolution, QaoaSweepResult,
 };
+pub use qec::{
+    logical_error_rate, run_memory, run_memory_tableau, syndrome_digest, MemoryOutcome,
+    RepetitionCode,
+};
+pub use xeb::{xeb_experiment, xeb_random_circuit, XebReport};
 
 // Re-exported so app callers can name backends without a direct
 // `bgls-backend` dependency.

@@ -1,0 +1,314 @@
+//! Repetition-code quantum-error-correction scenario.
+//!
+//! A distance-`d` bit-flip repetition code: `d` data qubits protected
+//! against X errors, `d - 1` ancilla qubits extracting the adjacent-pair
+//! parities each cycle. The workload exercises the stabilizer backends
+//! at scale (a distance-51 memory is a 101-qubit experiment) while
+//! staying classically checkable end to end: error injection is
+//! *compiled in* as explicit seeded `X` gates — the stabilizer backends
+//! reject channels, and a fixed error pattern makes every syndrome
+//! deterministic and every decode reproducible.
+//!
+//! Layout: data qubits `0..d`, ancilla qubit `d + i` measuring the
+//! parity of data pair `(i, i + 1)`. Ancillas are never reset; each
+//! cycle's readout therefore records the *running* parity, which is
+//! just as deterministic and keeps the circuit pure-Clifford.
+//!
+//! Two drivers share the exact same seeded error stream:
+//!
+//! * [`run_memory_tableau`] steps a raw [`CliffordTableau`] — no
+//!   bitstring-width ceiling, so 100+-qubit memories are routine;
+//! * [`run_memory`] runs [`RepetitionCode::memory_circuit`] through the
+//!   generic simulator on any backend (up to the 64-qubit readout
+//!   width), which is what the cross-backend determinism tests compare.
+
+use bgls_backend::{BackendKind, SimulatorExt};
+use bgls_circuit::{Circuit, Gate, Operation, Qubit};
+use bgls_core::{RunResult, SimError, Simulator, SimulatorOptions};
+use bgls_stabilizer::CliffordTableau;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A distance-`d`, `cycles`-round repetition-code memory experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct RepetitionCode {
+    /// Code distance: number of data qubits (odd, at least 3, so
+    /// majority vote is well defined).
+    pub distance: usize,
+    /// Number of syndrome-extraction rounds.
+    pub cycles: usize,
+}
+
+/// The readouts of one memory run: per-cycle ancilla parities plus the
+/// final data measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryOutcome {
+    /// `cycles` rows of `d - 1` running parities.
+    pub syndromes: Vec<Vec<bool>>,
+    /// Final readout of the `d` data qubits.
+    pub data: Vec<bool>,
+}
+
+impl MemoryOutcome {
+    /// Order-sensitive FNV-1a digest of every recorded bit — two runs
+    /// of the same seeded experiment must produce equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut fold = |bit: bool| {
+            h ^= u64::from(bit) + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for row in &self.syndromes {
+            for &b in row {
+                fold(b);
+            }
+        }
+        for &b in &self.data {
+            fold(b);
+        }
+        h
+    }
+}
+
+impl RepetitionCode {
+    /// A `d`-distance code with the given number of rounds.
+    pub fn new(distance: usize, cycles: usize) -> Self {
+        assert!(distance >= 3, "distance must be at least 3");
+        assert!(distance % 2 == 1, "distance must be odd for majority vote");
+        assert!(cycles >= 1, "need at least one cycle");
+        RepetitionCode { distance, cycles }
+    }
+
+    /// Total qubit count: `d` data plus `d - 1` ancilla.
+    pub fn n_qubits(&self) -> usize {
+        2 * self.distance - 1
+    }
+
+    /// The measurement key recording cycle `c`'s ancilla readout.
+    pub fn syndrome_key(cycle: usize) -> String {
+        format!("s{cycle}")
+    }
+
+    /// The seeded X-error pattern for one cycle: one draw per data
+    /// qubit, in qubit order. Both drivers consume the stream through
+    /// this single definition, so their error patterns are identical.
+    fn cycle_errors(&self, p_error: f64, rng: &mut impl Rng) -> Vec<bool> {
+        (0..self.distance)
+            .map(|_| rng.gen::<f64>() < p_error)
+            .collect()
+    }
+
+    /// The full memory circuit on `|0..0>`: per cycle, seeded X-error
+    /// injection on every data qubit with probability `p_error`, CNOT
+    /// syndrome extraction onto the ancillas, and an ancilla readout
+    /// keyed [`Self::syndrome_key`]; finally the data qubits are read
+    /// out under the `"data"` key.
+    pub fn memory_circuit(&self, p_error: f64, rng: &mut impl Rng) -> Circuit {
+        assert!((0.0..=1.0).contains(&p_error), "p_error is a probability");
+        let d = self.distance;
+        let mut c = Circuit::new();
+        for cycle in 0..self.cycles {
+            for (q, flip) in self.cycle_errors(p_error, rng).into_iter().enumerate() {
+                if flip {
+                    c.push(Operation::gate(Gate::X, vec![Qubit(q as u32)]).expect("1q"));
+                }
+            }
+            let ancillas: Vec<Qubit> = (0..d - 1).map(|i| Qubit((d + i) as u32)).collect();
+            for i in 0..d - 1 {
+                let anc = Qubit((d + i) as u32);
+                c.push(Operation::gate(Gate::Cnot, vec![Qubit(i as u32), anc]).expect("2q"));
+                c.push(Operation::gate(Gate::Cnot, vec![Qubit(i as u32 + 1), anc]).expect("2q"));
+            }
+            c.push(
+                Operation::measure(ancillas, &Self::syndrome_key(cycle)).expect("ancilla readout"),
+            );
+        }
+        let data: Vec<Qubit> = (0..d).map(|q| Qubit(q as u32)).collect();
+        c.push(Operation::measure(data, "data").expect("data readout"));
+        c
+    }
+
+    /// Majority-vote decode of a data readout: `true` means the decoder
+    /// declares a logical flip (more than half the data qubits read 1).
+    pub fn decode_logical_flip(&self, data: &[bool]) -> bool {
+        assert_eq!(data.len(), self.distance);
+        data.iter().filter(|&&b| b).count() > self.distance / 2
+    }
+}
+
+/// One seeded memory run stepping a raw [`CliffordTableau`] — the
+/// scale path, with no readout-width ceiling (a distance-51 memory is
+/// 101 qubits). Every measurement here is on a computational basis
+/// state, so the outcomes are deterministic; the rng passed to
+/// [`CliffordTableau::measure`] is never consulted.
+pub fn run_memory_tableau(
+    code: &RepetitionCode,
+    p_error: f64,
+    seed: u64,
+) -> Result<MemoryOutcome, SimError> {
+    assert!((0.0..=1.0).contains(&p_error), "p_error is a probability");
+    let d = code.distance;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mrng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut t = CliffordTableau::zero(code.n_qubits());
+    let mut syndromes = Vec::with_capacity(code.cycles);
+    for _ in 0..code.cycles {
+        for (q, flip) in code.cycle_errors(p_error, &mut rng).into_iter().enumerate() {
+            if flip {
+                t.apply_gate(&Gate::X, &[q])?;
+            }
+        }
+        for i in 0..d - 1 {
+            t.cnot(i, d + i)?;
+            t.cnot(i + 1, d + i)?;
+        }
+        let row: Vec<bool> = (0..d - 1)
+            .map(|i| t.measure(d + i, &mut mrng))
+            .collect::<Result<_, _>>()?;
+        syndromes.push(row);
+    }
+    let data: Vec<bool> = (0..d)
+        .map(|q| t.measure(q, &mut mrng))
+        .collect::<Result<_, _>>()?;
+    Ok(MemoryOutcome { syndromes, data })
+}
+
+/// One seeded memory run of [`RepetitionCode::memory_circuit`] through
+/// the generic simulator on `backend` — the cross-backend path (readout
+/// width caps it at 64 qubits, i.e. distance 32).
+pub fn run_memory(
+    code: &RepetitionCode,
+    p_error: f64,
+    seed: u64,
+    backend: BackendKind,
+) -> Result<RunResult, SimError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let circuit = code.memory_circuit(p_error, &mut rng);
+    let sim = Simulator::for_backend(
+        backend,
+        code.n_qubits(),
+        SimulatorOptions {
+            seed: Some(seed),
+            ..Default::default()
+        },
+    );
+    sim.run(&circuit, 1)
+}
+
+/// Monte-Carlo logical error rate: the fraction of `trials`
+/// independently-seeded memory runs whose majority-vote decode declares
+/// a logical flip. Runs on the raw tableau, so distances well past the
+/// state-vector limit stay cheap.
+pub fn logical_error_rate(
+    code: &RepetitionCode,
+    p_error: f64,
+    trials: u64,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let mut flips = 0u64;
+    for t in 0..trials {
+        let outcome = run_memory_tableau(code, p_error, seed.wrapping_add(t))?;
+        if code.decode_logical_flip(&outcome.data) {
+            flips += 1;
+        }
+    }
+    Ok(flips as f64 / trials as f64)
+}
+
+/// Order-sensitive digest of every syndrome histogram in a
+/// circuit-driver run ([`run_memory`]) — comparable across backends and
+/// across repeats, like [`MemoryOutcome::digest`] for the raw-tableau
+/// driver.
+pub fn syndrome_digest(code: &RepetitionCode, result: &RunResult) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for cycle in 0..code.cycles {
+        let hist = result
+            .histogram(&RepetitionCode::syndrome_key(cycle))
+            .expect("syndrome recorded every cycle");
+        fold(cycle as u64);
+        for (outcome, count) in hist.iter_sorted() {
+            fold(outcome.as_u64());
+            fold(count);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgls_core::BitString;
+
+    #[test]
+    fn noiseless_memory_decodes_to_the_identity() {
+        let code = RepetitionCode::new(5, 3);
+        let outcome = run_memory_tableau(&code, 0.0, 7).unwrap();
+        assert!(outcome.data.iter().all(|&b| !b), "no errors, no flips");
+        assert!(!code.decode_logical_flip(&outcome.data));
+        assert!(
+            outcome.syndromes.iter().flatten().all(|&b| !b),
+            "all syndromes trivial"
+        );
+    }
+
+    #[test]
+    fn single_injected_error_lights_adjacent_syndromes() {
+        let code = RepetitionCode::new(3, 1);
+        let mut c = Circuit::new();
+        c.push(Operation::gate(Gate::X, vec![Qubit(1)]).unwrap());
+        let anc = [Qubit(3), Qubit(4)];
+        for i in 0..2u32 {
+            c.push(Operation::gate(Gate::Cnot, vec![Qubit(i), anc[i as usize]]).unwrap());
+            c.push(Operation::gate(Gate::Cnot, vec![Qubit(i + 1), anc[i as usize]]).unwrap());
+        }
+        c.push(Operation::measure(anc.to_vec(), "s0").unwrap());
+        let sim = Simulator::for_backend(
+            BackendKind::Tableau,
+            code.n_qubits(),
+            SimulatorOptions::default(),
+        );
+        let r = sim.run(&c, 1).unwrap();
+        // X on the middle qubit trips both parities: outcome 0b11
+        assert_eq!(r.histogram("s0").unwrap().count_value(0b11), 1);
+    }
+
+    #[test]
+    fn decode_is_a_strict_majority_vote() {
+        let code = RepetitionCode::new(5, 1);
+        let bits = |v: u64| -> Vec<bool> {
+            let b = BitString::from_u64(5, v);
+            (0..5).map(|i| b.get(i)).collect()
+        };
+        assert!(!code.decode_logical_flip(&bits(0b00011)));
+        assert!(code.decode_logical_flip(&bits(0b00111)));
+        assert!(code.decode_logical_flip(&bits(0b11111)));
+    }
+
+    #[test]
+    fn both_drivers_read_the_same_syndromes() {
+        let code = RepetitionCode::new(5, 4);
+        let (p, seed) = (0.2, 99);
+        let raw = run_memory_tableau(&code, p, seed).unwrap();
+        let circ = run_memory(&code, p, seed, BackendKind::Tableau).unwrap();
+        for (cycle, row) in raw.syndromes.iter().enumerate() {
+            let hist = circ
+                .histogram(&RepetitionCode::syndrome_key(cycle))
+                .unwrap();
+            let value = row
+                .iter()
+                .enumerate()
+                .fold(0u64, |v, (i, &b)| v | (u64::from(b) << i));
+            assert_eq!(
+                hist.count_value(value),
+                1,
+                "cycle {cycle}: circuit driver disagrees with raw tableau"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Random-circuit sampling with linear cross-entropy benchmarking
+//! (XEB) — the scenario behind the "quantum supremacy"-style fidelity
+//! score. A Haar-random two-qubit-gate brickwork circuit is sampled
+//! through the planner, and the samples are scored against the exact
+//! Born distribution with [`crate::linear_xeb`]:
+//!
+//! * sampling the ideal circuit yields `F_XEB ~ 1` (Porter–Thomas
+//!   statistics of deep Haar-random brickwork);
+//! * a depolarizing layer drives the score toward 0, the fully-mixed
+//!   floor.
+//!
+//! The exact reference is a single state-vector evolution, so the
+//! scenario stays honest up to ~16 qubits while the sampling side runs
+//! through whatever backend the planner picks.
+
+use crate::metrics::linear_xeb;
+use crate::workloads::random_u2_brickwork;
+use bgls_circuit::{Channel, Circuit, Operation, Qubit};
+use bgls_core::{BitString, Histogram, SimError};
+use bgls_plan::plan_and_run;
+use bgls_statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One XEB experiment's outcome.
+#[derive(Clone, Debug)]
+pub struct XebReport {
+    /// Circuit width.
+    pub n_qubits: usize,
+    /// Brickwork depth (layers of Haar-random two-qubit gates).
+    pub layers: usize,
+    /// Number of sampled bitstrings.
+    pub shots: u64,
+    /// The linear XEB score `2^n * mean(p_ideal(sample)) - 1`.
+    pub fidelity: f64,
+    /// The backend the planner routed the sampling run to.
+    pub backend: String,
+    /// The exact Born distribution of the ideal (noiseless) circuit.
+    pub ideal: Vec<f64>,
+    /// The sampled readout histogram (for goodness-of-fit checks).
+    pub histogram: Histogram,
+}
+
+/// The seeded Haar-random brickwork circuit under benchmark (no
+/// measurements — callers append their own readout).
+pub fn xeb_random_circuit(n: usize, layers: usize, seed: u64) -> Circuit {
+    random_u2_brickwork(n, layers, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Runs one planner-routed XEB experiment: build the seeded circuit,
+/// compute the exact Born distribution by state vector, sample `shots`
+/// bitstrings (optionally through a trailing per-qubit depolarizing
+/// layer of strength `depolarizing`), and score them.
+pub fn xeb_experiment(
+    n: usize,
+    layers: usize,
+    shots: u64,
+    seed: u64,
+    depolarizing: Option<f64>,
+) -> Result<XebReport, SimError> {
+    assert!(n <= 16, "the exact XEB reference is a 2^n state vector");
+    let ideal_circuit = xeb_random_circuit(n, layers, seed);
+    let ideal = StateVector::from_circuit(&ideal_circuit, n)?.born_distribution();
+
+    let mut sampled = ideal_circuit;
+    if let Some(p) = depolarizing {
+        for q in 0..n as u32 {
+            sampled.push(Operation::channel(
+                Channel::depolarizing(p)?,
+                vec![Qubit(q)],
+            )?);
+        }
+    }
+    sampled.push(Operation::measure(Qubit::range(n), "xeb")?);
+
+    let planned = plan_and_run(&sampled, shots, Some(seed))?;
+    let hist = planned
+        .result
+        .histogram("xeb")
+        .expect("readout key recorded");
+    let samples: Vec<BitString> = hist
+        .iter_sorted()
+        .into_iter()
+        .flat_map(|(b, c)| std::iter::repeat_n(b, c as usize))
+        .collect();
+    Ok(XebReport {
+        n_qubits: n,
+        layers,
+        shots,
+        fidelity: linear_xeb(&samples, &ideal),
+        backend: planned.plan.backend.name(),
+        ideal,
+        histogram: hist.clone(),
+    })
+}
+
+impl XebReport {
+    /// The sampled histogram densified to per-outcome counts, aligned
+    /// with [`XebReport::ideal`].
+    pub fn counts(&self) -> Vec<u64> {
+        (0..1u64 << self.n_qubits)
+            .map(|v| self.histogram.count_value(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sampling_scores_near_unit_fidelity() {
+        let r = xeb_experiment(8, 6, 2000, 11, None).unwrap();
+        assert!(
+            (r.fidelity - 1.0).abs() < 0.25,
+            "ideal F_XEB should be near 1, got {} via {}",
+            r.fidelity,
+            r.backend
+        );
+    }
+
+    #[test]
+    fn a_depolarizing_layer_degrades_the_score() {
+        let ideal = xeb_experiment(8, 6, 1500, 11, None).unwrap();
+        let noisy = xeb_experiment(8, 6, 1500, 11, Some(0.2)).unwrap();
+        assert!(
+            noisy.fidelity < ideal.fidelity - 0.3,
+            "noisy {} vs ideal {}",
+            noisy.fidelity,
+            ideal.fidelity
+        );
+    }
+}

@@ -38,7 +38,7 @@
 
 use bgls_circuit::{Channel, Gate, PauliString};
 use bgls_core::{BglsState, BitString, OpFaultFn, SimError, Simulator, SimulatorOptions};
-use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions};
+use bgls_mps::{ChainMps, LazyNetworkState, MpsOptions, PurifiedMps, PurifiedOptions};
 use bgls_stabilizer::{ChForm, CliffordTableau};
 use bgls_statevector::{DensityMatrix, StateVector};
 use rand::RngCore;
@@ -70,6 +70,19 @@ pub enum BackendKind {
     /// Lazy tensor network (`bgls-mps`): one tensor per qubit plus
     /// operator-Schmidt bonds, contracted per probability query.
     LazyNetwork,
+    /// Locally-purified chain MPS (`bgls-mps`): a *mixed* state whose
+    /// sites carry an extra Kraus/purification leg, so channels apply
+    /// deterministically (like [`BackendKind::DensityMatrix`]) at
+    /// `O(n chi^3 kappa)` cost instead of `O(4^n)` memory — the exact
+    /// noisy backend beyond the density matrix's width wall.
+    PurifiedMps {
+        /// Maximum bond dimension (`None` = unbounded/exact).
+        chi: Option<usize>,
+        /// Maximum per-site Kraus-leg dimension (`None` = unbounded;
+        /// the leg is still rank-compressed exactly after every
+        /// channel).
+        kraus_dim: Option<usize>,
+    },
     /// Aaronson–Gottesman stabilizer tableau (`bgls-stabilizer`):
     /// Clifford circuits at any width with projective collapse, so
     /// mid-circuit-measurement Clifford circuits run (which the CH form
@@ -87,7 +100,11 @@ impl BackendKind {
     /// `ChainMps { chi: Some(..) }` explicitly. [`BackendKind::Tableau`]
     /// is deliberately excluded: it accepts only Clifford circuits, so
     /// generic agreement suites would reject it — Clifford-specific
-    /// tests opt in explicitly.
+    /// tests opt in explicitly. [`BackendKind::PurifiedMps`] is also
+    /// excluded: like the density matrix it absorbs channels
+    /// deterministically, but suites asserting per-branch trajectory
+    /// behavior across `all()` would mis-specify it; the cross-backend
+    /// conformance harness (`bgls-testkit`) declares it explicitly.
     pub fn all() -> Vec<BackendKind> {
         vec![
             BackendKind::StateVector,
@@ -108,13 +125,33 @@ impl BackendKind {
             BackendKind::ChainMps { chi: Some(chi) } => format!("mps:{chi}"),
             BackendKind::LazyNetwork => "lazy".into(),
             BackendKind::Tableau => "tableau".into(),
+            BackendKind::PurifiedMps {
+                chi: None,
+                kraus_dim: None,
+            } => "pmps".into(),
+            BackendKind::PurifiedMps {
+                chi: Some(chi),
+                kraus_dim: None,
+            } => format!("pmps:{chi}"),
+            // empty chi slot keeps the name parseable: "pmps::4"
+            BackendKind::PurifiedMps {
+                chi,
+                kraus_dim: Some(k),
+            } => format!(
+                "pmps:{}:{k}",
+                chi.map(|c| c.to_string()).unwrap_or_default()
+            ),
         }
     }
 
     /// True when the backend applies Kraus channels exactly rather than
-    /// sampling trajectory branches (today: the density matrix).
+    /// sampling trajectory branches (the density matrix and the
+    /// purified MPS).
     pub fn channels_are_deterministic(&self) -> bool {
-        matches!(self, BackendKind::DensityMatrix)
+        matches!(
+            self,
+            BackendKind::DensityMatrix | BackendKind::PurifiedMps { .. }
+        )
     }
 
     /// True when `self` and `other` name the same state representation,
@@ -142,7 +179,7 @@ impl std::fmt::Display for ParseBackendError {
         write!(
             f,
             "unknown backend '{}' (expected statevector (sv) | density (dm) | chform \
-             (stabilizer) | mps[:chi] | lazy | tableau)",
+             (stabilizer) | mps[:chi] | pmps[:chi[:kraus]] | lazy | tableau)",
             self.input
         )
     }
@@ -168,13 +205,43 @@ impl std::str::FromStr for BackendKind {
             "mps" => BackendKind::ChainMps { chi: None },
             "lazy" => BackendKind::LazyNetwork,
             "tableau" => BackendKind::Tableau,
+            "pmps" => BackendKind::PurifiedMps {
+                chi: None,
+                kraus_dim: None,
+            },
             other => {
-                let chi = other
-                    .strip_prefix("mps:")
-                    .and_then(|c| c.trim().parse::<usize>().ok())
-                    .filter(|&c| c >= 1)
-                    .ok_or_else(err)?;
-                BackendKind::ChainMps { chi: Some(chi) }
+                // an optional-dimension slot: "" means unbounded
+                let slot = |s: &str| -> Result<Option<usize>, ParseBackendError> {
+                    let s = s.trim();
+                    if s.is_empty() {
+                        return Ok(None);
+                    }
+                    s.parse::<usize>()
+                        .ok()
+                        .filter(|&c| c >= 1)
+                        .map(Some)
+                        .ok_or_else(err)
+                };
+                if let Some(dims) = other.strip_prefix("pmps:") {
+                    // "pmps:chi", "pmps:chi:kraus", "pmps::kraus"
+                    let mut parts = dims.splitn(2, ':');
+                    let chi = slot(parts.next().unwrap_or(""))?;
+                    let kraus_dim = match parts.next() {
+                        Some(k) => slot(k)?,
+                        None => None,
+                    };
+                    if chi.is_none() && kraus_dim.is_none() {
+                        return Err(err());
+                    }
+                    BackendKind::PurifiedMps { chi, kraus_dim }
+                } else {
+                    let chi = other
+                        .strip_prefix("mps:")
+                        .and_then(|c| c.trim().parse::<usize>().ok())
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(err)?;
+                    BackendKind::ChainMps { chi: Some(chi) }
+                }
             }
         })
     }
@@ -201,6 +268,8 @@ pub enum AnyState {
     LazyNetwork(LazyNetworkState),
     /// Stabilizer tableau.
     Tableau(CliffordTableau),
+    /// Locally-purified chain MPS (mixed state).
+    PurifiedMps(PurifiedMps),
 }
 
 impl Clone for AnyState {
@@ -212,6 +281,7 @@ impl Clone for AnyState {
             AnyState::ChainMps(s) => AnyState::ChainMps(s.clone()),
             AnyState::LazyNetwork(s) => AnyState::LazyNetwork(s.clone()),
             AnyState::Tableau(s) => AnyState::Tableau(s.clone()),
+            AnyState::PurifiedMps(s) => AnyState::PurifiedMps(s.clone()),
         }
     }
 
@@ -226,6 +296,7 @@ impl Clone for AnyState {
             (AnyState::ChainMps(s), AnyState::ChainMps(src)) => s.clone_from(src),
             (AnyState::LazyNetwork(s), AnyState::LazyNetwork(src)) => s.clone_from(src),
             (AnyState::Tableau(s), AnyState::Tableau(src)) => s.clone_from(src),
+            (AnyState::PurifiedMps(s), AnyState::PurifiedMps(src)) => s.clone_from(src),
             (slot, src) => *slot = src.clone(),
         }
     }
@@ -241,6 +312,7 @@ macro_rules! dispatch {
             AnyState::ChainMps($state) => $call,
             AnyState::LazyNetwork($state) => $call,
             AnyState::Tableau($state) => $call,
+            AnyState::PurifiedMps($state) => $call,
         }
     };
 }
@@ -261,6 +333,14 @@ impl AnyState {
             }
             BackendKind::LazyNetwork => AnyState::LazyNetwork(LazyNetworkState::zero(n)),
             BackendKind::Tableau => AnyState::Tableau(CliffordTableau::zero(n)),
+            BackendKind::PurifiedMps { chi, kraus_dim } => {
+                let mut options = match chi {
+                    Some(chi) => PurifiedOptions::with_max_bond(chi),
+                    None => PurifiedOptions::exact(),
+                };
+                options.max_kraus = kraus_dim;
+                AnyState::PurifiedMps(PurifiedMps::zero(n, options))
+            }
         }
     }
 
@@ -275,6 +355,10 @@ impl AnyState {
             },
             AnyState::LazyNetwork(_) => BackendKind::LazyNetwork,
             AnyState::Tableau(_) => BackendKind::Tableau,
+            AnyState::PurifiedMps(m) => BackendKind::PurifiedMps {
+                chi: m.options().max_bond,
+                kraus_dim: m.options().max_kraus,
+            },
         }
     }
 }
@@ -435,12 +519,20 @@ mod tests {
         let mut kinds = BackendKind::all();
         kinds.push(BackendKind::ChainMps { chi: Some(16) });
         kinds.push(BackendKind::Tableau);
+        for chi in [None, Some(32)] {
+            for kraus_dim in [None, Some(4)] {
+                kinds.push(BackendKind::PurifiedMps { chi, kraus_dim });
+            }
+        }
         for kind in kinds {
             let back: BackendKind = kind.name().parse().unwrap();
             assert_eq!(back, kind, "{kind}");
         }
         assert!("nope".parse::<BackendKind>().is_err());
         assert!("mps:0".parse::<BackendKind>().is_err());
+        assert!("pmps:0".parse::<BackendKind>().is_err());
+        assert!("pmps:".parse::<BackendKind>().is_err());
+        assert!("pmps:8:x".parse::<BackendKind>().is_err());
     }
 
     #[test]
@@ -455,6 +547,20 @@ mod tests {
             ("Tableau", BackendKind::Tableau),
             (" MPS:16 ", BackendKind::ChainMps { chi: Some(16) }),
             ("\tlazy\n", BackendKind::LazyNetwork),
+            (
+                " PMPS:64:4 ",
+                BackendKind::PurifiedMps {
+                    chi: Some(64),
+                    kraus_dim: Some(4),
+                },
+            ),
+            (
+                "pmps::8",
+                BackendKind::PurifiedMps {
+                    chi: None,
+                    kraus_dim: Some(8),
+                },
+            ),
         ] {
             assert_eq!(input.parse::<BackendKind>().unwrap(), expected, "{input:?}");
         }
@@ -465,7 +571,15 @@ mod tests {
         let err = "warp-drive".parse::<BackendKind>().unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("warp-drive"), "{msg}");
-        for name in ["statevector", "density", "chform", "mps", "lazy", "tableau"] {
+        for name in [
+            "statevector",
+            "density",
+            "chform",
+            "mps",
+            "pmps",
+            "lazy",
+            "tableau",
+        ] {
             assert!(msg.contains(name), "missing {name} in: {msg}");
         }
     }
@@ -551,6 +665,78 @@ mod tests {
                 "{kind}"
             );
         }
+    }
+
+    #[test]
+    fn purified_mps_is_a_deterministic_channel_backend() {
+        let kind = BackendKind::PurifiedMps {
+            chi: None,
+            kraus_dim: None,
+        };
+        assert!(kind.channels_are_deterministic());
+        let state = AnyState::zero(kind, 2);
+        assert!(state.channels_are_deterministic());
+        assert_eq!(state.kind(), kind);
+        // the chi/kraus configuration is reported back and is
+        // family-insensitive
+        let capped = AnyState::zero(
+            BackendKind::PurifiedMps {
+                chi: Some(8),
+                kraus_dim: Some(2),
+            },
+            2,
+        );
+        assert_eq!(
+            capped.kind(),
+            BackendKind::PurifiedMps {
+                chi: Some(8),
+                kraus_dim: Some(2),
+            }
+        );
+        assert!(kind.same_family(capped.kind()));
+        assert!(!kind.same_family(BackendKind::ChainMps { chi: None }));
+        // channel branch contract mirrors the density matrix
+        let ch = Channel::bit_flip(0.25).unwrap();
+        let probs = state.kraus_branch_probabilities(&ch, &[0]).unwrap();
+        assert_eq!(probs, vec![1.0]);
+        let mut state = state;
+        state.apply_kraus_branch(&ch, 0, &[0]).unwrap();
+        assert!((state.probability(bgls_core::BitString::from_u64(2, 0b01)) - 0.25).abs() < 1e-12);
+        assert!(matches!(
+            state.apply_kraus_branch(&ch, 1, &[0]),
+            Err(SimError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn purified_mps_samples_noisy_circuits_gate_by_gate() {
+        // end-to-end: sample-parallel noisy sampling survives on the
+        // purified chain because channels are deterministic
+        let n = 3;
+        let mut circuit = ghz(n);
+        circuit.push(
+            Operation::channel(Channel::depolarizing(0.05).unwrap(), vec![Qubit(1)]).unwrap(),
+        );
+        circuit.push(Operation::measure(Qubit::range(n), "z").unwrap());
+        let kind = BackendKind::PurifiedMps {
+            chi: None,
+            kraus_dim: None,
+        };
+        let result = simulator_for(kind, n)
+            .with_seed(11)
+            .run(&circuit, 300)
+            .unwrap();
+        let h = result.histogram("z").unwrap();
+        let all = (1u64 << n) - 1;
+        // GHZ correlations dominate; weak depolarizing leaks a few
+        // single-bit flips
+        assert!(h.count_value(0) + h.count_value(all) > 250);
+        // determinism: same seed, same histogram
+        let again = simulator_for(kind, n)
+            .with_seed(11)
+            .run(&circuit, 300)
+            .unwrap();
+        assert_eq!(h.iter_sorted(), again.histogram("z").unwrap().iter_sorted());
     }
 
     #[test]

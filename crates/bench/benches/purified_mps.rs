@@ -1,0 +1,114 @@
+//! Bench: the purified-MPS mixed-state backend (PR 10).
+//!
+//! Two workloads sized to the backend's reason for existing:
+//!
+//! * `noisy_expectation` — exact `<Z^(xn)>` of GHZ(n) with single-qubit
+//!   depolarizing noise on every qubit. The purified chain runs at 20
+//!   qubits, far past the density matrix's 4^n wall (~17 TB of
+//!   amplitudes at that width); the density matrix runs the same shape
+//!   at 10 qubits as the dense reference point.
+//! * `noisy_sampling` — 20 BGLS samples of a 16-qubit Ry/CNOT brickwork
+//!   circuit carrying one mid-circuit depolarizing layer, on the
+//!   chi-capped purified chain (chi=16, kappa=8). Channels are absorbed
+//!   exactly into the Kraus legs, so the sampler never forks a
+//!   trajectory forest.
+//!
+//! The recorded baseline lives in `BENCH_purified_mps.json`.
+
+use bgls_circuit::{Channel, Circuit, Gate, Operation, PauliOp, PauliString, PauliSum, Qubit};
+use bgls_core::Simulator;
+use bgls_linalg::C64;
+use bgls_mps::{PurifiedMps, PurifiedOptions};
+use bgls_statevector::DensityMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GHZ(n) followed by single-qubit depolarizing noise on every qubit.
+/// `<Z^(xn)>` has the closed form `(1 - 4p/3)^n`, which the conformance
+/// suite checks; here we only pay for it.
+fn noisy_ghz(n: usize, p: f64) -> Circuit {
+    let mut circuit = Circuit::new();
+    circuit.push(Operation::gate(Gate::H, vec![Qubit(0)]).unwrap());
+    for q in 1..n as u32 {
+        circuit.push(Operation::gate(Gate::Cnot, vec![Qubit(q - 1), Qubit(q)]).unwrap());
+    }
+    for q in 0..n as u32 {
+        circuit
+            .push(Operation::channel(Channel::depolarizing(p).unwrap(), vec![Qubit(q)]).unwrap());
+    }
+    circuit
+}
+
+fn zn_observable(n: usize) -> PauliSum {
+    let mut sum = PauliSum::new();
+    sum.add_term(
+        C64::ONE,
+        PauliString::from_ops((0..n).map(|q| (q, PauliOp::Z))).unwrap(),
+    );
+    sum
+}
+
+/// Ry/CNOT brickwork with a single mid-circuit depolarizing layer —
+/// channel-sparse on purpose: each channel grows a site's Kraus leg,
+/// and one layer keeps kappa within the chi-capped chain's budget.
+fn noisy_brickwork(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new();
+    for layer in 0..layers {
+        for q in 0..n as u32 {
+            let theta: f64 = rng.gen_range(-1.5..1.5);
+            circuit.push(Operation::gate(Gate::Ry(theta.into()), vec![Qubit(q)]).unwrap());
+        }
+        for a in ((layer % 2)..n - 1).step_by(2) {
+            circuit.push(
+                Operation::gate(Gate::Cnot, vec![Qubit(a as u32), Qubit(a as u32 + 1)]).unwrap(),
+            );
+        }
+        if layer == layers / 2 {
+            for q in 0..n as u32 {
+                circuit.push(
+                    Operation::channel(Channel::depolarizing(0.05).unwrap(), vec![Qubit(q)])
+                        .unwrap(),
+                );
+            }
+        }
+    }
+    circuit
+}
+
+fn bench_noisy_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_expectation");
+    group.sample_size(10);
+    let n_pmps = 20;
+    let circuit_pmps = noisy_ghz(n_pmps, 0.1);
+    let zn_pmps = zn_observable(n_pmps);
+    group.bench_function("purified_20", |b| {
+        let sim = Simulator::new(PurifiedMps::zero(n_pmps, PurifiedOptions::exact()));
+        b.iter(|| sim.expectation_value(&circuit_pmps, &zn_pmps).unwrap());
+    });
+    let n_dm = 10;
+    let circuit_dm = noisy_ghz(n_dm, 0.1);
+    let zn_dm = zn_observable(n_dm);
+    group.bench_function("density_10", |b| {
+        let sim = Simulator::new(DensityMatrix::zero(n_dm));
+        b.iter(|| sim.expectation_value(&circuit_dm, &zn_dm).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_noisy_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_sampling");
+    group.sample_size(10);
+    let n = 16;
+    let circuit = noisy_brickwork(n, 6, 7);
+    group.bench_function("purified_chi16_16q", |b| {
+        let options = PurifiedOptions::with_max_bond(16).with_max_kraus(8);
+        let sim = Simulator::new(PurifiedMps::zero(n, options)).with_seed(1);
+        b.iter(|| sim.sample_final_bitstrings(&circuit, 20).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noisy_expectation, bench_noisy_sampling);
+criterion_main!(benches);

@@ -51,7 +51,7 @@ pub use optimize::{
 };
 pub use param::{Param, ParamResolver};
 pub use pauli::{parity_sign_masked, score_parity_terms, PauliOp, PauliString, PauliSum};
-pub use qasm::{from_qasm, to_qasm};
+pub use qasm::{from_qasm, observable_pragmas, to_qasm, to_qasm_with_observables};
 pub use qubit::Qubit;
 pub use random::{
     generate_random_circuit, replace_single_qubit_gates, substitute_gate, RandomCircuitParams,

@@ -1273,6 +1273,52 @@ mod tests {
     }
 
     #[test]
+    fn channels_are_barriers_for_every_pass() {
+        use crate::channel::Channel;
+        // H (noise) H on the same qubit: the pair must NOT cancel, the
+        // H gates must NOT fuse across the channel, and the lightcone
+        // must keep the channel (it acts on a measured qubit).
+        let mut c = Circuit::new();
+        c.push(op(Gate::H, &[0]));
+        c.push(Operation::channel(Channel::bit_flip(0.25).unwrap(), vec![Qubit(0)]).unwrap());
+        c.push(op(Gate::H, &[0]));
+        c.push(op(Gate::Cnot, &[0, 1]));
+        c.push(Operation::channel(Channel::depolarizing(0.1).unwrap(), vec![Qubit(1)]).unwrap());
+        c.push(op(Gate::Cnot, &[0, 1]));
+        let c = measured(c, 2);
+        let (opt, _) = optimize(&c, &OptimizeConfig::full());
+        let channels: Vec<_> = opt
+            .all_operations()
+            .filter(|o| matches!(o.kind, crate::op::OpKind::Channel { .. }))
+            .collect();
+        assert_eq!(channels.len(), 2, "every channel must survive intact");
+        // Order relative to overlapping gates is preserved: each
+        // CNOT stays on its own side of the depolarizing channel.
+        let kinds: Vec<bool> = opt
+            .all_operations()
+            .filter(|o| o.support().contains(&Qubit(1)) && !o.is_measurement())
+            .map(|o| o.as_gate().is_some())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![true, false, true],
+            "gate / channel / gate interleaving on qubit 1 must hold"
+        );
+        // The H pair straddling the bit-flip channel must both survive:
+        // a gate before it, and a gate after it (possibly fused into
+        // the CNOT run) — never cancelled through the channel.
+        let q0: Vec<bool> = opt
+            .all_operations()
+            .filter(|o| o.support().contains(&Qubit(0)) && !o.is_measurement())
+            .map(|o| o.as_gate().is_some())
+            .collect();
+        assert!(
+            q0.len() >= 3 && q0[0] && !q0[1] && q0[2..].iter().any(|&g| g),
+            "H·H across a channel must not cancel: {q0:?}"
+        );
+    }
+
+    #[test]
     fn swap_conjugate_reverses_cnot() {
         // CNOT listed (control, target) vs (target, control).
         let cx = Gate::Cnot.unitary().unwrap();

@@ -29,6 +29,7 @@ use crate::error::CircuitError;
 use crate::gate::Gate;
 use crate::op::{OpKind, Operation};
 use crate::param::Param;
+use crate::pauli::PauliSum;
 use crate::qubit::Qubit;
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -110,6 +111,76 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
         }
     }
     Ok(out)
+}
+
+/// The comment prefix carrying BGLS metadata through QASM: standard
+/// tooling sees an ordinary `//` comment, [`from_qasm`] strips it, and
+/// [`observable_pragmas`] reads it back.
+const PRAGMA_PREFIX: &str = "// pragma bgls";
+
+/// Serializes a circuit plus observable pragmas.
+///
+/// Each observable is emitted as a
+/// `// pragma bgls observable: <pauli sum>` line after the program —
+/// invisible to every other QASM consumer, recoverable by
+/// [`observable_pragmas`]. The [`PauliSum`] `Display`/`FromStr` pair
+/// round-trips exactly, so `observable_pragmas(to_qasm_with_observables(
+/// c, obs))` returns `obs` term for term.
+pub fn to_qasm_with_observables(
+    circuit: &Circuit,
+    observables: &[PauliSum],
+) -> Result<String, CircuitError> {
+    let mut out = to_qasm(circuit)?;
+    for obs in observables {
+        if obs.is_zero() {
+            return Err(CircuitError::QasmUnsupported(
+                "zero observable pragma".into(),
+            ));
+        }
+        let _ = writeln!(out, "{PRAGMA_PREFIX} observable: {obs}");
+    }
+    Ok(out)
+}
+
+/// Extracts every `// pragma bgls observable:` line from a QASM source,
+/// in order.
+///
+/// Pragmas ride in comments (trailing ones included), so the circuit
+/// text parses identically with or without them. A recognized pragma
+/// prefix followed by an unknown pragma kind or an unparseable Pauli
+/// sum is a [`CircuitError::QasmParse`] carrying the 1-based line — a
+/// typo in metadata should fail loudly, not silently drop the
+/// observable.
+pub fn observable_pragmas(source: &str) -> Result<Vec<PauliSum>, CircuitError> {
+    let mut observables = Vec::new();
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let Some(i) = raw_line.find("//") else {
+            continue;
+        };
+        let comment = &raw_line[i..];
+        let Some(rest) = comment.strip_prefix(PRAGMA_PREFIX) else {
+            continue;
+        };
+        // "bglsfoo" must not match the "bgls" pragma namespace
+        if !rest.starts_with([' ', '\t']) {
+            continue;
+        }
+        let body = rest.trim_start();
+        let Some(expr) = body.strip_prefix("observable:") else {
+            let kind = body.split_whitespace().next().unwrap_or("");
+            return Err(parse_err(
+                line,
+                &format!("unknown bgls pragma '{}'", kind.trim_end_matches(':')),
+            ));
+        };
+        let sum: PauliSum = expr
+            .trim()
+            .parse()
+            .map_err(|e| parse_err(line, &format!("invalid observable pragma: {e}")))?;
+        observables.push(sum);
+    }
+    Ok(observables)
 }
 
 fn symbolic_err(g: &Gate) -> CircuitError {
@@ -562,6 +633,74 @@ mod tests {
         let mut c = Circuit::new();
         c.push(op(Gate::Rz(Param::symbol("x")), &[0]));
         assert!(matches!(to_qasm(&c), Err(CircuitError::QasmUnsupported(_))));
+    }
+
+    #[test]
+    fn observable_pragma_round_trips() {
+        let obs: Vec<PauliSum> = vec![
+            "1.5 * Z0 Z1 + 0.25 * X0".parse().unwrap(),
+            "-2 * Y1 + 3".parse().unwrap(),
+        ];
+        let q = to_qasm_with_observables(&ghz_with_measure(), &obs).unwrap();
+        assert!(q.contains("// pragma bgls observable: "));
+        // the pragma is invisible to the circuit parser
+        let back = from_qasm(&q).unwrap();
+        assert_eq!(back.num_operations(), ghz_with_measure().num_operations());
+        // and fully recoverable
+        let got = observable_pragmas(&q).unwrap();
+        assert_eq!(got.len(), 2);
+        for (a, b) in got.iter().zip(&obs) {
+            assert_eq!(a.num_terms(), b.num_terms());
+            for ((ca, pa), (cb, pb)) in a.terms().iter().zip(b.terms()) {
+                assert_eq!(pa, pb);
+                assert!((ca.re - cb.re).abs() < 1e-15 && (ca.im - cb.im).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn observable_pragma_survives_as_trailing_comment() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0]; // pragma bgls observable: Z0 Z1\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.num_operations(), 1);
+        let obs = observable_pragmas(src).unwrap();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].num_terms(), 1);
+    }
+
+    #[test]
+    fn malformed_observable_pragmas_are_rejected_with_lines() {
+        // unparseable Pauli sum
+        let bad = "OPENQASM 2.0;\nqreg q[1];\n// pragma bgls observable: 1.5 * Q0\n";
+        match observable_pragmas(bad) {
+            Err(CircuitError::QasmParse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("observable"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // empty observable expression
+        assert!(observable_pragmas("// pragma bgls observable:   \n").is_err());
+        // unknown pragma kind in our namespace
+        match observable_pragmas("// pragma bgls frobnicate: 3\n") {
+            Err(CircuitError::QasmParse { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("frobnicate"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // other tools' pragmas and near-miss prefixes are ignored
+        assert!(observable_pragmas("// pragma other observable: Z0\n")
+            .unwrap()
+            .is_empty());
+        assert!(observable_pragmas("// pragma bglsx observable: Z0\n")
+            .unwrap()
+            .is_empty());
+        // a zero observable cannot be emitted
+        assert!(matches!(
+            to_qasm_with_observables(&ghz_with_measure(), &[PauliSum::new()]),
+            Err(CircuitError::QasmUnsupported(_))
+        ));
     }
 
     #[test]

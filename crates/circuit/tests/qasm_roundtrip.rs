@@ -1,7 +1,10 @@
 //! Property test: QASM export -> import preserves circuit semantics for
 //! every exportable random circuit.
 
-use bgls_circuit::{from_qasm, generate_random_circuit, to_qasm, Gate, RandomCircuitParams};
+use bgls_circuit::{
+    from_qasm, generate_random_circuit, observable_pragmas, to_qasm, to_qasm_with_observables,
+    Gate, PauliOp, PauliString, PauliSum, RandomCircuitParams,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,5 +74,53 @@ proptest! {
         let q1 = to_qasm(&circuit).unwrap();
         let q2 = to_qasm(&from_qasm(&q1).unwrap()).unwrap();
         prop_assert_eq!(q1, q2, "export must be a fixed point after one trip");
+    }
+
+    #[test]
+    fn observable_pragma_round_trips_random_pauli_sums(
+        seed in 0u64..100_000,
+        terms in 1usize..5,
+        n in 1usize..6,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = PauliSum::new();
+        for _ in 0..terms {
+            // coefficients with plenty of mantissa to stress Display
+            let coeff = rng.gen_range(-10.0..10.0) * 0.123456789;
+            let string = PauliString::from_ops((0..n).filter_map(|q| {
+                match rng.gen_range(0..4u8) {
+                    0 => None,
+                    1 => Some((q, PauliOp::X)),
+                    2 => Some((q, PauliOp::Y)),
+                    _ => Some((q, PauliOp::Z)),
+                }
+            })).unwrap();
+            sum.add_term(bgls_linalg::C64::real(coeff), string);
+        }
+        if sum.is_zero() {
+            return Ok(()); // merged terms cancelled; nothing to emit
+        }
+        let params = RandomCircuitParams {
+            qubits: n, moments: 2, op_density: 0.8,
+            gate_set: exportable_gate_pool(),
+        };
+        let circuit = generate_random_circuit(&params, &mut rng);
+        let qasm = to_qasm_with_observables(&circuit, std::slice::from_ref(&sum)).unwrap();
+        // the pragma never perturbs the circuit itself
+        prop_assert_eq!(
+            from_qasm(&qasm).unwrap().num_operations(),
+            circuit.num_operations()
+        );
+        let got = observable_pragmas(&qasm).unwrap();
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(got[0].num_terms(), sum.num_terms());
+        for ((ca, pa), (cb, pb)) in got[0].terms().iter().zip(sum.terms()) {
+            prop_assert_eq!(pa, pb, "Pauli strings must round-trip exactly");
+            prop_assert!(
+                (ca.re - cb.re).abs() <= 1e-12 * cb.re.abs().max(1.0),
+                "coefficient drifted: {} vs {}", ca.re, cb.re
+            );
+        }
     }
 }

@@ -9,7 +9,11 @@
 //! * [`ChainMps`] — a canonical chain MPS with chi-capped SVD truncation
 //!   ([`MpsOptions`]), swap-routing for long-range gates, and
 //!   `O(n chi^2)` amplitudes — the representation behind the QAOA
-//!   MaxCut experiment (Sec. 4.4).
+//!   MaxCut experiment (Sec. 4.4);
+//! * [`PurifiedMps`] — a locally-purified chain for *mixed* states: each
+//!   site carries an extra Kraus leg, so channels apply deterministically
+//!   (no trajectory forking) at `O(n chi^3 kappa)` cost instead of the
+//!   density matrix's `4^n` memory ([`PurifiedOptions`]).
 //!
 //! ```
 //! use bgls_circuit::Gate;
@@ -27,8 +31,10 @@
 
 mod chain;
 mod lazy;
+mod purified;
 mod schmidt;
 
 pub use chain::{ChainMps, MpsOptions};
 pub use lazy::LazyNetworkState;
+pub use purified::{PurifiedMps, PurifiedOptions};
 pub use schmidt::{operator_schmidt, reconstruct, SchmidtTerm};

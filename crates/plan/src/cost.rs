@@ -68,6 +68,7 @@ fn bucket_name(backend: &BackendKind) -> &'static str {
         BackendKind::ChainMps { .. } => "mps",
         BackendKind::LazyNetwork => "lazy",
         BackendKind::Tableau => "tableau",
+        BackendKind::PurifiedMps { .. } => "pmps",
     }
 }
 
@@ -94,6 +95,17 @@ impl CostModel {
             }
             BackendKind::LazyNetwork => ops * n * chi * chi,
             BackendKind::ChForm | BackendKind::Tableau => ops * n * n,
+            BackendKind::PurifiedMps {
+                chi: cap,
+                kraus_dim,
+            } => {
+                let chi = cap.map(|c| (c as f64).min(chi)).unwrap_or(chi);
+                // every contraction also sweeps the Kraus legs; without a
+                // configured cap assume one single-qubit channel's growth
+                // (4 Kraus operators) as the per-site prior
+                let kappa = kraus_dim.map(|k| k as f64).unwrap_or(4.0);
+                ops * n * chi * chi * chi * kappa
+            }
         }
     }
 

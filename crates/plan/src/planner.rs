@@ -441,6 +441,19 @@ fn route(
                 // The walk collapses interior measurements projectively;
                 // only the tableau can do that among stabilizer states.
                 BackendKind::Tableau
+            } else if profile.has_channels && dm_ok {
+                // Deterministic channels keep the walk fork-free: the
+                // exact mixed state beats enumerating 2^forks branch
+                // histories on a pure backend.
+                BackendKind::DensityMatrix
+            } else if profile.has_channels && mps_ok && low_chi {
+                // Noisy and wide: the purified MPS is the only exact
+                // mixed-state engine past the density wall — channels
+                // grow a local Kraus leg instead of forking.
+                BackendKind::PurifiedMps {
+                    chi: Some(profile.chi_bound() as usize),
+                    kraus_dim: None,
+                }
             } else {
                 pick_pure_state_backend(&profile, config, sv_ok, mps_ok, low_chi)?
             };
@@ -483,6 +496,32 @@ fn route(
                         "noisy and narrow (n = {n} <= {}): density matrix applies channels \
                          deterministically, keeping sample parallelization",
                         config.max_density_qubits
+                    ),
+                )
+            } else if profile.has_channels
+                && !profile.mid_circuit_measurements
+                && !forest_fits
+                && mps_ok
+                && low_chi
+            {
+                // Noise too dense for the forest and too wide for the
+                // density matrix: the purified MPS absorbs every channel
+                // deterministically, so the one-sweep sample
+                // parallelization survives where replay would walk each
+                // trajectory separately.
+                (
+                    BackendKind::PurifiedMps {
+                        chi: Some(profile.chi_bound() as usize),
+                        kraus_dim: None,
+                    },
+                    ExecPath::SampleParallel,
+                    format!(
+                        "noisy and wide (n = {n} > {}, {} forks > forest budget): \
+                         purified MPS applies channels deterministically, keeping \
+                         sample parallelization (chi bound {})",
+                        config.max_density_qubits,
+                        profile.fork_ops,
+                        profile.chi_bound()
                     ),
                 )
             } else if profile.has_channels || profile.mid_circuit_measurements {
@@ -550,8 +589,9 @@ fn route(
 /// 2. backend ladder, with a conservative path on the target (replay
 ///    for circuits with stochastic branches, sample-parallel
 ///    otherwise): CH form → tableau → statevector;
-///    density matrix → statevector; statevector → chi-capped chain MPS
-///    → lazy network.
+///    density matrix → statevector (or purified MPS past the dense
+///    wall); purified MPS → statevector → chi-capped chain MPS → lazy
+///    network; statevector → chi-capped chain MPS → lazy network.
 ///
 /// Expectation rungs: exact walk → grouped-shot estimate
 /// ([`ExecPath::ShotEstimate`]) on the same backend. The estimate is
@@ -618,6 +658,25 @@ pub fn degrade(current: &ExecutionPlan, config: &PlannerConfig) -> Option<Execut
             BackendKind::StateVector,
             "density matrix -> statevector trajectories",
         ),
+        BackendKind::DensityMatrix if mps_ok && low_chi => (
+            BackendKind::PurifiedMps {
+                chi: Some(chi),
+                kraus_dim: None,
+            },
+            "density matrix -> purified MPS (exact channels past the dense wall)",
+        ),
+        BackendKind::PurifiedMps { .. } if sv_ok => (
+            BackendKind::StateVector,
+            "purified MPS -> statevector trajectories",
+        ),
+        BackendKind::PurifiedMps { .. } if mps_ok && low_chi => (
+            BackendKind::ChainMps { chi: Some(chi) },
+            "purified MPS -> chi-capped chain MPS trajectories",
+        ),
+        BackendKind::PurifiedMps { .. } if mps_ok => (
+            BackendKind::LazyNetwork,
+            "purified MPS -> lazy network trajectories",
+        ),
         BackendKind::StateVector if mps_ok && low_chi => (
             BackendKind::ChainMps { chi: Some(chi) },
             "statevector -> chi-capped chain MPS",
@@ -631,10 +690,12 @@ pub fn degrade(current: &ExecutionPlan, config: &PlannerConfig) -> Option<Execut
         _ => return None,
     };
     // Conservative path on the fallback: circuits with stochastic
-    // branches replay flat; unitary terminal circuits keep the
+    // branches replay flat; unitary terminal circuits — and noisy
+    // circuits landing on a deterministic-channel backend — keep the
     // one-sweep sample parallelization.
     let mut options = current.options.clone();
-    let path = if profile.has_channels || profile.mid_circuit_measurements {
+    let stochastic = profile.has_channels && !backend.channels_are_deterministic();
+    let path = if stochastic || profile.mid_circuit_measurements {
         options.trajectory_forest = false;
         ExecPath::Replay
     } else {
@@ -808,7 +869,7 @@ mod tests {
     }
 
     #[test]
-    fn noisy_wide_routes_to_forest_then_replay_as_noise_densifies() {
+    fn noisy_wide_routes_to_forest_then_purified_mps_as_noise_densifies() {
         let cfg = PlannerConfig::default();
         // 16 qubits: too wide for the density matrix, fine for the
         // statevector. Channels go *before* the terminal measurement.
@@ -825,9 +886,78 @@ mod tests {
         assert_eq!(p1.path, ExecPath::Forest);
         assert!(p1.options.trajectory_forest);
 
+        // Dense noise overflows the forest budget; the purified MPS
+        // absorbs every channel exactly and keeps sample parallelism.
         let p2 = plan(&noisy(16), &hist(), &cfg).unwrap();
-        assert_eq!(p2.path, ExecPath::Replay);
-        assert!(!p2.options.trajectory_forest);
+        assert!(
+            matches!(p2.backend, BackendKind::PurifiedMps { .. }),
+            "{:?}",
+            p2.backend
+        );
+        assert_eq!(p2.path, ExecPath::SampleParallel);
+    }
+
+    #[test]
+    fn noisy_wide_expectation_routes_to_purified_mps_walk() {
+        let cfg = PlannerConfig::default();
+        // 20 qubits of noisy GHZ: 4^20 density amplitudes cannot
+        // allocate, but the chain's chi bound is 2 — purified MPS walks
+        // it exactly.
+        let mut c = measured_ghz(20).without_measurements();
+        for i in 0..20 {
+            c.push(Operation::channel(Channel::depolarizing(0.01).unwrap(), vec![q(i)]).unwrap());
+        }
+        let obs: PauliSum = "Z0 Z19".parse().unwrap();
+        let p = plan(&c, &Deliverable::Expectation { observable: obs }, &cfg).unwrap();
+        assert!(
+            matches!(p.backend, BackendKind::PurifiedMps { chi: Some(_), .. }),
+            "{:?}",
+            p.backend
+        );
+        assert_eq!(p.path, ExecPath::ExpectationWalk);
+
+        // Narrow noisy expectations stay on the exact density matrix.
+        let mut narrow = measured_ghz(4).without_measurements();
+        narrow.push(Operation::channel(Channel::bit_flip(0.1).unwrap(), vec![q(0)]).unwrap());
+        let obs: PauliSum = "Z0 Z3".parse().unwrap();
+        let p = plan(&narrow, &Deliverable::Expectation { observable: obs }, &cfg).unwrap();
+        assert_eq!(p.backend, BackendKind::DensityMatrix);
+        assert_eq!(p.path, ExecPath::ExpectationWalk);
+    }
+
+    #[test]
+    fn purified_mps_degrades_to_statevector_then_chain_then_lazy() {
+        let cfg = PlannerConfig::default();
+        let mut c = measured_ghz(16).without_measurements();
+        for i in 0..16 {
+            c.push(Operation::channel(Channel::bit_flip(0.05).unwrap(), vec![q(i)]).unwrap());
+        }
+        c.push(Operation::measure((0..16).map(Qubit).collect::<Vec<_>>(), "m").unwrap());
+        let top = plan(&c, &hist(), &cfg).unwrap();
+        assert!(matches!(top.backend, BackendKind::PurifiedMps { .. }));
+        assert_eq!(top.path, ExecPath::SampleParallel);
+
+        // 16 qubits still fit the statevector: trajectories replay flat.
+        let r1 = degrade(&top, &cfg).unwrap();
+        assert_eq!(r1.backend, BackendKind::StateVector);
+        assert_eq!(r1.path, ExecPath::Replay);
+        assert_ne!(
+            r1.fingerprint(),
+            top.fingerprint(),
+            "degraded purified-MPS jobs must re-key the cache"
+        );
+
+        // Past the dense wall the ladder goes chain MPS, then lazy.
+        let narrow_cfg = PlannerConfig {
+            max_statevector_qubits: 8,
+            ..cfg
+        };
+        let r1 = degrade(&top, &narrow_cfg).unwrap();
+        assert!(matches!(r1.backend, BackendKind::ChainMps { chi: Some(_) }));
+        assert_eq!(r1.path, ExecPath::Replay);
+        let r2 = degrade(&r1, &narrow_cfg).unwrap();
+        assert_eq!(r2.backend, BackendKind::LazyNetwork);
+        assert!(degrade(&r2, &narrow_cfg).is_none());
     }
 
     #[test]

@@ -55,12 +55,26 @@ fn t_ladder(n: u32) -> Circuit {
     measured(c, n)
 }
 
+/// Dense-noise wide GHZ: a channel on every qubit overflows the
+/// trajectory-forest budget past the density wall, so the planner
+/// routes to the purified MPS (see
+/// `noisy_wide_routes_to_forest_then_purified_mps_as_noise_densifies`
+/// in `bgls-plan`).
+fn purified_dense(n: u32) -> Circuit {
+    let mut c = ghz(n).without_measurements();
+    for i in 0..n {
+        c.push(Operation::channel(Channel::bit_flip(0.05).unwrap(), vec![Qubit(i)]).unwrap());
+    }
+    measured(c, n)
+}
+
 fn mixed_traffic() -> Vec<(Circuit, u64)> {
     let mut jobs = Vec::new();
     for seed in 0..8u64 {
         jobs.push((ghz(8), seed));
         jobs.push((noisy_wide(13), seed + 100));
         jobs.push((t_ladder(8), seed + 200));
+        jobs.push((purified_dense(13), seed + 300));
     }
     jobs
 }
@@ -265,6 +279,77 @@ fn degraded_jobs_match_the_fallback_plan_run_directly() {
     }
     assert_eq!(svc.stats().degradations, 3);
     assert_eq!(svc.stats().retries, 0, "exhausted budgets are not retried");
+}
+
+/// The purified-MPS rung of the ladder: a dense-noise wide job plans to
+/// purified MPS, degrades to statevector trajectories on budget
+/// exhaustion, matches the fallback plan bit-for-bit — and the degraded
+/// result is re-keyed, i.e. cached under the *fallback* plan's
+/// fingerprint, never the original purified-MPS plan's.
+#[test]
+fn degraded_purified_mps_jobs_rekey_the_cache_and_match_the_fallback() {
+    use bgls_suite::BackendKind;
+
+    let fault = FaultPlan {
+        budget_exhaustion_probability: 1.0,
+        stop_after_attempts: 1,
+        ..FaultPlan::seeded(33)
+    };
+    let planner = PlannerConfig::default();
+    let (circuit, seed) = (purified_dense(13), 9u64);
+
+    // The workload really does route to the new backend.
+    let original = plan(
+        &circuit,
+        &Deliverable::Histogram { repetitions: 40 },
+        &planner,
+    )
+    .unwrap();
+    assert!(
+        matches!(original.backend, BackendKind::PurifiedMps { .. }),
+        "traffic must plan to purified MPS, got {:?}",
+        original.backend
+    );
+
+    let mut svc = SimulationService::new(chaos_config(fault));
+    let id = svc
+        .submit(SimRequest::histogram(circuit.clone(), 40).with_seed(seed))
+        .unwrap();
+    svc.run_all();
+    let report = svc.take_result(id).unwrap().unwrap();
+    assert!(report.degraded(), "budget exhaustion must degrade");
+
+    let fallback = degrade(&original, &planner).expect("purified MPS has a rung below");
+    assert_eq!(report.backend, fallback.backend);
+    assert_eq!(report.path, fallback.path);
+    let direct = fallback.run(40, Some(seed)).unwrap();
+    assert_eq!(
+        report.histogram().unwrap().histogram("m"),
+        direct.histogram("m")
+    );
+
+    // Re-keying: the degraded bits were inserted under the fallback
+    // plan's fingerprint, so an identical resubmission — whose lookup
+    // key is the *original* purified-MPS plan — must miss the cache and
+    // walk the ladder itself instead of being served stale fallback
+    // bits under the original plan's identity.
+    let hits_before = svc.cache_stats().hits;
+    let again = svc
+        .submit(SimRequest::histogram(circuit, 40).with_seed(seed))
+        .unwrap();
+    svc.run_all();
+    let second = svc.take_result(again).unwrap().unwrap();
+    assert_eq!(
+        svc.cache_stats().hits,
+        hits_before,
+        "no hit under the original key"
+    );
+    assert!(second.degraded(), "the resubmission degrades on its own");
+    assert_eq!(
+        second.histogram().unwrap().histogram("m"),
+        direct.histogram("m"),
+        "both degraded runs land on the same fallback bits"
+    );
 }
 
 /// The exact expectation walk degrades to the grouped-shot estimator,

@@ -1,0 +1,132 @@
+//! Scenario-zoo integration tests: the repetition-code QEC memory
+//! experiment (stabilizer backends at 100+ qubits) and linear-XEB
+//! scoring of planner-routed random-circuit sampling (12+ qubits
+//! against an exact Born reference). Each scenario also ships as an
+//! example (`examples/qec_cycle.rs`, `examples/xeb_score.rs`); the
+//! assertions here pin the physics the examples print.
+
+use bgls_suite::apps::{
+    chi_squared_fits, logical_error_rate, run_memory, run_memory_tableau, syndrome_digest,
+    xeb_experiment, RepetitionCode,
+};
+use bgls_suite::BackendKind;
+
+const CYCLES: usize = 10;
+
+/// Larger distance suppresses the logical error rate at fixed physical
+/// error rate (the whole point of a code), and a hotter channel raises
+/// it at fixed distance.
+#[test]
+fn logical_error_rate_orders_by_distance_and_by_physical_rate() {
+    const TRIALS: u64 = 150;
+    let rate = |d: usize, p: f64| {
+        logical_error_rate(&RepetitionCode::new(d, CYCLES), p, TRIALS, 0xC0DE).unwrap()
+    };
+
+    let by_distance: Vec<f64> = [3usize, 11, 21].iter().map(|&d| rate(d, 0.03)).collect();
+    assert!(
+        by_distance[0] > by_distance[1] && by_distance[1] >= by_distance[2],
+        "rate must fall with distance: {by_distance:?}"
+    );
+    assert!(
+        by_distance[0] > 0.0,
+        "d=3 at p=0.03 over {TRIALS} trials must see logical flips"
+    );
+
+    let by_noise: Vec<f64> = [0.01, 0.05, 0.20].iter().map(|&p| rate(5, p)).collect();
+    assert!(
+        by_noise[0] < by_noise[1] && by_noise[1] < by_noise[2],
+        "rate must rise with physical error rate: {by_noise:?}"
+    );
+}
+
+/// Error injection is compiled into the circuit, so syndromes are
+/// deterministic: the same seed produces bit-identical syndrome records
+/// run-over-run and backend-over-backend.
+#[test]
+fn syndromes_are_deterministic_across_runs_and_backends() {
+    let code = RepetitionCode::new(5, CYCLES);
+    for seed in [1u64, 2, 3] {
+        let a = run_memory(&code, 0.08, seed, BackendKind::Tableau).unwrap();
+        let b = run_memory(&code, 0.08, seed, BackendKind::Tableau).unwrap();
+        let sv = run_memory(&code, 0.08, seed, BackendKind::StateVector).unwrap();
+        assert_eq!(
+            syndrome_digest(&code, &a),
+            syndrome_digest(&code, &b),
+            "seed {seed}: tableau re-run drifted"
+        );
+        assert_eq!(
+            syndrome_digest(&code, &a),
+            syndrome_digest(&code, &sv),
+            "seed {seed}: tableau and state vector disagree on syndromes"
+        );
+        for cycle in 0..CYCLES {
+            let hist = a
+                .histogram(&RepetitionCode::syndrome_key(cycle))
+                .expect("syndrome recorded");
+            assert_eq!(
+                hist.support_size(),
+                1,
+                "seed {seed} cycle {cycle}: compiled errors mean one deterministic syndrome"
+            );
+        }
+    }
+}
+
+/// The 100+-qubit scale claim: a distance-51 memory (101 qubits) runs
+/// on the raw tableau driver, decodes, and reproduces its syndromes.
+#[test]
+fn distance_51_memory_runs_on_the_tableau_at_101_qubits() {
+    let code = RepetitionCode::new(51, CYCLES);
+    assert!(code.n_qubits() >= 100);
+    let a = run_memory_tableau(&code, 0.02, 7).unwrap();
+    let b = run_memory_tableau(&code, 0.02, 7).unwrap();
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "seeded 101-qubit run must reproduce"
+    );
+    assert!(
+        !code.decode_logical_flip(&a.data),
+        "p=0.02 over {CYCLES} cycles stays well under the d=51 majority threshold"
+    );
+}
+
+/// Ideal planner-routed sampling of a deep Haar-random brickwork
+/// circuit scores near unit linear-XEB fidelity (24 layers reach the
+/// anticoncentrated Porter–Thomas regime at these widths) and the
+/// histogram fits the exact Born distribution.
+#[test]
+fn xeb_scores_near_one_on_ideal_sampling() {
+    for n in [12usize, 14] {
+        let r = xeb_experiment(n, 24, 3000, 11, None).unwrap();
+        assert!(
+            (r.fidelity - 1.0).abs() < 0.15,
+            "ideal F_XEB {} (via {}) should be near 1 at {n} qubits",
+            r.fidelity,
+            r.backend
+        );
+        assert!(
+            chi_squared_fits(&r.counts(), &r.ideal, 5.0),
+            "{n}-qubit ideal samples must fit the exact Born distribution"
+        );
+    }
+}
+
+/// A trailing depolarizing layer collapses the score toward the
+/// fully-mixed floor. The noisy arm runs at 10 qubits: the planner
+/// routes channel circuits with a histogram deliverable to the density
+/// matrix, whose unoptimized-profile evolution is O(ops * 4^n).
+#[test]
+fn xeb_degrades_under_injected_depolarizing() {
+    let ideal = xeb_experiment(10, 8, 2000, 11, None).unwrap();
+    let noisy = xeb_experiment(10, 8, 400, 11, Some(0.15)).unwrap();
+    assert!(
+        noisy.fidelity < ideal.fidelity - 0.5,
+        "depolarizing must degrade F_XEB: noisy {} (via {}) vs ideal {} (via {})",
+        noisy.fidelity,
+        noisy.backend,
+        ideal.fidelity,
+        ideal.backend
+    );
+}
